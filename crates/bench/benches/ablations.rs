@@ -1,0 +1,169 @@
+//! Ablation bench groups: the design-choice checks DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rm_bench::{bench_scenario, headline, run_once};
+use rmcast::{ProtocolConfig, ProtocolKind, WindowDiscipline};
+use simrun::scenario::{Protocol, TopologyKind};
+
+/// Go-Back-N vs selective repeat, clean and lossy.
+fn gbn_vs_sr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_gbn_vs_sr");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, discipline, loss) in [
+        ("gbn/clean", WindowDiscipline::GoBackN, 0.0),
+        ("sr/clean", WindowDiscipline::SelectiveRepeat, 0.0),
+        ("gbn/loss1e-3", WindowDiscipline::GoBackN, 1e-3),
+        ("sr/loss1e-3", WindowDiscipline::SelectiveRepeat, 1e-3),
+    ] {
+        let mut cfg = ProtocolConfig::new(ProtocolKind::Ack, 8_000, 16);
+        cfg.discipline = discipline;
+        let mut sc = bench_scenario(Protocol::Rm(cfg), 8, 200_000);
+        sc.sim.faults.frame_loss = loss;
+        headline(&format!("ablate_gbn_vs_sr/{name}"), &run_once(&sc));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sc, |b, sc| {
+            b.iter(|| sc.run(1))
+        });
+    }
+    g.finish();
+}
+
+/// Switched fabric vs the shared CSMA/CD bus.
+fn shared_vs_switched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_shared_vs_switched");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, topo, kind) in [
+        ("switch/ack", TopologyKind::SingleSwitch, ProtocolKind::Ack),
+        ("bus/ack", TopologyKind::SharedBus, ProtocolKind::Ack),
+        (
+            "switch/tree6",
+            TopologyKind::SingleSwitch,
+            ProtocolKind::flat_tree(6),
+        ),
+        ("bus/tree6", TopologyKind::SharedBus, ProtocolKind::flat_tree(6)),
+    ] {
+        let window = if matches!(kind, ProtocolKind::Ack) { 4 } else { 20 };
+        let cfg = ProtocolConfig::new(kind, 8_000, window);
+        let mut sc = bench_scenario(Protocol::Rm(cfg), 30, 100_000);
+        sc.topology = topo;
+        headline(&format!("ablate_shared_vs_switched/{name}"), &run_once(&sc));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sc, |b, sc| {
+            b.iter(|| sc.run(1))
+        });
+    }
+    g.finish();
+}
+
+/// Retransmission suppression on/off under loss.
+fn suppression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_suppression");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, suppress_us) in [("off", 1u64), ("paper-8ms", 8_000)] {
+        let mut cfg = ProtocolConfig::new(ProtocolKind::Ack, 8_000, 4);
+        cfg.retx_suppress = rmwire::Duration::from_micros(suppress_us);
+        let mut sc = bench_scenario(Protocol::Rm(cfg), 30, 100_000);
+        sc.sim.faults.frame_loss = 1e-3;
+        headline(&format!("ablate_suppression/{name}"), &run_once(&sc));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sc, |b, sc| {
+            b.iter(|| sc.run(1))
+        });
+    }
+    g.finish();
+}
+
+/// The two NAK suppression schemes under loss.
+fn nak_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_nak_variants");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, receiver_multicast) in [("sender-side", false), ("receiver-multicast", true)] {
+        let cfg = ProtocolConfig::new(
+            ProtocolKind::NakPolling {
+                poll_interval: 16,
+                receiver_multicast_nak: receiver_multicast,
+            },
+            8_000,
+            20,
+        );
+        let mut sc = bench_scenario(Protocol::Rm(cfg), 30, 100_000);
+        sc.sim.faults.frame_loss = 1e-3;
+        headline(&format!("ablate_nak_variants/{name}"), &run_once(&sc));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sc, |b, sc| {
+            b.iter(|| sc.run(1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    gbn_vs_sr,
+    shared_vs_switched,
+    suppression,
+    nak_variants,
+    mtu,
+    slow_receiver,
+    pipeline_handshake
+);
+criterion_main!(ablations);
+
+/// Jumbo frames vs standard MTU.
+fn mtu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_mtu");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, mtu) in [("mtu1500", 1_500usize), ("mtu9000", 9_000)] {
+        let cfg = ProtocolConfig::new(ProtocolKind::nak_polling(16), 8_000, 20);
+        let mut sc = bench_scenario(Protocol::Rm(cfg), 30, 200_000);
+        sc.sim.link.mtu = mtu;
+        headline(&format!("ablate_mtu/{name}"), &run_once(&sc));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sc, |b, sc| {
+            b.iter(|| sc.run(1))
+        });
+    }
+    g.finish();
+}
+
+/// One heterogeneously slow receiver.
+fn slow_receiver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_slow_receiver");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, factor) in [("homogeneous", 1.0f64), ("one-8x-slower", 8.0)] {
+        let cfg = ProtocolConfig::new(ProtocolKind::nak_polling(16), 8_000, 20);
+        let mut sc = bench_scenario(Protocol::Rm(cfg), 30, 200_000);
+        sc.slow_receiver_factor = factor;
+        headline(&format!("ablate_slow_receiver/{name}"), &run_once(&sc));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sc, |b, sc| {
+            b.iter(|| sc.run(1))
+        });
+    }
+    g.finish();
+}
+
+/// Pipelined allocation handshake over a message stream.
+fn pipeline_handshake(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_pipeline_handshake");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, pipeline) in [("serial", false), ("pipelined", true)] {
+        let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(16), 8_000, 20);
+        cfg.pipeline_handshake = pipeline;
+        let mut sc = bench_scenario(Protocol::Rm(cfg), 30, 65_536);
+        sc.n_messages = 10;
+        headline(&format!("ablate_pipeline_handshake/{name}"), &run_once(&sc));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sc, |b, sc| {
+            b.iter(|| sc.run(1))
+        });
+    }
+    g.finish();
+}

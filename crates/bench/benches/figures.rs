@@ -1,0 +1,238 @@
+//! One bench group per paper figure: each measures the cost of
+//! regenerating a representative point of that figure through the
+//! calibrated simulator, and prints the headline simulated measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rm_bench::{bench_scenario, headline, run_once};
+use rmcast::{ProtocolConfig, ProtocolKind};
+use simrun::scenario::Protocol;
+
+fn rm(cfg: ProtocolConfig) -> Protocol {
+    Protocol::Rm(cfg)
+}
+
+fn ack(ps: usize, w: usize) -> Protocol {
+    rm(ProtocolConfig::new(ProtocolKind::Ack, ps, w))
+}
+
+fn nak(ps: usize, w: usize, poll: usize) -> Protocol {
+    rm(ProtocolConfig::new(ProtocolKind::nak_polling(poll), ps, w))
+}
+
+fn ring(ps: usize, w: usize) -> Protocol {
+    rm(ProtocolConfig::new(ProtocolKind::Ring, ps, w))
+}
+
+fn tree(ps: usize, w: usize, h: usize) -> Protocol {
+    rm(ProtocolConfig::new(ProtocolKind::flat_tree(h), ps, w))
+}
+
+fn bench_points(c: &mut Criterion, group: &str, points: Vec<(String, Protocol, u16, usize)>) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, protocol, n, msg) in points {
+        let sc = bench_scenario(protocol, n, msg);
+        headline(&format!("{group}/{name}"), &run_once(&sc));
+        g.bench_with_input(BenchmarkId::from_parameter(&name), &sc, |b, sc| {
+            b.iter(|| sc.run(1))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8: TCP vs ACK multicast at 1 / 15 / 30 receivers.
+fn fig08(c: &mut Criterion) {
+    let mut points = Vec::new();
+    for n in [1u16, 15, 30] {
+        points.push((
+            format!("tcp/n{n}"),
+            Protocol::SerialUnicast {
+                segment_size: 1448,
+                window: 22,
+            },
+            n,
+            426_502,
+        ));
+        points.push((format!("ack/n{n}"), ack(50_000, 2), n, 426_502));
+    }
+    bench_points(c, "fig08", points);
+}
+
+/// Figure 9: raw UDP vs ACK vs ACK-no-copy at 32 KB.
+fn fig09(c: &mut Criterion) {
+    let mut nocopy = ProtocolConfig::new(ProtocolKind::Ack, 50_000, 2);
+    nocopy.charge_copy = false;
+    bench_points(
+        c,
+        "fig09",
+        vec![
+            (
+                "udp/32k".into(),
+                Protocol::RawUdp { packet_size: 50_000 },
+                30,
+                32_000,
+            ),
+            ("ack/32k".into(), ack(50_000, 2), 30, 32_000),
+            ("ack-nocopy/32k".into(), rm(nocopy), 30, 32_000),
+        ],
+    );
+}
+
+/// Figure 10: ACK window sweep endpoints at two packet sizes.
+fn fig10(c: &mut Criterion) {
+    bench_points(
+        c,
+        "fig10",
+        vec![
+            ("ps500/w1".into(), ack(500, 1), 30, 100_000),
+            ("ps500/w2".into(), ack(500, 2), 30, 100_000),
+            ("ps50000/w2".into(), ack(50_000, 2), 30, 100_000),
+        ],
+    );
+}
+
+/// Figure 11: ACK scalability, small vs large message.
+fn fig11(c: &mut Criterion) {
+    bench_points(
+        c,
+        "fig11",
+        vec![
+            ("1B/n30".into(), ack(50_000, 2), 30, 1),
+            ("4KB/n30".into(), ack(50_000, 2), 30, 4_096),
+            ("500KB/n30".into(), ack(50_000, 2), 30, 500_000),
+        ],
+    );
+}
+
+/// Figure 12: NAK poll-interval extremes.
+fn fig12(c: &mut Criterion) {
+    bench_points(
+        c,
+        "fig12",
+        vec![
+            ("poll1".into(), nak(5_000, 20, 1), 30, 100_000),
+            ("poll16".into(), nak(5_000, 20, 16), 30, 100_000),
+            ("poll20".into(), nak(5_000, 20, 20), 30, 100_000),
+        ],
+    );
+}
+
+/// Figure 13: NAK buffer-size extremes.
+fn fig13(c: &mut Criterion) {
+    bench_points(
+        c,
+        "fig13",
+        vec![
+            ("buf50k/ps8000".into(), nak(8_000, 6, 5), 30, 100_000),
+            ("buf400k/ps8000".into(), nak(8_000, 50, 41), 30, 100_000),
+        ],
+    );
+}
+
+/// Figure 14: NAK scalability.
+fn fig14(c: &mut Criterion) {
+    bench_points(
+        c,
+        "fig14",
+        vec![
+            ("n1".into(), nak(8_000, 25, 21), 1, 100_000),
+            ("n30".into(), nak(8_000, 25, 21), 30, 100_000),
+        ],
+    );
+}
+
+/// Figure 15: ring packet-size extremes.
+fn fig15(c: &mut Criterion) {
+    bench_points(
+        c,
+        "fig15",
+        vec![
+            ("ps8000".into(), ring(8_000, 35), 30, 200_000),
+            ("ps50000".into(), ring(50_000, 35), 30, 200_000),
+        ],
+    );
+}
+
+/// Figure 16: ring window extremes.
+fn fig16(c: &mut Criterion) {
+    bench_points(
+        c,
+        "fig16",
+        vec![
+            ("w40".into(), ring(8_000, 40), 30, 200_000),
+            ("w100".into(), ring(8_000, 100), 30, 200_000),
+        ],
+    );
+}
+
+/// Figure 17: ring scalability.
+fn fig17(c: &mut Criterion) {
+    bench_points(
+        c,
+        "fig17",
+        vec![
+            ("n1".into(), ring(8_000, 50), 1, 200_000),
+            ("n30".into(), ring(8_000, 50), 30, 200_000),
+        ],
+    );
+}
+
+/// Figure 18: tree-height sweep endpoints.
+fn fig18(c: &mut Criterion) {
+    bench_points(
+        c,
+        "fig18",
+        vec![
+            ("h1".into(), tree(8_000, 20, 1), 30, 100_000),
+            ("h6".into(), tree(8_000, 20, 6), 30, 100_000),
+            ("h30".into(), tree(8_000, 20, 30), 30, 100_000),
+        ],
+    );
+}
+
+/// Figure 19: tree window extremes at two heights.
+fn fig19(c: &mut Criterion) {
+    bench_points(
+        c,
+        "fig19",
+        vec![
+            ("h2/w2".into(), tree(8_000, 2, 2), 30, 100_000),
+            ("h30/w2".into(), tree(8_000, 2, 30), 30, 100_000),
+            ("h30/w20".into(), tree(8_000, 20, 30), 30, 100_000),
+        ],
+    );
+}
+
+/// Figure 20: tree small messages.
+fn fig20(c: &mut Criterion) {
+    bench_points(
+        c,
+        "fig20",
+        vec![
+            ("1B/h1".into(), tree(8_000, 20, 1), 30, 1),
+            ("1B/h15".into(), tree(8_000, 20, 15), 30, 1),
+            ("1B/h30".into(), tree(8_000, 20, 30), 30, 1),
+        ],
+    );
+}
+
+/// Figure 21: tree H=6 window x packet extremes.
+fn fig21(c: &mut Criterion) {
+    bench_points(
+        c,
+        "fig21",
+        vec![
+            ("ps1300/w10".into(), tree(1_300, 10, 6), 30, 100_000),
+            ("ps8000/w10".into(), tree(8_000, 10, 6), 30, 100_000),
+            ("ps50000/w10".into(), tree(50_000, 10, 6), 30, 100_000),
+        ],
+    );
+}
+
+criterion_group!(
+    figures, fig08, fig09, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig19,
+    fig20, fig21
+);
+criterion_main!(figures);

@@ -1,0 +1,97 @@
+//! Bench groups for the paper's Tables 1–3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rm_bench::{bench_scenario, headline, run_once};
+use rmcast::{ProtocolConfig, ProtocolKind};
+use simrun::scenario::Protocol;
+
+/// Table 3's five best-configuration contenders at bench scale (500 KB
+/// instead of 2 MB; same ordering).
+fn table3_contenders() -> Vec<(&'static str, Protocol)> {
+    vec![
+        (
+            "ack",
+            Protocol::Rm(ProtocolConfig::new(ProtocolKind::Ack, 50_000, 5)),
+        ),
+        (
+            "nak",
+            Protocol::Rm(ProtocolConfig::new(ProtocolKind::nak_polling(43), 8_000, 50)),
+        ),
+        (
+            "ring",
+            Protocol::Rm(ProtocolConfig::new(ProtocolKind::Ring, 8_000, 50)),
+        ),
+        (
+            "tree-h6",
+            Protocol::Rm(ProtocolConfig::new(ProtocolKind::flat_tree(6), 8_000, 20)),
+        ),
+        (
+            "tree-h15",
+            Protocol::Rm(ProtocolConfig::new(ProtocolKind::flat_tree(15), 8_000, 20)),
+        ),
+    ]
+}
+
+/// Table 1: memory/peak-buffer measurement runs.
+fn table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, p) in table3_contenders() {
+        let sc = bench_scenario(p, 30, 100_000);
+        let r = run_once(&sc);
+        eprintln!(
+            "[table1/{name}] sender_peak={}B recv_peak={}B",
+            r.sender_stats.peak_buffer_bytes,
+            r.receiver_stats
+                .iter()
+                .map(|s| s.peak_buffer_bytes)
+                .max()
+                .unwrap_or(0)
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sc, |b, sc| {
+            b.iter(|| sc.run(1))
+        });
+    }
+    g.finish();
+}
+
+/// Table 2: control-packet ratio measurement runs.
+fn table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, p) in table3_contenders() {
+        let sc = bench_scenario(p, 30, 100_000);
+        let r = run_once(&sc);
+        eprintln!(
+            "[table2/{name}] control/data at sender = {:.2}",
+            r.sender_stats.control_per_data_packet()
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sc, |b, sc| {
+            b.iter(|| sc.run(1))
+        });
+    }
+    g.finish();
+}
+
+/// Table 3: the headline throughput comparison.
+fn table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, p) in table3_contenders() {
+        let sc = bench_scenario(p, 30, 500_000);
+        headline(&format!("table3/{name}"), &run_once(&sc));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sc, |b, sc| {
+            b.iter(|| sc.run(1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(tables, table1, table2, table3);
+criterion_main!(tables);

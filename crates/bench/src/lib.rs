@@ -1,0 +1,32 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each Criterion bench group corresponds to one paper artifact and
+//! measures the wall time of regenerating a representative slice of it
+//! through the simulator. The *simulated* results themselves (the numbers
+//! the paper reports) are produced by `simrun`'s `experiments` binary;
+//! running `cargo bench` additionally prints each artifact's headline
+//! measurement so bench logs double as a results record.
+
+use simrun::scenario::{Protocol, Scenario};
+use simrun::RunResult;
+
+/// A single-seed scenario sized for benchmarking (smaller message than the
+/// paper's 2 MB so `cargo bench --workspace` stays fast, same shapes).
+pub fn bench_scenario(protocol: Protocol, n_receivers: u16, msg_size: usize) -> Scenario {
+    let mut sc = Scenario::new(protocol, n_receivers, msg_size);
+    sc.seeds = vec![1];
+    sc
+}
+
+/// Run once with seed 1 and return the result.
+pub fn run_once(sc: &Scenario) -> RunResult {
+    sc.run(1)
+}
+
+/// Print a headline line for bench logs.
+pub fn headline(tag: &str, r: &RunResult) {
+    eprintln!(
+        "[{}] time={} throughput={:.1}Mbps acks@sender={} retx={}",
+        tag, r.comm_time, r.throughput_mbps, r.sender_stats.acks_received, r.sender_stats.retx_sent
+    );
+}

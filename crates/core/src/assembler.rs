@@ -1,0 +1,275 @@
+//! Receiver-side reassembly of a message from data packets.
+//!
+//! Under Go-Back-N only the in-order packet is accepted; under selective
+//! repeat, packets within the receive window are buffered out of order.
+//! When the buffer-allocation handshake ran, the message length is known
+//! up front and the buffer is pre-allocated (the paper's §4 *Buffer
+//! management*); baselines without the handshake grow the buffer as
+//! in-order data arrives.
+
+use crate::config::WindowDiscipline;
+use bytes::Bytes;
+
+/// Result of offering one data packet to the assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// Accepted and the contiguous prefix advanced.
+    InOrder,
+    /// Accepted out of order and buffered (selective repeat only).
+    Buffered,
+    /// Already had it.
+    Duplicate,
+    /// Rejected: a gap under Go-Back-N, or outside the selective-repeat
+    /// window.
+    Rejected,
+}
+
+/// Reassembles one transfer's payload.
+#[derive(Debug)]
+pub struct Assembly {
+    discipline: WindowDiscipline,
+    packet_size: usize,
+    /// Total packet count, known from the allocation handshake or learned
+    /// from the LAST flag.
+    k: Option<u32>,
+    /// Pre-allocated when the message length is known.
+    preallocated: bool,
+    buf: Vec<u8>,
+    /// Received bitmap (selective repeat).
+    have: Vec<u64>,
+    /// Contiguous prefix: every packet below this has been accepted.
+    next: u32,
+    /// Selective-repeat acceptance window in packets.
+    window: u32,
+}
+
+impl Assembly {
+    /// An assembly that knows the message size up front (handshake ran).
+    pub fn preallocated(
+        msg_len: usize,
+        packet_size: usize,
+        discipline: WindowDiscipline,
+        window: u32,
+    ) -> Self {
+        assert!(packet_size >= 1);
+        let k = (msg_len.div_ceil(packet_size)).max(1) as u32;
+        Assembly {
+            discipline,
+            packet_size,
+            k: Some(k),
+            preallocated: true,
+            buf: vec![0; msg_len],
+            have: vec![0; (k as usize).div_ceil(64)],
+            next: 0,
+            window,
+        }
+    }
+
+    /// An assembly that learns its size from the LAST flag (no handshake);
+    /// Go-Back-N only.
+    pub fn dynamic(packet_size: usize, discipline: WindowDiscipline) -> Self {
+        assert_eq!(
+            discipline,
+            WindowDiscipline::GoBackN,
+            "selective repeat requires the allocation handshake"
+        );
+        Assembly {
+            discipline,
+            packet_size,
+            k: None,
+            preallocated: false,
+            buf: Vec::new(),
+            have: Vec::new(),
+            next: 0,
+            window: 0,
+        }
+    }
+
+    /// Expected packet count, if known yet.
+    pub fn k(&self) -> Option<u32> {
+        self.k
+    }
+
+    /// The contiguous prefix (receiver's `next_expected`).
+    pub fn next_expected(&self) -> u32 {
+        self.next
+    }
+
+    /// `true` once every packet has been accepted.
+    pub fn complete(&self) -> bool {
+        matches!(self.k, Some(k) if self.next == k)
+    }
+
+    /// Bytes currently pinned by this assembly (Table 1 accounting).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn bit(&self, seq: u32) -> bool {
+        self.have
+            .get((seq / 64) as usize)
+            .is_some_and(|w| w & (1 << (seq % 64)) != 0)
+    }
+
+    fn set_bit(&mut self, seq: u32) {
+        let idx = (seq / 64) as usize;
+        if idx >= self.have.len() {
+            self.have.resize(idx + 1, 0);
+        }
+        self.have[idx] |= 1 << (seq % 64);
+    }
+
+    /// Offer packet `seq` with payload `chunk`; `last` is the LAST flag.
+    pub fn offer(&mut self, seq: u32, chunk: &[u8], last: bool) -> Offer {
+        if last {
+            match self.k {
+                None => self.k = Some(seq + 1),
+                Some(k) => debug_assert_eq!(k, seq + 1, "inconsistent LAST flag"),
+            }
+        }
+        if seq < self.next {
+            return Offer::Duplicate;
+        }
+        match self.discipline {
+            WindowDiscipline::GoBackN => {
+                if seq != self.next || !self.fits(seq, chunk) {
+                    return Offer::Rejected;
+                }
+                self.store(seq, chunk);
+                self.next += 1;
+                Offer::InOrder
+            }
+            WindowDiscipline::SelectiveRepeat => {
+                if seq >= self.next + self.window || !self.fits(seq, chunk) {
+                    return Offer::Rejected;
+                }
+                if self.bit(seq) {
+                    return Offer::Duplicate;
+                }
+                self.store(seq, chunk);
+                self.set_bit(seq);
+                if seq == self.next {
+                    while self.bit(self.next) {
+                        self.next += 1;
+                    }
+                    Offer::InOrder
+                } else {
+                    Offer::Buffered
+                }
+            }
+        }
+    }
+
+    /// Does packet `seq` with this payload fit the allocation? A mismatch
+    /// means a corrupt or forged packet (or allocation announcement):
+    /// network input, so it must be rejectable, never a panic.
+    fn fits(&self, seq: u32, chunk: &[u8]) -> bool {
+        if !self.preallocated {
+            return true; // dynamic assembly grows
+        }
+        let Some(off) = (seq as usize).checked_mul(self.packet_size) else {
+            return false;
+        };
+        off.checked_add(chunk.len()).is_some_and(|end| end <= self.buf.len())
+    }
+
+    fn store(&mut self, seq: u32, chunk: &[u8]) {
+        if self.preallocated {
+            let off = seq as usize * self.packet_size;
+            let end = off + chunk.len();
+            debug_assert!(end <= self.buf.len(), "offer() checked fits()");
+            self.buf[off..end].copy_from_slice(chunk);
+        } else {
+            debug_assert_eq!(seq, self.next, "dynamic assembly is in-order only");
+            self.buf.extend_from_slice(chunk);
+        }
+    }
+
+    /// Consume the assembly, yielding the message payload. Panics if
+    /// incomplete.
+    pub fn into_bytes(self) -> Bytes {
+        assert!(self.complete(), "assembly incomplete");
+        Bytes::from(self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbn_in_order_only() {
+        let mut a = Assembly::preallocated(10, 4, WindowDiscipline::GoBackN, 8);
+        assert_eq!(a.k(), Some(3));
+        assert_eq!(a.offer(1, b"xxxx", false), Offer::Rejected);
+        assert_eq!(a.offer(0, b"aaaa", false), Offer::InOrder);
+        assert_eq!(a.offer(0, b"aaaa", false), Offer::Duplicate);
+        assert_eq!(a.offer(1, b"bbbb", false), Offer::InOrder);
+        assert!(!a.complete());
+        assert_eq!(a.offer(2, b"cc", true), Offer::InOrder);
+        assert!(a.complete());
+        assert_eq!(&a.into_bytes()[..], b"aaaabbbbcc");
+    }
+
+    #[test]
+    fn sr_buffers_out_of_order() {
+        let mut a = Assembly::preallocated(12, 4, WindowDiscipline::SelectiveRepeat, 8);
+        assert_eq!(a.offer(2, b"cccc", true), Offer::Buffered);
+        assert_eq!(a.offer(2, b"cccc", true), Offer::Duplicate);
+        assert_eq!(a.offer(0, b"aaaa", false), Offer::InOrder);
+        assert_eq!(a.next_expected(), 1);
+        assert_eq!(a.offer(1, b"bbbb", false), Offer::InOrder);
+        assert_eq!(a.next_expected(), 3, "prefix jumps over buffered packet");
+        assert!(a.complete());
+        assert_eq!(&a.into_bytes()[..], b"aaaabbbbcccc");
+    }
+
+    #[test]
+    fn sr_window_bound() {
+        let mut a = Assembly::preallocated(400, 4, WindowDiscipline::SelectiveRepeat, 2);
+        assert_eq!(a.offer(2, b"xxxx", false), Offer::Rejected);
+        assert_eq!(a.offer(1, b"bbbb", false), Offer::Buffered);
+        assert_eq!(a.offer(0, b"aaaa", false), Offer::InOrder);
+        assert_eq!(a.next_expected(), 2);
+        assert_eq!(a.offer(3, b"dddd", false), Offer::Buffered);
+    }
+
+    #[test]
+    fn dynamic_learns_k_from_last() {
+        let mut a = Assembly::dynamic(4, WindowDiscipline::GoBackN);
+        assert_eq!(a.k(), None);
+        assert_eq!(a.offer(0, b"aaaa", false), Offer::InOrder);
+        assert!(!a.complete());
+        assert_eq!(a.offer(1, b"bb", true), Offer::InOrder);
+        assert_eq!(a.k(), Some(2));
+        assert!(a.complete());
+        assert_eq!(&a.into_bytes()[..], b"aaaabb");
+    }
+
+    #[test]
+    fn empty_message_is_one_packet() {
+        let mut a = Assembly::preallocated(0, 500, WindowDiscipline::GoBackN, 4);
+        assert_eq!(a.k(), Some(1));
+        assert_eq!(a.offer(0, b"", true), Offer::InOrder);
+        assert!(a.complete());
+        assert_eq!(a.into_bytes().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "selective repeat requires")]
+    fn dynamic_sr_rejected() {
+        let _ = Assembly::dynamic(4, WindowDiscipline::SelectiveRepeat);
+    }
+
+    #[test]
+    fn oversized_chunk_rejected_not_panicking() {
+        let mut a = Assembly::preallocated(10, 4, WindowDiscipline::GoBackN, 8);
+        assert_eq!(a.offer(0, b"aaaa", false), Offer::InOrder);
+        assert_eq!(a.offer(1, b"aaaa", false), Offer::InOrder);
+        // Tail packet may carry at most 2 bytes (10 - 8): an oversized
+        // chunk is hostile/corrupt network input and must be rejected.
+        assert_eq!(a.offer(2, b"aaaa", true), Offer::Rejected);
+        assert_eq!(a.offer(2, b"aa", true), Offer::InOrder);
+        assert!(a.complete());
+    }
+}

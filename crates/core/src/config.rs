@@ -1,0 +1,275 @@
+//! Protocol selection and tuning parameters.
+
+use rmwire::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Which reliable multicast protocol family to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Every receiver acknowledges every data packet.
+    Ack,
+    /// Receivers NAK gaps; every `poll_interval`-th packet (and the last)
+    /// must be acknowledged.
+    NakPolling {
+        /// Packets between POLL flags (`1` degenerates to ACK-based).
+        poll_interval: usize,
+        /// When `true`, receivers delay NAKs randomly and multicast them so
+        /// other receivers can suppress duplicates (the scheme of
+        /// Pingali's thesis, cited as \[16\]); when `false`, NAKs go
+        /// straight to the sender, which suppresses duplicate
+        /// retransmissions (the paper's implementation).
+        receiver_multicast_nak: bool,
+    },
+    /// Rotating token site: packet `p` is acknowledged by receiver
+    /// `p mod N`; the last packet by everyone; NAKs go to the sender.
+    Ring,
+    /// Acknowledgments aggregate up a logical tree; the sender performs all
+    /// retransmissions (the paper's LAN adaptation).
+    Tree {
+        /// Shape of the logical structure.
+        shape: TreeShape,
+    },
+}
+
+impl ProtocolKind {
+    /// The paper's NAK-based protocol: sender-side suppression only.
+    pub fn nak_polling(poll_interval: usize) -> ProtocolKind {
+        ProtocolKind::NakPolling {
+            poll_interval,
+            receiver_multicast_nak: false,
+        }
+    }
+
+    /// A flat tree of the given height.
+    pub fn flat_tree(height: usize) -> ProtocolKind {
+        ProtocolKind::Tree {
+            shape: TreeShape::Flat { height },
+        }
+    }
+
+    /// Short lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Ack => "ack",
+            ProtocolKind::NakPolling { .. } => "nak",
+            ProtocolKind::Ring => "ring",
+            ProtocolKind::Tree {
+                shape: TreeShape::Flat { .. },
+            } => "tree-flat",
+            ProtocolKind::Tree {
+                shape: TreeShape::Binary,
+            } => "tree-binary",
+        }
+    }
+}
+
+/// Logical structure imposed on the receiver set by the tree protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeShape {
+    /// The paper's flat tree: `ceil(N/H)` chains of `H` receivers each;
+    /// chain heads report to the sender, every other node to the node
+    /// before it in the chain. `H = 1` is exactly the ACK protocol;
+    /// `H = N` is a single chain.
+    Flat {
+        /// Chain length (tree height).
+        height: usize,
+    },
+    /// A binary tree (Figure 4): receiver 1 is the root reporting to the
+    /// sender; receiver `r` reports to receiver `r / 2`. Included as the
+    /// structure the paper argues *against* for LANs.
+    Binary,
+}
+
+/// Go-Back-N versus selective repeat (paper §4 *Flow control* argues they
+/// tie on error-free LANs; `bench`'s ablation checks it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WindowDiscipline {
+    /// Retransmit everything from the lost packet onward; receivers drop
+    /// out-of-order packets.
+    #[default]
+    GoBackN,
+    /// Retransmit only what was lost; receivers buffer out-of-order
+    /// packets inside the window.
+    SelectiveRepeat,
+}
+
+/// Full configuration of one protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Protocol family and its family-specific parameters.
+    pub kind: ProtocolKind,
+    /// Application data bytes per packet (the paper's "packet size").
+    pub packet_size: usize,
+    /// Sender window size in packets (the paper's "window size"; total
+    /// protocol buffer = `packet_size * window`).
+    pub window: usize,
+    /// Retransmission timeout for the oldest unacknowledged packet.
+    pub rto: Duration,
+    /// Minimum spacing between retransmissions of the same packet (the
+    /// paper's sender-side suppression: "a retransmission will happen only
+    /// after a designated period of time has passed since the previous
+    /// transmission").
+    pub retx_suppress: Duration,
+    /// Minimum spacing between NAKs sent by one receiver for one transfer.
+    pub nak_suppress: Duration,
+    /// Go-Back-N or selective repeat.
+    pub discipline: WindowDiscipline,
+    /// Perform the two-round-trip buffer-allocation handshake before data
+    /// (paper §4 *Buffer management*). Baselines switch it off.
+    pub handshake: bool,
+    /// Model the user-space copy of payload into the protocol buffer.
+    /// Figure 9's "ACK-based without copy" (an *incorrect* protocol kept
+    /// for comparison) sets this to `false`.
+    pub charge_copy: bool,
+    /// Retransmissions triggered by a NAK go unicast to the NAKing
+    /// receiver instead of multicast to the group (paper §3, first bullet:
+    /// multicast retransmission "may introduce extra CPU overhead for
+    /// unintended receivers"). Timeout-driven retransmissions stay
+    /// multicast (the sender does not know who is missing what).
+    pub unicast_retx_on_nak: bool,
+    /// Rate-based flow control (paper §3: "flow control can either be
+    /// rate-based or window-based"): when set, fresh data packets are
+    /// paced to at most this many payload bytes per second, on top of the
+    /// window.
+    pub rate_limit_bytes_per_sec: Option<u64>,
+    /// Receiver-driven retransmission timers (paper §3, ACK-based
+    /// variations): when set, a receiver whose transfer stalls for this
+    /// long re-sends a NAK for its next expected packet — covering the
+    /// lost-LAST-packet case without waiting for the sender's RTO.
+    pub receiver_nak_timer: Option<Duration>,
+    /// Pipeline the allocation handshake: run the *next* queued message's
+    /// allocation round trip concurrently with the current message's data
+    /// transfer, hiding one of the paper's "at least two round trips"
+    /// behind useful work. Off reproduces the paper exactly.
+    pub pipeline_handshake: bool,
+}
+
+impl ProtocolConfig {
+    /// A configuration with the defaults the paper uses implicitly:
+    /// Go-Back-N, handshake on, copy modelled, LAN-scale timers.
+    pub fn new(kind: ProtocolKind, packet_size: usize, window: usize) -> Self {
+        ProtocolConfig {
+            kind,
+            packet_size,
+            window,
+            rto: Duration::from_millis(120),
+            retx_suppress: Duration::from_millis(8),
+            nak_suppress: Duration::from_millis(4),
+            discipline: WindowDiscipline::GoBackN,
+            handshake: true,
+            charge_copy: true,
+            unicast_retx_on_nak: false,
+            rate_limit_bytes_per_sec: None,
+            receiver_nak_timer: None,
+            pipeline_handshake: false,
+        }
+    }
+
+    /// Validate against a group of `n_receivers`, panicking with a precise
+    /// message on any inconsistency. Call once before building endpoints.
+    pub fn validate(&self, n_receivers: usize) {
+        assert!(n_receivers >= 1, "need at least one receiver");
+        assert!(self.packet_size >= 1, "packet size must be >= 1 byte");
+        assert!(
+            self.packet_size <= 65_000,
+            "packet size {} exceeds what a UDP datagram can carry",
+            self.packet_size
+        );
+        assert!(self.window >= 1, "window must hold at least one packet");
+        if let Some(r) = self.rate_limit_bytes_per_sec {
+            assert!(r > 0, "rate limit must be positive");
+        }
+        if let Some(t) = self.receiver_nak_timer {
+            assert!(
+                t > Duration::ZERO && t.as_nanos() >= self.nak_suppress.as_nanos(),
+                "receiver NAK timer must be positive and no shorter than NAK suppression"
+            );
+        }
+        match self.kind {
+            ProtocolKind::NakPolling { poll_interval, .. } => {
+                assert!(poll_interval >= 1, "poll interval must be >= 1");
+                assert!(
+                    poll_interval <= self.window,
+                    "poll interval {} beyond the window {} would deadlock: \
+                     the window fills before any packet is polled",
+                    poll_interval,
+                    self.window
+                );
+            }
+            ProtocolKind::Ring => {
+                assert!(
+                    self.window > n_receivers,
+                    "ring protocol needs window > n_receivers ({} <= {}): an ACK \
+                     for packet X only releases packet X - N",
+                    self.window,
+                    n_receivers
+                );
+            }
+            ProtocolKind::Tree {
+                shape: TreeShape::Flat { height },
+            } => {
+                assert!(height >= 1, "flat tree height must be >= 1");
+                assert!(
+                    height <= n_receivers,
+                    "flat tree height {height} exceeds the {n_receivers} receivers"
+                );
+            }
+            ProtocolKind::Tree {
+                shape: TreeShape::Binary,
+            }
+            | ProtocolKind::Ack => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let k = ProtocolKind::nak_polling(10);
+        assert_eq!(
+            k,
+            ProtocolKind::NakPolling {
+                poll_interval: 10,
+                receiver_multicast_nak: false
+            }
+        );
+        assert_eq!(k.name(), "nak");
+        assert_eq!(ProtocolKind::flat_tree(4).name(), "tree-flat");
+        assert_eq!(ProtocolKind::Ring.name(), "ring");
+    }
+
+    #[test]
+    fn valid_configs_pass() {
+        ProtocolConfig::new(ProtocolKind::Ack, 8000, 2).validate(30);
+        ProtocolConfig::new(ProtocolKind::nak_polling(16), 8000, 20).validate(30);
+        ProtocolConfig::new(ProtocolKind::Ring, 8000, 31).validate(30);
+        ProtocolConfig::new(ProtocolKind::flat_tree(6), 8000, 20).validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "window > n_receivers")]
+    fn ring_window_too_small() {
+        ProtocolConfig::new(ProtocolKind::Ring, 8000, 30).validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "would deadlock")]
+    fn poll_interval_beyond_window() {
+        ProtocolConfig::new(ProtocolKind::nak_polling(21), 8000, 20).validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn tree_taller_than_group() {
+        ProtocolConfig::new(ProtocolKind::flat_tree(31), 8000, 20).validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet size")]
+    fn zero_packet_size() {
+        ProtocolConfig::new(ProtocolKind::Ack, 0, 2).validate(30);
+    }
+}

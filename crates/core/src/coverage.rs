@@ -1,0 +1,199 @@
+//! Release trackers: when may the sender free a packet's buffer?
+//!
+//! All four protocols free a packet only once it is *provably* held by
+//! every receiver, but they prove it differently:
+//!
+//! * ACK / NAK-polling: per-receiver cumulative acknowledgments; packet
+//!   `p` is released when every receiver's `next_expected` exceeds `p`.
+//! * Tree: the same, but per aggregation *root* — a root's cumulative
+//!   acknowledgment covers its whole subtree.
+//! * Ring: packet `p` is acknowledged only by receiver `p mod N`, so an
+//!   in-order prefix of `A` token acknowledgments releases packets below
+//!   `A − N`; the final packet is acknowledged by everyone, which releases
+//!   the rest (the paper's second LAN modification).
+
+use rmwire::Rank;
+
+/// Minimum-of-cumulative-acknowledgments tracker (ACK, NAK, tree).
+///
+/// ```
+/// use rmcast::coverage::PerSourceCoverage;
+///
+/// let mut cov = PerSourceCoverage::new(3);
+/// cov.update(0, 5);
+/// cov.update(1, 4);
+/// assert_eq!(cov.update(2, 6), 4, "slowest source gates the release");
+/// ```
+#[derive(Debug)]
+pub struct PerSourceCoverage {
+    /// `next_expected` reported by each source (receiver or tree root).
+    cov: Vec<u32>,
+}
+
+impl PerSourceCoverage {
+    /// Tracker over `n_sources` acknowledgment sources.
+    pub fn new(n_sources: usize) -> Self {
+        assert!(n_sources >= 1);
+        PerSourceCoverage {
+            cov: vec![0; n_sources],
+        }
+    }
+
+    /// Record a cumulative acknowledgment from source `idx`; stale (lower)
+    /// values are ignored. Returns the new releasable prefix.
+    pub fn update(&mut self, idx: usize, next_expected: u32) -> u32 {
+        let c = &mut self.cov[idx];
+        *c = (*c).max(next_expected);
+        self.released()
+    }
+
+    /// Packets `0..released()` are held by everyone.
+    pub fn released(&self) -> u32 {
+        *self.cov.iter().min().expect("at least one source")
+    }
+}
+
+/// The ring protocol's release tracker.
+///
+/// ```
+/// use rmcast::coverage::RingTracker;
+/// use rmwire::Rank;
+///
+/// // 10 packets, 3 receivers: packet p is acked by receiver (p mod 3) + 1.
+/// let mut ring = RingTracker::new(10, 3);
+/// ring.update(Rank(1), 1);                 // token ack for packet 0
+/// ring.update(Rank(2), 2);                 // packet 1
+/// ring.update(Rank(3), 3);                 // packet 2
+/// assert_eq!(ring.update(Rank(1), 4), 1);  // packet 3 -> releases packet 0
+/// ```
+#[derive(Debug)]
+pub struct RingTracker {
+    n_receivers: u32,
+    k: u32,
+    /// Per-receiver cumulative `next_expected` (from the ACKs each sent on
+    /// its token turns or for the final packet).
+    cov: Vec<u32>,
+    /// Length of the contiguous prefix of packets whose token receiver has
+    /// acknowledged them.
+    token_prefix: u32,
+}
+
+impl RingTracker {
+    /// Tracker for a `k`-packet transfer to `n_receivers` receivers.
+    pub fn new(k: u32, n_receivers: u32) -> Self {
+        assert!(n_receivers >= 1);
+        RingTracker {
+            n_receivers,
+            k,
+            cov: vec![0; n_receivers as usize],
+            token_prefix: 0,
+        }
+    }
+
+    /// The receiver responsible for acknowledging packet `seq`.
+    pub fn token_receiver(seq: u32, n_receivers: u32) -> Rank {
+        Rank::from_receiver_index((seq % n_receivers) as usize)
+    }
+
+    /// Record a cumulative acknowledgment from `rank`; returns the new
+    /// releasable prefix.
+    pub fn update(&mut self, rank: Rank, next_expected: u32) -> u32 {
+        let i = rank.receiver_index();
+        let c = &mut self.cov[i];
+        *c = (*c).max(next_expected);
+        // Advance the token prefix: packet p is token-acknowledged when
+        // receiver (p mod N) reported next_expected > p.
+        while self.token_prefix < self.k {
+            let p = self.token_prefix;
+            let r = (p % self.n_receivers) as usize;
+            if self.cov[r] > p {
+                self.token_prefix += 1;
+            } else {
+                break;
+            }
+        }
+        self.released()
+    }
+
+    /// Packets `0..released()` are provably held by every receiver: an
+    /// acknowledged token packet `X` proves everyone holds `X − N + 1`
+    /// onward... i.e. the prefix minus one ring revolution — except that
+    /// once every receiver acknowledges the end of the transfer,
+    /// everything is released.
+    pub fn released(&self) -> u32 {
+        if self.cov.iter().all(|&c| c >= self.k) {
+            return self.k;
+        }
+        self.token_prefix.saturating_sub(self.n_receivers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_source_min_rules() {
+        let mut c = PerSourceCoverage::new(3);
+        assert_eq!(c.released(), 0);
+        assert_eq!(c.update(0, 5), 0);
+        assert_eq!(c.update(1, 3), 0);
+        assert_eq!(c.update(2, 4), 3);
+        // Stale update ignored.
+        assert_eq!(c.update(0, 1), 3);
+        assert_eq!(c.update(1, 9), 4);
+    }
+
+    #[test]
+    fn token_receiver_rotation() {
+        assert_eq!(RingTracker::token_receiver(0, 5), Rank(1));
+        assert_eq!(RingTracker::token_receiver(4, 5), Rank(5));
+        assert_eq!(RingTracker::token_receiver(5, 5), Rank(1));
+    }
+
+    #[test]
+    fn ring_releases_one_revolution_behind() {
+        // 3 receivers, 10 packets.
+        let mut r = RingTracker::new(10, 3);
+        // Receiver 1 acks packet 0 (next_expected 1): prefix 1, releases 0.
+        assert_eq!(r.update(Rank(1), 1), 0);
+        assert_eq!(r.update(Rank(2), 2), 0);
+        // Receiver 3 acks packet 2: prefix 3, release 3 - 3 = 0.
+        assert_eq!(r.update(Rank(3), 3), 0);
+        // Receiver 1 acks packet 3: prefix 4 -> release packet 0.
+        assert_eq!(r.update(Rank(1), 4), 1);
+        assert_eq!(r.update(Rank(2), 5), 2);
+    }
+
+    #[test]
+    fn ring_out_of_order_acks_fill_prefix() {
+        let mut r = RingTracker::new(10, 3);
+        // Receiver 2's ack arrives before receiver 1's.
+        assert_eq!(r.update(Rank(2), 2), 0);
+        assert_eq!(r.token_prefix, 0, "prefix blocked on packet 0");
+        assert_eq!(r.update(Rank(1), 1), 0);
+        assert_eq!(r.token_prefix, 2, "prefix jumps over the buffered ack");
+    }
+
+    #[test]
+    fn ring_final_ack_from_all_releases_everything() {
+        let mut r = RingTracker::new(4, 3);
+        assert_eq!(r.update(Rank(1), 4), 0);
+        assert_eq!(r.update(Rank(2), 4), 0);
+        // Everyone has acknowledged next_expected = k.
+        assert_eq!(r.update(Rank(3), 4), 4);
+    }
+
+    #[test]
+    fn ring_cumulative_ack_covers_multiple_tokens() {
+        // 2 receivers; receiver 1 acks with next_expected 5, covering its
+        // tokens 0, 2 and 4 at once.
+        let mut r = RingTracker::new(10, 2);
+        assert_eq!(r.update(Rank(1), 5), 0);
+        assert_eq!(r.token_prefix, 1, "blocked on packet 1 (receiver 2)");
+        // Receiver 2's ack covers its tokens 1 and 3; the prefix then runs
+        // through packet 4 (receiver 1's token, already covered by ne=5).
+        assert_eq!(r.update(Rank(2), 4), 3); // prefix 5 -> release 5 - 2
+        assert_eq!(r.token_prefix, 5);
+    }
+}

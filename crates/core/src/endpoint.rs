@@ -1,0 +1,99 @@
+//! The sans-io endpoint interface.
+//!
+//! A protocol engine is driven entirely from outside:
+//!
+//! ```text
+//!            datagram in ─────► handle_datagram
+//!            deadline hit ────► handle_timeout
+//!
+//!            poll_transmit ──► datagrams to put on the wire
+//!            poll_timeout ───► next deadline to call handle_timeout at
+//!            poll_event ─────► application-visible completions
+//! ```
+//!
+//! The driver (simulator host adapter, UDP thread, or the in-process
+//! loopback) owns sockets and clocks; the engine owns all protocol state.
+
+use crate::stats::Stats;
+use bytes::Bytes;
+use rmwire::{Rank, Time};
+
+/// Where a produced datagram should go. The driver maps these onto real
+/// addresses (simulated host/port, UDP socket address, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// Unicast to the group's sender (rank 0).
+    Sender,
+    /// Unicast to one receiver.
+    Rank(Rank),
+    /// Multicast to the receiver group.
+    Receivers,
+}
+
+/// One datagram the engine wants transmitted.
+#[derive(Debug, Clone)]
+pub struct Transmit {
+    /// Destination.
+    pub dest: Dest,
+    /// Full wire payload (header + body).
+    pub payload: Bytes,
+    /// Bytes that were logically copied from the user buffer into the
+    /// protocol buffer to build this packet; the driver charges the
+    /// user-space copy cost for them (zero when the copy is disabled or
+    /// for control packets).
+    pub copied: usize,
+}
+
+/// Application-visible events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppEvent {
+    /// The sender finished a message: every receiver provably holds it and
+    /// all buffers are released.
+    MessageSent {
+        /// Message index (0-based, in submission order).
+        msg_id: u64,
+    },
+    /// A receiver delivered a complete message.
+    MessageDelivered {
+        /// Message index.
+        msg_id: u64,
+        /// The reassembled payload.
+        data: Bytes,
+    },
+}
+
+/// Whether an endpoint is the group's sender or one of its receivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Rank 0.
+    Sender,
+    /// Ranks `1..=N`.
+    Receiver(Rank),
+}
+
+/// The driver-facing face of every protocol engine.
+pub trait Endpoint {
+    /// Feed one received datagram (UDP payload) at local time `now`.
+    fn handle_datagram(&mut self, now: Time, datagram: &[u8]);
+
+    /// Notify that `now >= poll_timeout()`.
+    fn handle_timeout(&mut self, now: Time);
+
+    /// The next instant [`Endpoint::handle_timeout`] must be called, if
+    /// any. Re-query after every other call; deadlines move.
+    fn poll_timeout(&self) -> Option<Time>;
+
+    /// Take the next datagram to transmit, if any. Drivers drain this
+    /// after every `handle_*` call.
+    fn poll_transmit(&mut self) -> Option<Transmit>;
+
+    /// Take the next application event, if any.
+    fn poll_event(&mut self) -> Option<AppEvent>;
+
+    /// Instrumentation counters.
+    fn stats(&self) -> &Stats;
+
+    /// `true` when the endpoint has nothing in flight and nothing queued:
+    /// drivers may use this for quiescence detection.
+    fn is_idle(&self) -> bool;
+}

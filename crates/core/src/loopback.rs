@@ -1,0 +1,303 @@
+//! An in-process test harness: one sender and `N` receivers wired through
+//! an idealized, zero-latency network with optional per-datagram loss.
+//!
+//! The loopback exists to test *protocol logic* (reliability, ordering,
+//! release rules) independently of any timing model — the timing studies
+//! run under `netsim`. Datagrams are delivered instantly; when nothing is
+//! in flight, virtual time jumps to the earliest pending timeout, so
+//! timer-driven recovery is exercised exactly.
+
+use crate::config::ProtocolConfig;
+use crate::endpoint::{AppEvent, Dest, Endpoint, Transmit};
+use crate::receiver::Receiver;
+use crate::sender::Sender;
+use crate::stats::Stats;
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rmwire::{GroupSpec, Rank, Time};
+
+/// The loopback network.
+pub struct Loopback {
+    sender: Sender,
+    receivers: Vec<Receiver>,
+    now: Time,
+    loss: f64,
+    /// Probability that a delivered datagram is held back one round and
+    /// delivered late (out of order), per copy.
+    reorder: f64,
+    /// Datagrams held back by the reorder fault.
+    held: Vec<(usize, Bytes)>,
+    rng: SmallRng,
+    /// Message ids the sender reported complete.
+    pub sent: Vec<u64>,
+    /// `(receiver index, message id, payload)` deliveries in order.
+    pub deliveries: Vec<(usize, u64, Bytes)>,
+}
+
+/// Which endpoint a transmit originated from.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    Sender,
+    Receiver(usize),
+}
+
+impl Loopback {
+    /// Build a loopback group of `n_receivers` receivers running `cfg`.
+    pub fn new(cfg: ProtocolConfig, n_receivers: u16, seed: u64) -> Self {
+        let group = GroupSpec::new(n_receivers);
+        let sender = Sender::new(cfg, group);
+        let receivers = group
+            .receivers()
+            .map(|r| Receiver::new(cfg, group, r, seed.wrapping_add(r.0 as u64)))
+            .collect();
+        Loopback {
+            sender,
+            receivers,
+            now: Time::ZERO,
+            loss: 0.0,
+            reorder: 0.0,
+            held: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            sent: Vec::new(),
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// Drop each delivered datagram copy independently with probability
+    /// `p` (multicast loss is per-receiver, like real IP multicast).
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability out of range");
+        self.loss = p;
+        self
+    }
+
+    /// Hold back each delivered datagram copy with probability `p`,
+    /// delivering it one round later — i.e. out of order relative to its
+    /// successors (real multicast retransmission can reorder like this).
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "probability out of range");
+        self.reorder = p;
+        self
+    }
+
+    /// Queue a message on the sender.
+    pub fn send_message(&mut self, data: Bytes) -> u64 {
+        self.sender.send_message(self.now, data)
+    }
+
+    /// Inject an arbitrary datagram into an endpoint (hostile-input
+    /// testing): `None` targets the sender, `Some(i)` receiver index `i`.
+    pub fn inject(&mut self, target: Option<usize>, payload: &[u8]) {
+        match target {
+            None => self.sender.handle_datagram(self.now, payload),
+            Some(i) => self.receivers[i].handle_datagram(self.now, payload),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The sender's counters.
+    pub fn sender_stats(&self) -> &Stats {
+        self.sender.stats()
+    }
+
+    /// A receiver's counters (0-based index).
+    pub fn receiver_stats(&self, idx: usize) -> &Stats {
+        self.receivers[idx].stats()
+    }
+
+    /// Run to quiescence and return every delivered payload, in delivery
+    /// order (with one message and `N` receivers: `N` entries).
+    ///
+    /// Panics if the protocols fail to converge within a generous virtual
+    /// time bound — that is a reliability bug, and tests want it loud.
+    pub fn run(&mut self) -> Vec<Bytes> {
+        let deadline = Time::from_nanos(600 * 1_000_000_000);
+        let start_deliveries = self.deliveries.len();
+        loop {
+            // 1. Flush transmits until the network is silent.
+            while self.step_transmits() {}
+            self.collect_events();
+            // 2. All quiet: either done, or jump to the next timeout.
+            if self.step_transmits() {
+                continue;
+            }
+            let next_timeout = self
+                .endpoint_timeouts()
+                .into_iter()
+                .flatten()
+                .min();
+            match next_timeout {
+                None => break,
+                Some(t) => {
+                    assert!(
+                        t <= deadline,
+                        "loopback did not converge: timeout chain beyond {deadline}"
+                    );
+                    self.now = self.now.max(t);
+                    let now = self.now;
+                    if self.sender.poll_timeout().is_some_and(|d| d <= now) {
+                        self.sender.handle_timeout(now);
+                    }
+                    for r in &mut self.receivers {
+                        if r.poll_timeout().is_some_and(|d| d <= now) {
+                            r.handle_timeout(now);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            self.sender.is_idle() && self.receivers.iter().all(|r| r.is_idle()),
+            "loopback reached quiescence with non-idle endpoints"
+        );
+        self.deliveries[start_deliveries..]
+            .iter()
+            .map(|(_, _, d)| d.clone())
+            .collect()
+    }
+
+    fn endpoint_timeouts(&self) -> Vec<Option<Time>> {
+        let mut v = vec![self.sender.poll_timeout()];
+        v.extend(self.receivers.iter().map(|r| r.poll_timeout()));
+        v
+    }
+
+    /// Drain one round of transmits from every endpoint and deliver them.
+    /// Returns `true` if anything moved.
+    fn step_transmits(&mut self) -> bool {
+        // Release datagrams the reorder fault held back last round.
+        let held = std::mem::take(&mut self.held);
+        let released = !held.is_empty();
+        for (idx, payload) in held {
+            let now = self.now;
+            if idx == usize::MAX {
+                self.sender.handle_datagram(now, &payload);
+            } else {
+                self.receivers[idx].handle_datagram(now, &payload);
+            }
+        }
+
+        let mut flights: Vec<(Origin, Transmit)> = Vec::new();
+        while let Some(t) = self.sender.poll_transmit() {
+            flights.push((Origin::Sender, t));
+        }
+        for (i, r) in self.receivers.iter_mut().enumerate() {
+            while let Some(t) = r.poll_transmit() {
+                flights.push((Origin::Receiver(i), t));
+            }
+        }
+        if flights.is_empty() {
+            self.collect_events();
+            return released;
+        }
+        for (origin, t) in flights {
+            match t.dest {
+                Dest::Sender => {
+                    if self.deliver_roll() {
+                        if self.reorder_roll() {
+                            self.held.push((usize::MAX, t.payload.clone()));
+                        } else {
+                            self.sender.handle_datagram(self.now, &t.payload);
+                        }
+                    }
+                }
+                Dest::Rank(rank) => {
+                    let idx = rank.receiver_index();
+                    if origin != Origin::Receiver(idx) && self.deliver_roll() {
+                        if self.reorder_roll() {
+                            self.held.push((idx, t.payload.clone()));
+                        } else {
+                            let now = self.now;
+                            self.receivers[idx].handle_datagram(now, &t.payload);
+                        }
+                    }
+                }
+                Dest::Receivers => {
+                    for i in 0..self.receivers.len() {
+                        if origin == Origin::Receiver(i) {
+                            continue; // no self-delivery of multicast
+                        }
+                        if self.deliver_roll() {
+                            if self.reorder_roll() {
+                                self.held.push((i, t.payload.clone()));
+                            } else {
+                                let now = self.now;
+                                self.receivers[i].handle_datagram(now, &t.payload);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.collect_events();
+        true
+    }
+
+    fn deliver_roll(&mut self) -> bool {
+        self.loss == 0.0 || self.rng.gen::<f64>() >= self.loss
+    }
+
+    fn reorder_roll(&mut self) -> bool {
+        self.reorder > 0.0 && self.rng.gen::<f64>() < self.reorder
+    }
+
+    fn collect_events(&mut self) {
+        while let Some(e) = self.sender.poll_event() {
+            if let AppEvent::MessageSent { msg_id } = e {
+                self.sent.push(msg_id);
+            }
+        }
+        for (i, r) in self.receivers.iter_mut().enumerate() {
+            while let Some(e) = r.poll_event() {
+                if let AppEvent::MessageDelivered { msg_id, data } = e {
+                    self.deliveries.push((i, msg_id, data));
+                }
+            }
+        }
+    }
+
+    /// The rank of receiver index `i` (convenience for assertions).
+    pub fn rank_of(&self, i: usize) -> Rank {
+        Rank::from_receiver_index(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolKind;
+
+    #[test]
+    fn clean_ack_run_delivers_everywhere() {
+        let cfg = ProtocolConfig::new(ProtocolKind::Ack, 500, 2);
+        let mut net = Loopback::new(cfg, 5, 1);
+        net.send_message(Bytes::from(vec![3u8; 4321]));
+        let out = net.run();
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|d| d.len() == 4321 && d.iter().all(|&b| b == 3)));
+        assert_eq!(net.sent, vec![0]);
+        // Clean network: no retransmissions, no naks, no timeouts.
+        assert_eq!(net.sender_stats().retx_sent, 0);
+        assert_eq!(net.sender_stats().naks_received, 0);
+        assert_eq!(net.sender_stats().timeouts, 0);
+    }
+
+    #[test]
+    fn lossy_ack_run_still_reliable() {
+        let cfg = ProtocolConfig::new(ProtocolKind::Ack, 500, 4);
+        let mut net = Loopback::new(cfg, 3, 99).with_loss(0.2);
+        net.send_message(Bytes::from(vec![9u8; 10_000]));
+        let out = net.run();
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|d| d.len() == 10_000));
+        assert!(
+            net.sender_stats().retx_sent > 0,
+            "20% loss must force retransmissions"
+        );
+    }
+}

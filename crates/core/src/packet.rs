@@ -1,0 +1,229 @@
+//! Building and parsing complete protocol datagrams (header + body).
+
+use bytes::{Bytes, BytesMut};
+use rmwire::{
+    AckBody, AllocBody, Header, NakBody, PacketFlags, PacketType, Rank, SeqNo, WireError,
+    HEADER_LEN,
+};
+
+/// A fully parsed incoming packet.
+#[derive(Debug, Clone)]
+pub enum Packet {
+    /// Application data chunk.
+    Data {
+        /// Parsed header.
+        header: Header,
+        /// The data bytes (already detached from the receive buffer).
+        body: Bytes,
+    },
+    /// Buffer-allocation request (a `Data` packet flagged `ALLOC`).
+    Alloc {
+        /// Parsed header.
+        header: Header,
+        /// Allocation body.
+        body: AllocBody,
+    },
+    /// Cumulative acknowledgment.
+    Ack {
+        /// Parsed header.
+        header: Header,
+        /// Acknowledgment body.
+        body: AckBody,
+    },
+    /// Negative acknowledgment.
+    Nak {
+        /// Parsed header.
+        header: Header,
+        /// NAK body.
+        body: NakBody,
+    },
+}
+
+impl Packet {
+    /// Parse a received datagram.
+    pub fn parse(datagram: &[u8]) -> Result<Packet, WireError> {
+        let mut buf = datagram;
+        let header = Header::decode(&mut buf)?;
+        match header.ptype {
+            PacketType::Data => {
+                if header.flags.contains(PacketFlags::ALLOC) {
+                    let body = AllocBody::decode(&mut buf)?;
+                    Ok(Packet::Alloc { header, body })
+                } else {
+                    Ok(Packet::Data {
+                        header,
+                        body: Bytes::copy_from_slice(buf),
+                    })
+                }
+            }
+            PacketType::Ack => {
+                let body = AckBody::decode(&mut buf)?;
+                Ok(Packet::Ack { header, body })
+            }
+            PacketType::Nak => {
+                let body = NakBody::decode(&mut buf)?;
+                Ok(Packet::Nak { header, body })
+            }
+        }
+    }
+
+    /// The parsed header, whichever variant.
+    pub fn header(&self) -> &Header {
+        match self {
+            Packet::Data { header, .. }
+            | Packet::Alloc { header, .. }
+            | Packet::Ack { header, .. }
+            | Packet::Nak { header, .. } => header,
+        }
+    }
+}
+
+/// Encode a data packet.
+pub fn encode_data(
+    src_rank: Rank,
+    transfer: u32,
+    seq: SeqNo,
+    flags: PacketFlags,
+    chunk: &[u8],
+) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + chunk.len());
+    Header {
+        ptype: PacketType::Data,
+        flags,
+        src_rank,
+        transfer,
+        seq,
+    }
+    .encode(&mut buf);
+    buf.extend_from_slice(chunk);
+    buf.freeze()
+}
+
+/// Encode a buffer-allocation request packet.
+pub fn encode_alloc(src_rank: Rank, transfer: u32, flags: PacketFlags, body: AllocBody) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + AllocBody::LEN);
+    Header {
+        ptype: PacketType::Data,
+        flags: flags | PacketFlags::ALLOC,
+        src_rank,
+        transfer,
+        seq: SeqNo::ZERO,
+    }
+    .encode(&mut buf);
+    body.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Encode a cumulative ACK.
+pub fn encode_ack(src_rank: Rank, transfer: u32, next_expected: SeqNo) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + AckBody::LEN);
+    Header {
+        ptype: PacketType::Ack,
+        flags: PacketFlags::EMPTY,
+        src_rank,
+        transfer,
+        seq: next_expected,
+    }
+    .encode(&mut buf);
+    AckBody { next_expected }.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Encode a NAK for the first missing sequence number.
+pub fn encode_nak(src_rank: Rank, transfer: u32, expected: SeqNo) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + NakBody::LEN);
+    Header {
+        ptype: PacketType::Nak,
+        flags: PacketFlags::EMPTY,
+        src_rank,
+        transfer,
+        seq: expected,
+    }
+    .encode(&mut buf);
+    NakBody { expected }.encode(&mut buf);
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_round_trip() {
+        let b = encode_data(
+            Rank(0),
+            5,
+            SeqNo(9),
+            PacketFlags::POLL | PacketFlags::LAST,
+            b"hello",
+        );
+        match Packet::parse(&b).unwrap() {
+            Packet::Data { header, body } => {
+                assert_eq!(header.transfer, 5);
+                assert_eq!(header.seq, SeqNo(9));
+                assert!(header.flags.contains(PacketFlags::POLL));
+                assert!(header.flags.contains(PacketFlags::LAST));
+                assert_eq!(&body[..], b"hello");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alloc_round_trip() {
+        let body = AllocBody {
+            msg_len: 123,
+            data_transfer: 6,
+            packet_size: 500,
+        };
+        let b = encode_alloc(Rank(0), 5, PacketFlags::LAST, body);
+        match Packet::parse(&b).unwrap() {
+            Packet::Alloc { header, body } => {
+                assert!(header.flags.contains(PacketFlags::ALLOC));
+                assert!(header.flags.contains(PacketFlags::LAST));
+                assert_eq!(body.msg_len, 123);
+                assert_eq!(body.data_transfer, 6);
+                assert_eq!(body.packet_size, 500);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ack_and_nak_round_trip() {
+        let a = encode_ack(Rank(3), 7, SeqNo(100));
+        match Packet::parse(&a).unwrap() {
+            Packet::Ack { header, body } => {
+                assert_eq!(header.src_rank, Rank(3));
+                assert_eq!(body.next_expected, SeqNo(100));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let n = encode_nak(Rank(4), 7, SeqNo(55));
+        match Packet::parse(&n).unwrap() {
+            Packet::Nak { header, body } => {
+                assert_eq!(header.src_rank, Rank(4));
+                assert_eq!(body.expected, SeqNo(55));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Packet::parse(&[]).is_err());
+        assert!(Packet::parse(&[0xff; 20]).is_err());
+        // Valid header but truncated ACK body.
+        let full = encode_ack(Rank(1), 1, SeqNo(1));
+        assert!(Packet::parse(&full[..HEADER_LEN + 1]).is_err());
+    }
+
+    #[test]
+    fn empty_data_packet_allowed() {
+        let b = encode_data(Rank(0), 0, SeqNo(0), PacketFlags::LAST, b"");
+        match Packet::parse(&b).unwrap() {
+            Packet::Data { body, .. } => assert!(body.is_empty()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,842 @@
+//! The multicast receiver engine.
+//!
+//! All four protocols share reception, reassembly and NAK machinery; they
+//! differ in *when a receiver acknowledges*:
+//!
+//! * **ACK**: a cumulative ACK to the sender for every data packet heard.
+//! * **NAK with polling**: an ACK only for POLL-flagged packets; NAKs on
+//!   gaps (unicast to the sender, or randomly-delayed multicast under the
+//!   suppression variant).
+//! * **Ring**: an ACK only for the packets this receiver is the token
+//!   site of (`seq mod N == rank-1`) — and for the final packet, which
+//!   everyone acknowledges.
+//! * **Tree**: a cumulative ACK to the *parent* carrying the minimum of
+//!   this node's own progress and its children's reported progress; chain
+//!   heads report to the sender.
+
+use crate::assembler::{Assembly, Offer};
+use crate::config::{ProtocolConfig, ProtocolKind};
+use crate::endpoint::{AppEvent, Dest, Endpoint, Transmit};
+use crate::packet::{self, Packet};
+use crate::stats::Stats;
+use crate::tree::{TreeLinks, TreeTopology};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rmwire::{AllocBody, GroupSpec, Header, PacketFlags, Rank, SeqNo, Time};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// How many finished transfers of acknowledgment state to retain for
+/// re-acknowledging retransmissions.
+const RETAIN_TRANSFERS: u32 = 8;
+
+/// Hard bound on tracked transfer states: entries far beyond the live
+/// window (which only forged or wildly corrupt traffic can create) are
+/// evicted beyond this count.
+const MAX_TRACKED: usize = 32;
+
+/// Per-transfer receiver state. The assembly is dropped at delivery; the
+/// acknowledgment state survives so retransmissions of a finished transfer
+/// still get re-acknowledged.
+struct TransferState {
+    /// Own in-order progress (next expected sequence number).
+    own_next: u32,
+    /// Total packets, once known.
+    k: Option<u32>,
+    /// Payload reassembly (data transfers, until delivered).
+    assembly: Option<Assembly>,
+    delivered: bool,
+    /// Tree mode: per-child cumulative coverage.
+    child_cov: Vec<u32>,
+    /// Last cumulative acknowledgment sent toward the sender/parent.
+    sent_up: Option<u32>,
+}
+
+impl TransferState {
+    fn new(is_alloc: bool, n_children: usize) -> Self {
+        TransferState {
+            own_next: 0,
+            k: if is_alloc { Some(1) } else { None },
+            assembly: None,
+            delivered: false,
+            child_cov: vec![0; n_children],
+            sent_up: None,
+        }
+    }
+
+    fn complete(&self) -> bool {
+        matches!(self.k, Some(k) if self.own_next >= k)
+    }
+
+    /// What this node can vouch for: own progress limited by children.
+    fn aggregate(&self) -> u32 {
+        self.child_cov
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.own_next))
+            .min()
+            .expect("iterator never empty")
+    }
+}
+
+/// A NAK waiting out its random delay (receiver-multicast suppression).
+struct PendingNak {
+    transfer: u32,
+    expected: u32,
+    deadline: Time,
+}
+
+/// The receiver endpoint (ranks `1..=N`) of a reliable multicast group.
+pub struct Receiver {
+    cfg: ProtocolConfig,
+    group: GroupSpec,
+    rank: Rank,
+    /// Tree mode: this node's aggregation links and child rank -> slot.
+    links: Option<TreeLinks>,
+    child_slot: HashMap<Rank, usize>,
+    stats: Stats,
+    out: VecDeque<Transmit>,
+    events: VecDeque<AppEvent>,
+    transfers: BTreeMap<u32, TransferState>,
+    max_seen: u32,
+    /// Allocation bodies awaiting their data transfer.
+    alloc_pending: HashMap<u32, AllocBody>,
+    /// Global NAK rate limiting (sender-side-suppression variant).
+    last_nak: Option<Time>,
+    pending_nak: Option<PendingNak>,
+    /// Receiver-driven retransmission timer: when the config enables it,
+    /// this deadline fires a NAK for the oldest stalled transfer.
+    stall_deadline: Option<Time>,
+    rng: SmallRng,
+}
+
+impl Receiver {
+    /// Build the receiver for `rank` within `group`. The `seed` feeds the
+    /// random NAK delay of the multicast-suppression variant.
+    pub fn new(cfg: ProtocolConfig, group: GroupSpec, rank: Rank, seed: u64) -> Self {
+        cfg.validate(group.n_receivers as usize);
+        assert!(!rank.is_sender(), "rank 0 is the sender");
+        assert!(group.contains(rank), "{rank} outside the group");
+        let links = match cfg.kind {
+            ProtocolKind::Tree { shape } => {
+                Some(TreeTopology::new(group, shape).links(rank).clone())
+            }
+            _ => None,
+        };
+        let child_slot = links
+            .as_ref()
+            .map(|l| {
+                l.children
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| (c, i))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Receiver {
+            cfg,
+            group,
+            rank,
+            links,
+            child_slot,
+            stats: Stats::default(),
+            out: VecDeque::new(),
+            events: VecDeque::new(),
+            transfers: BTreeMap::new(),
+            max_seen: 0,
+            alloc_pending: HashMap::new(),
+            last_nak: None,
+            pending_nak: None,
+            stall_deadline: None,
+            rng: SmallRng::seed_from_u64(seed ^ (rank.0 as u64) << 32),
+        }
+    }
+
+    /// The oldest transfer this receiver is still waiting on, with the
+    /// sequence number it needs next: either an incomplete transfer it has
+    /// heard packets of, or a data transfer announced by a completed
+    /// allocation round trip but not yet begun.
+    fn stalled_target(&self) -> Option<(u32, u32)> {
+        let incomplete = self
+            .transfers
+            .iter()
+            .find(|(_, st)| !st.complete())
+            .map(|(&t, st)| (t, st.own_next));
+        let announced = self
+            .alloc_pending
+            .keys()
+            .copied()
+            .filter(|t| !self.transfers.contains_key(t))
+            .min()
+            .map(|t| (t, 0));
+        match (incomplete, announced) {
+            (Some(a), Some(b)) => Some(if a.0 <= b.0 { a } else { b }),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Re-arm (or disarm) the receiver-driven retransmission timer.
+    fn rearm_stall_timer(&mut self, now: Time) {
+        let Some(d) = self.cfg.receiver_nak_timer else {
+            return;
+        };
+        self.stall_deadline = self.stalled_target().map(|_| now + d);
+    }
+
+    /// This receiver's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn n_children(&self) -> usize {
+        self.links.as_ref().map_or(0, |l| l.children.len())
+    }
+
+    fn ensure_state(&mut self, transfer: u32, is_alloc: bool) -> &mut TransferState {
+        let n_children = self.n_children();
+        self.transfers
+            .entry(transfer)
+            .or_insert_with(|| TransferState::new(is_alloc, n_children))
+    }
+
+    /// Advance the pruning horizon — but only along the protocol's
+    /// *sequential* transfer progression. A forged completion with an
+    /// arbitrary transfer id must not be able to prune live state.
+    fn note_completion(&mut self, transfer: u32) {
+        if transfer <= self.max_seen.saturating_add(2) {
+            self.max_seen = self.max_seen.max(transfer);
+        }
+    }
+
+    fn prune(&mut self) {
+        let cutoff = self.max_seen.saturating_sub(RETAIN_TRANSFERS);
+        self.transfers.retain(|&t, _| t >= cutoff);
+        self.alloc_pending.retain(|&t, _| t >= cutoff);
+        // Evict state far beyond the live window when something (hostile
+        // traffic, wild corruption) inflates the maps.
+        let high_water = self.max_seen.saturating_add(RETAIN_TRANSFERS);
+        while self.transfers.len() > MAX_TRACKED {
+            let far = *self.transfers.keys().next_back().expect("non-empty");
+            if far > high_water {
+                self.transfers.remove(&far);
+            } else {
+                break;
+            }
+        }
+        while self.alloc_pending.len() > MAX_TRACKED {
+            let far = *self
+                .alloc_pending
+                .keys()
+                .max()
+                .expect("non-empty");
+            if far > high_water {
+                self.alloc_pending.remove(&far);
+            } else {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    fn on_data(&mut self, now: Time, header: Header, body: DataBody<'_>) {
+        self.stats.data_received += 1;
+        let transfer = header.transfer;
+        let is_alloc = matches!(body, DataBody::Alloc(_));
+        let seq = header.seq.0;
+        let last = header.flags.contains(PacketFlags::LAST);
+
+        // Materialize the assembly lazily for data transfers.
+        let discipline = self.cfg.discipline;
+        let window = self.cfg.window as u32;
+        let packet_size = self.cfg.packet_size;
+        let alloc_body = self.alloc_pending.get(&transfer).copied();
+        let handshake = self.cfg.handshake;
+
+        // With the handshake enabled, data for a transfer whose allocation
+        // round trip we have not completed cannot be sized — and a
+        // legitimate sender never emits it (the allocation must be
+        // acknowledged by everyone first). Discard rather than trust it.
+        if handshake
+            && !is_alloc
+            && alloc_body.is_none()
+            && self
+                .transfers
+                .get(&transfer)
+                .is_none_or(|st| st.assembly.is_none() && !st.delivered)
+        {
+            self.stats.data_discarded += 1;
+            return;
+        }
+
+        let st = self.ensure_state(transfer, is_alloc);
+        if st.assembly.is_none() && !st.delivered && !is_alloc {
+            let assembly = match alloc_body {
+                Some(b) => Assembly::preallocated(
+                    b.msg_len as usize,
+                    b.packet_size as usize,
+                    discipline,
+                    window,
+                ),
+                None => Assembly::dynamic(packet_size, discipline),
+            };
+            st.assembly = Some(assembly);
+        }
+
+        let prev_next = st.own_next;
+        let was_complete = st.complete();
+
+        // Offer the packet.
+        let offer = if is_alloc {
+            if st.own_next == 0 {
+                st.own_next = 1;
+                Offer::InOrder
+            } else {
+                Offer::Duplicate
+            }
+        } else if st.delivered {
+            Offer::Duplicate
+        } else {
+            let chunk = match body {
+                DataBody::Chunk(c) => c,
+                DataBody::Alloc(_) => unreachable!(),
+            };
+            let a = st.assembly.as_mut().expect("assembly materialized above");
+            let o = a.offer(seq, chunk, last);
+            st.own_next = a.next_expected();
+            st.k = a.k();
+            o
+        };
+
+        if matches!(offer, Offer::Duplicate) {
+            self.stats.data_discarded += 1;
+        }
+
+        // Sample buffer occupancy for Table 1.
+        let buffered = self
+            .transfers
+            .get(&transfer)
+            .and_then(|s| s.assembly.as_ref())
+            .map_or(0, |a| a.buffered_bytes());
+        self.stats.sample_buffer(buffered);
+
+        // Record the allocation body for the upcoming data transfer.
+        if let DataBody::Alloc(b) = body {
+            if matches!(offer, Offer::InOrder) {
+                self.alloc_pending.insert(b.data_transfer, b);
+            }
+        }
+
+        // Deliver on completion.
+        let st = self.transfers.get_mut(&transfer).expect("state exists");
+        let became_complete = !was_complete && st.complete();
+        if became_complete {
+            self.note_completion(transfer);
+        }
+        let st = self.transfers.get_mut(&transfer).expect("state exists");
+        if became_complete && !is_alloc && !st.delivered {
+            st.delivered = true;
+            let data = st
+                .assembly
+                .take()
+                .expect("completed data transfer has an assembly")
+                .into_bytes();
+            let msg_id = (transfer / 2) as u64;
+            self.stats.messages_completed += 1;
+            self.events.push_back(AppEvent::MessageDelivered { msg_id, data });
+            // A newly delivered message obsoletes the pending NAK state for
+            // this transfer.
+            if self
+                .pending_nak
+                .as_ref()
+                .is_some_and(|p| p.transfer == transfer)
+            {
+                self.pending_nak = None;
+            }
+        }
+        if became_complete && is_alloc {
+            st.delivered = true;
+        }
+
+        // Acknowledge per protocol policy.
+        self.acknowledge(transfer, header.flags, seq, prev_next, offer);
+
+        // NAK on detected gaps.
+        if matches!(offer, Offer::Rejected) || (matches!(offer, Offer::Buffered) && seq > prev_next)
+        {
+            let expected = self.transfers[&transfer].own_next;
+            self.consider_nak(now, transfer, expected);
+        }
+
+        self.prune();
+        self.rearm_stall_timer(now);
+    }
+
+    /// The per-protocol acknowledgment decision after processing a data
+    /// packet.
+    fn acknowledge(
+        &mut self,
+        transfer: u32,
+        flags: PacketFlags,
+        seq: u32,
+        prev_next: u32,
+        offer: Offer,
+    ) {
+        let st = &self.transfers[&transfer];
+        let next = st.own_next;
+        match self.cfg.kind {
+            ProtocolKind::Ack => {
+                // Cumulative ACK for every packet heard.
+                self.send_ack(Dest::Sender, transfer, next);
+            }
+            ProtocolKind::NakPolling { .. } => {
+                // Polled packets are acknowledged; so are retransmissions:
+                // a retransmission means the sender is stalled waiting for
+                // state it cannot otherwise observe (a gap filled under
+                // selective repeat, or a lost poll response).
+                if flags.contains(PacketFlags::POLL) || flags.contains(PacketFlags::RETX) {
+                    self.send_ack(Dest::Sender, transfer, next);
+                }
+            }
+            ProtocolKind::Ring => {
+                let n = self.group.n_receivers as u32;
+                let idx = self.rank.receiver_index() as u32;
+                let advanced = matches!(offer, Offer::InOrder);
+                // Token packets newly covered by the in-order advance.
+                let newly_token = advanced
+                    && (prev_next..next).any(|p| p % n == idx);
+                // Everyone acknowledges the end of the transfer.
+                let completed_now = advanced && st.complete();
+                // Duplicates of our token packets or of the LAST packet
+                // are re-acknowledged (lost-ACK recovery).
+                let dup_token = matches!(offer, Offer::Duplicate)
+                    && (seq % n == idx || flags.contains(PacketFlags::LAST));
+                if newly_token || completed_now || dup_token {
+                    self.send_ack(Dest::Sender, transfer, next);
+                }
+            }
+            ProtocolKind::Tree { .. } => {
+                let force = matches!(offer, Offer::Duplicate)
+                    && (flags.contains(PacketFlags::LAST) || flags.contains(PacketFlags::RETX));
+                self.send_aggregate(transfer, force);
+            }
+        }
+    }
+
+    /// Tree mode: send the aggregated cumulative ACK upward when it
+    /// advanced (or when `force`d by a retransmitted LAST packet).
+    fn send_aggregate(&mut self, transfer: u32, force: bool) {
+        let st = self.transfers.get_mut(&transfer).expect("state exists");
+        let agg = st.aggregate();
+        let advanced = st.sent_up.is_none_or(|s| agg > s);
+        let should_send = force || (advanced && agg > 0);
+        if !should_send {
+            return;
+        }
+        st.sent_up = Some(agg.max(st.sent_up.unwrap_or(0)));
+        let dest = match self.links.as_ref().and_then(|l| l.parent) {
+            Some(p) => Dest::Rank(p),
+            None => Dest::Sender,
+        };
+        self.send_ack(dest, transfer, agg);
+    }
+
+    fn send_ack(&mut self, dest: Dest, transfer: u32, next_expected: u32) {
+        self.stats.acks_sent += 1;
+        self.out.push_back(Transmit {
+            dest,
+            payload: packet::encode_ack(self.rank, transfer, SeqNo(next_expected)),
+            copied: 0,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // NAKs
+    // ------------------------------------------------------------------
+
+    fn consider_nak(&mut self, now: Time, transfer: u32, expected: u32) {
+        let receiver_multicast = matches!(
+            self.cfg.kind,
+            ProtocolKind::NakPolling {
+                receiver_multicast_nak: true,
+                ..
+            }
+        );
+        if receiver_multicast {
+            if self.pending_nak.is_none() {
+                let delay_ns = self.rng.gen_range(0..=self.cfg.nak_suppress.as_nanos());
+                self.pending_nak = Some(PendingNak {
+                    transfer,
+                    expected,
+                    deadline: now + rmwire::Duration::from_nanos(delay_ns),
+                });
+            } else {
+                self.stats.naks_suppressed += 1;
+            }
+            return;
+        }
+        // Sender-side suppression variant: rate-limit our own NAKs.
+        let ok = self
+            .last_nak
+            .is_none_or(|t| now.saturating_since(t).as_nanos() >= self.cfg.nak_suppress.as_nanos());
+        if ok {
+            self.last_nak = Some(now);
+            self.emit_nak(Dest::Sender, transfer, expected);
+        } else {
+            self.stats.naks_suppressed += 1;
+        }
+    }
+
+    fn emit_nak(&mut self, dest: Dest, transfer: u32, expected: u32) {
+        self.stats.naks_sent += 1;
+        self.out.push_back(Transmit {
+            dest,
+            payload: packet::encode_nak(self.rank, transfer, SeqNo(expected)),
+            copied: 0,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Control packets from peers
+    // ------------------------------------------------------------------
+
+    fn on_peer_ack(&mut self, rank: Rank, transfer: u32, next_expected: u32) {
+        self.stats.acks_received += 1;
+        let Some(&slot) = self.child_slot.get(&rank) else {
+            return; // not one of our tree children; stray
+        };
+        let st = self.ensure_state(transfer, false);
+        st.child_cov[slot] = st.child_cov[slot].max(next_expected);
+        self.send_aggregate(transfer, false);
+    }
+
+    fn on_peer_nak(&mut self, transfer: u32, expected: u32) {
+        self.stats.naks_received += 1;
+        // Multicast NAK overheard: suppress our own pending NAK for the
+        // same (or earlier) gap.
+        if let Some(p) = &self.pending_nak {
+            if p.transfer == transfer && expected <= p.expected {
+                self.pending_nak = None;
+                self.stats.naks_suppressed += 1;
+            }
+        }
+    }
+}
+
+/// Body of a received data-bearing packet.
+enum DataBody<'a> {
+    Chunk(&'a [u8]),
+    Alloc(AllocBody),
+}
+
+impl Endpoint for Receiver {
+    fn handle_datagram(&mut self, now: Time, datagram: &[u8]) {
+        let pkt = match Packet::parse(datagram) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                return;
+            }
+        };
+        match pkt {
+            Packet::Data { header, body } => self.on_data(now, header, DataBody::Chunk(&body)),
+            Packet::Alloc { header, body } => self.on_data(now, header, DataBody::Alloc(body)),
+            Packet::Ack { header, body } => {
+                self.on_peer_ack(header.src_rank, header.transfer, body.next_expected.0)
+            }
+            Packet::Nak { header, body } => {
+                self.on_peer_nak(header.transfer, body.expected.0)
+            }
+        }
+    }
+
+    fn handle_timeout(&mut self, now: Time) {
+        if let Some(p) = self.pending_nak.take() {
+            if p.deadline <= now {
+                // Multicast to the group and unicast to the sender (the
+                // sender is not a group member).
+                self.emit_nak(Dest::Receivers, p.transfer, p.expected);
+                self.emit_nak(Dest::Sender, p.transfer, p.expected);
+            } else {
+                self.pending_nak = Some(p);
+            }
+        }
+        if self.stall_deadline.is_some_and(|d| d <= now) {
+            self.stall_deadline = None;
+            if let Some((transfer, expected)) = self.stalled_target() {
+                self.emit_nak(Dest::Sender, transfer, expected);
+                self.rearm_stall_timer(now);
+            }
+        }
+    }
+
+    fn poll_timeout(&self) -> Option<Time> {
+        match (
+            self.pending_nak.as_ref().map(|p| p.deadline),
+            self.stall_deadline,
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn poll_transmit(&mut self) -> Option<Transmit> {
+        self.out.pop_front()
+    }
+
+    fn poll_event(&mut self) -> Option<AppEvent> {
+        self.events.pop_front()
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn is_idle(&self) -> bool {
+        self.out.is_empty() && self.pending_nak.is_none() && self.stall_deadline.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreeShape;
+    use bytes::Bytes;
+
+    fn cfg(kind: ProtocolKind) -> ProtocolConfig {
+        let mut c = ProtocolConfig::new(kind, 100, 4);
+        c.handshake = false;
+        c
+    }
+
+    fn recv(cfg: ProtocolConfig, n: u16, rank: u16) -> Receiver {
+        Receiver::new(cfg, GroupSpec::new(n), Rank(rank), 42)
+    }
+
+    fn data(transfer: u32, seq: u32, flags: PacketFlags, chunk: &[u8]) -> Bytes {
+        packet::encode_data(Rank::SENDER, transfer, SeqNo(seq), flags, chunk)
+    }
+
+    fn drain(r: &mut Receiver) -> Vec<Transmit> {
+        std::iter::from_fn(|| r.poll_transmit()).collect()
+    }
+
+    fn parse_acks(ts: &[Transmit]) -> Vec<(Dest, u32, u32)> {
+        ts.iter()
+            .filter_map(|t| match Packet::parse(&t.payload).unwrap() {
+                Packet::Ack { header, body } => {
+                    Some((t.dest, header.transfer, body.next_expected.0))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ack_mode_acks_every_packet() {
+        let mut r = recv(cfg(ProtocolKind::Ack), 2, 1);
+        r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa"));
+        r.handle_datagram(Time::ZERO, &data(1, 1, PacketFlags::LAST | PacketFlags::POLL, b"b"));
+        let acks = parse_acks(&drain(&mut r));
+        assert_eq!(acks, vec![(Dest::Sender, 1, 1), (Dest::Sender, 1, 2)]);
+        match r.poll_event().unwrap() {
+            AppEvent::MessageDelivered { msg_id, data } => {
+                assert_eq!(msg_id, 0);
+                assert_eq!(&data[..], b"aab");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn gbn_gap_naks_and_drops() {
+        let mut r = recv(cfg(ProtocolKind::Ack), 2, 1);
+        r.handle_datagram(Time::ZERO, &data(1, 1, PacketFlags::EMPTY, b"bb"));
+        let out = drain(&mut r);
+        // Out-of-order packet: an ACK for the old cumulative point plus a
+        // NAK for the missing packet.
+        let naks: Vec<_> = out
+            .iter()
+            .filter_map(|t| match Packet::parse(&t.payload).unwrap() {
+                Packet::Nak { body, .. } => Some(body.expected.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(naks, vec![0]);
+        assert_eq!(r.stats().naks_sent, 1);
+        // NAK rate limiting.
+        r.handle_datagram(Time::from_nanos(1), &data(1, 2, PacketFlags::EMPTY, b"cc"));
+        assert_eq!(r.stats().naks_suppressed, 1);
+    }
+
+    #[test]
+    fn nak_mode_acks_only_polled() {
+        let mut r = recv(cfg(ProtocolKind::nak_polling(2)), 2, 1);
+        r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa"));
+        assert!(parse_acks(&drain(&mut r)).is_empty());
+        r.handle_datagram(Time::ZERO, &data(1, 1, PacketFlags::POLL, b"bb"));
+        assert_eq!(parse_acks(&drain(&mut r)), vec![(Dest::Sender, 1, 2)]);
+    }
+
+    #[test]
+    fn ring_mode_acks_token_and_last() {
+        // 3 receivers; this is rank 2 (index 1): tokens are seqs 1, 4, ...
+        let mut c = cfg(ProtocolKind::Ring);
+        c.window = 5;
+        let mut r = recv(c, 3, 2);
+        r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa"));
+        assert!(parse_acks(&drain(&mut r)).is_empty(), "not my token");
+        r.handle_datagram(Time::ZERO, &data(1, 1, PacketFlags::EMPTY, b"bb"));
+        assert_eq!(parse_acks(&drain(&mut r)), vec![(Dest::Sender, 1, 2)]);
+        r.handle_datagram(Time::ZERO, &data(1, 2, PacketFlags::LAST, b"cc"));
+        // LAST: everyone acknowledges.
+        assert_eq!(parse_acks(&drain(&mut r)), vec![(Dest::Sender, 1, 3)]);
+    }
+
+    #[test]
+    fn ring_dup_token_reacked() {
+        let mut c = cfg(ProtocolKind::Ring);
+        c.window = 5;
+        let mut r = recv(c, 3, 1); // tokens 0, 3, ...
+        r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa"));
+        let _ = drain(&mut r);
+        r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::RETX, b"aa"));
+        assert_eq!(parse_acks(&drain(&mut r)), vec![(Dest::Sender, 1, 1)]);
+        assert_eq!(r.stats().data_discarded, 1);
+    }
+
+    #[test]
+    fn tree_leaf_acks_to_parent_and_head_aggregates() {
+        let kind = ProtocolKind::Tree {
+            shape: TreeShape::Flat { height: 2 },
+        };
+        // 4 receivers, chains {1,2} and {3,4}.
+        let mut head = recv(cfg(kind), 4, 1);
+        let mut leaf = recv(cfg(kind), 4, 2);
+
+        let pkt = data(1, 0, PacketFlags::LAST | PacketFlags::POLL, b"aa");
+        leaf.handle_datagram(Time::ZERO, &pkt);
+        let leaf_acks = parse_acks(&drain(&mut leaf));
+        assert_eq!(leaf_acks, vec![(Dest::Rank(Rank(1)), 1, 1)]);
+
+        // Head receives the data but must wait for its child.
+        head.handle_datagram(Time::ZERO, &pkt);
+        assert!(parse_acks(&drain(&mut head)).is_empty());
+        // Child's ack arrives: now the head reports to the sender.
+        let ack = packet::encode_ack(Rank(2), 1, SeqNo(1));
+        head.handle_datagram(Time::ZERO, &ack);
+        assert_eq!(parse_acks(&drain(&mut head)), vec![(Dest::Sender, 1, 1)]);
+    }
+
+    #[test]
+    fn tree_child_ack_before_own_data() {
+        let kind = ProtocolKind::Tree {
+            shape: TreeShape::Flat { height: 2 },
+        };
+        let mut head = recv(cfg(kind), 4, 1);
+        // Child ack arrives first (head's copy of the data is still in
+        // flight): nothing to report yet.
+        let ack = packet::encode_ack(Rank(2), 1, SeqNo(1));
+        head.handle_datagram(Time::ZERO, &ack);
+        assert!(parse_acks(&drain(&mut head)).is_empty());
+        // Own data arrives: aggregate becomes 1.
+        head.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::LAST, b"aa"));
+        assert_eq!(parse_acks(&drain(&mut head)), vec![(Dest::Sender, 1, 1)]);
+    }
+
+    #[test]
+    fn alloc_preallocates_and_data_fills() {
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = true;
+        let mut r = recv(c, 1, 1);
+        let alloc = packet::encode_alloc(
+            Rank::SENDER,
+            0,
+            PacketFlags::LAST | PacketFlags::POLL,
+            AllocBody {
+                msg_len: 150,
+                data_transfer: 1,
+                packet_size: 100,
+            },
+        );
+        r.handle_datagram(Time::ZERO, &alloc);
+        assert_eq!(parse_acks(&drain(&mut r)), vec![(Dest::Sender, 0, 1)]);
+        r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, &[9u8; 100]));
+        r.handle_datagram(Time::ZERO, &data(1, 1, PacketFlags::LAST, &[9u8; 50]));
+        let _ = drain(&mut r);
+        match r.poll_event().unwrap() {
+            AppEvent::MessageDelivered { msg_id, data } => {
+                assert_eq!(msg_id, 0);
+                assert_eq!(data.len(), 150);
+                assert!(data.iter().all(|&b| b == 9));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_alloc_reacked_not_redelivered() {
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = true;
+        let mut r = recv(c, 1, 1);
+        let alloc = packet::encode_alloc(
+            Rank::SENDER,
+            0,
+            PacketFlags::LAST,
+            AllocBody {
+                msg_len: 10,
+                data_transfer: 1,
+                packet_size: 100,
+            },
+        );
+        r.handle_datagram(Time::ZERO, &alloc);
+        r.handle_datagram(Time::ZERO, &alloc);
+        let acks = parse_acks(&drain(&mut r));
+        assert_eq!(acks.len(), 2, "dup alloc is re-acked");
+        assert_eq!(r.stats().data_discarded, 1);
+        assert!(r.poll_event().is_none(), "alloc is not an app message");
+    }
+
+    #[test]
+    fn receiver_multicast_nak_delays_and_suppresses() {
+        let kind = ProtocolKind::NakPolling {
+            poll_interval: 2,
+            receiver_multicast_nak: true,
+        };
+        let mut r = recv(cfg(kind), 3, 1);
+        // Gap: schedules a delayed NAK instead of sending.
+        r.handle_datagram(Time::ZERO, &data(1, 1, PacketFlags::EMPTY, b"bb"));
+        assert!(drain(&mut r).is_empty());
+        let deadline = r.poll_timeout().expect("NAK scheduled");
+        // Overhearing another receiver's NAK for the same gap cancels ours.
+        let nak = packet::encode_nak(Rank(2), 1, SeqNo(0));
+        r.handle_datagram(Time::ZERO, &nak);
+        assert!(r.poll_timeout().is_none());
+        assert_eq!(r.stats().naks_suppressed, 1);
+        // A later gap re-schedules; letting it fire emits to group+sender.
+        r.handle_datagram(deadline, &data(1, 2, PacketFlags::EMPTY, b"cc"));
+        let d2 = r.poll_timeout().expect("rescheduled");
+        r.handle_timeout(d2);
+        let out = drain(&mut r);
+        let dests: Vec<_> = out.iter().map(|t| t.dest).collect();
+        assert_eq!(dests, vec![Dest::Receivers, Dest::Sender]);
+        assert_eq!(r.stats().naks_sent, 2);
+    }
+
+    #[test]
+    fn old_transfer_state_pruned() {
+        let mut r = recv(cfg(ProtocolKind::Ack), 1, 1);
+        for t in 0..20u32 {
+            r.handle_datagram(Time::ZERO, &data(2 * t + 1, 0, PacketFlags::LAST, b"x"));
+        }
+        assert!(r.transfers.len() <= (RETAIN_TRANSFERS as usize) + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 0 is the sender")]
+    fn sender_rank_rejected() {
+        let _ = recv(cfg(ProtocolKind::Ack), 2, 0);
+    }
+}

@@ -1,0 +1,907 @@
+//! The multicast sender engine.
+//!
+//! One [`Sender`] implements all four protocol families; they differ only
+//! in which acknowledgments receivers produce (receiver side) and in the
+//! release rule that converts acknowledgments into freed buffers (the
+//! [`crate::coverage`] trackers). Everything else — window flow control,
+//! Go-Back-N retransmission, sender-driven timers, retransmission
+//! suppression, the allocation handshake — is shared, exactly as in the
+//! paper's implementation (§4).
+
+use crate::config::{ProtocolConfig, ProtocolKind, WindowDiscipline};
+use crate::coverage::{PerSourceCoverage, RingTracker};
+use crate::endpoint::{AppEvent, Dest, Endpoint, Transmit};
+use crate::packet::{self, Packet};
+use crate::stats::Stats;
+use crate::tree::TreeTopology;
+use crate::window::SendWindow;
+use bytes::Bytes;
+use rmwire::{AllocBody, Duration, GroupSpec, PacketFlags, Rank, SeqNo, Time};
+use std::collections::VecDeque;
+
+/// Release-rule state, per transfer.
+enum Release {
+    /// Minimum over per-source cumulative acknowledgments (ACK, NAK,
+    /// tree). `src_of_rank[receiver_index]` maps an acknowledging rank to
+    /// its source slot; `None` for ranks whose ACKs the sender never sees
+    /// (non-root tree nodes).
+    PerSource {
+        cov: PerSourceCoverage,
+        src_of_rank: Vec<Option<usize>>,
+    },
+    /// The ring rule.
+    Ring(RingTracker),
+}
+
+impl Release {
+    fn update(&mut self, rank: Rank, next_expected: u32) -> Option<u32> {
+        match self {
+            Release::PerSource { cov, src_of_rank } => src_of_rank[rank.receiver_index()]
+                .map(|idx| cov.update(idx, next_expected)),
+            Release::Ring(r) => Some(r.update(rank, next_expected)),
+        }
+    }
+}
+
+/// What the active transfer carries.
+enum Payload {
+    Alloc(AllocBody),
+    Data(Bytes),
+}
+
+/// One in-flight transfer (the allocation round trip or the data).
+struct Transfer {
+    id: u32,
+    payload: Payload,
+    win: SendWindow,
+    release: Release,
+}
+
+/// Which half of the message the active transfer is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Alloc,
+    Data,
+}
+
+/// Which in-flight transfer an operation addresses: the current message's,
+/// or the next message's pipelined allocation round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Which {
+    Cur,
+    Staged,
+}
+
+/// The next message, staged while the current one is still transferring
+/// (handshake pipelining).
+struct Staged {
+    msg_id: u64,
+    data: Bytes,
+    /// The allocation transfer; `None` once every receiver acknowledged it.
+    alloc: Option<Transfer>,
+}
+
+/// The sender endpoint (rank 0) of a reliable multicast group.
+pub struct Sender {
+    cfg: ProtocolConfig,
+    group: GroupSpec,
+    tree: Option<TreeTopology>,
+    stats: Stats,
+    out: VecDeque<Transmit>,
+    events: VecDeque<AppEvent>,
+    queue: VecDeque<(u64, Bytes)>,
+    /// `(msg_id, payload, phase)` of the message being transferred.
+    cur: Option<(u64, Bytes, Phase)>,
+    next_msg_id: u64,
+    transfer: Option<Transfer>,
+    /// Next message's pipelined allocation (when `pipeline_handshake`).
+    staged: Option<Staged>,
+    /// Rate pacing: the instant the next fresh data packet may enter the
+    /// window (rate-based flow control option).
+    pace_gate: Time,
+}
+
+impl Sender {
+    /// Build a sender for `group` with the given configuration
+    /// (validated here).
+    pub fn new(cfg: ProtocolConfig, group: GroupSpec) -> Self {
+        cfg.validate(group.n_receivers as usize);
+        assert!(
+            cfg.retx_suppress.as_nanos() < cfg.rto.as_nanos(),
+            "retransmission suppression must be shorter than the RTO"
+        );
+        let tree = match cfg.kind {
+            ProtocolKind::Tree { shape } => Some(TreeTopology::new(group, shape)),
+            _ => None,
+        };
+        Sender {
+            cfg,
+            group,
+            tree,
+            stats: Stats::default(),
+            out: VecDeque::new(),
+            events: VecDeque::new(),
+            queue: VecDeque::new(),
+            cur: None,
+            next_msg_id: 0,
+            transfer: None,
+            staged: None,
+            pace_gate: Time::ZERO,
+        }
+    }
+
+    /// The configuration this sender runs.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// Queue a message for reliable multicast; transfers run strictly in
+    /// submission order. Returns the message id.
+    pub fn send_message(&mut self, now: Time, data: Bytes) -> u64 {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.queue.push_back((id, data));
+        self.start_next(now);
+        self.maybe_stage_next(now);
+        id
+    }
+
+    /// Messages accepted but not yet fully acknowledged.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len() + usize::from(self.cur.is_some()) + usize::from(self.staged.is_some())
+    }
+
+    fn start_next(&mut self, now: Time) {
+        if self.cur.is_some() || self.transfer.is_some() {
+            return;
+        }
+        let Some((msg_id, data)) = self.queue.pop_front() else {
+            return;
+        };
+        if self.cfg.handshake {
+            let alloc = AllocBody {
+                msg_len: data.len() as u64,
+                data_transfer: Self::data_transfer_id(msg_id),
+                packet_size: self.cfg.packet_size as u32,
+            };
+            self.cur = Some((msg_id, data, Phase::Alloc));
+            self.begin_transfer(now, Self::alloc_transfer_id(msg_id), Payload::Alloc(alloc), 1);
+        } else {
+            let k = Self::packet_count(data.len(), self.cfg.packet_size);
+            self.cur = Some((msg_id, data.clone(), Phase::Data));
+            self.begin_transfer(now, Self::data_transfer_id(msg_id), Payload::Data(data), k);
+        }
+    }
+
+    /// Transfer id of message `m`'s allocation round trip.
+    pub fn alloc_transfer_id(msg_id: u64) -> u32 {
+        (msg_id as u32) * 2
+    }
+
+    /// Transfer id of message `m`'s data.
+    pub fn data_transfer_id(msg_id: u64) -> u32 {
+        (msg_id as u32) * 2 + 1
+    }
+
+    /// Packets needed for a `len`-byte message at `packet_size`.
+    pub fn packet_count(len: usize, packet_size: usize) -> u32 {
+        (len.div_ceil(packet_size)).max(1) as u32
+    }
+
+    fn make_transfer(&self, id: u32, payload: Payload, k: u32) -> Transfer {
+        let release = self.make_release(k);
+        let win = SendWindow::new(k, self.cfg.window as u32);
+        Transfer {
+            id,
+            payload,
+            win,
+            release,
+        }
+    }
+
+    fn begin_transfer(&mut self, now: Time, id: u32, payload: Payload, k: u32) {
+        self.transfer = Some(self.make_transfer(id, payload, k));
+        self.pump(now);
+    }
+
+    /// Handshake pipelining: launch the next queued message's allocation
+    /// round trip while the current message's data transfer runs.
+    fn maybe_stage_next(&mut self, now: Time) {
+        if !(self.cfg.pipeline_handshake && self.cfg.handshake) {
+            return;
+        }
+        if self.staged.is_some() || !matches!(self.cur, Some((_, _, Phase::Data))) {
+            return;
+        }
+        let Some((msg_id, data)) = self.queue.pop_front() else {
+            return;
+        };
+        let alloc = AllocBody {
+            msg_len: data.len() as u64,
+            data_transfer: Self::data_transfer_id(msg_id),
+            packet_size: self.cfg.packet_size as u32,
+        };
+        let t = self.make_transfer(Self::alloc_transfer_id(msg_id), Payload::Alloc(alloc), 1);
+        self.staged = Some(Staged {
+            msg_id,
+            data,
+            alloc: Some(t),
+        });
+        self.pump(now);
+    }
+
+    fn tref(&self, which: Which) -> Option<&Transfer> {
+        match which {
+            Which::Cur => self.transfer.as_ref(),
+            Which::Staged => self.staged.as_ref().and_then(|s| s.alloc.as_ref()),
+        }
+    }
+
+    fn tmut(&mut self, which: Which) -> Option<&mut Transfer> {
+        match which {
+            Which::Cur => self.transfer.as_mut(),
+            Which::Staged => self.staged.as_mut().and_then(|s| s.alloc.as_mut()),
+        }
+    }
+
+    /// Which in-flight transfer has this id, if any.
+    fn which_by_id(&self, id: u32) -> Option<Which> {
+        if self.transfer.as_ref().is_some_and(|t| t.id == id) {
+            Some(Which::Cur)
+        } else if self
+            .staged
+            .as_ref()
+            .and_then(|s| s.alloc.as_ref())
+            .is_some_and(|t| t.id == id)
+        {
+            Some(Which::Staged)
+        } else {
+            None
+        }
+    }
+
+    fn make_release(&self, k: u32) -> Release {
+        let n = self.group.n_receivers as usize;
+        match self.cfg.kind {
+            ProtocolKind::Ack | ProtocolKind::NakPolling { .. } => Release::PerSource {
+                cov: PerSourceCoverage::new(n),
+                src_of_rank: (0..n).map(Some).collect(),
+            },
+            ProtocolKind::Ring => Release::Ring(RingTracker::new(k, n as u32)),
+            ProtocolKind::Tree { .. } => {
+                let tree = self.tree.as_ref().expect("tree topology built in new()");
+                let mut src_of_rank = vec![None; n];
+                for (idx, &root) in tree.roots().iter().enumerate() {
+                    src_of_rank[root.receiver_index()] = Some(idx);
+                }
+                Release::PerSource {
+                    cov: PerSourceCoverage::new(tree.roots().len()),
+                    src_of_rank,
+                }
+            }
+        }
+    }
+
+    /// Fill the window with fresh packets (respecting the rate pacer when
+    /// rate-based flow control is enabled).
+    fn pump(&mut self, now: Time) {
+        let rate = self.cfg.rate_limit_bytes_per_sec;
+        while let Some(t) = self.transfer.as_mut() {
+            if !t.win.can_send() {
+                break;
+            }
+            if rate.is_some() && self.pace_gate > now {
+                break;
+            }
+            let seq = t.win.mark_sent(now);
+            if let Some(r) = rate {
+                let bytes = self.cfg.packet_size as u64;
+                let ns = bytes.saturating_mul(1_000_000_000) / r;
+                let base = self.pace_gate.max(now);
+                self.pace_gate = base + Duration::from_nanos(ns);
+            }
+            self.emit_data(Which::Cur, seq, false);
+        }
+        // The staged allocation round trip is one tiny packet: exempt from
+        // pacing, never window-limited beyond its single slot.
+        while let Some(t) = self.tmut(Which::Staged) {
+            if !t.win.can_send() {
+                break;
+            }
+            let seq = t.win.mark_sent(now);
+            self.emit_data(Which::Staged, seq, false);
+        }
+        if let Some(t) = &self.transfer {
+            self.stats
+                .sample_buffer(t.win.buffered_bytes(self.cfg.packet_size));
+        }
+    }
+
+    /// The pacing deadline, when the pacer is what is holding the window
+    /// back.
+    fn pace_deadline(&self) -> Option<Time> {
+        self.cfg.rate_limit_bytes_per_sec?;
+        let t = self.transfer.as_ref()?;
+        if t.win.can_send() {
+            Some(self.pace_gate)
+        } else {
+            None
+        }
+    }
+
+    /// Encode and queue data packet `seq` of a transfer, multicast to the
+    /// group.
+    fn emit_data(&mut self, which: Which, seq: u32, retx: bool) {
+        self.emit_data_to(which, seq, retx, Dest::Receivers);
+    }
+
+    /// Encode and queue data packet `seq` toward an explicit destination
+    /// (unicast retransmission option).
+    fn emit_data_to(&mut self, which: Which, seq: u32, retx: bool, dest: Dest) {
+        let (tid, k, payload_src) = {
+            let t = self.tref(which).expect("active transfer");
+            let src = match &t.payload {
+                Payload::Alloc(b) => Err(*b),
+                Payload::Data(m) => Ok(m.clone()),
+            };
+            (t.id, t.win.k(), src)
+        };
+        let mut flags = PacketFlags::EMPTY;
+        if seq + 1 == k {
+            flags |= PacketFlags::LAST;
+        }
+        if retx {
+            flags |= PacketFlags::RETX;
+        }
+        if let ProtocolKind::NakPolling { poll_interval, .. } = self.cfg.kind {
+            let i = poll_interval as u32;
+            if seq % i == i - 1 || seq + 1 == k {
+                flags |= PacketFlags::POLL;
+            }
+        } else {
+            // The other protocols acknowledge by their own rules; POLL is
+            // set for uniformity on the final packet (harmless elsewhere).
+            if seq + 1 == k {
+                flags |= PacketFlags::POLL;
+            }
+        }
+
+        let is_data = payload_src.is_ok();
+        let (payload, copied) = match payload_src {
+            Err(body) => (
+                packet::encode_alloc(Rank::SENDER, tid, flags, body),
+                0usize,
+            ),
+            Ok(msg) => {
+                let ps = self.cfg.packet_size;
+                let start = seq as usize * ps;
+                let end = (start + ps).min(msg.len());
+                let chunk = if start < msg.len() {
+                    &msg[start..end]
+                } else {
+                    &[][..]
+                };
+                let copied = if self.cfg.charge_copy && !retx {
+                    chunk.len()
+                } else {
+                    0
+                };
+                (
+                    packet::encode_data(Rank::SENDER, tid, SeqNo(seq), flags, chunk),
+                    copied,
+                )
+            }
+        };
+
+        if retx {
+            self.stats.retx_sent += 1;
+        } else {
+            self.stats.data_sent += 1;
+            if is_data {
+                self.stats.payload_bytes_sent += (payload.len() - rmwire::HEADER_LEN) as u64;
+                self.stats.user_copy_bytes += copied as u64;
+            }
+        }
+        self.out.push_back(Transmit {
+            dest,
+            payload,
+            copied,
+        });
+    }
+
+    fn on_ack(&mut self, now: Time, rank: Rank, transfer_id: u32, next_expected: u32) {
+        self.stats.acks_received += 1;
+        if rank.is_sender() || !self.group.contains(rank) {
+            return;
+        }
+        let Some(which) = self.which_by_id(transfer_id) else {
+            return;
+        };
+        let t = self.tmut(which).expect("transfer exists");
+        if let Some(released) = t.release.update(rank, next_expected.min(t.win.k())) {
+            t.win.release(released);
+            if t.win.all_released() {
+                match which {
+                    Which::Cur => self.finish_transfer(now),
+                    Which::Staged => {
+                        // The pipelined allocation completed: the data
+                        // transfer starts when the current message ends.
+                        self.staged.as_mut().expect("staged exists").alloc = None;
+                    }
+                }
+            } else {
+                self.pump(now);
+            }
+        }
+    }
+
+    fn on_nak(&mut self, now: Time, rank: Rank, transfer_id: u32, expected: u32) {
+        self.stats.naks_received += 1;
+        if rank.is_sender() || !self.group.contains(rank) {
+            return;
+        }
+        let Some(which) = self.which_by_id(transfer_id) else {
+            return;
+        };
+        let dest = if self.cfg.unicast_retx_on_nak {
+            Dest::Rank(rank)
+        } else {
+            Dest::Receivers
+        };
+        match self.cfg.discipline {
+            WindowDiscipline::GoBackN => self.retransmit_from_to(which, now, expected, dest),
+            WindowDiscipline::SelectiveRepeat => self.retransmit_one_to(which, now, expected, dest),
+        }
+    }
+
+    /// Go-Back-N: retransmit everything outstanding from `from`, subject
+    /// to per-packet suppression (multicast).
+    fn retransmit_from(&mut self, which: Which, now: Time, from: u32) {
+        self.retransmit_from_to(which, now, from, Dest::Receivers);
+    }
+
+    fn retransmit_from_to(&mut self, which: Which, now: Time, from: u32, dest: Dest) {
+        let suppress = self.cfg.retx_suppress;
+        let mut to_send = Vec::new();
+        let mut suppressed = 0u64;
+        {
+            let Some(t) = self.tmut(which) else {
+                return;
+            };
+            let lo = from.max(t.win.base());
+            let hi = t.win.next();
+            for seq in lo..hi {
+                let slot = t.win.slot_mut(seq).expect("outstanding slot");
+                if now.saturating_since(slot.last_tx).as_nanos() >= suppress.as_nanos() {
+                    slot.last_tx = now;
+                    slot.retx += 1;
+                    to_send.push(seq);
+                } else {
+                    suppressed += 1;
+                }
+            }
+        }
+        self.stats.retx_suppressed += suppressed;
+        for seq in to_send {
+            self.emit_data_to(which, seq, true, dest);
+        }
+    }
+
+    fn retransmit_one(&mut self, which: Which, now: Time, seq: u32) {
+        self.retransmit_one_to(which, now, seq, Dest::Receivers);
+    }
+
+    fn retransmit_one_to(&mut self, which: Which, now: Time, seq: u32, dest: Dest) {
+        let suppress = self.cfg.retx_suppress;
+        let send = {
+            let Some(t) = self.tmut(which) else {
+                return;
+            };
+            let Some(slot) = t.win.slot_mut(seq) else {
+                return;
+            };
+            if now.saturating_since(slot.last_tx).as_nanos() >= suppress.as_nanos() {
+                slot.last_tx = now;
+                slot.retx += 1;
+                true
+            } else {
+                false
+            }
+        };
+        if send {
+            self.emit_data_to(which, seq, true, dest);
+        } else {
+            self.stats.retx_suppressed += 1;
+        }
+    }
+
+    fn finish_transfer(&mut self, now: Time) {
+        let t = self.transfer.take().expect("finishing without a transfer");
+        let (msg_id, data, phase) = self.cur.take().expect("transfer without a message");
+        match phase {
+            Phase::Alloc => {
+                let k = Self::packet_count(data.len(), self.cfg.packet_size);
+                self.cur = Some((msg_id, data.clone(), Phase::Data));
+                self.begin_transfer(now, t.id + 1, Payload::Data(data), k);
+                // Data is now flowing: the next message's allocation may
+                // ride alongside it.
+                self.maybe_stage_next(now);
+            }
+            Phase::Data => {
+                self.stats.messages_completed += 1;
+                self.events.push_back(AppEvent::MessageSent { msg_id });
+                if let Some(st) = self.staged.take() {
+                    // Promote the pipelined next message.
+                    match st.alloc {
+                        None => {
+                            // Its allocation already completed: straight to
+                            // data.
+                            let k = Self::packet_count(st.data.len(), self.cfg.packet_size);
+                            self.cur = Some((st.msg_id, st.data.clone(), Phase::Data));
+                            self.begin_transfer(
+                                now,
+                                Self::data_transfer_id(st.msg_id),
+                                Payload::Data(st.data),
+                                k,
+                            );
+                        }
+                        Some(alloc) => {
+                            // Allocation still in flight: it becomes the
+                            // current transfer, window state intact.
+                            self.cur = Some((st.msg_id, st.data, Phase::Alloc));
+                            self.transfer = Some(alloc);
+                        }
+                    }
+                } else {
+                    self.start_next(now);
+                }
+                self.maybe_stage_next(now);
+            }
+        }
+    }
+}
+
+impl Endpoint for Sender {
+    fn handle_datagram(&mut self, now: Time, datagram: &[u8]) {
+        let pkt = match Packet::parse(datagram) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                return;
+            }
+        };
+        match pkt {
+            Packet::Ack { header, body } => {
+                self.on_ack(now, header.src_rank, header.transfer, body.next_expected.0)
+            }
+            Packet::Nak { header, body } => {
+                self.on_nak(now, header.src_rank, header.transfer, body.expected.0)
+            }
+            Packet::Data { .. } | Packet::Alloc { .. } => {
+                // Data flowing toward the sender (e.g. a multicast NAK
+                // variant echo) is not expected; ignore.
+                self.stats.data_discarded += 1;
+            }
+        }
+    }
+
+    fn handle_timeout(&mut self, now: Time) {
+        // Pacing wake-up: just refill the window.
+        if self.pace_deadline().is_some_and(|d| d <= now) {
+            self.pump(now);
+        }
+        for which in [Which::Cur, Which::Staged] {
+            let Some(t) = self.tref(which) else { continue };
+            let deadline = t.win.earliest_deadline(self.cfg.rto);
+            if deadline.is_none_or(|d| d > now) {
+                continue;
+            }
+            self.stats.timeouts += 1;
+            let t = self.tref(which).expect("transfer exists");
+            match self.cfg.discipline {
+                WindowDiscipline::GoBackN => {
+                    let base = t.win.base();
+                    self.retransmit_from(which, now, base);
+                }
+                WindowDiscipline::SelectiveRepeat => {
+                    // Per-packet timers: every expired outstanding packet
+                    // is retransmitted individually.
+                    for seq in t.win.expired(now, self.cfg.rto) {
+                        self.retransmit_one(which, now, seq);
+                    }
+                }
+            }
+        }
+    }
+
+    fn poll_timeout(&self) -> Option<Time> {
+        [
+            self.transfer
+                .as_ref()
+                .and_then(|t| t.win.earliest_deadline(self.cfg.rto)),
+            self.tref(Which::Staged)
+                .and_then(|t| t.win.earliest_deadline(self.cfg.rto)),
+            self.pace_deadline(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    fn poll_transmit(&mut self) -> Option<Transmit> {
+        self.out.pop_front()
+    }
+
+    fn poll_event(&mut self) -> Option<AppEvent> {
+        self.events.pop_front()
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn is_idle(&self) -> bool {
+        self.transfer.is_none()
+            && self.cur.is_none()
+            && self.staged.is_none()
+            && self.queue.is_empty()
+            && self.out.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::encode_ack;
+
+    fn cfg(kind: ProtocolKind) -> ProtocolConfig {
+        ProtocolConfig::new(kind, 100, 4)
+    }
+
+    fn drain(s: &mut Sender) -> Vec<Transmit> {
+        std::iter::from_fn(|| s.poll_transmit()).collect()
+    }
+
+    fn ack(s: &mut Sender, now: Time, rank: Rank, transfer: u32, ne: u32) {
+        let p = encode_ack(rank, transfer, SeqNo(ne));
+        s.handle_datagram(now, &p);
+    }
+
+    #[test]
+    fn handshake_sends_alloc_first() {
+        let mut s = Sender::new(cfg(ProtocolKind::Ack), GroupSpec::new(2));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 350]));
+        let out = drain(&mut s);
+        assert_eq!(out.len(), 1, "only the alloc request until it is acked");
+        match Packet::parse(&out[0].payload).unwrap() {
+            Packet::Alloc { header, body } => {
+                assert_eq!(header.transfer, 0);
+                assert_eq!(body.msg_len, 350);
+                assert_eq!(body.data_transfer, 1);
+                assert_eq!(body.packet_size, 100);
+                assert!(header.flags.contains(PacketFlags::LAST));
+            }
+            other => panic!("expected alloc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_flows_after_alloc_acked() {
+        let mut s = Sender::new(cfg(ProtocolKind::Ack), GroupSpec::new(2));
+        s.send_message(Time::ZERO, Bytes::from(vec![7u8; 350]));
+        let _ = drain(&mut s);
+        ack(&mut s, Time::ZERO, Rank(1), 0, 1);
+        assert!(drain(&mut s).is_empty(), "one ack is not enough");
+        ack(&mut s, Time::ZERO, Rank(2), 0, 1);
+        let out = drain(&mut s);
+        // 350 bytes / 100 = 4 packets, window 4: all in flight.
+        assert_eq!(out.len(), 4);
+        match Packet::parse(&out[3].payload).unwrap() {
+            Packet::Data { header, body } => {
+                assert_eq!(header.transfer, 1);
+                assert_eq!(header.seq, SeqNo(3));
+                assert!(header.flags.contains(PacketFlags::LAST));
+                assert_eq!(body.len(), 50, "tail packet carries the remainder");
+            }
+            other => panic!("expected data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ack_protocol_completes_message() {
+        let mut s = Sender::new(cfg(ProtocolKind::Ack), GroupSpec::new(2));
+        let id = s.send_message(Time::ZERO, Bytes::from(vec![7u8; 350]));
+        assert_eq!(id, 0);
+        let _ = drain(&mut s);
+        for r in [1u16, 2] {
+            ack(&mut s, Time::ZERO, Rank(r), 0, 1);
+        }
+        let _ = drain(&mut s);
+        for r in [1u16, 2] {
+            ack(&mut s, Time::ZERO, Rank(r), 1, 4);
+        }
+        assert_eq!(s.poll_event(), Some(AppEvent::MessageSent { msg_id: 0 }));
+        assert!(s.is_idle());
+        assert_eq!(s.stats().messages_completed, 1);
+    }
+
+    #[test]
+    fn window_gates_transmission() {
+        let mut c = cfg(ProtocolKind::Ack);
+        c.window = 2;
+        c.handshake = false;
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 1000])); // 10 packets
+        assert_eq!(drain(&mut s).len(), 2);
+        ack(&mut s, Time::ZERO, Rank(1), 1, 1);
+        assert_eq!(drain(&mut s).len(), 1, "one release, one refill");
+        ack(&mut s, Time::ZERO, Rank(1), 1, 3);
+        assert_eq!(drain(&mut s).len(), 2);
+    }
+
+    #[test]
+    fn poll_flags_follow_interval() {
+        let mut c = cfg(ProtocolKind::nak_polling(3));
+        c.handshake = false;
+        c.window = 4;
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 400])); // 4 packets
+        let out = drain(&mut s);
+        let polled: Vec<bool> = out
+            .iter()
+            .map(|t| Packet::parse(&t.payload).unwrap().header().flags.contains(PacketFlags::POLL))
+            .collect();
+        // Interval 3: seq 2 polled; seq 3 polled because LAST.
+        assert_eq!(polled, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn timeout_triggers_gbn_retransmission() {
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = false;
+        c.window = 3;
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 300]));
+        assert_eq!(drain(&mut s).len(), 3);
+        let deadline = s.poll_timeout().expect("armed");
+        assert_eq!(deadline, Time::ZERO + c.rto);
+        s.handle_timeout(deadline);
+        let retx = drain(&mut s);
+        assert_eq!(retx.len(), 3, "Go-Back-N resends the whole window");
+        assert!(retx.iter().all(|t| {
+            Packet::parse(&t.payload).unwrap().header().flags.contains(PacketFlags::RETX)
+        }));
+        assert_eq!(s.stats().retx_sent, 3);
+        assert_eq!(s.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn suppression_limits_retransmissions() {
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = false;
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let _ = drain(&mut s);
+        // Two NAKs in quick succession: only one retransmission.
+        let nak = packet::encode_nak(Rank(1), 1, SeqNo(0));
+        s.handle_datagram(Time::from_millis(100), &nak);
+        s.handle_datagram(Time::from_millis(100), &nak);
+        assert_eq!(drain(&mut s).len(), 1);
+        assert_eq!(s.stats().retx_suppressed, 1);
+    }
+
+    #[test]
+    fn ring_release_needs_window_beyond_group() {
+        let n = 3u16;
+        let mut c = ProtocolConfig::new(ProtocolKind::Ring, 100, 5);
+        c.handshake = false;
+        let mut s = Sender::new(c, GroupSpec::new(n));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 1000])); // 10 packets
+        assert_eq!(drain(&mut s).len(), 5);
+        // Token acks for packets 0..3 release packet 0 only (prefix 4 - N).
+        ack(&mut s, Time::ZERO, Rank(1), 1, 1);
+        ack(&mut s, Time::ZERO, Rank(2), 1, 2);
+        ack(&mut s, Time::ZERO, Rank(3), 1, 3);
+        assert!(drain(&mut s).is_empty());
+        ack(&mut s, Time::ZERO, Rank(1), 1, 4);
+        assert_eq!(drain(&mut s).len(), 1, "packet 0 released, packet 5 sent");
+    }
+
+    #[test]
+    fn tree_sender_listens_only_to_roots() {
+        let mut c = ProtocolConfig::new(ProtocolKind::flat_tree(2), 100, 4);
+        c.handshake = false;
+        // 4 receivers, H=2: roots are ranks 1 and 3.
+        let mut s = Sender::new(c, GroupSpec::new(4));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 200]));
+        let _ = drain(&mut s);
+        // Acks from non-roots must not release anything.
+        ack(&mut s, Time::ZERO, Rank(2), 1, 2);
+        ack(&mut s, Time::ZERO, Rank(4), 1, 2);
+        assert!(s.poll_event().is_none());
+        ack(&mut s, Time::ZERO, Rank(1), 1, 2);
+        assert!(s.poll_event().is_none());
+        ack(&mut s, Time::ZERO, Rank(3), 1, 2);
+        assert_eq!(s.poll_event(), Some(AppEvent::MessageSent { msg_id: 0 }));
+    }
+
+    #[test]
+    fn stale_and_foreign_packets_ignored() {
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = false;
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let _ = drain(&mut s);
+        // Wrong transfer id.
+        ack(&mut s, Time::ZERO, Rank(1), 99, 1);
+        // Out-of-group rank.
+        ack(&mut s, Time::ZERO, Rank(7), 1, 1);
+        // Sender rank.
+        ack(&mut s, Time::ZERO, Rank(0), 1, 1);
+        assert!(s.poll_event().is_none());
+        // Garbage datagram.
+        s.handle_datagram(Time::ZERO, &[1, 2, 3]);
+        assert_eq!(s.stats().decode_errors, 1);
+        // The real ack completes it.
+        ack(&mut s, Time::ZERO, Rank(1), 1, 1);
+        assert_eq!(s.poll_event(), Some(AppEvent::MessageSent { msg_id: 0 }));
+    }
+
+    #[test]
+    fn messages_queue_fifo() {
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = false;
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        let a = s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let b = s.send_message(Time::ZERO, Bytes::from(vec![2u8; 100]));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.in_flight(), 2);
+        let out = drain(&mut s);
+        assert_eq!(out.len(), 1, "second message waits");
+        ack(&mut s, Time::ZERO, Rank(1), 1, 1);
+        assert_eq!(s.poll_event(), Some(AppEvent::MessageSent { msg_id: 0 }));
+        let out = drain(&mut s);
+        assert_eq!(out.len(), 1);
+        assert_eq!(Packet::parse(&out[0].payload).unwrap().header().transfer, 3);
+        ack(&mut s, Time::ZERO, Rank(1), 3, 1);
+        assert_eq!(s.poll_event(), Some(AppEvent::MessageSent { msg_id: 1 }));
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn copy_accounting_respects_flag() {
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = false;
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 250]));
+        let out = drain(&mut s);
+        let copied: usize = out.iter().map(|t| t.copied).sum();
+        assert_eq!(copied, 250);
+        assert_eq!(s.stats().user_copy_bytes, 250);
+
+        let mut c2 = cfg(ProtocolKind::Ack);
+        c2.handshake = false;
+        c2.charge_copy = false;
+        let mut s2 = Sender::new(c2, GroupSpec::new(1));
+        s2.send_message(Time::ZERO, Bytes::from(vec![1u8; 250]));
+        let out = drain(&mut s2);
+        assert_eq!(out.iter().map(|t| t.copied).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn empty_message_is_one_empty_packet() {
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = false;
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        s.send_message(Time::ZERO, Bytes::new());
+        let out = drain(&mut s);
+        assert_eq!(out.len(), 1);
+        match Packet::parse(&out[0].payload).unwrap() {
+            Packet::Data { header, body } => {
+                assert!(body.is_empty());
+                assert!(header.flags.contains(PacketFlags::LAST));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

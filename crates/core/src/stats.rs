@@ -1,0 +1,139 @@
+//! Per-endpoint instrumentation.
+//!
+//! These counters feed the paper's Table 2 (control packets per data
+//! packet) and Table 1 (memory requirement) reproductions, and every
+//! experiment's sanity checks.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by every [`crate::Sender`] / [`crate::Receiver`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Original (non-retransmitted) data packets sent.
+    pub data_sent: u64,
+    /// Retransmitted data packets sent.
+    pub retx_sent: u64,
+    /// Data packets received (duplicates included).
+    pub data_received: u64,
+    /// Duplicate or out-of-window data packets discarded.
+    pub data_discarded: u64,
+    /// ACK packets sent.
+    pub acks_sent: u64,
+    /// ACK packets received (and processed).
+    pub acks_received: u64,
+    /// NAK packets sent.
+    pub naks_sent: u64,
+    /// NAK packets received.
+    pub naks_received: u64,
+    /// NAKs a receiver wanted to send but suppressed (rate limit or
+    /// overheard multicast NAK).
+    pub naks_suppressed: u64,
+    /// Retransmissions suppressed by the sender-side scheme.
+    pub retx_suppressed: u64,
+    /// Bytes copied from the user buffer into protocol buffers (the cost
+    /// Figure 9 isolates).
+    pub user_copy_bytes: u64,
+    /// Application payload bytes carried in data packets sent.
+    pub payload_bytes_sent: u64,
+    /// Messages fully sent (sender) or delivered (receiver).
+    pub messages_completed: u64,
+    /// High-water mark of bytes held in the protocol window / receive
+    /// buffers (Table 1's "memory requirement").
+    pub peak_buffer_bytes: u64,
+    /// Malformed datagrams ignored.
+    pub decode_errors: u64,
+    /// Retransmission timeouts that fired.
+    pub timeouts: u64,
+}
+
+impl Stats {
+    /// Record a buffer occupancy sample, keeping the peak.
+    pub fn sample_buffer(&mut self, bytes: usize) {
+        self.peak_buffer_bytes = self.peak_buffer_bytes.max(bytes as u64);
+    }
+
+    /// Control packets sent (ACKs + NAKs).
+    pub fn control_sent(&self) -> u64 {
+        self.acks_sent + self.naks_sent
+    }
+
+    /// Control packets received.
+    pub fn control_received(&self) -> u64 {
+        self.acks_received + self.naks_received
+    }
+
+    /// Control packets received at this endpoint per data packet it sent —
+    /// the sender-side column of the paper's Table 2.
+    pub fn control_per_data_packet(&self) -> f64 {
+        if self.data_sent == 0 {
+            0.0
+        } else {
+            self.control_received() as f64 / self.data_sent as f64
+        }
+    }
+
+    /// Merge another endpoint's counters into this one (used to aggregate
+    /// across receivers).
+    pub fn merge(&mut self, other: &Stats) {
+        self.data_sent += other.data_sent;
+        self.retx_sent += other.retx_sent;
+        self.data_received += other.data_received;
+        self.data_discarded += other.data_discarded;
+        self.acks_sent += other.acks_sent;
+        self.acks_received += other.acks_received;
+        self.naks_sent += other.naks_sent;
+        self.naks_received += other.naks_received;
+        self.naks_suppressed += other.naks_suppressed;
+        self.retx_suppressed += other.retx_suppressed;
+        self.user_copy_bytes += other.user_copy_bytes;
+        self.payload_bytes_sent += other.payload_bytes_sent;
+        self.messages_completed += other.messages_completed;
+        self.peak_buffer_bytes = self.peak_buffer_bytes.max(other.peak_buffer_bytes);
+        self.decode_errors += other.decode_errors;
+        self.timeouts += other.timeouts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracking() {
+        let mut s = Stats::default();
+        s.sample_buffer(100);
+        s.sample_buffer(50);
+        assert_eq!(s.peak_buffer_bytes, 100);
+        s.sample_buffer(200);
+        assert_eq!(s.peak_buffer_bytes, 200);
+    }
+
+    #[test]
+    fn ratios() {
+        let mut s = Stats::default();
+        assert_eq!(s.control_per_data_packet(), 0.0);
+        s.data_sent = 10;
+        s.acks_received = 25;
+        s.naks_received = 5;
+        assert_eq!(s.control_sent(), 0);
+        assert_eq!(s.control_received(), 30);
+        assert_eq!(s.control_per_data_packet(), 3.0);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = Stats {
+            data_sent: 1,
+            peak_buffer_bytes: 10,
+            ..Stats::default()
+        };
+        let b = Stats {
+            data_sent: 2,
+            peak_buffer_bytes: 5,
+            ..Stats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.data_sent, 3);
+        assert_eq!(a.peak_buffer_bytes, 10);
+    }
+}

@@ -1,0 +1,198 @@
+//! Logical acknowledgment-aggregation structures for the tree protocol.
+//!
+//! Data always travels by multicast directly from the sender; the tree
+//! shapes only the *acknowledgment* flow. Each receiver reports the
+//! minimum of its own progress and its children's reported progress to its
+//! parent; roots report to the sender. A flat tree of height `H` is a set
+//! of `ceil(N/H)` chains, so at most `N/H` acknowledgments travel
+//! simultaneously (paper §3, Figure 5).
+
+use crate::config::TreeShape;
+use rmwire::{GroupSpec, Rank};
+
+/// The aggregation links of one receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeLinks {
+    /// Where this node sends its aggregated ACKs: `None` means directly to
+    /// the sender (the node is a root).
+    pub parent: Option<Rank>,
+    /// Nodes whose ACKs this node aggregates.
+    pub children: Vec<Rank>,
+}
+
+/// The full logical structure over a receiver group.
+///
+/// ```
+/// use rmcast::tree::TreeTopology;
+/// use rmcast::TreeShape;
+/// use rmwire::{GroupSpec, Rank};
+///
+/// // 6 receivers in chains of 3: roots r1 and r4 report to the sender.
+/// let t = TreeTopology::new(GroupSpec::new(6), TreeShape::Flat { height: 3 });
+/// assert_eq!(t.roots(), &[Rank(1), Rank(4)]);
+/// assert_eq!(t.links(Rank(2)).parent, Some(Rank(1)));
+/// assert_eq!(t.subtree_size(Rank(1)), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeTopology {
+    links: Vec<TreeLinks>, // indexed by receiver_index
+    roots: Vec<Rank>,
+}
+
+impl TreeTopology {
+    /// Build the structure for `group` with the given shape.
+    pub fn new(group: GroupSpec, shape: TreeShape) -> Self {
+        let n = group.n_receivers as usize;
+        let mut links: Vec<TreeLinks> = (0..n)
+            .map(|_| TreeLinks {
+                parent: None,
+                children: Vec::new(),
+            })
+            .collect();
+        let mut roots = Vec::new();
+
+        match shape {
+            TreeShape::Flat { height } => {
+                assert!(height >= 1 && height <= n, "invalid flat-tree height");
+                // Chains of `height` consecutive ranks: the head of each
+                // chain reports to the sender; node k reports to node k-1.
+                let mut i = 0usize;
+                while i < n {
+                    let head = Rank::from_receiver_index(i);
+                    roots.push(head);
+                    let end = (i + height).min(n);
+                    for k in i..end {
+                        if k > i {
+                            let parent = Rank::from_receiver_index(k - 1);
+                            links[k].parent = Some(parent);
+                            links[k - 1].children.push(Rank::from_receiver_index(k));
+                        }
+                    }
+                    i = end;
+                }
+            }
+            TreeShape::Binary => {
+                // Receiver r's parent is receiver r/2; receiver 1 is the
+                // single root.
+                roots.push(Rank(1));
+                for r in 2..=n as u16 {
+                    let parent = Rank(r / 2);
+                    links[(r - 1) as usize].parent = Some(parent);
+                    links[(r / 2 - 1) as usize].children.push(Rank(r));
+                }
+            }
+        }
+
+        TreeTopology { links, roots }
+    }
+
+    /// Aggregation links of `rank`.
+    pub fn links(&self, rank: Rank) -> &TreeLinks {
+        &self.links[rank.receiver_index()]
+    }
+
+    /// The ranks that report directly to the sender.
+    pub fn roots(&self) -> &[Rank] {
+        &self.roots
+    }
+
+    /// Number of receivers covered by the subtree rooted at `rank`
+    /// (itself included).
+    pub fn subtree_size(&self, rank: Rank) -> usize {
+        1 + self
+            .links(rank)
+            .children
+            .iter()
+            .map(|&c| self.subtree_size(c))
+            .sum::<usize>()
+    }
+
+    /// Longest root-to-leaf path length in nodes (the effective height).
+    pub fn max_depth(&self) -> usize {
+        fn depth(t: &TreeTopology, r: Rank) -> usize {
+            1 + t
+                .links(r)
+                .children
+                .iter()
+                .map(|&c| depth(t, c))
+                .max()
+                .unwrap_or(0)
+        }
+        self.roots.iter().map(|&r| depth(self, r)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(n: u16) -> GroupSpec {
+        GroupSpec::new(n)
+    }
+
+    #[test]
+    fn flat_height_one_is_ack_protocol() {
+        let t = TreeTopology::new(group(5), TreeShape::Flat { height: 1 });
+        assert_eq!(t.roots().len(), 5);
+        for r in group(5).receivers() {
+            assert_eq!(t.links(r).parent, None);
+            assert!(t.links(r).children.is_empty());
+        }
+        assert_eq!(t.max_depth(), 1);
+    }
+
+    #[test]
+    fn flat_height_n_is_single_chain() {
+        let t = TreeTopology::new(group(4), TreeShape::Flat { height: 4 });
+        assert_eq!(t.roots(), &[Rank(1)]);
+        assert_eq!(t.links(Rank(1)).children, vec![Rank(2)]);
+        assert_eq!(t.links(Rank(2)).parent, Some(Rank(1)));
+        assert_eq!(t.links(Rank(4)).children, Vec::<Rank>::new());
+        assert_eq!(t.max_depth(), 4);
+        assert_eq!(t.subtree_size(Rank(1)), 4);
+    }
+
+    #[test]
+    fn flat_chains_chunk_consecutively() {
+        // N = 16, H = 3 -> chains {1,2,3},{4,5,6},...,{16}: 6 roots.
+        let t = TreeTopology::new(group(16), TreeShape::Flat { height: 3 });
+        assert_eq!(t.roots().len(), 6);
+        assert_eq!(t.roots()[0], Rank(1));
+        assert_eq!(t.roots()[5], Rank(16));
+        assert_eq!(t.links(Rank(2)).parent, Some(Rank(1)));
+        assert_eq!(t.links(Rank(3)).parent, Some(Rank(2)));
+        assert_eq!(t.links(Rank(4)).parent, None);
+        assert_eq!(t.subtree_size(Rank(1)), 3);
+        assert_eq!(t.subtree_size(Rank(16)), 1);
+        assert_eq!(t.max_depth(), 3);
+    }
+
+    #[test]
+    fn subtrees_cover_group_exactly() {
+        for (n, h) in [(16, 3), (30, 6), (30, 15), (30, 30), (7, 2)] {
+            let t = TreeTopology::new(group(n), TreeShape::Flat { height: h });
+            let covered: usize = t.roots().iter().map(|&r| t.subtree_size(r)).sum();
+            assert_eq!(covered, n as usize, "N={n} H={h}");
+            assert_eq!(t.roots().len(), (n as usize).div_ceil(h));
+        }
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let t = TreeTopology::new(group(7), TreeShape::Binary);
+        assert_eq!(t.roots(), &[Rank(1)]);
+        assert_eq!(t.links(Rank(1)).children, vec![Rank(2), Rank(3)]);
+        assert_eq!(t.links(Rank(2)).children, vec![Rank(4), Rank(5)]);
+        assert_eq!(t.links(Rank(3)).children, vec![Rank(6), Rank(7)]);
+        assert_eq!(t.links(Rank(7)).parent, Some(Rank(3)));
+        assert_eq!(t.subtree_size(Rank(1)), 7);
+        assert_eq!(t.max_depth(), 3);
+    }
+
+    #[test]
+    fn binary_tree_single_node() {
+        let t = TreeTopology::new(group(1), TreeShape::Binary);
+        assert_eq!(t.roots(), &[Rank(1)]);
+        assert!(t.links(Rank(1)).children.is_empty());
+    }
+}

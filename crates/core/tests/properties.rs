@@ -1,0 +1,227 @@
+//! Property-based tests: reliability and wire-format invariants must hold
+//! for *arbitrary* message sizes, protocol parameters and loss patterns.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+use rmcast::loopback::Loopback;
+use rmcast::{ProtocolConfig, ProtocolKind, TreeShape, WindowDiscipline};
+use rmwire::{Header, PacketFlags, PacketType, Rank, SeqNo};
+
+fn arb_kind() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::Ack),
+        (1usize..=8).prop_map(ProtocolKind::nak_polling),
+        (1usize..=8).prop_map(|i| ProtocolKind::NakPolling {
+            poll_interval: i,
+            receiver_multicast_nak: true
+        }),
+        Just(ProtocolKind::Ring),
+        (1usize..=6).prop_map(ProtocolKind::flat_tree),
+        Just(ProtocolKind::Tree {
+            shape: TreeShape::Binary
+        }),
+    ]
+}
+
+fn build_config(
+    kind: ProtocolKind,
+    n: u16,
+    packet_size: usize,
+    window: usize,
+    sr: bool,
+) -> ProtocolConfig {
+    let mut kind = kind;
+    // Clamp the tree height into the group.
+    if let ProtocolKind::Tree {
+        shape: TreeShape::Flat { height },
+    } = kind
+    {
+        kind = ProtocolKind::flat_tree(height.min(n as usize));
+    }
+    let mut cfg = ProtocolConfig::new(kind, packet_size, window);
+    if matches!(kind, ProtocolKind::Ring) {
+        cfg.window = cfg.window.max(n as usize + 1 + 1);
+    }
+    if let ProtocolKind::NakPolling { poll_interval, .. } = kind {
+        cfg.window = cfg.window.max(poll_interval);
+    }
+    if sr {
+        cfg.discipline = WindowDiscipline::SelectiveRepeat;
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every protocol delivers every byte to every receiver, clean network.
+    #[test]
+    fn reliable_delivery_clean(
+        kind in arb_kind(),
+        n in 1u16..8,
+        packet_size in 1usize..2000,
+        window in 1usize..12,
+        msg_len in 0usize..6000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = build_config(kind, n, packet_size, window, false);
+        let mut net = Loopback::new(cfg, n, seed);
+        let msg = Bytes::from((0..msg_len).map(|i| i as u8).collect::<Vec<_>>());
+        net.send_message(msg.clone());
+        let out = net.run();
+        prop_assert_eq!(out.len(), n as usize);
+        for d in out {
+            prop_assert_eq!(&d, &msg);
+        }
+    }
+
+    /// ... and under random per-datagram loss.
+    #[test]
+    fn reliable_delivery_lossy(
+        kind in arb_kind(),
+        n in 1u16..5,
+        loss in 0.01f64..0.35,
+        msg_len in 1usize..4000,
+        sr in any::<bool>(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = build_config(kind, n, 512, 8, sr);
+        let mut net = Loopback::new(cfg, n, seed).with_loss(loss);
+        let msg = Bytes::from((0..msg_len).map(|i| (i * 7) as u8).collect::<Vec<_>>());
+        net.send_message(msg.clone());
+        let out = net.run();
+        prop_assert_eq!(out.len(), n as usize);
+        for d in out {
+            prop_assert_eq!(&d, &msg);
+        }
+    }
+
+    /// Clean runs never retransmit, for any parameters.
+    #[test]
+    fn clean_runs_never_retransmit(
+        kind in arb_kind(),
+        n in 1u16..8,
+        msg_len in 0usize..5000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = build_config(kind, n, 700, 9, false);
+        let mut net = Loopback::new(cfg, n, seed);
+        net.send_message(Bytes::from(vec![1u8; msg_len]));
+        net.run();
+        prop_assert_eq!(net.sender_stats().retx_sent, 0);
+        prop_assert_eq!(net.sender_stats().timeouts, 0);
+    }
+
+    /// Header encoding round-trips for arbitrary field values.
+    #[test]
+    fn header_round_trip(
+        ptype in 1u8..=3,
+        flags in 0u8..16,
+        rank in any::<u16>(),
+        transfer in any::<u32>(),
+        seq in any::<u32>(),
+    ) {
+        let h = Header {
+            ptype: match ptype {
+                1 => PacketType::Data,
+                2 => PacketType::Ack,
+                _ => PacketType::Nak,
+            },
+            flags: PacketFlags::from_bits(flags).unwrap(),
+            src_rank: Rank(rank),
+            transfer,
+            seq: SeqNo(seq),
+        };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let mut b = buf.freeze();
+        prop_assert_eq!(Header::decode(&mut b).unwrap(), h);
+    }
+
+    /// Arbitrary bytes never panic the packet parser.
+    #[test]
+    fn parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = rmcast::packet::Packet::parse(&data);
+    }
+
+    /// Sequence-number window arithmetic: `in_window` agrees with the
+    /// offset definition for arbitrary bases.
+    #[test]
+    fn seq_window_membership(lo in any::<u32>(), off in any::<u32>(), len in 0u32..1_000_000) {
+        let s = SeqNo(lo).add(off);
+        let member = s.in_window(SeqNo(lo), len);
+        prop_assert_eq!(member, off < len);
+    }
+
+    /// `precedes` is asymmetric for distinct values within half the space.
+    #[test]
+    fn seq_precedes_asymmetric(a in any::<u32>(), d in 1u32..(1 << 31)) {
+        let x = SeqNo(a);
+        let y = x.add(d);
+        prop_assert!(x.precedes(y));
+        prop_assert!(!y.precedes(x));
+        prop_assert_eq!(x.distance_to(y), d as i32);
+    }
+}
+
+mod tree_invariants {
+    use proptest::prelude::*;
+    use rmcast::tree::TreeTopology;
+    use rmcast::TreeShape;
+    use rmwire::{GroupSpec, Rank};
+
+    proptest! {
+        /// Every receiver appears in exactly one subtree; parent/child
+        /// links agree; depth is bounded by the configured height.
+        #[test]
+        fn flat_tree_structure(n in 1u16..64, h in 1usize..64) {
+            let h = h.min(n as usize);
+            let g = GroupSpec::new(n);
+            let t = TreeTopology::new(g, TreeShape::Flat { height: h });
+
+            // Roots' subtrees partition the group.
+            let covered: usize = t.roots().iter().map(|&r| t.subtree_size(r)).sum();
+            prop_assert_eq!(covered, n as usize);
+            prop_assert_eq!(t.roots().len(), (n as usize).div_ceil(h));
+            prop_assert!(t.max_depth() <= h);
+
+            for r in g.receivers() {
+                let links = t.links(r);
+                // Parent lists r among its children, and vice versa.
+                if let Some(p) = links.parent {
+                    prop_assert!(t.links(p).children.contains(&r));
+                } else {
+                    prop_assert!(t.roots().contains(&r));
+                }
+                for &c in &links.children {
+                    prop_assert_eq!(t.links(c).parent, Some(r));
+                }
+                // Flat chains: at most one child.
+                prop_assert!(links.children.len() <= 1);
+            }
+        }
+
+        /// Binary tree: heap-shaped, single root, every node linked
+        /// consistently.
+        #[test]
+        fn binary_tree_structure(n in 1u16..64) {
+            let g = GroupSpec::new(n);
+            let t = TreeTopology::new(g, TreeShape::Binary);
+            prop_assert_eq!(t.roots(), &[Rank(1)]);
+            prop_assert_eq!(t.subtree_size(Rank(1)), n as usize);
+            for r in g.receivers() {
+                let links = t.links(r);
+                if r.0 >= 2 {
+                    prop_assert_eq!(links.parent, Some(Rank(r.0 / 2)));
+                }
+                prop_assert!(links.children.len() <= 2);
+                for &c in &links.children {
+                    prop_assert!(c.0 == r.0 * 2 || c.0 == r.0 * 2 + 1);
+                }
+            }
+            // Depth is logarithmic.
+            let depth = t.max_depth();
+            prop_assert!(1usize << (depth - 1) <= n as usize);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The protocol variations the paper discusses beyond its main
+//! implementation: unicast retransmission, rate-based flow control, and
+//! receiver-driven retransmission timers.
+
+use bytes::Bytes;
+use rmcast::loopback::Loopback;
+use rmcast::{Duration, ProtocolConfig, ProtocolKind};
+
+fn payload(len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i % 255) as u8).collect::<Vec<u8>>())
+}
+
+#[test]
+fn unicast_retx_still_reliable_under_loss() {
+    let mut cfg = ProtocolConfig::new(ProtocolKind::Ack, 500, 8);
+    cfg.unicast_retx_on_nak = true;
+    let msg = payload(20_000);
+    let mut net = Loopback::new(cfg, 4, 31).with_loss(0.15);
+    net.send_message(msg.clone());
+    let out = net.run();
+    assert_eq!(out.len(), 4);
+    assert!(out.iter().all(|d| d == &msg));
+    assert!(net.sender_stats().retx_sent > 0);
+}
+
+#[test]
+fn unicast_retx_setting_changes_nothing_on_clean_runs() {
+    let run = |unicast| {
+        let mut cfg = ProtocolConfig::new(ProtocolKind::Ack, 500, 4);
+        cfg.unicast_retx_on_nak = unicast;
+        let mut net = Loopback::new(cfg, 4, 5);
+        net.send_message(payload(5_000));
+        net.run();
+        (
+            net.sender_stats().data_sent,
+            net.sender_stats().retx_sent,
+        )
+    };
+    assert_eq!(run(false), run(true), "no NAKs, no difference");
+}
+
+#[test]
+fn rate_pacing_slows_the_sender_in_virtual_time() {
+    let run = |rate| {
+        let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(8), 1_000, 10);
+        cfg.rate_limit_bytes_per_sec = rate;
+        let mut net = Loopback::new(cfg, 2, 9);
+        net.send_message(payload(100_000));
+        let out = net.run();
+        assert_eq!(out.len(), 2);
+        net.now()
+    };
+    let unpaced = run(None);
+    // 1 MB/s pacing for a 100 kB message: at least ~0.1 s of virtual time.
+    let paced = run(Some(1_000_000));
+    assert!(
+        paced.as_nanos() >= 90_000_000,
+        "pacing must stretch the transfer: {paced}"
+    );
+    assert!(paced > unpaced);
+}
+
+#[test]
+fn rate_pacing_remains_reliable_under_loss() {
+    let mut cfg = ProtocolConfig::new(ProtocolKind::Ack, 1_000, 8);
+    cfg.rate_limit_bytes_per_sec = Some(10_000_000);
+    let msg = payload(30_000);
+    let mut net = Loopback::new(cfg, 3, 77).with_loss(0.1);
+    net.send_message(msg.clone());
+    let out = net.run();
+    assert_eq!(out.len(), 3);
+    assert!(out.iter().all(|d| d == &msg));
+}
+
+#[test]
+fn receiver_nak_timer_recovers_lost_last_packet_fast() {
+    // With the NAK-polling protocol, a lost LAST packet is normally
+    // recovered only by the sender's RTO. A receiver-driven timer NAKs
+    // earlier. We verify the mechanism fires by checking receivers send
+    // NAKs under loss even when no later packet reveals the gap.
+    let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(4), 2_000, 8);
+    cfg.receiver_nak_timer = Some(Duration::from_millis(10));
+    let msg = payload(16_000);
+    let mut net = Loopback::new(cfg, 3, 1234).with_loss(0.25);
+    net.send_message(msg.clone());
+    let out = net.run();
+    assert_eq!(out.len(), 3);
+    assert!(out.iter().all(|d| d == &msg));
+    let receiver_naks: u64 = (0..3).map(|i| net.receiver_stats(i).naks_sent).sum();
+    assert!(receiver_naks > 0, "stall timer should produce NAKs");
+}
+
+#[test]
+fn receiver_nak_timer_is_silent_on_clean_runs() {
+    let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(4), 2_000, 8);
+    cfg.receiver_nak_timer = Some(Duration::from_millis(10));
+    let mut net = Loopback::new(cfg, 3, 2);
+    net.send_message(payload(16_000));
+    net.run();
+    for i in 0..3 {
+        assert_eq!(
+            net.receiver_stats(i).naks_sent,
+            0,
+            "no stall, no receiver-driven NAKs"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "rate limit must be positive")]
+fn zero_rate_rejected() {
+    let mut cfg = ProtocolConfig::new(ProtocolKind::Ack, 500, 4);
+    cfg.rate_limit_bytes_per_sec = Some(0);
+    cfg.validate(2);
+}
+
+#[test]
+#[should_panic(expected = "receiver NAK timer")]
+fn stall_timer_shorter_than_suppression_rejected() {
+    let mut cfg = ProtocolConfig::new(ProtocolKind::Ack, 500, 4);
+    cfg.receiver_nak_timer = Some(Duration::from_nanos(1));
+    cfg.validate(2);
+}
+
+#[test]
+fn variations_compose() {
+    // All three at once, under loss, still reliable.
+    let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(6), 1_000, 12);
+    cfg.unicast_retx_on_nak = true;
+    cfg.rate_limit_bytes_per_sec = Some(20_000_000);
+    cfg.receiver_nak_timer = Some(Duration::from_millis(15));
+    let msg = payload(40_000);
+    let mut net = Loopback::new(cfg, 4, 55).with_loss(0.12);
+    net.send_message(msg.clone());
+    let out = net.run();
+    assert_eq!(out.len(), 4);
+    assert!(out.iter().all(|d| d == &msg));
+}

@@ -1,0 +1,94 @@
+//! Shared-medium CSMA/CD state (the paper's "traditional LANs use shared
+//! media for communication" discussion, §3 bullet 2).
+//!
+//! The model is event-accurate at frame granularity: 1-persistent carrier
+//! sense, a contention window equal to the propagation delay during which
+//! simultaneous attempts collide, a jam period after each collision, and
+//! truncated binary exponential backoff in units of the 512-bit slot time.
+
+use crate::frame::Frame;
+use crate::ids::HostId;
+use rmwire::{Duration, Time};
+use std::collections::VecDeque;
+
+/// Per-bus contention state; owned by the simulator, active only under
+/// [`crate::FabricKind::SharedBus`].
+pub(crate) struct BusState {
+    /// Medium is occupied (by a transmission or a collision jam) until
+    /// this instant.
+    pub busy_until: Time,
+    /// Hosts that attempted transmission inside the open contention
+    /// window.
+    pub contenders: Vec<HostId>,
+    /// When the open contention window closes (a `BusResolve` event is
+    /// scheduled there), if one is open.
+    pub resolve_at: Option<Time>,
+    /// Per-host NIC transmit queues.
+    pub txq: Vec<VecDeque<Frame>>,
+    /// Per-host collision counter for the frame at the queue head.
+    pub attempts: Vec<u8>,
+    /// Whether a `BusAttempt` event is already scheduled per host.
+    pub attempt_pending: Vec<bool>,
+}
+
+impl BusState {
+    /// 512 bit times at 100 Mbit/s.
+    pub const SLOT_TIME: Duration = Duration::from_nanos(5_120);
+    /// Jam signal plus detection overhead after a collision.
+    pub const JAM_TIME: Duration = Duration::from_nanos(5_120);
+    /// Attempt limit before a frame is dropped (IEEE 802.3 gives 16).
+    pub const MAX_ATTEMPTS: u8 = 16;
+
+    pub(crate) fn new() -> Self {
+        BusState {
+            busy_until: Time::ZERO,
+            contenders: Vec::new(),
+            resolve_at: None,
+            txq: Vec::new(),
+            attempts: Vec::new(),
+            attempt_pending: Vec::new(),
+        }
+    }
+
+    /// Extend per-host vectors when the simulation adds a host.
+    pub(crate) fn add_host(&mut self) {
+        self.txq.push(VecDeque::new());
+        self.attempts.push(0);
+        self.attempt_pending.push(false);
+    }
+
+    /// The collision window: attempts closer together than this collide.
+    /// Floored at one microsecond so a zero-propagation configuration
+    /// still exhibits collisions.
+    pub(crate) fn contention_window(&self, prop_delay: Duration) -> Duration {
+        prop_delay.max(Duration::from_micros(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_vectors_grow_together() {
+        let mut b = BusState::new();
+        b.add_host();
+        b.add_host();
+        assert_eq!(b.txq.len(), 2);
+        assert_eq!(b.attempts.len(), 2);
+        assert_eq!(b.attempt_pending.len(), 2);
+    }
+
+    #[test]
+    fn contention_window_floor() {
+        let b = BusState::new();
+        assert_eq!(
+            b.contention_window(Duration::from_nanos(10)),
+            Duration::from_micros(1)
+        );
+        assert_eq!(
+            b.contention_window(Duration::from_micros(5)),
+            Duration::from_micros(5)
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Simulation parameters.
+//!
+//! Defaults reproduce the paper's testbed: 100 Mbit/s switched Ethernet,
+//! Pentium III 650 MHz class end hosts running a user-space UDP protocol
+//! stack on Linux 2.2. The calibration rationale for each constant lives in
+//! `simrun::calibration` and EXPERIMENTS.md.
+
+use rmwire::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Physical-layer parameters of a point-to-point full-duplex link (or of
+/// the shared bus when [`FabricKind::SharedBus`] is selected).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Raw signalling rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub prop_delay: Duration,
+    /// Maximum IP packet size per Ethernet frame (1500 standard; 9000 for
+    /// jumbo frames).
+    pub mtu: usize,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            // 100BASE-TX, a few tens of metres of cable plus PHY latency.
+            rate_bps: 100_000_000,
+            prop_delay: Duration::from_micros(1),
+            mtu: 1500,
+        }
+    }
+}
+
+/// Parameters of a store-and-forward Ethernet switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchParams {
+    /// Forwarding latency added after a frame is fully received, before it
+    /// is eligible for transmission on the output port.
+    pub latency: Duration,
+    /// Capacity of each output-port queue in bytes; a frame that does not
+    /// fit is tail-dropped.
+    pub queue_bytes: usize,
+    /// When `true` the switch forwards multicast frames only toward group
+    /// members (IGMP snooping); when `false` it floods them on every port
+    /// except the ingress, like the paper's unmanaged 3Com switches.
+    pub igmp_snooping: bool,
+}
+
+impl Default for SwitchParams {
+    fn default() -> Self {
+        SwitchParams {
+            latency: Duration::from_micros(10),
+            queue_bytes: 256 * 1024,
+            igmp_snooping: false,
+        }
+    }
+}
+
+/// Per-host parameters: the CPU cost model and kernel buffer sizes.
+///
+/// The CPU is modelled as a serial resource; every datagram sent or
+/// received charges it. All costs are multiplied by `(1 ± jitter)` with a
+/// deterministic seeded jitter to model the paper's observation that
+/// "communication in Ethernet can sometimes be quite random".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostParams {
+    /// Fixed cost of a `sendto` system call (user/kernel crossing,
+    /// socket lookup, header construction).
+    pub send_syscall: Duration,
+    /// Kernel cost per transmitted fragment (skb handling, driver ring).
+    pub send_per_fragment: Duration,
+    /// Kernel copy cost per transmitted byte (user buffer into kernel).
+    pub send_per_byte_ns: u64,
+    /// Fixed cost of a `recvfrom` system call returning one datagram.
+    pub recv_syscall: Duration,
+    /// Kernel cost per received fragment (interrupt, IP input, reassembly).
+    pub recv_per_fragment: Duration,
+    /// Kernel copy cost per received byte (kernel buffer into user).
+    pub recv_per_byte_ns: u64,
+    /// Kernel cost to discard one flooded multicast frame the host did not
+    /// subscribe to (the paper's "extra CPU overhead for unintended
+    /// receivers"). NIC-level perfect filtering sets this to zero.
+    pub mcast_filter_cost: Duration,
+    /// Cost of reading the clock (`gettimeofday`), charged through
+    /// [`crate::process::Ctx::charge_clock_read`].
+    pub clock_read: Duration,
+    /// UDP receive socket buffer in bytes; a fully reassembled datagram
+    /// that does not fit is dropped (the paper's dominant loss mode).
+    pub recv_sockbuf: usize,
+    /// Bytes the NIC transmit path will queue before `sendto` blocks.
+    pub send_sockbuf: usize,
+    /// Relative jitter applied to every CPU charge, e.g. `0.05` for ±5 %.
+    pub cpu_jitter: f64,
+    /// Timeout after which an incomplete IP reassembly is discarded.
+    pub reassembly_timeout: Duration,
+}
+
+impl Default for HostParams {
+    fn default() -> Self {
+        HostParams {
+            send_syscall: Duration::from_micros(18),
+            send_per_fragment: Duration::from_micros(3),
+            send_per_byte_ns: 10,
+            recv_syscall: Duration::from_micros(40),
+            recv_per_fragment: Duration::from_micros(3),
+            recv_per_byte_ns: 10,
+            mcast_filter_cost: Duration::from_micros(2),
+            clock_read: Duration::from_nanos(700),
+            recv_sockbuf: 256 * 1024,
+            send_sockbuf: 32 * 1024,
+            cpu_jitter: 0.04,
+            reassembly_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Fault injection knobs. All default to a perfectly clean network, the
+/// paper's observation for wired LANs ("the transmission error rate is very
+/// low ... errors almost never happen").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultParams {
+    /// Probability that any individual frame is lost on the wire.
+    pub frame_loss: f64,
+    /// Probability that a reassembled datagram is dropped at the receiving
+    /// host (models NIC/driver drops beyond socket-buffer overflow).
+    pub datagram_loss: f64,
+    /// Probability that a frame is duplicated on the wire (switch or
+    /// driver retransmit artifacts; protocols must tolerate duplicates).
+    pub frame_dup: f64,
+}
+
+impl FaultParams {
+    /// Clean-network preset (no injected loss).
+    pub const NONE: FaultParams = FaultParams {
+        frame_loss: 0.0,
+        datagram_loss: 0.0,
+        frame_dup: 0.0,
+    };
+
+    /// Uniform frame-loss preset.
+    pub fn frame_loss(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        FaultParams {
+            frame_loss: p,
+            datagram_loss: 0.0,
+            frame_dup: 0.0,
+        }
+    }
+}
+
+/// Which layer-2 fabric connects the hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FabricKind {
+    /// Full-duplex store-and-forward switches (the paper's testbed).
+    #[default]
+    Switched,
+    /// A single half-duplex CSMA/CD bus shared by every host (the paper's
+    /// "traditional LANs use shared media" discussion).
+    SharedBus,
+}
+
+/// Top-level simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimConfig {
+    /// Link parameters applied to every link.
+    pub link: LinkParams,
+    /// Switch parameters applied to every switch.
+    pub switch: SwitchParams,
+    /// Host parameters applied to every host.
+    pub host: HostParams,
+    /// Fault injection.
+    pub faults: FaultParams,
+    /// Fabric selection.
+    pub fabric: FabricKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_testbed() {
+        let c = SimConfig::default();
+        assert_eq!(c.link.rate_bps, 100_000_000);
+        assert_eq!(c.fabric, FabricKind::Switched);
+        assert!(!c.switch.igmp_snooping);
+        assert_eq!(c.faults, FaultParams::NONE);
+    }
+
+    #[test]
+    fn fault_presets() {
+        let f = FaultParams::frame_loss(0.01);
+        assert_eq!(f.frame_loss, 0.01);
+        assert_eq!(f.datagram_loss, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn fault_probability_validated() {
+        let _ = FaultParams::frame_loss(1.5);
+    }
+}

@@ -1,0 +1,103 @@
+//! User processes running on simulated hosts.
+//!
+//! A [`Process`] is an event-driven state machine: the simulator invokes it
+//! when its host starts, when a datagram reaches its socket, and when its
+//! timer fires. All interaction with the world goes through [`Ctx`], which
+//! advances a *CPU cursor*: every charge (system call, payload copy,
+//! protocol bookkeeping) pushes the cursor forward, and everything the
+//! process emits takes effect at the cursor, so CPU time spent processing
+//! one event delays both the packets it sends and every later event on the
+//! same host.
+
+use crate::frame::UdpDest;
+use crate::ids::HostId;
+use crate::sim::Sim;
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rmwire::{Duration, Time};
+
+/// A datagram delivered to a process.
+#[derive(Debug, Clone)]
+pub struct DatagramIn {
+    /// The host that sent it.
+    pub src_host: HostId,
+    /// The sender's source port.
+    pub src_port: u16,
+    /// The destination it was sent to (the local unicast address or a
+    /// multicast group the host subscribes to).
+    pub dest: UdpDest,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+/// An event-driven user process.
+///
+/// Default implementations ignore every event, so implementors override
+/// only what they need.
+pub trait Process {
+    /// Called once at simulation start (time zero for the host).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    /// Called when a datagram has been read from the process's socket. The
+    /// kernel receive costs have already been charged to the cursor.
+    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _dg: DatagramIn) {}
+    /// Called when the timer armed with [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>) {}
+}
+
+/// The execution context handed to every [`Process`] callback.
+pub struct Ctx<'a> {
+    pub(crate) sim: &'a mut Sim,
+    pub(crate) host: HostId,
+    pub(crate) cursor: Time,
+}
+
+impl Ctx<'_> {
+    /// Current host-local time: event start plus every charge so far.
+    pub fn now(&self) -> Time {
+        self.cursor
+    }
+
+    /// The host this process runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Charge raw CPU time (protocol bookkeeping, user-level copies).
+    pub fn charge(&mut self, d: Duration) {
+        self.cursor += self.sim.jitter(self.host, d);
+    }
+
+    /// Charge one `gettimeofday` call (paper §4 *Timer management*).
+    pub fn charge_clock_read(&mut self) {
+        let d = self.sim.host_params(self.host).clock_read;
+        self.charge(d);
+    }
+
+    /// Send a UDP datagram. Charges the send-path CPU costs, fragments the
+    /// payload, and blocks (advancing the cursor) while the socket send
+    /// buffer is full — exactly the pacing a user-space UDP blast sees.
+    pub fn send(&mut self, dest: UdpDest, payload: Bytes) {
+        self.cursor = self.sim.udp_send(self.host, dest, payload, self.cursor);
+    }
+
+    /// Arm (or re-arm) the process's single timer for absolute time `at`;
+    /// any previously armed deadline is replaced.
+    pub fn set_timer(&mut self, at: Time) {
+        self.sim.set_timer(self.host, at.max(self.cursor));
+    }
+
+    /// Disarm the timer.
+    pub fn clear_timer(&mut self) {
+        self.sim.clear_timer(self.host);
+    }
+
+    /// The simulation-wide deterministic random generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.sim.rng()
+    }
+
+    /// Ask the simulator to stop after the current event.
+    pub fn stop_sim(&mut self) {
+        self.sim.request_stop();
+    }
+}

@@ -1,0 +1,865 @@
+//! The discrete-event engine.
+
+use crate::bus::BusState;
+use crate::config::{FabricKind, LinkParams, SimConfig};
+use crate::frame::{self, Datagram, Frame, UdpDest, MAX_DATAGRAM};
+use crate::host::{HostState, Reassembly, WorkItem};
+use crate::ids::{GroupId, HostId, PortRef, SwitchId};
+use crate::process::{Ctx, DatagramIn, Process};
+use crate::switch::SwitchState;
+use crate::trace::{DropCause, EventLog, LogEvent, TraceCounters};
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rmwire::{Duration, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Simulator events. Arrival events carry the instant the *last bit* of a
+/// frame reaches the device (store-and-forward semantics).
+enum Event {
+    /// Frame fully received on a switch input port.
+    FrameAtSwitch {
+        sw: SwitchId,
+        in_port: usize,
+        frame: Frame,
+    },
+    /// Frame fully received at a host NIC.
+    FrameAtHost { host: HostId, frame: Frame },
+    /// The host CPU finished its current work item (or should dispatch).
+    CpuDone { host: HostId },
+    /// The process timer fired (ignored when `gen` is stale).
+    TimerFire { host: HostId, gen: u64 },
+    /// An IP reassembly context timed out.
+    ReassemblyExpire { host: HostId, key: (HostId, u64) },
+    /// A host wants the shared bus (CSMA/CD fabric only).
+    BusAttempt { host: HostId },
+    /// End of the bus contention window: transmit or collide.
+    BusResolve,
+}
+
+struct HeapEntry {
+    at: Time,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulator: topology, processes, the event queue and the clock.
+///
+/// Build one with [`Sim::new`], add hosts/switches/links (usually through
+/// [`crate::topology`] presets), [`Sim::spawn`] processes, then
+/// [`Sim::run`] or [`Sim::run_until`].
+pub struct Sim {
+    cfg: SimConfig,
+    now: Time,
+    queue: BinaryHeap<Reverse<HeapEntry>>,
+    event_seq: u64,
+    pub(crate) hosts: Vec<HostState>,
+    host_params: Vec<crate::config::HostParams>,
+    procs: Vec<Option<Box<dyn Process>>>,
+    switches: Vec<SwitchState>,
+    groups: Vec<Vec<HostId>>,
+    rng: SmallRng,
+    trace: TraceCounters,
+    log: EventLog,
+    next_ip_id: u64,
+    stop: bool,
+    routes_dirty: bool,
+    bus: BusState,
+}
+
+impl Sim {
+    /// A new, empty simulation with the given configuration and RNG seed.
+    pub fn new(cfg: SimConfig, seed: u64) -> Self {
+        Sim {
+            cfg,
+            now: Time::ZERO,
+            queue: BinaryHeap::new(),
+            event_seq: 0,
+            hosts: Vec::new(),
+            host_params: Vec::new(),
+            procs: Vec::new(),
+            switches: Vec::new(),
+            groups: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            trace: TraceCounters::default(),
+            log: EventLog::default(),
+            next_ip_id: 0,
+            stop: false,
+            routes_dirty: true,
+            bus: BusState::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Instrumentation counters.
+    pub fn trace(&self) -> &TraceCounters {
+        &self.trace
+    }
+
+    /// Enable the packet-level event log, keeping at most `capacity`
+    /// entries (zero disables it; disabled by default).
+    pub fn set_log_capacity(&mut self, capacity: usize) {
+        self.log = EventLog::with_capacity(capacity);
+    }
+
+    /// The packet-level event log.
+    pub fn event_log(&self) -> &EventLog {
+        &self.log
+    }
+
+    fn log_event(&mut self, ev: LogEvent) {
+        if self.log.enabled() {
+            let now = self.now.as_nanos();
+            self.log.record(now, ev);
+        }
+    }
+
+    /// The deterministic random generator (shared by fabric and processes).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    // ------------------------------------------------------------------
+    // Topology construction
+    // ------------------------------------------------------------------
+
+    /// Add a workstation (with the configuration's default host
+    /// parameters; override with [`Sim::set_host_params`]).
+    pub fn add_host(&mut self) -> HostId {
+        self.hosts.push(HostState::new(self.cfg.link));
+        self.host_params.push(self.cfg.host);
+        self.procs.push(None);
+        self.bus.add_host();
+        self.routes_dirty = true;
+        HostId(self.hosts.len() - 1)
+    }
+
+    /// Add a switch (switched fabric only).
+    pub fn add_switch(&mut self) -> SwitchId {
+        assert_eq!(
+            self.cfg.fabric,
+            FabricKind::Switched,
+            "switches exist only in the switched fabric"
+        );
+        self.switches.push(SwitchState::new());
+        self.routes_dirty = true;
+        SwitchId(self.switches.len() - 1)
+    }
+
+    /// Cable a host to a switch port.
+    pub fn connect_host(&mut self, host: HostId, sw: SwitchId) {
+        assert!(
+            self.hosts[host.0].peer.is_none(),
+            "{host} is already cabled"
+        );
+        let link = self.hosts[host.0].link;
+        let port = self.switches[sw.0].add_port(link);
+        self.switches[sw.0].ports[port].peer = Some(PortRef::Host(host));
+        self.hosts[host.0].peer = Some(PortRef::Switch(sw, port));
+        self.routes_dirty = true;
+    }
+
+    /// Override the physical parameters of one host's uplink (both
+    /// directions). Call after [`Sim::connect_host`]. The MTU stays
+    /// fabric-global (no path-MTU discovery is modelled).
+    pub fn set_link_params(&mut self, host: HostId, params: LinkParams) {
+        assert_eq!(
+            params.mtu, self.cfg.link.mtu,
+            "per-link MTU overrides are not supported (no path MTU discovery)"
+        );
+        self.hosts[host.0].link = params;
+        if let Some(PortRef::Switch(sw, port)) = self.hosts[host.0].peer {
+            self.switches[sw.0].ports[port].link = params;
+        }
+    }
+
+    /// Override the trunk between two directly cabled switches (both
+    /// directions). Panics if they are not directly cabled.
+    pub fn set_trunk_params(&mut self, a: SwitchId, b: SwitchId, params: LinkParams) {
+        assert_eq!(
+            params.mtu, self.cfg.link.mtu,
+            "per-link MTU overrides are not supported (no path MTU discovery)"
+        );
+        let mut found = false;
+        for p in 0..self.switches[a.0].ports.len() {
+            if let Some(PortRef::Switch(sw2, p2)) = self.switches[a.0].ports[p].peer {
+                if sw2 == b {
+                    self.switches[a.0].ports[p].link = params;
+                    self.switches[b.0].ports[p2].link = params;
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "{a} and {b} are not directly cabled");
+    }
+
+    /// Cable two switches together.
+    pub fn connect_switches(&mut self, a: SwitchId, b: SwitchId) {
+        assert_ne!(a, b, "cannot cable a switch to itself");
+        let pa = self.switches[a.0].add_port(self.cfg.link);
+        let pb = self.switches[b.0].add_port(self.cfg.link);
+        self.switches[a.0].ports[pa].peer = Some(PortRef::Switch(b, pb));
+        self.switches[b.0].ports[pb].peer = Some(PortRef::Switch(a, pa));
+        self.routes_dirty = true;
+    }
+
+    /// Create a static multicast group; every member host joins it.
+    pub fn create_group(&mut self, members: &[HostId]) -> GroupId {
+        let gid = GroupId(self.groups.len());
+        for &m in members {
+            self.hosts[m.0].memberships.insert(gid);
+        }
+        self.groups.push(members.to_vec());
+        gid
+    }
+
+    /// Bind `proc` to `(host, port)` and schedule its `on_start` at time
+    /// zero. Each host runs at most one process, which may bind additional
+    /// ports with [`Sim::bind_port`].
+    pub fn spawn(&mut self, host: HostId, port: u16, proc_: Box<dyn Process>) {
+        assert!(
+            self.procs[host.0].is_none(),
+            "{host} already runs a process"
+        );
+        self.bind_port(host, port);
+        self.procs[host.0] = Some(proc_);
+        self.enqueue_work(host, WorkItem::Start, Time::ZERO);
+    }
+
+    /// Override one host's CPU/buffer parameters, making the cluster
+    /// heterogeneous (the paper scopes itself to homogeneous clusters,
+    /// §3; this knob exists to test that scoping).
+    pub fn set_host_params(&mut self, host: HostId, params: crate::config::HostParams) {
+        self.host_params[host.0] = params;
+    }
+
+    /// The effective parameters of one host.
+    pub fn host_params(&self, host: HostId) -> &crate::config::HostParams {
+        &self.host_params[host.0]
+    }
+
+    /// Total CPU time this host has spent processing work items.
+    pub fn cpu_busy(&self, host: HostId) -> Duration {
+        self.hosts[host.0].cpu_busy_accum
+    }
+
+    /// Bind an additional UDP port on a host.
+    pub fn bind_port(&mut self, host: HostId, port: u16) {
+        let prev = self.hosts[host.0].sockets.insert(port, 0);
+        assert!(prev.is_none(), "{host} port {port} already bound");
+    }
+
+    // ------------------------------------------------------------------
+    // Run loop
+    // ------------------------------------------------------------------
+
+    /// Run until the queue drains, a process calls
+    /// [`Ctx::stop_sim`], or the clock would pass `deadline`.
+    pub fn run_until(&mut self, deadline: Time) {
+        if self.routes_dirty {
+            self.finalize_routes();
+        }
+        while !self.stop {
+            match self.queue.peek() {
+                Some(Reverse(e)) if e.at <= deadline => {}
+                _ => break,
+            }
+            let Reverse(entry) = self.queue.pop().expect("peeked entry");
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            self.dispatch(entry.ev);
+        }
+    }
+
+    /// Run to quiescence (or until stopped).
+    pub fn run(&mut self) {
+        self.run_until(Time::MAX);
+    }
+
+    /// `true` once a process has requested a stop.
+    pub fn stopped(&self) -> bool {
+        self.stop
+    }
+
+    pub(crate) fn request_stop(&mut self) {
+        self.stop = true;
+    }
+
+    fn schedule(&mut self, at: Time, ev: Event) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.queue.push(Reverse(HeapEntry { at, seq, ev }));
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::FrameAtSwitch { sw, in_port, frame } => {
+                self.frame_at_switch(sw, in_port, frame)
+            }
+            Event::FrameAtHost { host, frame } => self.frame_at_host(host, frame),
+            Event::CpuDone { host } => self.cpu_dispatch(host),
+            Event::TimerFire { host, gen } => self.timer_fire(host, gen),
+            Event::ReassemblyExpire { host, key } => {
+                if self.hosts[host.0].reassembly.remove(&key).is_some() {
+                    self.trace.record_drop(DropCause::ReassemblyTimeout);
+                    self.log_event(LogEvent::Drop {
+                        cause: DropCause::ReassemblyTimeout,
+                    });
+                }
+            }
+            Event::BusAttempt { host } => self.bus_attempt(host),
+            Event::BusResolve => self.bus_resolve(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // UDP send path
+    // ------------------------------------------------------------------
+
+    /// Charge send costs at `cursor`, fragment, and inject the datagram
+    /// into the fabric. Returns the advanced CPU cursor (send-buffer
+    /// blocking included).
+    pub(crate) fn udp_send(
+        &mut self,
+        src: HostId,
+        dest: UdpDest,
+        payload: Bytes,
+        cursor: Time,
+    ) -> Time {
+        assert!(
+            payload.len() <= MAX_DATAGRAM,
+            "datagram exceeds 64 KiB UDP limit: {}",
+            payload.len()
+        );
+        if let UdpDest::Host(h, _) = dest {
+            assert!(h.0 < self.hosts.len(), "unknown destination {h}");
+            assert_ne!(h, src, "loopback sends are not modelled");
+        }
+        if let UdpDest::Group(g, _) = dest {
+            assert!(g.0 < self.groups.len(), "unknown group {g}");
+        }
+
+        let frag_data = frame::frag_data_for_mtu(self.cfg.link.mtu);
+        let n_frags = frame::n_fragments_with(payload.len(), frag_data);
+        let hp = self.host_params[src.0];
+        let mut cursor = cursor;
+        let mut cost = hp.send_syscall + hp.send_per_fragment.saturating_mul(n_frags as u64);
+        cost += Duration::from_nanos(hp.send_per_byte_ns * payload.len() as u64);
+        cursor += self.jitter_for(src, cost);
+
+        self.trace.datagrams_sent += 1;
+        self.trace.payload_bytes_sent += payload.len() as u64;
+        self.log_event(LogEvent::DatagramSent {
+            src: src.0,
+            dst: match dest {
+                UdpDest::Host(h, _) => Some(h.0),
+                UdpDest::Group(..) => None,
+            },
+            len: payload.len(),
+        });
+
+        let ip_id = self.next_ip_id;
+        self.next_ip_id += 1;
+        let src_port = 0; // informational; protocols identify peers by rank
+        let dg = Arc::new(Datagram {
+            src_host: src,
+            src_port,
+            dest,
+            payload,
+            ip_id,
+            frag_data,
+        });
+
+        match self.cfg.fabric {
+            FabricKind::Switched => {
+                let peer = self.hosts[src.0]
+                    .peer
+                    .expect("host is not cabled to a switch");
+                let link = self.hosts[src.0].link;
+                for fr in frame::fragment(Arc::clone(&dg)) {
+                    let bytes = fr.frame_bytes();
+                    let fit = self.hosts[src.0]
+                        .egress
+                        .earliest_fit(cursor, bytes, hp.send_sockbuf)
+                        .expect("frame larger than socket send buffer");
+                    cursor = cursor.max(fit);
+                    let tx = fr.tx_time(link.rate_bps);
+                    let done = self.hosts[src.0].egress.enqueue(cursor, tx, bytes);
+                    self.trace.frames_sent += 1;
+                    self.trace.wire_bytes_sent += fr.wire_bytes() as u64;
+                    self.emit_frame(peer, fr, done, link.prop_delay);
+                }
+            }
+            FabricKind::SharedBus => {
+                for fr in frame::fragment(Arc::clone(&dg)) {
+                    self.trace.frames_sent += 1;
+                    self.bus_enqueue(src, fr, cursor);
+                }
+            }
+        }
+        cursor
+    }
+
+    /// Schedule the arrival of a frame whose last bit leaves the
+    /// transmitter at `done`, applying wire faults (loss, duplication).
+    fn emit_frame(&mut self, to: PortRef, frame: Frame, done: Time, prop_delay: Duration) {
+        let p = self.cfg.faults.frame_loss;
+        if p > 0.0 && self.rng.gen::<f64>() < p {
+            self.trace.record_drop(DropCause::WireFault);
+            return;
+        }
+        let dup = self.cfg.faults.frame_dup;
+        let copies = if dup > 0.0 && self.rng.gen::<f64>() < dup {
+            2
+        } else {
+            1
+        };
+        let at = done + prop_delay;
+        for i in 0..copies {
+            // The duplicate trails its original by a microsecond.
+            let at = at + Duration::from_micros(i);
+            match to {
+                PortRef::Host(h) => self.schedule(
+                    at,
+                    Event::FrameAtHost {
+                        host: h,
+                        frame: frame.clone(),
+                    },
+                ),
+                PortRef::Switch(sw, in_port) => self.schedule(
+                    at,
+                    Event::FrameAtSwitch {
+                        sw,
+                        in_port,
+                        frame: frame.clone(),
+                    },
+                ),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Switch forwarding
+    // ------------------------------------------------------------------
+
+    fn frame_at_switch(&mut self, sw: SwitchId, in_port: usize, frame: Frame) {
+        let out_ports: Vec<usize> = match frame.dg.dest {
+            UdpDest::Host(h, _) => {
+                let p = self.switches[sw.0].route[h.0];
+                debug_assert_ne!(p, usize::MAX, "no route from {sw} to {h}");
+                if p == in_port {
+                    Vec::new()
+                } else {
+                    vec![p]
+                }
+            }
+            UdpDest::Group(g, _) => {
+                if self.cfg.switch.igmp_snooping {
+                    let mut ports: Vec<usize> = self.groups[g.0]
+                        .iter()
+                        .map(|m| self.switches[sw.0].route[m.0])
+                        .filter(|&p| p != in_port && p != usize::MAX)
+                        .collect();
+                    ports.sort_unstable();
+                    ports.dedup();
+                    ports
+                } else {
+                    (0..self.switches[sw.0].ports.len())
+                        .filter(|&p| p != in_port && self.switches[sw.0].ports[p].peer.is_some())
+                        .collect()
+                }
+            }
+        };
+
+        let eligible = self.now + self.cfg.switch.latency;
+        let cap = self.cfg.switch.queue_bytes;
+        for p in out_ports {
+            let bytes = frame.frame_bytes();
+            let port = &mut self.switches[sw.0].ports[p];
+            let link = port.link;
+            if port.egress.queued_bytes(eligible) + bytes > cap {
+                self.trace.record_drop(DropCause::SwitchQueueFull);
+                continue;
+            }
+            let tx = frame.tx_time(link.rate_bps);
+            let done = port.egress.enqueue(eligible, tx, bytes);
+            let peer = port.peer.expect("forwarding onto an uncabled port");
+            self.trace.wire_bytes_sent += frame.wire_bytes() as u64;
+            self.emit_frame(peer, frame.clone(), done, link.prop_delay);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host receive path
+    // ------------------------------------------------------------------
+
+    fn frame_at_host(&mut self, host: HostId, frame: Frame) {
+        self.trace.frames_received += 1;
+        match frame.dg.dest {
+            UdpDest::Host(h, _) => {
+                if h != host {
+                    // Shared-bus unicast for someone else: the NIC address
+                    // filter discards it in hardware at zero host cost.
+                    debug_assert_eq!(
+                        self.cfg.fabric,
+                        FabricKind::SharedBus,
+                        "switched fabric misrouted a unicast frame"
+                    );
+                    return;
+                }
+            }
+            UdpDest::Group(g, _) => {
+                if !self.hosts[host.0].memberships.contains(&g) {
+                    // Flooded multicast for a group we never joined: the
+                    // kernel discards it, costing CPU (paper §3 bullet 1).
+                    self.trace.frames_filtered += 1;
+                    let at = self.now;
+                    self.enqueue_work(host, WorkItem::McastFilter, at);
+                    return;
+                }
+            }
+        }
+
+        let key = (frame.dg.src_host, frame.dg.ip_id);
+        let total = frame.dg.n_fragments() as u32;
+        let h = &mut self.hosts[host.0];
+        let entry = h.reassembly.get_mut(&key);
+        let complete = match entry {
+            Some(r) => r.add(frame.index),
+            None => {
+                let mut r = Reassembly::new(total);
+                let complete = r.add(frame.index);
+                if !complete {
+                    h.reassembly.insert(key, r);
+                    let expire = self.now + self.host_params[host.0].reassembly_timeout;
+                    self.schedule(expire, Event::ReassemblyExpire { host, key });
+                }
+                complete
+            }
+        };
+        if !complete {
+            return;
+        }
+        self.hosts[host.0].reassembly.remove(&key);
+
+        let p = self.cfg.faults.datagram_loss;
+        if p > 0.0 && self.rng.gen::<f64>() < p {
+            self.trace.record_drop(DropCause::DatagramFault);
+            return;
+        }
+
+        let port = frame.dg.dest.port();
+        let len = frame.dg.payload.len();
+        let sockbuf = self.host_params[host.0].recv_sockbuf;
+        let h = &mut self.hosts[host.0];
+        let Some(buffered) = h.sockets.get_mut(&port) else {
+            // No socket bound: the kernel drops it (ICMP unreachable in
+            // real life); invisible to the protocols.
+            return;
+        };
+        if *buffered + len > sockbuf {
+            self.trace.record_drop(DropCause::SockBufFull);
+            self.log_event(LogEvent::Drop {
+                cause: DropCause::SockBufFull,
+            });
+            return;
+        }
+        *buffered += len;
+        let at = self.now;
+        self.enqueue_work(host, WorkItem::Deliver(frame.dg), at);
+    }
+
+    // ------------------------------------------------------------------
+    // Host CPU
+    // ------------------------------------------------------------------
+
+    pub(crate) fn enqueue_work(&mut self, host: HostId, item: WorkItem, at: Time) {
+        let h = &mut self.hosts[host.0];
+        h.cpu_queue.push_back(item);
+        if !h.cpu_active {
+            h.cpu_active = true;
+            self.schedule(at.max(self.now), Event::CpuDone { host });
+        }
+    }
+
+    fn cpu_dispatch(&mut self, host: HostId) {
+        let Some(item) = self.hosts[host.0].cpu_queue.pop_front() else {
+            self.hosts[host.0].cpu_active = false;
+            return;
+        };
+        let start = self.now;
+        let end = self.run_work_item(host, item, start);
+        self.hosts[host.0].cpu_busy_until = end;
+        self.hosts[host.0].cpu_busy_accum += end.saturating_since(start);
+        self.schedule(end, Event::CpuDone { host });
+    }
+
+    fn run_work_item(&mut self, host: HostId, item: WorkItem, start: Time) -> Time {
+        match item {
+            WorkItem::McastFilter => {
+                let c = self.host_params[host.0].mcast_filter_cost;
+                start + self.jitter_for(host, c)
+            }
+            WorkItem::Start => self.with_proc(host, start, |p, ctx| p.on_start(ctx)),
+            WorkItem::Timer => self.with_proc(host, start, |p, ctx| p.on_timer(ctx)),
+            WorkItem::Deliver(dg) => {
+                let hp = self.host_params[host.0];
+                let len = dg.payload.len();
+                let n_frags = dg.n_fragments();
+                // recvfrom drains the socket buffer.
+                if let Some(b) = self.hosts[host.0].sockets.get_mut(&dg.dest.port()) {
+                    *b = b.saturating_sub(len);
+                }
+                let mut cost =
+                    hp.recv_syscall + hp.recv_per_fragment.saturating_mul(n_frags as u64);
+                cost += Duration::from_nanos(hp.recv_per_byte_ns * len as u64);
+                let start = start + self.jitter_for(host, cost);
+                self.trace.datagrams_delivered += 1;
+                self.log_event(LogEvent::DatagramDelivered {
+                    host: host.0,
+                    len,
+                });
+                let in_dg = DatagramIn {
+                    src_host: dg.src_host,
+                    src_port: dg.src_port,
+                    dest: dg.dest,
+                    payload: dg.payload.clone(),
+                };
+                self.with_proc(host, start, |p, ctx| p.on_datagram(ctx, in_dg))
+            }
+        }
+    }
+
+    fn with_proc<F>(&mut self, host: HostId, start: Time, f: F) -> Time
+    where
+        F: FnOnce(&mut dyn Process, &mut Ctx<'_>),
+    {
+        let mut proc_ = self.procs[host.0].take().expect("no process on host");
+        let mut ctx = Ctx {
+            sim: self,
+            host,
+            cursor: start,
+        };
+        f(proc_.as_mut(), &mut ctx);
+        let end = ctx.cursor;
+        self.procs[host.0] = Some(proc_);
+        end
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn set_timer(&mut self, host: HostId, at: Time) {
+        let h = &mut self.hosts[host.0];
+        h.timer_gen += 1;
+        h.timer_armed = true;
+        let gen = h.timer_gen;
+        self.schedule(at, Event::TimerFire { host, gen });
+    }
+
+    pub(crate) fn clear_timer(&mut self, host: HostId) {
+        let h = &mut self.hosts[host.0];
+        h.timer_gen += 1;
+        h.timer_armed = false;
+    }
+
+    fn timer_fire(&mut self, host: HostId, gen: u64) {
+        let h = &mut self.hosts[host.0];
+        if h.timer_armed && h.timer_gen == gen {
+            h.timer_armed = false;
+            let at = self.now;
+            self.enqueue_work(host, WorkItem::Timer, at);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared bus (CSMA/CD)
+    // ------------------------------------------------------------------
+
+    fn bus_enqueue(&mut self, host: HostId, frame: Frame, at: Time) {
+        assert_eq!(self.cfg.fabric, FabricKind::SharedBus);
+        self.bus.txq[host.0].push_back(frame);
+        if !self.bus.attempt_pending[host.0] {
+            self.bus.attempt_pending[host.0] = true;
+            self.schedule(at.max(self.now), Event::BusAttempt { host });
+        }
+    }
+
+    fn bus_attempt(&mut self, host: HostId) {
+        self.bus.attempt_pending[host.0] = false;
+        if self.bus.txq[host.0].is_empty() {
+            return;
+        }
+        if self.bus.busy_until > self.now {
+            // 1-persistent carrier sense: try again the moment the medium
+            // goes idle.
+            self.bus.attempt_pending[host.0] = true;
+            let at = self.bus.busy_until;
+            self.schedule(at, Event::BusAttempt { host });
+            return;
+        }
+        if self.bus.contenders.contains(&host) {
+            return;
+        }
+        self.bus.contenders.push(host);
+        if self.bus.resolve_at.is_none() {
+            let window = self.bus.contention_window(self.cfg.link.prop_delay);
+            let at = self.now + window;
+            self.bus.resolve_at = Some(at);
+            self.schedule(at, Event::BusResolve);
+        }
+    }
+
+    fn bus_resolve(&mut self) {
+        self.bus.resolve_at = None;
+        let contenders = std::mem::take(&mut self.bus.contenders);
+        match contenders.len() {
+            0 => {}
+            1 => {
+                let host = contenders[0];
+                let Some(frame) = self.bus.txq[host.0].pop_front() else {
+                    return;
+                };
+                self.bus.attempts[host.0] = 0;
+                let tx = frame.tx_time(self.cfg.link.rate_bps);
+                let done = self.now + tx;
+                self.bus.busy_until = done;
+                self.trace.wire_bytes_sent += frame.wire_bytes() as u64;
+
+                let lost = self.cfg.faults.frame_loss > 0.0
+                    && self.rng.gen::<f64>() < self.cfg.faults.frame_loss;
+                if lost {
+                    self.trace.record_drop(DropCause::WireFault);
+                } else {
+                    let at = done + self.cfg.link.prop_delay;
+                    for h in 0..self.hosts.len() {
+                        if HostId(h) != host {
+                            self.schedule(
+                                at,
+                                Event::FrameAtHost {
+                                    host: HostId(h),
+                                    frame: frame.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+                if !self.bus.txq[host.0].is_empty() {
+                    self.bus.attempt_pending[host.0] = true;
+                    self.schedule(done, Event::BusAttempt { host });
+                }
+            }
+            _ => {
+                // Collision: jam, then truncated binary exponential backoff.
+                self.trace.collisions += 1;
+                let jam_end = self.now + BusState::JAM_TIME;
+                self.bus.busy_until = jam_end;
+                for host in contenders {
+                    let a = &mut self.bus.attempts[host.0];
+                    *a += 1;
+                    if *a > BusState::MAX_ATTEMPTS {
+                        self.bus.txq[host.0].pop_front();
+                        self.trace.record_drop(DropCause::ExcessiveCollisions);
+                        *a = 0;
+                        if self.bus.txq[host.0].is_empty() {
+                            continue;
+                        }
+                    }
+                    let exp = (self.bus.attempts[host.0]).min(10);
+                    let slots = self.rng.gen_range(0..(1u64 << exp));
+                    let at = jam_end + BusState::SLOT_TIME.saturating_mul(slots);
+                    self.bus.attempt_pending[host.0] = true;
+                    self.schedule(at, Event::BusAttempt { host });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Routing and randomness
+    // ------------------------------------------------------------------
+
+    fn finalize_routes(&mut self) {
+        if self.cfg.fabric == FabricKind::Switched {
+            for s in 0..self.switches.len() {
+                let mut route = vec![usize::MAX; self.hosts.len()];
+                for p in 0..self.switches[s].ports.len() {
+                    let mut seen = vec![false; self.switches.len()];
+                    seen[s] = true;
+                    for h in self.reachable_hosts(SwitchId(s), p, &mut seen) {
+                        assert_eq!(
+                            route[h.0],
+                            usize::MAX,
+                            "host {h} reachable through two ports of sw{s}: topology has a loop"
+                        );
+                        route[h.0] = p;
+                    }
+                }
+                self.switches[s].route = route;
+            }
+        }
+        self.routes_dirty = false;
+    }
+
+    fn reachable_hosts(&self, sw: SwitchId, port: usize, seen: &mut [bool]) -> Vec<HostId> {
+        match self.switches[sw.0].ports[port].peer {
+            None => Vec::new(),
+            Some(PortRef::Host(h)) => vec![h],
+            Some(PortRef::Switch(s2, back)) => {
+                assert!(!seen[s2.0], "switch loop detected at {s2}");
+                seen[s2.0] = true;
+                let mut out = Vec::new();
+                for p in 0..self.switches[s2.0].ports.len() {
+                    if p != back {
+                        out.extend(self.reachable_hosts(s2, p, seen));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Apply the host's configured CPU jitter to a nominal cost.
+    pub(crate) fn jitter(&mut self, host: HostId, d: Duration) -> Duration {
+        self.jitter_for(host, d)
+    }
+
+    fn jitter_for(&mut self, host: HostId, d: Duration) -> Duration {
+        let j = self.host_params[host.0].cpu_jitter;
+        if j == 0.0 || d == Duration::ZERO {
+            return d;
+        }
+        let f = 1.0 + j * (self.rng.gen::<f64>() * 2.0 - 1.0);
+        Duration::from_nanos((d.as_nanos() as f64 * f).round().max(0.0) as u64)
+    }
+}

@@ -1,0 +1,150 @@
+//! Ready-made cluster topologies.
+
+use crate::config::FabricKind;
+use crate::ids::HostId;
+use crate::sim::Sim;
+
+/// `n` hosts on one switch.
+pub fn single_switch(sim: &mut Sim, n: usize) -> Vec<HostId> {
+    assert!(n >= 1);
+    let sw = sim.add_switch();
+    (0..n)
+        .map(|_| {
+            let h = sim.add_host();
+            sim.connect_host(h, sw);
+            h
+        })
+        .collect()
+}
+
+/// The paper's Figure 7 testbed: two cascaded switches, hosts `P0..P15` on
+/// the first and the rest on the second. `P0` (index 0 of the returned
+/// vector) is conventionally the sender.
+///
+/// With `n <= 16` only one switch is created, matching how a small subset
+/// of the cluster would be cabled.
+pub fn two_switch_cluster(sim: &mut Sim, n: usize) -> Vec<HostId> {
+    assert!(n >= 1);
+    let sw0 = sim.add_switch();
+    let mut hosts = Vec::with_capacity(n);
+    let first = n.min(16);
+    for _ in 0..first {
+        let h = sim.add_host();
+        sim.connect_host(h, sw0);
+        hosts.push(h);
+    }
+    if n > 16 {
+        let sw1 = sim.add_switch();
+        sim.connect_switches(sw0, sw1);
+        for _ in 16..n {
+            let h = sim.add_host();
+            sim.connect_host(h, sw1);
+            hosts.push(h);
+        }
+    }
+    hosts
+}
+
+/// `n` hosts spread round-robin over a chain of `n_switches` cascaded
+/// switches (sw0 - sw1 - ... - swK). Host 0 lands on sw0.
+pub fn switch_chain(sim: &mut Sim, n: usize, n_switches: usize) -> Vec<HostId> {
+    assert!(n >= 1 && n_switches >= 1);
+    let switches: Vec<_> = (0..n_switches).map(|_| sim.add_switch()).collect();
+    for w in switches.windows(2) {
+        sim.connect_switches(w[0], w[1]);
+    }
+    (0..n)
+        .map(|i| {
+            let h = sim.add_host();
+            sim.connect_host(h, switches[i % n_switches]);
+            h
+        })
+        .collect()
+}
+
+/// `n` hosts on leaf switches hanging off one core switch (a two-tier
+/// star): `n_leaves` leaf switches, hosts distributed round-robin.
+pub fn star_of_switches(sim: &mut Sim, n: usize, n_leaves: usize) -> Vec<HostId> {
+    assert!(n >= 1 && n_leaves >= 1);
+    let core = sim.add_switch();
+    let leaves: Vec<_> = (0..n_leaves)
+        .map(|_| {
+            let l = sim.add_switch();
+            sim.connect_switches(core, l);
+            l
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let h = sim.add_host();
+            sim.connect_host(h, leaves[i % n_leaves]);
+            h
+        })
+        .collect()
+}
+
+/// `n` hosts on a single shared CSMA/CD bus. The simulation must have been
+/// created with [`FabricKind::SharedBus`].
+pub fn shared_bus(sim: &mut Sim, n: usize) -> Vec<HostId> {
+    assert!(n >= 1);
+    assert_eq!(
+        sim.config().fabric,
+        FabricKind::SharedBus,
+        "shared_bus topology requires FabricKind::SharedBus"
+    );
+    (0..n).map(|_| sim.add_host()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn single_switch_shape() {
+        let mut sim = Sim::new(SimConfig::default(), 1);
+        let hosts = single_switch(&mut sim, 4);
+        assert_eq!(hosts.len(), 4);
+        assert_eq!(hosts[0], HostId(0));
+    }
+
+    #[test]
+    fn two_switch_splits_at_16() {
+        let mut sim = Sim::new(SimConfig::default(), 1);
+        let hosts = two_switch_cluster(&mut sim, 31);
+        assert_eq!(hosts.len(), 31);
+
+        let mut small = Sim::new(SimConfig::default(), 1);
+        let hosts = two_switch_cluster(&mut small, 8);
+        assert_eq!(hosts.len(), 8);
+    }
+
+    #[test]
+    fn switch_chain_and_star_build() {
+        let mut sim = Sim::new(SimConfig::default(), 1);
+        let hosts = switch_chain(&mut sim, 9, 3);
+        assert_eq!(hosts.len(), 9);
+
+        let mut sim2 = Sim::new(SimConfig::default(), 1);
+        let hosts = star_of_switches(&mut sim2, 12, 4);
+        assert_eq!(hosts.len(), 12);
+    }
+
+    #[test]
+    fn shared_bus_builds() {
+        let cfg = SimConfig {
+            fabric: FabricKind::SharedBus,
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::new(cfg, 1);
+        let hosts = shared_bus(&mut sim, 5);
+        assert_eq!(hosts.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires FabricKind::SharedBus")]
+    fn shared_bus_rejects_switched_config() {
+        let mut sim = Sim::new(SimConfig::default(), 1);
+        let _ = shared_bus(&mut sim, 2);
+    }
+}

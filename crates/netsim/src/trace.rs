@@ -1,0 +1,191 @@
+//! Run-wide instrumentation counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a frame or datagram was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DropCause {
+    /// Injected wire fault lost a frame.
+    WireFault,
+    /// A switch output queue overflowed (tail drop).
+    SwitchQueueFull,
+    /// The receiving socket buffer had no room for the reassembled
+    /// datagram (the paper's dominant loss mode).
+    SockBufFull,
+    /// An IP reassembly never completed and timed out.
+    ReassemblyTimeout,
+    /// Injected datagram fault at the receiving host.
+    DatagramFault,
+    /// CSMA/CD gave up after 16 collisions on one frame.
+    ExcessiveCollisions,
+}
+
+/// Aggregate counters maintained by the simulator; read them after a run
+/// through [`crate::Sim::trace`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceCounters {
+    /// UDP datagrams handed to the network by processes.
+    pub datagrams_sent: u64,
+    /// UDP datagrams delivered into a process (`on_datagram` calls).
+    pub datagrams_delivered: u64,
+    /// Ethernet frames that began serialization.
+    pub frames_sent: u64,
+    /// Frames that arrived intact at a host NIC (including frames the NIC
+    /// then filtered out as not-subscribed multicast).
+    pub frames_received: u64,
+    /// Flooded multicast frames discarded by hosts outside the group.
+    pub frames_filtered: u64,
+    /// Payload bytes handed to the network by processes.
+    pub payload_bytes_sent: u64,
+    /// Total wire bytes serialized (framing and padding included).
+    pub wire_bytes_sent: u64,
+    /// Frames lost to injected wire faults.
+    pub drops_wire_fault: u64,
+    /// Frames tail-dropped at switch output queues.
+    pub drops_switch_queue: u64,
+    /// Datagrams dropped at full receive socket buffers.
+    pub drops_sockbuf: u64,
+    /// Datagrams abandoned by reassembly timeout.
+    pub drops_reassembly: u64,
+    /// Datagrams lost to injected datagram faults.
+    pub drops_datagram_fault: u64,
+    /// Frames abandoned after 16 CSMA/CD collisions.
+    pub drops_collisions: u64,
+    /// CSMA/CD collision events.
+    pub collisions: u64,
+}
+
+impl TraceCounters {
+    /// Record one drop of the given cause.
+    pub fn record_drop(&mut self, cause: DropCause) {
+        match cause {
+            DropCause::WireFault => self.drops_wire_fault += 1,
+            DropCause::SwitchQueueFull => self.drops_switch_queue += 1,
+            DropCause::SockBufFull => self.drops_sockbuf += 1,
+            DropCause::ReassemblyTimeout => self.drops_reassembly += 1,
+            DropCause::DatagramFault => self.drops_datagram_fault += 1,
+            DropCause::ExcessiveCollisions => self.drops_collisions += 1,
+        }
+    }
+
+    /// Total drops across every cause.
+    pub fn total_drops(&self) -> u64 {
+        self.drops_wire_fault
+            + self.drops_switch_queue
+            + self.drops_sockbuf
+            + self.drops_reassembly
+            + self.drops_datagram_fault
+            + self.drops_collisions
+    }
+
+    /// `true` when no loss of any kind occurred.
+    pub fn clean(&self) -> bool {
+        self.total_drops() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_recording() {
+        let mut t = TraceCounters::default();
+        assert!(t.clean());
+        t.record_drop(DropCause::SockBufFull);
+        t.record_drop(DropCause::SockBufFull);
+        t.record_drop(DropCause::WireFault);
+        assert_eq!(t.drops_sockbuf, 2);
+        assert_eq!(t.drops_wire_fault, 1);
+        assert_eq!(t.total_drops(), 3);
+        assert!(!t.clean());
+    }
+}
+
+/// One entry of the optional packet-level event log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogEvent {
+    /// A process handed a datagram to the network.
+    DatagramSent {
+        /// Sending host index.
+        src: usize,
+        /// `None` for multicast, `Some(host)` for unicast.
+        dst: Option<usize>,
+        /// Payload length.
+        len: usize,
+    },
+    /// A datagram reached a process.
+    DatagramDelivered {
+        /// Receiving host index.
+        host: usize,
+        /// Payload length.
+        len: usize,
+    },
+    /// Something was dropped.
+    Drop {
+        /// Why.
+        cause: DropCause,
+    },
+}
+
+/// A bounded in-order log of network events with their timestamps, off by
+/// default (zero capacity). Enable with [`crate::Sim::set_log_capacity`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    capacity: usize,
+    /// `(nanoseconds, event)` in occurrence order; recording stops at
+    /// capacity (the `truncated` flag is then set).
+    pub entries: Vec<(u64, LogEvent)>,
+    /// `true` when events were discarded after hitting capacity.
+    pub truncated: bool,
+}
+
+impl EventLog {
+    /// Create with a maximum entry count.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            capacity,
+            entries: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Record one event at `now_ns` (drops it when full).
+    pub fn record(&mut self, now_ns: u64, ev: LogEvent) {
+        if self.entries.len() < self.capacity {
+            self.entries.push((now_ns, ev));
+        } else if self.capacity > 0 {
+            self.truncated = true;
+        }
+    }
+
+    /// `true` when logging is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+}
+
+#[cfg(test)]
+mod log_tests {
+    use super::*;
+
+    #[test]
+    fn log_respects_capacity() {
+        let mut l = EventLog::with_capacity(2);
+        assert!(l.enabled());
+        l.record(1, LogEvent::Drop { cause: DropCause::WireFault });
+        l.record(2, LogEvent::Drop { cause: DropCause::WireFault });
+        l.record(3, LogEvent::Drop { cause: DropCause::WireFault });
+        assert_eq!(l.entries.len(), 2);
+        assert!(l.truncated);
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let mut l = EventLog::default();
+        assert!(!l.enabled());
+        l.record(1, LogEvent::Drop { cause: DropCause::WireFault });
+        assert!(l.entries.is_empty());
+        assert!(!l.truncated);
+    }
+}

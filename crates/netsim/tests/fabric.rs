@@ -1,0 +1,552 @@
+//! Fabric-level behaviors: switch queue congestion, CSMA/CD dynamics,
+//! routing across cascades, and CPU-cost accounting.
+
+use bytes::Bytes;
+use netsim::process::{Ctx, DatagramIn, Process};
+use netsim::{topology, FabricKind, HostId, Sim, SimConfig, UdpDest};
+use rmwire::{Duration, Time};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const PORT: u16 = 7;
+
+struct Blast {
+    dest: UdpDest,
+    sizes: Vec<usize>,
+}
+impl Process for Blast {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for &s in &self.sizes {
+            ctx.send(self.dest, Bytes::from(vec![9u8; s]));
+        }
+    }
+}
+
+struct Sink {
+    log: Rc<RefCell<Vec<(Time, HostId, usize)>>>,
+}
+impl Process for Sink {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dg: DatagramIn) {
+        self.log
+            .borrow_mut()
+            .push((ctx.now(), ctx.host(), dg.payload.len()));
+    }
+}
+
+fn no_jitter() -> SimConfig {
+    let mut c = SimConfig::default();
+    c.host.cpu_jitter = 0.0;
+    c
+}
+
+#[test]
+fn switch_output_queue_tail_drops_under_incast() {
+    // Many senders blast one receiver through a tiny switch queue: the
+    // shared output port must tail-drop.
+    let mut cfg = no_jitter();
+    cfg.switch.queue_bytes = 4 * 1024;
+    let mut sim = Sim::new(cfg, 3);
+    let hosts = topology::single_switch(&mut sim, 9);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    for &h in &hosts[1..] {
+        sim.spawn(
+            h,
+            PORT,
+            Box::new(Blast {
+                dest: UdpDest::host(hosts[0], PORT),
+                sizes: vec![1_400; 50],
+            }),
+        );
+    }
+    sim.spawn(hosts[0], PORT, Box::new(Sink { log: log.clone() }));
+    sim.run();
+
+    assert!(
+        sim.trace().drops_switch_queue > 0,
+        "8-to-1 incast through a 4 KB queue must drop"
+    );
+    // Conservation: every datagram is delivered or accounted lost.
+    let delivered = log.borrow().len() as u64;
+    assert!(delivered > 0);
+    assert!(delivered < 400);
+}
+
+#[test]
+fn incast_is_lossless_with_big_queues() {
+    let mut cfg = no_jitter();
+    cfg.switch.queue_bytes = 4 * 1024 * 1024;
+    let mut sim = Sim::new(cfg, 3);
+    let hosts = topology::single_switch(&mut sim, 9);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    for &h in &hosts[1..] {
+        sim.spawn(
+            h,
+            PORT,
+            Box::new(Blast {
+                dest: UdpDest::host(hosts[0], PORT),
+                sizes: vec![1_400; 50],
+            }),
+        );
+    }
+    sim.spawn(hosts[0], PORT, Box::new(Sink { log: log.clone() }));
+    sim.run();
+    assert_eq!(log.borrow().len(), 400);
+    assert!(sim.trace().clean());
+}
+
+#[test]
+fn cascade_unicast_latency_adds_one_store_and_forward() {
+    // The same transfer across one switch vs across the inter-switch link
+    // differs by exactly one store-and-forward (frame time + latency +
+    // propagation), when jitter is off.
+    fn one_way(n_hosts: usize, to_far: bool) -> u64 {
+        let mut sim = Sim::new(no_jitter(), 1);
+        let hosts = topology::two_switch_cluster(&mut sim, n_hosts);
+        let dst = if to_far {
+            *hosts.last().unwrap()
+        } else {
+            hosts[1]
+        };
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            hosts[0],
+            PORT,
+            Box::new(Blast {
+                dest: UdpDest::host(dst, PORT),
+                sizes: vec![1_000],
+            }),
+        );
+        for &h in &hosts[1..] {
+            if h == dst {
+                sim.spawn(h, PORT, Box::new(Sink { log: log.clone() }));
+            }
+        }
+        sim.run();
+        let t = log.borrow()[0].0.as_nanos();
+        t
+    }
+    let near = one_way(18, false);
+    let far = one_way(18, true);
+    let cfg = no_jitter();
+    // Frame: 1000 + 28 + 18 = 1046 bytes -> 1066 wire bytes at 100 Mbit/s.
+    let frame_time = Duration::transmission(1_066, 100_000_000).as_nanos();
+    let extra = frame_time + cfg.switch.latency.as_nanos() + cfg.link.prop_delay.as_nanos();
+    assert_eq!(far - near, extra, "exactly one extra hop");
+}
+
+#[test]
+fn csma_cd_backoff_resolves_heavy_contention() {
+    // 10 stations, simultaneous bursts: everything must eventually get
+    // through with a plausible collision count, and the medium must have
+    // been serialized (total time >= total wire time).
+    let cfg = SimConfig {
+        fabric: FabricKind::SharedBus,
+        ..no_jitter()
+    };
+    let mut sim = Sim::new(cfg, 77);
+    let hosts = topology::shared_bus(&mut sim, 11);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    for &h in &hosts[1..] {
+        sim.spawn(
+            h,
+            PORT,
+            Box::new(Blast {
+                dest: UdpDest::host(hosts[0], PORT),
+                sizes: vec![1_000; 30],
+            }),
+        );
+    }
+    sim.spawn(hosts[0], PORT, Box::new(Sink { log: log.clone() }));
+    sim.run();
+
+    // CSMA/CD may legitimately drop a frame after 16 failed attempts
+    // under heavy contention; everything else must arrive.
+    let delivered = log.borrow().len() as u64;
+    assert_eq!(
+        delivered + sim.trace().drops_collisions,
+        300,
+        "every frame is delivered or dropped after 16 collisions"
+    );
+    assert!(delivered >= 290, "excessive-collision drops must stay rare");
+    assert!(sim.trace().collisions > 10, "contention must collide");
+    let wire = Duration::transmission(1_066 * 300, 100_000_000);
+    assert!(
+        sim.now().as_nanos() > wire.as_nanos(),
+        "shared medium serializes all traffic"
+    );
+}
+
+#[test]
+fn csma_cd_uncontended_station_transmits_immediately() {
+    let cfg = SimConfig {
+        fabric: FabricKind::SharedBus,
+        ..no_jitter()
+    };
+    let mut sim = Sim::new(cfg, 1);
+    let hosts = topology::shared_bus(&mut sim, 2);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blast {
+            dest: UdpDest::host(hosts[1], PORT),
+            sizes: vec![1_000; 5],
+        }),
+    );
+    sim.spawn(hosts[1], PORT, Box::new(Sink { log: log.clone() }));
+    sim.run();
+    assert_eq!(log.borrow().len(), 5);
+    assert_eq!(sim.trace().collisions, 0, "no contention, no collisions");
+}
+
+#[test]
+fn multicast_on_two_switch_cluster_costs_one_wire_per_segment() {
+    // A multicast frame crosses each link once: total wire bytes must be
+    // (number of links carrying it) x frame size, not receivers x frame.
+    let mut sim = Sim::new(no_jitter(), 1);
+    let hosts = topology::two_switch_cluster(&mut sim, 31);
+    let group = sim.create_group(&hosts[1..]);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blast {
+            dest: UdpDest::group(group, PORT),
+            sizes: vec![1_000],
+        }),
+    );
+    for &h in &hosts[1..] {
+        sim.spawn(h, PORT, Box::new(Sink { log: log.clone() }));
+    }
+    sim.run();
+    assert_eq!(log.borrow().len(), 30);
+    // Links carrying the frame: sender uplink + 15 receiver downlinks on
+    // sw0 + inter-switch + 15 downlinks on sw1 = 32 serializations.
+    let wire = sim.trace().wire_bytes_sent;
+    assert_eq!(wire, 1_066 * 32, "multicast duplicates only at switches");
+}
+
+#[test]
+fn unicast_conservation_under_random_loss() {
+    // sent == delivered + wire-drops + reassembly-timeouts (eventually).
+    let mut cfg = no_jitter();
+    cfg.faults.frame_loss = 0.05;
+    let mut sim = Sim::new(cfg, 9);
+    let hosts = topology::single_switch(&mut sim, 2);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blast {
+            dest: UdpDest::host(hosts[1], PORT),
+            sizes: vec![4_000; 100],
+        }),
+    );
+    sim.spawn(hosts[1], PORT, Box::new(Sink { log: log.clone() }));
+    sim.run();
+
+    let t = sim.trace();
+    let delivered = log.borrow().len() as u64;
+    assert_eq!(
+        delivered + t.drops_reassembly,
+        100,
+        "every datagram is delivered or timed out in reassembly \
+         (frame drops only ever kill whole datagrams through reassembly)"
+    );
+    assert!(t.drops_wire_fault > 0);
+}
+
+#[test]
+fn zero_length_datagrams_flow() {
+    let mut sim = Sim::new(no_jitter(), 1);
+    let hosts = topology::single_switch(&mut sim, 2);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blast {
+            dest: UdpDest::host(hosts[1], PORT),
+            sizes: vec![0, 0, 0],
+        }),
+    );
+    sim.spawn(hosts[1], PORT, Box::new(Sink { log: log.clone() }));
+    sim.run();
+    let log = log.borrow();
+    assert_eq!(log.len(), 3);
+    assert!(log.iter().all(|&(_, _, len)| len == 0));
+}
+
+#[test]
+fn max_size_datagram_fragments_and_reassembles() {
+    let mut sim = Sim::new(no_jitter(), 1);
+    let hosts = topology::single_switch(&mut sim, 2);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let max = netsim::frame::MAX_DATAGRAM;
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blast {
+            dest: UdpDest::host(hosts[1], PORT),
+            sizes: vec![max],
+        }),
+    );
+    sim.spawn(hosts[1], PORT, Box::new(Sink { log: log.clone() }));
+    sim.run();
+    assert_eq!(log.borrow()[0].2, max);
+    assert_eq!(sim.trace().frames_sent, 45);
+}
+
+#[test]
+fn heterogeneous_host_params_slow_one_receiver() {
+    // Two identical transfers; in the second, the receiver's CPU is 10x
+    // slower. Its delivery completes later, everything else equal.
+    fn run(slow: bool) -> u64 {
+        let mut sim = Sim::new(no_jitter(), 1);
+        let hosts = topology::single_switch(&mut sim, 2);
+        if slow {
+            let mut p = sim.config().host;
+            p.recv_syscall = p.recv_syscall * 10;
+            p.recv_per_byte_ns *= 10;
+            sim.set_host_params(hosts[1], p);
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            hosts[0],
+            PORT,
+            Box::new(Blast {
+                dest: UdpDest::host(hosts[1], PORT),
+                sizes: vec![10_000; 5],
+            }),
+        );
+        sim.spawn(hosts[1], PORT, Box::new(Sink { log: log.clone() }));
+        sim.run();
+        assert_eq!(log.borrow().len(), 5);
+        let t = log.borrow().last().unwrap().0.as_nanos();
+        t
+    }
+    let fast = run(false);
+    let slow = run(true);
+    assert!(
+        slow > fast + 1_000_000,
+        "a 10x slower receiver CPU must be visibly slower: {fast} vs {slow}"
+    );
+}
+
+#[test]
+fn frame_duplication_produces_duplicate_datagrams() {
+    // 100% duplication of single-fragment datagrams: the host reassembles
+    // the first copy, then sees a fully-duplicate fragment train -- which
+    // it treats as a fresh (complete) datagram with the same IP id and
+    // delivers again. Protocols de-duplicate at the transfer layer; the
+    // fabric's job is only to not lose anything.
+    let mut cfg = no_jitter();
+    cfg.faults.frame_dup = 1.0;
+    let mut sim = Sim::new(cfg, 1);
+    let hosts = topology::single_switch(&mut sim, 2);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blast {
+            dest: UdpDest::host(hosts[1], PORT),
+            sizes: vec![500; 5],
+        }),
+    );
+    sim.spawn(hosts[1], PORT, Box::new(Sink { log: log.clone() }));
+    sim.run();
+    assert!(
+        log.borrow().len() >= 5,
+        "nothing may be lost under duplication"
+    );
+}
+
+#[test]
+fn jumbo_frames_reduce_framing_overhead() {
+    fn wire_bytes(mtu: usize) -> u64 {
+        let mut cfg = no_jitter();
+        cfg.link.mtu = mtu;
+        let mut sim = Sim::new(cfg, 1);
+        let hosts = topology::single_switch(&mut sim, 2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            hosts[0],
+            PORT,
+            Box::new(Blast {
+                dest: UdpDest::host(hosts[1], PORT),
+                sizes: vec![60_000; 5],
+            }),
+        );
+        sim.spawn(hosts[1], PORT, Box::new(Sink { log: log.clone() }));
+        sim.run();
+        assert_eq!(log.borrow().len(), 5, "mtu {mtu}");
+        sim.trace().wire_bytes_sent
+    }
+    let standard = wire_bytes(1_500);
+    let jumbo = wire_bytes(9_000);
+    assert!(
+        jumbo < standard,
+        "jumbo frames must cut per-fragment overhead: {jumbo} vs {standard}"
+    );
+    // 60 kB at 1500: 41 fragments of ~66 B overhead each; at 9000: 7.
+    assert!(standard - jumbo > 2 * 5 * (41 - 7) * 40);
+}
+
+#[test]
+fn tiny_mtu_fragments_heavily_and_still_works() {
+    let mut cfg = no_jitter();
+    cfg.link.mtu = 576; // the classic minimum-reassembly MTU
+    let mut sim = Sim::new(cfg, 1);
+    let hosts = topology::single_switch(&mut sim, 2);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blast {
+            dest: UdpDest::host(hosts[1], PORT),
+            sizes: vec![65_507],
+        }),
+    );
+    sim.spawn(hosts[1], PORT, Box::new(Sink { log: log.clone() }));
+    sim.run();
+    assert_eq!(log.borrow().len(), 1);
+    assert_eq!(log.borrow()[0].2, 65_507);
+    // 65507 / 548 = 120 fragments.
+    assert_eq!(sim.trace().frames_sent, 120);
+}
+
+#[test]
+fn slow_uplink_paces_one_host() {
+    // Host 1's uplink at 10 Mbit/s: the same blast takes ~10x longer to
+    // reach host 0 from h1 than from h2 (100 Mbit/s).
+    let mut sim = Sim::new(no_jitter(), 1);
+    let hosts = topology::single_switch(&mut sim, 3);
+    let mut slow = *sim.config();
+    slow.link.rate_bps = 10_000_000;
+    sim.set_link_params(hosts[1], slow.link);
+
+    let log = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        hosts[1],
+        PORT,
+        Box::new(Blast {
+            dest: UdpDest::host(hosts[0], PORT),
+            sizes: vec![50_000],
+        }),
+    );
+    sim.spawn(
+        hosts[2],
+        PORT,
+        Box::new(Blast {
+            dest: UdpDest::host(hosts[0], PORT),
+            sizes: vec![50_000],
+        }),
+    );
+    sim.spawn(hosts[0], PORT, Box::new(Sink { log: log.clone() }));
+    sim.run();
+
+    let log = log.borrow();
+    assert_eq!(log.len(), 2);
+    // Deliveries carry (time, receiving host, len); identify by order:
+    // the fast host's datagram lands far earlier.
+    let mut times: Vec<u64> = log.iter().map(|&(t, _, _)| t.as_nanos()).collect();
+    times.sort();
+    assert!(
+        times[1] > times[0] * 5,
+        "slow uplink must dominate: {times:?}"
+    );
+}
+
+#[test]
+fn slow_trunk_bottlenecks_cross_switch_traffic() {
+    // Degrade the inter-switch trunk to 10 Mbit/s: multicast to receivers
+    // behind the trunk crawls while same-switch receivers are unaffected.
+    let mut sim = Sim::new(no_jitter(), 1);
+    let hosts = topology::two_switch_cluster(&mut sim, 18);
+    let mut trunk = sim.config().link;
+    trunk.rate_bps = 10_000_000;
+    sim.set_trunk_params(netsim::SwitchId(0), netsim::SwitchId(1), trunk);
+
+    let group = sim.create_group(&hosts[1..]);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blast {
+            dest: UdpDest::group(group, PORT),
+            sizes: vec![50_000],
+        }),
+    );
+    for &h in &hosts[1..] {
+        sim.spawn(h, PORT, Box::new(Sink { log: log.clone() }));
+    }
+    sim.run();
+
+    let log = log.borrow();
+    assert_eq!(log.len(), 17);
+    let near_max = log
+        .iter()
+        .filter(|&&(_, h, _)| h.0 < 16)
+        .map(|&(t, _, _)| t.as_nanos())
+        .max()
+        .unwrap();
+    let far_min = log
+        .iter()
+        .filter(|&&(_, h, _)| h.0 >= 16)
+        .map(|&(t, _, _)| t.as_nanos())
+        .min()
+        .unwrap();
+    assert!(
+        far_min > near_max + 20_000_000,
+        "10 Mbit/s trunk must delay the far side by tens of ms: near={near_max} far={far_min}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "not directly cabled")]
+fn trunk_override_requires_cable() {
+    let mut sim = Sim::new(no_jitter(), 1);
+    let _ = topology::single_switch(&mut sim, 2);
+    let sw2 = sim.add_switch();
+    sim.set_trunk_params(netsim::SwitchId(0), sw2, sim.config().link);
+}
+
+#[test]
+fn three_switch_chain_routes_unicast_and_multicast() {
+    let mut sim = Sim::new(no_jitter(), 1);
+    let hosts = topology::switch_chain(&mut sim, 9, 3);
+    let group = sim.create_group(&hosts[1..]);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blast {
+            dest: UdpDest::group(group, PORT),
+            sizes: vec![5_000; 3],
+        }),
+    );
+    for &h in &hosts[1..] {
+        sim.spawn(h, PORT, Box::new(Sink { log: log.clone() }));
+    }
+    sim.run();
+    assert_eq!(log.borrow().len(), 24, "3 datagrams x 8 receivers");
+    assert!(sim.trace().clean());
+}
+
+#[test]
+fn star_of_switches_routes_across_leaves() {
+    let mut sim = Sim::new(no_jitter(), 2);
+    let hosts = topology::star_of_switches(&mut sim, 12, 4);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    // Unicast from a host on leaf 0 to one on leaf 3 crosses core.
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blast {
+            dest: UdpDest::host(hosts[3], PORT),
+            sizes: vec![2_000; 5],
+        }),
+    );
+    sim.spawn(hosts[3], PORT, Box::new(Sink { log: log.clone() }));
+    sim.run();
+    assert_eq!(log.borrow().len(), 5);
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the simulator's building blocks.
+
+use netsim::egress::Egress;
+use netsim::frame::{
+    fragment_frame_bytes, fragment_payload_len, fragment_wire_bytes, n_fragments, ETH_MIN_FRAME,
+    ETH_PREAMBLE_IFG, FRAG_DATA, MAX_DATAGRAM,
+};
+use proptest::prelude::*;
+use rmwire::{Duration, Time};
+
+proptest! {
+    /// Fragment payload lengths always sum to the datagram length, every
+    /// fragment fits the MTU, and only the last may be short.
+    #[test]
+    fn fragmentation_partition(len in 0usize..=MAX_DATAGRAM) {
+        let n = n_fragments(len);
+        prop_assert!(n >= 1);
+        let mut sum = 0;
+        for i in 0..n {
+            let p = fragment_payload_len(len, i);
+            prop_assert!(p <= FRAG_DATA);
+            if i + 1 < n {
+                prop_assert_eq!(p, FRAG_DATA, "only the tail may be short");
+            }
+            sum += p;
+        }
+        prop_assert_eq!(sum, len);
+    }
+
+    /// Frame sizes respect Ethernet's minimum and the preamble accounting.
+    #[test]
+    fn frame_size_bounds(len in 0usize..=MAX_DATAGRAM) {
+        let n = n_fragments(len);
+        for i in 0..n {
+            let f = fragment_frame_bytes(len, i);
+            prop_assert!(f >= ETH_MIN_FRAME);
+            prop_assert!(f <= 1518, "never above the MTU frame");
+            prop_assert_eq!(fragment_wire_bytes(len, i), f + ETH_PREAMBLE_IFG);
+        }
+    }
+
+    /// The egress clock: departures are monotone, never earlier than
+    /// enqueue + transmission time, and back-to-back when saturated.
+    #[test]
+    fn egress_departures_monotone(
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..2_000, 64usize..1_600), 1..50)
+    ) {
+        let mut e = Egress::new();
+        let mut now = Time::ZERO;
+        let mut last_done = Time::ZERO;
+        for (gap_us, tx_us, bytes) in jobs {
+            now += Duration::from_micros(gap_us);
+            let tx = Duration::from_micros(tx_us);
+            let done = e.enqueue(now, tx, bytes);
+            prop_assert!(done >= now + tx, "cannot finish before serialization");
+            prop_assert!(done >= last_done, "FIFO order");
+            prop_assert!(
+                done == now + tx || done == last_done + tx,
+                "either starts immediately or right after the predecessor"
+            );
+            last_done = done;
+        }
+    }
+
+    /// `earliest_fit` never returns a time at which the frame would still
+    /// not fit, and never a time later than the full drain.
+    #[test]
+    fn egress_fit_is_tight(
+        preload in proptest::collection::vec((1u64..500, 64usize..1_519), 0..20),
+        need in 64usize..2_000,
+        cap in 2_000usize..20_000,
+    ) {
+        let mut e = Egress::new();
+        for (tx_us, bytes) in preload {
+            e.enqueue(Time::ZERO, Duration::from_micros(tx_us), bytes);
+        }
+        let drain = e.idle_at();
+        match e.earliest_fit(Time::ZERO, need, cap) {
+            None => prop_assert!(need > cap),
+            Some(t) => {
+                prop_assert!(t <= drain, "never later than full drain");
+                prop_assert!(
+                    e.queued_bytes(t) + need <= cap,
+                    "fit time must actually fit"
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic-run property across random workloads: two simulations
+/// with identical seeds produce identical traces.
+mod determinism {
+    use bytes::Bytes;
+    use netsim::process::{Ctx, DatagramIn, Process};
+    use netsim::{topology, Sim, SimConfig, UdpDest};
+    use proptest::prelude::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Blast {
+        dest: UdpDest,
+        sizes: Vec<usize>,
+    }
+    impl Process for Blast {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for &s in &self.sizes {
+                ctx.send(self.dest, Bytes::from(vec![1u8; s]));
+            }
+        }
+    }
+    struct Count {
+        log: Rc<RefCell<Vec<u64>>>,
+    }
+    impl Process for Count {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dg: DatagramIn) {
+            self.log
+                .borrow_mut()
+                .push(ctx.now().as_nanos() ^ dg.payload.len() as u64);
+        }
+    }
+
+    fn run(seed: u64, sizes: &[usize], n: usize) -> Vec<u64> {
+        let mut sim = Sim::new(SimConfig::default(), seed);
+        let hosts = topology::two_switch_cluster(&mut sim, n + 1);
+        let group = sim.create_group(&hosts[1..]);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            hosts[0],
+            9,
+            Box::new(Blast {
+                dest: UdpDest::group(group, 9),
+                sizes: sizes.to_vec(),
+            }),
+        );
+        for &h in &hosts[1..] {
+            sim.spawn(h, 9, Box::new(Count { log: log.clone() }));
+        }
+        sim.run();
+        let v = log.borrow().clone();
+        v
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn identical_seeds_identical_traces(
+            seed in any::<u64>(),
+            sizes in proptest::collection::vec(1usize..20_000, 1..8),
+            n in 1usize..6,
+        ) {
+            let a = run(seed, &sizes, n);
+            let b = run(seed, &sizes, n);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.len(), sizes.len() * n, "clean network delivers everything");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Wire formats and shared vocabulary for the `ethermulticast` suite.
+//!
+//! This crate is the bottom of the dependency stack: it defines the types
+//! that the protocol engines ([`rmcast`]), the Ethernet simulator
+//! ([`netsim`]), the simulation harness and the real-socket backend all
+//! agree on:
+//!
+//! * [`time`] — a nanosecond-resolution virtual [`time::Time`] instant and
+//!   [`time::Duration`], used both by the discrete-event simulator and (via
+//!   a monotonic-clock adapter) by the real-UDP backend.
+//! * [`seq`] — wrapping 32-bit sequence numbers with a total "window" order,
+//!   exactly the arithmetic a sliding-window protocol needs.
+//! * [`header`] — the reliable-multicast packet header from the paper
+//!   (§4 *Packet Header*): a one-byte packet type plus a four-byte sequence
+//!   number, extended with the transfer id and sender rank that the paper
+//!   carries implicitly in the UDP/IP headers.
+//! * [`payload`] — typed encodings for the non-data packet bodies
+//!   (buffer-allocation requests, cumulative ACKs, NAKs).
+//! * [`rank`] — participant identity within a static multicast group.
+//!
+//! All encodings are explicit big-endian byte layouts over [`bytes`]
+//! buffers; no `serde` in the packet path (the hot path never allocates for
+//! a header).
+//!
+//! [`rmcast`]: https://docs.rs/rmcast
+//! [`netsim`]: https://docs.rs/netsim
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod header;
+pub mod payload;
+pub mod rank;
+pub mod seq;
+pub mod time;
+
+pub use header::{Header, PacketFlags, PacketType, HEADER_LEN};
+pub use payload::{AckBody, AllocBody, NakBody};
+pub use rank::{GroupSpec, Rank};
+pub use seq::SeqNo;
+pub use time::{Duration, Time};
+
+/// Errors produced while decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed part of the structure.
+    Truncated {
+        /// How many bytes were required.
+        need: usize,
+        /// How many bytes were available.
+        have: usize,
+    },
+    /// The packet-type byte is not a known discriminant.
+    BadPacketType(u8),
+    /// A flags byte carries bits outside the defined set.
+    BadFlags(u8),
+    /// A length field is inconsistent with the buffer.
+    BadLength {
+        /// Declared length.
+        declared: usize,
+        /// Actual remaining bytes.
+        actual: usize,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated wire data: need {need} bytes, have {have}")
+            }
+            WireError::BadPacketType(b) => write!(f, "unknown packet type byte {b:#04x}"),
+            WireError::BadFlags(b) => write!(f, "unknown flag bits in {b:#04x}"),
+            WireError::BadLength { declared, actual } => {
+                write!(f, "bad length field: declared {declared}, actual {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

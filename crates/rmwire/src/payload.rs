@@ -1,0 +1,168 @@
+//! Typed bodies of the non-data packets.
+//!
+//! Data packets carry raw application bytes after the header; control
+//! packets carry one of the small fixed-size bodies below.
+
+use crate::{SeqNo, WireError};
+use bytes::{Buf, BufMut};
+
+/// Body of a buffer-allocation request (a `Data` packet with the `ALLOC`
+/// flag; paper §4 *Buffer management*: "sending the size of the message to
+/// the receivers first before the actual message is transmitted").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocBody {
+    /// Total length in bytes of the message about to be transferred.
+    pub msg_len: u64,
+    /// Transfer id the data packets will use.
+    pub data_transfer: u32,
+    /// Packet (UDP payload) size the sender will use for the data transfer,
+    /// letting receivers size their reassembly window.
+    pub packet_size: u32,
+}
+
+impl AllocBody {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 16;
+
+    /// Append the encoded body to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u64(self.msg_len);
+        buf.put_u32(self.data_transfer);
+        buf.put_u32(self.packet_size);
+    }
+
+    /// Decode from the front of `buf`.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < Self::LEN {
+            return Err(WireError::Truncated {
+                need: Self::LEN,
+                have: buf.remaining(),
+            });
+        }
+        Ok(AllocBody {
+            msg_len: buf.get_u64(),
+            data_transfer: buf.get_u32(),
+            packet_size: buf.get_u32(),
+        })
+    }
+}
+
+/// Body of an `Ack` packet: a *cumulative* acknowledgment.
+///
+/// `next_expected` means "I (and, in the tree protocol, every receiver in my
+/// subtree) have received every data packet with `seq < next_expected`".
+/// The ring protocol sends these from the rotating token site; the ACK
+/// protocol from every receiver; the NAK protocol only in response to
+/// polled packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckBody {
+    /// All sequence numbers strictly before this one are acknowledged.
+    pub next_expected: SeqNo,
+}
+
+impl AckBody {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 4;
+
+    /// Append the encoded body to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.next_expected.0);
+    }
+
+    /// Decode from the front of `buf`.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < Self::LEN {
+            return Err(WireError::Truncated {
+                need: Self::LEN,
+                have: buf.remaining(),
+            });
+        }
+        Ok(AckBody {
+            next_expected: SeqNo(buf.get_u32()),
+        })
+    }
+}
+
+/// Body of a `Nak` packet: the receiver's next expected sequence number,
+/// i.e. the first packet of the detected gap. Under Go-Back-N the sender
+/// rewinds to this point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NakBody {
+    /// First missing sequence number.
+    pub expected: SeqNo,
+}
+
+impl NakBody {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 4;
+
+    /// Append the encoded body to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.expected.0);
+    }
+
+    /// Decode from the front of `buf`.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < Self::LEN {
+            return Err(WireError::Truncated {
+                need: Self::LEN,
+                have: buf.remaining(),
+            });
+        }
+        Ok(NakBody {
+            expected: SeqNo(buf.get_u32()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn alloc_round_trip() {
+        let a = AllocBody {
+            msg_len: 500 * 1024,
+            data_transfer: 7,
+            packet_size: 8000,
+        };
+        let mut buf = BytesMut::new();
+        a.encode(&mut buf);
+        assert_eq!(buf.len(), AllocBody::LEN);
+        let mut b = buf.freeze();
+        assert_eq!(AllocBody::decode(&mut b).unwrap(), a);
+    }
+
+    #[test]
+    fn ack_round_trip() {
+        let a = AckBody {
+            next_expected: SeqNo(u32::MAX),
+        };
+        let mut buf = BytesMut::new();
+        a.encode(&mut buf);
+        let mut b = buf.freeze();
+        assert_eq!(AckBody::decode(&mut b).unwrap(), a);
+    }
+
+    #[test]
+    fn nak_round_trip() {
+        let n = NakBody {
+            expected: SeqNo(123),
+        };
+        let mut buf = BytesMut::new();
+        n.encode(&mut buf);
+        let mut b = buf.freeze();
+        assert_eq!(NakBody::decode(&mut b).unwrap(), n);
+    }
+
+    #[test]
+    fn truncated_bodies_rejected() {
+        let mut b: &[u8] = &[0, 1, 2];
+        assert!(AllocBody::decode(&mut b).is_err());
+        let mut b: &[u8] = &[0];
+        assert!(AckBody::decode(&mut b).is_err());
+        let mut b: &[u8] = &[];
+        assert!(NakBody::decode(&mut b).is_err());
+    }
+}

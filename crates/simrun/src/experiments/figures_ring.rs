@@ -1,0 +1,57 @@
+//! Figures 15–17: the ring-based protocol.
+
+use super::{ring_cfg, rm_scenario, Effort, N_RECEIVERS};
+use crate::table::{secs, Table};
+
+/// Figure 15: packet-size sweep (2 MB, 30 receivers, window 35).
+pub fn fig15(effort: Effort) -> Table {
+    let mut t = Table::new(
+        "fig15",
+        "Figure 15: ring-based protocol, packet size sweep (2 MB, 30 receivers, window 35)",
+        &["packet_bytes", "time_s"],
+    );
+    let packets = [5_000usize, 8_000, 10_000, 20_000, 30_000, 40_000, 50_000];
+    for &ps in &effort.thin(&packets) {
+        let r = rm_scenario(effort, ring_cfg(ps, 35), N_RECEIVERS, 2_000_000).run_avg();
+        t.push_row(vec![ps.to_string(), secs(r.comm_time)]);
+    }
+    t.note("paper: best between 5 KB and 10 KB; small packets add overhead, large hurt the pipeline");
+    t
+}
+
+/// Figure 16: window-size sweep (2 MB, 30 receivers).
+pub fn fig16(effort: Effort) -> Table {
+    let packets = [1_000usize, 8_000, 20_000];
+    let mut t = Table::new(
+        "fig16",
+        "Figure 16: ring-based protocol, window sweep (2 MB, 30 receivers)",
+        &["window", "ps=1000_s", "ps=8000_s", "ps=20000_s"],
+    );
+    let windows: Vec<usize> = (40..=100).step_by(10).collect();
+    for &w in &effort.thin(&windows) {
+        let mut row = vec![w.to_string()];
+        for &ps in &packets {
+            let r = rm_scenario(effort, ring_cfg(ps, w), N_RECEIVERS, 2_000_000).run_avg();
+            row.push(secs(r.comm_time));
+        }
+        t.push_row(row);
+    }
+    t.note("paper: needs > N buffers; the best window depends on the packet size");
+    t
+}
+
+/// Figure 17: scalability (2 MB, 8 KB packets, window 50).
+pub fn fig17(effort: Effort) -> Table {
+    let mut t = Table::new(
+        "fig17",
+        "Figure 17: ring-based protocol, scalability (2 MB, ps 8000, window 50)",
+        &["receivers", "time_s"],
+    );
+    let ns: Vec<u16> = (1..=N_RECEIVERS).collect();
+    for &n in &effort.thin(&ns) {
+        let r = rm_scenario(effort, ring_cfg(8_000, 50), n, 2_000_000).run_avg();
+        t.push_row(vec![n.to_string(), secs(r.comm_time)]);
+    }
+    t.note("paper: near-flat — under 1% growth from 1 to 30 receivers");
+    t
+}

@@ -1,0 +1,84 @@
+//! Figures 18–21: the tree-based protocol with the flat-tree structure.
+
+use super::{rm_scenario, tree_cfg, Effort, N_RECEIVERS};
+use crate::table::{secs, Table};
+
+/// Figure 18: tree-height sweep (500 KB, 30 receivers, window 20).
+pub fn fig18(effort: Effort) -> Table {
+    let mut t = Table::new(
+        "fig18",
+        "Figure 18: flat tree height sweep (500 KB, 30 receivers, window 20)",
+        &["height", "ps=50000_s", "ps=8000_s"],
+    );
+    let heights: Vec<usize> = (1..=N_RECEIVERS as usize).collect();
+    for &h in &effort.thin(&heights) {
+        let big = rm_scenario(effort, tree_cfg(50_000, 20, h), N_RECEIVERS, 500_000).run_avg();
+        let small = rm_scenario(effort, tree_cfg(8_000, 20, h), N_RECEIVERS, 500_000).run_avg();
+        t.push_row(vec![h.to_string(), secs(big.comm_time), secs(small.comm_time)]);
+    }
+    t.note("paper: extremes (H=1, H=30) are not optimal; 8KB beats 50KB except at H=1");
+    t
+}
+
+/// Figure 19: window sweep for several tree heights (500 KB, 8 KB packets).
+pub fn fig19(effort: Effort) -> Table {
+    let heights = [1usize, 2, 6, 30];
+    let mut t = Table::new(
+        "fig19",
+        "Figure 19: flat tree, window sweep (500 KB, ps 8000, 30 receivers)",
+        &["window", "H=1_s", "H=2_s", "H=6_s", "H=30_s"],
+    );
+    let windows: Vec<usize> = (1..=20).collect();
+    for &w in &effort.thin(&windows) {
+        let mut row = vec![w.to_string()];
+        for &h in &heights {
+            let r = rm_scenario(effort, tree_cfg(8_000, w, h), N_RECEIVERS, 500_000).run_avg();
+            row.push(secs(r.comm_time));
+        }
+        t.push_row(row);
+    }
+    t.note("paper: taller trees need more window to cover the longer ack round trip");
+    t
+}
+
+/// Figure 20: tree height for small messages.
+pub fn fig20(effort: Effort) -> Table {
+    let sizes = [1usize, 256, 8_192];
+    let mut t = Table::new(
+        "fig20",
+        "Figure 20: flat tree, small messages (30 receivers)",
+        &["height", "size=1_s", "size=256_s", "size=8192_s"],
+    );
+    let heights: Vec<usize> = vec![1, 2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 25, 30];
+    for &h in &effort.thin(&heights) {
+        let mut row = vec![h.to_string()];
+        for &len in &sizes {
+            let r = rm_scenario(effort, tree_cfg(8_000, 20, h), N_RECEIVERS, len).run_avg();
+            row.push(secs(r.comm_time));
+        }
+        t.push_row(row);
+    }
+    t.note("paper: latency grows sharply for H >= 15 — user-level ack relaying");
+    t
+}
+
+/// Figure 21: window x packet size at H = 6 (500 KB).
+pub fn fig21(effort: Effort) -> Table {
+    let packets = [1_300usize, 8_000, 50_000];
+    let mut t = Table::new(
+        "fig21",
+        "Figure 21: flat tree H=6, window x packet size (500 KB, 30 receivers)",
+        &["window", "ps=1300_s", "ps=8000_s", "ps=50000_s"],
+    );
+    let windows: Vec<usize> = (1..=50).collect();
+    for &w in &effort.thin(&windows) {
+        let mut row = vec![w.to_string()];
+        for &ps in &packets {
+            let r = rm_scenario(effort, tree_cfg(ps, w, 6), N_RECEIVERS, 500_000).run_avg();
+            row.push(secs(r.comm_time));
+        }
+        t.push_row(row);
+    }
+    t.note("paper: 50KB packets hurt the pipeline, 1300B packets add overhead; 8KB best");
+    t
+}

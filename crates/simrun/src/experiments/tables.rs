@@ -1,0 +1,112 @@
+//! Tables 1–3 of the paper.
+
+use super::{ack_cfg, nak_cfg, ring_cfg, rm_scenario, tree_cfg, Effort, N_RECEIVERS};
+use crate::table::{mbps, secs, Table};
+use rmcast::ProtocolConfig;
+
+/// Table 1: memory requirement (measured peak protocol buffers) and
+/// implementation complexity (the paper's qualitative ranking).
+pub fn table1(effort: Effort) -> Table {
+    let mut t = Table::new(
+        "table1",
+        "Table 1: memory requirement (measured) and implementation complexity (paper)",
+        &[
+            "protocol",
+            "sender_peak_bytes",
+            "receiver_peak_bytes",
+            "paper_memory",
+            "paper_complexity",
+        ],
+    );
+    let cases: [(&str, ProtocolConfig, &str, &str); 4] = [
+        ("ack", ack_cfg(8_000, 2), "low", "low"),
+        ("nak", nak_cfg(8_000, 50, 41), "high", "low"),
+        ("ring", ring_cfg(8_000, 50), "high", "high"),
+        ("tree (H=6)", tree_cfg(8_000, 20, 6), "low", "high"),
+    ];
+    for (name, cfg, mem, cx) in cases {
+        let r = rm_scenario(effort, cfg, N_RECEIVERS, 500_000).run_avg();
+        let recv_peak = r
+            .receiver_stats
+            .iter()
+            .map(|s| s.peak_buffer_bytes)
+            .max()
+            .unwrap_or(0);
+        t.push_row(vec![
+            name.to_string(),
+            r.sender_stats.peak_buffer_bytes.to_string(),
+            recv_peak.to_string(),
+            mem.to_string(),
+            cx.to_string(),
+        ]);
+    }
+    t.note("sender peak = window x packet size: ACK/tree pin little, NAK/ring pin a lot");
+    t
+}
+
+/// Table 2: control packets processed by the sender per data packet,
+/// measured against the paper's analytic expectation.
+pub fn table2(effort: Effort) -> Table {
+    let n = N_RECEIVERS as f64;
+    let mut t = Table::new(
+        "table2",
+        "Table 2: sender control packets per data packet (measured vs analytic)",
+        &["protocol", "measured", "analytic", "formula"],
+    );
+    let cases: [(&str, ProtocolConfig, f64, &str); 4] = [
+        ("ack", ack_cfg(8_000, 2), n, "N"),
+        ("nak (i=10)", nak_cfg(8_000, 20, 10), n / 10.0, "N/i"),
+        ("ring", ring_cfg(8_000, 50), 1.0, "1"),
+        ("tree (H=6)", tree_cfg(8_000, 20, 6), n / 6.0, "N/H"),
+    ];
+    for (name, cfg, analytic, formula) in cases {
+        let r = rm_scenario(effort, cfg, N_RECEIVERS, 500_000).run_avg();
+        let measured = r.sender_stats.control_per_data_packet();
+        t.push_row(vec![
+            name.to_string(),
+            format!("{measured:.2}"),
+            format!("{analytic:.2}"),
+            formula.to_string(),
+        ]);
+    }
+    t.note("measured includes the alloc round trip and the everyone-acks-LAST rule, so it sits slightly above the asymptotic formula");
+    t
+}
+
+/// Table 3: throughput of each protocol's best configuration on a 2 MB
+/// message.
+pub fn table3(effort: Effort) -> Table {
+    let mut t = Table::new(
+        "table3",
+        "Table 3: best-configuration throughput, 2 MB to 30 receivers",
+        &[
+            "protocol",
+            "config",
+            "time_s",
+            "throughput_mbps",
+            "paper_mbps",
+            "sender_busy",
+        ],
+    );
+    let cases: [(&str, ProtocolConfig, &str, f64); 5] = [
+        ("ack", ack_cfg(50_000, 5), "ps=50K w=5", 68.0),
+        ("nak", nak_cfg(8_000, 50, 43), "ps=8K w=50 poll=43", 89.7),
+        ("ring", ring_cfg(8_000, 50), "ps=8K w=50", 84.6),
+        ("tree (H=6)", tree_cfg(8_000, 20, 6), "ps=8K w=20 H=6", 77.3),
+        ("tree (H=15)", tree_cfg(8_000, 20, 15), "ps=8K w=20 H=15", 81.2),
+    ];
+    for (name, cfg, desc, paper) in cases {
+        let r = rm_scenario(effort, cfg, N_RECEIVERS, 2_000_000).run_avg();
+        t.push_row(vec![
+            name.to_string(),
+            desc.to_string(),
+            secs(r.comm_time),
+            mbps(r.throughput_mbps),
+            mbps(paper),
+            format!("{:.0}%", r.sender_cpu_utilization * 100.0),
+        ]);
+    }
+    t.note("paper ordering: NAK >= ring >= tree >= ACK for large messages");
+    t.note("sender_busy = CPU work + time blocked in sendto; the sender is the bottleneck in every protocol, and the ACK protocol wastes the most of it on acknowledgment processing");
+    t
+}

@@ -1,0 +1,44 @@
+//! Experiment harness: the `rmcast` protocol engines running inside the
+//! `netsim` Ethernet-cluster simulator.
+//!
+//! This crate is the reproduction's measurement apparatus:
+//!
+//! * [`adapter`] drives sans-io endpoints as simulated host processes,
+//!   charging the user-level CPU costs of the paper's implementation
+//!   (protocol processing, the user-to-protocol-buffer copy,
+//!   `gettimeofday` reads).
+//! * [`cost`] + [`calibration`] hold the cost model and the rationale for
+//!   every constant.
+//! * [`scenario`] describes one measurable run — protocol, message,
+//!   group size, topology — and executes it with the paper's methodology
+//!   (three seeds, averaged).
+//! * [`experiments`] regenerates every figure and table of the paper's
+//!   evaluation (§5): one function per artifact, each returning a
+//!   [`table::Table`] that renders to aligned text and CSV.
+//!
+//! ```no_run
+//! use simrun::scenario::{Protocol, Scenario};
+//! use rmcast::{ProtocolConfig, ProtocolKind};
+//!
+//! let sc = Scenario::new(
+//!     Protocol::Rm(ProtocolConfig::new(ProtocolKind::nak_polling(16), 8000, 20)),
+//!     30,        // receivers
+//!     500_000,   // message bytes
+//! );
+//! let avg = sc.run_avg();
+//! println!("500 KB to 30 receivers: {}", avg.comm_time);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adapter;
+pub mod calibration;
+pub mod cost;
+pub mod experiments;
+pub mod scenario;
+pub mod table;
+
+pub use cost::CostModel;
+pub use scenario::{Protocol, RunResult, Scenario, TopologyKind};
+pub use table::Table;

@@ -1,0 +1,417 @@
+//! One measurable run: protocol, workload, cluster, seeds.
+
+use crate::adapter::{AddrMap, NodeProcess, NodeRole, Recorder, SharedRecorder};
+use crate::calibration;
+use crate::cost::CostModel;
+use bytes::Bytes;
+use netsim::{topology, FabricKind, Sim, SimConfig, TraceCounters};
+use rmcast::baseline::{RawUdpReceiver, RawUdpSender, SerialUnicastSender};
+use rmcast::{GroupSpec, ProtocolConfig, Receiver, Sender, Stats};
+use rmwire::{Duration, Rank, Time};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// UDP port all endpoints bind.
+const PORT: u16 = 5000;
+
+/// Which sender/receiver pair a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Protocol {
+    /// One of the four reliable multicast protocol families.
+    Rm(ProtocolConfig),
+    /// The raw-UDP blast baseline (Figure 9).
+    RawUdp {
+        /// Data bytes per packet.
+        packet_size: usize,
+    },
+    /// The serial reliable-unicast "TCP" baseline (Figure 8).
+    SerialUnicast {
+        /// TCP-like segment size.
+        segment_size: usize,
+        /// Window in segments.
+        window: usize,
+    },
+}
+
+impl Protocol {
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Protocol::Rm(cfg) => cfg.kind.name().to_string(),
+            Protocol::RawUdp { .. } => "raw-udp".into(),
+            Protocol::SerialUnicast { .. } => "tcp-serial".into(),
+        }
+    }
+}
+
+/// Cluster wiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologyKind {
+    /// The paper's Figure 7: two cascaded switches, 16 + 15 hosts.
+    #[default]
+    TwoSwitch,
+    /// Everything on one switch.
+    SingleSwitch,
+    /// A single shared CSMA/CD bus.
+    SharedBus,
+}
+
+/// A fully specified, repeatable experiment run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Number of receivers (the paper uses up to 30).
+    pub n_receivers: u16,
+    /// Message size in bytes.
+    pub msg_size: usize,
+    /// Messages sent back to back (the paper sends one).
+    pub n_messages: usize,
+    /// Cluster wiring.
+    pub topology: TopologyKind,
+    /// Physical/kernel simulation parameters.
+    pub sim: SimConfig,
+    /// User-level protocol cost model.
+    pub cost: CostModel,
+    /// Slow down receiver rank 1's CPU by this factor (1.0 = homogeneous,
+    /// the paper's assumption). Tests the paper's §3 scoping claim that
+    /// heterogeneous clusters need different techniques.
+    pub slow_receiver_factor: f64,
+    /// Extra hosts cabled to the fabric but outside the multicast group:
+    /// they run nothing, but flooding makes them pay the kernel discard
+    /// cost per data frame (paper §3, first bullet).
+    pub bystanders: usize,
+    /// Seeds averaged over (the paper averages three measurements).
+    pub seeds: Vec<u64>,
+    /// Abort if a run exceeds this much simulated time.
+    pub time_cap: Duration,
+}
+
+impl Scenario {
+    /// A scenario on the calibrated paper testbed with three seeds.
+    pub fn new(protocol: Protocol, n_receivers: u16, msg_size: usize) -> Self {
+        let (sim, cost) = calibration::paper_testbed();
+        Scenario {
+            protocol,
+            n_receivers,
+            msg_size,
+            n_messages: 1,
+            topology: TopologyKind::TwoSwitch,
+            sim,
+            cost,
+            slow_receiver_factor: 1.0,
+            bystanders: 0,
+            seeds: vec![1, 2, 3],
+            time_cap: Duration::from_secs(120),
+        }
+    }
+
+    /// The deterministic message payload used in runs.
+    pub fn payload(&self) -> Bytes {
+        Bytes::from(
+            (0..self.msg_size)
+                .map(|i| (i as u8).wrapping_mul(37).wrapping_add(11))
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    /// Execute once with `seed`.
+    pub fn run(&self, seed: u64) -> RunResult {
+        let mut sim_cfg = self.sim;
+        if self.topology == TopologyKind::SharedBus {
+            sim_cfg.fabric = FabricKind::SharedBus;
+        }
+        let mut sim = Sim::new(sim_cfg, seed);
+        let n = self.n_receivers as usize;
+        let total = n + 1 + self.bystanders;
+        let hosts = match self.topology {
+            TopologyKind::TwoSwitch => topology::two_switch_cluster(&mut sim, total),
+            TopologyKind::SingleSwitch => topology::single_switch(&mut sim, total),
+            TopologyKind::SharedBus => topology::shared_bus(&mut sim, total),
+        };
+        let sender_host = hosts[0];
+        let receiver_hosts = hosts[1..=n].to_vec();
+        if self.slow_receiver_factor != 1.0 {
+            assert!(self.slow_receiver_factor >= 1.0, "factor must be >= 1");
+            let f = self.slow_receiver_factor;
+            let mut p = sim.config().host;
+            p.recv_syscall = rmwire::Duration::from_nanos(
+                (p.recv_syscall.as_nanos() as f64 * f) as u64,
+            );
+            p.recv_per_fragment = rmwire::Duration::from_nanos(
+                (p.recv_per_fragment.as_nanos() as f64 * f) as u64,
+            );
+            p.recv_per_byte_ns = (p.recv_per_byte_ns as f64 * f) as u64;
+            p.send_syscall = rmwire::Duration::from_nanos(
+                (p.send_syscall.as_nanos() as f64 * f) as u64,
+            );
+            sim.set_host_params(receiver_hosts[0], p);
+        }
+        let group = sim.create_group(&receiver_hosts);
+        let addr = Rc::new(AddrMap {
+            sender_host,
+            receiver_hosts: receiver_hosts.clone(),
+            group,
+            port: PORT,
+        });
+
+        let rec: SharedRecorder = Rc::new(RefCell::new(Recorder {
+            expect_msgs: self.n_messages as u64,
+            ..Recorder::default()
+        }));
+
+        let msgs: Vec<Bytes> = (0..self.n_messages).map(|_| self.payload()).collect();
+        let gspec = GroupSpec::new(self.n_receivers);
+
+        match self.protocol {
+            Protocol::Rm(cfg) => {
+                let sender = Sender::new(cfg, gspec);
+                sim.spawn(
+                    sender_host,
+                    PORT,
+                    Box::new(NodeProcess::new(
+                        sender,
+                        NodeRole::Sender { msgs },
+                        Rc::clone(&addr),
+                        self.cost,
+                        Rc::clone(&rec),
+                    )),
+                );
+                for (i, &h) in receiver_hosts.iter().enumerate() {
+                    let r = Receiver::new(cfg, gspec, Rank::from_receiver_index(i), seed);
+                    sim.spawn(
+                        h,
+                        PORT,
+                        Box::new(NodeProcess::new(
+                            r,
+                            NodeRole::Receiver { index: i },
+                            Rc::clone(&addr),
+                            self.cost,
+                            Rc::clone(&rec),
+                        )),
+                    );
+                }
+            }
+            Protocol::RawUdp { packet_size } => {
+                let sender =
+                    RawUdpSender::new(gspec, packet_size, rmwire::Duration::from_millis(40));
+                sim.spawn(
+                    sender_host,
+                    PORT,
+                    Box::new(NodeProcess::new(
+                        sender,
+                        NodeRole::Sender { msgs },
+                        Rc::clone(&addr),
+                        self.cost,
+                        Rc::clone(&rec),
+                    )),
+                );
+                for (i, &h) in receiver_hosts.iter().enumerate() {
+                    let r = RawUdpReceiver::new(Rank::from_receiver_index(i));
+                    sim.spawn(
+                        h,
+                        PORT,
+                        Box::new(NodeProcess::new(
+                            r,
+                            NodeRole::Receiver { index: i },
+                            Rc::clone(&addr),
+                            self.cost,
+                            Rc::clone(&rec),
+                        )),
+                    );
+                }
+            }
+            Protocol::SerialUnicast {
+                segment_size,
+                window,
+            } => {
+                let sender = SerialUnicastSender::new(gspec, segment_size, window);
+                sim.spawn(
+                    sender_host,
+                    PORT,
+                    Box::new(NodeProcess::new(
+                        sender,
+                        NodeRole::Sender { msgs },
+                        Rc::clone(&addr),
+                        self.cost,
+                        Rc::clone(&rec),
+                    )),
+                );
+                let mut cfg = ProtocolConfig::new(rmcast::ProtocolKind::Ack, segment_size, window);
+                cfg.handshake = false;
+                for (i, &h) in receiver_hosts.iter().enumerate() {
+                    // Each receiver is rank 1 of its own 1-receiver group.
+                    let r = Receiver::new(cfg, GroupSpec::new(1), Rank(1), seed);
+                    sim.spawn(
+                        h,
+                        PORT,
+                        Box::new(NodeProcess::new(
+                            r,
+                            NodeRole::Receiver { index: i },
+                            Rc::clone(&addr),
+                            self.cost,
+                            Rc::clone(&rec),
+                        )),
+                    );
+                }
+            }
+        }
+
+        sim.run_until(Time::ZERO + self.time_cap);
+        let sender_cpu_busy = sim.cpu_busy(sender_host);
+        let trace = sim.trace().clone();
+        let rec = Rc::try_unwrap(rec)
+            .map(|c| c.into_inner())
+            .unwrap_or_else(|rc| rc.borrow().clone_shallow());
+
+        let comm_time = match rec.sender_done {
+            Some(t) => t.saturating_since(Time::ZERO),
+            None => panic!(
+                "scenario did not complete within {}: protocol={} n={} msg={}B \
+                 (sent={} delivered={} drops={})",
+                self.time_cap,
+                self.protocol.name(),
+                self.n_receivers,
+                self.msg_size,
+                rec.messages_sent.len(),
+                rec.deliveries.len(),
+                trace.total_drops(),
+            ),
+        };
+        let delivery_times: Vec<(u16, f64)> = rec
+            .deliveries
+            .iter()
+            .map(|&(rank, _, t, _)| (rank.0, t.saturating_since(Time::ZERO).as_secs_f64()))
+            .collect();
+        let total_bytes = (self.msg_size * self.n_messages) as f64;
+        RunResult {
+            comm_time,
+            delivery_times,
+            throughput_mbps: total_bytes * 8.0 / comm_time.as_secs_f64() / 1e6,
+            sender_cpu_utilization: sender_cpu_busy.as_secs_f64() / comm_time.as_secs_f64().max(1e-12),
+            sender_stats: rec.sender_stats,
+            receiver_stats: rec.receiver_stats,
+            deliveries: rec.deliveries.len(),
+            trace,
+        }
+    }
+
+    /// Execute every seed and average the communication time (the paper's
+    /// three-measurement methodology). Stats and trace come from the last
+    /// seed.
+    pub fn run_avg(&self) -> RunResult {
+        assert!(!self.seeds.is_empty());
+        let mut results: Vec<RunResult> = self.seeds.iter().map(|&s| self.run(s)).collect();
+        let mean_ns =
+            results.iter().map(|r| r.comm_time.as_nanos()).sum::<u64>() / results.len() as u64;
+        let mut last = results.pop().expect("at least one result");
+        last.comm_time = Duration::from_nanos(mean_ns);
+        let total_bytes = (self.msg_size * self.n_messages) as f64;
+        last.throughput_mbps = total_bytes * 8.0 / last.comm_time.as_secs_f64() / 1e6;
+        last
+    }
+}
+
+impl Recorder {
+    fn clone_shallow(&self) -> Recorder {
+        Recorder {
+            sender_done: self.sender_done,
+            messages_sent: self.messages_sent.clone(),
+            deliveries: self.deliveries.clone(),
+            sender_stats: self.sender_stats.clone(),
+            receiver_stats: self.receiver_stats.clone(),
+            expect_msgs: self.expect_msgs,
+        }
+    }
+}
+
+/// Outcome of a scenario run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Sender-side completion time (the paper's "communication time").
+    pub comm_time: Duration,
+    /// `(rank, seconds)` of each message delivery, in delivery order.
+    pub delivery_times: Vec<(u16, f64)>,
+    /// `msg_size * n_messages * 8 / comm_time`, in Mbit/s.
+    pub throughput_mbps: f64,
+    /// Fraction of the run the sender spent busy — CPU work plus time
+    /// blocked in `sendto` (wire pacing). High for every protocol; what
+    /// differs is how much of it is acknowledgment processing.
+    pub sender_cpu_utilization: f64,
+    /// Sender counters.
+    pub sender_stats: Stats,
+    /// Per-receiver counters.
+    pub receiver_stats: Vec<Stats>,
+    /// Number of message deliveries observed before the sender finished.
+    pub deliveries: usize,
+    /// Network-level counters.
+    pub trace: TraceCounters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmcast::ProtocolKind;
+
+    #[test]
+    fn ack_scenario_completes_and_is_deterministic() {
+        let sc = Scenario::new(
+            Protocol::Rm(ProtocolConfig::new(ProtocolKind::Ack, 1000, 2)),
+            4,
+            10_000,
+        );
+        let a = sc.run(7);
+        let b = sc.run(7);
+        assert_eq!(a.comm_time, b.comm_time, "same seed, same time");
+        assert!(a.comm_time > Duration::ZERO);
+        assert_eq!(a.deliveries, 4);
+        assert!(a.trace.clean(), "clean network must not drop");
+        assert_eq!(a.sender_stats.retx_sent, 0);
+    }
+
+    #[test]
+    fn all_protocols_run_on_the_testbed() {
+        for p in [
+            Protocol::Rm(ProtocolConfig::new(ProtocolKind::Ack, 1000, 2)),
+            Protocol::Rm(ProtocolConfig::new(ProtocolKind::nak_polling(4), 1000, 6)),
+            Protocol::Rm(ProtocolConfig::new(ProtocolKind::Ring, 1000, 8)),
+            Protocol::Rm(ProtocolConfig::new(ProtocolKind::flat_tree(3), 1000, 6)),
+            Protocol::RawUdp { packet_size: 1000 },
+            Protocol::SerialUnicast {
+                segment_size: 1448,
+                window: 22,
+            },
+        ] {
+            let sc = Scenario::new(p, 5, 20_000);
+            let r = sc.run_avg();
+            assert!(
+                r.comm_time > Duration::ZERO,
+                "{}: zero communication time",
+                p.name()
+            );
+            assert_eq!(r.deliveries, 5, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn more_receivers_cost_more_for_serial_unicast() {
+        let t = |n| {
+            Scenario::new(
+                Protocol::SerialUnicast {
+                    segment_size: 1448,
+                    window: 22,
+                },
+                n,
+                50_000,
+            )
+            .run(1)
+            .comm_time
+        };
+        let t2 = t(2);
+        let t8 = t(8);
+        assert!(
+            t8.as_nanos() > 3 * t2.as_nanos(),
+            "serial unicast must scale linearly: {t2} vs {t8}"
+        );
+    }
+}

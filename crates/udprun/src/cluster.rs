@@ -1,0 +1,208 @@
+//! Running a whole multicast group over real sockets.
+
+use crate::hub::Hub;
+use crate::node::{drive, Addresses, NodeEvent};
+use bytes::Bytes;
+use crossbeam::channel;
+use rmcast::{GroupSpec, ProtocolConfig, Receiver, Sender, Stats};
+use rmwire::{Rank, Time};
+use std::collections::HashMap;
+use std::io;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+/// Cluster-run parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Protocol configuration shared by all endpoints.
+    pub protocol: ProtocolConfig,
+    /// Number of receivers.
+    pub n_receivers: u16,
+    /// Give up after this much wall time.
+    pub timeout: StdDuration,
+    /// Seed for receiver-side randomness.
+    pub seed: u64,
+    /// Deterministic hub loss: drop every n-th forwarded multicast copy.
+    pub hub_drop_every: Option<u32>,
+}
+
+impl ClusterConfig {
+    /// Defaults: 30-second timeout, fixed seed.
+    pub fn new(protocol: ProtocolConfig, n_receivers: u16) -> Self {
+        ClusterConfig {
+            protocol,
+            n_receivers,
+            timeout: StdDuration::from_secs(30),
+            seed: 42,
+            hub_drop_every: None,
+        }
+    }
+}
+
+/// What a cluster run produced.
+#[derive(Debug)]
+pub struct ClusterResult {
+    /// Wall time from start to the sender's final completion.
+    pub elapsed: StdDuration,
+    /// `(rank, msg_id, payload)` deliveries.
+    pub deliveries: Vec<(Rank, u64, Bytes)>,
+    /// Sender counters.
+    pub sender_stats: Stats,
+    /// Per-receiver counters (by receiver index), where collected.
+    pub receiver_stats: HashMap<Rank, Stats>,
+}
+
+/// Run one sender and `n` receivers over real UDP sockets until every
+/// message completes (or the timeout expires).
+pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterResult> {
+    let group = GroupSpec::new(cfg.n_receivers);
+    let n = cfg.n_receivers as usize;
+
+    // Sockets first, so the address book is complete before any thread
+    // starts.
+    let sender_sock = UdpSocket::bind("127.0.0.1:0")?;
+    let receiver_socks: Vec<UdpSocket> = (0..n)
+        .map(|_| UdpSocket::bind("127.0.0.1:0"))
+        .collect::<io::Result<_>>()?;
+    let receiver_addrs: Vec<_> = receiver_socks
+        .iter()
+        .map(|s| s.local_addr())
+        .collect::<io::Result<_>>()?;
+    let hub = Hub::spawn_with_loss(receiver_addrs.clone(), cfg.hub_drop_every)?;
+    let addrs = Addresses {
+        sender: sender_sock.local_addr()?,
+        receivers: receiver_addrs,
+        hub: hub.addr,
+    };
+
+    let (tx, rx) = channel::unbounded::<NodeEvent>();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // Receivers.
+    for (i, rsock) in receiver_socks.iter().enumerate() {
+        let ep = Receiver::new(
+            cfg.protocol,
+            group,
+            Rank::from_receiver_index(i),
+            cfg.seed.wrapping_add(i as u64),
+        );
+        let sock = rsock.try_clone()?;
+        let addrs = addrs.clone();
+        let tx = tx.clone();
+        let stop = Arc::clone(&stop);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("udprun-recv{}", i + 1))
+                .spawn(move || drive(ep, sock, addrs, Rank::from_receiver_index(i), tx, stop))?,
+        );
+    }
+
+    // Sender (messages queued before the thread starts looping).
+    let n_msgs = msgs.len() as u64;
+    let mut sender = Sender::new(cfg.protocol, group);
+    for m in &msgs {
+        sender.send_message(Time::ZERO, m.clone());
+    }
+    {
+        let sock = sender_sock.try_clone()?;
+        let addrs = addrs.clone();
+        let tx = tx.clone();
+        let stop = Arc::clone(&stop);
+        handles.push(
+            std::thread::Builder::new()
+                .name("udprun-sender".into())
+                .spawn(move || drive(sender, sock, addrs, Rank::SENDER, tx, stop))?,
+        );
+    }
+    drop(tx);
+
+    // Coordinate: wait until the sender reports all messages complete.
+    let start = Instant::now();
+    let mut deliveries = Vec::new();
+    let mut sent = 0u64;
+    let mut elapsed = None;
+    let mut stats: HashMap<Rank, Stats> = HashMap::new();
+    while sent < n_msgs {
+        let remaining = cfg
+            .timeout
+            .checked_sub(start.elapsed())
+            .unwrap_or_default();
+        if remaining.is_zero() {
+            stop.store(true, Ordering::Relaxed);
+            for h in handles {
+                let _ = h.join();
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "cluster did not finish in {:?}: {}/{} messages, {} deliveries",
+                    cfg.timeout,
+                    sent,
+                    n_msgs,
+                    deliveries.len()
+                ),
+            ));
+        }
+        match rx.recv_timeout(remaining) {
+            Ok(NodeEvent::Sent { at, .. }) => {
+                sent += 1;
+                if sent == n_msgs {
+                    elapsed = Some(at);
+                }
+            }
+            Ok(NodeEvent::Delivered { rank, msg_id, data }) => {
+                deliveries.push((rank, msg_id, data));
+            }
+            Ok(NodeEvent::Finished { rank, stats: s }) => {
+                stats.insert(rank, s);
+            }
+            Err(channel::RecvTimeoutError::Timeout) => continue,
+            Err(channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Give receivers a moment to flush their last deliveries, then stop.
+    let settle = Instant::now();
+    while settle.elapsed() < StdDuration::from_millis(200) {
+        match rx.recv_timeout(StdDuration::from_millis(50)) {
+            Ok(NodeEvent::Delivered { rank, msg_id, data }) => {
+                deliveries.push((rank, msg_id, data))
+            }
+            Ok(NodeEvent::Finished { rank, stats: s }) => {
+                stats.insert(rank, s);
+            }
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    // Collect the final stats snapshots as threads wind down.
+    for ev in rx.try_iter() {
+        match ev {
+            NodeEvent::Delivered { rank, msg_id, data } => deliveries.push((rank, msg_id, data)),
+            NodeEvent::Finished { rank, stats: s } => {
+                stats.insert(rank, s);
+            }
+            NodeEvent::Sent { .. } => {}
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    for ev in rx.try_iter() {
+        if let NodeEvent::Finished { rank, stats: s } = ev {
+            stats.insert(rank, s);
+        }
+    }
+
+    let sender_stats = stats.remove(&Rank::SENDER).unwrap_or_default();
+    Ok(ClusterResult {
+        elapsed: elapsed.unwrap_or_else(|| start.elapsed()),
+        deliveries,
+        sender_stats,
+        receiver_stats: stats,
+    })
+}

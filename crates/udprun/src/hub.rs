@@ -1,0 +1,139 @@
+//! The software hub: a UDP relay standing in for the LAN broadcast
+//! medium.
+//!
+//! Group-destined datagrams are sent to the hub's socket; the hub decodes
+//! the protocol header's source rank and forwards a copy to every group
+//! member except the originator — the same semantics a switch flooding a
+//! multicast frame gives the paper's testbed.
+
+use rmwire::{Header, Rank};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration as StdDuration;
+
+/// Largest UDP datagram the suite sends.
+pub const MAX_DGRAM: usize = 65_507;
+
+/// A running hub thread.
+pub struct Hub {
+    /// Address group-destined traffic is sent to.
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Hub {
+    /// Spawn the relay. `member_addrs[i]` is the socket address of the
+    /// receiver with rank `i + 1`.
+    pub fn spawn(member_addrs: Vec<SocketAddr>) -> io::Result<Hub> {
+        Hub::spawn_with_loss(member_addrs, None)
+    }
+
+    /// Spawn a relay that deterministically drops every `n`-th forwarded
+    /// copy (`drop_every = Some(n)`), for exercising loss recovery over
+    /// real sockets.
+    pub fn spawn_with_loss(
+        member_addrs: Vec<SocketAddr>,
+        drop_every: Option<u32>,
+    ) -> io::Result<Hub> {
+        assert!(drop_every != Some(0), "drop_every must be >= 1");
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(StdDuration::from_millis(20)))?;
+        let addr = socket.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("udprun-hub".into())
+            .spawn(move || {
+                let mut buf = vec![0u8; MAX_DGRAM];
+                let mut counter = 0u32;
+                while !stop2.load(Ordering::Relaxed) {
+                    let n = match socket.recv_from(&mut buf) {
+                        Ok((n, _)) => n,
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(_) => break,
+                    };
+                    // Identify the originator from the protocol header so
+                    // it does not hear its own multicast (a NIC does not
+                    // receive its own frames).
+                    let src = {
+                        let mut slice = &buf[..n];
+                        Header::decode(&mut slice).map(|h| h.src_rank).ok()
+                    };
+                    for (i, dest) in member_addrs.iter().enumerate() {
+                        if src == Some(Rank::from_receiver_index(i)) {
+                            continue;
+                        }
+                        if let Some(every) = drop_every {
+                            counter += 1;
+                            if counter.is_multiple_of(every) {
+                                continue; // injected loss
+                            }
+                        }
+                        // Best effort, like the wire.
+                        let _ = socket.send_to(&buf[..n], dest);
+                    }
+                }
+            })?;
+        Ok(Hub {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for Hub {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmcast::packet::encode_data;
+    use rmwire::{PacketFlags, SeqNo};
+
+    #[test]
+    fn hub_relays_to_all_but_origin() {
+        let r1 = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let r2 = UdpSocket::bind("127.0.0.1:0").unwrap();
+        r1.set_read_timeout(Some(StdDuration::from_millis(500))).unwrap();
+        r2.set_read_timeout(Some(StdDuration::from_millis(500))).unwrap();
+        let hub = Hub::spawn(vec![
+            r1.local_addr().unwrap(),
+            r2.local_addr().unwrap(),
+        ])
+        .unwrap();
+
+        // Datagram from the sender (rank 0): both receivers get it.
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let pkt = encode_data(Rank(0), 1, SeqNo(0), PacketFlags::EMPTY, b"hi");
+        tx.send_to(&pkt, hub.addr).unwrap();
+        let mut buf = [0u8; 64];
+        let (n, _) = r1.recv_from(&mut buf).expect("r1 gets sender multicast");
+        assert_eq!(n, pkt.len());
+        r2.recv_from(&mut buf).expect("r2 gets sender multicast");
+
+        // Datagram from rank 1: only rank 2 gets it.
+        let pkt1 = encode_data(Rank(1), 1, SeqNo(0), PacketFlags::EMPTY, b"yo");
+        tx.send_to(&pkt1, hub.addr).unwrap();
+        r2.recv_from(&mut buf).expect("r2 hears rank 1");
+        assert!(
+            r1.recv_from(&mut buf).is_err(),
+            "rank 1 must not hear its own multicast"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! One endpoint on one real UDP socket, driven by a thread.
+
+use crate::hub::MAX_DGRAM;
+use bytes::Bytes;
+use crossbeam::channel::Sender as ChanSender;
+use rmcast::{AppEvent, Dest, Endpoint};
+use rmwire::{Rank, Time};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+/// Address book mapping protocol destinations to socket addresses.
+#[derive(Debug, Clone)]
+pub struct Addresses {
+    /// The sender's socket.
+    pub sender: SocketAddr,
+    /// Receiver sockets by receiver index.
+    pub receivers: Vec<SocketAddr>,
+    /// The hub relaying group traffic.
+    pub hub: SocketAddr,
+}
+
+impl Addresses {
+    fn resolve(&self, d: Dest) -> SocketAddr {
+        match d {
+            Dest::Sender => self.sender,
+            Dest::Rank(r) => self.receivers[r.receiver_index()],
+            Dest::Receivers => self.hub,
+        }
+    }
+}
+
+/// Events reported back to the coordinator.
+#[derive(Debug)]
+pub enum NodeEvent {
+    /// Sender finished a message.
+    Sent {
+        /// Message id.
+        msg_id: u64,
+        /// Wall-clock time since node start.
+        at: StdDuration,
+    },
+    /// A receiver delivered a message.
+    Delivered {
+        /// Receiver rank.
+        rank: Rank,
+        /// Message id.
+        msg_id: u64,
+        /// Payload.
+        data: Bytes,
+    },
+    /// The node thread exited (stats snapshot attached).
+    Finished {
+        /// Node rank (0 = sender).
+        rank: Rank,
+        /// Final counters.
+        stats: rmcast::Stats,
+    },
+}
+
+/// Drive `ep` over `socket` until `stop` is raised. `rank` identifies the
+/// node in [`NodeEvent`]s.
+pub fn drive<E: Endpoint>(
+    mut ep: E,
+    socket: UdpSocket,
+    addrs: Addresses,
+    rank: Rank,
+    events: ChanSender<NodeEvent>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<()> {
+    let epoch = Instant::now();
+    let now = |epoch: Instant| Time::from_nanos(epoch.elapsed().as_nanos() as u64);
+    let mut buf = vec![0u8; MAX_DGRAM];
+    socket.set_read_timeout(Some(StdDuration::from_millis(1)))?;
+
+    while !stop.load(Ordering::Relaxed) {
+        // 1. Receive with a short timeout so timers stay responsive.
+        match socket.recv_from(&mut buf) {
+            Ok((n, _)) => ep.handle_datagram(now(epoch), &buf[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+        // 2. Fire due timers.
+        let t = now(epoch);
+        if ep.poll_timeout().is_some_and(|d| d <= t) {
+            ep.handle_timeout(t);
+        }
+        // 3. Flush transmits.
+        while let Some(tx) = ep.poll_transmit() {
+            let dest = addrs.resolve(tx.dest);
+            socket.send_to(&tx.payload, dest)?;
+        }
+        // 4. Report events.
+        while let Some(ev) = ep.poll_event() {
+            let out = match ev {
+                AppEvent::MessageSent { msg_id } => NodeEvent::Sent {
+                    msg_id,
+                    at: epoch.elapsed(),
+                },
+                AppEvent::MessageDelivered { msg_id, data } => NodeEvent::Delivered {
+                    rank,
+                    msg_id,
+                    data,
+                },
+            };
+            if events.send(out).is_err() {
+                return Ok(());
+            }
+        }
+    }
+    let _ = events.send(NodeEvent::Finished {
+        rank,
+        stats: ep.stats().clone(),
+    });
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! The protocol engines over real kernel UDP sockets on localhost.
+
+use bytes::Bytes;
+use rmcast::{ProtocolConfig, ProtocolKind, Rank};
+use udprun::cluster::{run_cluster, ClusterConfig};
+
+fn payload(len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>())
+}
+
+fn check(kind: ProtocolKind, n: u16, window: usize, len: usize) {
+    let mut cfg = ProtocolConfig::new(kind, 4_000, window);
+    // Real wall-clock timers: keep the RTO snappy so lost datagrams (rare
+    // on loopback but possible under load) recover quickly.
+    cfg.rto = rmcast::Duration::from_millis(50);
+    let msg = payload(len);
+    let out = run_cluster(
+        ClusterConfig::new(cfg, n),
+        vec![msg.clone()],
+    )
+    .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+
+    assert_eq!(out.deliveries.len(), n as usize, "{kind:?}");
+    let mut seen: Vec<Rank> = out.deliveries.iter().map(|(r, _, _)| *r).collect();
+    seen.sort();
+    seen.dedup();
+    assert_eq!(seen.len(), n as usize, "{kind:?}: duplicate deliveries");
+    for (_, _, data) in &out.deliveries {
+        assert_eq!(data, &msg, "{kind:?}: corrupted payload over real UDP");
+    }
+    assert!(out.elapsed.as_nanos() > 0);
+}
+
+#[test]
+fn ack_protocol_over_real_udp() {
+    check(ProtocolKind::Ack, 4, 8, 100_000);
+}
+
+#[test]
+fn nak_protocol_over_real_udp() {
+    check(ProtocolKind::nak_polling(6), 4, 12, 100_000);
+}
+
+#[test]
+fn ring_protocol_over_real_udp() {
+    check(ProtocolKind::Ring, 4, 8, 100_000);
+}
+
+#[test]
+fn tree_protocol_over_real_udp() {
+    check(ProtocolKind::flat_tree(2), 4, 8, 100_000);
+}
+
+#[test]
+fn multiple_messages_over_real_udp() {
+    let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(6), 4_000, 12);
+    cfg.rto = rmcast::Duration::from_millis(50);
+    let msgs: Vec<Bytes> = (0..3).map(|i| payload(20_000 + i * 1000)).collect();
+    let out = run_cluster(ClusterConfig::new(cfg, 3), msgs.clone()).expect("cluster");
+    assert_eq!(out.deliveries.len(), 9);
+    for (_, msg_id, data) in &out.deliveries {
+        assert_eq!(data, &msgs[*msg_id as usize]);
+    }
+}
+
+#[test]
+fn larger_group_over_real_udp() {
+    check(ProtocolKind::nak_polling(6), 10, 12, 50_000);
+}
+
+#[test]
+fn recovery_over_real_udp_with_injected_hub_loss() {
+    // Drop every 20th forwarded multicast copy at the hub: the protocol
+    // must still deliver byte-identical payloads to everyone.
+    let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(6), 4_000, 12);
+    cfg.rto = rmcast::Duration::from_millis(40);
+    let msg = payload(200_000);
+    let mut cc = ClusterConfig::new(cfg, 4);
+    cc.hub_drop_every = Some(20);
+    let out = run_cluster(cc, vec![msg.clone()]).expect("cluster");
+    assert_eq!(out.deliveries.len(), 4);
+    for (_, _, data) in &out.deliveries {
+        assert_eq!(data, &msg);
+    }
+    assert!(
+        out.sender_stats.retx_sent > 0,
+        "5% multicast loss must force retransmissions over real sockets"
+    );
+}
+
+#[test]
+fn pipelined_handshake_over_real_udp() {
+    let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(6), 4_000, 12);
+    cfg.rto = rmcast::Duration::from_millis(50);
+    cfg.pipeline_handshake = true;
+    let msgs: Vec<Bytes> = (0..4).map(|i| payload(30_000 + i * 500)).collect();
+    let out = run_cluster(ClusterConfig::new(cfg, 3), msgs.clone()).expect("cluster");
+    assert_eq!(out.deliveries.len(), 12);
+    for (_, msg_id, data) in &out.deliveries {
+        assert_eq!(data, &msgs[*msg_id as usize], "pipelined stream intact over real UDP");
+    }
+}

@@ -1,0 +1,74 @@
+//! The paper's motivating scenario: a message-passing broadcast
+//! (`MPI_Bcast`-style) on an Ethernet cluster.
+//!
+//! A master distributes a matrix row-block to 30 workers, once per
+//! iteration of a parallel solver. We compare realizing the broadcast
+//! over serial TCP point-to-point links (what MPICH-era libraries did)
+//! against each reliable multicast protocol family.
+//!
+//! ```text
+//! cargo run --release --example mpi_bcast
+//! ```
+
+use rmcast::{ProtocolConfig, ProtocolKind};
+use simrun::scenario::{Protocol, Scenario};
+
+fn main() {
+    const WORKERS: u16 = 30;
+    // One 1024 x 128 block of f64s per iteration.
+    const BLOCK: usize = 1024 * 128 * 8;
+
+    println!("broadcast of a {} KB row-block to {WORKERS} workers\n", BLOCK / 1024);
+    println!("{:<34}{:>12}{:>14}", "transport", "time", "speedup vs TCP");
+
+    let tcp = Scenario::new(
+        Protocol::SerialUnicast {
+            segment_size: 1448,
+            window: 22,
+        },
+        WORKERS,
+        BLOCK,
+    )
+    .run_avg();
+    println!(
+        "{:<34}{:>12}{:>14}",
+        "TCP point-to-point (serial)",
+        format!("{}", tcp.comm_time),
+        "1.0x"
+    );
+
+    let contenders: Vec<(&str, ProtocolConfig)> = vec![
+        (
+            "ACK-based multicast",
+            ProtocolConfig::new(ProtocolKind::Ack, 50_000, 2),
+        ),
+        (
+            "NAK-based w/ polling",
+            ProtocolConfig::new(ProtocolKind::nak_polling(43), 8_000, 50),
+        ),
+        (
+            "ring-based",
+            ProtocolConfig::new(ProtocolKind::Ring, 8_000, 50),
+        ),
+        (
+            "tree-based (flat, H=6)",
+            ProtocolConfig::new(ProtocolKind::flat_tree(6), 8_000, 20),
+        ),
+    ];
+
+    for (name, cfg) in contenders {
+        let r = Scenario::new(Protocol::Rm(cfg), WORKERS, BLOCK).run_avg();
+        let speedup = tcp.comm_time.as_secs_f64() / r.comm_time.as_secs_f64();
+        println!(
+            "{:<34}{:>12}{:>14}",
+            name,
+            format!("{}", r.comm_time),
+            format!("{speedup:.1}x")
+        );
+    }
+
+    println!(
+        "\nthe paper's conclusion: multicast makes collective communication \
+         nearly independent of the worker count, where TCP scales linearly."
+    );
+}

