@@ -43,9 +43,17 @@ fn shared_vs_switched(c: &mut Criterion) {
             TopologyKind::SingleSwitch,
             ProtocolKind::flat_tree(6),
         ),
-        ("bus/tree6", TopologyKind::SharedBus, ProtocolKind::flat_tree(6)),
+        (
+            "bus/tree6",
+            TopologyKind::SharedBus,
+            ProtocolKind::flat_tree(6),
+        ),
     ] {
-        let window = if matches!(kind, ProtocolKind::Ack) { 4 } else { 20 };
+        let window = if matches!(kind, ProtocolKind::Ack) {
+            4
+        } else {
+            20
+        };
         let cfg = ProtocolConfig::new(kind, 8_000, window);
         let mut sc = bench_scenario(Protocol::Rm(cfg), 30, 100_000);
         sc.topology = topo;

@@ -70,7 +70,9 @@ fn fig09(c: &mut Criterion) {
         vec![
             (
                 "udp/32k".into(),
-                Protocol::RawUdp { packet_size: 50_000 },
+                Protocol::RawUdp {
+                    packet_size: 50_000,
+                },
                 30,
                 32_000,
             ),

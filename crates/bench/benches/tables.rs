@@ -15,7 +15,11 @@ fn table3_contenders() -> Vec<(&'static str, Protocol)> {
         ),
         (
             "nak",
-            Protocol::Rm(ProtocolConfig::new(ProtocolKind::nak_polling(43), 8_000, 50)),
+            Protocol::Rm(ProtocolConfig::new(
+                ProtocolKind::nak_polling(43),
+                8_000,
+                50,
+            )),
         ),
         (
             "ring",

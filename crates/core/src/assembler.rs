@@ -170,7 +170,8 @@ impl Assembly {
         let Some(off) = (seq as usize).checked_mul(self.packet_size) else {
             return false;
         };
-        off.checked_add(chunk.len()).is_some_and(|end| end <= self.buf.len())
+        off.checked_add(chunk.len())
+            .is_some_and(|end| end <= self.buf.len())
     }
 
     fn store(&mut self, seq: u32, chunk: &[u8]) {

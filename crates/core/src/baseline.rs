@@ -502,9 +502,9 @@ impl Endpoint for SerialUnicastSender {
 #[cfg(test)]
 mod serial_tests {
     use super::*;
+    use crate::config::{ProtocolConfig, ProtocolKind};
     use crate::endpoint::Endpoint;
     use crate::receiver::Receiver;
-    use crate::config::{ProtocolConfig, ProtocolKind};
 
     #[test]
     fn serial_unicast_visits_receivers_in_order() {
@@ -576,7 +576,9 @@ mod scatter_tests {
             let mut moved = false;
             while let Some(t) = s.poll_transmit() {
                 moved = true;
-                let Dest::Rank(r) = t.dest else { panic!("must unicast") };
+                let Dest::Rank(r) = t.dest else {
+                    panic!("must unicast")
+                };
                 let idx = r.receiver_index();
                 receivers[idx].handle_datagram(Time::ZERO, &t.payload);
                 while let Some(a) = receivers[idx].poll_transmit() {

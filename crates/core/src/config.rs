@@ -93,6 +93,82 @@ pub enum WindowDiscipline {
     SelectiveRepeat,
 }
 
+/// Liveness bounds: what the engine does when a peer stops responding.
+///
+/// The paper's protocols (and the default here) retry forever at a fixed
+/// RTO — correct on a LAN whose members stay up, but a single crashed
+/// receiver then wedges the sender permanently. These knobs bound that
+/// loop: the RTO backs off exponentially, a transfer that makes no window
+/// progress for `max_retx` consecutive timeouts is resolved — either by
+/// evicting the stragglers that gate the release rule and completing to
+/// the surviving set, or by abandoning the message with a typed
+/// [`crate::error::SessionError`]. Defaults are all-off so existing
+/// figures reproduce byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LivenessConfig {
+    /// Consecutive timeouts without window progress before the sender
+    /// gives up on a transfer. `None` retries forever (the paper's
+    /// behavior).
+    pub max_retx: Option<u32>,
+    /// Multiplier applied to the effective RTO after each consecutive
+    /// timeout (`1.0` = no backoff, the paper's behavior). Window progress
+    /// resets the RTO to `ProtocolConfig::rto`.
+    pub rto_backoff: f64,
+    /// Ceiling for the backed-off RTO (ignored when it is below the base
+    /// `rto`).
+    pub rto_max: Duration,
+    /// On hitting `max_retx`, evict the receivers gating the release rule
+    /// and complete to the survivors instead of abandoning the message.
+    /// The sender only fails a message once every receiver is evicted.
+    pub evict_stragglers: bool,
+    /// A receiver that hears nothing for this long while transfers are
+    /// incomplete declares the sender dead and abandons them
+    /// ([`crate::error::SessionError::SenderStalled`]).
+    pub receiver_giveup: Option<Duration>,
+    /// Tree mode: an aggregation node whose child's acknowledgment has not
+    /// advanced for this long (while behind this node's own progress)
+    /// drops the child from its aggregate, rerouting the ack chain around
+    /// the dead subtree.
+    pub child_evict_timeout: Option<Duration>,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        LivenessConfig::PAPER
+    }
+}
+
+impl LivenessConfig {
+    /// The paper's behavior: retry forever, never evict, never give up.
+    pub const PAPER: LivenessConfig = LivenessConfig {
+        max_retx: None,
+        rto_backoff: 1.0,
+        rto_max: Duration::from_secs(5),
+        evict_stragglers: false,
+        receiver_giveup: None,
+        child_evict_timeout: None,
+    };
+
+    /// Bounded retries with exponential backoff: give up (typed error)
+    /// after `max_retx` consecutive timeouts without progress.
+    pub fn bounded(max_retx: u32) -> LivenessConfig {
+        LivenessConfig {
+            max_retx: Some(max_retx),
+            rto_backoff: 2.0,
+            ..LivenessConfig::PAPER
+        }
+    }
+
+    /// [`LivenessConfig::bounded`] plus straggler eviction: complete every
+    /// message to the surviving receiver set instead of failing it.
+    pub fn evicting(max_retx: u32) -> LivenessConfig {
+        LivenessConfig {
+            evict_stragglers: true,
+            ..LivenessConfig::bounded(max_retx)
+        }
+    }
+}
+
 /// Full configuration of one protocol run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ProtocolConfig {
@@ -142,6 +218,9 @@ pub struct ProtocolConfig {
     /// transfer, hiding one of the paper's "at least two round trips"
     /// behind useful work. Off reproduces the paper exactly.
     pub pipeline_handshake: bool,
+    /// Liveness bounds (bounded retries, RTO backoff, straggler eviction,
+    /// receiver give-up). [`LivenessConfig::PAPER`] retries forever.
+    pub liveness: LivenessConfig,
 }
 
 impl ProtocolConfig {
@@ -162,6 +241,7 @@ impl ProtocolConfig {
             rate_limit_bytes_per_sec: None,
             receiver_nak_timer: None,
             pipeline_handshake: false,
+            liveness: LivenessConfig::PAPER,
         }
     }
 
@@ -184,6 +264,23 @@ impl ProtocolConfig {
                 t > Duration::ZERO && t.as_nanos() >= self.nak_suppress.as_nanos(),
                 "receiver NAK timer must be positive and no shorter than NAK suppression"
             );
+        }
+        if let Some(m) = self.liveness.max_retx {
+            assert!(m >= 1, "max_retx must allow at least one retry");
+        }
+        assert!(
+            self.liveness.rto_backoff >= 1.0 && self.liveness.rto_backoff.is_finite(),
+            "rto_backoff must be a finite multiplier >= 1.0"
+        );
+        assert!(
+            self.liveness.rto_max > Duration::ZERO,
+            "rto_max must be positive"
+        );
+        if let Some(g) = self.liveness.receiver_giveup {
+            assert!(g > Duration::ZERO, "receiver_giveup must be positive");
+        }
+        if let Some(c) = self.liveness.child_evict_timeout {
+            assert!(c > Duration::ZERO, "child_evict_timeout must be positive");
         }
         match self.kind {
             ProtocolKind::NakPolling { poll_interval, .. } => {
@@ -271,5 +368,37 @@ mod tests {
     #[should_panic(expected = "packet size")]
     fn zero_packet_size() {
         ProtocolConfig::new(ProtocolKind::Ack, 0, 2).validate(30);
+    }
+
+    #[test]
+    fn liveness_constructors() {
+        let l = LivenessConfig::default();
+        assert_eq!(l, LivenessConfig::PAPER);
+        assert!(l.max_retx.is_none(), "paper behavior retries forever");
+        let b = LivenessConfig::bounded(8);
+        assert_eq!(b.max_retx, Some(8));
+        assert!(b.rto_backoff > 1.0);
+        assert!(!b.evict_stragglers);
+        let e = LivenessConfig::evicting(8);
+        assert!(e.evict_stragglers);
+        let mut c = ProtocolConfig::new(ProtocolKind::Ack, 8000, 2);
+        c.liveness = e;
+        c.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_retx")]
+    fn zero_max_retx_rejected() {
+        let mut c = ProtocolConfig::new(ProtocolKind::Ack, 8000, 2);
+        c.liveness.max_retx = Some(0);
+        c.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "rto_backoff")]
+    fn shrinking_backoff_rejected() {
+        let mut c = ProtocolConfig::new(ProtocolKind::Ack, 8000, 2);
+        c.liveness.rto_backoff = 0.5;
+        c.validate(30);
     }
 }

@@ -28,6 +28,8 @@ use rmwire::Rank;
 pub struct PerSourceCoverage {
     /// `next_expected` reported by each source (receiver or tree root).
     cov: Vec<u32>,
+    /// Sources removed from the proof obligation (straggler eviction).
+    evicted: Vec<bool>,
 }
 
 impl PerSourceCoverage {
@@ -36,6 +38,7 @@ impl PerSourceCoverage {
         assert!(n_sources >= 1);
         PerSourceCoverage {
             cov: vec![0; n_sources],
+            evicted: vec![false; n_sources],
         }
     }
 
@@ -47,9 +50,37 @@ impl PerSourceCoverage {
         self.released()
     }
 
-    /// Packets `0..released()` are held by everyone.
+    /// Remove source `idx` from the proof obligation; its acknowledgment
+    /// no longer gates the release. Callers must keep at least one source
+    /// active (the session otherwise fails).
+    pub fn evict(&mut self, idx: usize) {
+        self.evicted[idx] = true;
+    }
+
+    /// Sources still part of the proof obligation.
+    pub fn n_active(&self) -> usize {
+        self.evicted.iter().filter(|&&e| !e).count()
+    }
+
+    /// The active sources currently gating the release (those at the
+    /// minimum cumulative acknowledgment) — the eviction candidates when a
+    /// transfer stalls.
+    pub fn laggards(&self) -> Vec<usize> {
+        let min = self.released();
+        (0..self.cov.len())
+            .filter(|&i| !self.evicted[i] && self.cov[i] == min)
+            .collect()
+    }
+
+    /// Packets `0..released()` are held by every *active* source.
     pub fn released(&self) -> u32 {
-        *self.cov.iter().min().expect("at least one source")
+        self.cov
+            .iter()
+            .zip(&self.evicted)
+            .filter(|&(_, &e)| !e)
+            .map(|(&c, _)| c)
+            .min()
+            .expect("at least one active source")
     }
 }
 
@@ -76,6 +107,9 @@ pub struct RingTracker {
     /// Length of the contiguous prefix of packets whose token receiver has
     /// acknowledged them.
     token_prefix: u32,
+    /// Receivers removed from the token rotation (straggler eviction): the
+    /// prefix advances past their token packets as if acknowledged.
+    evicted: Vec<bool>,
 }
 
 impl RingTracker {
@@ -87,6 +121,34 @@ impl RingTracker {
             k,
             cov: vec![0; n_receivers as usize],
             token_prefix: 0,
+            evicted: vec![false; n_receivers as usize],
+        }
+    }
+
+    /// Remove receiver index `idx` from the token rotation: the prefix is
+    /// advanced over its unacknowledged token packets (token-pass skip),
+    /// and it no longer gates the end-of-transfer release. Callers must
+    /// keep at least one receiver active.
+    pub fn evict(&mut self, idx: usize) {
+        self.evicted[idx] = true;
+        self.advance_prefix();
+    }
+
+    /// Receivers still part of the token rotation.
+    pub fn n_active(&self) -> usize {
+        self.evicted.iter().filter(|&&e| !e).count()
+    }
+
+    /// The active receivers currently gating the release: the token site
+    /// of the packet blocking the prefix, or — once the prefix has run
+    /// through the whole transfer — everyone yet to acknowledge the end.
+    pub fn laggards(&self) -> Vec<usize> {
+        if self.token_prefix < self.k {
+            vec![(self.token_prefix % self.n_receivers) as usize]
+        } else {
+            (0..self.cov.len())
+                .filter(|&i| !self.evicted[i] && self.cov[i] < self.k)
+                .collect()
         }
     }
 
@@ -101,18 +163,22 @@ impl RingTracker {
         let i = rank.receiver_index();
         let c = &mut self.cov[i];
         *c = (*c).max(next_expected);
-        // Advance the token prefix: packet p is token-acknowledged when
-        // receiver (p mod N) reported next_expected > p.
+        self.advance_prefix();
+        self.released()
+    }
+
+    /// Advance the token prefix: packet p is token-acknowledged when
+    /// receiver (p mod N) reported next_expected > p — or was evicted.
+    fn advance_prefix(&mut self) {
         while self.token_prefix < self.k {
             let p = self.token_prefix;
             let r = (p % self.n_receivers) as usize;
-            if self.cov[r] > p {
+            if self.cov[r] > p || self.evicted[r] {
                 self.token_prefix += 1;
             } else {
                 break;
             }
         }
-        self.released()
     }
 
     /// Packets `0..released()` are provably held by every receiver: an
@@ -121,7 +187,12 @@ impl RingTracker {
     /// once every receiver acknowledges the end of the transfer,
     /// everything is released.
     pub fn released(&self) -> u32 {
-        if self.cov.iter().all(|&c| c >= self.k) {
+        if self
+            .cov
+            .iter()
+            .zip(&self.evicted)
+            .all(|(&c, &e)| e || c >= self.k)
+        {
             return self.k;
         }
         self.token_prefix.saturating_sub(self.n_receivers)
@@ -182,6 +253,49 @@ mod tests {
         assert_eq!(r.update(Rank(2), 4), 0);
         // Everyone has acknowledged next_expected = k.
         assert_eq!(r.update(Rank(3), 4), 4);
+    }
+
+    #[test]
+    fn per_source_eviction_unblocks_release() {
+        let mut c = PerSourceCoverage::new(3);
+        c.update(0, 5);
+        c.update(2, 5);
+        assert_eq!(c.released(), 0, "source 1 gates everything");
+        assert_eq!(c.laggards(), vec![1]);
+        c.evict(1);
+        assert_eq!(c.released(), 5, "survivors define the release");
+        assert_eq!(c.n_active(), 2);
+        // Stale acks from the evicted source no longer matter.
+        assert_eq!(c.update(1, 1), 5);
+    }
+
+    #[test]
+    fn ring_eviction_skips_dead_token_site() {
+        // 3 receivers, 6 packets; receiver 2 (index 1) is dead.
+        let mut r = RingTracker::new(6, 3);
+        assert_eq!(r.update(Rank(1), 6), 0);
+        assert_eq!(r.update(Rank(3), 6), 0);
+        assert_eq!(r.token_prefix, 1, "blocked on packet 1's dead token site");
+        assert_eq!(r.laggards(), vec![1]);
+        r.evict(1);
+        // Token-pass skip: the prefix runs over the dead site's packets,
+        // and the all-acked fast path ignores it.
+        assert_eq!(r.released(), 6);
+        assert_eq!(r.n_active(), 2);
+    }
+
+    #[test]
+    fn ring_laggards_after_full_prefix() {
+        // 2 receivers, 4 packets: receiver 1 token-acked everything it is
+        // the site of, but never reached the end of the transfer.
+        let mut r = RingTracker::new(4, 2);
+        r.update(Rank(1), 3);
+        r.update(Rank(2), 4);
+        assert_eq!(r.token_prefix, 4, "every token packet acknowledged");
+        assert_eq!(r.released(), 2, "still one revolution behind");
+        assert_eq!(r.laggards(), vec![0], "receiver 1 gates the end");
+        r.evict(0);
+        assert_eq!(r.released(), 4);
     }
 
     #[test]

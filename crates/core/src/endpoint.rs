@@ -14,6 +14,7 @@
 //! The driver (simulator host adapter, UDP thread, or the in-process
 //! loopback) owns sockets and clocks; the engine owns all protocol state.
 
+use crate::error::SessionError;
 use crate::stats::Stats;
 use bytes::Bytes;
 use rmwire::{Rank, Time};
@@ -59,6 +60,22 @@ pub enum AppEvent {
         msg_id: u64,
         /// The reassembled payload.
         data: Bytes,
+    },
+    /// A message session was abandoned under the liveness bounds
+    /// ([`crate::config::LivenessConfig`]) instead of completing.
+    MessageFailed {
+        /// Message index.
+        msg_id: u64,
+        /// Why the session was abandoned.
+        error: SessionError,
+    },
+    /// Straggler eviction removed a peer from the proof obligation: the
+    /// sender (or a tree aggregation node) stopped waiting for it.
+    ReceiverEvicted {
+        /// Message in transfer when the eviction happened.
+        msg_id: u64,
+        /// The evicted peer.
+        rank: Rank,
     },
 }
 

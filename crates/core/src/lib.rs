@@ -57,6 +57,7 @@ pub mod baseline;
 pub mod config;
 pub mod coverage;
 pub mod endpoint;
+pub mod error;
 pub mod loopback;
 pub mod packet;
 pub mod receiver;
@@ -65,8 +66,9 @@ pub mod stats;
 pub mod tree;
 pub mod window;
 
-pub use config::{ProtocolConfig, ProtocolKind, TreeShape, WindowDiscipline};
+pub use config::{LivenessConfig, ProtocolConfig, ProtocolKind, TreeShape, WindowDiscipline};
 pub use endpoint::{AppEvent, Dest, Endpoint, Role, Transmit};
+pub use error::SessionError;
 pub use receiver::Receiver;
 pub use sender::Sender;
 pub use stats::Stats;

@@ -26,6 +26,9 @@ pub struct Loopback {
     /// Probability that a delivered datagram is held back one round and
     /// delivered late (out of order), per copy.
     reorder: f64,
+    /// Probability that a delivered datagram copy arrives twice
+    /// back-to-back (duplication fault).
+    dup: f64,
     /// Datagrams held back by the reorder fault.
     held: Vec<(usize, Bytes)>,
     rng: SmallRng,
@@ -57,6 +60,7 @@ impl Loopback {
             now: Time::ZERO,
             loss: 0.0,
             reorder: 0.0,
+            dup: 0.0,
             held: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
             sent: Vec::new(),
@@ -78,6 +82,14 @@ impl Loopback {
     pub fn with_reorder(mut self, p: f64) -> Self {
         assert!((0.0..1.0).contains(&p), "probability out of range");
         self.reorder = p;
+        self
+    }
+
+    /// Duplicate each delivered datagram copy with probability `p`
+    /// (delivered twice back-to-back; protocols must stay exactly-once).
+    pub fn with_dup(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "probability out of range");
+        self.dup = p;
         self
     }
 
@@ -126,11 +138,7 @@ impl Loopback {
             if self.step_transmits() {
                 continue;
             }
-            let next_timeout = self
-                .endpoint_timeouts()
-                .into_iter()
-                .flatten()
-                .min();
+            let next_timeout = self.endpoint_timeouts().into_iter().flatten().min();
             match next_timeout {
                 None => break,
                 Some(t) => {
@@ -202,7 +210,9 @@ impl Loopback {
                         if self.reorder_roll() {
                             self.held.push((usize::MAX, t.payload.clone()));
                         } else {
-                            self.sender.handle_datagram(self.now, &t.payload);
+                            for _ in 0..self.dup_copies() {
+                                self.sender.handle_datagram(self.now, &t.payload);
+                            }
                         }
                     }
                 }
@@ -213,7 +223,9 @@ impl Loopback {
                             self.held.push((idx, t.payload.clone()));
                         } else {
                             let now = self.now;
-                            self.receivers[idx].handle_datagram(now, &t.payload);
+                            for _ in 0..self.dup_copies() {
+                                self.receivers[idx].handle_datagram(now, &t.payload);
+                            }
                         }
                     }
                 }
@@ -227,7 +239,9 @@ impl Loopback {
                                 self.held.push((i, t.payload.clone()));
                             } else {
                                 let now = self.now;
-                                self.receivers[i].handle_datagram(now, &t.payload);
+                                for _ in 0..self.dup_copies() {
+                                    self.receivers[i].handle_datagram(now, &t.payload);
+                                }
                             }
                         }
                     }
@@ -244,6 +258,16 @@ impl Loopback {
 
     fn reorder_roll(&mut self) -> bool {
         self.reorder > 0.0 && self.rng.gen::<f64>() < self.reorder
+    }
+
+    /// How many copies of a delivered datagram arrive (1, or 2 under the
+    /// duplication fault). Draws randomness only when the fault is on.
+    fn dup_copies(&mut self) -> usize {
+        if self.dup > 0.0 && self.rng.gen::<f64>() < self.dup {
+            2
+        } else {
+            1
+        }
     }
 
     fn collect_events(&mut self) {
@@ -279,7 +303,9 @@ mod tests {
         net.send_message(Bytes::from(vec![3u8; 4321]));
         let out = net.run();
         assert_eq!(out.len(), 5);
-        assert!(out.iter().all(|d| d.len() == 4321 && d.iter().all(|&b| b == 3)));
+        assert!(out
+            .iter()
+            .all(|d| d.len() == 4321 && d.iter().all(|&b| b == 3)));
         assert_eq!(net.sent, vec![0]);
         // Clean network: no retransmissions, no naks, no timeouts.
         assert_eq!(net.sender_stats().retx_sent, 0);

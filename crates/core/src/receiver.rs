@@ -17,6 +17,7 @@
 use crate::assembler::{Assembly, Offer};
 use crate::config::{ProtocolConfig, ProtocolKind};
 use crate::endpoint::{AppEvent, Dest, Endpoint, Transmit};
+use crate::error::SessionError;
 use crate::packet::{self, Packet};
 use crate::stats::Stats;
 use crate::tree::{TreeLinks, TreeTopology};
@@ -68,11 +69,14 @@ impl TransferState {
         matches!(self.k, Some(k) if self.own_next >= k)
     }
 
-    /// What this node can vouch for: own progress limited by children.
-    fn aggregate(&self) -> u32 {
+    /// What this node can vouch for: own progress limited by its *live*
+    /// children (evicted children no longer gate the aggregate).
+    fn aggregate(&self, dead_children: &[bool]) -> u32 {
         self.child_cov
             .iter()
-            .copied()
+            .zip(dead_children)
+            .filter(|&(_, &dead)| !dead)
+            .map(|(&c, _)| c)
             .chain(std::iter::once(self.own_next))
             .min()
             .expect("iterator never empty")
@@ -107,6 +111,15 @@ pub struct Receiver {
     /// Receiver-driven retransmission timer: when the config enables it,
     /// this deadline fires a NAK for the oldest stalled transfer.
     stall_deadline: Option<Time>,
+    /// Tree children dropped from the aggregate by the child-evict timer
+    /// (sticky: a dead subtree never gates a later transfer either).
+    dead_children: Vec<bool>,
+    /// Child-evict timer: armed while a live child's acknowledgment trails
+    /// this node's own progress; child progress pushes it out.
+    child_deadline: Option<Time>,
+    /// Last instant any packet arrived (base of the receiver give-up
+    /// timer).
+    last_heard: Time,
     rng: SmallRng,
 }
 
@@ -133,6 +146,7 @@ impl Receiver {
                     .collect()
             })
             .unwrap_or_default();
+        let n_children = links.as_ref().map_or(0, |l| l.children.len());
         Receiver {
             cfg,
             group,
@@ -148,6 +162,9 @@ impl Receiver {
             last_nak: None,
             pending_nak: None,
             stall_deadline: None,
+            dead_children: vec![false; n_children],
+            child_deadline: None,
+            last_heard: Time::ZERO,
             rng: SmallRng::seed_from_u64(seed ^ (rank.0 as u64) << 32),
         }
     }
@@ -224,11 +241,7 @@ impl Receiver {
             }
         }
         while self.alloc_pending.len() > MAX_TRACKED {
-            let far = *self
-                .alloc_pending
-                .keys()
-                .max()
-                .expect("non-empty");
+            let far = *self.alloc_pending.keys().max().expect("non-empty");
             if far > high_water {
                 self.alloc_pending.remove(&far);
             } else {
@@ -243,6 +256,8 @@ impl Receiver {
 
     fn on_data(&mut self, now: Time, header: Header, body: DataBody<'_>) {
         self.stats.data_received += 1;
+        // Any sender traffic proves the sender is alive (give-up timer).
+        self.last_heard = now;
         let transfer = header.transfer;
         let is_alloc = matches!(body, DataBody::Alloc(_));
         let seq = header.seq.0;
@@ -345,7 +360,8 @@ impl Receiver {
                 .into_bytes();
             let msg_id = (transfer / 2) as u64;
             self.stats.messages_completed += 1;
-            self.events.push_back(AppEvent::MessageDelivered { msg_id, data });
+            self.events
+                .push_back(AppEvent::MessageDelivered { msg_id, data });
             // A newly delivered message obsoletes the pending NAK state for
             // this transfer.
             if self
@@ -372,6 +388,7 @@ impl Receiver {
 
         self.prune();
         self.rearm_stall_timer(now);
+        self.rearm_child_timer(now);
     }
 
     /// The per-protocol acknowledgment decision after processing a data
@@ -405,8 +422,7 @@ impl Receiver {
                 let idx = self.rank.receiver_index() as u32;
                 let advanced = matches!(offer, Offer::InOrder);
                 // Token packets newly covered by the in-order advance.
-                let newly_token = advanced
-                    && (prev_next..next).any(|p| p % n == idx);
+                let newly_token = advanced && (prev_next..next).any(|p| p % n == idx);
                 // Everyone acknowledges the end of the transfer.
                 let completed_now = advanced && st.complete();
                 // Duplicates of our token packets or of the LAST packet
@@ -429,7 +445,7 @@ impl Receiver {
     /// advanced (or when `force`d by a retransmitted LAST packet).
     fn send_aggregate(&mut self, transfer: u32, force: bool) {
         let st = self.transfers.get_mut(&transfer).expect("state exists");
-        let agg = st.aggregate();
+        let agg = st.aggregate(&self.dead_children);
         let advanced = st.sent_up.is_none_or(|s| agg > s);
         let should_send = force || (advanced && agg > 0);
         if !should_send {
@@ -502,14 +518,126 @@ impl Receiver {
     // Control packets from peers
     // ------------------------------------------------------------------
 
-    fn on_peer_ack(&mut self, rank: Rank, transfer: u32, next_expected: u32) {
+    fn on_peer_ack(&mut self, now: Time, rank: Rank, transfer: u32, next_expected: u32) {
         self.stats.acks_received += 1;
         let Some(&slot) = self.child_slot.get(&rank) else {
             return; // not one of our tree children; stray
         };
         let st = self.ensure_state(transfer, false);
+        let advanced = next_expected > st.child_cov[slot];
         st.child_cov[slot] = st.child_cov[slot].max(next_expected);
         self.send_aggregate(transfer, false);
+        if advanced {
+            // Child progress: push the child-evict timer out.
+            self.child_deadline = None;
+        }
+        self.rearm_child_timer(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Liveness: child eviction and sender give-up
+    // ------------------------------------------------------------------
+
+    /// Is any live child's acknowledgment trailing this node's own
+    /// progress on some tracked transfer?
+    fn child_behind(&self) -> bool {
+        self.transfers.values().any(|st| {
+            st.child_cov
+                .iter()
+                .zip(&self.dead_children)
+                .any(|(&c, &dead)| !dead && c < st.own_next)
+        })
+    }
+
+    /// Arm the child-evict timer when a live child is behind; disarm it
+    /// when no child gates anything.
+    fn rearm_child_timer(&mut self, now: Time) {
+        let Some(d) = self.cfg.liveness.child_evict_timeout else {
+            return;
+        };
+        if !self.child_behind() {
+            self.child_deadline = None;
+        } else if self.child_deadline.is_none() {
+            self.child_deadline = Some(now + d);
+        }
+    }
+
+    /// The child-evict timer fired: every live child still trailing is
+    /// presumed dead. Drop it from the aggregate so the ack chain routes
+    /// around the dead subtree, and re-report everything that unblocked.
+    fn evict_stalled_children(&mut self, now: Time) {
+        self.child_deadline = None;
+        let mut evicted = Vec::new();
+        for (slot, dead) in self.dead_children.clone().iter().enumerate() {
+            if *dead {
+                continue;
+            }
+            let behind = self
+                .transfers
+                .iter()
+                .find(|(_, st)| st.child_cov[slot] < st.own_next)
+                .map(|(&t, _)| t);
+            if let Some(transfer) = behind {
+                self.dead_children[slot] = true;
+                evicted.push((slot, transfer));
+            }
+        }
+        for &(slot, transfer) in &evicted {
+            let rank = self
+                .links
+                .as_ref()
+                .expect("children imply tree links")
+                .children[slot];
+            self.stats.evictions += 1;
+            self.events.push_back(AppEvent::ReceiverEvicted {
+                msg_id: (transfer / 2) as u64,
+                rank,
+            });
+        }
+        if !evicted.is_empty() {
+            // Aggregates may have jumped: re-report every tracked transfer
+            // (send_aggregate only emits when the aggregate advanced).
+            for t in self.transfers.keys().copied().collect::<Vec<_>>() {
+                self.send_aggregate(t, false);
+            }
+        }
+        self.rearm_child_timer(now);
+    }
+
+    /// The give-up deadline, when the config bounds how long a receiver
+    /// waits on a silent sender with transfers incomplete.
+    fn giveup_deadline(&self) -> Option<Time> {
+        let g = self.cfg.liveness.receiver_giveup?;
+        self.stalled_target().map(|_| self.last_heard + g)
+    }
+
+    /// The sender went silent past `receiver_giveup`: abandon every
+    /// incomplete (or announced-but-unstarted) message with a typed error
+    /// instead of waiting forever.
+    fn give_up_on_sender(&mut self) {
+        // Oldest transfer per abandoned message id, for the error report.
+        let mut failed: BTreeMap<u64, u32> = BTreeMap::new();
+        for (&t, st) in &self.transfers {
+            if !st.complete() {
+                failed.entry((t / 2) as u64).or_insert(t);
+            }
+        }
+        for &t in self.alloc_pending.keys() {
+            if !self.transfers.contains_key(&t) {
+                failed.entry((t / 2) as u64).or_insert(t);
+            }
+        }
+        self.transfers.retain(|_, st| st.complete());
+        self.alloc_pending.clear();
+        self.pending_nak = None;
+        self.stall_deadline = None;
+        for (msg_id, transfer) in failed {
+            self.stats.messages_failed += 1;
+            self.events.push_back(AppEvent::MessageFailed {
+                msg_id,
+                error: SessionError::SenderStalled { transfer },
+            });
+        }
     }
 
     fn on_peer_nak(&mut self, transfer: u32, expected: u32) {
@@ -544,11 +672,9 @@ impl Endpoint for Receiver {
             Packet::Data { header, body } => self.on_data(now, header, DataBody::Chunk(&body)),
             Packet::Alloc { header, body } => self.on_data(now, header, DataBody::Alloc(body)),
             Packet::Ack { header, body } => {
-                self.on_peer_ack(header.src_rank, header.transfer, body.next_expected.0)
+                self.on_peer_ack(now, header.src_rank, header.transfer, body.next_expected.0)
             }
-            Packet::Nak { header, body } => {
-                self.on_peer_nak(header.transfer, body.expected.0)
-            }
+            Packet::Nak { header, body } => self.on_peer_nak(header.transfer, body.expected.0),
         }
     }
 
@@ -570,16 +696,24 @@ impl Endpoint for Receiver {
                 self.rearm_stall_timer(now);
             }
         }
+        if self.child_deadline.is_some_and(|d| d <= now) {
+            self.evict_stalled_children(now);
+        }
+        if self.giveup_deadline().is_some_and(|d| d <= now) {
+            self.give_up_on_sender();
+        }
     }
 
     fn poll_timeout(&self) -> Option<Time> {
-        match (
+        [
             self.pending_nak.as_ref().map(|p| p.deadline),
             self.stall_deadline,
-        ) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+            self.child_deadline,
+            self.giveup_deadline(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     fn poll_transmit(&mut self) -> Option<Transmit> {
@@ -595,7 +729,11 @@ impl Endpoint for Receiver {
     }
 
     fn is_idle(&self) -> bool {
-        self.out.is_empty() && self.pending_nak.is_none() && self.stall_deadline.is_none()
+        self.out.is_empty()
+            && self.pending_nak.is_none()
+            && self.stall_deadline.is_none()
+            && self.child_deadline.is_none()
+            && self.giveup_deadline().is_none()
     }
 }
 
@@ -638,7 +776,10 @@ mod tests {
     fn ack_mode_acks_every_packet() {
         let mut r = recv(cfg(ProtocolKind::Ack), 2, 1);
         r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa"));
-        r.handle_datagram(Time::ZERO, &data(1, 1, PacketFlags::LAST | PacketFlags::POLL, b"b"));
+        r.handle_datagram(
+            Time::ZERO,
+            &data(1, 1, PacketFlags::LAST | PacketFlags::POLL, b"b"),
+        );
         let acks = parse_acks(&drain(&mut r));
         assert_eq!(acks, vec![(Dest::Sender, 1, 1), (Dest::Sender, 1, 2)]);
         match r.poll_event().unwrap() {
@@ -823,6 +964,126 @@ mod tests {
         let dests: Vec<_> = out.iter().map(|t| t.dest).collect();
         assert_eq!(dests, vec![Dest::Receivers, Dest::Sender]);
         assert_eq!(r.stats().naks_sent, 2);
+    }
+
+    #[test]
+    fn tree_child_eviction_reroutes_ack_chain() {
+        let kind = ProtocolKind::Tree {
+            shape: TreeShape::Flat { height: 2 },
+        };
+        let mut c = cfg(kind);
+        c.liveness.child_evict_timeout = Some(rmwire::Duration::from_millis(50));
+        // 4 receivers, chains {1,2} and {3,4}: rank 1 aggregates rank 2.
+        let mut head = recv(c, 4, 1);
+        head.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::LAST, b"aa"));
+        // Own progress outruns the (dead) child: no upward ack yet, but
+        // the child-evict timer is armed.
+        assert!(parse_acks(&drain(&mut head)).is_empty());
+        assert!(matches!(
+            head.poll_event(),
+            Some(AppEvent::MessageDelivered { msg_id: 0, .. })
+        ));
+        let d = head.poll_timeout().expect("child timer armed");
+        assert_eq!(d, Time::ZERO + rmwire::Duration::from_millis(50));
+        head.handle_timeout(d);
+        assert_eq!(
+            head.poll_event(),
+            Some(AppEvent::ReceiverEvicted {
+                msg_id: 0,
+                rank: Rank(2)
+            })
+        );
+        // The ack chain now routes around the dead subtree: the head
+        // vouches for its own copy alone.
+        assert_eq!(parse_acks(&drain(&mut head)), vec![(Dest::Sender, 1, 1)]);
+        assert_eq!(head.stats().evictions, 1);
+        // Sticky: the next transfer never waits on the dead child.
+        head.handle_datagram(d, &data(3, 0, PacketFlags::LAST, b"bb"));
+        assert_eq!(parse_acks(&drain(&mut head)), vec![(Dest::Sender, 3, 1)]);
+        assert!(head.poll_timeout().is_none(), "no timer for a dead child");
+    }
+
+    #[test]
+    fn child_progress_pushes_evict_timer_out() {
+        let kind = ProtocolKind::Tree {
+            shape: TreeShape::Flat { height: 2 },
+        };
+        let mut c = cfg(kind);
+        c.liveness.child_evict_timeout = Some(rmwire::Duration::from_millis(50));
+        let mut head = recv(c, 4, 1);
+        head.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa"));
+        head.handle_datagram(Time::ZERO, &data(1, 1, PacketFlags::LAST, b"bb"));
+        let _ = drain(&mut head);
+        // The child acks packet 0 at t=40ms: alive, just slow. The timer
+        // restarts instead of firing at 50ms.
+        let t40 = Time::from_millis(40);
+        head.handle_datagram(t40, &packet::encode_ack(Rank(2), 1, SeqNo(1)));
+        let _ = drain(&mut head);
+        assert_eq!(
+            head.poll_timeout(),
+            Some(t40 + rmwire::Duration::from_millis(50)),
+            "progress re-bases the timer"
+        );
+        // Full catch-up disarms it.
+        head.handle_datagram(t40, &packet::encode_ack(Rank(2), 1, SeqNo(2)));
+        let _ = drain(&mut head);
+        assert!(head.poll_timeout().is_none());
+        assert_eq!(head.stats().evictions, 0);
+    }
+
+    #[test]
+    fn receiver_gives_up_on_silent_sender() {
+        use crate::error::SessionError;
+        let mut c = cfg(ProtocolKind::Ack);
+        c.liveness.receiver_giveup = Some(rmwire::Duration::from_millis(100));
+        let mut r = recv(c, 1, 1);
+        // One packet of an unfinished transfer, then silence.
+        r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa"));
+        let _ = drain(&mut r);
+        let d = r.poll_timeout().expect("give-up timer armed");
+        assert_eq!(d, Time::ZERO + rmwire::Duration::from_millis(100));
+        r.handle_timeout(d);
+        assert_eq!(
+            r.poll_event(),
+            Some(AppEvent::MessageFailed {
+                msg_id: 0,
+                error: SessionError::SenderStalled { transfer: 1 },
+            })
+        );
+        assert!(r.is_idle(), "nothing left to wait for");
+        assert_eq!(r.stats().messages_failed, 1);
+    }
+
+    #[test]
+    fn giveup_covers_announced_but_unstarted_transfers() {
+        use crate::error::SessionError;
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = true;
+        c.liveness.receiver_giveup = Some(rmwire::Duration::from_millis(100));
+        let mut r = recv(c, 1, 1);
+        // The allocation round trip completes; the data never arrives.
+        let alloc = packet::encode_alloc(
+            Rank::SENDER,
+            0,
+            PacketFlags::LAST,
+            AllocBody {
+                msg_len: 100,
+                data_transfer: 1,
+                packet_size: 100,
+            },
+        );
+        r.handle_datagram(Time::ZERO, &alloc);
+        let _ = drain(&mut r);
+        let d = r.poll_timeout().expect("give-up timer armed");
+        r.handle_timeout(d);
+        assert_eq!(
+            r.poll_event(),
+            Some(AppEvent::MessageFailed {
+                msg_id: 0,
+                error: SessionError::SenderStalled { transfer: 1 },
+            })
+        );
+        assert!(r.is_idle());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::config::{ProtocolConfig, ProtocolKind, WindowDiscipline};
 use crate::coverage::{PerSourceCoverage, RingTracker};
 use crate::endpoint::{AppEvent, Dest, Endpoint, Transmit};
+use crate::error::SessionError;
 use crate::packet::{self, Packet};
 use crate::stats::Stats;
 use crate::tree::TreeTopology;
@@ -28,6 +29,9 @@ enum Release {
     PerSource {
         cov: PerSourceCoverage,
         src_of_rank: Vec<Option<usize>>,
+        /// Inverse of `src_of_rank`: the rank behind each source slot
+        /// (needed to name evicted peers).
+        rank_of_src: Vec<Rank>,
     },
     /// The ring rule.
     Ring(RingTracker),
@@ -36,9 +40,56 @@ enum Release {
 impl Release {
     fn update(&mut self, rank: Rank, next_expected: u32) -> Option<u32> {
         match self {
-            Release::PerSource { cov, src_of_rank } => src_of_rank[rank.receiver_index()]
-                .map(|idx| cov.update(idx, next_expected)),
+            Release::PerSource {
+                cov, src_of_rank, ..
+            } => src_of_rank[rank.receiver_index()].map(|idx| cov.update(idx, next_expected)),
             Release::Ring(r) => Some(r.update(rank, next_expected)),
+        }
+    }
+
+    /// Current releasable prefix without recording anything.
+    fn released(&self) -> u32 {
+        match self {
+            Release::PerSource { cov, .. } => cov.released(),
+            Release::Ring(r) => r.released(),
+        }
+    }
+
+    /// Acknowledgment sources still part of the proof obligation.
+    fn n_active(&self) -> usize {
+        match self {
+            Release::PerSource { cov, .. } => cov.n_active(),
+            Release::Ring(r) => r.n_active(),
+        }
+    }
+
+    /// The ranks currently gating the release — eviction candidates when
+    /// the transfer stalls.
+    fn laggard_ranks(&self) -> Vec<Rank> {
+        match self {
+            Release::PerSource {
+                cov, rank_of_src, ..
+            } => cov.laggards().into_iter().map(|i| rank_of_src[i]).collect(),
+            Release::Ring(r) => r
+                .laggards()
+                .into_iter()
+                .map(Rank::from_receiver_index)
+                .collect(),
+        }
+    }
+
+    /// Remove `rank` from the proof obligation (no-op for ranks that were
+    /// never acknowledgment sources, e.g. non-root tree nodes).
+    fn evict_rank(&mut self, rank: Rank) {
+        match self {
+            Release::PerSource {
+                cov, src_of_rank, ..
+            } => {
+                if let Some(idx) = src_of_rank[rank.receiver_index()] {
+                    cov.evict(idx);
+                }
+            }
+            Release::Ring(r) => r.evict(rank.receiver_index()),
         }
     }
 }
@@ -55,6 +106,12 @@ struct Transfer {
     payload: Payload,
     win: SendWindow,
     release: Release,
+    /// Consecutive retransmission timeouts without window progress
+    /// (liveness bound; reset whenever the window base advances).
+    streak: u32,
+    /// Effective RTO, grown by `LivenessConfig::rto_backoff` on each
+    /// consecutive timeout and reset on progress.
+    cur_rto: Duration,
 }
 
 /// Which half of the message the active transfer is.
@@ -99,6 +156,9 @@ pub struct Sender {
     /// Rate pacing: the instant the next fresh data packet may enter the
     /// window (rate-based flow control option).
     pace_gate: Time,
+    /// Receivers evicted by the liveness bound, by receiver index. Sticky
+    /// across transfers: a dead receiver never gates a later message.
+    evicted: Vec<bool>,
 }
 
 impl Sender {
@@ -127,6 +187,7 @@ impl Sender {
             transfer: None,
             staged: None,
             pace_gate: Time::ZERO,
+            evicted: vec![false; group.n_receivers as usize],
         }
     }
 
@@ -165,7 +226,12 @@ impl Sender {
                 packet_size: self.cfg.packet_size as u32,
             };
             self.cur = Some((msg_id, data, Phase::Alloc));
-            self.begin_transfer(now, Self::alloc_transfer_id(msg_id), Payload::Alloc(alloc), 1);
+            self.begin_transfer(
+                now,
+                Self::alloc_transfer_id(msg_id),
+                Payload::Alloc(alloc),
+                1,
+            );
         } else {
             let k = Self::packet_count(data.len(), self.cfg.packet_size);
             self.cur = Some((msg_id, data.clone(), Phase::Data));
@@ -196,6 +262,8 @@ impl Sender {
             payload,
             win,
             release,
+            streak: 0,
+            cur_rto: self.cfg.rto,
         }
     }
 
@@ -262,10 +330,11 @@ impl Sender {
 
     fn make_release(&self, k: u32) -> Release {
         let n = self.group.n_receivers as usize;
-        match self.cfg.kind {
+        let mut release = match self.cfg.kind {
             ProtocolKind::Ack | ProtocolKind::NakPolling { .. } => Release::PerSource {
                 cov: PerSourceCoverage::new(n),
                 src_of_rank: (0..n).map(Some).collect(),
+                rank_of_src: (0..n).map(Rank::from_receiver_index).collect(),
             },
             ProtocolKind::Ring => Release::Ring(RingTracker::new(k, n as u32)),
             ProtocolKind::Tree { .. } => {
@@ -277,9 +346,16 @@ impl Sender {
                 Release::PerSource {
                     cov: PerSourceCoverage::new(tree.roots().len()),
                     src_of_rank,
+                    rank_of_src: tree.roots().to_vec(),
                 }
             }
+        };
+        // Previously evicted receivers stay out of the proof obligation:
+        // a dead peer must not stall every subsequent message anew.
+        for idx in (0..n).filter(|&i| self.evicted[i]) {
+            release.evict_rank(Rank::from_receiver_index(idx));
         }
+        release
     }
 
     /// Fill the window with fresh packets (respecting the rate pacer when
@@ -368,10 +444,7 @@ impl Sender {
 
         let is_data = payload_src.is_ok();
         let (payload, copied) = match payload_src {
-            Err(body) => (
-                packet::encode_alloc(Rank::SENDER, tid, flags, body),
-                0usize,
-            ),
+            Err(body) => (packet::encode_alloc(Rank::SENDER, tid, flags, body), 0usize),
             Ok(msg) => {
                 let ps = self.cfg.packet_size;
                 let start = seq as usize * ps;
@@ -417,9 +490,16 @@ impl Sender {
         let Some(which) = self.which_by_id(transfer_id) else {
             return;
         };
+        let base_rto = self.cfg.rto;
         let t = self.tmut(which).expect("transfer exists");
         if let Some(released) = t.release.update(rank, next_expected.min(t.win.k())) {
+            let before = t.win.base();
             t.win.release(released);
+            if t.win.base() > before {
+                // Window progress: the liveness bound starts over.
+                t.streak = 0;
+                t.cur_rto = base_rto;
+            }
             if t.win.all_released() {
                 match which {
                     Which::Cur => self.finish_transfer(now),
@@ -530,31 +610,146 @@ impl Sender {
             Phase::Data => {
                 self.stats.messages_completed += 1;
                 self.events.push_back(AppEvent::MessageSent { msg_id });
-                if let Some(st) = self.staged.take() {
-                    // Promote the pipelined next message.
-                    match st.alloc {
-                        None => {
-                            // Its allocation already completed: straight to
-                            // data.
-                            let k = Self::packet_count(st.data.len(), self.cfg.packet_size);
-                            self.cur = Some((st.msg_id, st.data.clone(), Phase::Data));
-                            self.begin_transfer(
-                                now,
-                                Self::data_transfer_id(st.msg_id),
-                                Payload::Data(st.data),
-                                k,
-                            );
-                        }
-                        Some(alloc) => {
-                            // Allocation still in flight: it becomes the
-                            // current transfer, window state intact.
-                            self.cur = Some((st.msg_id, st.data, Phase::Alloc));
-                            self.transfer = Some(alloc);
-                        }
-                    }
-                } else {
-                    self.start_next(now);
+                self.advance_after_current(now);
+            }
+        }
+    }
+
+    /// The current message is done (completed or abandoned): promote the
+    /// pipelined next message, or start one from the queue.
+    fn advance_after_current(&mut self, now: Time) {
+        debug_assert!(self.cur.is_none() && self.transfer.is_none());
+        if let Some(st) = self.staged.take() {
+            // Promote the pipelined next message.
+            match st.alloc {
+                None => {
+                    // Its allocation already completed: straight to data.
+                    let k = Self::packet_count(st.data.len(), self.cfg.packet_size);
+                    self.cur = Some((st.msg_id, st.data.clone(), Phase::Data));
+                    self.begin_transfer(
+                        now,
+                        Self::data_transfer_id(st.msg_id),
+                        Payload::Data(st.data),
+                        k,
+                    );
                 }
+                Some(alloc) => {
+                    // Allocation still in flight: it becomes the current
+                    // transfer, window state intact.
+                    self.cur = Some((st.msg_id, st.data, Phase::Alloc));
+                    self.transfer = Some(alloc);
+                }
+            }
+        } else {
+            self.start_next(now);
+        }
+        self.maybe_stage_next(now);
+    }
+
+    /// The liveness bound tripped on a transfer: evict the stragglers
+    /// gating it (when configured) or abandon the message with a typed
+    /// error. Either way the sender keeps making progress.
+    fn give_up(&mut self, which: Which, now: Time) {
+        let liveness = self.cfg.liveness;
+        let (tid, streak) = {
+            let t = self.tref(which).expect("transfer exists");
+            (t.id, t.streak)
+        };
+        if !liveness.evict_stragglers {
+            self.fail_message(
+                which,
+                now,
+                SessionError::RetryLimitExceeded {
+                    transfer: tid,
+                    timeouts: streak,
+                },
+            );
+            return;
+        }
+        let t = self.tref(which).expect("transfer exists");
+        let laggards = t.release.laggard_ranks();
+        if laggards.is_empty() || laggards.len() >= t.release.n_active() {
+            // Nobody identifiable to blame, or eviction would empty the
+            // group: nothing left to deliver to.
+            self.fail_message(
+                which,
+                now,
+                SessionError::AllReceiversEvicted { transfer: tid },
+            );
+            return;
+        }
+        let msg_id = match which {
+            Which::Cur => self.cur.as_ref().map(|&(id, _, _)| id).unwrap_or_default(),
+            Which::Staged => self.staged.as_ref().expect("staged exists").msg_id,
+        };
+        for rank in laggards {
+            self.evicted[rank.receiver_index()] = true;
+            self.stats.evictions += 1;
+            self.events
+                .push_back(AppEvent::ReceiverEvicted { msg_id, rank });
+            // Both in-flight transfers wait on the same receiver set; the
+            // dead peer must gate neither.
+            for w in [Which::Cur, Which::Staged] {
+                if let Some(t) = self.tmut(w) {
+                    t.release.evict_rank(rank);
+                }
+            }
+        }
+        self.settle(now);
+    }
+
+    /// Re-evaluate both in-flight transfers against their (possibly just
+    /// shrunk) proof obligations: release what the survivors cover,
+    /// finish what is fully released, refill the window.
+    fn settle(&mut self, now: Time) {
+        let base_rto = self.cfg.rto;
+        // Staged first: `finish_transfer` on the current message promotes
+        // the staged one and expects its completion already recorded.
+        if let Some(t) = self.tmut(Which::Staged) {
+            let released = t.release.released().min(t.win.k());
+            let before = t.win.base();
+            t.win.release(released);
+            if t.win.base() > before {
+                t.streak = 0;
+                t.cur_rto = base_rto;
+            }
+            if t.win.all_released() {
+                self.staged.as_mut().expect("staged exists").alloc = None;
+            }
+        }
+        if let Some(t) = self.transfer.as_mut() {
+            let released = t.release.released().min(t.win.k());
+            let before = t.win.base();
+            t.win.release(released);
+            if t.win.base() > before {
+                t.streak = 0;
+                t.cur_rto = base_rto;
+            }
+            if t.win.all_released() {
+                self.finish_transfer(now);
+            } else {
+                self.pump(now);
+            }
+        }
+    }
+
+    /// Abandon a message with a typed error and move on to the next.
+    fn fail_message(&mut self, which: Which, now: Time, error: SessionError) {
+        self.stats.messages_failed += 1;
+        match which {
+            Which::Cur => {
+                self.transfer = None;
+                let (msg_id, _, _) = self.cur.take().expect("transfer without a message");
+                self.events
+                    .push_back(AppEvent::MessageFailed { msg_id, error });
+                self.advance_after_current(now);
+            }
+            Which::Staged => {
+                let st = self.staged.take().expect("staged exists");
+                self.events.push_back(AppEvent::MessageFailed {
+                    msg_id: st.msg_id,
+                    error,
+                });
                 self.maybe_stage_next(now);
             }
         }
@@ -590,25 +785,47 @@ impl Endpoint for Sender {
         if self.pace_deadline().is_some_and(|d| d <= now) {
             self.pump(now);
         }
+        let liveness = self.cfg.liveness;
         for which in [Which::Cur, Which::Staged] {
             let Some(t) = self.tref(which) else { continue };
-            let deadline = t.win.earliest_deadline(self.cfg.rto);
+            let deadline = t.win.earliest_deadline(t.cur_rto);
             if deadline.is_none_or(|d| d > now) {
                 continue;
             }
             self.stats.timeouts += 1;
-            let t = self.tref(which).expect("transfer exists");
+            let (streak, rto) = {
+                let t = self.tmut(which).expect("transfer exists");
+                t.streak += 1;
+                (t.streak, t.cur_rto)
+            };
+            if liveness.max_retx.is_some_and(|m| streak > m) {
+                // The retry budget is spent: resolve the stall instead of
+                // retransmitting into the void forever.
+                self.give_up(which, now);
+                continue;
+            }
             match self.cfg.discipline {
                 WindowDiscipline::GoBackN => {
+                    let t = self.tref(which).expect("transfer exists");
                     let base = t.win.base();
                     self.retransmit_from(which, now, base);
                 }
                 WindowDiscipline::SelectiveRepeat => {
                     // Per-packet timers: every expired outstanding packet
                     // is retransmitted individually.
-                    for seq in t.win.expired(now, self.cfg.rto) {
+                    let t = self.tref(which).expect("transfer exists");
+                    for seq in t.win.expired(now, rto) {
                         self.retransmit_one(which, now, seq);
                     }
+                }
+            }
+            // Exponential backoff: each consecutive timeout stretches the
+            // effective RTO up to the ceiling (progress resets it).
+            if liveness.rto_backoff > 1.0 {
+                let ceil_ns = liveness.rto_max.as_nanos().max(self.cfg.rto.as_nanos());
+                if let Some(t) = self.tmut(which) {
+                    let next_ns = (rto.as_nanos() as f64 * liveness.rto_backoff) as u64;
+                    t.cur_rto = Duration::from_nanos(next_ns.min(ceil_ns));
                 }
             }
         }
@@ -618,9 +835,9 @@ impl Endpoint for Sender {
         [
             self.transfer
                 .as_ref()
-                .and_then(|t| t.win.earliest_deadline(self.cfg.rto)),
+                .and_then(|t| t.win.earliest_deadline(t.cur_rto)),
             self.tref(Which::Staged)
-                .and_then(|t| t.win.earliest_deadline(self.cfg.rto)),
+                .and_then(|t| t.win.earliest_deadline(t.cur_rto)),
             self.pace_deadline(),
         ]
         .into_iter()
@@ -749,7 +966,13 @@ mod tests {
         let out = drain(&mut s);
         let polled: Vec<bool> = out
             .iter()
-            .map(|t| Packet::parse(&t.payload).unwrap().header().flags.contains(PacketFlags::POLL))
+            .map(|t| {
+                Packet::parse(&t.payload)
+                    .unwrap()
+                    .header()
+                    .flags
+                    .contains(PacketFlags::POLL)
+            })
             .collect();
         // Interval 3: seq 2 polled; seq 3 polled because LAST.
         assert_eq!(polled, vec![false, false, true, true]);
@@ -769,7 +992,11 @@ mod tests {
         let retx = drain(&mut s);
         assert_eq!(retx.len(), 3, "Go-Back-N resends the whole window");
         assert!(retx.iter().all(|t| {
-            Packet::parse(&t.payload).unwrap().header().flags.contains(PacketFlags::RETX)
+            Packet::parse(&t.payload)
+                .unwrap()
+                .header()
+                .flags
+                .contains(PacketFlags::RETX)
         }));
         assert_eq!(s.stats().retx_sent, 3);
         assert_eq!(s.stats().timeouts, 1);
@@ -886,6 +1113,170 @@ mod tests {
         s2.send_message(Time::ZERO, Bytes::from(vec![1u8; 250]));
         let out = drain(&mut s2);
         assert_eq!(out.iter().map(|t| t.copied).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn backoff_stretches_rto() {
+        use crate::config::LivenessConfig;
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = false;
+        c.liveness = LivenessConfig::bounded(10);
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let _ = drain(&mut s);
+        let d1 = s.poll_timeout().expect("armed");
+        assert_eq!(d1, Time::ZERO + c.rto);
+        s.handle_timeout(d1);
+        let _ = drain(&mut s);
+        let d2 = s.poll_timeout().expect("still armed");
+        assert_eq!(
+            d2,
+            d1 + c.rto.saturating_mul(2),
+            "second wait is twice the first"
+        );
+        s.handle_timeout(d2);
+        let _ = drain(&mut s);
+        let d3 = s.poll_timeout().expect("still armed");
+        assert_eq!(d3, d2 + c.rto.saturating_mul(4));
+        // Progress resets the backoff: ack, then send another message.
+        ack(&mut s, d3, Rank(1), 1, 1);
+        assert_eq!(s.poll_event(), Some(AppEvent::MessageSent { msg_id: 0 }));
+        s.send_message(d3, Bytes::from(vec![2u8; 100]));
+        let _ = drain(&mut s);
+        assert_eq!(
+            s.poll_timeout(),
+            Some(d3 + c.rto),
+            "fresh transfer, base RTO"
+        );
+    }
+
+    #[test]
+    fn bounded_retries_fail_with_typed_error() {
+        use crate::config::LivenessConfig;
+        use crate::error::SessionError;
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = false;
+        c.liveness = LivenessConfig::bounded(2);
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let _ = drain(&mut s);
+        // Nobody ever acknowledges: the sender must stop on its own.
+        for _ in 0..10 {
+            let Some(d) = s.poll_timeout() else { break };
+            s.handle_timeout(d);
+            let _ = drain(&mut s);
+        }
+        assert_eq!(
+            s.poll_event(),
+            Some(AppEvent::MessageFailed {
+                msg_id: 0,
+                error: SessionError::RetryLimitExceeded {
+                    transfer: 1,
+                    timeouts: 3,
+                },
+            })
+        );
+        assert!(s.is_idle(), "no retry loop survives the bound");
+        assert_eq!(s.stats().messages_failed, 1);
+        assert_eq!(
+            s.stats().retx_sent,
+            2,
+            "exactly max_retx retransmission rounds"
+        );
+    }
+
+    #[test]
+    fn eviction_completes_to_survivors() {
+        use crate::config::LivenessConfig;
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = false;
+        c.liveness = LivenessConfig::evicting(1);
+        let mut s = Sender::new(c, GroupSpec::new(2));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let _ = drain(&mut s);
+        // Receiver 1 acknowledges; receiver 2 is dead.
+        ack(&mut s, Time::ZERO, Rank(1), 1, 1);
+        for _ in 0..5 {
+            let Some(d) = s.poll_timeout() else { break };
+            s.handle_timeout(d);
+            let _ = drain(&mut s);
+        }
+        assert_eq!(
+            s.poll_event(),
+            Some(AppEvent::ReceiverEvicted {
+                msg_id: 0,
+                rank: Rank(2)
+            })
+        );
+        assert_eq!(
+            s.poll_event(),
+            Some(AppEvent::MessageSent { msg_id: 0 }),
+            "completes to the surviving receiver"
+        );
+        assert_eq!(s.stats().evictions, 1);
+        // Eviction is sticky: the next message needs only the survivor.
+        s.send_message(Time::from_millis(1), Bytes::from(vec![2u8; 100]));
+        let _ = drain(&mut s);
+        ack(&mut s, Time::from_millis(1), Rank(1), 3, 1);
+        assert_eq!(s.poll_event(), Some(AppEvent::MessageSent { msg_id: 1 }));
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn evicting_everyone_fails_the_message() {
+        use crate::config::LivenessConfig;
+        use crate::error::SessionError;
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = false;
+        c.liveness = LivenessConfig::evicting(1);
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let _ = drain(&mut s);
+        for _ in 0..5 {
+            let Some(d) = s.poll_timeout() else { break };
+            s.handle_timeout(d);
+            let _ = drain(&mut s);
+        }
+        assert_eq!(
+            s.poll_event(),
+            Some(AppEvent::MessageFailed {
+                msg_id: 0,
+                error: SessionError::AllReceiversEvicted { transfer: 1 },
+            })
+        );
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn ring_eviction_skips_dead_token_site() {
+        use crate::config::LivenessConfig;
+        let mut c = ProtocolConfig::new(ProtocolKind::Ring, 100, 5);
+        c.handshake = false;
+        c.liveness = LivenessConfig::evicting(1);
+        let mut s = Sender::new(c, GroupSpec::new(3));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 300])); // 3 packets
+        let _ = drain(&mut s);
+        // Receivers 1 and 3 are alive and fully acknowledged (including the
+        // LAST packet everyone acks); receiver 2 — token site of packet 1 —
+        // is dead, blocking the prefix forever.
+        ack(&mut s, Time::ZERO, Rank(1), 1, 3);
+        ack(&mut s, Time::ZERO, Rank(3), 1, 3);
+        assert!(s.poll_event().is_none());
+        for _ in 0..5 {
+            let Some(d) = s.poll_timeout() else { break };
+            s.handle_timeout(d);
+            let _ = drain(&mut s);
+        }
+        assert_eq!(
+            s.poll_event(),
+            Some(AppEvent::ReceiverEvicted {
+                msg_id: 0,
+                rank: Rank(2)
+            }),
+            "token-pass skip over the dead site"
+        );
+        assert_eq!(s.poll_event(), Some(AppEvent::MessageSent { msg_id: 0 }));
+        assert!(s.is_idle());
     }
 
     #[test]

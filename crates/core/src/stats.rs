@@ -44,6 +44,11 @@ pub struct Stats {
     pub decode_errors: u64,
     /// Retransmission timeouts that fired.
     pub timeouts: u64,
+    /// Messages abandoned under the liveness bounds (sender giving up or a
+    /// receiver declaring the sender dead).
+    pub messages_failed: u64,
+    /// Peers evicted from the proof obligation by straggler eviction.
+    pub evictions: u64,
 }
 
 impl Stats {
@@ -91,6 +96,8 @@ impl Stats {
         self.peak_buffer_bytes = self.peak_buffer_bytes.max(other.peak_buffer_bytes);
         self.decode_errors += other.decode_errors;
         self.timeouts += other.timeouts;
+        self.messages_failed += other.messages_failed;
+        self.evictions += other.evictions;
     }
 }
 

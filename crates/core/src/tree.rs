@@ -118,7 +118,11 @@ impl TreeTopology {
                 .max()
                 .unwrap_or(0)
         }
-        self.roots.iter().map(|&r| depth(self, r)).max().unwrap_or(0)
+        self.roots
+            .iter()
+            .map(|&r| depth(self, r))
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -199,22 +199,13 @@ mod tests {
         let mut w = SendWindow::new(5, 5);
         w.mark_sent(t(10));
         w.mark_sent(t(20));
-        assert_eq!(
-            w.oldest_deadline(Duration::from_micros(100)),
-            Some(t(110))
-        );
+        assert_eq!(w.oldest_deadline(Duration::from_micros(100)), Some(t(110)));
         w.slot_mut(0).unwrap().last_tx = t(50);
-        assert_eq!(
-            w.oldest_deadline(Duration::from_micros(100)),
-            Some(t(150))
-        );
+        assert_eq!(w.oldest_deadline(Duration::from_micros(100)), Some(t(150)));
         assert!(w.slot_mut(4).is_none(), "unsent seq has no slot");
         w.release(1);
         assert!(w.slot_mut(0).is_none(), "released seq has no slot");
-        assert_eq!(
-            w.oldest_deadline(Duration::from_micros(100)),
-            Some(t(120))
-        );
+        assert_eq!(w.oldest_deadline(Duration::from_micros(100)), Some(t(120)));
     }
 
     #[test]

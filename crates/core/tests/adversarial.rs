@@ -37,8 +37,14 @@ fn arb_packet() -> impl Strategy<Value = Bytes> {
                 )
             }),
         // Alloc with arbitrary size claims.
-        (any::<u16>(), any::<u32>(), any::<u64>(), any::<u32>(), 1u32..65_000).prop_map(
-            |(rank, transfer, msg_len, data_transfer, ps)| {
+        (
+            any::<u16>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u32>(),
+            1u32..65_000
+        )
+            .prop_map(|(rank, transfer, msg_len, data_transfer, ps)| {
                 packet::encode_alloc(
                     Rank(rank),
                     transfer,
@@ -52,13 +58,18 @@ fn arb_packet() -> impl Strategy<Value = Bytes> {
                         packet_size: ps,
                     },
                 )
-            }
-        ),
+            }),
         // Acks and naks with arbitrary values.
-        (any::<u16>(), any::<u32>(), any::<u32>())
-            .prop_map(|(r, t, ne)| packet::encode_ack(Rank(r), t, SeqNo(ne))),
-        (any::<u16>(), any::<u32>(), any::<u32>())
-            .prop_map(|(r, t, e)| packet::encode_nak(Rank(r), t, SeqNo(e))),
+        (any::<u16>(), any::<u32>(), any::<u32>()).prop_map(|(r, t, ne)| packet::encode_ack(
+            Rank(r),
+            t,
+            SeqNo(ne)
+        )),
+        (any::<u16>(), any::<u32>(), any::<u32>()).prop_map(|(r, t, e)| packet::encode_nak(
+            Rank(r),
+            t,
+            SeqNo(e)
+        )),
         // Raw garbage.
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(Bytes::from),
     ]

@@ -82,11 +82,7 @@ fn pipelining_preserves_order_and_content() {
         net.run();
         assert_eq!(net.sent, vec![0, 1, 2, 3, 4, 5], "loss={loss}");
         for r in 0..4usize {
-            let got: Vec<_> = net
-                .deliveries
-                .iter()
-                .filter(|(i, _, _)| *i == r)
-                .collect();
+            let got: Vec<_> = net.deliveries.iter().filter(|(i, _, _)| *i == r).collect();
             assert_eq!(got.len(), 6, "loss={loss} receiver {r}");
             for (i, (_, id, d)) in got.iter().enumerate() {
                 assert_eq!(*id as usize, i, "in-order delivery");

@@ -96,6 +96,54 @@ proptest! {
         }
     }
 
+    /// Exactly-once delivery under datagram duplication: every protocol,
+    /// arbitrary duplication rates, no receiver ever sees a message twice.
+    #[test]
+    fn exactly_once_under_duplication(
+        kind in arb_kind(),
+        n in 1u16..5,
+        dup in 0.05f64..0.6,
+        msg_len in 1usize..4000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = build_config(kind, n, 512, 8, false);
+        let mut net = Loopback::new(cfg, n, seed).with_dup(dup);
+        let msg = Bytes::from((0..msg_len).map(|i| (i * 13) as u8).collect::<Vec<_>>());
+        net.send_message(msg.clone());
+        let out = net.run();
+        // Exactly one delivery per receiver — duplicates must be absorbed.
+        prop_assert_eq!(out.len(), n as usize);
+        for d in out {
+            prop_assert_eq!(&d, &msg);
+        }
+        for i in 0..n as usize {
+            let delivered = net.deliveries.iter().filter(|(r, _, _)| *r == i).count();
+            prop_assert_eq!(delivered, 1, "receiver {} saw {} deliveries", i, delivered);
+        }
+    }
+
+    /// ... and under duplication combined with loss (retransmissions then
+    /// also arrive twice).
+    #[test]
+    fn exactly_once_under_duplication_and_loss(
+        kind in arb_kind(),
+        n in 1u16..4,
+        dup in 0.05f64..0.4,
+        loss in 0.01f64..0.2,
+        msg_len in 1usize..3000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = build_config(kind, n, 512, 8, false);
+        let mut net = Loopback::new(cfg, n, seed).with_dup(dup).with_loss(loss);
+        let msg = Bytes::from((0..msg_len).map(|i| (i * 31) as u8).collect::<Vec<_>>());
+        net.send_message(msg.clone());
+        let out = net.run();
+        prop_assert_eq!(out.len(), n as usize);
+        for d in out {
+            prop_assert_eq!(&d, &msg);
+        }
+    }
+
     /// Clean runs never retransmit, for any parameters.
     #[test]
     fn clean_runs_never_retransmit(

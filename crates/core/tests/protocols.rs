@@ -128,11 +128,7 @@ fn table2_control_packet_counts_on_clean_network() {
 
     // NAK with polling i=5: k/i polls (+ last +- rounding) each acked by N;
     // alloc acked by N.
-    let mut net = Loopback::new(
-        config_for(ProtocolKind::nak_polling(5), n, 500, 10),
-        n,
-        3,
-    );
+    let mut net = Loopback::new(config_for(ProtocolKind::nak_polling(5), n, 500, 10), n, 3);
     net.send_message(msg.clone());
     net.run();
     let polls = k.div_ceil(5); // seqs 4, 9, 14, 19 (19 is also LAST)
@@ -266,7 +262,10 @@ fn tree_chain_sequentializes_acks() {
     // ... but intermediate progress acks can add a few; at most one per
     // packet per hop is an upper bound. The *lower* bound is k+1.
     let acks = net.sender_stats().acks_received;
-    assert!(acks >= 9, "aggregation must still confirm everything: {acks}");
+    assert!(
+        acks >= 9,
+        "aggregation must still confirm everything: {acks}"
+    );
     // Each receiver sent acks only to its parent; total receiver acks is
     // bounded by hops * packets.
     let total_recv_acks: u64 = (0..6).map(|i| net.receiver_stats(i).acks_sent).sum();
@@ -364,9 +363,7 @@ fn all_protocols_survive_loss_plus_reordering() {
     for kind in protocols_for(3) {
         let cfg = config_for(kind, 3, 700, 8);
         let msg = payload(10_000, 4);
-        let mut net = Loopback::new(cfg, 3, 99)
-            .with_loss(0.1)
-            .with_reorder(0.1);
+        let mut net = Loopback::new(cfg, 3, 99).with_loss(0.1).with_reorder(0.1);
         net.send_message(msg.clone());
         let out = net.run();
         assert_eq!(out.len(), 3, "{kind:?} under loss + reordering");

@@ -160,7 +160,12 @@ fn ring_transfer_shorter_than_group() {
 
 #[test]
 fn nak_mode_acks_retransmissions() {
-    let mut r = Receiver::new(no_handshake(ProtocolKind::nak_polling(4)), GroupSpec::new(1), Rank(1), 1);
+    let mut r = Receiver::new(
+        no_handshake(ProtocolKind::nak_polling(4)),
+        GroupSpec::new(1),
+        Rank(1),
+        1,
+    );
     r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa"));
     assert!(drain_acks(&mut r).is_empty(), "not polled");
     // A retransmission of the same packet is acknowledged (stall
@@ -184,13 +189,21 @@ fn gap_then_recovery_naks_once_per_suppression_window() {
     assert_eq!(drain_naks(&mut r), vec![0]);
     assert_eq!(r.stats().naks_suppressed, 4);
     // After the suppression window, another gap packet re-naks.
-    r.handle_datagram(Time::from_micros(5_000), &data(1, 6, PacketFlags::EMPTY, b"xx"));
+    r.handle_datagram(
+        Time::from_micros(5_000),
+        &data(1, 6, PacketFlags::EMPTY, b"xx"),
+    );
     assert_eq!(drain_naks(&mut r), vec![0]);
 }
 
 #[test]
 fn stats_account_for_everything() {
-    let mut r = Receiver::new(no_handshake(ProtocolKind::Ack), GroupSpec::new(1), Rank(1), 1);
+    let mut r = Receiver::new(
+        no_handshake(ProtocolKind::Ack),
+        GroupSpec::new(1),
+        Rank(1),
+        1,
+    );
     r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa"));
     r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa")); // dup
     r.handle_datagram(Time::ZERO, &data(1, 1, PacketFlags::LAST, b"bb"));
@@ -207,7 +220,12 @@ fn stats_account_for_everything() {
 fn foreign_transfer_ids_do_not_confuse_state() {
     // Two interleaved transfers (which the sender never does, but the
     // receiver must tolerate): both complete independently.
-    let mut r = Receiver::new(no_handshake(ProtocolKind::Ack), GroupSpec::new(1), Rank(1), 1);
+    let mut r = Receiver::new(
+        no_handshake(ProtocolKind::Ack),
+        GroupSpec::new(1),
+        Rank(1),
+        1,
+    );
     r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa"));
     r.handle_datagram(Time::ZERO, &data(3, 0, PacketFlags::EMPTY, b"cc"));
     r.handle_datagram(Time::ZERO, &data(1, 1, PacketFlags::LAST, b"bb"));

@@ -4,8 +4,7 @@
 use bytes::Bytes;
 use rmcast::packet::{self, Packet};
 use rmcast::{
-    Dest, Endpoint, GroupSpec, ProtocolConfig, ProtocolKind, Sender, SeqNo, Time,
-    WindowDiscipline,
+    Dest, Endpoint, GroupSpec, ProtocolConfig, ProtocolKind, Sender, SeqNo, Time, WindowDiscipline,
 };
 use rmwire::{PacketFlags, Rank};
 
@@ -159,7 +158,10 @@ fn sender_survives_ack_flood_from_unknown_ranks() {
     for r in 3..100u16 {
         ack(&mut s, Time::ZERO, r, 1, 1);
     }
-    assert!(s.poll_event().is_none(), "out-of-group acks must not complete");
+    assert!(
+        s.poll_event().is_none(),
+        "out-of-group acks must not complete"
+    );
     ack(&mut s, Time::ZERO, 1, 1, 1);
     ack(&mut s, Time::ZERO, 2, 1, 1);
     assert!(s.poll_event().is_some());

@@ -31,10 +31,7 @@ fn unicast_retx_setting_changes_nothing_on_clean_runs() {
         let mut net = Loopback::new(cfg, 4, 5);
         net.send_message(payload(5_000));
         net.run();
-        (
-            net.sender_stats().data_sent,
-            net.sender_stats().retx_sent,
-        )
+        (net.sender_stats().data_sent, net.sender_stats().retx_sent)
     };
     assert_eq!(run(false), run(true), "no NAKs, no difference");
 }

@@ -5,8 +5,13 @@
 //! stack on Linux 2.2. The calibration rationale for each constant lives in
 //! `simrun::calibration` and EXPERIMENTS.md.
 
-use rmwire::Duration;
+use crate::ids::HostId;
+use rmwire::{Duration, Time};
 use serde::{Deserialize, Serialize};
+
+fn assert_prob(p: f64) {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+}
 
 /// Physical-layer parameters of a point-to-point full-duplex link (or of
 /// the shared bus when [`FabricKind::SharedBus`] is selected).
@@ -140,12 +145,243 @@ impl FaultParams {
 
     /// Uniform frame-loss preset.
     pub fn frame_loss(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        FaultParams::new(p, 0.0, 0.0)
+    }
+
+    /// Uniform datagram-loss preset (drops at the receiving host after
+    /// reassembly).
+    pub fn datagram_loss(p: f64) -> Self {
+        FaultParams::new(0.0, p, 0.0)
+    }
+
+    /// Uniform frame-duplication preset.
+    pub fn frame_dup(p: f64) -> Self {
+        FaultParams::new(0.0, 0.0, p)
+    }
+
+    /// Combined preset; every probability is validated to `[0, 1]`.
+    pub fn new(frame_loss: f64, datagram_loss: f64, frame_dup: f64) -> Self {
+        assert_prob(frame_loss);
+        assert_prob(datagram_loss);
+        assert_prob(frame_dup);
         FaultParams {
-            frame_loss: p,
-            datagram_loss: 0.0,
-            frame_dup: 0.0,
+            frame_loss,
+            datagram_loss,
+            frame_dup,
         }
+    }
+}
+
+/// A two-state Gilbert–Elliott burst-loss channel: the link alternates
+/// between a good state (no loss) and a bad state (every frame lost), with
+/// geometric sojourn times chosen so the long-run loss rate is `avg_loss`
+/// and the mean burst length is `mean_burst_len` frames. One independent
+/// channel runs per host access link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// Long-run fraction of frames lost, in `(0, 1)`.
+    pub avg_loss: f64,
+    /// Mean number of consecutive frames lost per bad-state visit (>= 1).
+    pub mean_burst_len: f64,
+}
+
+impl GilbertElliott {
+    /// Validated constructor.
+    pub fn new(avg_loss: f64, mean_burst_len: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&avg_loss) && avg_loss > 0.0,
+            "avg_loss must be in (0, 1): {avg_loss}"
+        );
+        assert!(
+            mean_burst_len >= 1.0 && mean_burst_len.is_finite(),
+            "mean_burst_len must be >= 1: {mean_burst_len}"
+        );
+        GilbertElliott {
+            avg_loss,
+            mean_burst_len,
+        }
+    }
+
+    /// Per-frame probability of leaving the bad state.
+    pub(crate) fn p_bad_to_good(&self) -> f64 {
+        1.0 / self.mean_burst_len
+    }
+
+    /// Per-frame probability of entering the bad state, derived from the
+    /// stationary distribution: `pi_bad = p_gb / (p_gb + p_bg) = avg_loss`.
+    pub(crate) fn p_good_to_bad(&self) -> f64 {
+        self.avg_loss * self.p_bad_to_good() / (1.0 - self.avg_loss)
+    }
+}
+
+/// A scheduled window during which one host's access link drops every
+/// frame in both directions (cable pull / port flap).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDownWindow {
+    /// The host whose uplink goes dark.
+    pub host: HostId,
+    /// First instant of the outage.
+    pub from: Time,
+    /// First instant the link works again.
+    pub until: Time,
+}
+
+/// What happens to a host at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HostFaultKind {
+    /// The host halts permanently: its CPU stops, pending work is
+    /// discarded and every frame addressed to it vanishes.
+    Crash,
+    /// The host's CPU stalls until `until` (GC pause, overload, swap
+    /// storm); frames keep arriving into its socket buffers meanwhile.
+    Pause {
+        /// When the CPU resumes.
+        until: Time,
+    },
+}
+
+/// One scheduled host fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostFault {
+    /// The afflicted host.
+    pub host: HostId,
+    /// When the fault strikes.
+    pub at: Time,
+    /// What it does.
+    pub kind: HostFaultKind,
+}
+
+/// A deterministic, seeded chaos schedule layered over [`FaultParams`]:
+/// per-link loss, burst loss, reordering, corruption, link outages and
+/// host crash/pause faults. Installed on a simulation with
+/// [`crate::Sim::set_fault_plan`]; the default (empty) plan injects
+/// nothing and consumes no randomness, so runs stay bit-identical to a
+/// plan-free simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// `(host, p)`: uniform frame loss on that host's access link (both
+    /// directions), on top of the global `FaultParams::frame_loss`.
+    pub link_loss: Vec<(HostId, f64)>,
+    /// Burst-loss channel applied on every host access link.
+    pub burst: Option<GilbertElliott>,
+    /// Probability that a frame is held back and arrives late — after
+    /// frames sent behind it (out-of-order delivery).
+    pub reorder: f64,
+    /// How long a reordered frame is held beyond its normal arrival.
+    pub reorder_delay: Duration,
+    /// Probability that a frame is corrupted in flight; the receiving NIC
+    /// discards it on the FCS check.
+    pub corrupt: f64,
+    /// Scheduled link outages.
+    pub link_down: Vec<LinkDownWindow>,
+    /// Scheduled host crashes and pauses.
+    pub host_faults: Vec<HostFault>,
+}
+
+impl FaultPlan {
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.link_loss.is_empty()
+            && self.burst.is_none()
+            && self.reorder == 0.0
+            && self.corrupt == 0.0
+            && self.link_down.is_empty()
+            && self.host_faults.is_empty()
+    }
+
+    /// Add uniform loss on `host`'s access link.
+    pub fn with_link_loss(mut self, host: HostId, p: f64) -> Self {
+        assert_prob(p);
+        self.link_loss.push((host, p));
+        self
+    }
+
+    /// Install a Gilbert–Elliott burst-loss channel on every access link.
+    pub fn with_burst(mut self, avg_loss: f64, mean_burst_len: f64) -> Self {
+        self.burst = Some(GilbertElliott::new(avg_loss, mean_burst_len));
+        self
+    }
+
+    /// Delay each frame with probability `p` by `delay` (reordering it
+    /// past frames sent behind it).
+    pub fn with_reorder(mut self, p: f64, delay: Duration) -> Self {
+        assert_prob(p);
+        assert!(delay > Duration::ZERO, "reorder delay must be positive");
+        self.reorder = p;
+        self.reorder_delay = delay;
+        self
+    }
+
+    /// Corrupt each frame with probability `p` (dropped at the NIC).
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        assert_prob(p);
+        self.corrupt = p;
+        self
+    }
+
+    /// Take `host`'s access link down over `[from, until)`.
+    pub fn with_link_down(mut self, host: HostId, from: Time, until: Time) -> Self {
+        assert!(from < until, "empty link-down window");
+        self.link_down.push(LinkDownWindow { host, from, until });
+        self
+    }
+
+    /// Crash `host` permanently at `at`.
+    pub fn with_crash(mut self, host: HostId, at: Time) -> Self {
+        self.host_faults.push(HostFault {
+            host,
+            at,
+            kind: HostFaultKind::Crash,
+        });
+        self
+    }
+
+    /// Stall `host`'s CPU over `[from, until)`.
+    pub fn with_pause(mut self, host: HostId, from: Time, until: Time) -> Self {
+        assert!(from < until, "empty pause window");
+        self.host_faults.push(HostFault {
+            host,
+            at: from,
+            kind: HostFaultKind::Pause { until },
+        });
+        self
+    }
+
+    /// Uniform loss configured for `host`'s access link (sum of entries).
+    pub(crate) fn link_loss_for(&self, host: HostId) -> f64 {
+        self.link_loss
+            .iter()
+            .filter(|&&(h, _)| h == host)
+            .map(|&(_, p)| p)
+            .sum::<f64>()
+            .min(1.0)
+    }
+
+    /// Is `host`'s access link scheduled down at `now`?
+    pub(crate) fn link_is_down(&self, host: HostId, now: Time) -> bool {
+        self.link_down
+            .iter()
+            .any(|w| w.host == host && w.from <= now && now < w.until)
+    }
+
+    /// Has `host` crashed by `now`?
+    pub(crate) fn host_crashed(&self, host: HostId, now: Time) -> bool {
+        self.host_faults
+            .iter()
+            .any(|f| f.host == host && f.at <= now && matches!(f.kind, HostFaultKind::Crash))
+    }
+
+    /// The instant `host`'s CPU next runs again, when paused at `now`.
+    pub(crate) fn host_paused_until(&self, host: HostId, now: Time) -> Option<Time> {
+        self.host_faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                HostFaultKind::Pause { until } if f.host == host && f.at <= now && now < until => {
+                    Some(until)
+                }
+                _ => None,
+            })
+            .max()
     }
 }
 
@@ -199,5 +435,73 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn fault_probability_validated() {
         let _ = FaultParams::frame_loss(1.5);
+    }
+
+    #[test]
+    fn fault_combined_builder() {
+        let f = FaultParams::new(0.01, 0.02, 0.03);
+        assert_eq!(f.frame_loss, 0.01);
+        assert_eq!(f.datagram_loss, 0.02);
+        assert_eq!(f.frame_dup, 0.03);
+        assert_eq!(FaultParams::datagram_loss(0.1).datagram_loss, 0.1);
+        assert_eq!(FaultParams::frame_dup(0.1).frame_dup, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn dup_probability_validated() {
+        let _ = FaultParams::frame_dup(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn datagram_probability_validated() {
+        let _ = FaultParams::datagram_loss(2.0);
+    }
+
+    #[test]
+    fn gilbert_elliott_transition_rates() {
+        let ge = GilbertElliott::new(0.05, 4.0);
+        let p_bg = ge.p_bad_to_good();
+        let p_gb = ge.p_good_to_bad();
+        assert!((p_bg - 0.25).abs() < 1e-12);
+        // Stationary bad-state probability equals the target loss rate.
+        let pi_bad = p_gb / (p_gb + p_bg);
+        assert!((pi_bad - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_plan_schedules() {
+        let h = HostId(3);
+        let plan = FaultPlan::default()
+            .with_link_loss(h, 0.02)
+            .with_link_down(h, Time::from_millis(10), Time::from_millis(20))
+            .with_crash(HostId(1), Time::from_millis(5))
+            .with_pause(HostId(2), Time::from_millis(1), Time::from_millis(2));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.link_loss_for(h), 0.02);
+        assert_eq!(plan.link_loss_for(HostId(0)), 0.0);
+        assert!(!plan.link_is_down(h, Time::from_millis(9)));
+        assert!(plan.link_is_down(h, Time::from_millis(10)));
+        assert!(plan.link_is_down(h, Time::from_millis(19)));
+        assert!(!plan.link_is_down(h, Time::from_millis(20)));
+        assert!(!plan.host_crashed(HostId(1), Time::from_millis(4)));
+        assert!(plan.host_crashed(HostId(1), Time::from_millis(5)));
+        assert_eq!(
+            plan.host_paused_until(HostId(2), Time::from_millis(1)),
+            Some(Time::from_millis(2))
+        );
+        assert_eq!(
+            plan.host_paused_until(HostId(2), Time::from_millis(2)),
+            None
+        );
+        assert!(FaultPlan::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty link-down window")]
+    fn link_down_window_validated() {
+        let t = Time::from_millis(5);
+        let _ = FaultPlan::default().with_link_down(HostId(0), t, t);
     }
 }

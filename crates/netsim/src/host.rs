@@ -105,7 +105,6 @@ impl HostState {
             cpu_busy_accum: rmwire::Duration::ZERO,
         }
     }
-
 }
 
 #[cfg(test)]

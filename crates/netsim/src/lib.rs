@@ -79,7 +79,10 @@ pub mod switch;
 pub mod topology;
 pub mod trace;
 
-pub use config::{FabricKind, FaultParams, HostParams, LinkParams, SimConfig, SwitchParams};
+pub use config::{
+    FabricKind, FaultParams, FaultPlan, GilbertElliott, HostFault, HostFaultKind, HostParams,
+    LinkDownWindow, LinkParams, SimConfig, SwitchParams,
+};
 pub use frame::{Datagram, UdpDest, MTU};
 pub use ids::{GroupId, HostId, SwitchId};
 pub use sim::Sim;

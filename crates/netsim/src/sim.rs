@@ -1,7 +1,7 @@
 //! The discrete-event engine.
 
 use crate::bus::BusState;
-use crate::config::{FabricKind, LinkParams, SimConfig};
+use crate::config::{FabricKind, FaultPlan, LinkParams, SimConfig};
 use crate::frame::{self, Datagram, Frame, UdpDest, MAX_DATAGRAM};
 use crate::host::{HostState, Reassembly, WorkItem};
 use crate::ids::{GroupId, HostId, PortRef, SwitchId};
@@ -84,6 +84,9 @@ pub struct Sim {
     stop: bool,
     routes_dirty: bool,
     bus: BusState,
+    fault_plan: FaultPlan,
+    /// Per-host Gilbert–Elliott channel state (`true` = bad/lossy).
+    burst_bad: Vec<bool>,
 }
 
 impl Sim {
@@ -106,6 +109,8 @@ impl Sim {
             stop: false,
             routes_dirty: true,
             bus: BusState::new(),
+            fault_plan: FaultPlan::default(),
+            burst_bad: Vec::new(),
         }
     }
 
@@ -147,6 +152,31 @@ impl Sim {
         &mut self.rng
     }
 
+    /// Install a chaos schedule (see [`FaultPlan`]). Call after the
+    /// topology is built so host references can be validated. The empty
+    /// plan is a strict no-op: it draws no randomness and changes no
+    /// event ordering.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let known = |h: HostId| {
+            assert!(h.0 < self.hosts.len(), "fault plan references unknown {h}");
+        };
+        for &(h, _) in &plan.link_loss {
+            known(h);
+        }
+        for w in &plan.link_down {
+            known(w.host);
+        }
+        for f in &plan.host_faults {
+            known(f.host);
+        }
+        self.fault_plan = plan;
+    }
+
+    /// The active chaos schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
     // ------------------------------------------------------------------
     // Topology construction
     // ------------------------------------------------------------------
@@ -157,6 +187,7 @@ impl Sim {
         self.hosts.push(HostState::new(self.cfg.link));
         self.host_params.push(self.cfg.host);
         self.procs.push(None);
+        self.burst_bad.push(false);
         self.bus.add_host();
         self.routes_dirty = true;
         HostId(self.hosts.len() - 1)
@@ -322,9 +353,7 @@ impl Sim {
 
     fn dispatch(&mut self, ev: Event) {
         match ev {
-            Event::FrameAtSwitch { sw, in_port, frame } => {
-                self.frame_at_switch(sw, in_port, frame)
-            }
+            Event::FrameAtSwitch { sw, in_port, frame } => self.frame_at_switch(sw, in_port, frame),
             Event::FrameAtHost { host, frame } => self.frame_at_host(host, frame),
             Event::CpuDone { host } => self.cpu_dispatch(host),
             Event::TimerFire { host, gen } => self.timer_fire(host, gen),
@@ -416,7 +445,7 @@ impl Sim {
                     let done = self.hosts[src.0].egress.enqueue(cursor, tx, bytes);
                     self.trace.frames_sent += 1;
                     self.trace.wire_bytes_sent += fr.wire_bytes() as u64;
-                    self.emit_frame(peer, fr, done, link.prop_delay);
+                    self.emit_frame(peer, fr, done, link.prop_delay, Some(src));
                 }
             }
             FabricKind::SharedBus => {
@@ -430,8 +459,20 @@ impl Sim {
     }
 
     /// Schedule the arrival of a frame whose last bit leaves the
-    /// transmitter at `done`, applying wire faults (loss, duplication).
-    fn emit_frame(&mut self, to: PortRef, frame: Frame, done: Time, prop_delay: Duration) {
+    /// transmitter at `done`, applying wire faults (loss, duplication) and
+    /// the chaos plan's link faults. `edge` names the host whose access
+    /// link this hop traverses (`None` on switch-to-switch trunks).
+    ///
+    /// Every chaos-plan check is gated on its knob being enabled, so an
+    /// empty plan draws no randomness — seeded runs stay bit-identical.
+    fn emit_frame(
+        &mut self,
+        to: PortRef,
+        frame: Frame,
+        done: Time,
+        prop_delay: Duration,
+        edge: Option<HostId>,
+    ) {
         let p = self.cfg.faults.frame_loss;
         if p > 0.0 && self.rng.gen::<f64>() < p {
             self.trace.record_drop(DropCause::WireFault);
@@ -443,7 +484,41 @@ impl Sim {
         } else {
             1
         };
-        let at = done + prop_delay;
+        if let Some(h) = edge {
+            if !self.fault_plan.link_down.is_empty() && self.fault_plan.link_is_down(h, done) {
+                self.trace.record_drop(DropCause::LinkDown);
+                return;
+            }
+            if !self.fault_plan.link_loss.is_empty() {
+                let lp = self.fault_plan.link_loss_for(h);
+                if lp > 0.0 && self.rng.gen::<f64>() < lp {
+                    self.trace.record_drop(DropCause::WireFault);
+                    return;
+                }
+            }
+            if let Some(ge) = self.fault_plan.burst {
+                let r = self.rng.gen::<f64>();
+                let bad = if self.burst_bad[h.0] {
+                    r >= ge.p_bad_to_good()
+                } else {
+                    r < ge.p_good_to_bad()
+                };
+                self.burst_bad[h.0] = bad;
+                if bad {
+                    self.trace.record_drop(DropCause::BurstLoss);
+                    return;
+                }
+            }
+        }
+        if self.fault_plan.corrupt > 0.0 && self.rng.gen::<f64>() < self.fault_plan.corrupt {
+            self.trace.record_drop(DropCause::Corrupt);
+            return;
+        }
+        let mut at = done + prop_delay;
+        if self.fault_plan.reorder > 0.0 && self.rng.gen::<f64>() < self.fault_plan.reorder {
+            at += self.fault_plan.reorder_delay;
+            self.trace.frames_reordered += 1;
+        }
         for i in 0..copies {
             // The duplicate trails its original by a microsecond.
             let at = at + Duration::from_micros(i);
@@ -513,8 +588,12 @@ impl Sim {
             let tx = frame.tx_time(link.rate_bps);
             let done = port.egress.enqueue(eligible, tx, bytes);
             let peer = port.peer.expect("forwarding onto an uncabled port");
+            let edge = match peer {
+                PortRef::Host(h) => Some(h),
+                PortRef::Switch(..) => None,
+            };
             self.trace.wire_bytes_sent += frame.wire_bytes() as u64;
-            self.emit_frame(peer, frame.clone(), done, link.prop_delay);
+            self.emit_frame(peer, frame.clone(), done, link.prop_delay, edge);
         }
     }
 
@@ -523,6 +602,10 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn frame_at_host(&mut self, host: HostId, frame: Frame) {
+        if !self.fault_plan.host_faults.is_empty() && self.fault_plan.host_crashed(host, self.now) {
+            self.trace.record_drop(DropCause::HostDown);
+            return;
+        }
         self.trace.frames_received += 1;
         match frame.dg.dest {
             UdpDest::Host(h, _) => {
@@ -612,6 +695,20 @@ impl Sim {
     }
 
     fn cpu_dispatch(&mut self, host: HostId) {
+        if !self.fault_plan.host_faults.is_empty() {
+            if self.fault_plan.host_crashed(host, self.now) {
+                // A crashed CPU never runs again: discard its queue.
+                let h = &mut self.hosts[host.0];
+                h.cpu_queue.clear();
+                h.cpu_active = false;
+                return;
+            }
+            if let Some(resume) = self.fault_plan.host_paused_until(host, self.now) {
+                // Stalled: hold the pending work until the pause ends.
+                self.schedule(resume, Event::CpuDone { host });
+                return;
+            }
+        }
         let Some(item) = self.hosts[host.0].cpu_queue.pop_front() else {
             self.hosts[host.0].cpu_active = false;
             return;
@@ -644,10 +741,7 @@ impl Sim {
                 cost += Duration::from_nanos(hp.recv_per_byte_ns * len as u64);
                 let start = start + self.jitter_for(host, cost);
                 self.trace.datagrams_delivered += 1;
-                self.log_event(LogEvent::DatagramDelivered {
-                    host: host.0,
-                    len,
-                });
+                self.log_event(LogEvent::DatagramDelivered { host: host.0, len });
                 let in_dg = DatagramIn {
                     src_host: dg.src_host,
                     src_port: dg.src_port,
@@ -694,6 +788,9 @@ impl Sim {
     }
 
     fn timer_fire(&mut self, host: HostId, gen: u64) {
+        if !self.fault_plan.host_faults.is_empty() && self.fault_plan.host_crashed(host, self.now) {
+            return;
+        }
         let h = &mut self.hosts[host.0];
         if h.timer_armed && h.timer_gen == gen {
             h.timer_armed = false;

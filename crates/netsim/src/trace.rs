@@ -18,6 +18,15 @@ pub enum DropCause {
     DatagramFault,
     /// CSMA/CD gave up after 16 collisions on one frame.
     ExcessiveCollisions,
+    /// The frame traversed an access link inside a scheduled outage
+    /// window.
+    LinkDown,
+    /// The Gilbert–Elliott burst-loss channel was in its bad state.
+    BurstLoss,
+    /// The frame was corrupted in flight and failed the NIC's FCS check.
+    Corrupt,
+    /// The destination host had crashed.
+    HostDown,
 }
 
 /// Aggregate counters maintained by the simulator; read them after a run
@@ -53,6 +62,16 @@ pub struct TraceCounters {
     pub drops_collisions: u64,
     /// CSMA/CD collision events.
     pub collisions: u64,
+    /// Frames lost inside scheduled link-down windows.
+    pub drops_link_down: u64,
+    /// Frames lost to the Gilbert–Elliott burst channel.
+    pub drops_burst: u64,
+    /// Frames corrupted in flight and discarded by the NIC.
+    pub drops_corrupt: u64,
+    /// Frames addressed to a crashed host.
+    pub drops_host_down: u64,
+    /// Frames delayed by the reordering fault (delivered, but late).
+    pub frames_reordered: u64,
 }
 
 impl TraceCounters {
@@ -65,6 +84,10 @@ impl TraceCounters {
             DropCause::ReassemblyTimeout => self.drops_reassembly += 1,
             DropCause::DatagramFault => self.drops_datagram_fault += 1,
             DropCause::ExcessiveCollisions => self.drops_collisions += 1,
+            DropCause::LinkDown => self.drops_link_down += 1,
+            DropCause::BurstLoss => self.drops_burst += 1,
+            DropCause::Corrupt => self.drops_corrupt += 1,
+            DropCause::HostDown => self.drops_host_down += 1,
         }
     }
 
@@ -76,6 +99,10 @@ impl TraceCounters {
             + self.drops_reassembly
             + self.drops_datagram_fault
             + self.drops_collisions
+            + self.drops_link_down
+            + self.drops_burst
+            + self.drops_corrupt
+            + self.drops_host_down
     }
 
     /// `true` when no loss of any kind occurred.
@@ -173,9 +200,24 @@ mod log_tests {
     fn log_respects_capacity() {
         let mut l = EventLog::with_capacity(2);
         assert!(l.enabled());
-        l.record(1, LogEvent::Drop { cause: DropCause::WireFault });
-        l.record(2, LogEvent::Drop { cause: DropCause::WireFault });
-        l.record(3, LogEvent::Drop { cause: DropCause::WireFault });
+        l.record(
+            1,
+            LogEvent::Drop {
+                cause: DropCause::WireFault,
+            },
+        );
+        l.record(
+            2,
+            LogEvent::Drop {
+                cause: DropCause::WireFault,
+            },
+        );
+        l.record(
+            3,
+            LogEvent::Drop {
+                cause: DropCause::WireFault,
+            },
+        );
         assert_eq!(l.entries.len(), 2);
         assert!(l.truncated);
     }
@@ -184,7 +226,12 @@ mod log_tests {
     fn zero_capacity_is_disabled() {
         let mut l = EventLog::default();
         assert!(!l.enabled());
-        l.record(1, LogEvent::Drop { cause: DropCause::WireFault });
+        l.record(
+            1,
+            LogEvent::Drop {
+                cause: DropCause::WireFault,
+            },
+        );
         assert!(l.entries.is_empty());
         assert!(!l.truncated);
     }

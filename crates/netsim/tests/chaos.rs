@@ -1,0 +1,215 @@
+//! Fault-plan behaviors: link outages, burst loss, corruption,
+//! reordering, host crash/pause — and the guarantee that an empty plan
+//! changes nothing.
+
+use bytes::Bytes;
+use netsim::process::{Ctx, DatagramIn, Process};
+use netsim::{topology, FaultParams, FaultPlan, HostId, Sim, SimConfig, UdpDest};
+use rmwire::{Duration, Time};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const PORT: u16 = 7000;
+
+type Log = Rc<RefCell<Vec<(Time, HostId, usize)>>>;
+
+struct Blaster {
+    dest: UdpDest,
+    sizes: Vec<usize>,
+}
+
+impl Process for Blaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for &s in &self.sizes {
+            ctx.send(self.dest, Bytes::from(vec![0xabu8; s]));
+        }
+    }
+}
+
+struct Sink {
+    log: Log,
+}
+
+impl Process for Sink {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dg: DatagramIn) {
+        self.log
+            .borrow_mut()
+            .push((ctx.now(), ctx.host(), dg.payload.len()));
+    }
+}
+
+fn new_log() -> Log {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+/// One blaster firing `n` 500-byte datagrams at a sink, with `plan`
+/// installed. Returns (deliveries, sim) for inspection.
+fn blast_run(plan: FaultPlan, cfg: SimConfig, n: usize, seed: u64) -> (Log, Sim) {
+    let mut sim = Sim::new(cfg, seed);
+    let hosts = topology::single_switch(&mut sim, 2);
+    sim.set_fault_plan(plan);
+    let log = new_log();
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blaster {
+            dest: UdpDest::host(hosts[1], PORT),
+            sizes: vec![500; n],
+        }),
+    );
+    sim.spawn(
+        hosts[1],
+        PORT,
+        Box::new(Sink {
+            log: Rc::clone(&log),
+        }),
+    );
+    sim.run_until(Time::from_millis(5_000));
+    (log, sim)
+}
+
+#[test]
+fn empty_plan_changes_nothing() {
+    // A seeded run with random faults must be bit-identical whether the
+    // (empty) fault plan was installed or not: the plan may not draw
+    // randomness or perturb event ordering unless a knob is enabled.
+    let cfg = SimConfig {
+        faults: FaultParams::new(0.05, 0.02, 0.05),
+        ..SimConfig::default()
+    };
+    let run = |install_plan: bool| {
+        let mut sim = Sim::new(cfg, 99);
+        let hosts = topology::single_switch(&mut sim, 2);
+        if install_plan {
+            sim.set_fault_plan(FaultPlan::default());
+        }
+        let log = new_log();
+        sim.spawn(
+            hosts[0],
+            PORT,
+            Box::new(Blaster {
+                dest: UdpDest::host(hosts[1], PORT),
+                sizes: vec![900; 200],
+            }),
+        );
+        sim.spawn(
+            hosts[1],
+            PORT,
+            Box::new(Sink {
+                log: Rc::clone(&log),
+            }),
+        );
+        sim.run_until(Time::from_millis(5_000));
+        let deliveries = log.borrow().clone();
+        (deliveries, sim.trace().clone())
+    };
+    let (log_a, trace_a) = run(false);
+    let (log_b, trace_b) = run(true);
+    assert_eq!(log_a, log_b, "empty plan perturbed deliveries");
+    assert_eq!(trace_a, trace_b, "empty plan perturbed counters");
+}
+
+#[test]
+fn link_down_window_blackholes_the_edge() {
+    // The outage covers the whole run: nothing gets through.
+    let plan =
+        FaultPlan::default().with_link_down(HostId(1), Time::ZERO, Time::from_millis(100_000));
+    let (log, sim) = blast_run(plan, SimConfig::default(), 20, 1);
+    assert_eq!(log.borrow().len(), 0);
+    assert_eq!(sim.trace().drops_link_down, 20);
+
+    // The same outage scheduled after the run is a no-op.
+    let plan = FaultPlan::default().with_link_down(
+        HostId(1),
+        Time::from_millis(100_000),
+        Time::from_millis(200_000),
+    );
+    let (log, sim) = blast_run(plan, SimConfig::default(), 20, 1);
+    assert_eq!(log.borrow().len(), 20);
+    assert_eq!(sim.trace().drops_link_down, 0);
+}
+
+#[test]
+fn per_link_loss_targets_only_its_edge() {
+    // Total loss on an uninvolved host's link must not affect this flow.
+    let plan = FaultPlan::default().with_link_loss(HostId(0), 1.0);
+    let (log, sim) = blast_run(plan, SimConfig::default(), 15, 2);
+    assert_eq!(log.borrow().len(), 0, "sender edge loss kills everything");
+    assert!(sim.trace().drops_wire_fault >= 15);
+
+    let plan = FaultPlan::default().with_link_loss(HostId(1), 0.0);
+    let (log, _) = blast_run(plan, SimConfig::default(), 15, 2);
+    assert_eq!(log.borrow().len(), 15, "zero-probability loss is a no-op");
+}
+
+#[test]
+fn burst_loss_drops_frames_in_bursts() {
+    let plan = FaultPlan::default().with_burst(0.3, 8.0);
+    let (log, sim) = blast_run(plan, SimConfig::default(), 300, 3);
+    let delivered = log.borrow().len();
+    assert!(sim.trace().drops_burst > 0, "burst channel never went bad");
+    assert!(
+        delivered < 300 && delivered > 0,
+        "expected partial delivery, got {delivered}"
+    );
+}
+
+#[test]
+fn corrupt_frames_are_discarded_at_the_nic() {
+    let plan = FaultPlan::default().with_corrupt(1.0);
+    let (log, sim) = blast_run(plan, SimConfig::default(), 10, 4);
+    assert_eq!(log.borrow().len(), 0);
+    assert!(sim.trace().drops_corrupt >= 10);
+}
+
+#[test]
+fn reordering_delays_but_never_loses() {
+    let plan = FaultPlan::default().with_reorder(1.0, Duration::from_millis(1));
+    let (log, sim) = blast_run(plan, SimConfig::default(), 25, 5);
+    assert_eq!(log.borrow().len(), 25, "reordering must not lose frames");
+    assert!(sim.trace().frames_reordered >= 25);
+    assert_eq!(sim.trace().total_drops(), 0);
+}
+
+#[test]
+fn crashed_host_goes_silent() {
+    let plan = FaultPlan::default().with_crash(HostId(1), Time::ZERO);
+    let (log, sim) = blast_run(plan, SimConfig::default(), 12, 6);
+    assert_eq!(log.borrow().len(), 0, "a crashed host delivers nothing");
+    assert!(sim.trace().drops_host_down > 0);
+}
+
+#[test]
+fn paused_host_delivers_late_but_completely() {
+    let pause_end = Time::from_millis(50);
+    let plan = FaultPlan::default().with_pause(HostId(1), Time::ZERO, pause_end);
+    let (log, sim) = blast_run(plan, SimConfig::default(), 5, 7);
+    let log = log.borrow();
+    assert_eq!(log.len(), 5, "a paused host catches up after resuming");
+    assert!(
+        log.iter().all(|&(t, _, _)| t >= pause_end),
+        "deliveries during the pause: {log:?}"
+    );
+    assert_eq!(sim.trace().total_drops(), 0);
+}
+
+#[test]
+fn chaos_runs_are_deterministic() {
+    let plan = FaultPlan::default()
+        .with_burst(0.2, 4.0)
+        .with_reorder(0.1, Duration::from_millis(1))
+        .with_corrupt(0.02)
+        .with_link_loss(HostId(1), 0.05);
+    let (log_a, sim_a) = blast_run(plan.clone(), SimConfig::default(), 200, 11);
+    let (log_b, sim_b) = blast_run(plan, SimConfig::default(), 200, 11);
+    assert_eq!(*log_a.borrow(), *log_b.borrow());
+    assert_eq!(sim_a.trace(), sim_b.trace());
+}
+
+#[test]
+#[should_panic(expected = "unknown h9")]
+fn fault_plan_validates_hosts() {
+    let mut sim = Sim::new(SimConfig::default(), 1);
+    topology::single_switch(&mut sim, 2);
+    sim.set_fault_plan(FaultPlan::default().with_crash(HostId(9), Time::ZERO));
+}

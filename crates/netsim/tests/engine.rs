@@ -412,7 +412,13 @@ fn rearming_replaces_previous_deadline() {
     let fired = Rc::new(RefCell::new(Vec::new()));
     let mut sim = Sim::new(no_jitter(), 1);
     let hosts = topology::single_switch(&mut sim, 1);
-    sim.spawn(hosts[0], PORT, Box::new(Rearm { fired: fired.clone() }));
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Rearm {
+            fired: fired.clone(),
+        }),
+    );
     sim.run();
 
     let fired = fired.borrow();
@@ -444,7 +450,10 @@ fn shared_bus_delivers_and_collides() {
     sim.run();
 
     assert_eq!(log.borrow().len(), 60, "CSMA/CD must remain reliable");
-    assert!(sim.trace().collisions > 0, "contention must cause collisions");
+    assert!(
+        sim.trace().collisions > 0,
+        "contention must cause collisions"
+    );
 }
 
 #[test]

@@ -6,15 +6,21 @@
 //! cargo run --release -p simrun --example diag
 //! ```
 
-use simrun::scenario::{Protocol, Scenario};
 use rmcast::{ProtocolConfig, ProtocolKind};
+use simrun::scenario::{Protocol, Scenario};
 
 fn main() {
     for (name, cfg) in [
-        ("nak", ProtocolConfig::new(ProtocolKind::nak_polling(43), 8000, 50)),
+        (
+            "nak",
+            ProtocolConfig::new(ProtocolKind::nak_polling(43), 8000, 50),
+        ),
         ("ring", ProtocolConfig::new(ProtocolKind::Ring, 8000, 50)),
         ("ack", ProtocolConfig::new(ProtocolKind::Ack, 50000, 5)),
-        ("tree6", ProtocolConfig::new(ProtocolKind::flat_tree(6), 8000, 20)),
+        (
+            "tree6",
+            ProtocolConfig::new(ProtocolKind::flat_tree(6), 8000, 20),
+        ),
     ] {
         let mut sc = Scenario::new(Protocol::Rm(cfg), 30, 2_000_000);
         sc.seeds = vec![1];

@@ -5,7 +5,7 @@ use bytes::Bytes;
 use netsim::process::{Ctx, DatagramIn, Process};
 use netsim::{GroupId, HostId, UdpDest};
 use rmcast::baseline::{RawUdpReceiver, RawUdpSender, SerialUnicastSender};
-use rmcast::{AppEvent, Dest, Endpoint, Receiver, Sender, Stats};
+use rmcast::{AppEvent, Dest, Endpoint, Receiver, Sender, SessionError, Stats};
 use rmwire::{Rank, Time};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -44,6 +44,14 @@ pub struct Recorder {
     pub messages_sent: Vec<(u64, Time)>,
     /// `(rank, msg_id, time, bytes)` receiver deliveries.
     pub deliveries: Vec<(Rank, u64, Time, usize)>,
+    /// `(msg_id, error, time)` sender-side abandoned messages (liveness
+    /// bound tripped).
+    pub failures: Vec<(u64, SessionError, Time)>,
+    /// `(rank, msg_id, error)` receiver-side give-ups.
+    pub receiver_failures: Vec<(Rank, u64, SessionError)>,
+    /// `(evicted_rank, msg_id)` straggler evictions, as observed by the
+    /// evicting endpoint (sender or tree aggregation node).
+    pub evictions: Vec<(Rank, u64)>,
     /// Latest sender counters.
     pub sender_stats: Stats,
     /// Latest per-receiver counters (by receiver index).
@@ -119,7 +127,13 @@ pub struct NodeProcess<E: Launch> {
 
 impl<E: Launch> NodeProcess<E> {
     /// Wrap `ep` for simulation.
-    pub fn new(ep: E, role: NodeRole, addr: Rc<AddrMap>, cost: CostModel, rec: SharedRecorder) -> Self {
+    pub fn new(
+        ep: E,
+        role: NodeRole,
+        addr: Rc<AddrMap>,
+        cost: CostModel,
+        rec: SharedRecorder,
+    ) -> Self {
         NodeProcess {
             ep,
             role,
@@ -152,7 +166,8 @@ impl<E: Launch> NodeProcess<E> {
                 match ev {
                     AppEvent::MessageSent { msg_id } => {
                         rec.messages_sent.push((msg_id, now));
-                        if rec.messages_sent.len() as u64 >= rec.expect_msgs {
+                        if (rec.messages_sent.len() + rec.failures.len()) as u64 >= rec.expect_msgs
+                        {
                             rec.sender_done = Some(now);
                             stop = true;
                         }
@@ -166,6 +181,29 @@ impl<E: Launch> NodeProcess<E> {
                                 data.len(),
                             ));
                         }
+                    }
+                    AppEvent::MessageFailed { msg_id, error } => match self.role {
+                        // A sender-side failure still resolves the message:
+                        // it counts toward run completion.
+                        NodeRole::Sender { .. } => {
+                            rec.failures.push((msg_id, error, now));
+                            if (rec.messages_sent.len() + rec.failures.len()) as u64
+                                >= rec.expect_msgs
+                            {
+                                rec.sender_done = Some(now);
+                                stop = true;
+                            }
+                        }
+                        NodeRole::Receiver { index } => {
+                            rec.receiver_failures.push((
+                                Rank::from_receiver_index(index),
+                                msg_id,
+                                error,
+                            ));
+                        }
+                    },
+                    AppEvent::ReceiverEvicted { msg_id, rank } => {
+                        rec.evictions.push((rank, msg_id));
                     }
                 }
             }

@@ -52,7 +52,11 @@ pub fn ablate_shared_vs_switched(effort: Effort) -> Table {
         let mut bus = rm_scenario(effort, cfg, N_RECEIVERS, 500_000);
         bus.topology = TopologyKind::SharedBus;
         let bus_r = bus.run_avg();
-        t.push_row(vec![name.to_string(), secs(sw_r.comm_time), secs(bus_r.comm_time)]);
+        t.push_row(vec![
+            name.to_string(),
+            secs(sw_r.comm_time),
+            secs(bus_r.comm_time),
+        ]);
     }
     t.note("fewer simultaneous transmitters should matter on the bus, not on the switch");
     t
@@ -118,8 +122,10 @@ pub fn ablate_nak_variants(effort: Effort) -> Table {
         "Ablation: NAK suppression schemes (500 KB, 30 receivers, frame loss 1e-3)",
         &["variant", "time_s", "naks_at_sender", "naks_suppressed"],
     );
-    for (name, receiver_multicast) in [("sender-side (paper)", false), ("receiver-multicast [16]", true)]
-    {
+    for (name, receiver_multicast) in [
+        ("sender-side (paper)", false),
+        ("receiver-multicast [16]", true),
+    ] {
         let mut cfg = nak_cfg(8_000, 20, 16);
         if let rmcast::ProtocolKind::NakPolling {
             receiver_multicast_nak,
@@ -206,7 +212,10 @@ pub fn ablate_recv_driven_timer(effort: Effort) -> Table {
     );
     for (name, timer) in [
         ("sender-driven only (paper)", None),
-        ("receiver timer 15ms", Some(rmwire::Duration::from_millis(15))),
+        (
+            "receiver timer 15ms",
+            Some(rmwire::Duration::from_millis(15)),
+        ),
     ] {
         let mut cfg = nak_cfg(8_000, 20, 16);
         cfg.receiver_nak_timer = timer;
@@ -335,7 +344,9 @@ pub fn ablate_two_groups(effort: Effort) -> Table {
                 PORT,
                 Box::new(NodeProcess::new(
                     sender,
-                    NodeRole::Sender { msgs: vec![payload] },
+                    NodeRole::Sender {
+                        msgs: vec![payload],
+                    },
                     Rc::clone(&addr),
                     cost,
                     Rc::clone(&rec),
@@ -377,10 +388,22 @@ pub fn ablate_two_groups(effort: Effort) -> Table {
         &["configuration", "time_s"],
     );
     t.push_row(vec!["one group alone".into(), secs(alone_r.comm_time)]);
-    t.push_row(vec!["concurrent, flooding (group A)".into(), format!("{a:.6}")]);
-    t.push_row(vec!["concurrent, flooding (group B)".into(), format!("{b:.6}")]);
-    t.push_row(vec!["concurrent, IGMP snooping (group A)".into(), format!("{sa:.6}")]);
-    t.push_row(vec!["concurrent, IGMP snooping (group B)".into(), format!("{sb:.6}")]);
+    t.push_row(vec![
+        "concurrent, flooding (group A)".into(),
+        format!("{a:.6}"),
+    ]);
+    t.push_row(vec![
+        "concurrent, flooding (group B)".into(),
+        format!("{b:.6}"),
+    ]);
+    t.push_row(vec![
+        "concurrent, IGMP snooping (group A)".into(),
+        format!("{sa:.6}"),
+    ]);
+    t.push_row(vec![
+        "concurrent, IGMP snooping (group B)".into(),
+        format!("{sb:.6}"),
+    ]);
     t.note("with flooding, every downlink carries BOTH groups' data (2x slowdown); IGMP snooping isolates the groups almost completely");
     t
 }

@@ -26,33 +26,67 @@ pub fn calibration_report(effort: Effort) -> Table {
 
     // Fig 8: 426502-byte file, ACK protocol, 1 receiver -> 0.060 s.
     let r = rm_scenario(effort, ack_cfg(50_000, 2), 1, 426_502).run_avg();
-    push("fig8: 426KB file, 1 receiver (ACK)", 0.060, r.comm_time.as_secs_f64());
+    push(
+        "fig8: 426KB file, 1 receiver (ACK)",
+        0.060,
+        r.comm_time.as_secs_f64(),
+    );
 
     // Fig 8: same to 30 receivers -> 0.064 s.
     let r = rm_scenario(effort, ack_cfg(50_000, 2), 30, 426_502).run_avg();
-    push("fig8: 426KB file, 30 receivers (ACK)", 0.064, r.comm_time.as_secs_f64());
+    push(
+        "fig8: 426KB file, 30 receivers (ACK)",
+        0.064,
+        r.comm_time.as_secs_f64(),
+    );
 
     // Fig 11a: 1-byte message, 1 receiver -> ~0.0004 s (two round trips).
     let r = rm_scenario(effort, ack_cfg(50_000, 2), 1, 1).run_avg();
-    push("fig11a: 1B message, 1 receiver (ACK)", 0.0004, r.comm_time.as_secs_f64());
+    push(
+        "fig11a: 1B message, 1 receiver (ACK)",
+        0.0004,
+        r.comm_time.as_secs_f64(),
+    );
 
     // Fig 11a: 1-byte message, 30 receivers -> ~0.002 s (ACK implosion).
     let r = rm_scenario(effort, ack_cfg(50_000, 2), 30, 1).run_avg();
-    push("fig11a: 1B message, 30 receivers (ACK)", 0.002, r.comm_time.as_secs_f64());
+    push(
+        "fig11a: 1B message, 30 receivers (ACK)",
+        0.002,
+        r.comm_time.as_secs_f64(),
+    );
 
     // Fig 9: raw UDP, ~0-byte message, 30 receivers -> ~0.0008 s.
-    let mut sc = Scenario::new(Protocol::RawUdp { packet_size: 50_000 }, 30, 1);
+    let mut sc = Scenario::new(
+        Protocol::RawUdp {
+            packet_size: 50_000,
+        },
+        30,
+        1,
+    );
     sc.seeds = effort.seeds_vec();
     let r = sc.run_avg();
-    push("fig9: raw UDP, 1B, 30 receivers", 0.0008, r.comm_time.as_secs_f64());
+    push(
+        "fig9: raw UDP, 1B, 30 receivers",
+        0.0008,
+        r.comm_time.as_secs_f64(),
+    );
 
     // Table 3: NAK best config, 2 MB -> 89.7 Mbit/s = 0.1784 s.
     let r = rm_scenario(effort, super::nak_cfg(8_000, 50, 43), 30, 2_000_000).run_avg();
-    push("table3: NAK 2MB best config", 2.0 * 8.0 / 89.7, r.comm_time.as_secs_f64());
+    push(
+        "table3: NAK 2MB best config",
+        2.0 * 8.0 / 89.7,
+        r.comm_time.as_secs_f64(),
+    );
 
     // Table 3: ACK best config, 2 MB -> 68.0 Mbit/s = 0.2353 s.
     let r = rm_scenario(effort, ack_cfg(50_000, 5), 30, 2_000_000).run_avg();
-    push("table3: ACK 2MB best config", 2.0 * 8.0 / 68.0, r.comm_time.as_secs_f64());
+    push(
+        "table3: ACK 2MB best config",
+        2.0 * 8.0 / 68.0,
+        r.comm_time.as_secs_f64(),
+    );
 
     t.note("ratios within ~0.5x-2x are expected; the reproduction asserts shapes, not absolutes");
     t.note("see simrun::calibration for what each anchor pins");

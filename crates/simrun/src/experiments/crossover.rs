@@ -25,7 +25,14 @@ pub fn crossover(effort: Effort) -> Table {
     let mut t = Table::new(
         "crossover",
         "Synthesis: fastest protocol by message size and group size",
-        &["msg_bytes", "receivers", "winner", "winner_s", "runner_up", "margin"],
+        &[
+            "msg_bytes",
+            "receivers",
+            "winner",
+            "winner_s",
+            "runner_up",
+            "margin",
+        ],
     );
     let sizes = [1_000usize, 8_000, 65_536, 512_000, 2_000_000];
     let groups = [4u16, 30];

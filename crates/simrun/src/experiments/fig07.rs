@@ -18,7 +18,11 @@ pub fn fig07(effort: Effort) -> Table {
     let mut times = r.delivery_times.clone();
     times.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
     for (rank, secs) in times {
-        let segment = if rank <= 15 { "switch-1 (near)" } else { "switch-2 (far)" };
+        let segment = if rank <= 15 {
+            "switch-1 (near)"
+        } else {
+            "switch-2 (far)"
+        };
         t.push_row(vec![
             rank.to_string(),
             format!("{:.4}", secs * 1e3),

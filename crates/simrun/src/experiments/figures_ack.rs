@@ -29,7 +29,11 @@ pub fn fig08(effort: Effort) -> Table {
         let tcp_r = tcp.run_avg();
 
         let ack = rm_scenario(effort, ack_cfg(50_000, 2), n, FIG8_FILE).run_avg();
-        t.push_row(vec![n.to_string(), secs(tcp_r.comm_time), secs(ack.comm_time)]);
+        t.push_row(vec![
+            n.to_string(),
+            secs(tcp_r.comm_time),
+            secs(ack.comm_time),
+        ]);
     }
     t.note("paper: TCP grows ~linearly with receivers; multicast nearly flat (+6% at 30)");
     t
@@ -45,7 +49,13 @@ pub fn fig09(effort: Effort) -> Table {
     );
     let sizes: Vec<usize> = (0..=14).map(|i| i * 2_500).collect();
     for &len in &effort.thin(&sizes) {
-        let mut udp = Scenario::new(Protocol::RawUdp { packet_size: 50_000 }, N_RECEIVERS, len);
+        let mut udp = Scenario::new(
+            Protocol::RawUdp {
+                packet_size: 50_000,
+            },
+            N_RECEIVERS,
+            len,
+        );
         udp.seeds = effort.seeds_vec();
         let udp_r = udp.run_avg();
 
@@ -74,7 +84,12 @@ pub fn fig10(effort: Effort) -> Table {
         "fig10",
         "Figure 10: ACK-based protocol, packet size x window size (500 KB, 30 receivers)",
         &[
-            "window", "ps=500_s", "ps=1300_s", "ps=3125_s", "ps=6250_s", "ps=50000_s",
+            "window",
+            "ps=500_s",
+            "ps=1300_s",
+            "ps=3125_s",
+            "ps=6250_s",
+            "ps=50000_s",
         ],
     );
     for window in 1..=5usize {

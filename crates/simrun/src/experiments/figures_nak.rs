@@ -51,8 +51,7 @@ pub fn fig13(effort: Effort) -> Table {
 /// Figure 14: NAK scalability with per-packet-size tuned parameters.
 pub fn fig14(effort: Effort) -> Table {
     // The paper tunes per packet size, e.g. 8 KB -> window 25, poll 21.
-    let configs: [(usize, usize, usize); 3] =
-        [(500, 64, 54), (8_000, 25, 21), (50_000, 8, 6)];
+    let configs: [(usize, usize, usize); 3] = [(500, 64, 54), (8_000, 25, 21), (50_000, 8, 6)];
     let mut t = Table::new(
         "fig14",
         "Figure 14: NAK with polling, scalability (500 KB)",

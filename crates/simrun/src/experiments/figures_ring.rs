@@ -15,7 +15,9 @@ pub fn fig15(effort: Effort) -> Table {
         let r = rm_scenario(effort, ring_cfg(ps, 35), N_RECEIVERS, 2_000_000).run_avg();
         t.push_row(vec![ps.to_string(), secs(r.comm_time)]);
     }
-    t.note("paper: best between 5 KB and 10 KB; small packets add overhead, large hurt the pipeline");
+    t.note(
+        "paper: best between 5 KB and 10 KB; small packets add overhead, large hurt the pipeline",
+    );
     t
 }
 

@@ -14,7 +14,11 @@ pub fn fig18(effort: Effort) -> Table {
     for &h in &effort.thin(&heights) {
         let big = rm_scenario(effort, tree_cfg(50_000, 20, h), N_RECEIVERS, 500_000).run_avg();
         let small = rm_scenario(effort, tree_cfg(8_000, 20, h), N_RECEIVERS, 500_000).run_avg();
-        t.push_row(vec![h.to_string(), secs(big.comm_time), secs(small.comm_time)]);
+        t.push_row(vec![
+            h.to_string(),
+            secs(big.comm_time),
+            secs(small.comm_time),
+        ]);
     }
     t.note("paper: extremes (H=1, H=30) are not optimal; 8KB beats 50KB except at H=1");
     t

@@ -13,8 +13,9 @@ use rmcast::{ProtocolConfig, ProtocolKind};
 
 pub mod ablations;
 pub mod calibration_report;
-pub mod fig07;
+pub mod chaos;
 pub mod crossover;
+pub mod fig07;
 pub mod figures_ack;
 pub mod figures_nak;
 pub mod figures_ring;
@@ -23,8 +24,9 @@ pub mod tables;
 
 pub use ablations::*;
 pub use calibration_report::*;
-pub use fig07::*;
+pub use chaos::*;
 pub use crossover::*;
+pub use fig07::*;
 pub use figures_ack::*;
 pub use figures_nak::*;
 pub use figures_ring::*;
@@ -79,12 +81,7 @@ impl Effort {
 }
 
 /// An `Rm` scenario on the paper testbed with this effort's seeds.
-pub(crate) fn rm_scenario(
-    effort: Effort,
-    cfg: ProtocolConfig,
-    n: u16,
-    msg: usize,
-) -> Scenario {
+pub(crate) fn rm_scenario(effort: Effort, cfg: ProtocolConfig, n: u16, msg: usize) -> Scenario {
     let mut sc = Scenario::new(Protocol::Rm(cfg), n, msg);
     sc.seeds = effort.seeds_vec();
     sc
@@ -113,13 +110,43 @@ pub(crate) fn tree_cfg(packet_size: usize, window: usize, height: usize) -> Prot
 /// Every experiment by id, in paper order.
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
-        "fig07", "fig08", "fig09", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15",
-        "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table1", "table2", "table3",
-        "ablate_gbn_vs_sr", "ablate_shared_vs_switched", "ablate_suppression",
-        "ablate_snooping", "ablate_nak_variants", "ablate_unicast_retx",
-        "ablate_rate_vs_window", "ablate_recv_driven_timer", "ablate_slow_receiver",
-        "ablate_mtu", "ablate_two_groups", "ablate_pipeline_handshake", "crossover",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11a",
+        "fig11b",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "fig21",
+        "table1",
+        "table2",
+        "table3",
+        "ablate_gbn_vs_sr",
+        "ablate_shared_vs_switched",
+        "ablate_suppression",
+        "ablate_snooping",
+        "ablate_nak_variants",
+        "ablate_unicast_retx",
+        "ablate_rate_vs_window",
+        "ablate_recv_driven_timer",
+        "ablate_slow_receiver",
+        "ablate_mtu",
+        "ablate_two_groups",
+        "ablate_pipeline_handshake",
+        "crossover",
         "calibration_report",
+        "chaos_burst_loss",
+        "chaos_crash",
+        "chaos_link_down",
+        "chaos_campaign",
     ]
 }
 
@@ -159,6 +186,10 @@ pub fn run_experiment(id: &str, effort: Effort) -> Table {
         "calibration_report" => calibration_report(effort),
         "ablate_two_groups" => ablate_two_groups(effort),
         "ablate_pipeline_handshake" => ablate_pipeline_handshake(effort),
+        "chaos_burst_loss" => chaos_burst_loss(effort),
+        "chaos_crash" => chaos_crash(effort),
+        "chaos_link_down" => chaos_link_down(effort),
+        "chaos_campaign" => chaos_campaign(effort),
         other => panic!("unknown experiment id {other:?}; see all_experiment_ids()"),
     }
 }

@@ -93,7 +93,12 @@ pub fn table3(effort: Effort) -> Table {
         ("nak", nak_cfg(8_000, 50, 43), "ps=8K w=50 poll=43", 89.7),
         ("ring", ring_cfg(8_000, 50), "ps=8K w=50", 84.6),
         ("tree (H=6)", tree_cfg(8_000, 20, 6), "ps=8K w=20 H=6", 77.3),
-        ("tree (H=15)", tree_cfg(8_000, 20, 15), "ps=8K w=20 H=15", 81.2),
+        (
+            "tree (H=15)",
+            tree_cfg(8_000, 20, 15),
+            "ps=8K w=20 H=15",
+            81.2,
+        ),
     ];
     for (name, cfg, desc, paper) in cases {
         let r = rm_scenario(effort, cfg, N_RECEIVERS, 2_000_000).run_avg();

@@ -40,5 +40,5 @@ pub mod scenario;
 pub mod table;
 
 pub use cost::CostModel;
-pub use scenario::{Protocol, RunResult, Scenario, TopologyKind};
+pub use scenario::{ChaosOutcome, Protocol, RunResult, Scenario, TopologyKind};
 pub use table::Table;

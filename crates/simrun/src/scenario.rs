@@ -4,9 +4,9 @@ use crate::adapter::{AddrMap, NodeProcess, NodeRole, Recorder, SharedRecorder};
 use crate::calibration;
 use crate::cost::CostModel;
 use bytes::Bytes;
-use netsim::{topology, FabricKind, Sim, SimConfig, TraceCounters};
+use netsim::{topology, FabricKind, FaultPlan, Sim, SimConfig, TraceCounters};
 use rmcast::baseline::{RawUdpReceiver, RawUdpSender, SerialUnicastSender};
-use rmcast::{GroupSpec, ProtocolConfig, Receiver, Sender, Stats};
+use rmcast::{GroupSpec, ProtocolConfig, Receiver, Sender, SessionError, Stats};
 use rmwire::{Duration, Rank, Time};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -85,6 +85,9 @@ pub struct Scenario {
     pub seeds: Vec<u64>,
     /// Abort if a run exceeds this much simulated time.
     pub time_cap: Duration,
+    /// Chaos schedule injected into the fabric (empty = clean network,
+    /// bit-identical to a plan-free simulation).
+    pub fault_plan: FaultPlan,
 }
 
 impl Scenario {
@@ -103,6 +106,7 @@ impl Scenario {
             bystanders: 0,
             seeds: vec![1, 2, 3],
             time_cap: Duration::from_secs(120),
+            fault_plan: FaultPlan::default(),
         }
     }
 
@@ -115,8 +119,9 @@ impl Scenario {
         )
     }
 
-    /// Execute once with `seed`.
-    pub fn run(&self, seed: u64) -> RunResult {
+    /// Shared simulation body: build the cluster, install the fault plan,
+    /// spawn endpoints, run to the time cap, and hand back the raw record.
+    fn execute(&self, seed: u64) -> RawRun {
         let mut sim_cfg = self.sim;
         if self.topology == TopologyKind::SharedBus {
             sim_cfg.fabric = FabricKind::SharedBus;
@@ -135,17 +140,17 @@ impl Scenario {
             assert!(self.slow_receiver_factor >= 1.0, "factor must be >= 1");
             let f = self.slow_receiver_factor;
             let mut p = sim.config().host;
-            p.recv_syscall = rmwire::Duration::from_nanos(
-                (p.recv_syscall.as_nanos() as f64 * f) as u64,
-            );
-            p.recv_per_fragment = rmwire::Duration::from_nanos(
-                (p.recv_per_fragment.as_nanos() as f64 * f) as u64,
-            );
+            p.recv_syscall =
+                rmwire::Duration::from_nanos((p.recv_syscall.as_nanos() as f64 * f) as u64);
+            p.recv_per_fragment =
+                rmwire::Duration::from_nanos((p.recv_per_fragment.as_nanos() as f64 * f) as u64);
             p.recv_per_byte_ns = (p.recv_per_byte_ns as f64 * f) as u64;
-            p.send_syscall = rmwire::Duration::from_nanos(
-                (p.send_syscall.as_nanos() as f64 * f) as u64,
-            );
+            p.send_syscall =
+                rmwire::Duration::from_nanos((p.send_syscall.as_nanos() as f64 * f) as u64);
             sim.set_host_params(receiver_hosts[0], p);
+        }
+        if !self.fault_plan.is_empty() {
+            sim.set_fault_plan(self.fault_plan.clone());
         }
         let group = sim.create_group(&receiver_hosts);
         let addr = Rc::new(AddrMap {
@@ -263,6 +268,22 @@ impl Scenario {
         let rec = Rc::try_unwrap(rec)
             .map(|c| c.into_inner())
             .unwrap_or_else(|rc| rc.borrow().clone_shallow());
+        RawRun {
+            rec,
+            trace,
+            sender_cpu_busy,
+        }
+    }
+
+    /// Execute once with `seed`. Panics if the run does not complete
+    /// within the time cap — the right behavior for the paper's
+    /// fault-free performance figures, where a hang is a bug.
+    pub fn run(&self, seed: u64) -> RunResult {
+        let RawRun {
+            rec,
+            trace,
+            sender_cpu_busy,
+        } = self.execute(seed);
 
         let comm_time = match rec.sender_done {
             Some(t) => t.saturating_since(Time::ZERO),
@@ -288,7 +309,8 @@ impl Scenario {
             comm_time,
             delivery_times,
             throughput_mbps: total_bytes * 8.0 / comm_time.as_secs_f64() / 1e6,
-            sender_cpu_utilization: sender_cpu_busy.as_secs_f64() / comm_time.as_secs_f64().max(1e-12),
+            sender_cpu_utilization: sender_cpu_busy.as_secs_f64()
+                / comm_time.as_secs_f64().max(1e-12),
             sender_stats: rec.sender_stats,
             receiver_stats: rec.receiver_stats,
             deliveries: rec.deliveries.len(),
@@ -310,6 +332,74 @@ impl Scenario {
         last.throughput_mbps = total_bytes * 8.0 / last.comm_time.as_secs_f64() / 1e6;
         last
     }
+
+    /// Execute once with `seed` under the installed fault plan, and
+    /// *never panic*: the liveness contract under chaos is "deliver to
+    /// every live receiver or abort with a typed error within the time
+    /// cap", and this entry point reports which of those happened. The
+    /// time cap doubles as the virtual-time watchdog — a protocol that
+    /// hangs shows up as `bounded() == false`, not as a wedged test.
+    pub fn run_chaos(&self, seed: u64) -> ChaosOutcome {
+        let RawRun {
+            rec,
+            trace,
+            sender_cpu_busy: _,
+        } = self.execute(seed);
+        ChaosOutcome {
+            completed: rec.sender_done.is_some(),
+            comm_time: rec.sender_done.map(|t| t.saturating_since(Time::ZERO)),
+            messages_sent: rec.messages_sent.len(),
+            deliveries: rec.deliveries.len(),
+            failures: rec.failures.iter().map(|&(id, e, _)| (id, e)).collect(),
+            receiver_failures: rec.receiver_failures.clone(),
+            evictions: rec.evictions.clone(),
+            trace,
+        }
+    }
+}
+
+/// Raw output of one simulated run, before any completion policy is
+/// applied.
+struct RawRun {
+    rec: Recorder,
+    trace: TraceCounters,
+    sender_cpu_busy: Duration,
+}
+
+/// Outcome of a chaos run: either the sender resolved every message
+/// (delivered or typed-failed) inside the time cap, or it hung.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The sender resolved all messages (success *or* typed abort)
+    /// within the time cap.
+    pub completed: bool,
+    /// Virtual time at which the sender resolved, if it did.
+    pub comm_time: Option<Duration>,
+    /// Messages the sender reported successfully delivered.
+    pub messages_sent: usize,
+    /// Individual `(rank, msg_id, time)` message deliveries observed.
+    pub deliveries: usize,
+    /// Sender-side typed aborts: `(msg_id, error)`.
+    pub failures: Vec<(u64, SessionError)>,
+    /// Receiver-side typed aborts: `(rank, msg_id, error)`.
+    pub receiver_failures: Vec<(Rank, u64, SessionError)>,
+    /// `(rank, msg_id)` eviction notices observed at any endpoint.
+    pub evictions: Vec<(Rank, u64)>,
+    /// Network-level counters, including chaos drop causes.
+    pub trace: TraceCounters,
+}
+
+impl ChaosOutcome {
+    /// The bounded-time liveness guarantee: every message either
+    /// succeeded or aborted with a typed error — the sender never hung.
+    pub fn bounded(&self) -> bool {
+        self.completed
+    }
+
+    /// True if some sender-side abort carried `err`.
+    pub fn failed_with(&self, err: SessionError) -> bool {
+        self.failures.iter().any(|&(_, e)| e == err)
+    }
 }
 
 impl Recorder {
@@ -318,6 +408,9 @@ impl Recorder {
             sender_done: self.sender_done,
             messages_sent: self.messages_sent.clone(),
             deliveries: self.deliveries.clone(),
+            failures: self.failures.clone(),
+            receiver_failures: self.receiver_failures.clone(),
+            evictions: self.evictions.clone(),
             sender_stats: self.sender_stats.clone(),
             receiver_stats: self.receiver_stats.clone(),
             expect_msgs: self.expect_msgs,

@@ -75,7 +75,10 @@ fn bystanders_do_not_change_results_under_snooping() {
     };
     let without = mk(0, true);
     let with = mk(10, true);
-    assert_eq!(without.comm_time, with.comm_time, "snooping isolates bystanders");
+    assert_eq!(
+        without.comm_time, with.comm_time,
+        "snooping isolates bystanders"
+    );
     // Under flooding the bystanders at least see filtered frames.
     let flooded = mk(10, false);
     assert!(flooded.trace.frames_filtered > 0);
@@ -100,7 +103,7 @@ fn slow_receiver_factor_slows_completion() {
 fn quick_effort_smoke_for_cheap_experiments() {
     // A thin sweep through the cheapest artifacts keeps the full
     // experiment registry exercised under `cargo test`.
-    for id in ["fig09", "fig11a", "fig20", "table2"] {
+    for id in ["fig09", "fig11a", "fig20", "table2", "chaos_campaign"] {
         let t = run_experiment(id, Effort::QUICK);
         assert!(!t.rows.is_empty(), "{id} produced no rows");
         assert_eq!(t.id, id);

@@ -4,7 +4,7 @@ use crate::hub::Hub;
 use crate::node::{drive, Addresses, NodeEvent};
 use bytes::Bytes;
 use crossbeam::channel;
-use rmcast::{GroupSpec, ProtocolConfig, Receiver, Sender, Stats};
+use rmcast::{GroupSpec, ProtocolConfig, Receiver, Sender, SessionError, Stats};
 use rmwire::{Rank, Time};
 use std::collections::HashMap;
 use std::io;
@@ -26,6 +26,10 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Deterministic hub loss: drop every n-th forwarded multicast copy.
     pub hub_drop_every: Option<u32>,
+    /// Receiver indices whose sockets are bound but never driven: they
+    /// look exactly like crashed nodes to the rest of the group. Requires
+    /// liveness knobs (bounded retries / eviction) for the run to finish.
+    pub dead_receivers: Vec<usize>,
 }
 
 impl ClusterConfig {
@@ -37,6 +41,7 @@ impl ClusterConfig {
             timeout: StdDuration::from_secs(30),
             seed: 42,
             hub_drop_every: None,
+            dead_receivers: Vec::new(),
         }
     }
 }
@@ -52,6 +57,10 @@ pub struct ClusterResult {
     pub sender_stats: Stats,
     /// Per-receiver counters (by receiver index), where collected.
     pub receiver_stats: HashMap<Rank, Stats>,
+    /// `(reporting rank, msg_id, error)` abandoned messages.
+    pub failures: Vec<(Rank, u64, SessionError)>,
+    /// `(reporting rank, evicted peer, msg_id)` straggler evictions.
+    pub evictions: Vec<(Rank, Rank, u64)>,
 }
 
 /// Run one sender and `n` receivers over real UDP sockets until every
@@ -81,8 +90,12 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
 
-    // Receivers.
+    // Receivers. "Dead" ones keep their bound socket (so nothing is
+    // rewired) but never run: every datagram sent to them vanishes.
     for (i, rsock) in receiver_socks.iter().enumerate() {
+        if cfg.dead_receivers.contains(&i) {
+            continue;
+        }
         let ep = Receiver::new(
             cfg.protocol,
             group,
@@ -119,17 +132,17 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
     }
     drop(tx);
 
-    // Coordinate: wait until the sender reports all messages complete.
+    // Coordinate: wait until the sender resolves every message — by
+    // completing it or by abandoning it (liveness bound).
     let start = Instant::now();
     let mut deliveries = Vec::new();
-    let mut sent = 0u64;
+    let mut failures: Vec<(Rank, u64, SessionError)> = Vec::new();
+    let mut evictions: Vec<(Rank, Rank, u64)> = Vec::new();
+    let mut resolved = 0u64;
     let mut elapsed = None;
     let mut stats: HashMap<Rank, Stats> = HashMap::new();
-    while sent < n_msgs {
-        let remaining = cfg
-            .timeout
-            .checked_sub(start.elapsed())
-            .unwrap_or_default();
+    while resolved < n_msgs {
+        let remaining = cfg.timeout.checked_sub(start.elapsed()).unwrap_or_default();
         if remaining.is_zero() {
             stop.store(true, Ordering::Relaxed);
             for h in handles {
@@ -140,7 +153,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
                 format!(
                     "cluster did not finish in {:?}: {}/{} messages, {} deliveries",
                     cfg.timeout,
-                    sent,
+                    resolved,
                     n_msgs,
                     deliveries.len()
                 ),
@@ -148,13 +161,28 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
         }
         match rx.recv_timeout(remaining) {
             Ok(NodeEvent::Sent { at, .. }) => {
-                sent += 1;
-                if sent == n_msgs {
+                resolved += 1;
+                if resolved == n_msgs {
                     elapsed = Some(at);
                 }
             }
             Ok(NodeEvent::Delivered { rank, msg_id, data }) => {
                 deliveries.push((rank, msg_id, data));
+            }
+            Ok(NodeEvent::Failed {
+                rank,
+                msg_id,
+                error,
+            }) => {
+                failures.push((rank, msg_id, error));
+                // Only the sender's verdict resolves a message; receiver
+                // give-ups are informational.
+                if rank == Rank::SENDER {
+                    resolved += 1;
+                }
+            }
+            Ok(NodeEvent::Evicted { rank, peer, msg_id }) => {
+                evictions.push((rank, peer, msg_id));
             }
             Ok(NodeEvent::Finished { rank, stats: s }) => {
                 stats.insert(rank, s);
@@ -171,6 +199,16 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
             Ok(NodeEvent::Delivered { rank, msg_id, data }) => {
                 deliveries.push((rank, msg_id, data))
             }
+            Ok(NodeEvent::Failed {
+                rank,
+                msg_id,
+                error,
+            }) => {
+                failures.push((rank, msg_id, error));
+            }
+            Ok(NodeEvent::Evicted { rank, peer, msg_id }) => {
+                evictions.push((rank, peer, msg_id));
+            }
             Ok(NodeEvent::Finished { rank, stats: s }) => {
                 stats.insert(rank, s);
             }
@@ -183,6 +221,12 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
     for ev in rx.try_iter() {
         match ev {
             NodeEvent::Delivered { rank, msg_id, data } => deliveries.push((rank, msg_id, data)),
+            NodeEvent::Failed {
+                rank,
+                msg_id,
+                error,
+            } => failures.push((rank, msg_id, error)),
+            NodeEvent::Evicted { rank, peer, msg_id } => evictions.push((rank, peer, msg_id)),
             NodeEvent::Finished { rank, stats: s } => {
                 stats.insert(rank, s);
             }
@@ -204,5 +248,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
         deliveries,
         sender_stats,
         receiver_stats: stats,
+        failures,
+        evictions,
     })
 }

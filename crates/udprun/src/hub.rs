@@ -110,13 +110,11 @@ mod tests {
     fn hub_relays_to_all_but_origin() {
         let r1 = UdpSocket::bind("127.0.0.1:0").unwrap();
         let r2 = UdpSocket::bind("127.0.0.1:0").unwrap();
-        r1.set_read_timeout(Some(StdDuration::from_millis(500))).unwrap();
-        r2.set_read_timeout(Some(StdDuration::from_millis(500))).unwrap();
-        let hub = Hub::spawn(vec![
-            r1.local_addr().unwrap(),
-            r2.local_addr().unwrap(),
-        ])
-        .unwrap();
+        r1.set_read_timeout(Some(StdDuration::from_millis(500)))
+            .unwrap();
+        r2.set_read_timeout(Some(StdDuration::from_millis(500)))
+            .unwrap();
+        let hub = Hub::spawn(vec![r1.local_addr().unwrap(), r2.local_addr().unwrap()]).unwrap();
 
         // Datagram from the sender (rank 0): both receivers get it.
         let tx = UdpSocket::bind("127.0.0.1:0").unwrap();

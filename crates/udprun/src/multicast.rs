@@ -46,9 +46,7 @@ pub fn real_multicast_roundtrip() -> io::Result<bool> {
     let mut buf = [0u8; 64];
     match rx.recv_from(&mut buf) {
         Ok((n, _)) => Ok(&buf[..n] == b"ethermulticast-probe"),
-        Err(e)
-            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-        {
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
             Ok(false)
         }
         Err(e) => Err(e),

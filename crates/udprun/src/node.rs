@@ -3,7 +3,7 @@
 use crate::hub::MAX_DGRAM;
 use bytes::Bytes;
 use crossbeam::channel::Sender as ChanSender;
-use rmcast::{AppEvent, Dest, Endpoint};
+use rmcast::{AppEvent, Dest, Endpoint, SessionError};
 use rmwire::{Rank, Time};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -51,6 +51,25 @@ pub enum NodeEvent {
         /// Payload.
         data: Bytes,
     },
+    /// The node abandoned a message (liveness bound tripped).
+    Failed {
+        /// Reporting node's rank (0 = sender).
+        rank: Rank,
+        /// Message id.
+        msg_id: u64,
+        /// Why the message was given up on.
+        error: SessionError,
+    },
+    /// The node evicted an unresponsive peer from a message's
+    /// acknowledgment obligation.
+    Evicted {
+        /// Reporting node's rank (0 = sender).
+        rank: Rank,
+        /// The evicted peer.
+        peer: Rank,
+        /// Message id the eviction happened during.
+        msg_id: u64,
+    },
     /// The node thread exited (stats snapshot attached).
     Finished {
         /// Node rank (0 = sender).
@@ -59,6 +78,12 @@ pub enum NodeEvent {
         stats: rmcast::Stats,
     },
 }
+
+/// Consecutive socket errors (receive or send) tolerated before a node
+/// thread gives up. Transient `ECONNREFUSED`-style errors from a peer that
+/// died mid-run must not wedge or kill the survivors; a persistently broken
+/// socket still terminates the thread with the underlying error.
+const MAX_CONSEC_IO_ERRORS: u32 = 64;
 
 /// Drive `ep` over `socket` until `stop` is raised. `rank` identifies the
 /// node in [`NodeEvent`]s.
@@ -74,25 +99,46 @@ pub fn drive<E: Endpoint>(
     let now = |epoch: Instant| Time::from_nanos(epoch.elapsed().as_nanos() as u64);
     let mut buf = vec![0u8; MAX_DGRAM];
     socket.set_read_timeout(Some(StdDuration::from_millis(1)))?;
+    let mut consec_errors: u32 = 0;
 
     while !stop.load(Ordering::Relaxed) {
         // 1. Receive with a short timeout so timers stay responsive.
         match socket.recv_from(&mut buf) {
-            Ok((n, _)) => ep.handle_datagram(now(epoch), &buf[..n]),
+            Ok((n, _)) => {
+                consec_errors = 0;
+                ep.handle_datagram(now(epoch), &buf[..n]);
+            }
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut => {}
-            Err(e) => return Err(e),
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => {
+                // On Linux a UDP socket can surface ECONNREFUSED from a
+                // dead peer; count it, don't die on it.
+                consec_errors += 1;
+                if consec_errors > MAX_CONSEC_IO_ERRORS {
+                    return Err(e);
+                }
+            }
         }
         // 2. Fire due timers.
         let t = now(epoch);
         if ep.poll_timeout().is_some_and(|d| d <= t) {
             ep.handle_timeout(t);
         }
-        // 3. Flush transmits.
+        // 3. Flush transmits. Send failures are tolerated (bounded): the
+        // datagram is dropped and the protocol's own retransmission
+        // machinery recovers, or its liveness bound eventually fires.
         while let Some(tx) = ep.poll_transmit() {
             let dest = addrs.resolve(tx.dest);
-            socket.send_to(&tx.payload, dest)?;
+            match socket.send_to(&tx.payload, dest) {
+                Ok(_) => consec_errors = 0,
+                Err(e) => {
+                    consec_errors += 1;
+                    if consec_errors > MAX_CONSEC_IO_ERRORS {
+                        return Err(e);
+                    }
+                }
+            }
         }
         // 4. Report events.
         while let Some(ev) = ep.poll_event() {
@@ -101,11 +147,17 @@ pub fn drive<E: Endpoint>(
                     msg_id,
                     at: epoch.elapsed(),
                 },
-                AppEvent::MessageDelivered { msg_id, data } => NodeEvent::Delivered {
+                AppEvent::MessageDelivered { msg_id, data } => {
+                    NodeEvent::Delivered { rank, msg_id, data }
+                }
+                AppEvent::MessageFailed { msg_id, error } => NodeEvent::Failed {
                     rank,
                     msg_id,
-                    data,
+                    error,
                 },
+                AppEvent::ReceiverEvicted { msg_id, rank: peer } => {
+                    NodeEvent::Evicted { rank, peer, msg_id }
+                }
             };
             if events.send(out).is_err() {
                 return Ok(());

@@ -14,11 +14,8 @@ fn check(kind: ProtocolKind, n: u16, window: usize, len: usize) {
     // on loopback but possible under load) recover quickly.
     cfg.rto = rmcast::Duration::from_millis(50);
     let msg = payload(len);
-    let out = run_cluster(
-        ClusterConfig::new(cfg, n),
-        vec![msg.clone()],
-    )
-    .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+    let out = run_cluster(ClusterConfig::new(cfg, n), vec![msg.clone()])
+        .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
 
     assert_eq!(out.deliveries.len(), n as usize, "{kind:?}");
     let mut seen: Vec<Rank> = out.deliveries.iter().map(|(r, _, _)| *r).collect();
@@ -89,6 +86,57 @@ fn recovery_over_real_udp_with_injected_hub_loss() {
 }
 
 #[test]
+fn killed_receiver_does_not_wedge_the_cluster() {
+    // Receiver index 1's socket is bound but never driven — it looks like
+    // a node that crashed before the run. With eviction enabled the sender
+    // must evict it and complete to the survivors in bounded time.
+    let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(6), 4_000, 12);
+    cfg.rto = rmcast::Duration::from_millis(40);
+    cfg.liveness = rmcast::LivenessConfig::evicting(6);
+    let msg = payload(60_000);
+    let mut cc = ClusterConfig::new(cfg, 4);
+    cc.dead_receivers = vec![1];
+    cc.timeout = std::time::Duration::from_secs(20);
+    let out = run_cluster(cc, vec![msg.clone()]).expect("cluster");
+
+    let live: Vec<Rank> = out.deliveries.iter().map(|(r, _, _)| *r).collect();
+    assert_eq!(live.len(), 3, "three survivors deliver");
+    assert!(!live.contains(&Rank(2)), "the dead node cannot deliver");
+    for (_, _, data) in &out.deliveries {
+        assert_eq!(data, &msg);
+    }
+    assert!(
+        out.evictions.iter().any(|&(_, peer, _)| peer == Rank(2)),
+        "the dead node must be evicted: {:?}",
+        out.evictions
+    );
+    assert!(
+        out.failures.is_empty(),
+        "survivors complete: {:?}",
+        out.failures
+    );
+}
+
+#[test]
+fn killed_receiver_without_eviction_fails_with_typed_error() {
+    // Same dead node, but eviction off and retries bounded: the sender
+    // must abandon the message with a typed error instead of hanging.
+    let mut cfg = ProtocolConfig::new(ProtocolKind::Ack, 4_000, 8);
+    cfg.rto = rmcast::Duration::from_millis(30);
+    cfg.liveness = rmcast::LivenessConfig::bounded(4);
+    let mut cc = ClusterConfig::new(cfg, 3);
+    cc.dead_receivers = vec![0];
+    cc.timeout = std::time::Duration::from_secs(20);
+    let out = run_cluster(cc, vec![payload(20_000)]).expect("cluster resolves");
+    assert!(
+        out.failures.iter().any(|&(rank, _, e)| rank == Rank::SENDER
+            && matches!(e, rmcast::SessionError::RetryLimitExceeded { .. })),
+        "sender must give up with RetryLimitExceeded: {:?}",
+        out.failures
+    );
+}
+
+#[test]
 fn pipelined_handshake_over_real_udp() {
     let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(6), 4_000, 12);
     cfg.rto = rmcast::Duration::from_millis(50);
@@ -97,6 +145,9 @@ fn pipelined_handshake_over_real_udp() {
     let out = run_cluster(ClusterConfig::new(cfg, 3), msgs.clone()).expect("cluster");
     assert_eq!(out.deliveries.len(), 12);
     for (_, msg_id, data) in &out.deliveries {
-        assert_eq!(data, &msgs[*msg_id as usize], "pipelined stream intact over real UDP");
+        assert_eq!(
+            data, &msgs[*msg_id as usize],
+            "pipelined stream intact over real UDP"
+        );
     }
 }

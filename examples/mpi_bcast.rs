@@ -18,7 +18,10 @@ fn main() {
     // One 1024 x 128 block of f64s per iteration.
     const BLOCK: usize = 1024 * 128 * 8;
 
-    println!("broadcast of a {} KB row-block to {WORKERS} workers\n", BLOCK / 1024);
+    println!(
+        "broadcast of a {} KB row-block to {WORKERS} workers\n",
+        BLOCK / 1024
+    );
     println!("{:<34}{:>12}{:>14}", "transport", "time", "speedup vs TCP");
 
     let tcp = Scenario::new(

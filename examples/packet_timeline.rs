@@ -10,7 +10,9 @@ use bytes::Bytes;
 use netsim::process::{Ctx, DatagramIn, Process};
 use netsim::trace::LogEvent;
 use netsim::{topology, FaultParams, Sim, SimConfig, UdpDest};
-use rmcast::{AppEvent, Dest, Endpoint, GroupSpec, ProtocolConfig, ProtocolKind, Rank, Receiver, Sender};
+use rmcast::{
+    AppEvent, Dest, Endpoint, GroupSpec, ProtocolConfig, ProtocolKind, Rank, Receiver, Sender,
+};
 
 /// Minimal inline adapter (the production one lives in `simrun`): drives
 /// an endpoint with no extra cost model, just to watch packets move.
@@ -120,5 +122,9 @@ fn main() {
             }
         }
     }
-    println!("\ntotal: {} logged events, finished at {}", sim.event_log().entries.len(), sim.now());
+    println!(
+        "\ntotal: {} logged events, finished at {}",
+        sim.event_log().entries.len(),
+        sim.now()
+    );
 }

@@ -33,7 +33,10 @@ fn main() {
             }
         }
     }
-    println!("ack   : best {} at packet={} window={}", best.0, best.1, best.2);
+    println!(
+        "ack   : best {} at packet={} window={}",
+        best.0, best.1, best.2
+    );
 
     // NAK: window x poll fraction.
     let mut best = (Duration::from_secs(3600), 0usize, 0usize);
@@ -50,7 +53,10 @@ fn main() {
             }
         }
     }
-    println!("nak   : best {} at window={} poll={}", best.0, best.1, best.2);
+    println!(
+        "nak   : best {} at window={} poll={}",
+        best.0, best.1, best.2
+    );
 
     // Ring: packet size (window fixed above the group size).
     let w = n as usize + 20;

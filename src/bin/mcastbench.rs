@@ -156,7 +156,9 @@ fn main() {
             usage()
         }
     };
-    sc.sim.faults.frame_loss = a.loss;
+    // Validated constructor: rejects out-of-range probabilities up front
+    // instead of letting an impossible loss rate spin until the time cap.
+    sc.sim.faults = netsim::FaultParams::frame_loss(a.loss);
 
     let r = sc.run_avg();
     if a.quiet {
@@ -180,7 +182,10 @@ fn main() {
     println!("retransmissions  : {}", r.sender_stats.retx_sent);
     println!("acks at sender   : {}", r.sender_stats.acks_received);
     println!("naks at sender   : {}", r.sender_stats.naks_received);
-    println!("sender peak buf  : {} bytes", r.sender_stats.peak_buffer_bytes);
+    println!(
+        "sender peak buf  : {} bytes",
+        r.sender_stats.peak_buffer_bytes
+    );
     println!("network drops    : {}", r.trace.total_drops());
     println!("deliveries       : {}/{}", r.deliveries, a.receivers);
 }
@@ -215,5 +220,9 @@ fn run_udp(a: &Args) {
     println!("wall time        : {:.2?}", out.elapsed);
     println!("throughput       : {mbps:.1} Mbit/s");
     println!("retransmissions  : {}", out.sender_stats.retx_sent);
-    println!("deliveries       : {}/{}", out.deliveries.len(), a.receivers);
+    println!(
+        "deliveries       : {}/{}",
+        out.deliveries.len(),
+        a.receivers
+    );
 }

@@ -65,7 +65,10 @@ fn ack_window_two_is_enough() {
         .as_secs_f64()
     };
     let (w1, w2, w5) = (t(1), t(2), t(5));
-    assert!(w2 < w1, "window 2 must beat stop-and-wait: {w2:.4} vs {w1:.4}");
+    assert!(
+        w2 < w1,
+        "window 2 must beat stop-and-wait: {w2:.4} vs {w1:.4}"
+    );
     assert!(
         (w5 - w2).abs() / w2 < 0.10,
         "windows beyond 2 must not help much: w2={w2:.4} w5={w5:.4}"
@@ -91,7 +94,10 @@ fn nak_poll_interval_optimum_near_window() {
     };
     let (p1, p16, p20) = (t(1), t(16), t(20));
     assert!(p16 < p1, "poll=16 must beat per-packet polling");
-    assert!(p16 <= p20 * 1.02, "poll at ~80% must not lose to poll=window");
+    assert!(
+        p16 <= p20 * 1.02,
+        "poll at ~80% must not lose to poll=window"
+    );
 }
 
 /// Table 3's claim: for large messages,
@@ -101,7 +107,11 @@ fn large_message_protocol_ordering() {
     let msg = 400_000;
     let n = 20;
     let nak = one_seed(
-        Protocol::Rm(ProtocolConfig::new(ProtocolKind::nak_polling(34), 8_000, 40)),
+        Protocol::Rm(ProtocolConfig::new(
+            ProtocolKind::nak_polling(34),
+            8_000,
+            40,
+        )),
         n,
         msg,
     );
@@ -127,10 +137,22 @@ fn large_message_protocol_ordering() {
         ack.throughput_mbps,
     );
     // Allow ties within 3% (the paper writes ">=", not ">").
-    assert!(tn * 1.03 >= tr, "NAK ({tn:.1}) must not lose to ring ({tr:.1})");
-    assert!(tr * 1.03 >= tt, "ring ({tr:.1}) must not lose to tree ({tt:.1})");
-    assert!(tt * 1.03 >= ta, "tree ({tt:.1}) must not lose to ACK ({ta:.1})");
-    assert!(tn > ta * 1.2, "NAK must clearly beat ACK: {tn:.1} vs {ta:.1}");
+    assert!(
+        tn * 1.03 >= tr,
+        "NAK ({tn:.1}) must not lose to ring ({tr:.1})"
+    );
+    assert!(
+        tr * 1.03 >= tt,
+        "ring ({tr:.1}) must not lose to tree ({tt:.1})"
+    );
+    assert!(
+        tt * 1.03 >= ta,
+        "tree ({tt:.1}) must not lose to ACK ({ta:.1})"
+    );
+    assert!(
+        tn > ta * 1.2,
+        "NAK must clearly beat ACK: {tn:.1} vs {ta:.1}"
+    );
 }
 
 /// Figure 20's claim: small messages suffer under tall trees (user-level
@@ -196,7 +218,11 @@ fn reliable_under_loss_full_stack() {
         ProtocolKind::Ring,
         ProtocolKind::flat_tree(3),
     ] {
-        let window = if matches!(kind, ProtocolKind::Ring) { 12 } else { 10 };
+        let window = if matches!(kind, ProtocolKind::Ring) {
+            12
+        } else {
+            10
+        };
         let mut sc = Scenario::new(
             Protocol::Rm(ProtocolConfig::new(kind, 4_000, window)),
             6,
@@ -227,5 +253,8 @@ fn handshake_two_round_trips() {
         r.sender_stats.data_sent, 2,
         "tiny message = 1 alloc packet + 1 data packet"
     );
-    assert_eq!(r.sender_stats.acks_received, 8, "both packets acked by all 4");
+    assert_eq!(
+        r.sender_stats.acks_received, 8,
+        "both packets acked by all 4"
+    );
 }

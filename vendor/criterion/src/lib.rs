@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the bench crate uses — `Criterion`,
+//! `benchmark_group`, `bench_function`/`bench_with_input`, `Bencher::iter`,
+//! `Throughput`, `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple mean-of-samples timer instead
+//! of criterion's statistical machinery. Output is one line per benchmark
+//! on stdout. A benchmark name filter may be passed on the command line,
+//! as with the real harness.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement scale for reported throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identify a benchmark by its parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Mean seconds per iteration, recorded by `iter`.
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up iteration, then time up to `sample_size` iterations
+        // or until the measurement budget is spent.
+        black_box(f());
+        let started = Instant::now();
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while iters < self.sample_size as u64 && spent < self.measurement_time {
+            black_box(f());
+            iters += 1;
+            spent = started.elapsed();
+        }
+        self.mean_secs = spent.as_secs_f64() / iters.max(1) as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Ignored warm-up budget (kept for API compatibility).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Wall-clock budget for each benchmark's measurement.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Report throughput at this scale.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            mean_secs: 0.0,
+        };
+        f(&mut b);
+        report(&full, b.mean_secs, self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, mean_secs: f64, throughput: Option<Throughput>) {
+    let time = if mean_secs >= 1.0 {
+        format!("{mean_secs:.3} s")
+    } else if mean_secs >= 1e-3 {
+        format!("{:.3} ms", mean_secs * 1e3)
+    } else if mean_secs >= 1e-6 {
+        format!("{:.3} µs", mean_secs * 1e6)
+    } else {
+        format!("{:.1} ns", mean_secs * 1e9)
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if mean_secs > 0.0 => {
+            println!(
+                "{name}: {time}/iter ({:.3} Melem/s)",
+                n as f64 / mean_secs / 1e6
+            );
+        }
+        Some(Throughput::Bytes(n)) if mean_secs > 0.0 => {
+            println!(
+                "{name}: {time}/iter ({:.3} MiB/s)",
+                n as f64 / mean_secs / (1024.0 * 1024.0)
+            );
+        }
+        _ => println!("{name}: {time}/iter"),
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Skip harness flags (--bench, --test, etc.); a bare argument is a
+        // substring filter on benchmark names, as in the real harness.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.to_string();
+        if self.matches(&name) {
+            let mut b = Bencher {
+                sample_size: 10,
+                measurement_time: Duration::from_secs(2),
+                mean_secs: 0.0,
+            };
+            f(&mut b);
+            report(&name, b.mean_secs, None);
+        }
+        self
+    }
+
+    /// Final summary (no-op; kept for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

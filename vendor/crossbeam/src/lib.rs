@@ -1,0 +1,39 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module is used (unbounded MPSC with timeouts), and
+//! `std::sync::mpsc` provides the exact surface: `Sender` is cloneable,
+//! `Receiver` has `recv_timeout`/`try_iter`, and the error enums carry the
+//! same names and variants.
+
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2]);
+        drop(tx);
+        drop(tx2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+}

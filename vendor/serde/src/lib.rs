@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (future-proofing
+//! its config types); no code path serializes anything. This shim
+//! re-exports no-op derive macros so `use serde::{Deserialize, Serialize}`
+//! and `#[derive(Serialize, Deserialize)]` compile unchanged. Replace the
+//! path dependency with the real `serde = { version = "1", features =
+//! ["derive"] }` when a registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace derives serde traits on its config types so that a real
+//! serde can be dropped in when a registry is available, but nothing in
+//! the tree actually serializes (there is no `serde_json` or similar).
+//! These derives accept the same attribute grammar (`#[serde(...)]`) and
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accept and discard a `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept and discard a `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
