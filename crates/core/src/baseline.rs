@@ -113,7 +113,7 @@ impl RawUdpSender {
 
 impl Endpoint for RawUdpSender {
     fn handle_datagram(&mut self, now: Time, datagram: &[u8]) {
-        let Ok(Packet::Ack { header, body }) = Packet::parse(datagram) else {
+        let Ok(Packet::Ack { header, body, .. }) = Packet::parse(datagram) else {
             self.stats.decode_errors += 1;
             return;
         };

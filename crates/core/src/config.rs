@@ -169,6 +169,58 @@ impl LivenessConfig {
     }
 }
 
+/// Dynamic membership: heartbeat failure detection, late join/rejoin with
+/// SYNC handoff, and epoch-stamped acknowledgments.
+///
+/// Disabled by default: the paper's protocols negotiate a fixed receiver
+/// set once, and with `enabled == false` no membership packet is ever
+/// emitted and ACK/NAK stay byte-identical to the paper's wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MembershipConfig {
+    /// Master switch. Off reproduces the paper exactly.
+    pub enabled: bool,
+    /// Interval between the sender's multicast heartbeat announces (and
+    /// failure-detector ticks). Heartbeats run only while messages are in
+    /// flight, so an idle group stays silent.
+    pub heartbeat_interval: Duration,
+    /// Consecutive missed heartbeats before a member is *suspected*
+    /// (counted, not yet acted on).
+    pub suspect_misses: u32,
+    /// Consecutive missed heartbeats before a member is evicted from the
+    /// group (epoch bump + re-release of its window obligations). Must be
+    /// `>= suspect_misses`.
+    pub evict_misses: u32,
+    /// How long a joining receiver waits for a SYNC before re-sending its
+    /// JOIN.
+    pub join_retry: Duration,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig::DISABLED
+    }
+}
+
+impl MembershipConfig {
+    /// No membership machinery at all (the paper's fixed-group model).
+    pub const DISABLED: MembershipConfig = MembershipConfig {
+        enabled: false,
+        heartbeat_interval: Duration::from_millis(50),
+        suspect_misses: 3,
+        evict_misses: 6,
+        join_retry: Duration::from_millis(100),
+    };
+
+    /// Membership on with LAN-scale defaults: 50 ms heartbeats, suspect
+    /// after 3 misses, evict after 6.
+    pub fn enabled() -> MembershipConfig {
+        MembershipConfig {
+            enabled: true,
+            ..MembershipConfig::DISABLED
+        }
+    }
+}
+
 /// Full configuration of one protocol run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ProtocolConfig {
@@ -221,6 +273,17 @@ pub struct ProtocolConfig {
     /// Liveness bounds (bounded retries, RTO backoff, straggler eviction,
     /// receiver give-up). [`LivenessConfig::PAPER`] retries forever.
     pub liveness: LivenessConfig,
+    /// Adaptive retransmission timeout: when `true` the sender estimates
+    /// the RTO per Jacobson/Karels (`SRTT + 4·RTTVAR`, gains 1/8 and 1/4)
+    /// from acknowledgment round trips, honouring Karn's rule (samples
+    /// from retransmitted packets are discarded) and clamping the result
+    /// to `[2·retx_suppress, liveness.rto_max]`. When `false` (default)
+    /// the fixed [`ProtocolConfig::rto`] is used, reproducing the paper's
+    /// fixed-timer behavior byte-identically.
+    pub adaptive_rto: bool,
+    /// Dynamic membership (heartbeats, join/rejoin, epochs). Disabled by
+    /// default.
+    pub membership: MembershipConfig,
 }
 
 impl ProtocolConfig {
@@ -242,6 +305,8 @@ impl ProtocolConfig {
             receiver_nak_timer: None,
             pipeline_handshake: false,
             liveness: LivenessConfig::PAPER,
+            adaptive_rto: false,
+            membership: MembershipConfig::DISABLED,
         }
     }
 
@@ -256,6 +321,41 @@ impl ProtocolConfig {
             self.packet_size
         );
         assert!(self.window >= 1, "window must hold at least one packet");
+        assert!(
+            self.retx_suppress < self.rto,
+            "retransmission suppression ({}) must be shorter than the RTO ({}): \
+             otherwise every timeout is suppressed and the transfer stalls",
+            self.retx_suppress,
+            self.rto
+        );
+        if self.adaptive_rto {
+            assert!(
+                self.retx_suppress.saturating_mul(2) <= self.liveness.rto_max,
+                "adaptive RTO floor (2 x retx_suppress) exceeds liveness.rto_max"
+            );
+        }
+        if self.membership.enabled {
+            let m = &self.membership;
+            assert!(
+                m.heartbeat_interval > Duration::ZERO,
+                "heartbeat_interval must be positive"
+            );
+            assert!(
+                m.suspect_misses >= 1 && m.suspect_misses <= m.evict_misses,
+                "need 1 <= suspect_misses <= evict_misses (got {} / {})",
+                m.suspect_misses,
+                m.evict_misses
+            );
+            assert!(m.join_retry > Duration::ZERO, "join_retry must be positive");
+            if matches!(self.kind, ProtocolKind::Tree { .. }) {
+                assert!(
+                    self.liveness.child_evict_timeout.is_some(),
+                    "tree protocols with membership enabled need \
+                     liveness.child_evict_timeout: a rejoined child re-parents \
+                     to the sender, and its old parent must be able to drop it"
+                );
+            }
+        }
         if let Some(r) = self.rate_limit_bytes_per_sec {
             assert!(r > 0, "rate limit must be positive");
         }
@@ -399,6 +499,43 @@ mod tests {
     fn shrinking_backoff_rejected() {
         let mut c = ProtocolConfig::new(ProtocolKind::Ack, 8000, 2);
         c.liveness.rto_backoff = 0.5;
+        c.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be shorter than the RTO")]
+    fn suppression_no_shorter_than_rto_rejected() {
+        let mut c = ProtocolConfig::new(ProtocolKind::Ack, 8000, 2);
+        c.retx_suppress = c.rto;
+        c.validate(30);
+    }
+
+    #[test]
+    fn membership_defaults_off_and_enabled_validates() {
+        let c = ProtocolConfig::new(ProtocolKind::Ack, 8000, 2);
+        assert!(!c.membership.enabled);
+        assert!(!c.adaptive_rto);
+        let mut m = c;
+        m.membership = MembershipConfig::enabled();
+        m.adaptive_rto = true;
+        m.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "suspect_misses <= evict_misses")]
+    fn inverted_detector_thresholds_rejected() {
+        let mut c = ProtocolConfig::new(ProtocolKind::Ack, 8000, 2);
+        c.membership = MembershipConfig::enabled();
+        c.membership.suspect_misses = 9;
+        c.membership.evict_misses = 3;
+        c.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "child_evict_timeout")]
+    fn tree_membership_needs_child_eviction() {
+        let mut c = ProtocolConfig::new(ProtocolKind::flat_tree(4), 8000, 8);
+        c.membership = MembershipConfig::enabled();
         c.validate(30);
     }
 }

@@ -77,6 +77,14 @@ pub enum AppEvent {
         /// The evicted peer.
         rank: Rank,
     },
+    /// Dynamic membership admitted a (re)joining receiver at a message
+    /// boundary: it is part of the proof obligation from `epoch` on.
+    ReceiverJoined {
+        /// The admitted peer.
+        rank: Rank,
+        /// The membership epoch created by the admission.
+        epoch: u32,
+    },
 }
 
 /// Whether an endpoint is the group's sender or one of its receivers.

@@ -59,6 +59,7 @@ pub mod coverage;
 pub mod endpoint;
 pub mod error;
 pub mod loopback;
+pub mod membership;
 pub mod packet;
 pub mod receiver;
 pub mod sender;
@@ -66,9 +67,12 @@ pub mod stats;
 pub mod tree;
 pub mod window;
 
-pub use config::{LivenessConfig, ProtocolConfig, ProtocolKind, TreeShape, WindowDiscipline};
+pub use config::{
+    LivenessConfig, MembershipConfig, ProtocolConfig, ProtocolKind, TreeShape, WindowDiscipline,
+};
 pub use endpoint::{AppEvent, Dest, Endpoint, Role, Transmit};
 pub use error::SessionError;
+pub use membership::{FailureDetector, LivenessVerdict, RttEstimator};
 pub use receiver::Receiver;
 pub use sender::Sender;
 pub use stats::Stats;

@@ -19,8 +19,14 @@ use rmwire::{GroupSpec, Rank, Time};
 
 /// The loopback network.
 pub struct Loopback {
+    cfg: ProtocolConfig,
+    group: GroupSpec,
+    seed: u64,
     sender: Sender,
     receivers: Vec<Receiver>,
+    /// Crashed receivers: they neither send nor receive until respawned
+    /// by [`Loopback::rejoin_receiver`].
+    dead: Vec<bool>,
     now: Time,
     loss: f64,
     /// Probability that a delivered datagram is held back one round and
@@ -54,9 +60,14 @@ impl Loopback {
             .receivers()
             .map(|r| Receiver::new(cfg, group, r, seed.wrapping_add(r.0 as u64)))
             .collect();
+        let dead = vec![false; n_receivers as usize];
         Loopback {
+            cfg,
+            group,
+            seed,
             sender,
             receivers,
+            dead,
             now: Time::ZERO,
             loss: 0.0,
             reorder: 0.0,
@@ -112,6 +123,29 @@ impl Loopback {
         self.now
     }
 
+    /// Crash receiver index `i`: it stops sending and receiving. With
+    /// membership enabled the sender's failure detector will evict it;
+    /// without, straggler eviction or give-up timers must clean up.
+    pub fn kill_receiver(&mut self, i: usize) {
+        self.dead[i] = true;
+    }
+
+    /// Respawn a crashed receiver with empty state: it rejoins the group
+    /// through the JOIN → WELCOME → SYNC handshake (membership must be
+    /// enabled in the config).
+    pub fn rejoin_receiver(&mut self, i: usize) {
+        assert!(self.dead[i], "rejoin of a live receiver");
+        let rank = Rank::from_receiver_index(i);
+        let seed = self.seed.wrapping_add(rank.0 as u64).wrapping_add(0x9e37);
+        self.receivers[i] = Receiver::new_joining(self.cfg, self.group, rank, seed, self.now);
+        self.dead[i] = false;
+    }
+
+    /// Is receiver index `i` currently crashed?
+    pub fn is_dead(&self, i: usize) -> bool {
+        self.dead[i]
+    }
+
     /// The sender's counters.
     pub fn sender_stats(&self) -> &Stats {
         self.sender.stats()
@@ -151,8 +185,8 @@ impl Loopback {
                     if self.sender.poll_timeout().is_some_and(|d| d <= now) {
                         self.sender.handle_timeout(now);
                     }
-                    for r in &mut self.receivers {
-                        if r.poll_timeout().is_some_and(|d| d <= now) {
+                    for (i, r) in self.receivers.iter_mut().enumerate() {
+                        if !self.dead[i] && r.poll_timeout().is_some_and(|d| d <= now) {
                             r.handle_timeout(now);
                         }
                     }
@@ -160,7 +194,12 @@ impl Loopback {
             }
         }
         assert!(
-            self.sender.is_idle() && self.receivers.iter().all(|r| r.is_idle()),
+            self.sender.is_idle()
+                && self
+                    .receivers
+                    .iter()
+                    .enumerate()
+                    .all(|(i, r)| self.dead[i] || r.is_idle()),
             "loopback reached quiescence with non-idle endpoints"
         );
         self.deliveries[start_deliveries..]
@@ -171,7 +210,12 @@ impl Loopback {
 
     fn endpoint_timeouts(&self) -> Vec<Option<Time>> {
         let mut v = vec![self.sender.poll_timeout()];
-        v.extend(self.receivers.iter().map(|r| r.poll_timeout()));
+        v.extend(
+            self.receivers
+                .iter()
+                .enumerate()
+                .map(|(i, r)| if self.dead[i] { None } else { r.poll_timeout() }),
+        );
         v
     }
 
@@ -185,7 +229,7 @@ impl Loopback {
             let now = self.now;
             if idx == usize::MAX {
                 self.sender.handle_datagram(now, &payload);
-            } else {
+            } else if !self.dead[idx] {
                 self.receivers[idx].handle_datagram(now, &payload);
             }
         }
@@ -196,7 +240,10 @@ impl Loopback {
         }
         for (i, r) in self.receivers.iter_mut().enumerate() {
             while let Some(t) = r.poll_transmit() {
-                flights.push((Origin::Receiver(i), t));
+                // A crashed receiver's queued datagrams never hit the wire.
+                if !self.dead[i] {
+                    flights.push((Origin::Receiver(i), t));
+                }
             }
         }
         if flights.is_empty() {
@@ -218,7 +265,7 @@ impl Loopback {
                 }
                 Dest::Rank(rank) => {
                     let idx = rank.receiver_index();
-                    if origin != Origin::Receiver(idx) && self.deliver_roll() {
+                    if origin != Origin::Receiver(idx) && !self.dead[idx] && self.deliver_roll() {
                         if self.reorder_roll() {
                             self.held.push((idx, t.payload.clone()));
                         } else {
@@ -231,8 +278,8 @@ impl Loopback {
                 }
                 Dest::Receivers => {
                     for i in 0..self.receivers.len() {
-                        if origin == Origin::Receiver(i) {
-                            continue; // no self-delivery of multicast
+                        if origin == Origin::Receiver(i) || self.dead[i] {
+                            continue; // no self-delivery; crashed hear nothing
                         }
                         if self.deliver_roll() {
                             if self.reorder_roll() {
@@ -278,6 +325,9 @@ impl Loopback {
         }
         for (i, r) in self.receivers.iter_mut().enumerate() {
             while let Some(e) = r.poll_event() {
+                if self.dead[i] {
+                    continue; // a crashed receiver's completions are lost
+                }
                 if let AppEvent::MessageDelivered { msg_id, data } = e {
                     self.deliveries.push((i, msg_id, data));
                 }
@@ -311,6 +361,33 @@ mod tests {
         assert_eq!(net.sender_stats().retx_sent, 0);
         assert_eq!(net.sender_stats().naks_received, 0);
         assert_eq!(net.sender_stats().timeouts, 0);
+    }
+
+    #[test]
+    fn crash_evict_rejoin_cycle() {
+        use crate::config::MembershipConfig;
+        let mut cfg = ProtocolConfig::new(ProtocolKind::Ack, 500, 4);
+        cfg.membership = MembershipConfig::enabled();
+        let mut net = Loopback::new(cfg, 3, 5);
+        // Message 0: everyone delivers.
+        net.send_message(Bytes::from(vec![1u8; 2000]));
+        assert_eq!(net.run().len(), 3);
+        // Receiver 1 crashes; message 1 completes after its eviction.
+        net.kill_receiver(1);
+        net.send_message(Bytes::from(vec![2u8; 2000]));
+        assert_eq!(net.run().len(), 2);
+        assert_eq!(net.sender_stats().evictions, 1);
+        assert!(net.sender_stats().suspects >= 1);
+        // It restarts and rejoins; flushing the empty network completes
+        // the JOIN → WELCOME → SYNC handshake (the sender is idle, so
+        // admission is immediate). Message 2 then reaches all three.
+        net.rejoin_receiver(1);
+        assert!(net.run().is_empty());
+        assert_eq!(net.sender_stats().joins, 1);
+        net.send_message(Bytes::from(vec![3u8; 2000]));
+        assert_eq!(net.run().len(), 3);
+        assert_eq!(net.sender_stats().joins, 1);
+        assert_eq!(net.sent, vec![0, 1, 2]);
     }
 
     #[test]

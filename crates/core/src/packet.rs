@@ -1,9 +1,9 @@
 //! Building and parsing complete protocol datagrams (header + body).
 
-use bytes::{Bytes, BytesMut};
+use bytes::{Buf, Bytes, BytesMut};
 use rmwire::{
-    AckBody, AllocBody, Header, NakBody, PacketFlags, PacketType, Rank, SeqNo, WireError,
-    HEADER_LEN,
+    AckBody, AllocBody, Header, HeartbeatBody, JoinBody, LeaveBody, NakBody, PacketFlags,
+    PacketType, Rank, SeqNo, SyncBody, WelcomeBody, WireError, HEADER_LEN,
 };
 
 /// A fully parsed incoming packet.
@@ -29,6 +29,9 @@ pub enum Packet {
         header: Header,
         /// Acknowledgment body.
         body: AckBody,
+        /// Membership epoch the acknowledging receiver believed in, present
+        /// only when the group runs with membership enabled.
+        epoch: Option<u32>,
     },
     /// Negative acknowledgment.
     Nak {
@@ -36,6 +39,44 @@ pub enum Packet {
         header: Header,
         /// NAK body.
         body: NakBody,
+        /// Membership epoch, as for [`Packet::Ack`].
+        epoch: Option<u32>,
+    },
+    /// Admission request from a (re)joining receiver.
+    Join {
+        /// Parsed header.
+        header: Header,
+        /// Join body.
+        body: JoinBody,
+    },
+    /// The sender's immediate acknowledgment of a `Join`.
+    Welcome {
+        /// Parsed header.
+        header: Header,
+        /// Welcome body.
+        body: WelcomeBody,
+    },
+    /// Voluntary departure announcement.
+    Leave {
+        /// Parsed header.
+        header: Header,
+        /// Leave body.
+        body: LeaveBody,
+    },
+    /// Liveness beacon (sender announce when `src_rank == 0`, receiver
+    /// reply otherwise).
+    Heartbeat {
+        /// Parsed header.
+        header: Header,
+        /// Heartbeat body.
+        body: HeartbeatBody,
+    },
+    /// Admission handoff to a joiner.
+    Sync {
+        /// Parsed header.
+        header: Header,
+        /// Sync body.
+        body: SyncBody,
     },
 }
 
@@ -58,11 +99,41 @@ impl Packet {
             }
             PacketType::Ack => {
                 let body = AckBody::decode(&mut buf)?;
-                Ok(Packet::Ack { header, body })
+                let epoch = decode_epoch_tail(&mut buf)?;
+                Ok(Packet::Ack {
+                    header,
+                    body,
+                    epoch,
+                })
             }
             PacketType::Nak => {
                 let body = NakBody::decode(&mut buf)?;
-                Ok(Packet::Nak { header, body })
+                let epoch = decode_epoch_tail(&mut buf)?;
+                Ok(Packet::Nak {
+                    header,
+                    body,
+                    epoch,
+                })
+            }
+            PacketType::Join => {
+                let body = JoinBody::decode(&mut buf)?;
+                Ok(Packet::Join { header, body })
+            }
+            PacketType::Welcome => {
+                let body = WelcomeBody::decode(&mut buf)?;
+                Ok(Packet::Welcome { header, body })
+            }
+            PacketType::Leave => {
+                let body = LeaveBody::decode(&mut buf)?;
+                Ok(Packet::Leave { header, body })
+            }
+            PacketType::Heartbeat => {
+                let body = HeartbeatBody::decode(&mut buf)?;
+                Ok(Packet::Heartbeat { header, body })
+            }
+            PacketType::Sync => {
+                let body = SyncBody::decode(&mut buf)?;
+                Ok(Packet::Sync { header, body })
             }
         }
     }
@@ -73,8 +144,24 @@ impl Packet {
             Packet::Data { header, .. }
             | Packet::Alloc { header, .. }
             | Packet::Ack { header, .. }
-            | Packet::Nak { header, .. } => header,
+            | Packet::Nak { header, .. }
+            | Packet::Join { header, .. }
+            | Packet::Welcome { header, .. }
+            | Packet::Leave { header, .. }
+            | Packet::Heartbeat { header, .. }
+            | Packet::Sync { header, .. } => header,
         }
+    }
+}
+
+/// Decode the optional 4-byte epoch trailer on ACK/NAK packets. A group
+/// running without membership emits no trailer, so the disabled wire format
+/// is byte-identical to the paper's.
+fn decode_epoch_tail<B: Buf>(buf: &mut B) -> Result<Option<u32>, WireError> {
+    match buf.remaining() {
+        0 => Ok(None),
+        n if n >= 4 => Ok(Some(buf.get_u32())),
+        have => Err(WireError::Truncated { need: 4, have }),
     }
 }
 
@@ -144,6 +231,118 @@ pub fn encode_nak(src_rank: Rank, transfer: u32, expected: SeqNo) -> Bytes {
     buf.freeze()
 }
 
+/// Encode a cumulative ACK stamped with the membership epoch (used only
+/// when membership is enabled; the trailer makes stale-epoch ACKs
+/// detectable).
+pub fn encode_ack_epoch(src_rank: Rank, transfer: u32, next_expected: SeqNo, epoch: u32) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + AckBody::LEN + 4);
+    Header {
+        ptype: PacketType::Ack,
+        flags: PacketFlags::EMPTY,
+        src_rank,
+        transfer,
+        seq: next_expected,
+    }
+    .encode(&mut buf);
+    AckBody { next_expected }.encode(&mut buf);
+    bytes::BufMut::put_u32(&mut buf, epoch);
+    buf.freeze()
+}
+
+/// Encode an epoch-stamped NAK (membership-enabled counterpart of
+/// [`encode_nak`]).
+pub fn encode_nak_epoch(src_rank: Rank, transfer: u32, expected: SeqNo, epoch: u32) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + NakBody::LEN + 4);
+    Header {
+        ptype: PacketType::Nak,
+        flags: PacketFlags::EMPTY,
+        src_rank,
+        transfer,
+        seq: expected,
+    }
+    .encode(&mut buf);
+    NakBody { expected }.encode(&mut buf);
+    bytes::BufMut::put_u32(&mut buf, epoch);
+    buf.freeze()
+}
+
+/// Encode an admission request. `last_epoch` is the epoch the joiner last
+/// belonged to (zero for a fresh join).
+pub fn encode_join(src_rank: Rank, last_epoch: u32) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + JoinBody::LEN);
+    Header {
+        ptype: PacketType::Join,
+        flags: PacketFlags::EMPTY,
+        src_rank,
+        transfer: 0,
+        seq: SeqNo::ZERO,
+    }
+    .encode(&mut buf);
+    JoinBody { last_epoch }.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Encode the sender's immediate response to a join request.
+pub fn encode_welcome(src_rank: Rank, epoch: u32) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + WelcomeBody::LEN);
+    Header {
+        ptype: PacketType::Welcome,
+        flags: PacketFlags::EMPTY,
+        src_rank,
+        transfer: 0,
+        seq: SeqNo::ZERO,
+    }
+    .encode(&mut buf);
+    WelcomeBody { epoch }.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Encode a voluntary departure announcement.
+pub fn encode_leave(src_rank: Rank, epoch: u32) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + LeaveBody::LEN);
+    Header {
+        ptype: PacketType::Leave,
+        flags: PacketFlags::EMPTY,
+        src_rank,
+        transfer: 0,
+        seq: SeqNo::ZERO,
+    }
+    .encode(&mut buf);
+    LeaveBody { epoch }.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Encode a liveness beacon. The sender's multicast announce carries
+/// `Rank::SENDER`; receiver replies carry their own rank.
+pub fn encode_heartbeat(src_rank: Rank, epoch: u32) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + HeartbeatBody::LEN);
+    Header {
+        ptype: PacketType::Heartbeat,
+        flags: PacketFlags::EMPTY,
+        src_rank,
+        transfer: 0,
+        seq: SeqNo::ZERO,
+    }
+    .encode(&mut buf);
+    HeartbeatBody { epoch }.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Encode the admission handoff for one joiner.
+pub fn encode_sync(src_rank: Rank, body: SyncBody) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + SyncBody::LEN);
+    Header {
+        ptype: PacketType::Sync,
+        flags: PacketFlags::EMPTY,
+        src_rank,
+        transfer: body.next_transfer,
+        seq: SeqNo::ZERO,
+    }
+    .encode(&mut buf);
+    body.encode(&mut buf);
+    buf.freeze()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,17 +392,98 @@ mod tests {
     fn ack_and_nak_round_trip() {
         let a = encode_ack(Rank(3), 7, SeqNo(100));
         match Packet::parse(&a).unwrap() {
-            Packet::Ack { header, body } => {
+            Packet::Ack {
+                header,
+                body,
+                epoch,
+            } => {
                 assert_eq!(header.src_rank, Rank(3));
                 assert_eq!(body.next_expected, SeqNo(100));
+                assert_eq!(epoch, None, "plain ACKs carry no epoch trailer");
             }
             other => panic!("wrong variant: {other:?}"),
         }
         let n = encode_nak(Rank(4), 7, SeqNo(55));
         match Packet::parse(&n).unwrap() {
-            Packet::Nak { header, body } => {
+            Packet::Nak {
+                header,
+                body,
+                epoch,
+            } => {
                 assert_eq!(header.src_rank, Rank(4));
                 assert_eq!(body.expected, SeqNo(55));
+                assert_eq!(epoch, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epoch_stamped_ack_and_nak_round_trip() {
+        let a = encode_ack_epoch(Rank(3), 7, SeqNo(100), 9);
+        assert_eq!(
+            a.len(),
+            encode_ack(Rank(3), 7, SeqNo(100)).len() + 4,
+            "epoch trailer adds exactly four bytes"
+        );
+        match Packet::parse(&a).unwrap() {
+            Packet::Ack { body, epoch, .. } => {
+                assert_eq!(body.next_expected, SeqNo(100));
+                assert_eq!(epoch, Some(9));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let n = encode_nak_epoch(Rank(4), 7, SeqNo(55), 2);
+        match Packet::parse(&n).unwrap() {
+            Packet::Nak { body, epoch, .. } => {
+                assert_eq!(body.expected, SeqNo(55));
+                assert_eq!(epoch, Some(2));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A ragged trailer (neither absent nor 4 bytes) is rejected.
+        let ragged = &a[..a.len() - 2];
+        assert!(Packet::parse(ragged).is_err());
+    }
+
+    #[test]
+    fn membership_packets_round_trip() {
+        match Packet::parse(&encode_join(Rank(5), 3)).unwrap() {
+            Packet::Join { header, body } => {
+                assert_eq!(header.src_rank, Rank(5));
+                assert_eq!(body.last_epoch, 3);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match Packet::parse(&encode_welcome(Rank(0), 4)).unwrap() {
+            Packet::Welcome { body, .. } => assert_eq!(body.epoch, 4),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match Packet::parse(&encode_leave(Rank(2), 4)).unwrap() {
+            Packet::Leave { header, body } => {
+                assert_eq!(header.src_rank, Rank(2));
+                assert_eq!(body.epoch, 4);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match Packet::parse(&encode_heartbeat(Rank(0), 7)).unwrap() {
+            Packet::Heartbeat { header, body } => {
+                assert_eq!(header.src_rank, Rank::SENDER);
+                assert_eq!(body.epoch, 7);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let sync = SyncBody {
+            epoch: 8,
+            next_msg: 12,
+            next_transfer: 24,
+            flags: SyncBody::DETACHED_ROOT,
+        };
+        match Packet::parse(&encode_sync(Rank(0), sync)).unwrap() {
+            Packet::Sync { header, body } => {
+                assert_eq!(header.transfer, 24);
+                assert_eq!(body.next_msg, 12);
+                assert!(body.detached_root());
             }
             other => panic!("wrong variant: {other:?}"),
         }

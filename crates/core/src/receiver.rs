@@ -115,11 +115,28 @@ pub struct Receiver {
     /// (sticky: a dead subtree never gates a later transfer either).
     dead_children: Vec<bool>,
     /// Child-evict timer: armed while a live child's acknowledgment trails
-    /// this node's own progress; child progress pushes it out.
+    /// this node's own progress; per-child signs of life push it out.
     child_deadline: Option<Time>,
+    /// Last sign of life per child slot: acknowledgment progress, or (with
+    /// membership enabled) a heartbeat. A child is only evicted when it is
+    /// both *behind* and *silent* past the timeout — an alive child gated
+    /// by its own dead subtree must not be cascade-evicted.
+    child_alive: Vec<Time>,
     /// Last instant any packet arrived (base of the receiver give-up
     /// timer).
     last_heard: Time,
+    /// Dynamic membership: true from construction via
+    /// [`Receiver::new_joining`] until the sender's SYNC handoff admits
+    /// this receiver at a message boundary.
+    joining: bool,
+    /// Current membership epoch (0 with membership disabled).
+    epoch: u32,
+    /// Transfers below this id belong to messages that completed before
+    /// this receiver was admitted; their multicast packets are discarded.
+    /// `u32::MAX` while joining (everything is pre-admission until SYNC).
+    min_transfer: u32,
+    /// JOIN retry timer, armed while `joining`.
+    join_deadline: Option<Time>,
     rng: SmallRng,
 }
 
@@ -147,6 +164,7 @@ impl Receiver {
             })
             .unwrap_or_default();
         let n_children = links.as_ref().map_or(0, |l| l.children.len());
+        let epoch = if cfg.membership.enabled { 1 } else { 0 };
         Receiver {
             cfg,
             group,
@@ -164,9 +182,62 @@ impl Receiver {
             stall_deadline: None,
             dead_children: vec![false; n_children],
             child_deadline: None,
+            child_alive: vec![Time::ZERO; n_children],
             last_heard: Time::ZERO,
+            joining: false,
+            epoch,
+            min_transfer: 0,
+            join_deadline: None,
             rng: SmallRng::seed_from_u64(seed ^ (rank.0 as u64) << 32),
         }
+    }
+
+    /// Build a receiver that is *not* yet a group member: it unicasts a
+    /// JOIN to the sender (retried every `membership.join_retry`) and
+    /// discards all data until the sender's SYNC handoff admits it at a
+    /// message boundary. Requires [`crate::MembershipConfig::enabled`].
+    pub fn new_joining(
+        cfg: ProtocolConfig,
+        group: GroupSpec,
+        rank: Rank,
+        seed: u64,
+        now: Time,
+    ) -> Self {
+        assert!(
+            cfg.membership.enabled,
+            "joining requires dynamic membership"
+        );
+        let mut r = Receiver::new(cfg, group, rank, seed);
+        r.joining = true;
+        r.epoch = 0;
+        r.min_transfer = u32::MAX;
+        r.last_heard = now;
+        r.send_join(now);
+        r
+    }
+
+    fn send_join(&mut self, now: Time) {
+        self.out.push_back(Transmit {
+            dest: Dest::Sender,
+            payload: packet::encode_join(self.rank, self.epoch),
+            copied: 0,
+        });
+        self.join_deadline = Some(now + self.cfg.membership.join_retry);
+    }
+
+    /// Announce a voluntary departure: the sender drops this receiver
+    /// from the proof obligation immediately.
+    pub fn leave(&mut self) {
+        self.out.push_back(Transmit {
+            dest: Dest::Sender,
+            payload: packet::encode_leave(self.rank, self.epoch),
+            copied: 0,
+        });
+    }
+
+    /// The membership epoch this receiver stamps on its ACKs/NAKs.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// The oldest transfer this receiver is still waiting on, with the
@@ -258,6 +329,13 @@ impl Receiver {
         self.stats.data_received += 1;
         // Any sender traffic proves the sender is alive (give-up timer).
         self.last_heard = now;
+        // Pre-admission traffic (while joining: everything): the message it
+        // belongs to completes without us, so tracking it would only grow
+        // state the sender never resolves for this receiver.
+        if header.transfer < self.min_transfer {
+            self.stats.data_discarded += 1;
+            return;
+        }
         let transfer = header.transfer;
         let is_alloc = matches!(body, DataBody::Alloc(_));
         let seq = header.seq.0;
@@ -461,9 +539,14 @@ impl Receiver {
 
     fn send_ack(&mut self, dest: Dest, transfer: u32, next_expected: u32) {
         self.stats.acks_sent += 1;
+        let payload = if self.cfg.membership.enabled {
+            packet::encode_ack_epoch(self.rank, transfer, SeqNo(next_expected), self.epoch)
+        } else {
+            packet::encode_ack(self.rank, transfer, SeqNo(next_expected))
+        };
         self.out.push_back(Transmit {
             dest,
-            payload: packet::encode_ack(self.rank, transfer, SeqNo(next_expected)),
+            payload,
             copied: 0,
         });
     }
@@ -507,9 +590,14 @@ impl Receiver {
 
     fn emit_nak(&mut self, dest: Dest, transfer: u32, expected: u32) {
         self.stats.naks_sent += 1;
+        let payload = if self.cfg.membership.enabled {
+            packet::encode_nak_epoch(self.rank, transfer, SeqNo(expected), self.epoch)
+        } else {
+            packet::encode_nak(self.rank, transfer, SeqNo(expected))
+        };
         self.out.push_back(Transmit {
             dest,
-            payload: packet::encode_nak(self.rank, transfer, SeqNo(expected)),
+            payload,
             copied: 0,
         });
     }
@@ -528,8 +616,8 @@ impl Receiver {
         st.child_cov[slot] = st.child_cov[slot].max(next_expected);
         self.send_aggregate(transfer, false);
         if advanced {
-            // Child progress: push the child-evict timer out.
-            self.child_deadline = None;
+            // Child progress: push that child's eviction out.
+            self.child_alive[slot] = self.child_alive[slot].max(now);
         }
         self.rearm_child_timer(now);
     }
@@ -538,46 +626,45 @@ impl Receiver {
     // Liveness: child eviction and sender give-up
     // ------------------------------------------------------------------
 
-    /// Is any live child's acknowledgment trailing this node's own
-    /// progress on some tracked transfer?
-    fn child_behind(&self) -> bool {
-        self.transfers.values().any(|st| {
-            st.child_cov
-                .iter()
-                .zip(&self.dead_children)
-                .any(|(&c, &dead)| !dead && c < st.own_next)
-        })
+    /// Is slot's acknowledgment trailing this node's own progress on some
+    /// tracked transfer? Returns the oldest such transfer.
+    fn slot_behind(&self, slot: usize) -> Option<u32> {
+        self.transfers
+            .iter()
+            .find(|(_, st)| st.child_cov[slot] < st.own_next)
+            .map(|(&t, _)| t)
     }
 
-    /// Arm the child-evict timer when a live child is behind; disarm it
-    /// when no child gates anything.
-    fn rearm_child_timer(&mut self, now: Time) {
+    /// Arm the child-evict timer at the earliest per-child deadline (last
+    /// sign of life + timeout, over live children that are behind); disarm
+    /// it when no child gates anything.
+    fn rearm_child_timer(&mut self, _now: Time) {
         let Some(d) = self.cfg.liveness.child_evict_timeout else {
             return;
         };
-        if !self.child_behind() {
-            self.child_deadline = None;
-        } else if self.child_deadline.is_none() {
-            self.child_deadline = Some(now + d);
-        }
+        self.child_deadline = (0..self.dead_children.len())
+            .filter(|&s| !self.dead_children[s] && self.slot_behind(s).is_some())
+            .map(|s| self.child_alive[s] + d)
+            .min();
     }
 
-    /// The child-evict timer fired: every live child still trailing is
-    /// presumed dead. Drop it from the aggregate so the ack chain routes
-    /// around the dead subtree, and re-report everything that unblocked.
+    /// The child-evict timer fired: every live child that is behind *and*
+    /// silent past the timeout is presumed dead. Drop it from the
+    /// aggregate so the ack chain routes around the dead subtree, and
+    /// re-report everything that unblocked.
     fn evict_stalled_children(&mut self, now: Time) {
         self.child_deadline = None;
+        let d = self
+            .cfg
+            .liveness
+            .child_evict_timeout
+            .expect("timer only armed when configured");
         let mut evicted = Vec::new();
         for (slot, dead) in self.dead_children.clone().iter().enumerate() {
-            if *dead {
+            if *dead || self.child_alive[slot] + d > now {
                 continue;
             }
-            let behind = self
-                .transfers
-                .iter()
-                .find(|(_, st)| st.child_cov[slot] < st.own_next)
-                .map(|(&t, _)| t);
-            if let Some(transfer) = behind {
+            if let Some(transfer) = self.slot_behind(slot) {
                 self.dead_children[slot] = true;
                 evicted.push((slot, transfer));
             }
@@ -651,6 +738,120 @@ impl Receiver {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Dynamic membership
+    // ------------------------------------------------------------------
+
+    /// A heartbeat arrived. The sender's multicast announce carries the
+    /// authoritative epoch and is answered with a unicast reply (plus a
+    /// copy to the tree parent, so ancestors can tell a *gated* child —
+    /// alive but blocked on its own dead subtree — from a silent one). A
+    /// heartbeat from one of our children re-bases its eviction timer.
+    fn on_heartbeat(&mut self, now: Time, src: Rank, epoch: u32) {
+        self.stats.heartbeats_received += 1;
+        if let Some(&slot) = self.child_slot.get(&src) {
+            if !self.dead_children[slot] {
+                // The child is alive even if its aggregate is stuck:
+                // without this, a dead leaf cascade-evicts every live
+                // ancestor in its chain.
+                self.child_alive[slot] = self.child_alive[slot].max(now);
+                self.rearm_child_timer(now);
+            }
+            return;
+        }
+        if !src.is_sender() {
+            return;
+        }
+        self.last_heard = now;
+        self.epoch = self.epoch.max(epoch);
+        if self.joining {
+            // Not a member yet: the JOIN retry timer covers liveness.
+            return;
+        }
+        self.stats.heartbeats_sent += 1;
+        self.out.push_back(Transmit {
+            dest: Dest::Sender,
+            payload: packet::encode_heartbeat(self.rank, self.epoch),
+            copied: 0,
+        });
+        if let Some(p) = self.links.as_ref().and_then(|l| l.parent) {
+            self.stats.heartbeats_sent += 1;
+            self.out.push_back(Transmit {
+                dest: Dest::Rank(p),
+                payload: packet::encode_heartbeat(self.rank, self.epoch),
+                copied: 0,
+            });
+        }
+    }
+
+    /// The sender acknowledged our JOIN. Admission itself still waits on
+    /// the SYNC handoff at the next message boundary.
+    fn on_welcome(&mut self, now: Time, epoch: u32) {
+        self.last_heard = now;
+        self.epoch = self.epoch.max(epoch);
+    }
+
+    /// The SYNC handoff: we are a member from `body.epoch` on, obligated
+    /// for transfers from `body.next_transfer`. Anything older completes
+    /// (or fails) without us.
+    fn on_sync(&mut self, now: Time, body: rmwire::SyncBody) {
+        self.last_heard = now;
+        self.epoch = self.epoch.max(body.epoch);
+        if body.detached_root() {
+            // Re-parented as a detached tree root: the old parent chain no
+            // longer waits on us; aggregates go straight to the sender.
+            if let Some(l) = self.links.as_mut() {
+                l.parent = None;
+            }
+        }
+        let cutoff = if self.joining {
+            body.next_transfer
+        } else {
+            // Implicit rejoin after an eviction we never observed: the
+            // handoff point only ever moves forward.
+            self.min_transfer.max(body.next_transfer)
+        };
+        self.min_transfer = cutoff;
+        // SYNC is authoritative about where the transfer progression
+        // stands: advance the pruning horizon so fresh state is tracked.
+        self.max_seen = self.max_seen.max(cutoff);
+        // Abandon incomplete pre-admission transfers: the sender fulfils
+        // them toward the members of their epoch, not toward us.
+        let mut failed: BTreeMap<u64, u32> = BTreeMap::new();
+        for (&t, st) in &self.transfers {
+            if t < cutoff && !st.complete() {
+                failed.entry((t / 2) as u64).or_insert(t);
+            }
+        }
+        for &t in self.alloc_pending.keys() {
+            if t < cutoff && !self.transfers.contains_key(&t) {
+                failed.entry((t / 2) as u64).or_insert(t);
+            }
+        }
+        self.transfers.retain(|&t, st| t >= cutoff || st.complete());
+        self.alloc_pending.retain(|&t, _| t >= cutoff);
+        if self
+            .pending_nak
+            .as_ref()
+            .is_some_and(|p| p.transfer < cutoff)
+        {
+            self.pending_nak = None;
+        }
+        for (msg_id, transfer) in failed {
+            self.stats.messages_failed += 1;
+            self.events.push_back(AppEvent::MessageFailed {
+                msg_id,
+                error: SessionError::SenderStalled { transfer },
+            });
+        }
+        if self.joining {
+            self.joining = false;
+            self.join_deadline = None;
+            self.stats.joins += 1;
+        }
+        self.rearm_stall_timer(now);
+    }
 }
 
 /// Body of a received data-bearing packet.
@@ -671,10 +872,17 @@ impl Endpoint for Receiver {
         match pkt {
             Packet::Data { header, body } => self.on_data(now, header, DataBody::Chunk(&body)),
             Packet::Alloc { header, body } => self.on_data(now, header, DataBody::Alloc(body)),
-            Packet::Ack { header, body } => {
+            Packet::Ack { header, body, .. } => {
                 self.on_peer_ack(now, header.src_rank, header.transfer, body.next_expected.0)
             }
-            Packet::Nak { header, body } => self.on_peer_nak(header.transfer, body.expected.0),
+            Packet::Nak { header, body, .. } => self.on_peer_nak(header.transfer, body.expected.0),
+            Packet::Heartbeat { header, body } => {
+                self.on_heartbeat(now, header.src_rank, body.epoch)
+            }
+            Packet::Welcome { body, .. } => self.on_welcome(now, body.epoch),
+            Packet::Sync { body, .. } => self.on_sync(now, body),
+            // Sender-bound admission control that strayed to a receiver.
+            Packet::Join { .. } | Packet::Leave { .. } => self.stats.data_discarded += 1,
         }
     }
 
@@ -699,6 +907,13 @@ impl Endpoint for Receiver {
         if self.child_deadline.is_some_and(|d| d <= now) {
             self.evict_stalled_children(now);
         }
+        if self.join_deadline.is_some_and(|d| d <= now) {
+            if self.joining {
+                self.send_join(now); // re-arms the retry timer
+            } else {
+                self.join_deadline = None;
+            }
+        }
         if self.giveup_deadline().is_some_and(|d| d <= now) {
             self.give_up_on_sender();
         }
@@ -709,6 +924,7 @@ impl Endpoint for Receiver {
             self.pending_nak.as_ref().map(|p| p.deadline),
             self.stall_deadline,
             self.child_deadline,
+            self.join_deadline,
             self.giveup_deadline(),
         ]
         .into_iter()
@@ -733,6 +949,7 @@ impl Endpoint for Receiver {
             && self.pending_nak.is_none()
             && self.stall_deadline.is_none()
             && self.child_deadline.is_none()
+            && self.join_deadline.is_none()
             && self.giveup_deadline().is_none()
     }
 }
@@ -764,7 +981,7 @@ mod tests {
     fn parse_acks(ts: &[Transmit]) -> Vec<(Dest, u32, u32)> {
         ts.iter()
             .filter_map(|t| match Packet::parse(&t.payload).unwrap() {
-                Packet::Ack { header, body } => {
+                Packet::Ack { header, body, .. } => {
                     Some((t.dest, header.transfer, body.next_expected.0))
                 }
                 _ => None,
@@ -1099,5 +1316,176 @@ mod tests {
     #[should_panic(expected = "rank 0 is the sender")]
     fn sender_rank_rejected() {
         let _ = recv(cfg(ProtocolKind::Ack), 2, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic membership
+    // ------------------------------------------------------------------
+
+    use crate::config::MembershipConfig;
+    use rmwire::SyncBody;
+
+    fn mcfg(kind: ProtocolKind) -> ProtocolConfig {
+        let mut c = cfg(kind);
+        c.membership = MembershipConfig::enabled();
+        if matches!(kind, ProtocolKind::Tree { .. }) {
+            c.liveness.child_evict_timeout = Some(rmwire::Duration::from_millis(50));
+        }
+        c
+    }
+
+    fn sync_body(epoch: u32, next_msg: u64, flags: u32) -> SyncBody {
+        SyncBody {
+            epoch,
+            next_msg,
+            next_transfer: (next_msg as u32) * 2,
+            flags,
+        }
+    }
+
+    #[test]
+    fn joining_receiver_discards_data_until_sync() {
+        let mut r = Receiver::new_joining(
+            mcfg(ProtocolKind::Ack),
+            GroupSpec::new(2),
+            Rank(2),
+            7,
+            Time::ZERO,
+        );
+        // The constructor queued the JOIN.
+        let out = drain(&mut r);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            Packet::parse(&out[0].payload).unwrap(),
+            Packet::Join { header, body } if header.src_rank == Rank(2) && body.last_epoch == 0
+        ));
+        // Data from the in-flight message is not ours: discarded, no ACK.
+        r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::LAST, b"aa"));
+        assert!(drain(&mut r).is_empty());
+        assert_eq!(r.stats().data_discarded, 1);
+        // WELCOME brings the epoch; SYNC at the boundary of message 1
+        // admits us for transfers >= 2.
+        r.handle_datagram(Time::ZERO, &packet::encode_welcome(Rank::SENDER, 2));
+        assert_eq!(r.epoch(), 2);
+        r.handle_datagram(Time::ZERO, &packet::encode_sync(Rank::SENDER, sync_body(2, 1, 0)));
+        assert_eq!(r.stats().joins, 1);
+        assert!(r.is_idle(), "JOIN retry timer disarmed");
+        // Message 1 (transfer 3) is delivered and ACKed with our epoch.
+        r.handle_datagram(Time::ZERO, &data(3, 0, PacketFlags::LAST, b"bb"));
+        let out = drain(&mut r);
+        match Packet::parse(&out[0].payload).unwrap() {
+            Packet::Ack { epoch, body, .. } => {
+                assert_eq!(epoch, Some(2));
+                assert_eq!(body.next_expected.0, 1);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(matches!(
+            r.poll_event(),
+            Some(AppEvent::MessageDelivered { msg_id: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn join_retries_until_sync() {
+        let mut r = Receiver::new_joining(
+            mcfg(ProtocolKind::Ack),
+            GroupSpec::new(2),
+            Rank(2),
+            7,
+            Time::ZERO,
+        );
+        let _ = drain(&mut r);
+        let d = r.poll_timeout().expect("JOIN retry armed");
+        assert_eq!(d, Time::ZERO + MembershipConfig::enabled().join_retry);
+        r.handle_timeout(d);
+        let out = drain(&mut r);
+        assert_eq!(out.len(), 1, "JOIN retransmitted");
+        assert!(matches!(
+            Packet::parse(&out[0].payload).unwrap(),
+            Packet::Join { .. }
+        ));
+        r.handle_datagram(d, &packet::encode_sync(Rank::SENDER, sync_body(2, 0, 0)));
+        assert!(r.poll_timeout().is_none(), "retry disarmed after SYNC");
+    }
+
+    #[test]
+    fn heartbeat_reply_carries_epoch() {
+        let mut r = recv(mcfg(ProtocolKind::Ack), 2, 1);
+        r.handle_datagram(Time::ZERO, &packet::encode_heartbeat(Rank::SENDER, 3));
+        assert_eq!(r.epoch(), 3, "announce fast-forwards the epoch");
+        let out = drain(&mut r);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dest, Dest::Sender);
+        match Packet::parse(&out[0].payload).unwrap() {
+            Packet::Heartbeat { header, body } => {
+                assert_eq!(header.src_rank, Rank(1));
+                assert_eq!(body.epoch, 3);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(r.stats().heartbeats_received, 1);
+        assert_eq!(r.stats().heartbeats_sent, 1);
+    }
+
+    #[test]
+    fn sync_detached_root_reparents_tree_node() {
+        let kind = ProtocolKind::Tree {
+            shape: TreeShape::Flat { height: 2 },
+        };
+        // 4 receivers, chains {1,2} and {3,4}: rank 2 normally acks to 1.
+        let mut r = recv(mcfg(kind), 4, 2);
+        r.handle_datagram(
+            Time::ZERO,
+            &packet::encode_sync(
+                Rank::SENDER,
+                SyncBody {
+                    epoch: 2,
+                    next_msg: 0,
+                    next_transfer: 0,
+                    flags: SyncBody::DETACHED_ROOT,
+                },
+            ),
+        );
+        r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::LAST, b"aa"));
+        let acks = parse_acks(&drain(&mut r));
+        assert_eq!(acks, vec![(Dest::Sender, 1, 1)], "parent link severed");
+    }
+
+    #[test]
+    fn sync_abandons_preadmission_transfers() {
+        let mut c = mcfg(ProtocolKind::Ack);
+        c.receiver_nak_timer = Some(rmwire::Duration::from_millis(10));
+        let mut r = recv(c, 1, 1);
+        // An incomplete transfer, then an implicit-rejoin SYNC handing off
+        // at message 2: the stale transfer fails instead of stalling.
+        r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa"));
+        let _ = drain(&mut r);
+        assert!(r.poll_timeout().is_some(), "stall timer armed");
+        r.handle_datagram(Time::ZERO, &packet::encode_sync(Rank::SENDER, sync_body(3, 2, 0)));
+        assert_eq!(
+            r.poll_event(),
+            Some(AppEvent::MessageFailed {
+                msg_id: 0,
+                error: SessionError::SenderStalled { transfer: 1 },
+            })
+        );
+        assert_eq!(r.epoch(), 3);
+        assert!(r.is_idle(), "nothing left to wait on");
+        // Retransmissions of the abandoned transfer are discarded.
+        r.handle_datagram(Time::ZERO, &data(1, 1, PacketFlags::LAST | PacketFlags::RETX, b"bb"));
+        assert!(drain(&mut r).is_empty());
+    }
+
+    #[test]
+    fn leave_announces_departure() {
+        let mut r = recv(mcfg(ProtocolKind::Ack), 2, 1);
+        r.leave();
+        let out = drain(&mut r);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            Packet::parse(&out[0].payload).unwrap(),
+            Packet::Leave { header, body } if header.src_rank == Rank(1) && body.epoch == 1
+        ));
     }
 }

@@ -12,12 +12,13 @@ use crate::config::{ProtocolConfig, ProtocolKind, WindowDiscipline};
 use crate::coverage::{PerSourceCoverage, RingTracker};
 use crate::endpoint::{AppEvent, Dest, Endpoint, Transmit};
 use crate::error::SessionError;
+use crate::membership::{FailureDetector, LivenessVerdict, RttEstimator};
 use crate::packet::{self, Packet};
 use crate::stats::Stats;
 use crate::tree::TreeTopology;
 use crate::window::SendWindow;
 use bytes::Bytes;
-use rmwire::{AllocBody, Duration, GroupSpec, PacketFlags, Rank, SeqNo, Time};
+use rmwire::{AllocBody, Duration, GroupSpec, PacketFlags, Rank, SeqNo, SyncBody, Time};
 use std::collections::VecDeque;
 
 /// Release-rule state, per transfer.
@@ -159,6 +160,23 @@ pub struct Sender {
     /// Receivers evicted by the liveness bound, by receiver index. Sticky
     /// across transfers: a dead receiver never gates a later message.
     evicted: Vec<bool>,
+    /// Membership epoch. `0` while membership is disabled; starts at `1`
+    /// and bumps on every membership change (eviction, leave, admission)
+    /// otherwise.
+    epoch: u32,
+    /// Heartbeat-driven failure detector (present only with membership).
+    detector: Option<FailureDetector>,
+    /// Next heartbeat announce / detector tick. Armed only while the
+    /// sender is busy, so an idle group stays silent.
+    hb_deadline: Option<Time>,
+    /// Ranks awaiting admission at the next message boundary.
+    pending_joins: Vec<Rank>,
+    /// Tree mode, by receiver index: rejoined receivers acting as detached
+    /// roots (they report straight to the sender instead of re-entering
+    /// their original ack chain).
+    detached: Vec<bool>,
+    /// Jacobson/Karels RTT estimator, fed only when `cfg.adaptive_rto`.
+    rtt: RttEstimator,
 }
 
 impl Sender {
@@ -166,13 +184,16 @@ impl Sender {
     /// (validated here).
     pub fn new(cfg: ProtocolConfig, group: GroupSpec) -> Self {
         cfg.validate(group.n_receivers as usize);
-        assert!(
-            cfg.retx_suppress.as_nanos() < cfg.rto.as_nanos(),
-            "retransmission suppression must be shorter than the RTO"
-        );
         let tree = match cfg.kind {
             ProtocolKind::Tree { shape } => Some(TreeTopology::new(group, shape)),
             _ => None,
+        };
+        let n = group.n_receivers as usize;
+        let (epoch, detector) = if cfg.membership.enabled {
+            let m = cfg.membership;
+            (1, Some(FailureDetector::new(n, m.suspect_misses, m.evict_misses)))
+        } else {
+            (0, None)
         };
         Sender {
             cfg,
@@ -187,8 +208,19 @@ impl Sender {
             transfer: None,
             staged: None,
             pace_gate: Time::ZERO,
-            evicted: vec![false; group.n_receivers as usize],
+            evicted: vec![false; n],
+            epoch,
+            detector,
+            hb_deadline: None,
+            pending_joins: Vec::new(),
+            detached: vec![false; n],
+            rtt: RttEstimator::default(),
         }
+    }
+
+    /// The current membership epoch (`0` when membership is disabled).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// The configuration this sender runs.
@@ -263,13 +295,35 @@ impl Sender {
             win,
             release,
             streak: 0,
-            cur_rto: self.cfg.rto,
+            cur_rto: self.base_rto(),
         }
     }
 
     fn begin_transfer(&mut self, now: Time, id: u32, payload: Payload, k: u32) {
         self.transfer = Some(self.make_transfer(id, payload, k));
+        if self.cfg.membership.enabled && self.hb_deadline.is_none() {
+            // Going busy: start the heartbeat schedule with an immediate
+            // announce so receivers can prove liveness before the first
+            // detector tick.
+            self.announce();
+            self.hb_deadline = Some(now + self.cfg.membership.heartbeat_interval);
+        }
         self.pump(now);
+    }
+
+    /// The base retransmission timeout: the adaptive Jacobson/Karels
+    /// estimate clamped to `[2·retx_suppress, liveness.rto_max]` once a
+    /// sample exists, otherwise the configured fixed `rto`.
+    fn base_rto(&self) -> Duration {
+        if self.cfg.adaptive_rto {
+            if let Some(est) = self.rtt.rto() {
+                let floor = self.cfg.retx_suppress.saturating_mul(2);
+                let ceil = self.cfg.liveness.rto_max;
+                let ns = est.as_nanos().clamp(floor.as_nanos(), ceil.as_nanos());
+                return Duration::from_nanos(ns);
+            }
+        }
+        self.cfg.rto
     }
 
     /// Handshake pipelining: launch the next queued message's allocation
@@ -340,13 +394,24 @@ impl Sender {
             ProtocolKind::Tree { .. } => {
                 let tree = self.tree.as_ref().expect("tree topology built in new()");
                 let mut src_of_rank = vec![None; n];
-                for (idx, &root) in tree.roots().iter().enumerate() {
-                    src_of_rank[root.receiver_index()] = Some(idx);
+                let mut rank_of_src = Vec::with_capacity(tree.roots().len());
+                for &root in tree.roots() {
+                    src_of_rank[root.receiver_index()] = Some(rank_of_src.len());
+                    rank_of_src.push(root);
+                }
+                // Rejoined receivers act as detached roots: the sender
+                // hears their acknowledgments directly, since their old
+                // chain may have routed around them while they were gone.
+                for idx in (0..n).filter(|&i| self.detached[i]) {
+                    if src_of_rank[idx].is_none() {
+                        src_of_rank[idx] = Some(rank_of_src.len());
+                        rank_of_src.push(Rank::from_receiver_index(idx));
+                    }
                 }
                 Release::PerSource {
-                    cov: PerSourceCoverage::new(tree.roots().len()),
+                    cov: PerSourceCoverage::new(rank_of_src.len()),
                     src_of_rank,
-                    rank_of_src: tree.roots().to_vec(),
+                    rank_of_src,
                 }
             }
         };
@@ -482,15 +547,80 @@ impl Sender {
         });
     }
 
-    fn on_ack(&mut self, now: Time, rank: Rank, transfer_id: u32, next_expected: u32) {
+    /// Membership gate for incoming ACK/NAK/heartbeat traffic. Returns
+    /// `false` when the packet must not touch window state: it carried a
+    /// stale epoch, or it came from an evicted member. Either way the
+    /// member's reappearance is treated as an implicit rejoin request —
+    /// the partition-heal path, where a member dropped by the failure
+    /// detector never learned it was evicted and just keeps talking.
+    fn accept_member_traffic(&mut self, rank: Rank, epoch: Option<u32>) -> bool {
+        if !self.cfg.membership.enabled {
+            return true;
+        }
+        let idx = rank.receiver_index();
+        if let Some(e) = epoch {
+            if e != self.epoch {
+                self.stats.stale_epoch_discarded += 1;
+                if self.evicted[idx] {
+                    self.request_rejoin(rank);
+                }
+                return false;
+            }
+        }
+        if self.evicted[idx] {
+            // Current-epoch traffic from a non-member (it adopted the epoch
+            // from a heartbeat announce): still requires readmission.
+            self.request_rejoin(rank);
+            return false;
+        }
+        if let Some(d) = self.detector.as_mut() {
+            d.note_alive(idx);
+        }
+        true
+    }
+
+    /// Queue an evicted member for readmission; admit on the spot if the
+    /// sender sits at a message boundary.
+    fn request_rejoin(&mut self, rank: Rank) {
+        if !self.pending_joins.contains(&rank) {
+            self.pending_joins.push(rank);
+        }
+        self.try_admit();
+    }
+
+    fn on_ack(
+        &mut self,
+        now: Time,
+        rank: Rank,
+        transfer_id: u32,
+        next_expected: u32,
+        epoch: Option<u32>,
+    ) {
         self.stats.acks_received += 1;
         if rank.is_sender() || !self.group.contains(rank) {
+            return;
+        }
+        if !self.accept_member_traffic(rank, epoch) {
             return;
         }
         let Some(which) = self.which_by_id(transfer_id) else {
             return;
         };
-        let base_rto = self.cfg.rto;
+        if self.cfg.adaptive_rto && next_expected > 0 {
+            // Sample the round trip of the newest packet this ACK covers,
+            // honouring Karn's rule: a retransmitted packet's ACK is
+            // ambiguous about which transmission it answers.
+            if let Some(slot) = self
+                .tmut(which)
+                .and_then(|t| t.win.slot_mut(next_expected - 1))
+            {
+                if slot.retx == 0 {
+                    let sample = now.saturating_since(slot.last_tx);
+                    self.rtt.sample(sample);
+                }
+            }
+        }
+        let base_rto = self.base_rto();
         let t = self.tmut(which).expect("transfer exists");
         if let Some(released) = t.release.update(rank, next_expected.min(t.win.k())) {
             let before = t.win.base();
@@ -515,9 +645,12 @@ impl Sender {
         }
     }
 
-    fn on_nak(&mut self, now: Time, rank: Rank, transfer_id: u32, expected: u32) {
+    fn on_nak(&mut self, now: Time, rank: Rank, transfer_id: u32, expected: u32, epoch: Option<u32>) {
         self.stats.naks_received += 1;
         if rank.is_sender() || !self.group.contains(rank) {
+            return;
+        }
+        if !self.accept_member_traffic(rank, epoch) {
             return;
         }
         let Some(which) = self.which_by_id(transfer_id) else {
@@ -619,6 +752,10 @@ impl Sender {
     /// pipelined next message, or start one from the queue.
     fn advance_after_current(&mut self, now: Time) {
         debug_assert!(self.cur.is_none() && self.transfer.is_none());
+        // Message boundary: admit pending joiners before the next message's
+        // proof obligation is built (no-op while a staged allocation is
+        // still in flight — its release was built on the old membership).
+        self.try_admit();
         if let Some(st) = self.staged.take() {
             // Promote the pipelined next message.
             match st.alloc {
@@ -683,7 +820,12 @@ impl Sender {
             Which::Staged => self.staged.as_ref().expect("staged exists").msg_id,
         };
         for rank in laggards {
-            self.evicted[rank.receiver_index()] = true;
+            let idx = rank.receiver_index();
+            self.evicted[idx] = true;
+            self.detached[idx] = false;
+            if let Some(d) = self.detector.as_mut() {
+                d.reset(idx);
+            }
             self.stats.evictions += 1;
             self.events
                 .push_back(AppEvent::ReceiverEvicted { msg_id, rank });
@@ -695,14 +837,231 @@ impl Sender {
                 }
             }
         }
+        if self.cfg.membership.enabled {
+            self.epoch += 1;
+            self.announce();
+        }
         self.settle(now);
+    }
+
+    /// Multicast a heartbeat announce carrying the current epoch.
+    fn announce(&mut self) {
+        self.stats.heartbeats_sent += 1;
+        self.out.push_back(Transmit {
+            dest: Dest::Receivers,
+            payload: packet::encode_heartbeat(Rank::SENDER, self.epoch),
+            copied: 0,
+        });
+    }
+
+    /// Remove `rank` from in-flight proof obligations, unless it is the
+    /// sole remaining acknowledgment source (an empty obligation cannot
+    /// release anything; the bounded-retry path resolves that stall).
+    fn drop_from_releases(&mut self, rank: Rank) {
+        for w in [Which::Cur, Which::Staged] {
+            if let Some(t) = self.tmut(w) {
+                if t.release.n_active() > 1 {
+                    t.release.evict_rank(rank);
+                }
+            }
+        }
+    }
+
+    /// Sticky-evict `rank` (detector verdict or voluntary leave). The
+    /// caller bumps the epoch once per batch and settles afterwards.
+    fn remove_member(&mut self, rank: Rank) {
+        let idx = rank.receiver_index();
+        debug_assert!(!self.evicted[idx]);
+        self.evicted[idx] = true;
+        self.detached[idx] = false;
+        if let Some(d) = self.detector.as_mut() {
+            d.reset(idx);
+        }
+        self.stats.evictions += 1;
+        let msg_id = self
+            .cur
+            .as_ref()
+            .map(|&(id, _, _)| id)
+            .unwrap_or(self.next_msg_id);
+        self.events
+            .push_back(AppEvent::ReceiverEvicted { msg_id, rank });
+        self.drop_from_releases(rank);
+    }
+
+    /// One heartbeat period elapsed: announce, charge every active member
+    /// one miss, and evict those past the threshold.
+    fn heartbeat_tick(&mut self, now: Time) {
+        let busy = self.cur.is_some()
+            || self.transfer.is_some()
+            || self.staged.is_some()
+            || !self.queue.is_empty();
+        if !busy {
+            // An idle group stays silent so drivers reach quiescence.
+            self.hb_deadline = None;
+            return;
+        }
+        self.announce();
+        let n = self.group.n_receivers as usize;
+        let mut to_evict = Vec::new();
+        if let Some(d) = self.detector.as_mut() {
+            for idx in 0..n {
+                if self.evicted[idx] {
+                    continue;
+                }
+                match d.record_miss(idx) {
+                    LivenessVerdict::Alive => {}
+                    LivenessVerdict::NewlySuspected => self.stats.suspects += 1,
+                    LivenessVerdict::Evict => to_evict.push(idx),
+                }
+            }
+        }
+        // Never evict the last live member: with nobody left there is no
+        // one to deliver to, and the bounded-retry path reports that
+        // failure with a typed error instead.
+        let live = (0..n).filter(|&i| !self.evicted[i]).count();
+        if to_evict.len() >= live {
+            to_evict.truncate(live - 1);
+        }
+        if !to_evict.is_empty() {
+            for idx in to_evict {
+                self.remove_member(Rank::from_receiver_index(idx));
+            }
+            self.epoch += 1;
+            self.announce();
+            self.settle(now);
+        }
+        self.hb_deadline = Some(now + self.cfg.membership.heartbeat_interval);
+    }
+
+    /// Admission request (first join or rejoin after eviction/restart).
+    fn on_join(&mut self, now: Time, rank: Rank) {
+        if !self.cfg.membership.enabled || rank.is_sender() || !self.group.contains(rank) {
+            return;
+        }
+        // Immediate WELCOME so the joiner stops re-sending JOINs; the
+        // binding SYNC follows at the next message boundary.
+        self.out.push_back(Transmit {
+            dest: Dest::Rank(rank),
+            payload: packet::encode_welcome(Rank::SENDER, self.epoch),
+            copied: 0,
+        });
+        let idx = rank.receiver_index();
+        if let Some(d) = self.detector.as_mut() {
+            d.reset(idx);
+        }
+        if !self.evicted[idx] {
+            // A member we believed active announces a (re)start: its old
+            // acknowledgment state is gone, so stop waiting for it on
+            // in-flight transfers. This is pending-admission state, not a
+            // failure — no ReceiverEvicted event, no epoch bump yet.
+            self.evicted[idx] = true;
+            self.detached[idx] = false;
+            self.drop_from_releases(rank);
+            if !self.pending_joins.contains(&rank) {
+                self.pending_joins.push(rank);
+            }
+            self.settle(now);
+        } else if !self.pending_joins.contains(&rank) {
+            self.pending_joins.push(rank);
+        }
+        self.try_admit();
+    }
+
+    /// Voluntary departure: sticky eviction with an immediate epoch bump.
+    fn on_leave(&mut self, now: Time, rank: Rank) {
+        if !self.cfg.membership.enabled || rank.is_sender() || !self.group.contains(rank) {
+            return;
+        }
+        self.pending_joins.retain(|&r| r != rank);
+        if self.evicted[rank.receiver_index()] {
+            return;
+        }
+        self.remove_member(rank);
+        self.epoch += 1;
+        self.announce();
+        self.settle(now);
+    }
+
+    /// A receiver's heartbeat reply: proof of life (or an implicit rejoin
+    /// request when it comes from a non-member).
+    fn on_heartbeat(&mut self, rank: Rank, epoch: u32) {
+        self.stats.heartbeats_received += 1;
+        if !self.cfg.membership.enabled || rank.is_sender() || !self.group.contains(rank) {
+            return;
+        }
+        let _ = self.accept_member_traffic(rank, Some(epoch));
+    }
+
+    /// Admit every pending joiner, provided the sender sits at a message
+    /// boundary (nothing current, nothing staged): clear their evicted
+    /// bits, bump the epoch once for the batch, and hand each joiner a
+    /// SYNC naming the first message it is responsible for.
+    fn try_admit(&mut self) {
+        if self.pending_joins.is_empty()
+            || self.cur.is_some()
+            || self.transfer.is_some()
+            || self.staged.is_some()
+        {
+            return;
+        }
+        let joiners = std::mem::take(&mut self.pending_joins);
+        let next_msg = self
+            .queue
+            .front()
+            .map(|&(id, _)| id)
+            .unwrap_or(self.next_msg_id);
+        let next_transfer = Self::alloc_transfer_id(next_msg);
+        let is_tree = matches!(self.cfg.kind, ProtocolKind::Tree { .. });
+        self.epoch += 1;
+        for rank in joiners {
+            let idx = rank.receiver_index();
+            self.evicted[idx] = false;
+            if let Some(d) = self.detector.as_mut() {
+                d.reset(idx);
+            }
+            let mut flags = 0;
+            if is_tree {
+                let already_root = self
+                    .tree
+                    .as_ref()
+                    .is_some_and(|t| t.roots().contains(&rank));
+                if !already_root {
+                    // The joiner's old chain position is gone (its parent
+                    // may have routed around it): it re-enters as a
+                    // detached root reporting straight to the sender.
+                    self.detached[idx] = true;
+                }
+                if self.detached[idx] {
+                    flags |= SyncBody::DETACHED_ROOT;
+                }
+            }
+            self.stats.joins += 1;
+            self.out.push_back(Transmit {
+                dest: Dest::Rank(rank),
+                payload: packet::encode_sync(
+                    Rank::SENDER,
+                    SyncBody {
+                        epoch: self.epoch,
+                        next_msg,
+                        next_transfer,
+                        flags,
+                    },
+                ),
+                copied: 0,
+            });
+            self.events.push_back(AppEvent::ReceiverJoined {
+                rank,
+                epoch: self.epoch,
+            });
+        }
+        self.announce();
     }
 
     /// Re-evaluate both in-flight transfers against their (possibly just
     /// shrunk) proof obligations: release what the survivors cover,
     /// finish what is fully released, refill the window.
     fn settle(&mut self, now: Time) {
-        let base_rto = self.cfg.rto;
+        let base_rto = self.base_rto();
         // Staged first: `finish_transfer` on the current message promotes
         // the staged one and expects its completion already recorded.
         if let Some(t) = self.tmut(Which::Staged) {
@@ -766,15 +1125,31 @@ impl Endpoint for Sender {
             }
         };
         match pkt {
-            Packet::Ack { header, body } => {
-                self.on_ack(now, header.src_rank, header.transfer, body.next_expected.0)
-            }
-            Packet::Nak { header, body } => {
-                self.on_nak(now, header.src_rank, header.transfer, body.expected.0)
-            }
-            Packet::Data { .. } | Packet::Alloc { .. } => {
-                // Data flowing toward the sender (e.g. a multicast NAK
-                // variant echo) is not expected; ignore.
+            Packet::Ack {
+                header,
+                body,
+                epoch,
+            } => self.on_ack(
+                now,
+                header.src_rank,
+                header.transfer,
+                body.next_expected.0,
+                epoch,
+            ),
+            Packet::Nak {
+                header,
+                body,
+                epoch,
+            } => self.on_nak(now, header.src_rank, header.transfer, body.expected.0, epoch),
+            Packet::Join { header, .. } => self.on_join(now, header.src_rank),
+            Packet::Leave { header, .. } => self.on_leave(now, header.src_rank),
+            Packet::Heartbeat { header, body } => self.on_heartbeat(header.src_rank, body.epoch),
+            Packet::Data { .. }
+            | Packet::Alloc { .. }
+            | Packet::Welcome { .. }
+            | Packet::Sync { .. } => {
+                // Data (or echoed sender-side control) flowing toward the
+                // sender is not expected; ignore.
                 self.stats.data_discarded += 1;
             }
         }
@@ -784,6 +1159,10 @@ impl Endpoint for Sender {
         // Pacing wake-up: just refill the window.
         if self.pace_deadline().is_some_and(|d| d <= now) {
             self.pump(now);
+        }
+        // Heartbeat schedule: announce, score misses, evict the silent.
+        if self.hb_deadline.is_some_and(|d| d <= now) {
+            self.heartbeat_tick(now);
         }
         let liveness = self.cfg.liveness;
         for which in [Which::Cur, Which::Staged] {
@@ -839,6 +1218,7 @@ impl Endpoint for Sender {
             self.tref(Which::Staged)
                 .and_then(|t| t.win.earliest_deadline(t.cur_rto)),
             self.pace_deadline(),
+            self.hb_deadline,
         ]
         .into_iter()
         .flatten()
@@ -1294,5 +1674,198 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    fn mcfg(kind: ProtocolKind) -> ProtocolConfig {
+        use crate::config::MembershipConfig;
+        let mut c = cfg(kind);
+        c.handshake = false;
+        c.membership = MembershipConfig::enabled();
+        c
+    }
+
+    #[test]
+    fn stale_epoch_ack_discarded() {
+        let mut s = Sender::new(mcfg(ProtocolKind::Ack), GroupSpec::new(1));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let _ = drain(&mut s);
+        let stale = packet::encode_ack_epoch(Rank(1), 1, SeqNo(1), 7);
+        s.handle_datagram(Time::ZERO, &stale);
+        assert_eq!(s.stats().stale_epoch_discarded, 1);
+        assert!(
+            s.poll_event().is_none(),
+            "a stale-epoch ack must not complete the message"
+        );
+        let fresh = packet::encode_ack_epoch(Rank(1), 1, SeqNo(1), 1);
+        s.handle_datagram(Time::ZERO, &fresh);
+        assert_eq!(s.poll_event(), Some(AppEvent::MessageSent { msg_id: 0 }));
+    }
+
+    #[test]
+    fn heartbeat_detector_evicts_silent_receiver() {
+        let mut s = Sender::new(mcfg(ProtocolKind::Ack), GroupSpec::new(2));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let out = drain(&mut s);
+        assert!(
+            out.iter().any(|t| matches!(
+                Packet::parse(&t.payload).unwrap(),
+                Packet::Heartbeat { .. }
+            )),
+            "going busy announces a heartbeat"
+        );
+        // Receiver 1 acknowledges and keeps replying to heartbeats;
+        // receiver 2 is silent forever.
+        let ack1 = packet::encode_ack_epoch(Rank(1), 1, SeqNo(1), 1);
+        s.handle_datagram(Time::ZERO, &ack1);
+        for _ in 0..40 {
+            let Some(d) = s.poll_timeout() else { break };
+            let reply = packet::encode_heartbeat(Rank(1), s.epoch());
+            s.handle_datagram(d, &reply);
+            s.handle_timeout(d);
+            let _ = drain(&mut s);
+        }
+        let events: Vec<_> = std::iter::from_fn(|| s.poll_event()).collect();
+        assert!(events.contains(&AppEvent::ReceiverEvicted {
+            msg_id: 0,
+            rank: Rank(2)
+        }));
+        assert!(events.contains(&AppEvent::MessageSent { msg_id: 0 }));
+        assert!(s.is_idle());
+        assert_eq!(s.epoch(), 2, "the eviction bumped the epoch");
+        assert!(s.stats().suspects >= 1, "suspicion precedes eviction");
+        assert!(s.stats().heartbeats_received > 0);
+    }
+
+    #[test]
+    fn join_admitted_at_message_boundary() {
+        let mut s = Sender::new(mcfg(ProtocolKind::Ack), GroupSpec::new(2));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let _ = drain(&mut s);
+        // Receiver 2 restarts and JOINs mid-message.
+        s.handle_datagram(Time::ZERO, &packet::encode_join(Rank(2), 0));
+        let out = drain(&mut s);
+        assert!(
+            out.iter().any(|t| matches!(
+                Packet::parse(&t.payload).unwrap(),
+                Packet::Welcome { .. }
+            )),
+            "a JOIN is answered immediately"
+        );
+        // Rank 1 alone completes the message (rank 2 is pending, excluded).
+        let ack1 = packet::encode_ack_epoch(Rank(1), 1, SeqNo(1), 1);
+        s.handle_datagram(Time::ZERO, &ack1);
+        let events: Vec<_> = std::iter::from_fn(|| s.poll_event()).collect();
+        assert!(events.contains(&AppEvent::MessageSent { msg_id: 0 }));
+        assert!(events.contains(&AppEvent::ReceiverJoined {
+            rank: Rank(2),
+            epoch: 2
+        }));
+        let out = drain(&mut s);
+        let sync = out
+            .iter()
+            .find_map(|t| match Packet::parse(&t.payload).unwrap() {
+                Packet::Sync { body, .. } => Some(body),
+                _ => None,
+            })
+            .expect("SYNC handed off at the boundary");
+        assert_eq!(sync.epoch, 2);
+        assert_eq!(sync.next_msg, 1, "first message the joiner must handle");
+        assert_eq!(s.stats().joins, 1);
+        // The next message waits for both receivers again.
+        s.send_message(Time::from_millis(1), Bytes::from(vec![2u8; 100]));
+        let _ = drain(&mut s);
+        let a1 = packet::encode_ack_epoch(Rank(1), 3, SeqNo(1), 2);
+        s.handle_datagram(Time::from_millis(1), &a1);
+        assert!(
+            s.poll_event().is_none(),
+            "the rejoined receiver gates the release again"
+        );
+        let a2 = packet::encode_ack_epoch(Rank(2), 3, SeqNo(1), 2);
+        s.handle_datagram(Time::from_millis(1), &a2);
+        assert_eq!(s.poll_event(), Some(AppEvent::MessageSent { msg_id: 1 }));
+    }
+
+    #[test]
+    fn evicted_member_traffic_is_an_implicit_rejoin() {
+        use crate::config::LivenessConfig;
+        let mut c = mcfg(ProtocolKind::Ack);
+        c.liveness = LivenessConfig::evicting(1);
+        let mut s = Sender::new(c, GroupSpec::new(2));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let _ = drain(&mut s);
+        let ack1 = packet::encode_ack_epoch(Rank(1), 1, SeqNo(1), 1);
+        s.handle_datagram(Time::ZERO, &ack1);
+        for _ in 0..12 {
+            let Some(d) = s.poll_timeout() else { break };
+            let reply = packet::encode_heartbeat(Rank(1), s.epoch());
+            s.handle_datagram(d, &reply);
+            s.handle_timeout(d);
+            let _ = drain(&mut s);
+        }
+        let events: Vec<_> = std::iter::from_fn(|| s.poll_event()).collect();
+        assert!(events.contains(&AppEvent::ReceiverEvicted {
+            msg_id: 0,
+            rank: Rank(2)
+        }));
+        let epoch = s.epoch();
+        // The evicted receiver reappears, echoing the epoch it overheard:
+        // that is an implicit rejoin request, admitted on the spot (the
+        // sender is at a message boundary).
+        let reply = packet::encode_heartbeat(Rank(2), epoch);
+        s.handle_datagram(Time::from_millis(500), &reply);
+        assert_eq!(
+            s.poll_event(),
+            Some(AppEvent::ReceiverJoined {
+                rank: Rank(2),
+                epoch: epoch + 1
+            })
+        );
+    }
+
+    #[test]
+    fn adaptive_rto_tracks_samples() {
+        let mut c = cfg(ProtocolKind::Ack);
+        c.handshake = false;
+        c.adaptive_rto = true;
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let _ = drain(&mut s);
+        assert_eq!(
+            s.poll_timeout(),
+            Some(Time::ZERO + c.rto),
+            "no sample yet: the fixed RTO applies"
+        );
+        // The ack arrives 20 ms after transmission: srtt = 20 ms,
+        // rttvar = 10 ms, so the estimate is 20 + 4·10 = 60 ms.
+        ack(&mut s, Time::from_millis(20), Rank(1), 1, 1);
+        assert_eq!(s.poll_event(), Some(AppEvent::MessageSent { msg_id: 0 }));
+        s.send_message(Time::from_millis(30), Bytes::from(vec![2u8; 100]));
+        let _ = drain(&mut s);
+        assert_eq!(
+            s.poll_timeout(),
+            Some(Time::from_millis(30) + Duration::from_millis(60)),
+            "the adaptive estimate replaces the fixed RTO"
+        );
+    }
+
+    #[test]
+    fn leave_evicts_immediately() {
+        let mut s = Sender::new(mcfg(ProtocolKind::Ack), GroupSpec::new(2));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
+        let _ = drain(&mut s);
+        let ack1 = packet::encode_ack_epoch(Rank(1), 1, SeqNo(1), 1);
+        s.handle_datagram(Time::ZERO, &ack1);
+        s.handle_datagram(Time::ZERO, &packet::encode_leave(Rank(2), 1));
+        let events: Vec<_> = std::iter::from_fn(|| s.poll_event()).collect();
+        assert!(events.contains(&AppEvent::ReceiverEvicted {
+            msg_id: 0,
+            rank: Rank(2)
+        }));
+        assert!(
+            events.contains(&AppEvent::MessageSent { msg_id: 0 }),
+            "the departure unblocks the survivors"
+        );
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.stats().evictions, 1);
     }
 }

@@ -49,6 +49,18 @@ pub struct Stats {
     pub messages_failed: u64,
     /// Peers evicted from the proof obligation by straggler eviction.
     pub evictions: u64,
+    /// Heartbeat packets sent (sender announces, receiver replies).
+    pub heartbeats_sent: u64,
+    /// Heartbeat packets received.
+    pub heartbeats_received: u64,
+    /// Members admitted into the group (sender) or SYNC handoffs processed
+    /// (receiver).
+    pub joins: u64,
+    /// Members that crossed the failure detector's suspect threshold.
+    pub suspects: u64,
+    /// ACK/NAK packets discarded because they carried a stale membership
+    /// epoch.
+    pub stale_epoch_discarded: u64,
 }
 
 impl Stats {
@@ -98,6 +110,11 @@ impl Stats {
         self.timeouts += other.timeouts;
         self.messages_failed += other.messages_failed;
         self.evictions += other.evictions;
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.heartbeats_received += other.heartbeats_received;
+        self.joins += other.joins;
+        self.suspects += other.suspects;
+        self.stale_epoch_discarded += other.stale_epoch_discarded;
     }
 }
 

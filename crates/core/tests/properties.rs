@@ -212,6 +212,95 @@ proptest! {
     }
 }
 
+mod membership_churn {
+    use super::*;
+    use rmcast::MembershipConfig;
+
+    /// All four families (plus the multicast-NAK ablation), membership on.
+    fn arb_family() -> impl Strategy<Value = ProtocolKind> {
+        prop_oneof![
+            Just(ProtocolKind::Ack),
+            (2usize..=6).prop_map(ProtocolKind::nak_polling),
+            (2usize..=6).prop_map(|i| ProtocolKind::NakPolling {
+                poll_interval: i,
+                receiver_multicast_nak: true
+            }),
+            Just(ProtocolKind::Ring),
+            (2usize..=4).prop_map(ProtocolKind::flat_tree),
+            Just(ProtocolKind::Tree {
+                shape: TreeShape::Binary
+            }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Crash, eviction and rejoin under loss: the sender completes
+        /// every message, and every member alive at the end observed
+        /// exactly-once, in-order delivery of the messages sent while it
+        /// was a member.
+        #[test]
+        fn exactly_once_under_churn(
+            kind in arb_family(),
+            n in 2u16..6,
+            loss in 0.0f64..0.08,
+            msg_len in 1usize..3000,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut cfg = build_config(kind, n, 512, 8, false);
+            cfg.membership = MembershipConfig::enabled();
+            if matches!(kind, ProtocolKind::Tree { .. }) {
+                // Far above the RTO so lossy-but-alive children are never
+                // spuriously evicted by their chain parent.
+                cfg.liveness.child_evict_timeout =
+                    Some(rmwire::Duration::from_millis(2_000));
+            }
+            // Rank n has no tree children in either shape, so its death
+            // never strands a subtree's ack path.
+            let victim = n as usize - 1;
+            let mut net = Loopback::new(cfg, n, seed).with_loss(loss);
+
+            net.send_message(Bytes::from(vec![1u8; msg_len]));
+            net.run();
+            net.kill_receiver(victim);
+            net.send_message(Bytes::from(vec![2u8; msg_len]));
+            net.run();
+            net.rejoin_receiver(victim);
+            net.run(); // completes the JOIN -> WELCOME -> SYNC handshake
+            net.send_message(Bytes::from(vec![3u8; msg_len]));
+            net.run();
+
+            prop_assert_eq!(&net.sent, &vec![0u64, 1, 2]);
+            // Somebody evicted the crashed receiver: the sender's failure
+            // detector / straggler eviction, or (tree) its parent node.
+            let evictions = net.sender_stats().evictions
+                + (0..n as usize)
+                    .map(|i| net.receiver_stats(i).evictions)
+                    .sum::<u64>();
+            prop_assert!(evictions >= 1, "nobody evicted the crashed receiver");
+            // A lost SYNC re-runs admission, so joins can exceed one.
+            prop_assert!(net.sender_stats().joins >= 1, "rejoin never admitted");
+            for i in 0..n as usize {
+                let ids: Vec<u64> = net
+                    .deliveries
+                    .iter()
+                    .filter(|(r, _, _)| *r == i)
+                    .map(|&(_, id, _)| id)
+                    .collect();
+                let expect: Vec<u64> =
+                    if i == victim { vec![0, 2] } else { vec![0, 1, 2] };
+                prop_assert_eq!(
+                    ids,
+                    expect,
+                    "receiver {} ledger (kind {:?} n {} loss {} len {} seed {})",
+                    i, kind, n, loss, msg_len, seed
+                );
+            }
+        }
+    }
+}
+
 mod tree_invariants {
     use proptest::prelude::*;
     use rmcast::tree::TreeTopology;

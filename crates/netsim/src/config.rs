@@ -238,6 +238,13 @@ pub enum HostFaultKind {
         /// When the CPU resumes.
         until: Time,
     },
+    /// The host halts at `at` like [`HostFaultKind::Crash`], loses all
+    /// state (socket buffers, reassembly, timers), then reboots at `until`
+    /// with a fresh process ([`crate::process::Process::on_restart`]).
+    CrashRestart {
+        /// When the host comes back up.
+        until: Time,
+    },
 }
 
 /// One scheduled host fault.
@@ -276,6 +283,11 @@ pub struct FaultPlan {
     pub link_down: Vec<LinkDownWindow>,
     /// Scheduled host crashes and pauses.
     pub host_faults: Vec<HostFault>,
+    /// Scheduled inter-switch trunk outages `[from, until)`. While a
+    /// window is open every frame crossing a switch-to-switch link is
+    /// dropped, partitioning the hosts into per-switch islands; access
+    /// links keep working, so hosts on each side still talk locally.
+    pub trunk_down: Vec<(Time, Time)>,
 }
 
 impl FaultPlan {
@@ -287,6 +299,7 @@ impl FaultPlan {
             && self.corrupt == 0.0
             && self.link_down.is_empty()
             && self.host_faults.is_empty()
+            && self.trunk_down.is_empty()
     }
 
     /// Add uniform loss on `host`'s access link.
@@ -336,6 +349,24 @@ impl FaultPlan {
         self
     }
 
+    /// Crash `host` at `at` and reboot it (state wiped) at `until`.
+    pub fn with_crash_restart(mut self, host: HostId, at: Time, until: Time) -> Self {
+        assert!(at < until, "empty crash-restart window");
+        self.host_faults.push(HostFault {
+            host,
+            at,
+            kind: HostFaultKind::CrashRestart { until },
+        });
+        self
+    }
+
+    /// Sever every inter-switch trunk over `[from, until)`.
+    pub fn with_trunk_down(mut self, from: Time, until: Time) -> Self {
+        assert!(from < until, "empty trunk-down window");
+        self.trunk_down.push((from, until));
+        self
+    }
+
     /// Stall `host`'s CPU over `[from, until)`.
     pub fn with_pause(mut self, host: HostId, from: Time, until: Time) -> Self {
         assert!(from < until, "empty pause window");
@@ -364,11 +395,34 @@ impl FaultPlan {
             .any(|w| w.host == host && w.from <= now && now < w.until)
     }
 
-    /// Has `host` crashed by `now`?
+    /// Has `host` crashed by `now`? Permanent crashes count forever;
+    /// crash-restart windows count only until the reboot instant.
     pub(crate) fn host_crashed(&self, host: HostId, now: Time) -> bool {
-        self.host_faults
+        self.host_faults.iter().any(|f| {
+            f.host == host
+                && f.at <= now
+                && match f.kind {
+                    HostFaultKind::Crash => true,
+                    HostFaultKind::CrashRestart { until } => now < until,
+                    HostFaultKind::Pause { .. } => false,
+                }
+        })
+    }
+
+    /// Every `(host, reboot_instant)` pair in the plan, for scheduling
+    /// restart events when the plan is installed.
+    pub(crate) fn restarts(&self) -> impl Iterator<Item = (HostId, Time)> + '_ {
+        self.host_faults.iter().filter_map(|f| match f.kind {
+            HostFaultKind::CrashRestart { until } => Some((f.host, until)),
+            _ => None,
+        })
+    }
+
+    /// Are the inter-switch trunks scheduled down at `now`?
+    pub(crate) fn trunk_is_down(&self, now: Time) -> bool {
+        self.trunk_down
             .iter()
-            .any(|f| f.host == host && f.at <= now && matches!(f.kind, HostFaultKind::Crash))
+            .any(|&(from, until)| from <= now && now < until)
     }
 
     /// The instant `host`'s CPU next runs again, when paused at `now`.
@@ -496,6 +550,34 @@ mod tests {
             None
         );
         assert!(FaultPlan::default().is_empty());
+    }
+
+    #[test]
+    fn crash_restart_and_trunk_windows() {
+        let plan = FaultPlan::default()
+            .with_crash_restart(HostId(4), Time::from_millis(10), Time::from_millis(30))
+            .with_trunk_down(Time::from_millis(50), Time::from_millis(80));
+        assert!(!plan.is_empty());
+        // Crashed only inside [at, until); alive again after reboot.
+        assert!(!plan.host_crashed(HostId(4), Time::from_millis(9)));
+        assert!(plan.host_crashed(HostId(4), Time::from_millis(10)));
+        assert!(plan.host_crashed(HostId(4), Time::from_millis(29)));
+        assert!(!plan.host_crashed(HostId(4), Time::from_millis(30)));
+        assert_eq!(
+            plan.restarts().collect::<Vec<_>>(),
+            vec![(HostId(4), Time::from_millis(30))]
+        );
+        assert!(!plan.trunk_is_down(Time::from_millis(49)));
+        assert!(plan.trunk_is_down(Time::from_millis(50)));
+        assert!(plan.trunk_is_down(Time::from_millis(79)));
+        assert!(!plan.trunk_is_down(Time::from_millis(80)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trunk-down window")]
+    fn trunk_down_window_validated() {
+        let t = Time::from_millis(5);
+        let _ = FaultPlan::default().with_trunk_down(t, t);
     }
 
     #[test]

@@ -13,6 +13,8 @@ use std::sync::Arc;
 pub(crate) enum WorkItem {
     /// Run the process's `on_start`.
     Start,
+    /// Run the process's `on_restart` after a crash-restart reboot.
+    Restart,
     /// Deliver a reassembled datagram (kernel receive costs charged when
     /// the item runs — that is when `recvfrom` happens).
     Deliver(Arc<Datagram>),

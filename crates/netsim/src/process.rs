@@ -37,6 +37,12 @@ pub struct DatagramIn {
 pub trait Process {
     /// Called once at simulation start (time zero for the host).
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    /// Called when the host reboots after a scheduled
+    /// [`crate::HostFaultKind::CrashRestart`] fault. All kernel state
+    /// (socket buffers, reassembly, timers) has been wiped; the process
+    /// instance itself persists, so implementors must reset whatever
+    /// in-memory protocol state a real power-cycle would lose.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {}
     /// Called when a datagram has been read from the process's socket. The
     /// kernel receive costs have already been charged to the cursor.
     fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _dg: DatagramIn) {}

@@ -33,6 +33,9 @@ enum Event {
     TimerFire { host: HostId, gen: u64 },
     /// An IP reassembly context timed out.
     ReassemblyExpire { host: HostId, key: (HostId, u64) },
+    /// A crash-restarted host reboots: state is wiped and the process's
+    /// `on_restart` runs.
+    HostRestart { host: HostId },
     /// A host wants the shared bus (CSMA/CD fabric only).
     BusAttempt { host: HostId },
     /// End of the bus contention window: transmit or collide.
@@ -169,7 +172,11 @@ impl Sim {
         for f in &plan.host_faults {
             known(f.host);
         }
+        let restarts: Vec<_> = plan.restarts().collect();
         self.fault_plan = plan;
+        for (host, at) in restarts {
+            self.schedule(at, Event::HostRestart { host });
+        }
     }
 
     /// The active chaos schedule.
@@ -367,6 +374,27 @@ impl Sim {
             }
             Event::BusAttempt { host } => self.bus_attempt(host),
             Event::BusResolve => self.bus_resolve(),
+            Event::HostRestart { host } => self.host_restart(host),
+        }
+    }
+
+    /// Reboot a crash-restarted host: the kernel state a real machine
+    /// loses on power-cycle (socket buffers, half-reassembled datagrams,
+    /// queued work, armed timers) is wiped, then the process's
+    /// [`Process::on_restart`] runs as the first thing on the fresh CPU.
+    fn host_restart(&mut self, host: HostId) {
+        let h = &mut self.hosts[host.0];
+        h.cpu_queue.clear();
+        h.cpu_active = false;
+        h.reassembly.clear();
+        for buffered in h.sockets.values_mut() {
+            *buffered = 0;
+        }
+        h.timer_gen += 1;
+        h.timer_armed = false;
+        if self.procs[host.0].is_some() {
+            let at = self.now;
+            self.enqueue_work(host, WorkItem::Restart, at);
         }
     }
 
@@ -578,6 +606,19 @@ impl Sim {
         let eligible = self.now + self.cfg.switch.latency;
         let cap = self.cfg.switch.queue_bytes;
         for p in out_ports {
+            let peer = self.switches[sw.0].ports[p]
+                .peer
+                .expect("forwarding onto an uncabled port");
+            if matches!(peer, PortRef::Switch(..))
+                && !self.fault_plan.trunk_down.is_empty()
+                && self.fault_plan.trunk_is_down(self.now)
+            {
+                self.trace.record_drop(DropCause::TrunkDown);
+                self.log_event(LogEvent::Drop {
+                    cause: DropCause::TrunkDown,
+                });
+                continue;
+            }
             let bytes = frame.frame_bytes();
             let port = &mut self.switches[sw.0].ports[p];
             let link = port.link;
@@ -587,7 +628,6 @@ impl Sim {
             }
             let tx = frame.tx_time(link.rate_bps);
             let done = port.egress.enqueue(eligible, tx, bytes);
-            let peer = port.peer.expect("forwarding onto an uncabled port");
             let edge = match peer {
                 PortRef::Host(h) => Some(h),
                 PortRef::Switch(..) => None,
@@ -727,6 +767,7 @@ impl Sim {
                 start + self.jitter_for(host, c)
             }
             WorkItem::Start => self.with_proc(host, start, |p, ctx| p.on_start(ctx)),
+            WorkItem::Restart => self.with_proc(host, start, |p, ctx| p.on_restart(ctx)),
             WorkItem::Timer => self.with_proc(host, start, |p, ctx| p.on_timer(ctx)),
             WorkItem::Deliver(dg) => {
                 let hp = self.host_params[host.0];

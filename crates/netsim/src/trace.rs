@@ -27,6 +27,9 @@ pub enum DropCause {
     Corrupt,
     /// The destination host had crashed.
     HostDown,
+    /// The frame needed an inter-switch trunk inside a scheduled
+    /// partition window.
+    TrunkDown,
 }
 
 /// Aggregate counters maintained by the simulator; read them after a run
@@ -70,6 +73,8 @@ pub struct TraceCounters {
     pub drops_corrupt: u64,
     /// Frames addressed to a crashed host.
     pub drops_host_down: u64,
+    /// Frames lost crossing a partitioned inter-switch trunk.
+    pub drops_trunk_down: u64,
     /// Frames delayed by the reordering fault (delivered, but late).
     pub frames_reordered: u64,
 }
@@ -88,6 +93,7 @@ impl TraceCounters {
             DropCause::BurstLoss => self.drops_burst += 1,
             DropCause::Corrupt => self.drops_corrupt += 1,
             DropCause::HostDown => self.drops_host_down += 1,
+            DropCause::TrunkDown => self.drops_trunk_down += 1,
         }
     }
 
@@ -103,6 +109,7 @@ impl TraceCounters {
             + self.drops_burst
             + self.drops_corrupt
             + self.drops_host_down
+            + self.drops_trunk_down
     }
 
     /// `true` when no loss of any kind occurred.

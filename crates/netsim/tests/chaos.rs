@@ -206,6 +206,180 @@ fn chaos_runs_are_deterministic() {
     assert_eq!(sim_a.trace(), sim_b.trace());
 }
 
+/// A blaster that sends one datagram per `interval` tick instead of all
+/// at start, so faults scheduled mid-run see live traffic.
+struct PacedBlaster {
+    dest: UdpDest,
+    interval: Duration,
+    remaining: usize,
+}
+
+impl Process for PacedBlaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let at = ctx.now() + self.interval;
+        ctx.set_timer(at);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        ctx.send(self.dest, Bytes::from(vec![0xcdu8; 400]));
+        let at = ctx.now() + self.interval;
+        ctx.set_timer(at);
+    }
+}
+
+/// A sink that also counts `on_restart` callbacks.
+struct RebootingSink {
+    log: Log,
+    restarts: Rc<RefCell<usize>>,
+}
+
+impl Process for RebootingSink {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dg: DatagramIn) {
+        self.log
+            .borrow_mut()
+            .push((ctx.now(), ctx.host(), dg.payload.len()));
+    }
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {
+        *self.restarts.borrow_mut() += 1;
+    }
+}
+
+#[test]
+fn trunk_down_partitions_but_leaves_local_traffic() {
+    // h0 and h1 on sw0, h2 on sw1; h0 multicasts to {h1, h2}. With the
+    // trunk severed for the whole run, the local member keeps receiving
+    // while the remote one is cut off.
+    let mut sim = Sim::new(SimConfig::default(), 21);
+    let sw0 = sim.add_switch();
+    let sw1 = sim.add_switch();
+    let hosts: Vec<HostId> = (0..3).map(|_| sim.add_host()).collect();
+    sim.connect_host(hosts[0], sw0);
+    sim.connect_host(hosts[1], sw0);
+    sim.connect_host(hosts[2], sw1);
+    sim.connect_switches(sw0, sw1);
+    let group = sim.create_group(&[hosts[1], hosts[2]]);
+    sim.set_fault_plan(
+        FaultPlan::default().with_trunk_down(Time::ZERO, Time::from_millis(100_000)),
+    );
+    let log = new_log();
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blaster {
+            dest: UdpDest::group(group, PORT),
+            sizes: vec![500; 10],
+        }),
+    );
+    for &h in &hosts[1..] {
+        sim.spawn(
+            h,
+            PORT,
+            Box::new(Sink {
+                log: Rc::clone(&log),
+            }),
+        );
+    }
+    sim.run_until(Time::from_millis(5_000));
+    let log = log.borrow();
+    assert_eq!(log.len(), 10, "local member must keep receiving");
+    assert!(log.iter().all(|&(_, h, _)| h == hosts[1]));
+    assert_eq!(sim.trace().drops_trunk_down, 10);
+}
+
+#[test]
+fn trunk_heals_after_the_window() {
+    // Paced traffic across the trunk with an outage in the middle: the
+    // frames sent inside the window vanish, the rest arrive.
+    let mut sim = Sim::new(SimConfig::default(), 22);
+    let sw0 = sim.add_switch();
+    let sw1 = sim.add_switch();
+    let a = sim.add_host();
+    let b = sim.add_host();
+    sim.connect_host(a, sw0);
+    sim.connect_host(b, sw1);
+    sim.connect_switches(sw0, sw1);
+    let window = (Time::from_millis(45), Time::from_millis(105));
+    sim.set_fault_plan(FaultPlan::default().with_trunk_down(window.0, window.1));
+    let log = new_log();
+    sim.spawn(
+        a,
+        PORT,
+        Box::new(PacedBlaster {
+            dest: UdpDest::host(b, PORT),
+            interval: Duration::from_millis(10),
+            remaining: 20,
+        }),
+    );
+    sim.spawn(
+        b,
+        PORT,
+        Box::new(Sink {
+            log: Rc::clone(&log),
+        }),
+    );
+    sim.run_until(Time::from_millis(5_000));
+    let log = log.borrow();
+    let dropped = sim.trace().drops_trunk_down;
+    assert!(dropped > 0, "no frame hit the outage window");
+    assert_eq!(log.len() as u64 + dropped, 20);
+    assert!(
+        log.iter()
+            .all(|&(t, _, _)| t < window.0 || t >= window.1),
+        "a delivery landed inside the outage: {log:?}"
+    );
+}
+
+#[test]
+fn crash_restart_reboots_the_host() {
+    // The sink crashes mid-run and reboots: frames during the outage are
+    // dropped at the dead NIC, on_restart fires once, and deliveries
+    // resume after the reboot instant.
+    let crash = Time::from_millis(45);
+    let reboot = Time::from_millis(105);
+    let plan = FaultPlan::default().with_crash_restart(HostId(1), crash, reboot);
+    let mut sim = Sim::new(SimConfig::default(), 23);
+    let hosts = topology::single_switch(&mut sim, 2);
+    sim.set_fault_plan(plan);
+    let log = new_log();
+    let restarts = Rc::new(RefCell::new(0));
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(PacedBlaster {
+            dest: UdpDest::host(hosts[1], PORT),
+            interval: Duration::from_millis(10),
+            remaining: 20,
+        }),
+    );
+    sim.spawn(
+        hosts[1],
+        PORT,
+        Box::new(RebootingSink {
+            log: Rc::clone(&log),
+            restarts: Rc::clone(&restarts),
+        }),
+    );
+    sim.run_until(Time::from_millis(5_000));
+    let log = log.borrow();
+    assert_eq!(*restarts.borrow(), 1, "on_restart must fire exactly once");
+    assert!(sim.trace().drops_host_down > 0, "no frame hit the outage");
+    assert!(
+        log.iter().any(|&(t, _, _)| t < crash),
+        "no delivery before the crash"
+    );
+    assert!(
+        log.iter().any(|&(t, _, _)| t >= reboot),
+        "host never delivered after rebooting"
+    );
+    assert!(
+        log.iter().all(|&(t, _, _)| t < crash || t >= reboot),
+        "a delivery landed inside the crash window: {log:?}"
+    );
+}
+
 #[test]
 #[should_panic(expected = "unknown h9")]
 fn fault_plan_validates_hosts() {

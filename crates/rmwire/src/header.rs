@@ -22,9 +22,11 @@ use bytes::{Buf, BufMut};
 /// Encoded size of [`Header`] in bytes.
 pub const HEADER_LEN: usize = 12;
 
-/// The three packet types of the protocols (paper §4: "There are three types
-/// of packets used in the protocols, the data packet, the ACK packet and the
-/// NAK packet").
+/// The packet types of the protocols. The paper (§4) defines the first
+/// three ("the data packet, the ACK packet and the NAK packet"); the
+/// remaining five are membership-control packets added by the dynamic
+/// membership layer. Data packets keep the paper's header exactly; the
+/// membership types only ever appear when membership is enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum PacketType {
@@ -34,6 +36,19 @@ pub enum PacketType {
     Ack = 2,
     /// Negative acknowledgment requesting retransmission.
     Nak = 3,
+    /// A (re)joining receiver asks the sender for admission.
+    Join = 4,
+    /// The sender's immediate response to a `Join`: the request is
+    /// registered and admission will follow at a message boundary.
+    Welcome = 5,
+    /// A receiver announces its voluntary departure from the group.
+    Leave = 6,
+    /// Liveness beacon: the sender announces the current epoch; receivers
+    /// reply so the failure detector sees them.
+    Heartbeat = 7,
+    /// Admission handoff: the sender tells a joiner the epoch and the first
+    /// message/transfer it is responsible for.
+    Sync = 8,
 }
 
 impl PacketType {
@@ -42,6 +57,11 @@ impl PacketType {
             1 => Ok(PacketType::Data),
             2 => Ok(PacketType::Ack),
             3 => Ok(PacketType::Nak),
+            4 => Ok(PacketType::Join),
+            5 => Ok(PacketType::Welcome),
+            6 => Ok(PacketType::Leave),
+            7 => Ok(PacketType::Heartbeat),
+            8 => Ok(PacketType::Sync),
             other => Err(WireError::BadPacketType(other)),
         }
     }
@@ -199,7 +219,16 @@ mod tests {
 
     #[test]
     fn all_types_round_trip() {
-        for ptype in [PacketType::Data, PacketType::Ack, PacketType::Nak] {
+        for ptype in [
+            PacketType::Data,
+            PacketType::Ack,
+            PacketType::Nak,
+            PacketType::Join,
+            PacketType::Welcome,
+            PacketType::Leave,
+            PacketType::Heartbeat,
+            PacketType::Sync,
+        ] {
             let h = Header {
                 ptype,
                 flags: PacketFlags::EMPTY,

@@ -35,7 +35,9 @@ pub mod seq;
 pub mod time;
 
 pub use header::{Header, PacketFlags, PacketType, HEADER_LEN};
-pub use payload::{AckBody, AllocBody, NakBody};
+pub use payload::{
+    AckBody, AllocBody, HeartbeatBody, JoinBody, LeaveBody, NakBody, SyncBody, WelcomeBody,
+};
 pub use rank::{GroupSpec, Rank};
 pub use seq::SeqNo;
 pub use time::{Duration, Time};

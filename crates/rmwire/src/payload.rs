@@ -115,6 +115,188 @@ impl NakBody {
     }
 }
 
+/// Body of a `Join` packet: a receiver (first-time or previously evicted)
+/// asks the sender for admission to the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinBody {
+    /// The last epoch the joiner observed, or 0 if it has never been a
+    /// member. Lets the sender distinguish a fresh join from a rejoin after
+    /// a partition whose epoch may still be current.
+    pub last_epoch: u32,
+}
+
+impl JoinBody {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 4;
+
+    /// Append the encoded body to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.last_epoch);
+    }
+
+    /// Decode from the front of `buf`.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < Self::LEN {
+            return Err(WireError::Truncated {
+                need: Self::LEN,
+                have: buf.remaining(),
+            });
+        }
+        Ok(JoinBody {
+            last_epoch: buf.get_u32(),
+        })
+    }
+}
+
+/// Body of a `Welcome` packet: the sender's immediate response to a `Join`,
+/// confirming the request is registered; the actual admission (a `Sync`)
+/// follows at the next message boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WelcomeBody {
+    /// The group's current membership epoch.
+    pub epoch: u32,
+}
+
+impl WelcomeBody {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 4;
+
+    /// Append the encoded body to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.epoch);
+    }
+
+    /// Decode from the front of `buf`.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < Self::LEN {
+            return Err(WireError::Truncated {
+                need: Self::LEN,
+                have: buf.remaining(),
+            });
+        }
+        Ok(WelcomeBody {
+            epoch: buf.get_u32(),
+        })
+    }
+}
+
+/// Body of a `Leave` packet: a receiver announces its voluntary departure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaveBody {
+    /// The epoch in which the receiver is leaving.
+    pub epoch: u32,
+}
+
+impl LeaveBody {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 4;
+
+    /// Append the encoded body to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.epoch);
+    }
+
+    /// Decode from the front of `buf`.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < Self::LEN {
+            return Err(WireError::Truncated {
+                need: Self::LEN,
+                have: buf.remaining(),
+            });
+        }
+        Ok(LeaveBody {
+            epoch: buf.get_u32(),
+        })
+    }
+}
+
+/// Body of a `Heartbeat` packet. The sender multicasts heartbeats carrying
+/// the current epoch; receivers echo them back unicast so the failure
+/// detector observes liveness even between data transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatBody {
+    /// The group's current membership epoch.
+    pub epoch: u32,
+}
+
+impl HeartbeatBody {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 4;
+
+    /// Append the encoded body to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.epoch);
+    }
+
+    /// Decode from the front of `buf`.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < Self::LEN {
+            return Err(WireError::Truncated {
+                need: Self::LEN,
+                have: buf.remaining(),
+            });
+        }
+        Ok(HeartbeatBody {
+            epoch: buf.get_u32(),
+        })
+    }
+}
+
+/// Body of a `Sync` packet: the admission handoff. The sender tells a
+/// joiner which epoch it is entering and the first message/transfer it is
+/// responsible for, so it starts clean at a message boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncBody {
+    /// The epoch the joiner is admitted into.
+    pub epoch: u32,
+    /// First message id the joiner is responsible for.
+    pub next_msg: u64,
+    /// Transfer id of that message's allocation round; anything earlier must
+    /// be ignored by the joiner.
+    pub next_transfer: u32,
+    /// Flag bits; see [`SyncBody::DETACHED_ROOT`].
+    pub flags: u32,
+}
+
+impl SyncBody {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 20;
+
+    /// Flag bit: the joiner re-enters a tree protocol as a *detached root*
+    /// reporting straight to the sender (its old parent may have evicted
+    /// it), rather than rejoining its original ack chain.
+    pub const DETACHED_ROOT: u32 = 0x1;
+
+    /// `true` if the joiner must act as a detached tree root.
+    pub fn detached_root(&self) -> bool {
+        self.flags & Self::DETACHED_ROOT != 0
+    }
+
+    /// Append the encoded body to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.epoch);
+        buf.put_u64(self.next_msg);
+        buf.put_u32(self.next_transfer);
+        buf.put_u32(self.flags);
+    }
+
+    /// Decode from the front of `buf`.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < Self::LEN {
+            return Err(WireError::Truncated {
+                need: Self::LEN,
+                have: buf.remaining(),
+            });
+        }
+        Ok(SyncBody {
+            epoch: buf.get_u32(),
+            next_msg: buf.get_u64(),
+            next_transfer: buf.get_u32(),
+            flags: buf.get_u32(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +346,50 @@ mod tests {
         assert!(AckBody::decode(&mut b).is_err());
         let mut b: &[u8] = &[];
         assert!(NakBody::decode(&mut b).is_err());
+        let mut b: &[u8] = &[0, 1];
+        assert!(JoinBody::decode(&mut b).is_err());
+        let mut b: &[u8] = &[0, 1, 2];
+        assert!(SyncBody::decode(&mut b).is_err());
+    }
+
+    #[test]
+    fn membership_bodies_round_trip() {
+        let mut buf = BytesMut::new();
+        let j = JoinBody { last_epoch: 3 };
+        j.encode(&mut buf);
+        assert_eq!(buf.len(), JoinBody::LEN);
+        assert_eq!(JoinBody::decode(&mut buf.freeze()).unwrap(), j);
+
+        let w = WelcomeBody { epoch: 9 };
+        let mut buf = BytesMut::new();
+        w.encode(&mut buf);
+        assert_eq!(WelcomeBody::decode(&mut buf.freeze()).unwrap(), w);
+
+        let l = LeaveBody { epoch: 2 };
+        let mut buf = BytesMut::new();
+        l.encode(&mut buf);
+        assert_eq!(LeaveBody::decode(&mut buf.freeze()).unwrap(), l);
+
+        let h = HeartbeatBody { epoch: 7 };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(HeartbeatBody::decode(&mut buf.freeze()).unwrap(), h);
+    }
+
+    #[test]
+    fn sync_round_trip_and_flags() {
+        let s = SyncBody {
+            epoch: 5,
+            next_msg: 12,
+            next_transfer: 24,
+            flags: SyncBody::DETACHED_ROOT,
+        };
+        let mut buf = BytesMut::new();
+        s.encode(&mut buf);
+        assert_eq!(buf.len(), SyncBody::LEN);
+        let out = SyncBody::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(out, s);
+        assert!(out.detached_root());
+        assert!(!SyncBody { flags: 0, ..s }.detached_root());
     }
 }

@@ -52,6 +52,10 @@ pub struct Recorder {
     /// `(evicted_rank, msg_id)` straggler evictions, as observed by the
     /// evicting endpoint (sender or tree aggregation node).
     pub evictions: Vec<(Rank, u64)>,
+    /// `(rank, epoch)` membership admissions announced by the sender.
+    pub joins: Vec<(Rank, u32)>,
+    /// How many crash-restarted hosts respawned their endpoint.
+    pub restarts: usize,
     /// Latest sender counters.
     pub sender_stats: Stats,
     /// Latest per-receiver counters (by receiver index).
@@ -123,6 +127,7 @@ pub struct NodeProcess<E: Launch> {
     addr: Rc<AddrMap>,
     cost: CostModel,
     rec: SharedRecorder,
+    rebuild: Option<Box<dyn FnMut(Time) -> E>>,
 }
 
 impl<E: Launch> NodeProcess<E> {
@@ -140,7 +145,17 @@ impl<E: Launch> NodeProcess<E> {
             addr,
             cost,
             rec,
+            rebuild: None,
         }
+    }
+
+    /// Install a factory that rebuilds the endpoint after a simulated
+    /// crash-restart — typically `Receiver::new_joining`, so the reborn
+    /// node re-enters the group through the membership handshake instead
+    /// of resuming with pre-crash state a real reboot would have lost.
+    pub fn with_rebuild(mut self, f: impl FnMut(Time) -> E + 'static) -> Self {
+        self.rebuild = Some(Box::new(f));
+        self
     }
 
     /// Drain transmits/events and re-arm the timer after any endpoint
@@ -205,6 +220,9 @@ impl<E: Launch> NodeProcess<E> {
                     AppEvent::ReceiverEvicted { msg_id, rank } => {
                         rec.evictions.push((rank, msg_id));
                     }
+                    AppEvent::ReceiverJoined { rank, epoch } => {
+                        rec.joins.push((rank, epoch));
+                    }
                 }
             }
             match &self.role {
@@ -255,6 +273,17 @@ impl<E: Launch> Process for NodeProcess<E> {
         }
         let now = ctx.now();
         self.ep.handle_timeout(now);
+        self.pump(ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(f) = &mut self.rebuild {
+            self.ep = f(ctx.now());
+            self.rec.borrow_mut().restarts += 1;
+        }
+        // Without a rebuild factory the endpoint keeps its pre-crash
+        // state (the pre-membership behavior); either way the timer must
+        // be re-armed since the reboot wiped it.
         self.pump(ctx);
     }
 }

@@ -14,6 +14,7 @@ use rmcast::{ProtocolConfig, ProtocolKind};
 pub mod ablations;
 pub mod calibration_report;
 pub mod chaos;
+pub mod churn;
 pub mod crossover;
 pub mod fig07;
 pub mod figures_ack;
@@ -25,6 +26,7 @@ pub mod tables;
 pub use ablations::*;
 pub use calibration_report::*;
 pub use chaos::*;
+pub use churn::*;
 pub use crossover::*;
 pub use fig07::*;
 pub use figures_ack::*;
@@ -147,6 +149,8 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "chaos_crash",
         "chaos_link_down",
         "chaos_campaign",
+        "churn_crash_rejoin",
+        "partition_heal",
     ]
 }
 
@@ -190,6 +194,8 @@ pub fn run_experiment(id: &str, effort: Effort) -> Table {
         "chaos_crash" => chaos_crash(effort),
         "chaos_link_down" => chaos_link_down(effort),
         "chaos_campaign" => chaos_campaign(effort),
+        "churn_crash_rejoin" => churn_crash_rejoin(effort),
+        "partition_heal" => partition_heal(effort),
         other => panic!("unknown experiment id {other:?}; see all_experiment_ids()"),
     }
 }

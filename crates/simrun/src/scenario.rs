@@ -183,18 +183,23 @@ impl Scenario {
                     )),
                 );
                 for (i, &h) in receiver_hosts.iter().enumerate() {
-                    let r = Receiver::new(cfg, gspec, Rank::from_receiver_index(i), seed);
-                    sim.spawn(
-                        h,
-                        PORT,
-                        Box::new(NodeProcess::new(
-                            r,
-                            NodeRole::Receiver { index: i },
-                            Rc::clone(&addr),
-                            self.cost,
-                            Rc::clone(&rec),
-                        )),
+                    let rank = Rank::from_receiver_index(i);
+                    let r = Receiver::new(cfg, gspec, rank, seed);
+                    let mut node = NodeProcess::new(
+                        r,
+                        NodeRole::Receiver { index: i },
+                        Rc::clone(&addr),
+                        self.cost,
+                        Rc::clone(&rec),
                     );
+                    if cfg.membership.enabled {
+                        // A crash-restarted host reboots with no protocol
+                        // state and must rejoin through JOIN/SYNC.
+                        node = node.with_rebuild(move |now| {
+                            Receiver::new_joining(cfg, gspec, rank, seed, now)
+                        });
+                    }
+                    sim.spawn(h, PORT, Box::new(node));
                 }
             }
             Protocol::RawUdp { packet_size } => {
@@ -353,6 +358,11 @@ impl Scenario {
             failures: rec.failures.iter().map(|&(id, e, _)| (id, e)).collect(),
             receiver_failures: rec.receiver_failures.clone(),
             evictions: rec.evictions.clone(),
+            joins: rec.joins.clone(),
+            restarts: rec.restarts,
+            delivered_msgs: rec.deliveries.clone(),
+            sender_stats: rec.sender_stats.clone(),
+            receiver_stats: rec.receiver_stats.clone(),
             trace,
         }
     }
@@ -385,6 +395,17 @@ pub struct ChaosOutcome {
     pub receiver_failures: Vec<(Rank, u64, SessionError)>,
     /// `(rank, msg_id)` eviction notices observed at any endpoint.
     pub evictions: Vec<(Rank, u64)>,
+    /// `(rank, epoch)` membership admissions announced by the sender.
+    pub joins: Vec<(Rank, u32)>,
+    /// Crash-restarted hosts that respawned their endpoint.
+    pub restarts: usize,
+    /// Every `(rank, msg_id, time, bytes)` delivery, for per-receiver
+    /// exactly-once checks.
+    pub delivered_msgs: Vec<(Rank, u64, Time, usize)>,
+    /// Final sender counters (epoch and membership activity included).
+    pub sender_stats: Stats,
+    /// Final per-receiver counters, by receiver index.
+    pub receiver_stats: Vec<Stats>,
     /// Network-level counters, including chaos drop causes.
     pub trace: TraceCounters,
 }
@@ -411,6 +432,8 @@ impl Recorder {
             failures: self.failures.clone(),
             receiver_failures: self.receiver_failures.clone(),
             evictions: self.evictions.clone(),
+            joins: self.joins.clone(),
+            restarts: self.restarts,
             sender_stats: self.sender_stats.clone(),
             receiver_stats: self.receiver_stats.clone(),
             expect_msgs: self.expect_msgs,

@@ -30,6 +30,16 @@ pub struct ClusterConfig {
     /// look exactly like crashed nodes to the rest of the group. Requires
     /// liveness knobs (bounded retries / eviction) for the run to finish.
     pub dead_receivers: Vec<usize>,
+    /// Receiver indices that start dead and come back after the given
+    /// wall-clock delay as fresh joining endpoints on the same socket —
+    /// a kill-and-restart of the receiver process. Requires
+    /// `protocol.membership.enabled` so the reboot can rejoin.
+    pub restart_receivers: Vec<(usize, StdDuration)>,
+    /// Legacy liveness policy: terminate a node thread after a run of
+    /// consecutive socket errors. With membership enabled the heartbeat
+    /// failure detector is the liveness authority (the same policy the
+    /// simulator backend uses) and this can be turned off.
+    pub io_error_giveup: bool,
 }
 
 impl ClusterConfig {
@@ -42,6 +52,8 @@ impl ClusterConfig {
             seed: 42,
             hub_drop_every: None,
             dead_receivers: Vec::new(),
+            restart_receivers: Vec::new(),
+            io_error_giveup: true,
         }
     }
 }
@@ -61,6 +73,8 @@ pub struct ClusterResult {
     pub failures: Vec<(Rank, u64, SessionError)>,
     /// `(reporting rank, evicted peer, msg_id)` straggler evictions.
     pub evictions: Vec<(Rank, Rank, u64)>,
+    /// `(admitted peer, epoch)` membership admissions at the sender.
+    pub joins: Vec<(Rank, u32)>,
 }
 
 /// Run one sender and `n` receivers over real UDP sockets until every
@@ -92,8 +106,11 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
 
     // Receivers. "Dead" ones keep their bound socket (so nothing is
     // rewired) but never run: every datagram sent to them vanishes.
+    // Restarting ones start the same way, then come back below.
     for (i, rsock) in receiver_socks.iter().enumerate() {
-        if cfg.dead_receivers.contains(&i) {
+        if cfg.dead_receivers.contains(&i)
+            || cfg.restart_receivers.iter().any(|&(r, _)| r == i)
+        {
             continue;
         }
         let ep = Receiver::new(
@@ -106,10 +123,44 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
         let addrs = addrs.clone();
         let tx = tx.clone();
         let stop = Arc::clone(&stop);
+        let giveup = cfg.io_error_giveup;
         handles.push(
             std::thread::Builder::new()
                 .name(format!("udprun-recv{}", i + 1))
-                .spawn(move || drive(ep, sock, addrs, Rank::from_receiver_index(i), tx, stop))?,
+                .spawn(move || {
+                    drive(ep, sock, addrs, Rank::from_receiver_index(i), tx, stop, giveup)
+                })?,
+        );
+    }
+
+    // Restarting receivers: the socket stays bound (and silent) for the
+    // delay, then a fresh endpoint with no memory of the old incarnation
+    // boots on it and works its way back in through JOIN/SYNC.
+    for &(i, delay) in &cfg.restart_receivers {
+        let protocol = cfg.protocol;
+        let sock = receiver_socks[i].try_clone()?;
+        let addrs = addrs.clone();
+        let tx = tx.clone();
+        let stop = Arc::clone(&stop);
+        let giveup = cfg.io_error_giveup;
+        let seed = cfg.seed.wrapping_add(i as u64);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("udprun-reboot{}", i + 1))
+                .spawn(move || {
+                    std::thread::sleep(delay);
+                    if stop.load(Ordering::Relaxed) {
+                        return Ok(());
+                    }
+                    // Drain datagrams that piled up while "down": the old
+                    // incarnation would have lost them too.
+                    let mut scratch = [0u8; 65_536];
+                    sock.set_read_timeout(Some(StdDuration::from_micros(100)))?;
+                    while sock.recv_from(&mut scratch).is_ok() {}
+                    let rank = Rank::from_receiver_index(i);
+                    let ep = Receiver::new_joining(protocol, group, rank, seed, Time::ZERO);
+                    drive(ep, sock, addrs, rank, tx, stop, giveup)
+                })?,
         );
     }
 
@@ -124,10 +175,11 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
         let addrs = addrs.clone();
         let tx = tx.clone();
         let stop = Arc::clone(&stop);
+        let giveup = cfg.io_error_giveup;
         handles.push(
             std::thread::Builder::new()
                 .name("udprun-sender".into())
-                .spawn(move || drive(sender, sock, addrs, Rank::SENDER, tx, stop))?,
+                .spawn(move || drive(sender, sock, addrs, Rank::SENDER, tx, stop, giveup))?,
         );
     }
     drop(tx);
@@ -138,6 +190,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
     let mut deliveries = Vec::new();
     let mut failures: Vec<(Rank, u64, SessionError)> = Vec::new();
     let mut evictions: Vec<(Rank, Rank, u64)> = Vec::new();
+    let mut joins: Vec<(Rank, u32)> = Vec::new();
     let mut resolved = 0u64;
     let mut elapsed = None;
     let mut stats: HashMap<Rank, Stats> = HashMap::new();
@@ -184,6 +237,9 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
             Ok(NodeEvent::Evicted { rank, peer, msg_id }) => {
                 evictions.push((rank, peer, msg_id));
             }
+            Ok(NodeEvent::Joined { peer, epoch, .. }) => {
+                joins.push((peer, epoch));
+            }
             Ok(NodeEvent::Finished { rank, stats: s }) => {
                 stats.insert(rank, s);
             }
@@ -209,6 +265,9 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
             Ok(NodeEvent::Evicted { rank, peer, msg_id }) => {
                 evictions.push((rank, peer, msg_id));
             }
+            Ok(NodeEvent::Joined { peer, epoch, .. }) => {
+                joins.push((peer, epoch));
+            }
             Ok(NodeEvent::Finished { rank, stats: s }) => {
                 stats.insert(rank, s);
             }
@@ -227,6 +286,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
                 error,
             } => failures.push((rank, msg_id, error)),
             NodeEvent::Evicted { rank, peer, msg_id } => evictions.push((rank, peer, msg_id)),
+            NodeEvent::Joined { peer, epoch, .. } => joins.push((peer, epoch)),
             NodeEvent::Finished { rank, stats: s } => {
                 stats.insert(rank, s);
             }
@@ -250,5 +310,6 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
         receiver_stats: stats,
         failures,
         evictions,
+        joins,
     })
 }

@@ -70,6 +70,15 @@ pub enum NodeEvent {
         /// Message id the eviction happened during.
         msg_id: u64,
     },
+    /// The sender admitted a (re)joining receiver into the group.
+    Joined {
+        /// Reporting node's rank (the sender).
+        rank: Rank,
+        /// The admitted peer.
+        peer: Rank,
+        /// The membership epoch created by the admission.
+        epoch: u32,
+    },
     /// The node thread exited (stats snapshot attached).
     Finished {
         /// Node rank (0 = sender).
@@ -83,10 +92,19 @@ pub enum NodeEvent {
 /// thread gives up. Transient `ECONNREFUSED`-style errors from a peer that
 /// died mid-run must not wedge or kill the survivors; a persistently broken
 /// socket still terminates the thread with the underlying error.
+///
+/// This is the legacy liveness policy, active only with
+/// `io_error_giveup = true`: with membership enabled the heartbeat
+/// failure detector inside the protocol is the liveness authority (the
+/// same policy the simulator backend uses), and IO errors from dead
+/// peers are absorbed indefinitely.
 const MAX_CONSEC_IO_ERRORS: u32 = 64;
 
 /// Drive `ep` over `socket` until `stop` is raised. `rank` identifies the
-/// node in [`NodeEvent`]s.
+/// node in [`NodeEvent`]s. With `io_error_giveup` the thread dies after
+/// [`MAX_CONSEC_IO_ERRORS`] consecutive socket errors (the pre-membership
+/// compat behavior); without it, socket errors never terminate the thread
+/// and peer death is the failure detector's problem.
 pub fn drive<E: Endpoint>(
     mut ep: E,
     socket: UdpSocket,
@@ -94,6 +112,7 @@ pub fn drive<E: Endpoint>(
     rank: Rank,
     events: ChanSender<NodeEvent>,
     stop: Arc<AtomicBool>,
+    io_error_giveup: bool,
 ) -> io::Result<()> {
     let epoch = Instant::now();
     let now = |epoch: Instant| Time::from_nanos(epoch.elapsed().as_nanos() as u64);
@@ -115,7 +134,7 @@ pub fn drive<E: Endpoint>(
                 // On Linux a UDP socket can surface ECONNREFUSED from a
                 // dead peer; count it, don't die on it.
                 consec_errors += 1;
-                if consec_errors > MAX_CONSEC_IO_ERRORS {
+                if io_error_giveup && consec_errors > MAX_CONSEC_IO_ERRORS {
                     return Err(e);
                 }
             }
@@ -134,7 +153,7 @@ pub fn drive<E: Endpoint>(
                 Ok(_) => consec_errors = 0,
                 Err(e) => {
                     consec_errors += 1;
-                    if consec_errors > MAX_CONSEC_IO_ERRORS {
+                    if io_error_giveup && consec_errors > MAX_CONSEC_IO_ERRORS {
                         return Err(e);
                     }
                 }
@@ -157,6 +176,9 @@ pub fn drive<E: Endpoint>(
                 },
                 AppEvent::ReceiverEvicted { msg_id, rank: peer } => {
                     NodeEvent::Evicted { rank, peer, msg_id }
+                }
+                AppEvent::ReceiverJoined { rank: peer, epoch } => {
+                    NodeEvent::Joined { rank, peer, epoch }
                 }
             };
             if events.send(out).is_err() {

@@ -137,6 +137,99 @@ fn killed_receiver_without_eviction_fails_with_typed_error() {
 }
 
 #[test]
+fn heartbeat_detector_evicts_dead_receiver_over_real_sockets() {
+    // The membership failure detector replaces the legacy liveness pair
+    // (bounded retries + consecutive-IO-error giveup): with retries
+    // unbounded and the giveup compat flag off, only missed heartbeats
+    // can unstick the group from a dead receiver.
+    let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(6), 4_000, 12);
+    cfg.rto = rmcast::Duration::from_millis(40);
+    cfg.liveness = rmcast::LivenessConfig::PAPER; // retry forever
+    cfg.membership = rmcast::MembershipConfig::enabled();
+    cfg.membership.heartbeat_interval = rmcast::Duration::from_millis(20);
+    let msg = payload(60_000);
+    let mut cc = ClusterConfig::new(cfg, 4);
+    cc.dead_receivers = vec![1];
+    cc.io_error_giveup = false;
+    cc.timeout = std::time::Duration::from_secs(20);
+    let out = run_cluster(cc, vec![msg.clone()]).expect("cluster");
+
+    let live: Vec<Rank> = out.deliveries.iter().map(|(r, _, _)| *r).collect();
+    assert_eq!(live.len(), 3, "three survivors deliver");
+    assert!(!live.contains(&Rank(2)), "the dead node cannot deliver");
+    for (_, _, data) in &out.deliveries {
+        assert_eq!(data, &msg);
+    }
+    assert!(
+        out.evictions.iter().any(|&(_, peer, _)| peer == Rank(2)),
+        "the detector must evict the dead node: {:?}",
+        out.evictions
+    );
+    assert!(
+        out.sender_stats.suspects >= 1,
+        "eviction must come from the heartbeat detector (suspect first)"
+    );
+    assert!(
+        out.failures.is_empty(),
+        "no message may be abandoned: {:?}",
+        out.failures
+    );
+}
+
+#[test]
+fn restarted_receiver_rejoins_over_real_sockets() {
+    // Receiver index 1 is down from the start; 300ms in — after the
+    // heartbeat detector has evicted it — a fresh endpoint reboots on the
+    // same socket and must rejoin through JOIN/WELCOME/SYNC and catch the
+    // tail of the stream. Hub loss plus a 40ms RTO paces the stream so it
+    // is still flowing when the reboot lands.
+    let mut cfg = ProtocolConfig::new(ProtocolKind::Ack, 4_000, 8);
+    cfg.rto = rmcast::Duration::from_millis(40);
+    cfg.liveness = rmcast::LivenessConfig::evicting(6);
+    cfg.membership = rmcast::MembershipConfig::enabled();
+    cfg.membership.heartbeat_interval = rmcast::Duration::from_millis(20);
+    cfg.membership.join_retry = rmcast::Duration::from_millis(20);
+    let msgs: Vec<Bytes> = (0..14).map(|i| payload(24_000 + i * 100)).collect();
+    let mut cc = ClusterConfig::new(cfg, 4);
+    cc.hub_drop_every = Some(20);
+    cc.restart_receivers = vec![(1, std::time::Duration::from_millis(300))];
+    cc.timeout = std::time::Duration::from_secs(30);
+    let out = run_cluster(cc, msgs.clone()).expect("cluster");
+
+    assert!(
+        out.evictions.iter().any(|&(_, peer, _)| peer == Rank(2)),
+        "the down node must be evicted first: {:?}",
+        out.evictions
+    );
+    assert!(
+        out.joins.iter().any(|&(peer, _)| peer == Rank(2)),
+        "the rebooted node must be re-admitted: {:?}",
+        out.joins
+    );
+    // Exactly-once in-order at every rank, correct bytes everywhere.
+    let mut per_rank: std::collections::HashMap<Rank, Vec<u64>> = std::collections::HashMap::new();
+    for (rank, msg_id, data) in &out.deliveries {
+        assert_eq!(data, &msgs[*msg_id as usize], "corrupt payload at {rank:?}");
+        per_rank.entry(*rank).or_default().push(*msg_id);
+    }
+    for (rank, ids) in &per_rank {
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "{rank:?}: duplicate or out-of-order delivery {ids:?}"
+        );
+    }
+    let all: Vec<u64> = (0..msgs.len() as u64).collect();
+    for r in [Rank(1), Rank(3), Rank(4)] {
+        assert_eq!(per_rank.get(&r), Some(&all), "{r:?} missed messages");
+    }
+    let victim = per_rank.get(&Rank(2)).cloned().unwrap_or_default();
+    assert!(
+        victim.contains(&(msgs.len() as u64 - 1)),
+        "rejoined node missed the final message, got {victim:?}"
+    );
+}
+
+#[test]
 fn pipelined_handshake_over_real_udp() {
     let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(6), 4_000, 12);
     cfg.rto = rmcast::Duration::from_millis(50);
