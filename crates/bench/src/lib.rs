@@ -23,10 +23,21 @@ pub fn run_once(sc: &Scenario) -> RunResult {
     sc.run(1)
 }
 
-/// Print a headline line for bench logs.
+/// Print a headline line for bench logs, including per-receiver delivery
+/// latency percentiles (time from run start to each receiver's delivery).
 pub fn headline(tag: &str, r: &RunResult) {
+    let mut lat = rmtrace::Histogram::new();
+    for &(_, secs) in &r.delivery_times {
+        lat.record((secs * 1e9) as u64);
+    }
     eprintln!(
-        "[{}] time={} throughput={:.1}Mbps acks@sender={} retx={}",
-        tag, r.comm_time, r.throughput_mbps, r.sender_stats.acks_received, r.sender_stats.retx_sent
+        "[{}] time={} throughput={:.1}Mbps acks@sender={} retx={} delivery_p50={} delivery_p99={}",
+        tag,
+        r.comm_time,
+        r.throughput_mbps,
+        r.sender_stats.acks_received,
+        r.sender_stats.retx_sent,
+        rmtrace::hist::fmt_ns(lat.p50()),
+        rmtrace::hist::fmt_ns(lat.p99())
     );
 }

@@ -85,6 +85,14 @@ pub enum AppEvent {
         /// The membership epoch created by the admission.
         epoch: u32,
     },
+    /// The endpoint's flight recorder captured a post-mortem snapshot at
+    /// the moment a failure was recorded (`messages_failed` increment /
+    /// liveness bound trip). Emitted only when a flight recorder was
+    /// enabled via [`Endpoint::enable_flight_recorder`].
+    FlightRecorderDump {
+        /// The last events, counter snapshot, and reason.
+        dump: rmtrace::FlightDump,
+    },
 }
 
 /// Whether an endpoint is the group's sender or one of its receivers.
@@ -121,4 +129,17 @@ pub trait Endpoint {
     /// `true` when the endpoint has nothing in flight and nothing queued:
     /// drivers may use this for quiescence detection.
     fn is_idle(&self) -> bool;
+
+    /// Attach a trace sink receiving this endpoint's protocol events.
+    /// Engines without tracing support ignore the sink (default).
+    fn set_trace_sink(&mut self, sink: Box<dyn rmtrace::TraceSink>) {
+        let _ = sink;
+    }
+
+    /// Keep the last `cap` events in a flight recorder, dumped as an
+    /// [`AppEvent::FlightRecorderDump`] when a failure is recorded.
+    /// Ignored by engines without tracing support (default).
+    fn enable_flight_recorder(&mut self, cap: usize) {
+        let _ = cap;
+    }
 }

@@ -64,6 +64,7 @@ pub mod packet;
 pub mod receiver;
 pub mod sender;
 pub mod stats;
+pub mod telemetry;
 pub mod tree;
 pub mod window;
 
@@ -76,5 +77,7 @@ pub use membership::{FailureDetector, LivenessVerdict, RttEstimator};
 pub use receiver::Receiver;
 pub use sender::Sender;
 pub use stats::Stats;
+pub use telemetry::{ReceiverTelemetry, SenderTelemetry};
 
+pub use rmtrace::{FlightDump, Histogram, JsonlSink, MemorySink, NullSink, TraceEvent, TraceSink};
 pub use rmwire::{Duration, GroupSpec, Rank, SeqNo, Time};

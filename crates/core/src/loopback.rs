@@ -210,12 +210,13 @@ impl Loopback {
 
     fn endpoint_timeouts(&self) -> Vec<Option<Time>> {
         let mut v = vec![self.sender.poll_timeout()];
-        v.extend(
-            self.receivers
-                .iter()
-                .enumerate()
-                .map(|(i, r)| if self.dead[i] { None } else { r.poll_timeout() }),
-        );
+        v.extend(self.receivers.iter().enumerate().map(|(i, r)| {
+            if self.dead[i] {
+                None
+            } else {
+                r.poll_timeout()
+            }
+        }));
         v
     }
 

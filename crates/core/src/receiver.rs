@@ -20,10 +20,12 @@ use crate::endpoint::{AppEvent, Dest, Endpoint, Transmit};
 use crate::error::SessionError;
 use crate::packet::{self, Packet};
 use crate::stats::Stats;
+use crate::telemetry::ReceiverTelemetry;
 use crate::tree::{TreeLinks, TreeTopology};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rmtrace::{TraceEvent, Tracer};
 use rmwire::{AllocBody, GroupSpec, Header, PacketFlags, Rank, SeqNo, Time};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -51,6 +53,9 @@ struct TransferState {
     child_cov: Vec<u32>,
     /// Last cumulative acknowledgment sent toward the sender/parent.
     sent_up: Option<u32>,
+    /// When the first packet of this transfer was heard (assembly-latency
+    /// telemetry).
+    first_heard: Option<Time>,
 }
 
 impl TransferState {
@@ -62,6 +67,7 @@ impl TransferState {
             delivered: false,
             child_cov: vec![0; n_children],
             sent_up: None,
+            first_heard: None,
         }
     }
 
@@ -138,6 +144,11 @@ pub struct Receiver {
     /// JOIN retry timer, armed while `joining`.
     join_deadline: Option<Time>,
     rng: SmallRng,
+    tracer: Tracer,
+    telem: ReceiverTelemetry,
+    /// Latest driver-provided time, for trace hooks on paths without a
+    /// `now` parameter (send_ack from the acknowledgment policies).
+    now_cache: Time,
 }
 
 impl Receiver {
@@ -189,6 +200,9 @@ impl Receiver {
             min_transfer: 0,
             join_deadline: None,
             rng: SmallRng::seed_from_u64(seed ^ (rank.0 as u64) << 32),
+            tracer: Tracer::off(rank.0),
+            telem: ReceiverTelemetry::default(),
+            now_cache: Time::ZERO,
         }
     }
 
@@ -276,6 +290,11 @@ impl Receiver {
         self.rank
     }
 
+    /// Latency distributions maintained by this receiver.
+    pub fn telemetry(&self) -> &ReceiverTelemetry {
+        &self.telem
+    }
+
     fn n_children(&self) -> usize {
         self.links.as_ref().map_or(0, |l| l.children.len())
     }
@@ -334,6 +353,13 @@ impl Receiver {
         // state the sender never resolves for this receiver.
         if header.transfer < self.min_transfer {
             self.stats.data_discarded += 1;
+            self.tracer.emit(
+                now.as_nanos(),
+                TraceEvent::DataDiscarded {
+                    transfer: header.transfer,
+                    seq: header.seq.0,
+                },
+            );
             return;
         }
         let transfer = header.transfer;
@@ -361,10 +387,15 @@ impl Receiver {
                 .is_none_or(|st| st.assembly.is_none() && !st.delivered)
         {
             self.stats.data_discarded += 1;
+            self.tracer
+                .emit(now.as_nanos(), TraceEvent::DataDiscarded { transfer, seq });
             return;
         }
 
         let st = self.ensure_state(transfer, is_alloc);
+        if st.first_heard.is_none() {
+            st.first_heard = Some(now);
+        }
         if st.assembly.is_none() && !st.delivered && !is_alloc {
             let assembly = match alloc_body {
                 Some(b) => Assembly::preallocated(
@@ -406,6 +437,13 @@ impl Receiver {
         if matches!(offer, Offer::Duplicate) {
             self.stats.data_discarded += 1;
         }
+        if self.tracer.active() {
+            let ev = match offer {
+                Offer::InOrder | Offer::Buffered => TraceEvent::DataRecv { transfer, seq },
+                Offer::Duplicate | Offer::Rejected => TraceEvent::DataDiscarded { transfer, seq },
+            };
+            self.tracer.emit(now.as_nanos(), ev);
+        }
 
         // Sample buffer occupancy for Table 1.
         let buffered = self
@@ -438,6 +476,13 @@ impl Receiver {
                 .into_bytes();
             let msg_id = (transfer / 2) as u64;
             self.stats.messages_completed += 1;
+            if let Some(first) = st.first_heard {
+                self.telem
+                    .assembly_ns
+                    .record(now.saturating_since(first).as_nanos());
+            }
+            self.tracer
+                .emit(now.as_nanos(), TraceEvent::Delivered { transfer, msg_id });
             self.events
                 .push_back(AppEvent::MessageDelivered { msg_id, data });
             // A newly delivered message obsoletes the pending NAK state for
@@ -539,6 +584,13 @@ impl Receiver {
 
     fn send_ack(&mut self, dest: Dest, transfer: u32, next_expected: u32) {
         self.stats.acks_sent += 1;
+        self.tracer.emit(
+            self.now_cache.as_nanos(),
+            TraceEvent::AckSent {
+                transfer,
+                next: next_expected,
+            },
+        );
         let payload = if self.cfg.membership.enabled {
             packet::encode_ack_epoch(self.rank, transfer, SeqNo(next_expected), self.epoch)
         } else {
@@ -590,6 +642,13 @@ impl Receiver {
 
     fn emit_nak(&mut self, dest: Dest, transfer: u32, expected: u32) {
         self.stats.naks_sent += 1;
+        self.tracer.emit(
+            self.now_cache.as_nanos(),
+            TraceEvent::NakSent {
+                transfer,
+                seq: expected,
+            },
+        );
         let payload = if self.cfg.membership.enabled {
             packet::encode_nak_epoch(self.rank, transfer, SeqNo(expected), self.epoch)
         } else {
@@ -611,6 +670,14 @@ impl Receiver {
         let Some(&slot) = self.child_slot.get(&rank) else {
             return; // not one of our tree children; stray
         };
+        self.tracer.emit(
+            now.as_nanos(),
+            TraceEvent::AckReceived {
+                from: rank.0,
+                transfer,
+                next: next_expected,
+            },
+        );
         let st = self.ensure_state(transfer, false);
         let advanced = next_expected > st.child_cov[slot];
         st.child_cov[slot] = st.child_cov[slot].max(next_expected);
@@ -676,6 +743,13 @@ impl Receiver {
                 .expect("children imply tree links")
                 .children[slot];
             self.stats.evictions += 1;
+            self.tracer.emit(
+                now.as_nanos(),
+                TraceEvent::Evicted {
+                    peer: rank.0,
+                    transfer,
+                },
+            );
             self.events.push_back(AppEvent::ReceiverEvicted {
                 msg_id: (transfer / 2) as u64,
                 rank,
@@ -701,7 +775,7 @@ impl Receiver {
     /// The sender went silent past `receiver_giveup`: abandon every
     /// incomplete (or announced-but-unstarted) message with a typed error
     /// instead of waiting forever.
-    fn give_up_on_sender(&mut self) {
+    fn give_up_on_sender(&mut self, now: Time) {
         // Oldest transfer per abandoned message id, for the error report.
         let mut failed: BTreeMap<u64, u32> = BTreeMap::new();
         for (&t, st) in &self.transfers {
@@ -718,12 +792,37 @@ impl Receiver {
         self.alloc_pending.clear();
         self.pending_nak = None;
         self.stall_deadline = None;
+        let any_failed = !failed.is_empty();
         for (msg_id, transfer) in failed {
             self.stats.messages_failed += 1;
             self.events.push_back(AppEvent::MessageFailed {
                 msg_id,
                 error: SessionError::SenderStalled { transfer },
             });
+        }
+        if any_failed {
+            self.push_flight_dump(now, "receiver gave up on silent sender");
+        }
+    }
+
+    /// Snapshot the flight recorder (when enabled) into an app event, so
+    /// the driver can surface the last moments before a failure.
+    fn push_flight_dump(&mut self, now: Time, reason: &str) {
+        if let Some(dump) = self
+            .tracer
+            .flight_dump(now.as_nanos(), reason, self.stats.snapshot())
+        {
+            self.events.push_back(AppEvent::FlightRecorderDump { dump });
+        }
+    }
+
+    /// Adopt a (possibly newer) epoch announced by the sender, tracing
+    /// the transition.
+    fn adopt_epoch(&mut self, now: Time, epoch: u32) {
+        if epoch > self.epoch {
+            self.epoch = epoch;
+            self.tracer
+                .emit(now.as_nanos(), TraceEvent::EpochChange { epoch });
         }
     }
 
@@ -764,7 +863,7 @@ impl Receiver {
             return;
         }
         self.last_heard = now;
-        self.epoch = self.epoch.max(epoch);
+        self.adopt_epoch(now, epoch);
         if self.joining {
             // Not a member yet: the JOIN retry timer covers liveness.
             return;
@@ -789,7 +888,7 @@ impl Receiver {
     /// the SYNC handoff at the next message boundary.
     fn on_welcome(&mut self, now: Time, epoch: u32) {
         self.last_heard = now;
-        self.epoch = self.epoch.max(epoch);
+        self.adopt_epoch(now, epoch);
     }
 
     /// The SYNC handoff: we are a member from `body.epoch` on, obligated
@@ -797,7 +896,7 @@ impl Receiver {
     /// (or fails) without us.
     fn on_sync(&mut self, now: Time, body: rmwire::SyncBody) {
         self.last_heard = now;
-        self.epoch = self.epoch.max(body.epoch);
+        self.adopt_epoch(now, body.epoch);
         if body.detached_root() {
             // Re-parented as a detached tree root: the old parent chain no
             // longer waits on us; aggregates go straight to the sender.
@@ -838,12 +937,16 @@ impl Receiver {
         {
             self.pending_nak = None;
         }
+        let any_failed = !failed.is_empty();
         for (msg_id, transfer) in failed {
             self.stats.messages_failed += 1;
             self.events.push_back(AppEvent::MessageFailed {
                 msg_id,
                 error: SessionError::SenderStalled { transfer },
             });
+        }
+        if any_failed {
+            self.push_flight_dump(now, "SYNC abandoned pre-admission transfers");
         }
         if self.joining {
             self.joining = false;
@@ -862,6 +965,7 @@ enum DataBody<'a> {
 
 impl Endpoint for Receiver {
     fn handle_datagram(&mut self, now: Time, datagram: &[u8]) {
+        self.now_cache = self.now_cache.max(now);
         let pkt = match Packet::parse(datagram) {
             Ok(p) => p,
             Err(_) => {
@@ -887,6 +991,7 @@ impl Endpoint for Receiver {
     }
 
     fn handle_timeout(&mut self, now: Time) {
+        self.now_cache = self.now_cache.max(now);
         if let Some(p) = self.pending_nak.take() {
             if p.deadline <= now {
                 // Multicast to the group and unicast to the sender (the
@@ -915,7 +1020,7 @@ impl Endpoint for Receiver {
             }
         }
         if self.giveup_deadline().is_some_and(|d| d <= now) {
-            self.give_up_on_sender();
+            self.give_up_on_sender(now);
         }
     }
 
@@ -942,6 +1047,14 @@ impl Endpoint for Receiver {
 
     fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    fn set_trace_sink(&mut self, sink: Box<dyn rmtrace::TraceSink>) {
+        self.tracer.set_sink(sink);
+    }
+
+    fn enable_flight_recorder(&mut self, cap: usize) {
+        self.tracer.enable_flight_recorder(cap);
     }
 
     fn is_idle(&self) -> bool {
@@ -1367,7 +1480,10 @@ mod tests {
         // admits us for transfers >= 2.
         r.handle_datagram(Time::ZERO, &packet::encode_welcome(Rank::SENDER, 2));
         assert_eq!(r.epoch(), 2);
-        r.handle_datagram(Time::ZERO, &packet::encode_sync(Rank::SENDER, sync_body(2, 1, 0)));
+        r.handle_datagram(
+            Time::ZERO,
+            &packet::encode_sync(Rank::SENDER, sync_body(2, 1, 0)),
+        );
         assert_eq!(r.stats().joins, 1);
         assert!(r.is_idle(), "JOIN retry timer disarmed");
         // Message 1 (transfer 3) is delivered and ACKed with our epoch.
@@ -1462,7 +1578,10 @@ mod tests {
         r.handle_datagram(Time::ZERO, &data(1, 0, PacketFlags::EMPTY, b"aa"));
         let _ = drain(&mut r);
         assert!(r.poll_timeout().is_some(), "stall timer armed");
-        r.handle_datagram(Time::ZERO, &packet::encode_sync(Rank::SENDER, sync_body(3, 2, 0)));
+        r.handle_datagram(
+            Time::ZERO,
+            &packet::encode_sync(Rank::SENDER, sync_body(3, 2, 0)),
+        );
         assert_eq!(
             r.poll_event(),
             Some(AppEvent::MessageFailed {
@@ -1473,7 +1592,10 @@ mod tests {
         assert_eq!(r.epoch(), 3);
         assert!(r.is_idle(), "nothing left to wait on");
         // Retransmissions of the abandoned transfer are discarded.
-        r.handle_datagram(Time::ZERO, &data(1, 1, PacketFlags::LAST | PacketFlags::RETX, b"bb"));
+        r.handle_datagram(
+            Time::ZERO,
+            &data(1, 1, PacketFlags::LAST | PacketFlags::RETX, b"bb"),
+        );
         assert!(drain(&mut r).is_empty());
     }
 

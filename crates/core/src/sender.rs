@@ -15,9 +15,11 @@ use crate::error::SessionError;
 use crate::membership::{FailureDetector, LivenessVerdict, RttEstimator};
 use crate::packet::{self, Packet};
 use crate::stats::Stats;
+use crate::telemetry::SenderTelemetry;
 use crate::tree::TreeTopology;
 use crate::window::SendWindow;
 use bytes::Bytes;
+use rmtrace::{TraceEvent, Tracer};
 use rmwire::{AllocBody, Duration, GroupSpec, PacketFlags, Rank, SeqNo, SyncBody, Time};
 use std::collections::VecDeque;
 
@@ -113,6 +115,9 @@ struct Transfer {
     /// Effective RTO, grown by `LivenessConfig::rto_backoff` on each
     /// consecutive timeout and reset on progress.
     cur_rto: Duration,
+    /// `true` while the window is full with payload remaining — edge
+    /// detector so `WindowStall` traces once per stall, not per attempt.
+    stalled: bool,
 }
 
 /// Which half of the message the active transfer is.
@@ -177,6 +182,13 @@ pub struct Sender {
     detached: Vec<bool>,
     /// Jacobson/Karels RTT estimator, fed only when `cfg.adaptive_rto`.
     rtt: RttEstimator,
+    /// Trace sink + flight recorder handle (inert by default).
+    tracer: Tracer,
+    /// Latency/occupancy distributions, always maintained.
+    telem: SenderTelemetry,
+    /// Timestamp of the most recent driver call, for trace emission from
+    /// paths that do not carry `now` (membership admissions, data emits).
+    now_cache: Time,
 }
 
 impl Sender {
@@ -191,7 +203,10 @@ impl Sender {
         let n = group.n_receivers as usize;
         let (epoch, detector) = if cfg.membership.enabled {
             let m = cfg.membership;
-            (1, Some(FailureDetector::new(n, m.suspect_misses, m.evict_misses)))
+            (
+                1,
+                Some(FailureDetector::new(n, m.suspect_misses, m.evict_misses)),
+            )
         } else {
             (0, None)
         };
@@ -215,7 +230,15 @@ impl Sender {
             pending_joins: Vec::new(),
             detached: vec![false; n],
             rtt: RttEstimator::default(),
+            tracer: Tracer::off(Rank::SENDER.0),
+            telem: SenderTelemetry::default(),
+            now_cache: Time::ZERO,
         }
+    }
+
+    /// Latency/occupancy distributions maintained by this sender.
+    pub fn telemetry(&self) -> &SenderTelemetry {
+        &self.telem
     }
 
     /// The current membership epoch (`0` when membership is disabled).
@@ -231,6 +254,7 @@ impl Sender {
     /// Queue a message for reliable multicast; transfers run strictly in
     /// submission order. Returns the message id.
     pub fn send_message(&mut self, now: Time, data: Bytes) -> u64 {
+        self.now_cache = self.now_cache.max(now);
         let id = self.next_msg_id;
         self.next_msg_id += 1;
         self.queue.push_back((id, data));
@@ -296,6 +320,7 @@ impl Sender {
             release,
             streak: 0,
             cur_rto: self.base_rto(),
+            stalled: false,
         }
     }
 
@@ -427,8 +452,15 @@ impl Sender {
     /// rate-based flow control is enabled).
     fn pump(&mut self, now: Time) {
         let rate = self.cfg.rate_limit_bytes_per_sec;
+        let mut stall = None;
         while let Some(t) = self.transfer.as_mut() {
             if !t.win.can_send() {
+                // Edge-detect a flow-control stall: the window is full
+                // while payload remains unsent.
+                if t.win.next() < t.win.k() && !t.stalled {
+                    t.stalled = true;
+                    stall = Some((t.id, t.win.base()));
+                }
                 break;
             }
             if rate.is_some() && self.pace_gate > now {
@@ -452,9 +484,14 @@ impl Sender {
             let seq = t.win.mark_sent(now);
             self.emit_data(Which::Staged, seq, false);
         }
+        if let Some((transfer, base)) = stall {
+            self.tracer
+                .emit(now.as_nanos(), TraceEvent::WindowStall { transfer, base });
+        }
         if let Some(t) = &self.transfer {
             self.stats
                 .sample_buffer(t.win.buffered_bytes(self.cfg.packet_size));
+            self.telem.window_occupancy.record(t.win.occupancy() as u64);
         }
     }
 
@@ -533,12 +570,30 @@ impl Sender {
 
         if retx {
             self.stats.retx_sent += 1;
+            if self.tracer.active() {
+                let nth = self
+                    .tref(which)
+                    .and_then(|t| t.win.slot(seq))
+                    .map_or(0, |s| s.retx);
+                self.tracer.emit(
+                    self.now_cache.as_nanos(),
+                    TraceEvent::Retransmit {
+                        transfer: tid,
+                        seq,
+                        nth,
+                    },
+                );
+            }
         } else {
             self.stats.data_sent += 1;
             if is_data {
                 self.stats.payload_bytes_sent += (payload.len() - rmwire::HEADER_LEN) as u64;
                 self.stats.user_copy_bytes += copied as u64;
             }
+            self.tracer.emit(
+                self.now_cache.as_nanos(),
+                TraceEvent::DataSent { transfer: tid, seq },
+            );
         }
         self.out.push_back(Transmit {
             dest,
@@ -606,17 +661,27 @@ impl Sender {
         let Some(which) = self.which_by_id(transfer_id) else {
             return;
         };
-        if self.cfg.adaptive_rto && next_expected > 0 {
+        self.tracer.emit(
+            now.as_nanos(),
+            TraceEvent::AckReceived {
+                from: rank.0,
+                transfer: transfer_id,
+                next: next_expected,
+            },
+        );
+        if next_expected > 0 {
             // Sample the round trip of the newest packet this ACK covers,
             // honouring Karn's rule: a retransmitted packet's ACK is
-            // ambiguous about which transmission it answers.
-            if let Some(slot) = self
-                .tmut(which)
-                .and_then(|t| t.win.slot_mut(next_expected - 1))
-            {
+            // ambiguous about which transmission it answers. The sample
+            // always feeds the telemetry histogram; it adjusts the RTO
+            // only under `adaptive_rto`.
+            if let Some(slot) = self.tref(which).and_then(|t| t.win.slot(next_expected - 1)) {
                 if slot.retx == 0 {
                     let sample = now.saturating_since(slot.last_tx);
-                    self.rtt.sample(sample);
+                    self.telem.ack_rtt_ns.record(sample.as_nanos());
+                    if self.cfg.adaptive_rto {
+                        self.rtt.sample(sample);
+                    }
                 }
             }
         }
@@ -625,12 +690,26 @@ impl Sender {
         if let Some(released) = t.release.update(rank, next_expected.min(t.win.k())) {
             let before = t.win.base();
             t.win.release(released);
-            if t.win.base() > before {
+            let progressed = t.win.base() > before;
+            if progressed {
                 // Window progress: the liveness bound starts over.
                 t.streak = 0;
                 t.cur_rto = base_rto;
+                t.stalled = false;
             }
-            if t.win.all_released() {
+            let (tid, new_base, occ, done) =
+                (t.id, t.win.base(), t.win.occupancy(), t.win.all_released());
+            if progressed {
+                self.tracer.emit(
+                    now.as_nanos(),
+                    TraceEvent::WindowRelease {
+                        transfer: tid,
+                        base: new_base,
+                    },
+                );
+                self.telem.window_occupancy.record(occ as u64);
+            }
+            if done {
                 match which {
                     Which::Cur => self.finish_transfer(now),
                     Which::Staged => {
@@ -645,7 +724,14 @@ impl Sender {
         }
     }
 
-    fn on_nak(&mut self, now: Time, rank: Rank, transfer_id: u32, expected: u32, epoch: Option<u32>) {
+    fn on_nak(
+        &mut self,
+        now: Time,
+        rank: Rank,
+        transfer_id: u32,
+        expected: u32,
+        epoch: Option<u32>,
+    ) {
         self.stats.naks_received += 1;
         if rank.is_sender() || !self.group.contains(rank) {
             return;
@@ -656,6 +742,14 @@ impl Sender {
         let Some(which) = self.which_by_id(transfer_id) else {
             return;
         };
+        self.tracer.emit(
+            now.as_nanos(),
+            TraceEvent::NakReceived {
+                from: rank.0,
+                transfer: transfer_id,
+                seq: expected,
+            },
+        );
         let dest = if self.cfg.unicast_retx_on_nak {
             Dest::Rank(rank)
         } else {
@@ -827,6 +921,13 @@ impl Sender {
                 d.reset(idx);
             }
             self.stats.evictions += 1;
+            self.tracer.emit(
+                now.as_nanos(),
+                TraceEvent::Evicted {
+                    peer: rank.0,
+                    transfer: tid,
+                },
+            );
             self.events
                 .push_back(AppEvent::ReceiverEvicted { msg_id, rank });
             // Both in-flight transfers wait on the same receiver set; the
@@ -839,9 +940,18 @@ impl Sender {
         }
         if self.cfg.membership.enabled {
             self.epoch += 1;
+            self.emit_epoch_change();
             self.announce();
         }
         self.settle(now);
+    }
+
+    /// Trace the membership epoch taking a new value.
+    fn emit_epoch_change(&mut self) {
+        self.tracer.emit(
+            self.now_cache.as_nanos(),
+            TraceEvent::EpochChange { epoch: self.epoch },
+        );
     }
 
     /// Multicast a heartbeat announce carrying the current epoch.
@@ -883,6 +993,14 @@ impl Sender {
             .as_ref()
             .map(|&(id, _, _)| id)
             .unwrap_or(self.next_msg_id);
+        let tid = self.transfer.as_ref().map(|t| t.id).unwrap_or_default();
+        self.tracer.emit(
+            self.now_cache.as_nanos(),
+            TraceEvent::Evicted {
+                peer: rank.0,
+                transfer: tid,
+            },
+        );
         self.events
             .push_back(AppEvent::ReceiverEvicted { msg_id, rank });
         self.drop_from_releases(rank);
@@ -927,6 +1045,7 @@ impl Sender {
                 self.remove_member(Rank::from_receiver_index(idx));
             }
             self.epoch += 1;
+            self.emit_epoch_change();
             self.announce();
             self.settle(now);
         }
@@ -978,6 +1097,7 @@ impl Sender {
         }
         self.remove_member(rank);
         self.epoch += 1;
+        self.emit_epoch_change();
         self.announce();
         self.settle(now);
     }
@@ -1013,6 +1133,7 @@ impl Sender {
         let next_transfer = Self::alloc_transfer_id(next_msg);
         let is_tree = matches!(self.cfg.kind, ProtocolKind::Tree { .. });
         self.epoch += 1;
+        self.emit_epoch_change();
         for rank in joiners {
             let idx = rank.receiver_index();
             self.evicted[idx] = false;
@@ -1083,8 +1204,17 @@ impl Sender {
             if t.win.base() > before {
                 t.streak = 0;
                 t.cur_rto = base_rto;
+                t.stalled = false;
+                let (tid, new_base) = (t.id, t.win.base());
+                self.tracer.emit(
+                    now.as_nanos(),
+                    TraceEvent::WindowRelease {
+                        transfer: tid,
+                        base: new_base,
+                    },
+                );
             }
-            if t.win.all_released() {
+            if self.transfer.as_ref().is_some_and(|t| t.win.all_released()) {
                 self.finish_transfer(now);
             } else {
                 self.pump(now);
@@ -1095,6 +1225,13 @@ impl Sender {
     /// Abandon a message with a typed error and move on to the next.
     fn fail_message(&mut self, which: Which, now: Time, error: SessionError) {
         self.stats.messages_failed += 1;
+        if let Some(dump) = self.tracer.flight_dump(
+            now.as_nanos(),
+            &format!("sender abandoned message: {error:?}"),
+            self.stats.snapshot(),
+        ) {
+            self.events.push_back(AppEvent::FlightRecorderDump { dump });
+        }
         match which {
             Which::Cur => {
                 self.transfer = None;
@@ -1117,6 +1254,7 @@ impl Sender {
 
 impl Endpoint for Sender {
     fn handle_datagram(&mut self, now: Time, datagram: &[u8]) {
+        self.now_cache = self.now_cache.max(now);
         let pkt = match Packet::parse(datagram) {
             Ok(p) => p,
             Err(_) => {
@@ -1140,7 +1278,13 @@ impl Endpoint for Sender {
                 header,
                 body,
                 epoch,
-            } => self.on_nak(now, header.src_rank, header.transfer, body.expected.0, epoch),
+            } => self.on_nak(
+                now,
+                header.src_rank,
+                header.transfer,
+                body.expected.0,
+                epoch,
+            ),
             Packet::Join { header, .. } => self.on_join(now, header.src_rank),
             Packet::Leave { header, .. } => self.on_leave(now, header.src_rank),
             Packet::Heartbeat { header, body } => self.on_heartbeat(header.src_rank, body.epoch),
@@ -1156,6 +1300,7 @@ impl Endpoint for Sender {
     }
 
     fn handle_timeout(&mut self, now: Time) {
+        self.now_cache = self.now_cache.max(now);
         // Pacing wake-up: just refill the window.
         if self.pace_deadline().is_some_and(|d| d <= now) {
             self.pump(now);
@@ -1172,11 +1317,20 @@ impl Endpoint for Sender {
                 continue;
             }
             self.stats.timeouts += 1;
-            let (streak, rto) = {
+            let (tid, streak, rto) = {
                 let t = self.tmut(which).expect("transfer exists");
                 t.streak += 1;
-                (t.streak, t.cur_rto)
+                (t.id, t.streak, t.cur_rto)
             };
+            self.telem.rto_at_fire_ns.record(rto.as_nanos());
+            self.tracer.emit(
+                now.as_nanos(),
+                TraceEvent::TimeoutFired {
+                    transfer: tid,
+                    streak,
+                    rto_ns: rto.as_nanos(),
+                },
+            );
             if liveness.max_retx.is_some_and(|m| streak > m) {
                 // The retry budget is spent: resolve the stall instead of
                 // retransmitting into the void forever.
@@ -1243,6 +1397,14 @@ impl Endpoint for Sender {
             && self.staged.is_none()
             && self.queue.is_empty()
             && self.out.is_empty()
+    }
+
+    fn set_trace_sink(&mut self, sink: Box<dyn rmtrace::TraceSink>) {
+        self.tracer.set_sink(sink);
+    }
+
+    fn enable_flight_recorder(&mut self, cap: usize) {
+        self.tracer.enable_flight_recorder(cap);
     }
 }
 
@@ -1707,10 +1869,8 @@ mod tests {
         s.send_message(Time::ZERO, Bytes::from(vec![1u8; 100]));
         let out = drain(&mut s);
         assert!(
-            out.iter().any(|t| matches!(
-                Packet::parse(&t.payload).unwrap(),
-                Packet::Heartbeat { .. }
-            )),
+            out.iter()
+                .any(|t| matches!(Packet::parse(&t.payload).unwrap(), Packet::Heartbeat { .. })),
             "going busy announces a heartbeat"
         );
         // Receiver 1 acknowledges and keeps replying to heartbeats;
@@ -1745,10 +1905,8 @@ mod tests {
         s.handle_datagram(Time::ZERO, &packet::encode_join(Rank(2), 0));
         let out = drain(&mut s);
         assert!(
-            out.iter().any(|t| matches!(
-                Packet::parse(&t.payload).unwrap(),
-                Packet::Welcome { .. }
-            )),
+            out.iter()
+                .any(|t| matches!(Packet::parse(&t.payload).unwrap(), Packet::Welcome { .. })),
             "a JOIN is answered immediately"
         );
         // Rank 1 alone completes the message (rank 2 is pending, excluded).

@@ -3,64 +3,129 @@
 //! These counters feed the paper's Table 2 (control packets per data
 //! packet) and Table 1 (memory requirement) reproductions, and every
 //! experiment's sanity checks.
+//!
+//! The fields are declared once through [`define_stats!`], which derives
+//! the struct, [`Stats::merge`], the `(name, value)` field enumeration
+//! and the JSON encoder from the same list — so a newly added counter can
+//! never be silently dropped from aggregation or from flight-recorder
+//! snapshots (a guard test below asserts every field participates).
 
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
-/// Counters maintained by every [`crate::Sender`] / [`crate::Receiver`].
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Stats {
+macro_rules! merge_field {
+    (sum, $a:expr, $b:expr) => {
+        $a += $b
+    };
+    (max, $a:expr, $b:expr) => {
+        $a = $a.max($b)
+    };
+}
+
+macro_rules! define_stats {
+    ($( $(#[$doc:meta])* $name:ident : $kind:ident, )*) => {
+        /// Counters maintained by every [`crate::Sender`] / [`crate::Receiver`].
+        #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+        pub struct Stats {
+            $( $(#[$doc])* pub $name: u64, )*
+        }
+
+        impl Stats {
+            /// Number of counter fields (kept in lockstep with the struct
+            /// by construction).
+            pub const FIELD_COUNT: usize = [$(stringify!($name)),*].len();
+
+            /// Merge another endpoint's counters into this one (used to
+            /// aggregate across receivers). Each field combines according
+            /// to its declared kind: `sum` adds, `max` keeps the peak.
+            pub fn merge(&mut self, other: &Stats) {
+                $( merge_field!($kind, self.$name, other.$name); )*
+            }
+
+            /// Every counter as a `(name, value)` pair, in declaration
+            /// order (flight-recorder snapshots, reports).
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($name), self.$name), )* ]
+            }
+
+            /// Every counter's declared merge kind (`"sum"` or `"max"`),
+            /// in declaration order.
+            pub fn field_kinds() -> Vec<(&'static str, &'static str)> {
+                vec![ $( (stringify!($name), stringify!($kind)), )* ]
+            }
+
+            /// Encode as a flat JSON object (hand-rolled; the workspace's
+            /// serde is an inert shim).
+            pub fn to_json(&self) -> String {
+                let mut s = String::from("{");
+                let mut first = true;
+                for (name, v) in self.fields() {
+                    if !first {
+                        s.push(',');
+                    }
+                    first = false;
+                    let _ = write!(s, "\"{name}\":{v}");
+                }
+                s.push('}');
+                s
+            }
+        }
+    };
+}
+
+define_stats! {
     /// Original (non-retransmitted) data packets sent.
-    pub data_sent: u64,
+    data_sent: sum,
     /// Retransmitted data packets sent.
-    pub retx_sent: u64,
+    retx_sent: sum,
     /// Data packets received (duplicates included).
-    pub data_received: u64,
+    data_received: sum,
     /// Duplicate or out-of-window data packets discarded.
-    pub data_discarded: u64,
+    data_discarded: sum,
     /// ACK packets sent.
-    pub acks_sent: u64,
+    acks_sent: sum,
     /// ACK packets received (and processed).
-    pub acks_received: u64,
+    acks_received: sum,
     /// NAK packets sent.
-    pub naks_sent: u64,
+    naks_sent: sum,
     /// NAK packets received.
-    pub naks_received: u64,
+    naks_received: sum,
     /// NAKs a receiver wanted to send but suppressed (rate limit or
     /// overheard multicast NAK).
-    pub naks_suppressed: u64,
+    naks_suppressed: sum,
     /// Retransmissions suppressed by the sender-side scheme.
-    pub retx_suppressed: u64,
+    retx_suppressed: sum,
     /// Bytes copied from the user buffer into protocol buffers (the cost
     /// Figure 9 isolates).
-    pub user_copy_bytes: u64,
+    user_copy_bytes: sum,
     /// Application payload bytes carried in data packets sent.
-    pub payload_bytes_sent: u64,
+    payload_bytes_sent: sum,
     /// Messages fully sent (sender) or delivered (receiver).
-    pub messages_completed: u64,
+    messages_completed: sum,
     /// High-water mark of bytes held in the protocol window / receive
     /// buffers (Table 1's "memory requirement").
-    pub peak_buffer_bytes: u64,
+    peak_buffer_bytes: max,
     /// Malformed datagrams ignored.
-    pub decode_errors: u64,
+    decode_errors: sum,
     /// Retransmission timeouts that fired.
-    pub timeouts: u64,
+    timeouts: sum,
     /// Messages abandoned under the liveness bounds (sender giving up or a
     /// receiver declaring the sender dead).
-    pub messages_failed: u64,
+    messages_failed: sum,
     /// Peers evicted from the proof obligation by straggler eviction.
-    pub evictions: u64,
+    evictions: sum,
     /// Heartbeat packets sent (sender announces, receiver replies).
-    pub heartbeats_sent: u64,
+    heartbeats_sent: sum,
     /// Heartbeat packets received.
-    pub heartbeats_received: u64,
+    heartbeats_received: sum,
     /// Members admitted into the group (sender) or SYNC handoffs processed
     /// (receiver).
-    pub joins: u64,
+    joins: sum,
     /// Members that crossed the failure detector's suspect threshold.
-    pub suspects: u64,
+    suspects: sum,
     /// ACK/NAK packets discarded because they carried a stale membership
     /// epoch.
-    pub stale_epoch_discarded: u64,
+    stale_epoch_discarded: sum,
 }
 
 impl Stats {
@@ -89,38 +154,69 @@ impl Stats {
         }
     }
 
-    /// Merge another endpoint's counters into this one (used to aggregate
-    /// across receivers).
-    pub fn merge(&mut self, other: &Stats) {
-        self.data_sent += other.data_sent;
-        self.retx_sent += other.retx_sent;
-        self.data_received += other.data_received;
-        self.data_discarded += other.data_discarded;
-        self.acks_sent += other.acks_sent;
-        self.acks_received += other.acks_received;
-        self.naks_sent += other.naks_sent;
-        self.naks_received += other.naks_received;
-        self.naks_suppressed += other.naks_suppressed;
-        self.retx_suppressed += other.retx_suppressed;
-        self.user_copy_bytes += other.user_copy_bytes;
-        self.payload_bytes_sent += other.payload_bytes_sent;
-        self.messages_completed += other.messages_completed;
-        self.peak_buffer_bytes = self.peak_buffer_bytes.max(other.peak_buffer_bytes);
-        self.decode_errors += other.decode_errors;
-        self.timeouts += other.timeouts;
-        self.messages_failed += other.messages_failed;
-        self.evictions += other.evictions;
-        self.heartbeats_sent += other.heartbeats_sent;
-        self.heartbeats_received += other.heartbeats_received;
-        self.joins += other.joins;
-        self.suspects += other.suspects;
-        self.stale_epoch_discarded += other.stale_epoch_discarded;
+    /// Counter snapshot as owned `(name, value)` pairs (flight recorder).
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.fields()
+            .into_iter()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A `Stats` with every counter set to `v` (merge-guard helper). The
+    /// literal below must name every field — the struct has no `..` rest
+    /// here, so adding a counter to `define_stats!` fails this helper at
+    /// compile time until it is added, and the `all == 1` assert catches
+    /// a field accidentally initialized to something else.
+    fn all_set(v: u64) -> Stats {
+        let mut s = Stats::default();
+        let ones = Stats {
+            data_sent: 1,
+            retx_sent: 1,
+            data_received: 1,
+            data_discarded: 1,
+            acks_sent: 1,
+            acks_received: 1,
+            naks_sent: 1,
+            naks_received: 1,
+            naks_suppressed: 1,
+            retx_suppressed: 1,
+            user_copy_bytes: 1,
+            payload_bytes_sent: 1,
+            messages_completed: 1,
+            peak_buffer_bytes: 1,
+            decode_errors: 1,
+            timeouts: 1,
+            messages_failed: 1,
+            evictions: 1,
+            heartbeats_sent: 1,
+            heartbeats_received: 1,
+            joins: 1,
+            suspects: 1,
+            stale_epoch_discarded: 1,
+        };
+        assert!(
+            ones.fields().iter().all(|&(_, x)| x == 1),
+            "all_set() helper missed a field; update it"
+        );
+        for _ in 0..v {
+            s.merge(&ones);
+        }
+        // Max-kind fields saturate at 1 under repeated merge; fix them up.
+        for (name, kind) in Stats::field_kinds() {
+            if kind == "max" {
+                match name {
+                    "peak_buffer_bytes" => s.peak_buffer_bytes = v,
+                    other => panic!("new max field {other} needs a setter here"),
+                }
+            }
+        }
+        s
+    }
 
     #[test]
     fn peak_tracking() {
@@ -159,5 +255,42 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.data_sent, 3);
         assert_eq!(a.peak_buffer_bytes, 10);
+    }
+
+    /// The field-count guard: every declared counter shows up in the JSON
+    /// serialization and participates in `merge` with its declared kind.
+    /// Adding a field to `define_stats!` automatically extends all three;
+    /// adding one anywhere else is impossible (the macro owns the struct).
+    #[test]
+    fn every_field_serializes_and_merges() {
+        let mut a = all_set(1);
+        let b = all_set(2);
+
+        // JSON carries exactly FIELD_COUNT fields, each by name.
+        let json = b.to_json();
+        assert_eq!(
+            json.matches("\":").count(),
+            Stats::FIELD_COUNT,
+            "to_json field count mismatch: {json}"
+        );
+        for (name, _) in b.fields() {
+            assert!(
+                json.contains(&format!("\"{name}\":2")),
+                "{name} missing from {json}"
+            );
+        }
+        assert_eq!(b.fields().len(), Stats::FIELD_COUNT);
+        assert_eq!(Stats::field_kinds().len(), Stats::FIELD_COUNT);
+
+        // Merge combines every field: sum fields become 1+2, max fields
+        // become max(1, 2). A field merge forgot would still read 1.
+        a.merge(&b);
+        for ((name, v), (_, kind)) in a.fields().into_iter().zip(Stats::field_kinds()) {
+            match kind {
+                "sum" => assert_eq!(v, 3, "field {name} dropped from merge (sum)"),
+                "max" => assert_eq!(v, 2, "field {name} dropped from merge (max)"),
+                other => panic!("unknown merge kind {other} on {name}"),
+            }
+        }
     }
 }

@@ -1,0 +1,30 @@
+//! Latency and occupancy distributions maintained by the engines.
+//!
+//! Unlike [`crate::Stats`] counters these are full distributions
+//! ([`rmtrace::Histogram`]): fixed-size, allocation-free, and recorded
+//! unconditionally (the cost is a few adds per sample), so benches and
+//! experiments always have percentiles without enabling a trace sink.
+
+use rmtrace::Histogram;
+
+/// Distributions a [`crate::Sender`] maintains.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SenderTelemetry {
+    /// ACK round-trip time in nanoseconds, sampled under Karn's rule
+    /// (only ACKs covering a never-retransmitted packet).
+    pub ack_rtt_ns: Histogram,
+    /// The effective RTO (nanoseconds) each time a retransmission timer
+    /// fired — shows backoff behavior under loss.
+    pub rto_at_fire_ns: Histogram,
+    /// Send-window occupancy (packets outstanding) sampled on every
+    /// window state change.
+    pub window_occupancy: Histogram,
+}
+
+/// Distributions a [`crate::Receiver`] maintains.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReceiverTelemetry {
+    /// Per-message assembly latency in nanoseconds: first data packet of
+    /// a transfer heard → message delivered to the application.
+    pub assembly_ns: Histogram,
+}

@@ -104,6 +104,20 @@ impl SendWindow {
         self.slots.get_mut((seq - self.base) as usize)
     }
 
+    /// Read-only slot for an outstanding `seq` (tracing / telemetry).
+    pub fn slot(&self, seq: u32) -> Option<&Slot> {
+        if seq < self.base || seq >= self.next {
+            return None;
+        }
+        self.slots.get((seq - self.base) as usize)
+    }
+
+    /// Packets currently outstanding (sent but unreleased), as a count —
+    /// the window-occupancy gauge.
+    pub fn occupancy(&self) -> u32 {
+        self.next - self.base
+    }
+
     /// Release every packet below `upto` (idempotent; clamped to what has
     /// actually been sent).
     pub fn release(&mut self, upto: u32) {

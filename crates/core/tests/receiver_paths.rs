@@ -16,7 +16,9 @@ fn data(transfer: u32, seq: u32, flags: PacketFlags, chunk: &[u8]) -> Bytes {
 fn drain_acks(r: &mut Receiver) -> Vec<(Dest, u32, u32)> {
     std::iter::from_fn(|| r.poll_transmit())
         .filter_map(|t| match Packet::parse(&t.payload).unwrap() {
-            Packet::Ack { header, body, .. } => Some((t.dest, header.transfer, body.next_expected.0)),
+            Packet::Ack { header, body, .. } => {
+                Some((t.dest, header.transfer, body.next_expected.0))
+            }
             _ => None,
         })
         .collect()

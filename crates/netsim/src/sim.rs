@@ -83,6 +83,7 @@ pub struct Sim {
     rng: SmallRng,
     trace: TraceCounters,
     log: EventLog,
+    trace_sink: Option<Box<dyn rmtrace::TraceSink>>,
     next_ip_id: u64,
     stop: bool,
     routes_dirty: bool,
@@ -108,6 +109,7 @@ impl Sim {
             rng: SmallRng::seed_from_u64(seed),
             trace: TraceCounters::default(),
             log: EventLog::default(),
+            trace_sink: None,
             next_ip_id: 0,
             stop: false,
             routes_dirty: true,
@@ -133,9 +135,17 @@ impl Sim {
     }
 
     /// Enable the packet-level event log, keeping at most `capacity`
-    /// entries (zero disables it; disabled by default).
+    /// entries (zero disables it; disabled by default). Keeps the *first*
+    /// `capacity` events; see [`Sim::set_log_keep_last`] for the ring
+    /// variant.
     pub fn set_log_capacity(&mut self, capacity: usize) {
         self.log = EventLog::with_capacity(capacity);
+    }
+
+    /// Enable the packet-level event log in ring mode: at most `capacity`
+    /// entries, evicting the oldest, so the *end* of a long run survives.
+    pub fn set_log_keep_last(&mut self, capacity: usize) {
+        self.log = EventLog::with_ring_capacity(capacity);
     }
 
     /// The packet-level event log.
@@ -143,10 +153,35 @@ impl Sim {
         &self.log
     }
 
+    /// Stream network drop events into a structured trace sink. Endpoints
+    /// writing to the same sink through their own tracers interleave a
+    /// packet's full journey (sent → dropped/delivered → acked) in one
+    /// stream.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn rmtrace::TraceSink>) {
+        self.trace_sink = Some(sink);
+    }
+
     fn log_event(&mut self, ev: LogEvent) {
         if self.log.enabled() {
             let now = self.now.as_nanos();
             self.log.record(now, ev);
+        }
+    }
+
+    /// Count a drop and, when a trace sink is attached, emit it there
+    /// too. `host` is the host at (or toward) which the drop happened;
+    /// fabric-level drops (switch queues, trunks) have none and are
+    /// stamped `u16::MAX`.
+    fn note_drop(&mut self, cause: DropCause, host: Option<HostId>) {
+        self.trace.record_drop(cause);
+        if let Some(sink) = &mut self.trace_sink {
+            sink.emit(&rmtrace::TraceRecord {
+                t_ns: self.now.as_nanos(),
+                rank: host.map_or(u16::MAX, |h| h.0 as u16),
+                ev: rmtrace::TraceEvent::Drop {
+                    cause: cause.name(),
+                },
+            });
         }
     }
 
@@ -366,7 +401,7 @@ impl Sim {
             Event::TimerFire { host, gen } => self.timer_fire(host, gen),
             Event::ReassemblyExpire { host, key } => {
                 if self.hosts[host.0].reassembly.remove(&key).is_some() {
-                    self.trace.record_drop(DropCause::ReassemblyTimeout);
+                    self.note_drop(DropCause::ReassemblyTimeout, Some(host));
                     self.log_event(LogEvent::Drop {
                         cause: DropCause::ReassemblyTimeout,
                     });
@@ -503,7 +538,7 @@ impl Sim {
     ) {
         let p = self.cfg.faults.frame_loss;
         if p > 0.0 && self.rng.gen::<f64>() < p {
-            self.trace.record_drop(DropCause::WireFault);
+            self.note_drop(DropCause::WireFault, edge);
             return;
         }
         let dup = self.cfg.faults.frame_dup;
@@ -514,13 +549,13 @@ impl Sim {
         };
         if let Some(h) = edge {
             if !self.fault_plan.link_down.is_empty() && self.fault_plan.link_is_down(h, done) {
-                self.trace.record_drop(DropCause::LinkDown);
+                self.note_drop(DropCause::LinkDown, Some(h));
                 return;
             }
             if !self.fault_plan.link_loss.is_empty() {
                 let lp = self.fault_plan.link_loss_for(h);
                 if lp > 0.0 && self.rng.gen::<f64>() < lp {
-                    self.trace.record_drop(DropCause::WireFault);
+                    self.note_drop(DropCause::WireFault, Some(h));
                     return;
                 }
             }
@@ -533,13 +568,13 @@ impl Sim {
                 };
                 self.burst_bad[h.0] = bad;
                 if bad {
-                    self.trace.record_drop(DropCause::BurstLoss);
+                    self.note_drop(DropCause::BurstLoss, Some(h));
                     return;
                 }
             }
         }
         if self.fault_plan.corrupt > 0.0 && self.rng.gen::<f64>() < self.fault_plan.corrupt {
-            self.trace.record_drop(DropCause::Corrupt);
+            self.note_drop(DropCause::Corrupt, edge);
             return;
         }
         let mut at = done + prop_delay;
@@ -613,7 +648,7 @@ impl Sim {
                 && !self.fault_plan.trunk_down.is_empty()
                 && self.fault_plan.trunk_is_down(self.now)
             {
-                self.trace.record_drop(DropCause::TrunkDown);
+                self.note_drop(DropCause::TrunkDown, None);
                 self.log_event(LogEvent::Drop {
                     cause: DropCause::TrunkDown,
                 });
@@ -623,7 +658,7 @@ impl Sim {
             let port = &mut self.switches[sw.0].ports[p];
             let link = port.link;
             if port.egress.queued_bytes(eligible) + bytes > cap {
-                self.trace.record_drop(DropCause::SwitchQueueFull);
+                self.note_drop(DropCause::SwitchQueueFull, None);
                 continue;
             }
             let tx = frame.tx_time(link.rate_bps);
@@ -643,7 +678,7 @@ impl Sim {
 
     fn frame_at_host(&mut self, host: HostId, frame: Frame) {
         if !self.fault_plan.host_faults.is_empty() && self.fault_plan.host_crashed(host, self.now) {
-            self.trace.record_drop(DropCause::HostDown);
+            self.note_drop(DropCause::HostDown, Some(host));
             return;
         }
         self.trace.frames_received += 1;
@@ -696,7 +731,7 @@ impl Sim {
 
         let p = self.cfg.faults.datagram_loss;
         if p > 0.0 && self.rng.gen::<f64>() < p {
-            self.trace.record_drop(DropCause::DatagramFault);
+            self.note_drop(DropCause::DatagramFault, Some(host));
             return;
         }
 
@@ -710,7 +745,7 @@ impl Sim {
             return;
         };
         if *buffered + len > sockbuf {
-            self.trace.record_drop(DropCause::SockBufFull);
+            self.note_drop(DropCause::SockBufFull, Some(host));
             self.log_event(LogEvent::Drop {
                 cause: DropCause::SockBufFull,
             });
@@ -897,7 +932,7 @@ impl Sim {
                 let lost = self.cfg.faults.frame_loss > 0.0
                     && self.rng.gen::<f64>() < self.cfg.faults.frame_loss;
                 if lost {
-                    self.trace.record_drop(DropCause::WireFault);
+                    self.note_drop(DropCause::WireFault, Some(host));
                 } else {
                     let at = done + self.cfg.link.prop_delay;
                     for h in 0..self.hosts.len() {
@@ -923,12 +958,11 @@ impl Sim {
                 let jam_end = self.now + BusState::JAM_TIME;
                 self.bus.busy_until = jam_end;
                 for host in contenders {
-                    let a = &mut self.bus.attempts[host.0];
-                    *a += 1;
-                    if *a > BusState::MAX_ATTEMPTS {
+                    self.bus.attempts[host.0] += 1;
+                    if self.bus.attempts[host.0] > BusState::MAX_ATTEMPTS {
                         self.bus.txq[host.0].pop_front();
-                        self.trace.record_drop(DropCause::ExcessiveCollisions);
-                        *a = 0;
+                        self.note_drop(DropCause::ExcessiveCollisions, Some(host));
+                        self.bus.attempts[host.0] = 0;
                         if self.bus.txq[host.0].is_empty() {
                             continue;
                         }

@@ -326,8 +326,7 @@ fn trunk_heals_after_the_window() {
     assert!(dropped > 0, "no frame hit the outage window");
     assert_eq!(log.len() as u64 + dropped, 20);
     assert!(
-        log.iter()
-            .all(|&(t, _, _)| t < window.0 || t >= window.1),
+        log.iter().all(|&(t, _, _)| t < window.0 || t >= window.1),
         "a delivery landed inside the outage: {log:?}"
     );
 }

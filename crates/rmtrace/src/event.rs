@@ -1,0 +1,271 @@
+//! The event taxonomy: everything a protocol endpoint or the network can
+//! tell the trace about one packet's journey.
+//!
+//! Events are deliberately small and integer-only (the one exception is
+//! the network drop cause, a `&'static str` bridged from the simulator's
+//! `DropCause` names) so emitting one never allocates.
+
+use std::fmt::Write as _;
+
+/// A typed protocol event. Sequence-carrying variants identify a packet
+/// by `(transfer, seq)`; `transfer` is the engine's transfer id (even =
+/// allocation handshake, odd = data phase; message id = `transfer / 2`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Sender put a fresh data packet on the wire.
+    DataSent {
+        /// Transfer id.
+        transfer: u32,
+        /// Packet sequence number within the transfer.
+        seq: u32,
+    },
+    /// Sender retransmitted a packet (timeout- or NAK-driven).
+    Retransmit {
+        /// Transfer id.
+        transfer: u32,
+        /// Packet sequence number within the transfer.
+        seq: u32,
+        /// How many times this packet has now been retransmitted.
+        nth: u32,
+    },
+    /// Receiver accepted a data packet into its assembly buffer.
+    DataRecv {
+        /// Transfer id.
+        transfer: u32,
+        /// Packet sequence number within the transfer.
+        seq: u32,
+    },
+    /// Receiver discarded a data packet (duplicate or out of window).
+    DataDiscarded {
+        /// Transfer id.
+        transfer: u32,
+        /// Packet sequence number within the transfer.
+        seq: u32,
+    },
+    /// Receiver completed a transfer and handed the message to the app.
+    Delivered {
+        /// Transfer id.
+        transfer: u32,
+        /// Message id (`transfer / 2`).
+        msg_id: u64,
+    },
+    /// Receiver emitted an acknowledgment.
+    AckSent {
+        /// Transfer id.
+        transfer: u32,
+        /// Cumulative next-expected sequence number.
+        next: u32,
+    },
+    /// Sender (or tree parent) processed an acknowledgment.
+    AckReceived {
+        /// Acknowledging peer's rank.
+        from: u16,
+        /// Transfer id.
+        transfer: u32,
+        /// Cumulative next-expected sequence number acknowledged.
+        next: u32,
+    },
+    /// Receiver emitted a negative acknowledgment for a gap.
+    NakSent {
+        /// Transfer id.
+        transfer: u32,
+        /// First missing sequence number.
+        seq: u32,
+    },
+    /// Sender processed a negative acknowledgment.
+    NakReceived {
+        /// Complaining peer's rank.
+        from: u16,
+        /// Transfer id.
+        transfer: u32,
+        /// First missing sequence number.
+        seq: u32,
+    },
+    /// A retransmission timer fired at the sender.
+    TimeoutFired {
+        /// Transfer id.
+        transfer: u32,
+        /// Consecutive timeouts on this transfer (backoff streak).
+        streak: u32,
+        /// The RTO in force when the timer fired, in nanoseconds.
+        rto_ns: u64,
+    },
+    /// The send window filled while payload remained (flow-control stall).
+    /// Emitted on the transition into the stalled state, not per attempt.
+    WindowStall {
+        /// Transfer id.
+        transfer: u32,
+        /// First unreleased sequence number at the stall.
+        base: u32,
+    },
+    /// The release tracker advanced: every packet below `base` left the
+    /// window and its buffer was freed.
+    WindowRelease {
+        /// Transfer id.
+        transfer: u32,
+        /// New first unreleased sequence number.
+        base: u32,
+    },
+    /// A peer was evicted from its acknowledgment obligation.
+    Evicted {
+        /// The evicted peer's rank.
+        peer: u16,
+        /// Transfer id the eviction happened during.
+        transfer: u32,
+    },
+    /// The membership epoch changed.
+    EpochChange {
+        /// The new epoch.
+        epoch: u32,
+    },
+    /// The network dropped a datagram (bridged from the simulator's
+    /// `DropCause`; rank is the host where the drop happened).
+    Drop {
+        /// Stable drop-cause name (e.g. `"BurstLoss"`).
+        cause: &'static str,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event-type name used as the JSON `ev` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::DataSent { .. } => "DataSent",
+            TraceEvent::Retransmit { .. } => "Retransmit",
+            TraceEvent::DataRecv { .. } => "DataRecv",
+            TraceEvent::DataDiscarded { .. } => "DataDiscarded",
+            TraceEvent::Delivered { .. } => "Delivered",
+            TraceEvent::AckSent { .. } => "AckSent",
+            TraceEvent::AckReceived { .. } => "AckReceived",
+            TraceEvent::NakSent { .. } => "NakSent",
+            TraceEvent::NakReceived { .. } => "NakReceived",
+            TraceEvent::TimeoutFired { .. } => "TimeoutFired",
+            TraceEvent::WindowStall { .. } => "WindowStall",
+            TraceEvent::WindowRelease { .. } => "WindowRelease",
+            TraceEvent::Evicted { .. } => "Evicted",
+            TraceEvent::EpochChange { .. } => "EpochChange",
+            TraceEvent::Drop { .. } => "Drop",
+        }
+    }
+}
+
+/// One trace record: an event stamped with time and endpoint rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Nanoseconds since the run's origin (virtual time under the
+    /// simulator, wall clock since a shared epoch over real sockets).
+    pub t_ns: u64,
+    /// Emitting endpoint's rank (0 = sender) or simulator host id.
+    pub rank: u16,
+    /// The event.
+    pub ev: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Encode as one JSON object (no trailing newline). The field order
+    /// is fixed so identical runs produce byte-identical traces.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t\":{},\"rank\":{},\"ev\":\"{}\"",
+            self.t_ns,
+            self.rank,
+            self.ev.name()
+        );
+        match &self.ev {
+            TraceEvent::DataSent { transfer, seq } => {
+                let _ = write!(s, ",\"transfer\":{transfer},\"seq\":{seq}");
+            }
+            TraceEvent::Retransmit { transfer, seq, nth } => {
+                let _ = write!(s, ",\"transfer\":{transfer},\"seq\":{seq},\"nth\":{nth}");
+            }
+            TraceEvent::DataRecv { transfer, seq }
+            | TraceEvent::DataDiscarded { transfer, seq } => {
+                let _ = write!(s, ",\"transfer\":{transfer},\"seq\":{seq}");
+            }
+            TraceEvent::Delivered { transfer, msg_id } => {
+                let _ = write!(s, ",\"transfer\":{transfer},\"msg_id\":{msg_id}");
+            }
+            TraceEvent::AckSent { transfer, next } => {
+                let _ = write!(s, ",\"transfer\":{transfer},\"next\":{next}");
+            }
+            TraceEvent::AckReceived {
+                from,
+                transfer,
+                next,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"from\":{from},\"transfer\":{transfer},\"next\":{next}"
+                );
+            }
+            TraceEvent::NakSent { transfer, seq } => {
+                let _ = write!(s, ",\"transfer\":{transfer},\"seq\":{seq}");
+            }
+            TraceEvent::NakReceived {
+                from,
+                transfer,
+                seq,
+            } => {
+                let _ = write!(s, ",\"from\":{from},\"transfer\":{transfer},\"seq\":{seq}");
+            }
+            TraceEvent::TimeoutFired {
+                transfer,
+                streak,
+                rto_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"transfer\":{transfer},\"streak\":{streak},\"rto_ns\":{rto_ns}"
+                );
+            }
+            TraceEvent::WindowStall { transfer, base }
+            | TraceEvent::WindowRelease { transfer, base } => {
+                let _ = write!(s, ",\"transfer\":{transfer},\"base\":{base}");
+            }
+            TraceEvent::Evicted { peer, transfer } => {
+                let _ = write!(s, ",\"peer\":{peer},\"transfer\":{transfer}");
+            }
+            TraceEvent::EpochChange { epoch } => {
+                let _ = write!(s, ",\"epoch\":{epoch}");
+            }
+            TraceEvent::Drop { cause } => {
+                let _ = write!(s, ",\"cause\":\"{cause}\"");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = TraceRecord {
+            t_ns: 1500,
+            rank: 2,
+            ev: TraceEvent::Retransmit {
+                transfer: 3,
+                seq: 7,
+                nth: 1,
+            },
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"t\":1500,\"rank\":2,\"ev\":\"Retransmit\",\"transfer\":3,\"seq\":7,\"nth\":1}"
+        );
+        let d = TraceRecord {
+            t_ns: 0,
+            rank: 5,
+            ev: TraceEvent::Drop { cause: "BurstLoss" },
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"t\":0,\"rank\":5,\"ev\":\"Drop\",\"cause\":\"BurstLoss\"}"
+        );
+    }
+}

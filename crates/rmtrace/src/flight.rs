@@ -1,0 +1,137 @@
+//! The flight recorder: a bounded ring of the most recent trace events,
+//! snapshotted into a [`FlightDump`] at the moment an endpoint gives up
+//! on a message or trips a liveness bound.
+//!
+//! The point is post-mortem causality: a chaos soak that fails after
+//! minutes of simulated traffic should leave behind the last N events and
+//! the counter snapshot that explain *what the endpoint saw* right before
+//! the failure, without paying for a full trace of the whole run.
+
+use crate::event::TraceRecord;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Bounded ring buffer of recent [`TraceRecord`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecorder {
+    cap: usize,
+    buf: VecDeque<TraceRecord>,
+}
+
+impl FlightRecorder {
+    /// Keep the last `cap` events (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            // Preallocate, but cap the upfront reservation for absurd caps.
+            buf: VecDeque::with_capacity(cap.clamp(1, 1024)),
+        }
+    }
+
+    /// Append, evicting the oldest event when full.
+    pub fn record(&mut self, rec: TraceRecord) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(rec);
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Snapshot the ring (oldest first) with context.
+    pub fn dump(
+        &self,
+        t_ns: u64,
+        rank: u16,
+        reason: &str,
+        counters: Vec<(String, u64)>,
+    ) -> FlightDump {
+        FlightDump {
+            t_ns,
+            rank,
+            reason: reason.to_string(),
+            counters,
+            events: self.buf.iter().cloned().collect(),
+        }
+    }
+}
+
+/// Everything captured at the moment of a failure: the last events, the
+/// endpoint's full counter snapshot, and why the dump was taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// When the dump was taken (nanoseconds on the run's timeline).
+    pub t_ns: u64,
+    /// The dumping endpoint's rank (0 = sender).
+    pub rank: u16,
+    /// What tripped the dump (e.g. `"message 3 failed: RetryLimit"`).
+    pub reason: String,
+    /// Counter snapshot as `(name, value)` pairs, every `Stats` field.
+    pub counters: Vec<(String, u64)>,
+    /// The retained events, oldest first.
+    pub events: Vec<TraceRecord>,
+}
+
+impl FlightDump {
+    /// Render as a multi-line human-readable block.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "=== flight recorder dump: rank {} at {}ns — {} ===",
+            self.rank, self.t_ns, self.reason
+        );
+        let _ = writeln!(s, "counters:");
+        for (name, v) in &self.counters {
+            if *v != 0 {
+                let _ = writeln!(s, "  {name} = {v}");
+            }
+        }
+        let _ = writeln!(s, "last {} events:", self.events.len());
+        for e in &self.events {
+            let _ = writeln!(s, "  {}", e.to_json());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn rec(t: u64) -> TraceRecord {
+        TraceRecord {
+            t_ns: t,
+            rank: 0,
+            ev: TraceEvent::DataSent {
+                transfer: 1,
+                seq: t as u32,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let mut f = FlightRecorder::new(3);
+        for t in 0..10 {
+            f.record(rec(t));
+        }
+        let d = f.dump(99, 4, "why", vec![("timeouts".into(), 2)]);
+        assert_eq!(d.events.len(), 3);
+        assert_eq!(d.events[0].t_ns, 7);
+        assert_eq!(d.events[2].t_ns, 9);
+        let text = d.render();
+        assert!(text.contains("rank 4"));
+        assert!(text.contains("why"));
+        assert!(text.contains("timeouts = 2"));
+    }
+}

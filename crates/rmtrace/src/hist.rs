@@ -1,0 +1,231 @@
+//! A fixed-bucket log-scale histogram for latency-style quantities.
+//!
+//! Values land in power-of-two buckets (`v` in `[2^(i-1), 2^i)` → bucket
+//! `i`), so recording is two instructions and the memory footprint is a
+//! fixed 64-slot array — no allocation, no configuration, and merging two
+//! histograms is elementwise addition. Quantiles are resolved to a bucket
+//! upper bound (≤ 2× relative error), with exact min/max/count/sum kept
+//! alongside.
+
+const BUCKETS: usize = 64;
+
+/// Log₂-bucketed histogram of `u64` samples (typically nanoseconds, but
+/// any unit works — window-occupancy gauges use packet counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    // 0 → bucket 0; v in [2^(i-1), 2^i) → bucket i; clamp huge values.
+    ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+fn bucket_upper(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), resolved to the containing
+    /// bucket's upper bound and clamped to the exact max. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket-resolved).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (bucket-resolved).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (bucket-resolved).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// `"p50=1.0ms p90=2.1ms p99=4.2ms max=8.4ms (n=123)"` — values
+    /// formatted as durations in the most readable unit.
+    pub fn summary_ns(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        format!(
+            "p50={} p90={} p99={} max={} (n={})",
+            fmt_ns(self.p50()),
+            fmt_ns(self.p90()),
+            fmt_ns(self.p99()),
+            fmt_ns(self.max()),
+            self.count
+        )
+    }
+}
+
+/// Render a nanosecond quantity with a readable unit (`1.5us`, `2.3ms`,
+/// `4.0s`).
+pub fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", v / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", v / 1e6)
+    } else {
+        format!("{:.2}s", v / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.summary_ns(), "n=0");
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.min(), 1000);
+        // Bucket-resolved quantiles overestimate by at most 2x.
+        let p50 = h.p50();
+        assert!((500_000..=1_048_575).contains(&p50), "p50={p50}");
+        assert!(h.p99() >= h.p90() && h.p90() >= h.p50());
+        assert!(h.p99() <= h.max());
+    }
+
+    #[test]
+    fn merge_matches_single_histogram() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [5u64, 100, 10_000, 7] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 1_000_000] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_300_000), "2.3ms");
+        assert_eq!(fmt_ns(4_000_000_000), "4.00s");
+    }
+}

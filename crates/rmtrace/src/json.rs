@@ -1,0 +1,260 @@
+//! A minimal JSONL reader for the traces this crate writes.
+//!
+//! The workspace's serde is a deliberately inert shim, so the report
+//! tooling parses trace files with this ~hundred-line scanner instead. It
+//! handles exactly the subset the emitter produces — one flat object per
+//! line whose values are unsigned integers, strings, or booleans — and
+//! rejects anything else loudly rather than guessing.
+
+use std::collections::HashMap;
+
+/// A parsed JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// An unsigned integer (all numbers the emitter writes).
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// One parsed trace line: the common stamps plus every other field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRecord {
+    /// Nanosecond timestamp (`t`).
+    pub t_ns: u64,
+    /// Endpoint rank (`rank`).
+    pub rank: u16,
+    /// Event-type name (`ev`).
+    pub ev: String,
+    /// Remaining event-specific fields.
+    pub fields: HashMap<String, JsonValue>,
+}
+
+impl ParsedRecord {
+    /// Integer field accessor (0 when absent — callers check `ev` first).
+    pub fn num(&self, key: &str) -> u64 {
+        match self.fields.get(key) {
+            Some(JsonValue::Num(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    /// String field accessor (empty when absent).
+    pub fn str(&self, key: &str) -> &str {
+        match self.fields.get(key) {
+            Some(JsonValue::Str(s)) => s,
+            _ => "",
+        }
+    }
+}
+
+/// Parse a whole JSONL document, skipping blank lines. Returns
+/// `Err(line_number, message)` on the first malformed line (1-based).
+pub fn parse_jsonl(text: &str) -> Result<Vec<ParsedRecord>, (usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = parse_object(line).map_err(|e| (i + 1, e))?;
+        out.push(to_record(obj).map_err(|e| (i + 1, e))?);
+    }
+    Ok(out)
+}
+
+fn to_record(mut obj: HashMap<String, JsonValue>) -> Result<ParsedRecord, String> {
+    let t_ns = match obj.remove("t") {
+        Some(JsonValue::Num(n)) => n,
+        _ => return Err("missing numeric \"t\"".into()),
+    };
+    let rank = match obj.remove("rank") {
+        Some(JsonValue::Num(n)) => n as u16,
+        _ => return Err("missing numeric \"rank\"".into()),
+    };
+    let ev = match obj.remove("ev") {
+        Some(JsonValue::Str(s)) => s,
+        _ => return Err("missing string \"ev\"".into()),
+    };
+    Ok(ParsedRecord {
+        t_ns,
+        rank,
+        ev,
+        fields: obj,
+    })
+}
+
+fn parse_object(s: &str) -> Result<HashMap<String, JsonValue>, String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut map = HashMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.next();
+        return Ok(map);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        let val = p.value()?;
+        map.insert(key, val);
+        p.skip_ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b'}') => break,
+            _ => return Err("expected ',' or '}'".into()),
+        }
+    }
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err("trailing garbage after object".into());
+    }
+    Ok(map)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.i += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.next() == Some(c) {
+            Ok(())
+        } else {
+            Err(format!("expected {:?}", c as char))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c == b'\\' {
+                return Err("escape sequences unsupported".into());
+            }
+            if c == b'"' {
+                let s = std::str::from_utf8(&self.b[start..self.i])
+                    .map_err(|_| "invalid utf8".to_string())?
+                    .to_string();
+                self.i += 1;
+                return Ok(s);
+            }
+            self.i += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => {
+                self.keyword("true")?;
+                Ok(JsonValue::Bool(true))
+            }
+            Some(b'f') => {
+                self.keyword("false")?;
+                Ok(JsonValue::Bool(false))
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.i;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+                let txt = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+                txt.parse::<u64>()
+                    .map(JsonValue::Num)
+                    .map_err(|e| format!("bad number {txt:?}: {e}"))
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(kw.as_bytes()) {
+            self.i += kw.len();
+            Ok(())
+        } else {
+            Err(format!("expected {kw}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceEvent, TraceRecord};
+
+    #[test]
+    fn round_trips_emitted_records() {
+        let recs = [
+            TraceRecord {
+                t_ns: 10,
+                rank: 0,
+                ev: TraceEvent::DataSent {
+                    transfer: 3,
+                    seq: 1,
+                },
+            },
+            TraceRecord {
+                t_ns: 20,
+                rank: 2,
+                ev: TraceEvent::Drop { cause: "WireFault" },
+            },
+            TraceRecord {
+                t_ns: 30,
+                rank: 0,
+                ev: TraceEvent::AckReceived {
+                    from: 2,
+                    transfer: 3,
+                    next: 2,
+                },
+            },
+        ];
+        let text: String = recs.iter().map(|r| r.to_json() + "\n").collect();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].ev, "DataSent");
+        assert_eq!(parsed[0].num("transfer"), 3);
+        assert_eq!(parsed[1].str("cause"), "WireFault");
+        assert_eq!(parsed[2].rank, 0);
+        assert_eq!(parsed[2].num("from"), 2);
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_number() {
+        let err = parse_jsonl("{\"t\":1,\"rank\":0,\"ev\":\"X\"}\nnot json\n").unwrap_err();
+        assert_eq!(err.0, 2);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let parsed = parse_jsonl("\n{\"t\":1,\"rank\":0,\"ev\":\"X\"}\n\n").unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+}

@@ -56,6 +56,8 @@ pub struct Recorder {
     pub joins: Vec<(Rank, u32)>,
     /// How many crash-restarted hosts respawned their endpoint.
     pub restarts: usize,
+    /// Flight-recorder dumps emitted on failure (when enabled).
+    pub flight_dumps: Vec<rmcast::FlightDump>,
     /// Latest sender counters.
     pub sender_stats: Stats,
     /// Latest per-receiver counters (by receiver index).
@@ -222,6 +224,9 @@ impl<E: Launch> NodeProcess<E> {
                     }
                     AppEvent::ReceiverJoined { rank, epoch } => {
                         rec.joins.push((rank, epoch));
+                    }
+                    AppEvent::FlightRecorderDump { dump } => {
+                        rec.flight_dumps.push(dump);
                     }
                 }
             }

@@ -1,0 +1,60 @@
+//! Render a run report from a JSONL packet-lifecycle trace.
+//!
+//! Traces are written by the `trace_deep_dive` experiment (simulator
+//! backend) or a `udprun` cluster configured with a `JsonlSink`. Usage:
+//!
+//! ```text
+//! rmreport <trace.jsonl> [transfer seq]
+//! ```
+//!
+//! Without the optional `transfer seq` pair the tool narrates the most
+//! retransmitted packet in the trace.
+
+use simrun::report::{lifecycle, pick_packet, render_lifecycle, Report};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.first() {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: rmreport <trace.jsonl> [transfer seq]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rmreport: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match rmtrace::parse_jsonl(&text) {
+        Ok(r) => r,
+        Err((line, msg)) => {
+            eprintln!("rmreport: {path}:{line}: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", Report::digest(&records).render());
+
+    let packet = match (args.get(1), args.get(2)) {
+        (Some(t), Some(s)) => match (t.parse(), s.parse()) {
+            (Ok(t), Ok(s)) => Some((t, s)),
+            _ => {
+                eprintln!("rmreport: transfer and seq must be integers");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => pick_packet(&records),
+    };
+    if let Some((transfer, seq)) = packet {
+        println!();
+        print!(
+            "{}",
+            render_lifecycle(transfer, seq, &lifecycle(&records, transfer, seq))
+        );
+    }
+    ExitCode::SUCCESS
+}

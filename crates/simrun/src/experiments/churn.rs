@@ -116,8 +116,7 @@ pub fn partition_heal(effort: Effort) -> Table {
         "Partition: inter-switch trunk outage and heal, membership on",
         &COLS,
     );
-    let plan =
-        FaultPlan::default().with_trunk_down(Time::from_millis(5), Time::from_millis(305));
+    let plan = FaultPlan::default().with_trunk_down(Time::from_millis(5), Time::from_millis(305));
     for (name, cfg) in families() {
         let mut sc = churn_scenario(effort, cfg, plan.clone());
         // > 16 hosts forces the two-switch split so the trunk matters.

@@ -22,6 +22,7 @@ pub mod figures_nak;
 pub mod figures_ring;
 pub mod figures_tree;
 pub mod tables;
+pub mod trace_deep_dive;
 
 pub use ablations::*;
 pub use calibration_report::*;
@@ -34,6 +35,7 @@ pub use figures_nak::*;
 pub use figures_ring::*;
 pub use figures_tree::*;
 pub use tables::*;
+pub use trace_deep_dive::*;
 
 /// The paper's receiver count.
 pub const N_RECEIVERS: u16 = 30;
@@ -151,6 +153,7 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "chaos_campaign",
         "churn_crash_rejoin",
         "partition_heal",
+        "trace_deep_dive",
     ]
 }
 
@@ -196,6 +199,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> Table {
         "chaos_campaign" => chaos_campaign(effort),
         "churn_crash_rejoin" => churn_crash_rejoin(effort),
         "partition_heal" => partition_heal(effort),
+        "trace_deep_dive" => trace_deep_dive(effort),
         other => panic!("unknown experiment id {other:?}; see all_experiment_ids()"),
     }
 }

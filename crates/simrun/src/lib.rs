@@ -36,6 +36,7 @@ pub mod adapter;
 pub mod calibration;
 pub mod cost;
 pub mod experiments;
+pub mod report;
 pub mod scenario;
 pub mod table;
 

@@ -1,0 +1,400 @@
+//! Trace analysis: digest a packet-lifecycle trace into a run report.
+//!
+//! Consumed two ways: the `rmreport` binary parses a JSONL trace file,
+//! and the `trace_deep_dive` experiment feeds records straight from a
+//! traced scenario run. Both paths go through [`ParsedRecord`] so the
+//! report logic is written once against the wire representation.
+
+use rmtrace::hist::fmt_ns;
+use rmtrace::{parse_jsonl, Histogram, ParsedRecord, TraceRecord};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// Convert in-memory trace records into the parsed wire form the report
+/// engine consumes. The JSONL round trip is the canonical representation
+/// (covered by `rmtrace`'s tests), so serializing and reparsing keeps the
+/// two input paths byte-equivalent.
+pub fn parse_records(records: &[TraceRecord]) -> Vec<ParsedRecord> {
+    let text: String = records.iter().map(|r| r.to_json() + "\n").collect();
+    parse_jsonl(&text).expect("emitter-produced records always reparse")
+}
+
+/// Packet counts for one protocol phase (allocation handshake vs data).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseCounts {
+    /// Fresh data packets sent.
+    pub data_sent: u64,
+    /// Retransmissions.
+    pub retransmits: u64,
+    /// Acknowledgments sent.
+    pub acks: u64,
+    /// Negative acknowledgments sent.
+    pub naks: u64,
+}
+
+impl PhaseCounts {
+    /// Control packets (acks + naks) per data packet on the wire.
+    pub fn control_per_data(&self) -> f64 {
+        let data = self.data_sent + self.retransmits;
+        if data == 0 {
+            0.0
+        } else {
+            (self.acks + self.naks) as f64 / data as f64
+        }
+    }
+}
+
+/// A digested trace: everything the report renders, exposed as data so
+/// tests can assert on the numbers rather than scrape text.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Total records digested.
+    pub records: usize,
+    /// First and last timestamp in the trace, nanoseconds.
+    pub span_ns: (u64, u64),
+    /// Event counts by type name.
+    pub event_counts: BTreeMap<String, u64>,
+    /// Network drops by cause name.
+    pub drops_by_cause: BTreeMap<String, u64>,
+    /// Retransmissions in trace order: `(t_ns, rank, transfer, seq, nth)`.
+    pub retransmits: Vec<(u64, u16, u32, u32, u32)>,
+    /// Per-receiver delivery latency (first wire send of a transfer to
+    /// that receiver's `Delivered`), keyed by rank.
+    pub latency_by_rank: BTreeMap<u16, Histogram>,
+    /// Wire activity during the allocation handshake (even transfer ids).
+    pub handshake: PhaseCounts,
+    /// Wire activity during the data phase (odd transfer ids).
+    pub data_phase: PhaseCounts,
+}
+
+impl Report {
+    /// Digest a parsed trace.
+    pub fn digest(records: &[ParsedRecord]) -> Report {
+        let mut r = Report {
+            records: records.len(),
+            ..Report::default()
+        };
+        if let (Some(first), Some(last)) = (records.first(), records.last()) {
+            r.span_ns = (first.t_ns, last.t_ns);
+        }
+        // First time each transfer hit the wire, for latency matching.
+        let mut first_sent: HashMap<u64, u64> = HashMap::new();
+        for rec in records {
+            *r.event_counts.entry(rec.ev.clone()).or_insert(0) += 1;
+            let transfer = rec.num("transfer");
+            let phase = if transfer % 2 == 0 {
+                &mut r.handshake
+            } else {
+                &mut r.data_phase
+            };
+            match rec.ev.as_str() {
+                "DataSent" => {
+                    phase.data_sent += 1;
+                    first_sent.entry(transfer).or_insert(rec.t_ns);
+                }
+                "Retransmit" => {
+                    phase.retransmits += 1;
+                    r.retransmits.push((
+                        rec.t_ns,
+                        rec.rank,
+                        transfer as u32,
+                        rec.num("seq") as u32,
+                        rec.num("nth") as u32,
+                    ));
+                }
+                "AckSent" => phase.acks += 1,
+                "NakSent" => phase.naks += 1,
+                "Delivered" => {
+                    if let Some(&t0) = first_sent.get(&transfer) {
+                        r.latency_by_rank
+                            .entry(rec.rank)
+                            .or_default()
+                            .record(rec.t_ns.saturating_sub(t0));
+                    }
+                }
+                "Drop" => {
+                    *r.drops_by_cause
+                        .entry(rec.str("cause").to_string())
+                        .or_insert(0) += 1;
+                }
+                _ => {}
+            }
+        }
+        r
+    }
+
+    /// Render the report as aligned text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "== Trace summary ==");
+        let _ = writeln!(
+            s,
+            "records: {}   span: {} .. {} ({})",
+            self.records,
+            fmt_ns(self.span_ns.0),
+            fmt_ns(self.span_ns.1),
+            fmt_ns(self.span_ns.1.saturating_sub(self.span_ns.0)),
+        );
+        for (ev, n) in &self.event_counts {
+            let _ = writeln!(s, "  {ev:<14} {n}");
+        }
+
+        let _ = writeln!(s, "\n== Network drops by cause ==");
+        if self.drops_by_cause.is_empty() {
+            let _ = writeln!(s, "  (none)");
+        }
+        for (cause, n) in &self.drops_by_cause {
+            let _ = writeln!(s, "  {cause:<20} {n}");
+        }
+
+        let _ = writeln!(s, "\n== Retransmission timeline ==");
+        if self.retransmits.is_empty() {
+            let _ = writeln!(s, "  (none)");
+        }
+        const MAX_LINES: usize = 40;
+        for &(t, rank, transfer, seq, nth) in self.retransmits.iter().take(MAX_LINES) {
+            let _ = writeln!(
+                s,
+                "  {:>12}  rank {rank:<3} transfer {transfer:<4} seq {seq:<5} nth {nth}",
+                fmt_ns(t)
+            );
+        }
+        if self.retransmits.len() > MAX_LINES {
+            let _ = writeln!(s, "  ... {} more", self.retransmits.len() - MAX_LINES);
+        }
+
+        let _ = writeln!(s, "\n== Delivery latency per receiver ==");
+        if self.latency_by_rank.is_empty() {
+            let _ = writeln!(s, "  (no deliveries traced)");
+        }
+        for (rank, hist) in &self.latency_by_rank {
+            let _ = writeln!(s, "  rank {rank:<3} {}", hist.summary_ns());
+        }
+
+        let _ = writeln!(s, "\n== Control overhead per phase ==");
+        let _ = writeln!(
+            s,
+            "  {:<10} {:>6} {:>6} {:>6} {:>6} {:>10}",
+            "phase", "data", "retx", "acks", "naks", "ctrl/data"
+        );
+        for (name, c) in [("handshake", &self.handshake), ("data", &self.data_phase)] {
+            let _ = writeln!(
+                s,
+                "  {:<10} {:>6} {:>6} {:>6} {:>6} {:>10.3}",
+                name,
+                c.data_sent,
+                c.retransmits,
+                c.acks,
+                c.naks,
+                c.control_per_data()
+            );
+        }
+        s
+    }
+}
+
+/// Pick the most interesting data packet in the trace to narrate: the
+/// `(transfer, seq)` with the most retransmissions, falling back to the
+/// first packet sent. `None` on an empty trace.
+pub fn pick_packet(records: &[ParsedRecord]) -> Option<(u32, u32)> {
+    let mut retx: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut first: Option<(u32, u32)> = None;
+    for rec in records {
+        let key = (rec.num("transfer") as u32, rec.num("seq") as u32);
+        match rec.ev.as_str() {
+            "Retransmit" => *retx.entry(key).or_insert(0) += 1,
+            "DataSent" if first.is_none() => first = Some(key),
+            _ => {}
+        }
+    }
+    retx.into_iter()
+        // Deterministic tie-break: lowest (transfer, seq) among the most
+        // retransmitted.
+        .max_by_key(|&(key, n)| (n, std::cmp::Reverse(key)))
+        .map(|(key, _)| key)
+        .or(first)
+}
+
+/// Every trace record touching packet `(transfer, seq)`: its sends,
+/// retransmissions, per-receiver arrivals and discards, plus the
+/// `Delivered` events that closed its transfer. Trace order (which is
+/// time order within an endpoint) is preserved.
+pub fn lifecycle(records: &[ParsedRecord], transfer: u32, seq: u32) -> Vec<&ParsedRecord> {
+    records
+        .iter()
+        .filter(|rec| {
+            let t = rec.num("transfer") as u32;
+            match rec.ev.as_str() {
+                "DataSent" | "Retransmit" | "DataRecv" | "DataDiscarded" => {
+                    t == transfer && rec.num("seq") as u32 == seq
+                }
+                "Delivered" => t == transfer,
+                _ => false,
+            }
+        })
+        .collect()
+}
+
+/// `true` when `events` (as returned by [`lifecycle`]) tells the whole
+/// story: the packet was sent, accepted by at least one receiver, and its
+/// transfer was delivered.
+pub fn lifecycle_complete(events: &[&ParsedRecord]) -> bool {
+    let has = |name: &str| events.iter().any(|r| r.ev == name);
+    has("DataSent") && has("DataRecv") && has("Delivered")
+}
+
+/// Render a lifecycle as aligned text lines.
+pub fn render_lifecycle(transfer: u32, seq: u32, events: &[&ParsedRecord]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Packet lifecycle: transfer {transfer}, seq {seq} ==");
+    if events.is_empty() {
+        let _ = writeln!(s, "  (no matching records)");
+        return s;
+    }
+    for rec in events {
+        let detail = match rec.ev.as_str() {
+            "Retransmit" => format!("  nth={}", rec.num("nth")),
+            "Delivered" => format!("  msg_id={}", rec.num("msg_id")),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            s,
+            "  {:>12}  rank {:<3} {}{}",
+            fmt_ns(rec.t_ns),
+            rec.rank,
+            rec.ev,
+            detail
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmtrace::TraceEvent;
+
+    fn rec(t_ns: u64, rank: u16, ev: TraceEvent) -> TraceRecord {
+        TraceRecord { t_ns, rank, ev }
+    }
+
+    fn sample_trace() -> Vec<ParsedRecord> {
+        parse_records(&[
+            rec(
+                10,
+                0,
+                TraceEvent::DataSent {
+                    transfer: 1,
+                    seq: 0,
+                },
+            ),
+            rec(
+                15,
+                0,
+                TraceEvent::DataSent {
+                    transfer: 1,
+                    seq: 1,
+                },
+            ),
+            rec(20, 5, TraceEvent::Drop { cause: "BurstLoss" }),
+            rec(
+                30,
+                1,
+                TraceEvent::DataRecv {
+                    transfer: 1,
+                    seq: 0,
+                },
+            ),
+            rec(
+                40,
+                0,
+                TraceEvent::Retransmit {
+                    transfer: 1,
+                    seq: 1,
+                    nth: 1,
+                },
+            ),
+            rec(
+                50,
+                1,
+                TraceEvent::DataRecv {
+                    transfer: 1,
+                    seq: 1,
+                },
+            ),
+            rec(
+                55,
+                1,
+                TraceEvent::AckSent {
+                    transfer: 1,
+                    next: 2,
+                },
+            ),
+            rec(
+                60,
+                1,
+                TraceEvent::Delivered {
+                    transfer: 1,
+                    msg_id: 0,
+                },
+            ),
+        ])
+    }
+
+    #[test]
+    fn digest_counts_phases_drops_and_latency() {
+        let r = Report::digest(&sample_trace());
+        assert_eq!(r.records, 8);
+        assert_eq!(r.span_ns, (10, 60));
+        assert_eq!(r.data_phase.data_sent, 2);
+        assert_eq!(r.data_phase.retransmits, 1);
+        assert_eq!(r.data_phase.acks, 1);
+        assert_eq!(r.handshake, PhaseCounts::default());
+        assert_eq!(r.drops_by_cause.get("BurstLoss"), Some(&1));
+        let lat = r.latency_by_rank.get(&1).expect("rank 1 delivered");
+        assert_eq!(lat.count(), 1);
+        // Delivered at t=60, transfer first sent at t=10.
+        assert_eq!(lat.max(), 50);
+        assert_eq!(r.retransmits, vec![(40, 0, 1, 1, 1)]);
+    }
+
+    #[test]
+    fn lifecycle_reconstructs_the_retransmitted_packet() {
+        let trace = sample_trace();
+        let (transfer, seq) = pick_packet(&trace).unwrap();
+        assert_eq!((transfer, seq), (1, 1));
+        let events = lifecycle(&trace, transfer, seq);
+        let names: Vec<&str> = events.iter().map(|r| r.ev.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["DataSent", "Retransmit", "DataRecv", "Delivered"]
+        );
+        assert!(lifecycle_complete(&events));
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let trace = sample_trace();
+        let text = Report::digest(&trace).render();
+        for section in [
+            "Trace summary",
+            "Network drops by cause",
+            "Retransmission timeline",
+            "Delivery latency per receiver",
+            "Control overhead per phase",
+        ] {
+            assert!(text.contains(section), "missing section {section:?}");
+        }
+        assert!(text.contains("BurstLoss"));
+        let lc = render_lifecycle(1, 1, &lifecycle(&trace, 1, 1));
+        assert!(lc.contains("Retransmit"));
+    }
+
+    #[test]
+    fn empty_trace_reports_gracefully() {
+        let r = Report::digest(&[]);
+        assert_eq!(r.records, 0);
+        assert!(r.render().contains("(none)"));
+        assert_eq!(pick_packet(&[]), None);
+    }
+}

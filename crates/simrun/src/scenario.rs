@@ -6,7 +6,11 @@ use crate::cost::CostModel;
 use bytes::Bytes;
 use netsim::{topology, FabricKind, FaultPlan, Sim, SimConfig, TraceCounters};
 use rmcast::baseline::{RawUdpReceiver, RawUdpSender, SerialUnicastSender};
-use rmcast::{GroupSpec, ProtocolConfig, Receiver, Sender, SessionError, Stats};
+use rmcast::{
+    Endpoint, FlightDump, GroupSpec, MemorySink, ProtocolConfig, Receiver, Sender, SessionError,
+    Stats,
+};
+use rmtrace::TraceRecord;
 use rmwire::{Duration, Rank, Time};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -121,7 +125,10 @@ impl Scenario {
 
     /// Shared simulation body: build the cluster, install the fault plan,
     /// spawn endpoints, run to the time cap, and hand back the raw record.
-    fn execute(&self, seed: u64) -> RawRun {
+    /// With `trace` set, every protocol endpoint and the network fabric
+    /// stream structured events into the shared sink (and endpoints keep a
+    /// flight recorder when `flight_cap > 0`).
+    fn execute(&self, seed: u64, trace: Option<&TraceSpec>) -> RawRun {
         let mut sim_cfg = self.sim;
         if self.topology == TopologyKind::SharedBus {
             sim_cfg.fabric = FabricKind::SharedBus;
@@ -152,6 +159,9 @@ impl Scenario {
         if !self.fault_plan.is_empty() {
             sim.set_fault_plan(self.fault_plan.clone());
         }
+        if let Some(t) = trace {
+            sim.set_trace_sink(Box::new(t.sink.clone()));
+        }
         let group = sim.create_group(&receiver_hosts);
         let addr = Rc::new(AddrMap {
             sender_host,
@@ -168,9 +178,19 @@ impl Scenario {
         let msgs: Vec<Bytes> = (0..self.n_messages).map(|_| self.payload()).collect();
         let gspec = GroupSpec::new(self.n_receivers);
 
+        let wire = |ep: &mut dyn Endpoint| {
+            if let Some(t) = trace {
+                ep.set_trace_sink(Box::new(t.sink.clone()));
+                if t.flight_cap > 0 {
+                    ep.enable_flight_recorder(t.flight_cap);
+                }
+            }
+        };
+
         match self.protocol {
             Protocol::Rm(cfg) => {
-                let sender = Sender::new(cfg, gspec);
+                let mut sender = Sender::new(cfg, gspec);
+                wire(&mut sender);
                 sim.spawn(
                     sender_host,
                     PORT,
@@ -184,7 +204,8 @@ impl Scenario {
                 );
                 for (i, &h) in receiver_hosts.iter().enumerate() {
                     let rank = Rank::from_receiver_index(i);
-                    let r = Receiver::new(cfg, gspec, rank, seed);
+                    let mut r = Receiver::new(cfg, gspec, rank, seed);
+                    wire(&mut r);
                     let mut node = NodeProcess::new(
                         r,
                         NodeRole::Receiver { index: i },
@@ -195,8 +216,16 @@ impl Scenario {
                     if cfg.membership.enabled {
                         // A crash-restarted host reboots with no protocol
                         // state and must rejoin through JOIN/SYNC.
+                        let respawn_trace = trace.map(|t| (t.sink.clone(), t.flight_cap));
                         node = node.with_rebuild(move |now| {
-                            Receiver::new_joining(cfg, gspec, rank, seed, now)
+                            let mut r = Receiver::new_joining(cfg, gspec, rank, seed, now);
+                            if let Some((sink, cap)) = &respawn_trace {
+                                r.set_trace_sink(Box::new(sink.clone()));
+                                if *cap > 0 {
+                                    r.enable_flight_recorder(*cap);
+                                }
+                            }
+                            r
                         });
                     }
                     sim.spawn(h, PORT, Box::new(node));
@@ -284,11 +313,29 @@ impl Scenario {
     /// within the time cap — the right behavior for the paper's
     /// fault-free performance figures, where a hang is a bug.
     pub fn run(&self, seed: u64) -> RunResult {
+        self.run_inner(seed, None)
+    }
+
+    /// Execute once with `seed` while streaming every protocol and
+    /// network event into a shared in-memory trace. The record stream is
+    /// in simulation-event order, so identical scenarios and seeds yield
+    /// byte-identical traces. Tracing never perturbs the run: the result
+    /// equals [`Scenario::run`]'s bit for bit.
+    pub fn run_traced(&self, seed: u64) -> (RunResult, Vec<TraceRecord>) {
+        let spec = TraceSpec {
+            sink: MemorySink::new(),
+            flight_cap: 0,
+        };
+        let result = self.run_inner(seed, Some(&spec));
+        (result, spec.sink.take())
+    }
+
+    fn run_inner(&self, seed: u64, spec: Option<&TraceSpec>) -> RunResult {
         let RawRun {
             rec,
             trace,
             sender_cpu_busy,
-        } = self.execute(seed);
+        } = self.execute(seed, spec);
 
         let comm_time = match rec.sender_done {
             Some(t) => t.saturating_since(Time::ZERO),
@@ -345,11 +392,32 @@ impl Scenario {
     /// time cap doubles as the virtual-time watchdog — a protocol that
     /// hangs shows up as `bounded() == false`, not as a wedged test.
     pub fn run_chaos(&self, seed: u64) -> ChaosOutcome {
+        self.run_chaos_inner(seed, None)
+    }
+
+    /// [`Scenario::run_chaos`] with tracing: every endpoint and the fabric
+    /// stream into a shared trace, and each endpoint keeps a
+    /// `flight_cap`-event flight recorder that dumps (into
+    /// [`ChaosOutcome::flight_dumps`]) when a liveness failure trips.
+    pub fn run_chaos_traced(
+        &self,
+        seed: u64,
+        flight_cap: usize,
+    ) -> (ChaosOutcome, Vec<TraceRecord>) {
+        let spec = TraceSpec {
+            sink: MemorySink::new(),
+            flight_cap,
+        };
+        let outcome = self.run_chaos_inner(seed, Some(&spec));
+        (outcome, spec.sink.take())
+    }
+
+    fn run_chaos_inner(&self, seed: u64, spec: Option<&TraceSpec>) -> ChaosOutcome {
         let RawRun {
             rec,
             trace,
             sender_cpu_busy: _,
-        } = self.execute(seed);
+        } = self.execute(seed, spec);
         ChaosOutcome {
             completed: rec.sender_done.is_some(),
             comm_time: rec.sender_done.map(|t| t.saturating_since(Time::ZERO)),
@@ -361,11 +429,21 @@ impl Scenario {
             joins: rec.joins.clone(),
             restarts: rec.restarts,
             delivered_msgs: rec.deliveries.clone(),
+            flight_dumps: rec.flight_dumps.clone(),
             sender_stats: rec.sender_stats.clone(),
             receiver_stats: rec.receiver_stats.clone(),
             trace,
         }
     }
+}
+
+/// Observability wiring for one traced execution.
+struct TraceSpec {
+    /// Shared sink: endpoints and the simulator interleave into it in
+    /// deterministic simulation-event order.
+    sink: MemorySink,
+    /// Per-endpoint flight recorder capacity (0 = off).
+    flight_cap: usize,
 }
 
 /// Raw output of one simulated run, before any completion policy is
@@ -402,6 +480,9 @@ pub struct ChaosOutcome {
     /// Every `(rank, msg_id, time, bytes)` delivery, for per-receiver
     /// exactly-once checks.
     pub delivered_msgs: Vec<(Rank, u64, Time, usize)>,
+    /// Flight-recorder dumps captured at failures (only populated by
+    /// [`Scenario::run_chaos_traced`] with a non-zero capacity).
+    pub flight_dumps: Vec<FlightDump>,
     /// Final sender counters (epoch and membership activity included).
     pub sender_stats: Stats,
     /// Final per-receiver counters, by receiver index.
@@ -434,6 +515,7 @@ impl Recorder {
             evictions: self.evictions.clone(),
             joins: self.joins.clone(),
             restarts: self.restarts,
+            flight_dumps: self.flight_dumps.clone(),
             sender_stats: self.sender_stats.clone(),
             receiver_stats: self.receiver_stats.clone(),
             expect_msgs: self.expect_msgs,

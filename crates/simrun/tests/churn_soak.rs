@@ -167,5 +167,8 @@ fn partition_scenario_is_deterministic() {
     assert_eq!(a.joins, b.joins);
     assert_eq!(a.evictions, b.evictions);
     assert_eq!(a.comm_time, b.comm_time);
-    assert_eq!(a.sender_stats.stale_epoch_discarded, b.sender_stats.stale_epoch_discarded);
+    assert_eq!(
+        a.sender_stats.stale_epoch_discarded,
+        b.sender_stats.stale_epoch_discarded
+    );
 }

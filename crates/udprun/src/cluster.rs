@@ -4,7 +4,10 @@ use crate::hub::Hub;
 use crate::node::{drive, Addresses, NodeEvent};
 use bytes::Bytes;
 use crossbeam::channel;
-use rmcast::{GroupSpec, ProtocolConfig, Receiver, Sender, SessionError, Stats};
+use rmcast::{
+    Endpoint, FlightDump, GroupSpec, JsonlSink, ProtocolConfig, Receiver, Sender, SessionError,
+    Stats, TraceSink,
+};
 use rmwire::{Rank, Time};
 use std::collections::HashMap;
 use std::io;
@@ -40,6 +43,13 @@ pub struct ClusterConfig {
     /// failure detector is the liveness authority (the same policy the
     /// simulator backend uses) and this can be turned off.
     pub io_error_giveup: bool,
+    /// Shared trace sink: every endpoint streams its protocol events here,
+    /// stamped with wall-clock nanoseconds since one run-wide epoch so
+    /// records from different node threads are comparable.
+    pub trace_sink: Option<JsonlSink>,
+    /// Per-endpoint flight recorder capacity (0 = disabled): the last N
+    /// events are dumped as a [`FlightDump`] when a liveness failure trips.
+    pub flight_recorder: usize,
 }
 
 impl ClusterConfig {
@@ -54,6 +64,8 @@ impl ClusterConfig {
             dead_receivers: Vec::new(),
             restart_receivers: Vec::new(),
             io_error_giveup: true,
+            trace_sink: None,
+            flight_recorder: 0,
         }
     }
 }
@@ -75,6 +87,9 @@ pub struct ClusterResult {
     pub evictions: Vec<(Rank, Rank, u64)>,
     /// `(admitted peer, epoch)` membership admissions at the sender.
     pub joins: Vec<(Rank, u32)>,
+    /// `(reporting rank, dump)` flight-recorder dumps captured at
+    /// failures (only with [`ClusterConfig::flight_recorder`] enabled).
+    pub flight_dumps: Vec<(Rank, FlightDump)>,
 }
 
 /// Run one sender and `n` receivers over real UDP sockets until every
@@ -103,22 +118,32 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
     let (tx, rx) = channel::unbounded::<NodeEvent>();
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
+    // One wall-clock origin for every node thread: protocol times (and
+    // trace timestamps) across the whole cluster share this epoch.
+    let epoch = Instant::now();
+    let instrument = |ep: &mut dyn Endpoint| {
+        if let Some(s) = &cfg.trace_sink {
+            ep.set_trace_sink(Box::new(s.clone()));
+        }
+        if cfg.flight_recorder > 0 {
+            ep.enable_flight_recorder(cfg.flight_recorder);
+        }
+    };
 
     // Receivers. "Dead" ones keep their bound socket (so nothing is
     // rewired) but never run: every datagram sent to them vanishes.
     // Restarting ones start the same way, then come back below.
     for (i, rsock) in receiver_socks.iter().enumerate() {
-        if cfg.dead_receivers.contains(&i)
-            || cfg.restart_receivers.iter().any(|&(r, _)| r == i)
-        {
+        if cfg.dead_receivers.contains(&i) || cfg.restart_receivers.iter().any(|&(r, _)| r == i) {
             continue;
         }
-        let ep = Receiver::new(
+        let mut ep = Receiver::new(
             cfg.protocol,
             group,
             Rank::from_receiver_index(i),
             cfg.seed.wrapping_add(i as u64),
         );
+        instrument(&mut ep);
         let sock = rsock.try_clone()?;
         let addrs = addrs.clone();
         let tx = tx.clone();
@@ -128,7 +153,16 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
             std::thread::Builder::new()
                 .name(format!("udprun-recv{}", i + 1))
                 .spawn(move || {
-                    drive(ep, sock, addrs, Rank::from_receiver_index(i), tx, stop, giveup)
+                    drive(
+                        ep,
+                        sock,
+                        addrs,
+                        Rank::from_receiver_index(i),
+                        epoch,
+                        tx,
+                        stop,
+                        giveup,
+                    )
                 })?,
         );
     }
@@ -144,6 +178,8 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
         let stop = Arc::clone(&stop);
         let giveup = cfg.io_error_giveup;
         let seed = cfg.seed.wrapping_add(i as u64);
+        let trace_sink = cfg.trace_sink.clone();
+        let flight = cfg.flight_recorder;
         handles.push(
             std::thread::Builder::new()
                 .name(format!("udprun-reboot{}", i + 1))
@@ -158,8 +194,15 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
                     sock.set_read_timeout(Some(StdDuration::from_micros(100)))?;
                     while sock.recv_from(&mut scratch).is_ok() {}
                     let rank = Rank::from_receiver_index(i);
-                    let ep = Receiver::new_joining(protocol, group, rank, seed, Time::ZERO);
-                    drive(ep, sock, addrs, rank, tx, stop, giveup)
+                    let boot = Time::from_nanos(epoch.elapsed().as_nanos() as u64);
+                    let mut ep = Receiver::new_joining(protocol, group, rank, seed, boot);
+                    if let Some(s) = trace_sink {
+                        ep.set_trace_sink(Box::new(s));
+                    }
+                    if flight > 0 {
+                        ep.enable_flight_recorder(flight);
+                    }
+                    drive(ep, sock, addrs, rank, epoch, tx, stop, giveup)
                 })?,
         );
     }
@@ -167,6 +210,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
     // Sender (messages queued before the thread starts looping).
     let n_msgs = msgs.len() as u64;
     let mut sender = Sender::new(cfg.protocol, group);
+    instrument(&mut sender);
     for m in &msgs {
         sender.send_message(Time::ZERO, m.clone());
     }
@@ -179,7 +223,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
         handles.push(
             std::thread::Builder::new()
                 .name("udprun-sender".into())
-                .spawn(move || drive(sender, sock, addrs, Rank::SENDER, tx, stop, giveup))?,
+                .spawn(move || drive(sender, sock, addrs, Rank::SENDER, epoch, tx, stop, giveup))?,
         );
     }
     drop(tx);
@@ -194,6 +238,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
     let mut resolved = 0u64;
     let mut elapsed = None;
     let mut stats: HashMap<Rank, Stats> = HashMap::new();
+    let mut flight_dumps: Vec<(Rank, FlightDump)> = Vec::new();
     while resolved < n_msgs {
         let remaining = cfg.timeout.checked_sub(start.elapsed()).unwrap_or_default();
         if remaining.is_zero() {
@@ -243,6 +288,9 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
             Ok(NodeEvent::Finished { rank, stats: s }) => {
                 stats.insert(rank, s);
             }
+            Ok(NodeEvent::FlightDump { rank, dump }) => {
+                flight_dumps.push((rank, dump));
+            }
             Err(channel::RecvTimeoutError::Timeout) => continue,
             Err(channel::RecvTimeoutError::Disconnected) => break,
         }
@@ -271,6 +319,9 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
             Ok(NodeEvent::Finished { rank, stats: s }) => {
                 stats.insert(rank, s);
             }
+            Ok(NodeEvent::FlightDump { rank, dump }) => {
+                flight_dumps.push((rank, dump));
+            }
             Ok(_) => {}
             Err(_) => break,
         }
@@ -290,6 +341,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
             NodeEvent::Finished { rank, stats: s } => {
                 stats.insert(rank, s);
             }
+            NodeEvent::FlightDump { rank, dump } => flight_dumps.push((rank, dump)),
             NodeEvent::Sent { .. } => {}
         }
     }
@@ -302,6 +354,11 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
         }
     }
 
+    // The sink's writer is shared by every clone: one flush drains it.
+    if let Some(mut s) = cfg.trace_sink.clone() {
+        s.flush();
+    }
+
     let sender_stats = stats.remove(&Rank::SENDER).unwrap_or_default();
     Ok(ClusterResult {
         elapsed: elapsed.unwrap_or_else(|| start.elapsed()),
@@ -311,5 +368,6 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
         failures,
         evictions,
         joins,
+        flight_dumps,
     })
 }

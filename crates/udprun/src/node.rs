@@ -86,6 +86,14 @@ pub enum NodeEvent {
         /// Final counters.
         stats: rmcast::Stats,
     },
+    /// A failure tripped the node's flight recorder (when enabled): the
+    /// last protocol events and counters leading up to it.
+    FlightDump {
+        /// Reporting node's rank (0 = sender).
+        rank: Rank,
+        /// The recorded dump.
+        dump: rmcast::FlightDump,
+    },
 }
 
 /// Consecutive socket errors (receive or send) tolerated before a node
@@ -101,20 +109,26 @@ pub enum NodeEvent {
 const MAX_CONSEC_IO_ERRORS: u32 = 64;
 
 /// Drive `ep` over `socket` until `stop` is raised. `rank` identifies the
-/// node in [`NodeEvent`]s. With `io_error_giveup` the thread dies after
+/// node in [`NodeEvent`]s. `epoch` is the run's shared wall-clock origin:
+/// every node derives its protocol `Time` (and therefore its trace
+/// timestamps) from the same instant, so records from different threads
+/// are comparable. With `io_error_giveup` the thread dies after
 /// [`MAX_CONSEC_IO_ERRORS`] consecutive socket errors (the pre-membership
 /// compat behavior); without it, socket errors never terminate the thread
 /// and peer death is the failure detector's problem.
+// One thread = one node = one call; the parameters are the node's whole
+// world and bundling them into a struct would just rename the problem.
+#[allow(clippy::too_many_arguments)]
 pub fn drive<E: Endpoint>(
     mut ep: E,
     socket: UdpSocket,
     addrs: Addresses,
     rank: Rank,
+    epoch: Instant,
     events: ChanSender<NodeEvent>,
     stop: Arc<AtomicBool>,
     io_error_giveup: bool,
 ) -> io::Result<()> {
-    let epoch = Instant::now();
     let now = |epoch: Instant| Time::from_nanos(epoch.elapsed().as_nanos() as u64);
     let mut buf = vec![0u8; MAX_DGRAM];
     socket.set_read_timeout(Some(StdDuration::from_millis(1)))?;
@@ -180,6 +194,7 @@ pub fn drive<E: Endpoint>(
                 AppEvent::ReceiverJoined { rank: peer, epoch } => {
                     NodeEvent::Joined { rank, peer, epoch }
                 }
+                AppEvent::FlightRecorderDump { dump } => NodeEvent::FlightDump { rank, dump },
             };
             if events.send(out).is_err() {
                 return Ok(());

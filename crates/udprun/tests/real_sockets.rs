@@ -230,6 +230,67 @@ fn restarted_receiver_rejoins_over_real_sockets() {
 }
 
 #[test]
+fn trace_sink_captures_the_run_over_real_udp() {
+    // Every endpoint streams into one shared JSONL sink; after the run
+    // the file must reconstruct the message's journey: sent by rank 0,
+    // accepted and delivered at every receiver.
+    let mut cfg = ProtocolConfig::new(ProtocolKind::Ack, 4_000, 8);
+    cfg.rto = rmcast::Duration::from_millis(50);
+    let path = std::env::temp_dir().join(format!("rmtrace_udp_{}.jsonl", std::process::id()));
+    let mut cc = ClusterConfig::new(cfg, 3);
+    cc.trace_sink = Some(rmcast::JsonlSink::create(&path).expect("trace file"));
+    let msg = payload(50_000);
+    let out = run_cluster(cc, vec![msg.clone()]).expect("cluster");
+    assert_eq!(out.deliveries.len(), 3);
+
+    let text = std::fs::read_to_string(&path).expect("trace written");
+    let _ = std::fs::remove_file(&path);
+    let records = rmtrace::parse_jsonl(&text).unwrap_or_else(|(l, e)| panic!("line {l}: {e}"));
+    assert!(
+        records.iter().any(|r| r.ev == "DataSent" && r.rank == 0),
+        "sender must trace its sends"
+    );
+    for rank in 1..=3u16 {
+        assert!(
+            records
+                .iter()
+                .any(|r| r.ev == "Delivered" && r.rank == rank),
+            "rank {rank} must trace its delivery"
+        );
+    }
+    assert!(
+        records.iter().any(|r| r.ev == "AckSent"),
+        "the ACK protocol must trace acknowledgments"
+    );
+}
+
+#[test]
+fn liveness_abort_dumps_the_flight_recorder_over_real_udp() {
+    // Same shape as killed_receiver_without_eviction_fails_with_typed_error,
+    // with the flight recorder armed: the abort must come with a
+    // post-mortem dump of the sender's final protocol events.
+    let mut cfg = ProtocolConfig::new(ProtocolKind::Ack, 4_000, 8);
+    cfg.rto = rmcast::Duration::from_millis(30);
+    cfg.liveness = rmcast::LivenessConfig::bounded(4);
+    let mut cc = ClusterConfig::new(cfg, 3);
+    cc.dead_receivers = vec![0];
+    cc.flight_recorder = 64;
+    cc.timeout = std::time::Duration::from_secs(20);
+    let out = run_cluster(cc, vec![payload(20_000)]).expect("cluster resolves");
+    assert!(
+        !out.failures.is_empty(),
+        "the dead receiver must force an abort"
+    );
+    assert!(
+        out.flight_dumps
+            .iter()
+            .any(|(rank, dump)| *rank == Rank::SENDER && !dump.events.is_empty()),
+        "the aborting sender must dump its flight recorder: {:?}",
+        out.flight_dumps
+    );
+}
+
+#[test]
 fn pipelined_handshake_over_real_udp() {
     let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(6), 4_000, 12);
     cfg.rto = rmcast::Duration::from_millis(50);
