@@ -30,13 +30,25 @@ pub fn headline(tag: &str, r: &RunResult) {
     for &(_, secs) in &r.delivery_times {
         lat.record((secs * 1e9) as u64);
     }
+    // Byzantine-hardening counters, group-wide: nonzero only when a run
+    // actually saw hostile or corrupt traffic — a clean bench printing a
+    // nonzero here is itself a regression signal.
+    let malformed: u64 =
+        r.sender_stats.malformed_rx + r.receiver_stats.iter().map(|s| s.malformed_rx).sum::<u64>();
+    let integrity: u64 = r.sender_stats.integrity_fail
+        + r.receiver_stats
+            .iter()
+            .map(|s| s.integrity_fail)
+            .sum::<u64>();
     eprintln!(
-        "[{}] time={} throughput={:.1}Mbps acks@sender={} retx={} delivery_p50={} delivery_p99={}",
+        "[{}] time={} throughput={:.1}Mbps acks@sender={} retx={} malformed={} integrity_fail={} delivery_p50={} delivery_p99={}",
         tag,
         r.comm_time,
         r.throughput_mbps,
         r.sender_stats.acks_received,
         r.sender_stats.retx_sent,
+        malformed,
+        integrity,
         rmtrace::hist::fmt_ns(lat.p50()),
         rmtrace::hist::fmt_ns(lat.p99())
     );

@@ -284,6 +284,14 @@ pub struct ProtocolConfig {
     /// Dynamic membership (heartbeats, join/rejoin, epochs). Disabled by
     /// default.
     pub membership: MembershipConfig,
+    /// Payload integrity: when `true`, every packet this endpoint sends is
+    /// sealed with a CRC-32C trailer ([`rmwire::PacketFlags::CKSUM`]) and
+    /// every received packet *must* carry a valid trailer — unsealed or
+    /// corrupted packets are counted (`Stats::integrity_fail`) and
+    /// dropped. When `false` (default) the wire format is byte-identical
+    /// to the paper's, though trailers on incoming packets are still
+    /// verified opportunistically. All endpoints of a group must agree.
+    pub integrity: bool,
 }
 
 impl ProtocolConfig {
@@ -307,6 +315,7 @@ impl ProtocolConfig {
             liveness: LivenessConfig::PAPER,
             adaptive_rto: false,
             membership: MembershipConfig::DISABLED,
+            integrity: false,
         }
     }
 

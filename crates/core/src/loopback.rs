@@ -35,6 +35,10 @@ pub struct Loopback {
     /// Probability that a delivered datagram copy arrives twice
     /// back-to-back (duplication fault).
     dup: f64,
+    /// Probability that a delivered datagram copy has a random byte
+    /// flipped before delivery (byzantine corruption reaching the decode
+    /// path, unlike `loss` which models FCS-dropped frames).
+    corrupt: f64,
     /// Datagrams held back by the reorder fault.
     held: Vec<(usize, Bytes)>,
     rng: SmallRng,
@@ -72,6 +76,7 @@ impl Loopback {
             loss: 0.0,
             reorder: 0.0,
             dup: 0.0,
+            corrupt: 0.0,
             held: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
             sent: Vec::new(),
@@ -101,6 +106,16 @@ impl Loopback {
     pub fn with_dup(mut self, p: f64) -> Self {
         assert!((0.0..1.0).contains(&p), "probability out of range");
         self.dup = p;
+        self
+    }
+
+    /// Flip one random byte of each delivered datagram copy with
+    /// probability `p`. The corrupted bytes *reach the endpoint* (unlike
+    /// [`Loopback::with_loss`], which models FCS-dropped frames), so
+    /// configs with `integrity` enabled must detect and drop them.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "probability out of range");
+        self.corrupt = p;
         self
     }
 
@@ -259,7 +274,8 @@ impl Loopback {
                             self.held.push((usize::MAX, t.payload.clone()));
                         } else {
                             for _ in 0..self.dup_copies() {
-                                self.sender.handle_datagram(self.now, &t.payload);
+                                let p = self.maybe_corrupt(&t.payload);
+                                self.sender.handle_datagram(self.now, &p);
                             }
                         }
                     }
@@ -272,7 +288,8 @@ impl Loopback {
                         } else {
                             let now = self.now;
                             for _ in 0..self.dup_copies() {
-                                self.receivers[idx].handle_datagram(now, &t.payload);
+                                let p = self.maybe_corrupt(&t.payload);
+                                self.receivers[idx].handle_datagram(now, &p);
                             }
                         }
                     }
@@ -288,7 +305,8 @@ impl Loopback {
                             } else {
                                 let now = self.now;
                                 for _ in 0..self.dup_copies() {
-                                    self.receivers[i].handle_datagram(now, &t.payload);
+                                    let p = self.maybe_corrupt(&t.payload);
+                                    self.receivers[i].handle_datagram(now, &p);
                                 }
                             }
                         }
@@ -315,6 +333,21 @@ impl Loopback {
             2
         } else {
             1
+        }
+    }
+
+    /// The payload as the endpoint will see it: verbatim, or with one
+    /// random byte XOR-flipped under the corruption fault. Draws
+    /// randomness only when the fault is on.
+    fn maybe_corrupt(&mut self, payload: &Bytes) -> Bytes {
+        if self.corrupt > 0.0 && !payload.is_empty() && self.rng.gen::<f64>() < self.corrupt {
+            let mut v = payload.to_vec();
+            let at = self.rng.gen_range(0..v.len());
+            let bit = self.rng.gen_range(0u8..8);
+            v[at] ^= 1 << bit;
+            Bytes::from(v)
+        } else {
+            payload.clone()
         }
     }
 

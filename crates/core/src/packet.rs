@@ -81,61 +81,106 @@ pub enum Packet {
 }
 
 impl Packet {
-    /// Parse a received datagram.
+    /// Parse a received datagram without requiring an integrity trailer
+    /// (checksummed packets are still verified when the flag is present).
     pub fn parse(datagram: &[u8]) -> Result<Packet, WireError> {
+        Packet::parse_checked(datagram, false)
+    }
+
+    /// Parse a received datagram, verifying the CRC-32C trailer of any
+    /// packet flagged [`PacketFlags::CKSUM`]. With `require_integrity`
+    /// the decoder *fails closed*: a packet without the flag is rejected
+    /// ([`WireError::ChecksumMissing`]), so a corrupting flip that clears
+    /// the flag bit itself cannot smuggle bytes past verification.
+    pub fn parse_checked(datagram: &[u8], require_integrity: bool) -> Result<Packet, WireError> {
+        // The flag byte sits at a fixed offset; peek it before the full
+        // header decode so the checksum covers exactly the sealed bytes.
+        let sealed = datagram.len() >= HEADER_LEN && datagram[1] & PacketFlags::CKSUM.bits() != 0;
+        let datagram = if sealed {
+            let Some(body_len) = datagram.len().checked_sub(4).filter(|&n| n >= HEADER_LEN) else {
+                return Err(WireError::Truncated {
+                    need: HEADER_LEN + 4,
+                    have: datagram.len(),
+                });
+            };
+            let expected = u32::from_be_bytes(datagram[body_len..].try_into().expect("4 bytes"));
+            let actual = rmwire::crc32c(&datagram[..body_len]);
+            if expected != actual {
+                return Err(WireError::ChecksumMismatch { expected, actual });
+            }
+            &datagram[..body_len]
+        } else if require_integrity {
+            // Still surface the more precise error for runts.
+            if datagram.len() < HEADER_LEN {
+                return Err(WireError::Truncated {
+                    need: HEADER_LEN,
+                    have: datagram.len(),
+                });
+            }
+            return Err(WireError::ChecksumMissing);
+        } else {
+            datagram
+        };
+
         let mut buf = datagram;
         let header = Header::decode(&mut buf)?;
-        match header.ptype {
+        let packet = match header.ptype {
             PacketType::Data => {
                 if header.flags.contains(PacketFlags::ALLOC) {
                     let body = AllocBody::decode(&mut buf)?;
-                    Ok(Packet::Alloc { header, body })
+                    Packet::Alloc { header, body }
                 } else {
-                    Ok(Packet::Data {
-                        header,
-                        body: Bytes::copy_from_slice(buf),
-                    })
+                    // Arbitrary application bytes: consume everything.
+                    let body = Bytes::copy_from_slice(buf);
+                    buf = &[];
+                    Packet::Data { header, body }
                 }
             }
             PacketType::Ack => {
                 let body = AckBody::decode(&mut buf)?;
                 let epoch = decode_epoch_tail(&mut buf)?;
-                Ok(Packet::Ack {
+                Packet::Ack {
                     header,
                     body,
                     epoch,
-                })
+                }
             }
             PacketType::Nak => {
                 let body = NakBody::decode(&mut buf)?;
                 let epoch = decode_epoch_tail(&mut buf)?;
-                Ok(Packet::Nak {
+                Packet::Nak {
                     header,
                     body,
                     epoch,
-                })
+                }
             }
             PacketType::Join => {
                 let body = JoinBody::decode(&mut buf)?;
-                Ok(Packet::Join { header, body })
+                Packet::Join { header, body }
             }
             PacketType::Welcome => {
                 let body = WelcomeBody::decode(&mut buf)?;
-                Ok(Packet::Welcome { header, body })
+                Packet::Welcome { header, body }
             }
             PacketType::Leave => {
                 let body = LeaveBody::decode(&mut buf)?;
-                Ok(Packet::Leave { header, body })
+                Packet::Leave { header, body }
             }
             PacketType::Heartbeat => {
                 let body = HeartbeatBody::decode(&mut buf)?;
-                Ok(Packet::Heartbeat { header, body })
+                Packet::Heartbeat { header, body }
             }
             PacketType::Sync => {
                 let body = SyncBody::decode(&mut buf)?;
-                Ok(Packet::Sync { header, body })
+                Packet::Sync { header, body }
             }
+        };
+        // Strict decode: a well-formed body leaves nothing behind. (Data
+        // bodies consume the whole buffer above.)
+        if !buf.is_empty() {
+            return Err(WireError::TrailingGarbage { extra: buf.len() });
         }
+        Ok(packet)
     }
 
     /// The parsed header, whichever variant.
@@ -163,6 +208,20 @@ fn decode_epoch_tail<B: Buf>(buf: &mut B) -> Result<Option<u32>, WireError> {
         n if n >= 4 => Ok(Some(buf.get_u32())),
         have => Err(WireError::Truncated { need: 4, have }),
     }
+}
+
+/// Seal an encoded packet with the integrity trailer: set
+/// [`PacketFlags::CKSUM`] in the header's flag byte and append the
+/// big-endian CRC-32C of every preceding byte. The inverse lives in
+/// [`Packet::parse_checked`].
+pub fn seal(packet: &[u8]) -> Bytes {
+    debug_assert!(packet.len() >= HEADER_LEN, "cannot seal a runt");
+    let mut buf = BytesMut::with_capacity(packet.len() + 4);
+    buf.extend_from_slice(packet);
+    buf[1] |= PacketFlags::CKSUM.bits();
+    let crc = rmwire::crc32c(&buf);
+    bytes::BufMut::put_u32(&mut buf, crc);
+    buf.freeze()
 }
 
 /// Encode a data packet.
@@ -496,6 +555,89 @@ mod tests {
         // Valid header but truncated ACK body.
         let full = encode_ack(Rank(1), 1, SeqNo(1));
         assert!(Packet::parse(&full[..HEADER_LEN + 1]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut a = encode_ack(Rank(1), 1, SeqNo(1)).to_vec();
+        a.extend_from_slice(&[0xaa; 4]); // looks like an epoch trailer
+        a.push(0xbb); // ...plus one stray byte
+        assert!(matches!(
+            Packet::parse(&a),
+            Err(WireError::TrailingGarbage { extra: 1 })
+        ));
+        let mut j = encode_join(Rank(5), 3).to_vec();
+        j.extend_from_slice(b"xx");
+        assert!(matches!(
+            Packet::parse(&j),
+            Err(WireError::TrailingGarbage { extra: 2 })
+        ));
+    }
+
+    #[test]
+    fn sealed_round_trip_and_flip_detection() {
+        let plain = encode_data(Rank(0), 5, SeqNo(9), PacketFlags::POLL, b"payload");
+        let sealed = seal(&plain);
+        assert_eq!(sealed.len(), plain.len() + 4);
+        // Verifies in both lenient and strict modes.
+        for strict in [false, true] {
+            match Packet::parse_checked(&sealed, strict).unwrap() {
+                Packet::Data { header, body } => {
+                    assert!(header.flags.contains(PacketFlags::CKSUM));
+                    assert_eq!(&body[..], b"payload");
+                }
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+        // Every single-bit flip anywhere in the sealed packet is caught
+        // in strict mode (flips in the CKSUM bit itself downgrade to
+        // ChecksumMissing; flips elsewhere to mismatch or header errors).
+        for byte in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut bad = sealed.to_vec();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    Packet::parse_checked(&bad, true).is_err(),
+                    "flip at {byte}.{bit} went undetected"
+                );
+            }
+        }
+        // Unsealed packets fail closed under strict mode.
+        assert!(matches!(
+            Packet::parse_checked(&plain, true),
+            Err(WireError::ChecksumMissing)
+        ));
+        // A sealed runt (trailer would eat into the header) is rejected.
+        assert!(Packet::parse_checked(&sealed[..HEADER_LEN + 2], true).is_err());
+    }
+
+    #[test]
+    fn sealed_control_packets_round_trip() {
+        for pkt in [
+            encode_ack_epoch(Rank(3), 7, SeqNo(100), 9),
+            encode_nak(Rank(4), 7, SeqNo(55)),
+            encode_heartbeat(Rank(0), 7),
+            encode_sync(
+                Rank(0),
+                SyncBody {
+                    epoch: 8,
+                    next_msg: 12,
+                    next_transfer: 24,
+                    flags: 0,
+                },
+            ),
+        ] {
+            let sealed = seal(&pkt);
+            assert!(Packet::parse_checked(&sealed, true).is_ok());
+            // Corrupt the trailer itself: mismatch.
+            let mut bad = sealed.to_vec();
+            let n = bad.len();
+            bad[n - 1] ^= 0xff;
+            assert!(matches!(
+                Packet::parse_checked(&bad, true),
+                Err(WireError::ChecksumMismatch { .. })
+            ));
+        }
     }
 
     #[test]

@@ -38,6 +38,16 @@ const RETAIN_TRANSFERS: u32 = 8;
 /// evicted beyond this count.
 const MAX_TRACKED: usize = 32;
 
+/// Largest message length an ALLOC announcement may claim. The body's
+/// `msg_len` sizes a pre-allocated buffer, so a forged or bit-flipped
+/// value must never be trusted verbatim — a single corrupt high byte
+/// would otherwise demand gigabytes before the first data packet lands.
+const MAX_ALLOC_BYTES: u64 = 1 << 28; // 256 MiB
+
+/// Cap on the packet count an ALLOC implies (`msg_len / packet_size`):
+/// bounds the receive bitmap alongside the payload buffer.
+const MAX_ALLOC_PACKETS: u64 = 1 << 20;
+
 /// Per-transfer receiver state. The assembly is dropped at delivery; the
 /// acknowledgment state survives so retransmissions of a finished transfer
 /// still get re-acknowledged.
@@ -453,10 +463,26 @@ impl Receiver {
             .map_or(0, |a| a.buffered_bytes());
         self.stats.sample_buffer(buffered);
 
-        // Record the allocation body for the upcoming data transfer.
+        // Record the allocation body for the upcoming data transfer —
+        // after capping what it may demand: the body reaches
+        // `Assembly::preallocated`, so an uncapped `msg_len` is a
+        // state-exhaustion primitive for anyone who can flip a bit.
         if let DataBody::Alloc(b) = body {
             if matches!(offer, Offer::InOrder) {
-                self.alloc_pending.insert(b.data_transfer, b);
+                let packets = b.msg_len.div_ceil(u64::from(b.packet_size.max(1)));
+                if b.msg_len > MAX_ALLOC_BYTES || packets > MAX_ALLOC_PACKETS {
+                    self.stats.decode_errors += 1;
+                    self.stats.malformed_rx += 1;
+                    self.tracer.emit(
+                        now.as_nanos(),
+                        TraceEvent::DataDiscarded {
+                            transfer: b.data_transfer,
+                            seq: 0,
+                        },
+                    );
+                } else {
+                    self.alloc_pending.insert(b.data_transfer, b);
+                }
             }
         }
 
@@ -966,10 +992,22 @@ enum DataBody<'a> {
 impl Endpoint for Receiver {
     fn handle_datagram(&mut self, now: Time, datagram: &[u8]) {
         self.now_cache = self.now_cache.max(now);
-        let pkt = match Packet::parse(datagram) {
+        let pkt = match Packet::parse_checked(datagram, self.cfg.integrity) {
             Ok(p) => p,
-            Err(_) => {
+            Err(e) => {
                 self.stats.decode_errors += 1;
+                let cause = match e {
+                    rmwire::WireError::ChecksumMismatch { .. }
+                    | rmwire::WireError::ChecksumMissing => {
+                        self.stats.integrity_fail += 1;
+                        "IntegrityFail"
+                    }
+                    _ => {
+                        self.stats.malformed_rx += 1;
+                        "MalformedRx"
+                    }
+                };
+                self.tracer.emit(now.as_nanos(), TraceEvent::Drop { cause });
                 return;
             }
         };
@@ -1038,7 +1076,11 @@ impl Endpoint for Receiver {
     }
 
     fn poll_transmit(&mut self) -> Option<Transmit> {
-        self.out.pop_front()
+        let mut tx = self.out.pop_front()?;
+        if self.cfg.integrity {
+            tx.payload = packet::seal(&tx.payload);
+        }
+        Some(tx)
     }
 
     fn poll_event(&mut self) -> Option<AppEvent> {

@@ -1255,10 +1255,22 @@ impl Sender {
 impl Endpoint for Sender {
     fn handle_datagram(&mut self, now: Time, datagram: &[u8]) {
         self.now_cache = self.now_cache.max(now);
-        let pkt = match Packet::parse(datagram) {
+        let pkt = match Packet::parse_checked(datagram, self.cfg.integrity) {
             Ok(p) => p,
-            Err(_) => {
+            Err(e) => {
                 self.stats.decode_errors += 1;
+                let cause = match e {
+                    rmwire::WireError::ChecksumMismatch { .. }
+                    | rmwire::WireError::ChecksumMissing => {
+                        self.stats.integrity_fail += 1;
+                        "IntegrityFail"
+                    }
+                    _ => {
+                        self.stats.malformed_rx += 1;
+                        "MalformedRx"
+                    }
+                };
+                self.tracer.emit(now.as_nanos(), TraceEvent::Drop { cause });
                 return;
             }
         };
@@ -1380,7 +1392,11 @@ impl Endpoint for Sender {
     }
 
     fn poll_transmit(&mut self) -> Option<Transmit> {
-        self.out.pop_front()
+        let mut tx = self.out.pop_front()?;
+        if self.cfg.integrity {
+            tx.payload = packet::seal(&tx.payload);
+        }
+        Some(tx)
     }
 
     fn poll_event(&mut self) -> Option<AppEvent> {

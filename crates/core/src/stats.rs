@@ -126,6 +126,14 @@ define_stats! {
     /// ACK/NAK packets discarded because they carried a stale membership
     /// epoch.
     stale_epoch_discarded: sum,
+    /// Datagrams rejected by strict decode (truncation, unknown types or
+    /// flags, trailing garbage, out-of-range fields). A subset of
+    /// `decode_errors`, which remains the umbrella count.
+    malformed_rx: sum,
+    /// Datagrams rejected by the payload integrity check (CRC-32C trailer
+    /// mismatch, or a missing trailer under an integrity-enforcing
+    /// configuration). Also counted under `decode_errors`.
+    integrity_fail: sum,
 }
 
 impl Stats {
@@ -198,6 +206,8 @@ mod tests {
             joins: 1,
             suspects: 1,
             stale_epoch_discarded: 1,
+            malformed_rx: 1,
+            integrity_fail: 1,
         };
         assert!(
             ones.fields().iter().all(|&(_, x)| x == 1),

@@ -50,9 +50,9 @@ fn arb_packet() -> impl Strategy<Value = Bytes> {
                     transfer,
                     PacketFlags::LAST,
                     rmwire::AllocBody {
-                        // Bound the claimed size: a hostile 2^64 allocation
-                        // request is the transport layer's problem (real
-                        // deployments cap it; our assembly would honour it).
+                        // Stay under the receiver's hostile-allocation cap
+                        // so these packets exercise the *accept* path; the
+                        // over-cap rejection has its own test (integrity.rs).
                         msg_len: msg_len % 1_000_000,
                         data_transfer,
                         packet_size: ps,

@@ -258,6 +258,24 @@ pub struct HostFault {
     pub kind: HostFaultKind,
 }
 
+/// A frame synthesized by an attacker and injected straight into one
+/// host's receive path at a scheduled instant. The payload bytes are
+/// attacker-chosen, so any rank/type/sequence combination can be forged —
+/// including valid-looking control packets the protocol never sent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForgeFrame {
+    /// When the forged frame arrives.
+    pub at: Time,
+    /// The host whose socket receives it.
+    pub dest: HostId,
+    /// Destination UDP port (must match a bound socket to be seen).
+    pub port: u16,
+    /// The spoofed source host.
+    pub src: HostId,
+    /// The raw datagram bytes, exactly as the process will receive them.
+    pub payload: Vec<u8>,
+}
+
 /// A deterministic, seeded chaos schedule layered over [`FaultParams`]:
 /// per-link loss, burst loss, reordering, corruption, link outages and
 /// host crash/pause faults. Installed on a simulation with
@@ -288,6 +306,21 @@ pub struct FaultPlan {
     /// dropped, partitioning the hosts into per-switch islands; access
     /// links keep working, so hosts on each side still talk locally.
     pub trunk_down: Vec<(Time, Time)>,
+    /// Byzantine corruption: probability that a reassembled datagram is
+    /// *delivered* with 1–4 flipped bytes instead of being FCS-dropped
+    /// like [`FaultPlan::corrupt`]. The corrupted bytes reach the
+    /// protocol's decode path, exercising its integrity defences.
+    pub corrupt_deliver: f64,
+    /// Probability that a reassembled datagram is delivered twice to the
+    /// destination process (beyond wire-level `frame_dup`).
+    pub duplicate: f64,
+    /// Replay attack: probability that, alongside a normal delivery, a
+    /// stale previously-delivered datagram is re-injected into the same
+    /// host's socket. The simulator keeps a bounded ring of recent
+    /// datagrams to replay from.
+    pub replay: f64,
+    /// Forged frames injected at scheduled instants.
+    pub forge: Vec<ForgeFrame>,
 }
 
 impl FaultPlan {
@@ -300,6 +333,10 @@ impl FaultPlan {
             && self.link_down.is_empty()
             && self.host_faults.is_empty()
             && self.trunk_down.is_empty()
+            && self.corrupt_deliver == 0.0
+            && self.duplicate == 0.0
+            && self.replay == 0.0
+            && self.forge.is_empty()
     }
 
     /// Add uniform loss on `host`'s access link.
@@ -364,6 +401,49 @@ impl FaultPlan {
     pub fn with_trunk_down(mut self, from: Time, until: Time) -> Self {
         assert!(from < until, "empty trunk-down window");
         self.trunk_down.push((from, until));
+        self
+    }
+
+    /// Deliver each datagram corrupted (bytes flipped, not dropped) with
+    /// probability `p`.
+    pub fn with_corrupt_deliver(mut self, p: f64) -> Self {
+        assert_prob(p);
+        self.corrupt_deliver = p;
+        self
+    }
+
+    /// Deliver each datagram twice with probability `p`.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        assert_prob(p);
+        self.duplicate = p;
+        self
+    }
+
+    /// Re-inject a stale recorded datagram alongside a delivery with
+    /// probability `p`.
+    pub fn with_replay(mut self, p: f64) -> Self {
+        assert_prob(p);
+        self.replay = p;
+        self
+    }
+
+    /// Inject a forged datagram (spoofed source `src`, attacker-chosen
+    /// `payload`) into `dest`'s socket on `port` at `at`.
+    pub fn with_forge(
+        mut self,
+        at: Time,
+        dest: HostId,
+        port: u16,
+        src: HostId,
+        payload: Vec<u8>,
+    ) -> Self {
+        self.forge.push(ForgeFrame {
+            at,
+            dest,
+            port,
+            src,
+            payload,
+        });
         self
     }
 
@@ -571,6 +651,35 @@ mod tests {
         assert!(plan.trunk_is_down(Time::from_millis(50)));
         assert!(plan.trunk_is_down(Time::from_millis(79)));
         assert!(!plan.trunk_is_down(Time::from_millis(80)));
+    }
+
+    #[test]
+    fn byzantine_knobs_make_the_plan_non_empty() {
+        assert!(!FaultPlan::default().with_corrupt_deliver(0.1).is_empty());
+        assert!(!FaultPlan::default().with_duplicate(0.1).is_empty());
+        assert!(!FaultPlan::default().with_replay(0.1).is_empty());
+        let plan = FaultPlan::default().with_forge(
+            Time::from_millis(1),
+            HostId(0),
+            7000,
+            HostId(1),
+            vec![0xde, 0xad],
+        );
+        assert!(!plan.is_empty());
+        assert_eq!(plan.forge.len(), 1);
+        assert_eq!(plan.forge[0].payload, vec![0xde, 0xad]);
+        // Zeroed knobs keep the plan empty (determinism contract).
+        assert!(FaultPlan::default()
+            .with_corrupt_deliver(0.0)
+            .with_duplicate(0.0)
+            .with_replay(0.0)
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn byzantine_probability_validated() {
+        let _ = FaultPlan::default().with_corrupt_deliver(1.5);
     }
 
     #[test]

@@ -80,8 +80,8 @@ pub mod topology;
 pub mod trace;
 
 pub use config::{
-    FabricKind, FaultParams, FaultPlan, GilbertElliott, HostFault, HostFaultKind, HostParams,
-    LinkDownWindow, LinkParams, SimConfig, SwitchParams,
+    FabricKind, FaultParams, FaultPlan, ForgeFrame, GilbertElliott, HostFault, HostFaultKind,
+    HostParams, LinkDownWindow, LinkParams, SimConfig, SwitchParams,
 };
 pub use frame::{Datagram, UdpDest, MTU};
 pub use ids::{GroupId, HostId, SwitchId};

@@ -13,7 +13,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rmwire::{Duration, Time};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 /// Simulator events. Arrival events carry the instant the *last bit* of a
@@ -40,6 +40,13 @@ enum Event {
     BusAttempt { host: HostId },
     /// End of the bus contention window: transmit or collide.
     BusResolve,
+    /// A forged datagram from the fault plan arrives at a host socket.
+    ForgeDeliver {
+        host: HostId,
+        src: HostId,
+        port: u16,
+        payload: Vec<u8>,
+    },
 }
 
 struct HeapEntry {
@@ -91,7 +98,14 @@ pub struct Sim {
     fault_plan: FaultPlan,
     /// Per-host Gilbert–Elliott channel state (`true` = bad/lossy).
     burst_bad: Vec<bool>,
+    /// Recently delivered datagrams the byzantine replay fault draws
+    /// from; bounded at [`REPLAY_RING_CAP`]. Only populated while the
+    /// replay knob is enabled.
+    replay_ring: VecDeque<Arc<Datagram>>,
 }
+
+/// How many recently delivered datagrams the replay fault remembers.
+const REPLAY_RING_CAP: usize = 64;
 
 impl Sim {
     /// A new, empty simulation with the given configuration and RNG seed.
@@ -116,6 +130,7 @@ impl Sim {
             bus: BusState::new(),
             fault_plan: FaultPlan::default(),
             burst_bad: Vec::new(),
+            replay_ring: VecDeque::new(),
         }
     }
 
@@ -207,10 +222,26 @@ impl Sim {
         for f in &plan.host_faults {
             known(f.host);
         }
+        for f in &plan.forge {
+            known(f.dest);
+            known(f.src);
+        }
         let restarts: Vec<_> = plan.restarts().collect();
+        let forged: Vec<_> = plan.forge.clone();
         self.fault_plan = plan;
         for (host, at) in restarts {
             self.schedule(at, Event::HostRestart { host });
+        }
+        for f in forged {
+            self.schedule(
+                f.at,
+                Event::ForgeDeliver {
+                    host: f.dest,
+                    src: f.src,
+                    port: f.port,
+                    payload: f.payload,
+                },
+            );
         }
     }
 
@@ -410,6 +441,12 @@ impl Sim {
             Event::BusAttempt { host } => self.bus_attempt(host),
             Event::BusResolve => self.bus_resolve(),
             Event::HostRestart { host } => self.host_restart(host),
+            Event::ForgeDeliver {
+                host,
+                src,
+                port,
+                payload,
+            } => self.forge_deliver(host, src, port, payload),
         }
     }
 
@@ -735,8 +772,73 @@ impl Sim {
             return;
         }
 
-        let port = frame.dg.dest.port();
-        let len = frame.dg.payload.len();
+        self.deliver_datagram(host, frame.dg);
+    }
+
+    /// Deliver a fully reassembled datagram to `host`, applying the fault
+    /// plan's byzantine modes first: corrupt-and-deliver, duplication and
+    /// replay of a stale recorded datagram. Every check is gated on its
+    /// knob, so an empty plan draws no randomness here.
+    fn deliver_datagram(&mut self, host: HostId, dg: Arc<Datagram>) {
+        let mut dg = dg;
+        let p = self.fault_plan.corrupt_deliver;
+        if p > 0.0 && self.rng.gen::<f64>() < p {
+            dg = self.corrupt_datagram(&dg);
+            self.trace.byz_corrupt_delivered += 1;
+        }
+        let p = self.fault_plan.duplicate;
+        let copies = if p > 0.0 && self.rng.gen::<f64>() < p {
+            self.trace.byz_duplicates += 1;
+            2
+        } else {
+            1
+        };
+        let p = self.fault_plan.replay;
+        if p > 0.0 {
+            if !self.replay_ring.is_empty() && self.rng.gen::<f64>() < p {
+                let idx = self.rng.gen_range(0..self.replay_ring.len());
+                let stale = Arc::clone(&self.replay_ring[idx]);
+                self.trace.byz_replays += 1;
+                self.deliver_to_socket(host, stale);
+            }
+            if self.replay_ring.len() >= REPLAY_RING_CAP {
+                self.replay_ring.pop_front();
+            }
+            self.replay_ring.push_back(Arc::clone(&dg));
+        }
+        for _ in 0..copies {
+            self.deliver_to_socket(host, Arc::clone(&dg));
+        }
+    }
+
+    /// Return a copy of `dg` with 1–4 byte positions bit-flipped —
+    /// byzantine corruption that passed the NIC's FCS check and reaches
+    /// the protocol's decode path. Zero-length payloads pass unchanged.
+    fn corrupt_datagram(&mut self, dg: &Datagram) -> Arc<Datagram> {
+        let mut payload = dg.payload.to_vec();
+        if !payload.is_empty() {
+            let flips = self.rng.gen_range(1..=4usize).min(payload.len());
+            for _ in 0..flips {
+                let at = self.rng.gen_range(0..payload.len());
+                let bit = self.rng.gen_range(0u8..8);
+                payload[at] ^= 1 << bit;
+            }
+        }
+        Arc::new(Datagram {
+            src_host: dg.src_host,
+            src_port: dg.src_port,
+            dest: dg.dest,
+            payload: Bytes::from(payload),
+            ip_id: dg.ip_id,
+            frag_data: dg.frag_data,
+        })
+    }
+
+    /// The kernel socket step shared by normal, replayed and forged
+    /// deliveries: buffer-space check, then a CPU work item.
+    fn deliver_to_socket(&mut self, host: HostId, dg: Arc<Datagram>) {
+        let port = dg.dest.port();
+        let len = dg.payload.len();
         let sockbuf = self.host_params[host.0].recv_sockbuf;
         let h = &mut self.hosts[host.0];
         let Some(buffered) = h.sockets.get_mut(&port) else {
@@ -753,7 +855,28 @@ impl Sim {
         }
         *buffered += len;
         let at = self.now;
-        self.enqueue_work(host, WorkItem::Deliver(frame.dg), at);
+        self.enqueue_work(host, WorkItem::Deliver(dg), at);
+    }
+
+    /// Inject a forged datagram (spoofed source, attacker-chosen bytes)
+    /// straight into `host`'s socket, bypassing the wire entirely.
+    fn forge_deliver(&mut self, host: HostId, src: HostId, port: u16, payload: Vec<u8>) {
+        if !self.fault_plan.host_faults.is_empty() && self.fault_plan.host_crashed(host, self.now) {
+            self.note_drop(DropCause::HostDown, Some(host));
+            return;
+        }
+        self.trace.byz_forged += 1;
+        let ip_id = self.next_ip_id;
+        self.next_ip_id += 1;
+        let dg = Arc::new(Datagram {
+            src_host: src,
+            src_port: 0,
+            dest: UdpDest::Host(host, port),
+            payload: Bytes::from(payload),
+            ip_id,
+            frag_data: frame::frag_data_for_mtu(self.cfg.link.mtu),
+        });
+        self.deliver_to_socket(host, dg);
     }
 
     // ------------------------------------------------------------------

@@ -96,6 +96,14 @@ pub struct TraceCounters {
     pub drops_trunk_down: u64,
     /// Frames delayed by the reordering fault (delivered, but late).
     pub frames_reordered: u64,
+    /// Datagrams delivered with byzantine byte flips (corrupt_deliver).
+    pub byz_corrupt_delivered: u64,
+    /// Datagrams delivered twice by the byzantine duplicate fault.
+    pub byz_duplicates: u64,
+    /// Stale datagrams re-injected by the byzantine replay fault.
+    pub byz_replays: u64,
+    /// Forged datagrams injected from the fault plan's forge schedule.
+    pub byz_forged: u64,
 }
 
 impl TraceCounters {

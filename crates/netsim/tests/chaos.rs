@@ -386,3 +386,142 @@ fn fault_plan_validates_hosts() {
     topology::single_switch(&mut sim, 2);
     sim.set_fault_plan(FaultPlan::default().with_crash(HostId(9), Time::ZERO));
 }
+
+// ---------------------------------------------------------------------
+// Byzantine modes: corrupt-and-deliver, duplicate, replay, forge.
+// ---------------------------------------------------------------------
+
+type ByteLog = Rc<RefCell<Vec<(HostId, Vec<u8>)>>>;
+
+/// A sink that records full payload bytes and the spoofable source.
+struct ByteSink {
+    log: ByteLog,
+    srcs: Rc<RefCell<Vec<HostId>>>,
+}
+
+impl Process for ByteSink {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dg: DatagramIn) {
+        self.log
+            .borrow_mut()
+            .push((ctx.host(), dg.payload.to_vec()));
+        self.srcs.borrow_mut().push(dg.src_host);
+    }
+}
+
+fn byte_run(plan: FaultPlan, n: usize, seed: u64) -> (ByteLog, Rc<RefCell<Vec<HostId>>>, Sim) {
+    let mut sim = Sim::new(SimConfig::default(), seed);
+    let hosts = topology::single_switch(&mut sim, 2);
+    sim.set_fault_plan(plan);
+    let log: ByteLog = Rc::new(RefCell::new(Vec::new()));
+    let srcs = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        hosts[0],
+        PORT,
+        Box::new(Blaster {
+            dest: UdpDest::host(hosts[1], PORT),
+            sizes: vec![500; n],
+        }),
+    );
+    sim.spawn(
+        hosts[1],
+        PORT,
+        Box::new(ByteSink {
+            log: Rc::clone(&log),
+            srcs: Rc::clone(&srcs),
+        }),
+    );
+    sim.run_until(Time::from_millis(5_000));
+    (log, srcs, sim)
+}
+
+#[test]
+fn corrupt_deliver_flips_bytes_but_still_delivers() {
+    let plan = FaultPlan::default().with_corrupt_deliver(1.0);
+    let (log, _, sim) = byte_run(plan, 10, 31);
+    let log = log.borrow();
+    assert_eq!(log.len(), 10, "byzantine corruption must not drop");
+    assert_eq!(sim.trace().byz_corrupt_delivered, 10);
+    for (_, payload) in log.iter() {
+        assert_eq!(payload.len(), 500, "corruption must not change length");
+        assert!(
+            payload.iter().any(|&b| b != 0xab),
+            "every delivery must carry at least one flipped byte"
+        );
+    }
+}
+
+#[test]
+fn duplicate_delivers_twice() {
+    let plan = FaultPlan::default().with_duplicate(1.0);
+    let (log, _, sim) = byte_run(plan, 10, 32);
+    assert_eq!(log.borrow().len(), 20, "every datagram doubled");
+    assert_eq!(sim.trace().byz_duplicates, 10);
+}
+
+#[test]
+fn replay_reinjects_stale_datagrams() {
+    let plan = FaultPlan::default().with_replay(0.5);
+    let (log, _, sim) = byte_run(plan, 40, 33);
+    let replays = sim.trace().byz_replays;
+    assert!(replays > 0, "replay fault never fired");
+    assert_eq!(
+        log.borrow().len() as u64,
+        40 + replays,
+        "each replay is one extra delivery"
+    );
+}
+
+#[test]
+fn forged_frames_reach_the_socket_with_spoofed_source() {
+    let forged = vec![0x5a; 64];
+    let plan = FaultPlan::default().with_forge(
+        Time::from_millis(1),
+        HostId(1),
+        PORT,
+        HostId(0),
+        forged.clone(),
+    );
+    let (log, srcs, sim) = byte_run(plan, 0, 34);
+    let log = log.borrow();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].1, forged, "forged bytes must arrive verbatim");
+    assert_eq!(srcs.borrow()[0], HostId(0), "source is spoofed");
+    assert_eq!(sim.trace().byz_forged, 1);
+}
+
+#[test]
+fn forged_frames_to_unbound_ports_vanish() {
+    let plan = FaultPlan::default().with_forge(
+        Time::from_millis(1),
+        HostId(1),
+        PORT + 1,
+        HostId(0),
+        vec![1, 2, 3],
+    );
+    let (log, _, sim) = byte_run(plan, 0, 35);
+    assert_eq!(log.borrow().len(), 0);
+    assert_eq!(sim.trace().byz_forged, 1, "injection is still counted");
+}
+
+#[test]
+fn byzantine_runs_are_deterministic() {
+    let plan = FaultPlan::default()
+        .with_corrupt_deliver(0.3)
+        .with_duplicate(0.2)
+        .with_replay(0.2)
+        .with_forge(
+            Time::from_millis(2),
+            HostId(1),
+            PORT,
+            HostId(0),
+            vec![9; 30],
+        );
+    let (log_a, _, sim_a) = byte_run(plan.clone(), 100, 36);
+    let (log_b, _, sim_b) = byte_run(plan, 100, 36);
+    assert_eq!(
+        *log_a.borrow(),
+        *log_b.borrow(),
+        "same seed, same byzantine stream"
+    );
+    assert_eq!(sim_a.trace(), sim_b.trace());
+}

@@ -1,0 +1,321 @@
+//! Deterministic, structure-aware fuzzing of the multicast wire format.
+//!
+//! The threat model (docs/THREAT_MODEL.md) requires that arbitrary bytes
+//! arriving on the wire never panic a decoder, never stall an endpoint's
+//! liveness, and never inflate its state unboundedly. This crate supplies
+//! the attacker half of that contract: a seeded [`Mutator`] that turns a
+//! corpus of *valid* packet encodings into an endless stream of adversarial
+//! ones — truncations, bit flips, splices of two packets, header field
+//! swaps and pure garbage — reproducibly, byte for byte, from one `u64`
+//! seed.
+//!
+//! Structure-aware beats purely random: a random 40-byte string almost
+//! never has a valid packet type, so it only exercises the first bounds
+//! check. Mutations of valid encodings keep most of the structure intact
+//! and push the decoder deep into body parsing, checksum verification and
+//! protocol state handling before the corruption bites.
+//!
+//! Consumers: `cargo test -p rmfuzz` (the million-packet never-panic
+//! suites) and the `fuzz_decode` simrun experiment (the same stream,
+//! reported as a table for EXPERIMENTS.md).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rmcast::packet;
+use rmwire::{AllocBody, PacketFlags, Rank, SeqNo, SyncBody};
+
+/// What one mutation did to its corpus input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// The valid encoding, untouched (decoders must accept these).
+    Passthrough,
+    /// Cut the packet at a random byte boundary.
+    Truncate,
+    /// Flip 1–8 random bits anywhere in the packet.
+    BitFlip,
+    /// Head of one corpus packet glued to the tail of another.
+    Splice,
+    /// Overwrite one header field (type, flags, rank, transfer, seq) with
+    /// a random value, leaving the rest intact.
+    FieldSwap,
+    /// Uniformly random bytes of random length (0–255).
+    Garbage,
+    /// Append 1–16 random trailing bytes to a valid encoding.
+    Extend,
+}
+
+impl MutationKind {
+    /// All kinds, for tabulating outcome distributions.
+    pub const ALL: [MutationKind; 7] = [
+        MutationKind::Passthrough,
+        MutationKind::Truncate,
+        MutationKind::BitFlip,
+        MutationKind::Splice,
+        MutationKind::FieldSwap,
+        MutationKind::Garbage,
+        MutationKind::Extend,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::Passthrough => "passthrough",
+            MutationKind::Truncate => "truncate",
+            MutationKind::BitFlip => "bitflip",
+            MutationKind::Splice => "splice",
+            MutationKind::FieldSwap => "fieldswap",
+            MutationKind::Garbage => "garbage",
+            MutationKind::Extend => "extend",
+        }
+    }
+}
+
+/// Build the corpus of valid packet encodings every mutation starts from:
+/// at least one of every packet type and body shape, with and without the
+/// CRC-32C integrity seal, spanning short control packets and multi-hundred
+/// byte data payloads.
+pub fn build_corpus() -> Vec<Vec<u8>> {
+    let data_short: Vec<u8> = (0u8..32).collect();
+    let data_long: Vec<u8> = (0..700).map(|i| (i as u8).wrapping_mul(31)).collect();
+    let mut corpus: Vec<Vec<u8>> = vec![
+        packet::encode_data(Rank(0), 3, SeqNo(7), PacketFlags::EMPTY, &data_short).to_vec(),
+        packet::encode_data(Rank(0), 4, SeqNo(0), PacketFlags::LAST, &data_long).to_vec(),
+        packet::encode_data(
+            Rank(0),
+            4,
+            SeqNo(2),
+            PacketFlags::RETX | PacketFlags::POLL,
+            b"x",
+        )
+        .to_vec(),
+        packet::encode_data(Rank(0), 9, SeqNo(1), PacketFlags::EMPTY, b"").to_vec(),
+        packet::encode_alloc(
+            Rank(0),
+            5,
+            PacketFlags::EMPTY,
+            AllocBody {
+                msg_len: 200_000,
+                data_transfer: 6,
+                packet_size: 1400,
+            },
+        )
+        .to_vec(),
+        packet::encode_ack(Rank(3), 5, SeqNo(17)).to_vec(),
+        packet::encode_ack_epoch(Rank(3), 5, SeqNo(17), 2).to_vec(),
+        packet::encode_nak(Rank(2), 5, SeqNo(9)).to_vec(),
+        packet::encode_nak_epoch(Rank(2), 5, SeqNo(9), 2).to_vec(),
+        packet::encode_join(Rank(4), 1).to_vec(),
+        packet::encode_welcome(Rank(0), 2).to_vec(),
+        packet::encode_leave(Rank(4), 2).to_vec(),
+        packet::encode_heartbeat(Rank(1), 2).to_vec(),
+        packet::encode_sync(
+            Rank(0),
+            SyncBody {
+                epoch: 2,
+                next_msg: 11,
+                next_transfer: 40,
+                flags: SyncBody::DETACHED_ROOT,
+            },
+        )
+        .to_vec(),
+    ];
+    // Sealed twins: the integrity trailer must survive the same abuse.
+    let sealed: Vec<Vec<u8>> = corpus.iter().map(|p| packet::seal(p).to_vec()).collect();
+    corpus.extend(sealed);
+    corpus
+}
+
+/// A deterministic stream of adversarial packets. Two mutators built with
+/// the same seed emit identical `(kind, bytes)` sequences forever.
+pub struct Mutator {
+    rng: SmallRng,
+    corpus: Vec<Vec<u8>>,
+}
+
+impl Mutator {
+    /// A mutator over the standard [`build_corpus`] with this seed.
+    pub fn new(seed: u64) -> Self {
+        Mutator {
+            rng: SmallRng::seed_from_u64(seed),
+            corpus: build_corpus(),
+        }
+    }
+
+    fn pick(&mut self) -> Vec<u8> {
+        let i = self.rng.gen_range(0..self.corpus.len());
+        self.corpus[i].clone()
+    }
+
+    /// The next adversarial packet in the stream.
+    pub fn next_packet(&mut self) -> (MutationKind, Vec<u8>) {
+        // Weights: bit flips dominate (they reach deepest), garbage and
+        // passthrough anchor the two extremes.
+        let roll = self.rng.gen_range(0..100u32);
+        match roll {
+            0..=7 => (MutationKind::Passthrough, self.pick()),
+            8..=24 => {
+                let mut p = self.pick();
+                let cut = self.rng.gen_range(0..=p.len());
+                p.truncate(cut);
+                (MutationKind::Truncate, p)
+            }
+            25..=54 => {
+                let mut p = self.pick();
+                if !p.is_empty() {
+                    let flips = self.rng.gen_range(1..=8usize);
+                    for _ in 0..flips {
+                        let at = self.rng.gen_range(0..p.len());
+                        let bit = self.rng.gen_range(0u8..8);
+                        p[at] ^= 1 << bit;
+                    }
+                }
+                (MutationKind::BitFlip, p)
+            }
+            55..=66 => {
+                let a = self.pick();
+                let b = self.pick();
+                let cut_a = self.rng.gen_range(0..=a.len());
+                let cut_b = self.rng.gen_range(0..=b.len());
+                let mut p = a[..cut_a].to_vec();
+                p.extend_from_slice(&b[cut_b..]);
+                (MutationKind::Splice, p)
+            }
+            67..=78 => {
+                let mut p = self.pick();
+                // Header layout: ptype u8, flags u8, src_rank u16,
+                // transfer u32, seq u32 — overwrite one field wholesale.
+                let field = self.rng.gen_range(0..5u32);
+                let (at, len) = match field {
+                    0 => (0usize, 1usize),
+                    1 => (1, 1),
+                    2 => (2, 2),
+                    3 => (4, 4),
+                    _ => (8, 4),
+                };
+                for i in at..(at + len).min(p.len()) {
+                    p[i] = self.rng.gen_range(0..=255u32) as u8;
+                }
+                (MutationKind::FieldSwap, p)
+            }
+            79..=90 => {
+                let len = self.rng.gen_range(0..256usize);
+                let p = (0..len)
+                    .map(|_| self.rng.gen_range(0..=255u32) as u8)
+                    .collect();
+                (MutationKind::Garbage, p)
+            }
+            _ => {
+                let mut p = self.pick();
+                let extra = self.rng.gen_range(1..=16usize);
+                for _ in 0..extra {
+                    p.push(self.rng.gen_range(0..=255u32) as u8);
+                }
+                (MutationKind::Extend, p)
+            }
+        }
+    }
+}
+
+/// Outcome tally of a fuzz run, per mutation kind.
+#[derive(Debug, Default, Clone)]
+pub struct FuzzTally {
+    /// `(kind, decoded_ok, rejected)` in [`MutationKind::ALL`] order.
+    pub per_kind: Vec<(MutationKind, u64, u64)>,
+}
+
+impl FuzzTally {
+    /// An empty tally with one row per mutation kind.
+    pub fn new() -> Self {
+        FuzzTally {
+            per_kind: MutationKind::ALL.iter().map(|&k| (k, 0, 0)).collect(),
+        }
+    }
+
+    /// Count one packet of `kind` that decoded (`ok`) or was rejected.
+    pub fn count(&mut self, kind: MutationKind, ok: bool) {
+        let row = self
+            .per_kind
+            .iter_mut()
+            .find(|(k, _, _)| *k == kind)
+            .expect("kind registered");
+        if ok {
+            row.1 += 1;
+        } else {
+            row.2 += 1;
+        }
+    }
+
+    /// Total packets tallied.
+    pub fn total(&self) -> u64 {
+        self.per_kind.iter().map(|&(_, a, b)| a + b).sum()
+    }
+}
+
+/// Run `iters` mutated packets through both decode modes (plain and
+/// integrity-enforcing). Returns the tally; panics only if a decoder does.
+pub fn fuzz_decode(seed: u64, iters: u64) -> FuzzTally {
+    let mut m = Mutator::new(seed);
+    let mut tally = FuzzTally::new();
+    for i in 0..iters {
+        let (kind, bytes) = m.next_packet();
+        let strict = i % 2 == 1;
+        let ok = packet::Packet::parse_checked(&bytes, strict).is_ok();
+        tally.count(kind, ok);
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_valid_and_diverse() {
+        let corpus = build_corpus();
+        assert!(corpus.len() >= 20, "need sealed and unsealed of each type");
+        for (i, p) in corpus.iter().enumerate() {
+            assert!(
+                packet::Packet::parse_checked(p, false).is_ok(),
+                "corpus entry {i} must decode cleanly"
+            );
+        }
+        // The sealed half must also pass strict (integrity-required) mode.
+        let sealed_ok = corpus
+            .iter()
+            .filter(|p| packet::Packet::parse_checked(p, true).is_ok())
+            .count();
+        assert!(sealed_ok >= corpus.len() / 2);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Mutator::new(0xFEED);
+        let mut b = Mutator::new(0xFEED);
+        for _ in 0..10_000 {
+            assert_eq!(a.next_packet(), b.next_packet());
+        }
+        let mut c = Mutator::new(0xFEED + 1);
+        let diverged = (0..100).any(|_| a.next_packet() != c.next_packet());
+        assert!(diverged, "different seeds must diverge");
+    }
+
+    #[test]
+    fn every_mutation_kind_appears() {
+        let mut m = Mutator::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2_000 {
+            seen.insert(m.next_packet().0);
+        }
+        for k in MutationKind::ALL {
+            assert!(seen.contains(&k), "{} never generated", k.name());
+        }
+    }
+
+    #[test]
+    fn tally_accumulates() {
+        let mut t = FuzzTally::new();
+        t.count(MutationKind::Garbage, false);
+        t.count(MutationKind::Passthrough, true);
+        assert_eq!(t.total(), 2);
+    }
+}

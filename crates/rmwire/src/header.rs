@@ -137,6 +137,11 @@ bitflags_lite! {
         /// This data packet is a buffer-allocation request whose body is an
         /// [`crate::AllocBody`].
         const ALLOC = 0x08;
+        /// The packet ends with a big-endian CRC-32C trailer
+        /// ([`crate::checksum::crc32c`]) computed over every preceding
+        /// byte. Previously a reserved bit: legacy packets (bit clear)
+        /// decode unchanged, legacy decoders reject the bit (fail closed).
+        const CKSUM = 0x10;
     }
 }
 
@@ -278,6 +283,8 @@ mod tests {
         assert!(!f.contains(PacketFlags::POLL));
         assert!(!f.contains(PacketFlags::RETX | PacketFlags::POLL));
         assert!(PacketFlags::from_bits(0x0f).is_ok());
-        assert!(PacketFlags::from_bits(0x10).is_err());
+        assert!(PacketFlags::from_bits(0x1f).is_ok());
+        assert!(PacketFlags::from_bits(0x20).is_err());
+        assert!(PacketFlags::from_bits(0x80).is_err());
     }
 }

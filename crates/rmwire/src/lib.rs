@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checksum;
 pub mod header;
 pub mod payload;
 pub mod rank;
 pub mod seq;
 pub mod time;
 
+pub use checksum::crc32c;
 pub use header::{Header, PacketFlags, PacketType, HEADER_LEN};
 pub use payload::{
     AckBody, AllocBody, HeartbeatBody, JoinBody, LeaveBody, NakBody, SyncBody, WelcomeBody,
@@ -63,6 +65,30 @@ pub enum WireError {
         /// Actual remaining bytes.
         actual: usize,
     },
+    /// The packet carried [`PacketFlags::CKSUM`] but its CRC-32C trailer
+    /// did not match the recomputed digest.
+    ChecksumMismatch {
+        /// Digest carried in the trailer.
+        expected: u32,
+        /// Digest recomputed over the received bytes.
+        actual: u32,
+    },
+    /// The decoder required an integrity trailer but the packet carried
+    /// none (integrity-enforcing configurations fail closed, so a flip
+    /// that clears the CKSUM flag bit itself is still caught).
+    ChecksumMissing,
+    /// The body decoded cleanly but unconsumed bytes followed it.
+    TrailingGarbage {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A field decoded to a structurally impossible value.
+    FieldRange {
+        /// Which field.
+        field: &'static str,
+        /// The offending value (widened).
+        value: u64,
+    },
 }
 
 impl core::fmt::Display for WireError {
@@ -75,6 +101,21 @@ impl core::fmt::Display for WireError {
             WireError::BadFlags(b) => write!(f, "unknown flag bits in {b:#04x}"),
             WireError::BadLength { declared, actual } => {
                 write!(f, "bad length field: declared {declared}, actual {actual}")
+            }
+            WireError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "integrity checksum mismatch: trailer {expected:#010x}, computed {actual:#010x}"
+                )
+            }
+            WireError::ChecksumMissing => {
+                write!(f, "integrity checksum required but packet carries none")
+            }
+            WireError::TrailingGarbage { extra } => {
+                write!(f, "trailing garbage: {extra} bytes after the body")
+            }
+            WireError::FieldRange { field, value } => {
+                write!(f, "field {field} out of range: {value}")
             }
         }
     }

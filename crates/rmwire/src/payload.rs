@@ -39,11 +39,20 @@ impl AllocBody {
                 have: buf.remaining(),
             });
         }
-        Ok(AllocBody {
+        let body = AllocBody {
             msg_len: buf.get_u64(),
             data_transfer: buf.get_u32(),
             packet_size: buf.get_u32(),
-        })
+        };
+        // A zero packet size would divide-by-zero receiver window sizing;
+        // no legitimate sender can produce it.
+        if body.packet_size == 0 {
+            return Err(WireError::FieldRange {
+                field: "AllocBody.packet_size",
+                value: 0,
+            });
+        }
+        Ok(body)
     }
 }
 
@@ -288,12 +297,21 @@ impl SyncBody {
                 have: buf.remaining(),
             });
         }
-        Ok(SyncBody {
+        let body = SyncBody {
             epoch: buf.get_u32(),
             next_msg: buf.get_u64(),
             next_transfer: buf.get_u32(),
             flags: buf.get_u32(),
-        })
+        };
+        // Reject unknown flag bits the way the header does: a forged or
+        // corrupted SYNC must not smuggle undefined semantics through.
+        if body.flags & !Self::DETACHED_ROOT != 0 {
+            return Err(WireError::FieldRange {
+                field: "SyncBody.flags",
+                value: body.flags as u64,
+            });
+        }
+        Ok(body)
     }
 }
 
@@ -374,6 +392,46 @@ mod tests {
         let mut buf = BytesMut::new();
         h.encode(&mut buf);
         assert_eq!(HeartbeatBody::decode(&mut buf.freeze()).unwrap(), h);
+    }
+
+    #[test]
+    fn out_of_range_fields_rejected() {
+        // AllocBody with packet_size == 0.
+        let a = AllocBody {
+            msg_len: 100,
+            data_transfer: 3,
+            packet_size: 1,
+        };
+        let mut buf = BytesMut::new();
+        a.encode(&mut buf);
+        let mut raw = buf.to_vec();
+        raw[12..16].copy_from_slice(&0u32.to_be_bytes());
+        let mut b: &[u8] = &raw;
+        assert!(matches!(
+            AllocBody::decode(&mut b),
+            Err(WireError::FieldRange {
+                field: "AllocBody.packet_size",
+                ..
+            })
+        ));
+
+        // SyncBody with undefined flag bits.
+        let s = SyncBody {
+            epoch: 1,
+            next_msg: 2,
+            next_transfer: 3,
+            flags: 0x8000_0002,
+        };
+        let mut buf = BytesMut::new();
+        s.encode(&mut buf);
+        let mut b = buf.freeze();
+        assert!(matches!(
+            SyncBody::decode(&mut b),
+            Err(WireError::FieldRange {
+                field: "SyncBody.flags",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Property tests over every control-packet body: arbitrary field values
+//! round-trip exactly, truncation at *every* byte boundary is rejected
+//! with a typed error, and random garbage never panics a decoder.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use rmwire::{
+    AckBody, AllocBody, HeartbeatBody, JoinBody, LeaveBody, NakBody, SeqNo, SyncBody, WelcomeBody,
+    WireError,
+};
+
+/// Encode a body into a standalone byte vector.
+macro_rules! enc {
+    ($b:expr) => {{
+        let mut buf = BytesMut::new();
+        $b.encode(&mut buf);
+        buf.to_vec()
+    }};
+}
+
+/// Assert a decode of every strict prefix fails with `Truncated` and the
+/// full encoding round-trips.
+macro_rules! check_body {
+    ($ty:ty, $body:expr) => {{
+        let body = $body;
+        let raw = enc!(body);
+        prop_assert_eq!(raw.len(), <$ty>::LEN, "encoded length must match LEN");
+        let mut full: &[u8] = &raw;
+        prop_assert_eq!(<$ty>::decode(&mut full).unwrap(), body);
+        for cut in 0..raw.len() {
+            let mut part: &[u8] = &raw[..cut];
+            prop_assert!(
+                matches!(<$ty>::decode(&mut part), Err(WireError::Truncated { .. })),
+                "truncation at byte {} must be rejected",
+                cut
+            );
+        }
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn ack_body_round_trip_and_truncation(next in any::<u32>()) {
+        check_body!(AckBody, AckBody { next_expected: SeqNo(next) });
+    }
+
+    #[test]
+    fn nak_body_round_trip_and_truncation(expected in any::<u32>()) {
+        check_body!(NakBody, NakBody { expected: SeqNo(expected) });
+    }
+
+    #[test]
+    fn alloc_body_round_trip_and_truncation(
+        msg_len in any::<u64>(),
+        data_transfer in any::<u32>(),
+        packet_size in 1u32..u32::MAX,
+    ) {
+        check_body!(AllocBody, AllocBody { msg_len, data_transfer, packet_size });
+    }
+
+    #[test]
+    fn join_body_round_trip_and_truncation(last_epoch in any::<u32>()) {
+        check_body!(JoinBody, JoinBody { last_epoch });
+    }
+
+    #[test]
+    fn welcome_body_round_trip_and_truncation(epoch in any::<u32>()) {
+        check_body!(WelcomeBody, WelcomeBody { epoch });
+    }
+
+    #[test]
+    fn leave_body_round_trip_and_truncation(epoch in any::<u32>()) {
+        check_body!(LeaveBody, LeaveBody { epoch });
+    }
+
+    #[test]
+    fn heartbeat_body_round_trip_and_truncation(epoch in any::<u32>()) {
+        check_body!(HeartbeatBody, HeartbeatBody { epoch });
+    }
+
+    #[test]
+    fn sync_body_round_trip_and_truncation(
+        epoch in any::<u32>(),
+        next_msg in any::<u64>(),
+        next_transfer in any::<u32>(),
+        detached in any::<bool>(),
+    ) {
+        let flags = if detached { SyncBody::DETACHED_ROOT } else { 0 };
+        check_body!(SyncBody, SyncBody { epoch, next_msg, next_transfer, flags });
+    }
+
+    /// A zero packet size can only come from corruption or forgery; the
+    /// decoder must refuse it no matter what the other fields say.
+    #[test]
+    fn alloc_zero_packet_size_always_rejected(
+        msg_len in any::<u64>(),
+        data_transfer in any::<u32>(),
+    ) {
+        let raw = enc!(AllocBody { msg_len, data_transfer, packet_size: 1 });
+        let mut raw = raw;
+        raw[12..16].copy_from_slice(&0u32.to_be_bytes());
+        let mut b: &[u8] = &raw;
+        prop_assert!(matches!(
+            AllocBody::decode(&mut b),
+            Err(WireError::FieldRange { field: "AllocBody.packet_size", .. })
+        ));
+    }
+
+    /// Undefined SYNC flag bits must be refused whatever else the body
+    /// carries.
+    #[test]
+    fn sync_unknown_flags_always_rejected(
+        epoch in any::<u32>(),
+        next_msg in any::<u64>(),
+        next_transfer in any::<u32>(),
+        flags in any::<u32>(),
+    ) {
+        // Force at least one undefined bit (the vendored proptest shim has
+        // no prop_assume; map the input instead of filtering it).
+        let flags = flags | 0x2;
+        let raw = enc!(SyncBody { epoch, next_msg, next_transfer, flags: 0 });
+        let mut raw = raw;
+        raw[16..20].copy_from_slice(&flags.to_be_bytes());
+        let mut b: &[u8] = &raw;
+        prop_assert!(matches!(
+            SyncBody::decode(&mut b),
+            Err(WireError::FieldRange { field: "SyncBody.flags", .. })
+        ));
+    }
+
+    /// Random bytes through every body decoder: no panic, and whatever
+    /// decodes must re-encode to the bytes it consumed (decode is a
+    /// partial inverse of encode even on garbage input).
+    #[test]
+    fn garbage_never_panics_any_body(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        macro_rules! try_decode {
+            ($ty:ty) => {{
+                let mut b: &[u8] = &bytes;
+                if let Ok(body) = <$ty>::decode(&mut b) {
+                    let consumed = bytes.len() - b.len();
+                    prop_assert_eq!(consumed, <$ty>::LEN);
+                    prop_assert_eq!(enc!(body), &bytes[..consumed]);
+                }
+            }};
+        }
+        try_decode!(AckBody);
+        try_decode!(NakBody);
+        try_decode!(AllocBody);
+        try_decode!(JoinBody);
+        try_decode!(WelcomeBody);
+        try_decode!(LeaveBody);
+        try_decode!(HeartbeatBody);
+        try_decode!(SyncBody);
+    }
+}

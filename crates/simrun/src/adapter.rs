@@ -44,6 +44,9 @@ pub struct Recorder {
     pub messages_sent: Vec<(u64, Time)>,
     /// `(rank, msg_id, time, bytes)` receiver deliveries.
     pub deliveries: Vec<(Rank, u64, Time, usize)>,
+    /// `(rank, msg_id, crc32c)` of every delivered payload, parallel to
+    /// `deliveries`: the bit-intactness witness for byzantine runs.
+    pub delivery_crcs: Vec<(Rank, u64, u32)>,
     /// `(msg_id, error, time)` sender-side abandoned messages (liveness
     /// bound tripped).
     pub failures: Vec<(u64, SessionError, Time)>,
@@ -191,12 +194,10 @@ impl<E: Launch> NodeProcess<E> {
                     }
                     AppEvent::MessageDelivered { msg_id, data } => {
                         if let NodeRole::Receiver { index } = self.role {
-                            rec.deliveries.push((
-                                Rank::from_receiver_index(index),
-                                msg_id,
-                                now,
-                                data.len(),
-                            ));
+                            let rank = Rank::from_receiver_index(index);
+                            rec.deliveries.push((rank, msg_id, now, data.len()));
+                            rec.delivery_crcs
+                                .push((rank, msg_id, rmwire::crc32c(&data)));
                         }
                     }
                     AppEvent::MessageFailed { msg_id, error } => match self.role {

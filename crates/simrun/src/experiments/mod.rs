@@ -12,6 +12,7 @@ use crate::table::Table;
 use rmcast::{ProtocolConfig, ProtocolKind};
 
 pub mod ablations;
+pub mod byzantine;
 pub mod calibration_report;
 pub mod chaos;
 pub mod churn;
@@ -25,6 +26,7 @@ pub mod tables;
 pub mod trace_deep_dive;
 
 pub use ablations::*;
+pub use byzantine::*;
 pub use calibration_report::*;
 pub use chaos::*;
 pub use churn::*;
@@ -151,6 +153,8 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "chaos_crash",
         "chaos_link_down",
         "chaos_campaign",
+        "byzantine_storm",
+        "fuzz_decode",
         "churn_crash_rejoin",
         "partition_heal",
         "trace_deep_dive",
@@ -197,6 +201,8 @@ pub fn run_experiment(id: &str, effort: Effort) -> Table {
         "chaos_crash" => chaos_crash(effort),
         "chaos_link_down" => chaos_link_down(effort),
         "chaos_campaign" => chaos_campaign(effort),
+        "byzantine_storm" => byzantine_storm(effort),
+        "fuzz_decode" => byzantine::fuzz_decode(effort),
         "churn_crash_rejoin" => churn_crash_rejoin(effort),
         "partition_heal" => partition_heal(effort),
         "trace_deep_dive" => trace_deep_dive(effort),

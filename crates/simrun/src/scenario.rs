@@ -429,6 +429,7 @@ impl Scenario {
             joins: rec.joins.clone(),
             restarts: rec.restarts,
             delivered_msgs: rec.deliveries.clone(),
+            delivered_crcs: rec.delivery_crcs.clone(),
             flight_dumps: rec.flight_dumps.clone(),
             sender_stats: rec.sender_stats.clone(),
             receiver_stats: rec.receiver_stats.clone(),
@@ -480,6 +481,10 @@ pub struct ChaosOutcome {
     /// Every `(rank, msg_id, time, bytes)` delivery, for per-receiver
     /// exactly-once checks.
     pub delivered_msgs: Vec<(Rank, u64, Time, usize)>,
+    /// `(rank, msg_id, crc32c)` of each delivered payload, parallel to
+    /// `delivered_msgs`: proves deliveries are bit-intact under byzantine
+    /// corruption without retaining the payloads themselves.
+    pub delivered_crcs: Vec<(Rank, u64, u32)>,
     /// Flight-recorder dumps captured at failures (only populated by
     /// [`Scenario::run_chaos_traced`] with a non-zero capacity).
     pub flight_dumps: Vec<FlightDump>,
@@ -510,6 +515,7 @@ impl Recorder {
             sender_done: self.sender_done,
             messages_sent: self.messages_sent.clone(),
             deliveries: self.deliveries.clone(),
+            delivery_crcs: self.delivery_crcs.clone(),
             failures: self.failures.clone(),
             receiver_failures: self.receiver_failures.clone(),
             evictions: self.evictions.clone(),

@@ -6,13 +6,14 @@
 //! member except the originator — the same semantics a switch flooding a
 //! multicast frame gives the paper's testbed.
 
-use rmwire::{Header, Rank};
+use rmtrace::{TraceEvent, TraceSink, Tracer};
+use rmwire::{Header, Rank, HEADER_LEN};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration as StdDuration;
+use std::time::{Duration as StdDuration, Instant};
 
 /// Largest UDP datagram the suite sends.
 pub const MAX_DGRAM: usize = 65_507;
@@ -22,6 +23,7 @@ pub struct Hub {
     /// Address group-destined traffic is sent to.
     pub addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    malformed: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -39,15 +41,38 @@ impl Hub {
         member_addrs: Vec<SocketAddr>,
         drop_every: Option<u32>,
     ) -> io::Result<Hub> {
+        Hub::spawn_observed(member_addrs, drop_every, None)
+    }
+
+    /// Datagrams seen so far whose protocol header did not parse
+    /// (including runts dropped before the rank demux).
+    pub fn malformed_datagrams(&self) -> u64 {
+        self.malformed.load(Ordering::Relaxed)
+    }
+
+    /// Full-control constructor: injected loss plus an optional trace
+    /// sink that hears a `Drop` record for every runt the hub discards.
+    pub fn spawn_observed(
+        member_addrs: Vec<SocketAddr>,
+        drop_every: Option<u32>,
+        trace: Option<Box<dyn TraceSink>>,
+    ) -> io::Result<Hub> {
         assert!(drop_every != Some(0), "drop_every must be >= 1");
         let socket = UdpSocket::bind("127.0.0.1:0")?;
         socket.set_read_timeout(Some(StdDuration::from_millis(20)))?;
         let addr = socket.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let malformed = Arc::new(AtomicU64::new(0));
+        let malformed2 = Arc::clone(&malformed);
         let handle = std::thread::Builder::new()
             .name("udprun-hub".into())
             .spawn(move || {
+                let mut tracer = Tracer::off(u16::MAX);
+                if let Some(sink) = trace {
+                    tracer.set_sink(sink);
+                }
+                let epoch = Instant::now();
                 let mut buf = vec![0u8; MAX_DGRAM];
                 let mut counter = 0u32;
                 while !stop2.load(Ordering::Relaxed) {
@@ -61,12 +86,29 @@ impl Hub {
                         }
                         Err(_) => break,
                     };
+                    // A runt cannot carry a header, so it cannot be rank
+                    // demultiplexed: discard it here (like a switch drops
+                    // an undersized frame) and make the discard visible.
+                    if n < HEADER_LEN {
+                        malformed2.fetch_add(1, Ordering::Relaxed);
+                        tracer.emit(
+                            epoch.elapsed().as_nanos() as u64,
+                            TraceEvent::Drop { cause: "HubRunt" },
+                        );
+                        continue;
+                    }
                     // Identify the originator from the protocol header so
                     // it does not hear its own multicast (a NIC does not
-                    // receive its own frames).
-                    let src = {
-                        let mut slice = &buf[..n];
-                        Header::decode(&mut slice).map(|h| h.src_rank).ok()
+                    // receive its own frames). A full-length datagram with
+                    // an unparseable header is still flooded — a switch
+                    // does not validate payloads — but it is *counted*,
+                    // never silently swallowed.
+                    let src = match Header::decode(&mut &buf[..n]) {
+                        Ok(h) => Some(h.src_rank),
+                        Err(_) => {
+                            malformed2.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
                     };
                     for (i, dest) in member_addrs.iter().enumerate() {
                         if src == Some(Rank::from_receiver_index(i)) {
@@ -86,6 +128,7 @@ impl Hub {
         Ok(Hub {
             addr,
             stop,
+            malformed,
             handle: Some(handle),
         })
     }
@@ -133,5 +176,45 @@ mod tests {
             r1.recv_from(&mut buf).is_err(),
             "rank 1 must not hear its own multicast"
         );
+    }
+
+    #[test]
+    fn hub_counts_malformed_and_drops_runts() {
+        use rmtrace::MemorySink;
+        let r1 = UdpSocket::bind("127.0.0.1:0").unwrap();
+        r1.set_read_timeout(Some(StdDuration::from_millis(300)))
+            .unwrap();
+        let mem = MemorySink::new();
+        let hub = Hub::spawn_observed(
+            vec![r1.local_addr().unwrap()],
+            None,
+            Some(Box::new(mem.clone())),
+        )
+        .unwrap();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        // A runt is dropped before the rank demux: never forwarded.
+        tx.send_to(&[1u8, 2, 3], hub.addr).unwrap();
+        let mut buf = [0u8; 64];
+        assert!(r1.recv_from(&mut buf).is_err(), "runt must not be flooded");
+
+        // Unparseable full-length datagrams are still flooded (the hub is
+        // a switch, not a firewall) but no longer silently swallowed.
+        tx.send_to(&[0xFFu8; 40], hub.addr).unwrap();
+        let (n, _) = r1.recv_from(&mut buf).expect("garbage still floods");
+        assert_eq!(n, 40);
+
+        // A valid datagram keeps working and is not counted.
+        let pkt = encode_data(Rank(0), 1, SeqNo(0), PacketFlags::EMPTY, b"ok");
+        tx.send_to(&pkt, hub.addr).unwrap();
+        r1.recv_from(&mut buf).expect("valid datagram floods");
+
+        assert_eq!(hub.malformed_datagrams(), 2);
+        let drops: Vec<_> = mem
+            .records()
+            .into_iter()
+            .filter(|r| matches!(r.ev, rmtrace::TraceEvent::Drop { cause: "HubRunt" }))
+            .collect();
+        assert_eq!(drops.len(), 1, "exactly the runt produced a Drop record");
     }
 }
