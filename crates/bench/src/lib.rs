@@ -7,6 +7,8 @@
 //! running `cargo bench` additionally prints each artifact's headline
 //! measurement so bench logs double as a results record.
 
+#![forbid(unsafe_code)]
+
 use simrun::scenario::{Protocol, Scenario};
 use simrun::RunResult;
 

@@ -25,7 +25,7 @@ pub enum Offer {
 }
 
 /// Reassembles one transfer's payload.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Assembly {
     discipline: WindowDiscipline,
     packet_size: usize,
@@ -103,6 +103,54 @@ impl Assembly {
     /// Bytes currently pinned by this assembly (Table 1 accounting).
     pub fn buffered_bytes(&self) -> usize {
         self.buf.len()
+    }
+
+    /// The received bitmap words, for state digesting (`rmcheck explore`;
+    /// only selective repeat ever sets bits beyond the prefix).
+    pub fn have_words(&self) -> &[u64] {
+        &self.have
+    }
+
+    /// Structural self-check of the reassembly discipline: Go-Back-N
+    /// accepts only the in-order packet (the bitmap stays empty), while
+    /// selective repeat keeps a contiguous set prefix below
+    /// `next_expected` and buffers nothing at or beyond `next + window`.
+    pub fn check(&self) -> Result<(), String> {
+        if let Some(k) = self.k {
+            if self.next > k {
+                return Err(format!(
+                    "assembly prefix {} beyond the {k}-packet transfer",
+                    self.next
+                ));
+            }
+        }
+        match self.discipline {
+            WindowDiscipline::GoBackN => {
+                if self.have.iter().any(|&w| w != 0) {
+                    return Err("Go-Back-N assembly buffered out of order".into());
+                }
+            }
+            WindowDiscipline::SelectiveRepeat => {
+                for s in 0..self.next {
+                    if !self.bit(s) {
+                        return Err(format!(
+                            "selective-repeat prefix {} skips unreceived packet {s}",
+                            self.next
+                        ));
+                    }
+                }
+                let hi = (self.have.len() as u32) * 64;
+                for s in self.next.saturating_add(self.window)..hi {
+                    if self.bit(s) {
+                        return Err(format!(
+                            "packet {s} buffered beyond the receive window ({} + {})",
+                            self.next, self.window
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn bit(&self, seq: u32) -> bool {

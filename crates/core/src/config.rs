@@ -241,19 +241,23 @@ pub struct ProtocolConfig {
     /// Minimum spacing between NAKs sent by one receiver for one transfer.
     pub nak_suppress: Duration,
     /// Go-Back-N or selective repeat.
+    // rmlint: allow(config-validate): any discipline is valid
     pub discipline: WindowDiscipline,
     /// Perform the two-round-trip buffer-allocation handshake before data
     /// (paper §4 *Buffer management*). Baselines switch it off.
+    // rmlint: allow(config-validate): both settings are valid
     pub handshake: bool,
     /// Model the user-space copy of payload into the protocol buffer.
     /// Figure 9's "ACK-based without copy" (an *incorrect* protocol kept
     /// for comparison) sets this to `false`.
+    // rmlint: allow(config-validate): both settings are valid
     pub charge_copy: bool,
     /// Retransmissions triggered by a NAK go unicast to the NAKing
     /// receiver instead of multicast to the group (paper §3, first bullet:
     /// multicast retransmission "may introduce extra CPU overhead for
     /// unintended receivers"). Timeout-driven retransmissions stay
     /// multicast (the sender does not know who is missing what).
+    // rmlint: allow(config-validate): both settings are valid
     pub unicast_retx_on_nak: bool,
     /// Rate-based flow control (paper §3: "flow control can either be
     /// rate-based or window-based"): when set, fresh data packets are
@@ -269,6 +273,7 @@ pub struct ProtocolConfig {
     /// allocation round trip concurrently with the current message's data
     /// transfer, hiding one of the paper's "at least two round trips"
     /// behind useful work. Off reproduces the paper exactly.
+    // rmlint: allow(config-validate): both settings are valid
     pub pipeline_handshake: bool,
     /// Liveness bounds (bounded retries, RTO backoff, straggler eviction,
     /// receiver give-up). [`LivenessConfig::PAPER`] retries forever.
@@ -291,6 +296,7 @@ pub struct ProtocolConfig {
     /// dropped. When `false` (default) the wire format is byte-identical
     /// to the paper's, though trailers on incoming packets are still
     /// verified opportunistically. All endpoints of a group must agree.
+    // rmlint: allow(config-validate): both settings are valid
     pub integrity: bool,
 }
 

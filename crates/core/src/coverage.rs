@@ -24,7 +24,7 @@ use rmwire::Rank;
 /// cov.update(1, 4);
 /// assert_eq!(cov.update(2, 6), 4, "slowest source gates the release");
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PerSourceCoverage {
     /// `next_expected` reported by each source (receiver or tree root).
     cov: Vec<u32>,
@@ -82,6 +82,37 @@ impl PerSourceCoverage {
             .min()
             .expect("at least one active source")
     }
+
+    /// The per-source cumulative acknowledgments and eviction flags, for
+    /// state digesting (`rmcheck explore`).
+    pub fn state(&self) -> (&[u32], &[bool]) {
+        (&self.cov, &self.evicted)
+    }
+
+    /// Structural self-check: the released prefix must be the minimum over
+    /// active sources — no packet is ever released that some active source
+    /// has not acknowledged.
+    pub fn check(&self) -> Result<(), String> {
+        if self.n_active() == 0 {
+            return Err("coverage with zero active sources".into());
+        }
+        let min = self
+            .cov
+            .iter()
+            .zip(&self.evicted)
+            .filter(|&(_, &e)| !e)
+            .map(|(&c, _)| c)
+            .min()
+            .unwrap_or(0);
+        if self.released() != min {
+            return Err(format!(
+                "released() = {} but the slowest active source acknowledged {}",
+                self.released(),
+                min
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// The ring protocol's release tracker.
@@ -97,7 +128,7 @@ impl PerSourceCoverage {
 /// ring.update(Rank(3), 3);                 // packet 2
 /// assert_eq!(ring.update(Rank(1), 4), 1);  // packet 3 -> releases packet 0
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RingTracker {
     n_receivers: u32,
     k: u32,
@@ -196,6 +227,59 @@ impl RingTracker {
             return self.k;
         }
         self.token_prefix.saturating_sub(self.n_receivers)
+    }
+
+    /// The per-receiver cumulative acknowledgments, token prefix and
+    /// eviction flags, for state digesting (`rmcheck explore`).
+    pub fn state(&self) -> (&[u32], u32, &[bool]) {
+        (&self.cov, self.token_prefix, &self.evicted)
+    }
+
+    /// Structural self-check of the paper's ring release rule: the token
+    /// prefix must be exactly the contiguous run of token-acknowledged
+    /// packets implied by `cov`/`evicted`, and `released()` must trail it
+    /// by one full ring revolution (`X − N`) except for the all-acked
+    /// fast path at end of transfer.
+    pub fn check(&self) -> Result<(), String> {
+        if self.n_active() == 0 {
+            return Err("ring tracker with zero active receivers".into());
+        }
+        // Recompute the prefix from scratch and compare.
+        let mut prefix = 0u32;
+        while prefix < self.k {
+            let r = (prefix % self.n_receivers) as usize;
+            if self.evicted[r] || self.cov[r] > prefix {
+                prefix += 1;
+            } else {
+                break;
+            }
+        }
+        if prefix != self.token_prefix {
+            return Err(format!(
+                "ring token prefix {} but coverage implies {}",
+                self.token_prefix, prefix
+            ));
+        }
+        let all_acked = self
+            .cov
+            .iter()
+            .zip(&self.evicted)
+            .all(|(&c, &e)| e || c >= self.k);
+        let expect = if all_acked {
+            self.k
+        } else {
+            self.token_prefix.saturating_sub(self.n_receivers)
+        };
+        if self.released() != expect {
+            return Err(format!(
+                "ring released() = {} violates the X - N rule (prefix {}, N {}, expected {})",
+                self.released(),
+                self.token_prefix,
+                self.n_receivers,
+                expect
+            ));
+        }
+        Ok(())
     }
 }
 

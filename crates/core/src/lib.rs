@@ -49,6 +49,7 @@
 //! assert!(delivered.iter().all(|d| d.len() == 100_000));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -58,6 +59,7 @@ pub mod config;
 pub mod coverage;
 pub mod endpoint;
 pub mod error;
+pub mod invariants;
 pub mod loopback;
 pub mod membership;
 pub mod packet;

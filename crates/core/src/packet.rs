@@ -95,7 +95,10 @@ impl Packet {
     pub fn parse_checked(datagram: &[u8], require_integrity: bool) -> Result<Packet, WireError> {
         // The flag byte sits at a fixed offset; peek it before the full
         // header decode so the checksum covers exactly the sealed bytes.
-        let sealed = datagram.len() >= HEADER_LEN && datagram[1] & PacketFlags::CKSUM.bits() != 0;
+        let sealed = datagram.len() >= HEADER_LEN
+            && datagram
+                .get(1)
+                .is_some_and(|&b| b & PacketFlags::CKSUM.bits() != 0);
         let datagram = if sealed {
             let Some(body_len) = datagram.len().checked_sub(4).filter(|&n| n >= HEADER_LEN) else {
                 return Err(WireError::Truncated {
@@ -103,12 +106,18 @@ impl Packet {
                     have: datagram.len(),
                 });
             };
-            let expected = u32::from_be_bytes(datagram[body_len..].try_into().expect("4 bytes"));
-            let actual = rmwire::crc32c(&datagram[..body_len]);
+            let (body, trailer) = datagram.split_at(body_len);
+            let expected = match <[u8; 4]>::try_from(trailer) {
+                Ok(raw) => u32::from_be_bytes(raw),
+                // split_at gave exactly 4 trailer bytes; a mismatch here
+                // means the arithmetic above drifted — fail closed.
+                Err(_) => return Err(WireError::ChecksumMissing),
+            };
+            let actual = rmwire::crc32c(body);
             if expected != actual {
                 return Err(WireError::ChecksumMismatch { expected, actual });
             }
-            &datagram[..body_len]
+            body
         } else if require_integrity {
             // Still surface the more precise error for runts.
             if datagram.len() < HEADER_LEN {
@@ -218,7 +227,9 @@ pub fn seal(packet: &[u8]) -> Bytes {
     debug_assert!(packet.len() >= HEADER_LEN, "cannot seal a runt");
     let mut buf = BytesMut::with_capacity(packet.len() + 4);
     buf.extend_from_slice(packet);
-    buf[1] |= PacketFlags::CKSUM.bits();
+    if let Some(flags) = buf.get_mut(1) {
+        *flags |= PacketFlags::CKSUM.bits();
+    }
     let crc = rmwire::crc32c(&buf);
     bytes::BufMut::put_u32(&mut buf, crc);
     buf.freeze()

@@ -51,6 +51,7 @@ const MAX_ALLOC_PACKETS: u64 = 1 << 20;
 /// Per-transfer receiver state. The assembly is dropped at delivery; the
 /// acknowledgment state survives so retransmissions of a finished transfer
 /// still get re-acknowledged.
+#[derive(Clone)]
 struct TransferState {
     /// Own in-order progress (next expected sequence number).
     own_next: u32,
@@ -100,6 +101,7 @@ impl TransferState {
 }
 
 /// A NAK waiting out its random delay (receiver-multicast suppression).
+#[derive(Clone)]
 struct PendingNak {
     transfer: u32,
     expected: u32,
@@ -107,6 +109,11 @@ struct PendingNak {
 }
 
 /// The receiver endpoint (ranks `1..=N`) of a reliable multicast group.
+///
+/// Cloning forks the entire protocol state (the `rmcheck explore` model
+/// checker branches worlds this way); the clone's tracer comes back
+/// *detached* — see [`rmtrace::Tracer`]'s `Clone` contract.
+#[derive(Clone)]
 pub struct Receiver {
     cfg: ProtocolConfig,
     group: GroupSpec,
@@ -989,6 +996,168 @@ enum DataBody<'a> {
     Alloc(AllocBody),
 }
 
+impl Receiver {
+    /// Audit every receiver-side invariant (`R1`…`R4` in
+    /// [`crate::invariants`]) against the current state.
+    pub fn audit(&self) -> Result<(), Vec<crate::invariants::Violation>> {
+        use crate::invariants::Audit;
+        let mut a = Audit::new();
+        let n_children = self.n_children();
+        a.require("R4", self.dead_children.len() == n_children, || {
+            format!(
+                "{} eviction flags for {n_children} children",
+                self.dead_children.len()
+            )
+        });
+        a.require("R4", self.child_alive.len() == n_children, || {
+            format!(
+                "{} liveness stamps for {n_children} children",
+                self.child_alive.len()
+            )
+        });
+        a.require(
+            "R4",
+            self.child_slot.len() == n_children
+                && self.child_slot.values().all(|&s| s < n_children),
+            || "child rank → slot map out of lockstep with the aggregation links".into(),
+        );
+        for (&id, st) in &self.transfers {
+            if let Some(k) = st.k {
+                a.require("R1", st.own_next <= k, || {
+                    format!("transfer {id}: progress {} beyond k = {k}", st.own_next)
+                });
+                a.require("R1", !st.delivered || st.own_next >= k, || {
+                    format!(
+                        "transfer {id}: delivered with only {} of {k} packets",
+                        st.own_next
+                    )
+                });
+            } else {
+                a.require("R1", !st.delivered, || {
+                    format!("transfer {id}: delivered without ever learning k")
+                });
+            }
+            if let Some(asm) = &st.assembly {
+                a.require(
+                    "R1",
+                    st.own_next == asm.next_expected() && st.k == asm.k(),
+                    || {
+                        format!(
+                            "transfer {id}: tracked progress {}/{:?} diverges from the \
+                         assembly's {}/{:?}",
+                            st.own_next,
+                            st.k,
+                            asm.next_expected(),
+                            asm.k()
+                        )
+                    },
+                );
+                a.check("R3", asm.check().map_err(|e| format!("transfer {id}: {e}")));
+            }
+            a.require("R4", st.child_cov.len() == n_children, || {
+                format!(
+                    "transfer {id}: {} child coverage slots for {n_children} children",
+                    st.child_cov.len()
+                )
+            });
+            if st.child_cov.len() == n_children && self.dead_children.len() == n_children {
+                let agg = st.aggregate(&self.dead_children);
+                if let Some(sent) = st.sent_up {
+                    a.require("R2", sent <= agg, || {
+                        format!(
+                            "transfer {id}: acknowledged {sent} up the tree but can \
+                             only vouch for {agg} (own {} / children {:?})",
+                            st.own_next, st.child_cov
+                        )
+                    });
+                }
+            }
+        }
+        a.finish()
+    }
+
+    /// Hash the protocol-logical state into `h`: everything that shapes
+    /// future behavior except clocks, counters and telemetry (see
+    /// [`crate::Sender::hash_protocol_state`] for the soundness
+    /// argument).
+    pub fn hash_protocol_state(&self, h: &mut dyn std::hash::Hasher) {
+        h.write_u16(self.rank.0);
+        for (&id, st) in &self.transfers {
+            h.write_u32(id);
+            h.write_u32(st.own_next);
+            match st.k {
+                None => h.write_u8(0),
+                Some(k) => {
+                    h.write_u8(1);
+                    h.write_u32(k);
+                }
+            }
+            h.write_u8(st.delivered as u8);
+            for &c in &st.child_cov {
+                h.write_u32(c);
+            }
+            match st.sent_up {
+                None => h.write_u8(0),
+                Some(s) => {
+                    h.write_u8(1);
+                    h.write_u32(s);
+                }
+            }
+            match &st.assembly {
+                None => h.write_u8(0),
+                Some(asm) => {
+                    h.write_u8(1);
+                    h.write_u32(asm.next_expected());
+                    for &w in asm.have_words() {
+                        h.write_u64(w);
+                    }
+                    h.write_usize(asm.buffered_bytes());
+                }
+            }
+        }
+        h.write_u32(self.max_seen);
+        // HashMap iteration order is arbitrary: hash sorted.
+        let mut pending: Vec<_> = self.alloc_pending.keys().copied().collect();
+        pending.sort_unstable();
+        for id in pending {
+            h.write_u32(id);
+            let b = &self.alloc_pending[&id];
+            h.write_u64(b.msg_len);
+            h.write_u32(b.data_transfer);
+            h.write_u32(b.packet_size);
+        }
+        match &self.pending_nak {
+            None => h.write_u8(0),
+            Some(p) => {
+                h.write_u8(1);
+                h.write_u32(p.transfer);
+                h.write_u32(p.expected);
+            }
+        }
+        for &d in &self.dead_children {
+            h.write_u8(d as u8);
+        }
+        h.write_u8(self.joining as u8);
+        h.write_u32(self.epoch);
+        h.write_u32(self.min_transfer);
+        h.write_usize(self.out.len());
+        h.write_usize(self.events.len());
+    }
+
+    /// Panic on any violated invariant (`debug_assertions` only; see
+    /// [`crate::Sender`]'s equivalent hook).
+    #[cfg(debug_assertions)]
+    fn debug_audit(&self) {
+        if let Err(v) = self.audit() {
+            panic!(
+                "receiver {} invariant violation: {}",
+                self.rank,
+                crate::invariants::render(&v)
+            );
+        }
+    }
+}
+
 impl Endpoint for Receiver {
     fn handle_datagram(&mut self, now: Time, datagram: &[u8]) {
         self.now_cache = self.now_cache.max(now);
@@ -1026,6 +1195,8 @@ impl Endpoint for Receiver {
             // Sender-bound admission control that strayed to a receiver.
             Packet::Join { .. } | Packet::Leave { .. } => self.stats.data_discarded += 1,
         }
+        #[cfg(debug_assertions)]
+        self.debug_audit();
     }
 
     fn handle_timeout(&mut self, now: Time) {
@@ -1060,6 +1231,8 @@ impl Endpoint for Receiver {
         if self.giveup_deadline().is_some_and(|d| d <= now) {
             self.give_up_on_sender(now);
         }
+        #[cfg(debug_assertions)]
+        self.debug_audit();
     }
 
     fn poll_timeout(&self) -> Option<Time> {

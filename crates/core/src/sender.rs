@@ -24,6 +24,7 @@ use rmwire::{AllocBody, Duration, GroupSpec, PacketFlags, Rank, SeqNo, SyncBody,
 use std::collections::VecDeque;
 
 /// Release-rule state, per transfer.
+#[derive(Clone)]
 enum Release {
     /// Minimum over per-source cumulative acknowledgments (ACK, NAK,
     /// tree). `src_of_rank[receiver_index]` maps an acknowledging rank to
@@ -98,12 +99,14 @@ impl Release {
 }
 
 /// What the active transfer carries.
+#[derive(Clone)]
 enum Payload {
     Alloc(AllocBody),
     Data(Bytes),
 }
 
 /// One in-flight transfer (the allocation round trip or the data).
+#[derive(Clone)]
 struct Transfer {
     id: u32,
     payload: Payload,
@@ -137,6 +140,7 @@ enum Which {
 
 /// The next message, staged while the current one is still transferring
 /// (handshake pipelining).
+#[derive(Clone)]
 struct Staged {
     msg_id: u64,
     data: Bytes,
@@ -145,6 +149,11 @@ struct Staged {
 }
 
 /// The sender endpoint (rank 0) of a reliable multicast group.
+///
+/// Cloning forks the entire protocol state (the `rmcheck explore` model
+/// checker branches worlds this way); the clone's tracer comes back
+/// *detached* — see [`rmtrace::Tracer`]'s `Clone` contract.
+#[derive(Clone)]
 pub struct Sender {
     cfg: ProtocolConfig,
     group: GroupSpec,
@@ -260,6 +269,8 @@ impl Sender {
         self.queue.push_back((id, data));
         self.start_next(now);
         self.maybe_stage_next(now);
+        #[cfg(debug_assertions)]
+        self.debug_audit();
         id
     }
 
@@ -1252,6 +1263,186 @@ impl Sender {
     }
 }
 
+impl Sender {
+    /// Audit every sender-side invariant (`S1`…`S6` in
+    /// [`crate::invariants`]) against the current state, recomputing the
+    /// release rules from first principles. Cheap enough to run per
+    /// driver call; under `debug_assertions` the engine does exactly that.
+    pub fn audit(&self) -> Result<(), Vec<crate::invariants::Violation>> {
+        use crate::invariants::Audit;
+        let mut a = Audit::new();
+        if let Some(tree) = &self.tree {
+            a.check("S5", tree.check());
+        }
+        for (which, label) in [(Which::Cur, "current"), (Which::Staged, "staged")] {
+            let Some(t) = self.tref(which) else { continue };
+            let id = t.id;
+            a.check(
+                "S1",
+                t.win
+                    .check()
+                    .map_err(|e| format!("{label} transfer {id}: {e}")),
+            );
+            let released = t.release.released();
+            a.require("S2", t.win.base() <= released, || {
+                format!(
+                    "{label} transfer {id}: window base {} outruns acknowledgment \
+                     coverage {released} — a buffer was freed before every receiver \
+                     provably held it",
+                    t.win.base()
+                )
+            });
+            let tracker = match &t.release {
+                Release::PerSource { cov, .. } => cov.check(),
+                Release::Ring(r) => r.check(),
+            };
+            a.check(
+                "S3",
+                tracker.map_err(|e| format!("{label} transfer {id}: {e}")),
+            );
+            a.require("S4", t.release.n_active() >= 1, || {
+                format!("{label} transfer {id}: every acknowledgment source evicted")
+            });
+        }
+        a.require("S6", self.transfer.is_none() || self.cur.is_some(), || {
+            "active transfer without a current message".into()
+        });
+        if let (Some(t), Some((msg_id, _, phase))) = (self.transfer.as_ref(), self.cur.as_ref()) {
+            let expect = match phase {
+                Phase::Alloc => Self::alloc_transfer_id(*msg_id),
+                Phase::Data => Self::data_transfer_id(*msg_id),
+            };
+            a.require("S6", t.id == expect, || {
+                format!(
+                    "message {msg_id} in phase {phase:?} runs transfer {} (expected {expect})",
+                    t.id
+                )
+            });
+            if matches!(phase, Phase::Alloc) {
+                a.require("S6", t.win.k() == 1, || {
+                    format!("allocation transfer {} spans {} packets", t.id, t.win.k())
+                });
+            }
+        }
+        if let Some(st) = &self.staged {
+            if let Some(t) = &st.alloc {
+                a.require(
+                    "S6",
+                    t.id == Self::alloc_transfer_id(st.msg_id) && t.win.k() == 1,
+                    || {
+                        format!(
+                            "staged allocation for message {} runs transfer {} over {} packets",
+                            st.msg_id,
+                            t.id,
+                            t.win.k()
+                        )
+                    },
+                );
+            }
+        }
+        a.finish()
+    }
+
+    /// Hash the protocol-logical state into `h`: everything that shapes
+    /// future behavior *except* clocks, retry streaks, counters and
+    /// telemetry. `rmcheck explore` merges interleavings whose digests
+    /// converge, which is sound exactly because the model configurations
+    /// zero the time-sensitive knobs (suppression windows, backoff).
+    pub fn hash_protocol_state(&self, h: &mut dyn std::hash::Hasher) {
+        fn hash_release(h: &mut dyn std::hash::Hasher, r: &Release) {
+            match r {
+                Release::PerSource { cov, .. } => {
+                    h.write_u8(1);
+                    let (cov, evicted) = cov.state();
+                    for &c in cov {
+                        h.write_u32(c);
+                    }
+                    for &e in evicted {
+                        h.write_u8(e as u8);
+                    }
+                }
+                Release::Ring(r) => {
+                    h.write_u8(2);
+                    let (cov, prefix, evicted) = r.state();
+                    for &c in cov {
+                        h.write_u32(c);
+                    }
+                    h.write_u32(prefix);
+                    for &e in evicted {
+                        h.write_u8(e as u8);
+                    }
+                }
+            }
+        }
+        fn hash_transfer(h: &mut dyn std::hash::Hasher, t: &Transfer) {
+            h.write_u32(t.id);
+            h.write_u32(t.win.k());
+            h.write_u32(t.win.base());
+            h.write_u32(t.win.next());
+            hash_release(h, &t.release);
+        }
+        h.write_u64(self.next_msg_id);
+        h.write_usize(self.queue.len());
+        match &self.cur {
+            None => h.write_u8(0),
+            Some((msg_id, _, phase)) => {
+                h.write_u8(1);
+                h.write_u64(*msg_id);
+                h.write_u8(matches!(phase, Phase::Data) as u8);
+            }
+        }
+        match &self.transfer {
+            None => h.write_u8(0),
+            Some(t) => {
+                h.write_u8(1);
+                hash_transfer(h, t);
+            }
+        }
+        match &self.staged {
+            None => h.write_u8(0),
+            Some(st) => {
+                h.write_u8(1);
+                h.write_u64(st.msg_id);
+                match &st.alloc {
+                    None => h.write_u8(0),
+                    Some(t) => {
+                        h.write_u8(1);
+                        hash_transfer(h, t);
+                    }
+                }
+            }
+        }
+        for &e in &self.evicted {
+            h.write_u8(e as u8);
+        }
+        for &d in &self.detached {
+            h.write_u8(d as u8);
+        }
+        h.write_u32(self.epoch);
+        h.write_usize(self.pending_joins.len());
+        for r in &self.pending_joins {
+            h.write_u16(r.0);
+        }
+        h.write_u8(self.hb_deadline.is_some() as u8);
+        h.write_usize(self.out.len());
+        h.write_usize(self.events.len());
+    }
+
+    /// Panic on any violated invariant. Compiled only under
+    /// `debug_assertions`, so every debug-profile test (sim, chaos, fuzz,
+    /// soak) doubles as an invariant audit while release figures stay
+    /// byte-identical.
+    #[cfg(debug_assertions)]
+    fn debug_audit(&self) {
+        if let Err(v) = self.audit() {
+            panic!(
+                "sender invariant violation: {}",
+                crate::invariants::render(&v)
+            );
+        }
+    }
+}
+
 impl Endpoint for Sender {
     fn handle_datagram(&mut self, now: Time, datagram: &[u8]) {
         self.now_cache = self.now_cache.max(now);
@@ -1309,6 +1500,8 @@ impl Endpoint for Sender {
                 self.stats.data_discarded += 1;
             }
         }
+        #[cfg(debug_assertions)]
+        self.debug_audit();
     }
 
     fn handle_timeout(&mut self, now: Time) {
@@ -1374,6 +1567,8 @@ impl Endpoint for Sender {
                 }
             }
         }
+        #[cfg(debug_assertions)]
+        self.debug_audit();
     }
 
     fn poll_timeout(&self) -> Option<Time> {

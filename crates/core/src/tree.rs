@@ -107,6 +107,38 @@ impl TreeTopology {
             .sum::<usize>()
     }
 
+    /// Structural self-check: the aggregation links must form a forest
+    /// whose roots cover every receiver exactly once, with symmetric
+    /// parent/child links (`rmcheck` and the invariant audit call this).
+    pub fn check(&self) -> Result<(), String> {
+        let n = self.links.len();
+        for (i, l) in self.links.iter().enumerate() {
+            let me = Rank::from_receiver_index(i);
+            match l.parent {
+                None => {
+                    if !self.roots.contains(&me) {
+                        return Err(format!("{me} has no parent but is not a root"));
+                    }
+                }
+                Some(p) => {
+                    if !self.links[p.receiver_index()].children.contains(&me) {
+                        return Err(format!("{me} reports to {p}, which does not list it"));
+                    }
+                }
+            }
+            for &c in &l.children {
+                if self.links[c.receiver_index()].parent != Some(me) {
+                    return Err(format!("{me} lists child {c}, which reports elsewhere"));
+                }
+            }
+        }
+        let covered: usize = self.roots.iter().map(|&r| self.subtree_size(r)).sum();
+        if covered != n {
+            return Err(format!("root subtrees cover {covered} of {n} receivers"));
+        }
+        Ok(())
+    }
+
     /// Longest root-to-leaf path length in nodes (the effective height).
     pub fn max_depth(&self) -> usize {
         fn depth(t: &TreeTopology, r: Rank) -> usize {

@@ -29,7 +29,7 @@ pub struct Slot {
 /// w.release(2);                                // coverage reached packet 2
 /// assert!(w.can_send());                       // room for packet 3
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SendWindow {
     base: u32,
     next: u32,
@@ -156,6 +156,44 @@ impl SendWindow {
     /// packets (the in-flight span).
     pub fn buffered_bytes(&self, packet_size: usize) -> usize {
         (self.next - self.base) as usize * packet_size
+    }
+
+    /// Window capacity in packets.
+    pub fn capacity(&self) -> u32 {
+        self.cap
+    }
+
+    /// Structural self-check: the window-never-exceeded and
+    /// base-within-transfer invariants, verified from first principles
+    /// (`rmcheck` and the `debug_assertions` audit both call this).
+    pub fn check(&self) -> Result<(), String> {
+        if self.base > self.next {
+            return Err(format!(
+                "window base {} beyond next {}",
+                self.base, self.next
+            ));
+        }
+        if self.next > self.k {
+            return Err(format!(
+                "window sent {} packets of a {}-packet transfer",
+                self.next, self.k
+            ));
+        }
+        if self.next - self.base > self.cap {
+            return Err(format!(
+                "window occupancy {} exceeds capacity {}",
+                self.next - self.base,
+                self.cap
+            ));
+        }
+        if self.slots.len() != (self.next - self.base) as usize {
+            return Err(format!(
+                "window tracks {} slots for {} outstanding packets",
+                self.slots.len(),
+                self.next - self.base
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -64,6 +64,7 @@
 //! assert!(sim.now() > Time::ZERO);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

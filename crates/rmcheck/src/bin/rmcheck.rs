@@ -1,0 +1,156 @@
+//! The correctness-tool front end.
+//!
+//! ```text
+//! rmcheck explore [--family ack|nak|ring|tree-flat|tree-binary|all]
+//!                 [--receivers N] [--window W] [--packets K]
+//!                 [--messages M] [--dups D] [--max-states S]
+//!                 [--no-handshake] [--no-liveness]
+//! ```
+//!
+//! Exhaustively enumerates every deliver/drop/duplicate/timer-fire
+//! interleaving of the scope and reports the verified state count, or the
+//! first counterexample trail. Exits nonzero on any violation or on
+//! truncation (an unexhausted scope proves nothing).
+
+#![forbid(unsafe_code)]
+
+use rmcast::{ProtocolKind, TreeShape};
+use rmcheck::explore::{explore, ExploreConfig};
+use std::process::ExitCode;
+
+fn usage() {
+    println!(
+        "rmcheck explore [--family ack|nak|ring|tree-flat|tree-binary|all] \
+         [--receivers N] [--window W] [--packets K] [--messages M] [--dups D] \
+         [--max-states S] [--no-handshake] [--no-liveness]"
+    );
+}
+
+fn family_by_name(name: &str, receivers: u16) -> Option<Vec<ProtocolKind>> {
+    Some(match name {
+        "ack" => vec![ProtocolKind::Ack],
+        "nak" => vec![ProtocolKind::nak_polling(2)],
+        "ring" => vec![ProtocolKind::Ring],
+        "tree-flat" => vec![ProtocolKind::Tree {
+            shape: TreeShape::Flat {
+                height: receivers as usize,
+            },
+        }],
+        "tree-binary" => vec![ProtocolKind::Tree {
+            shape: TreeShape::Binary,
+        }],
+        "all" => ExploreConfig::all_families(receivers),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("explore") => {}
+        Some("--help") | Some("-h") | None => {
+            usage();
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => {
+            eprintln!("rmcheck: unknown subcommand `{other}` (try --help)");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut family = "all".to_string();
+    let mut scope = ExploreConfig::smoke(ProtocolKind::Ack);
+    let parse = |v: Option<String>, what: &str| -> Result<u64, ExitCode> {
+        v.and_then(|s| s.parse().ok()).ok_or_else(|| {
+            eprintln!("rmcheck: --{what} needs a number");
+            ExitCode::from(2)
+        })
+    };
+    while let Some(a) = args.next() {
+        let r = match a.as_str() {
+            "--family" => {
+                family = args.next().unwrap_or_default();
+                Ok(0)
+            }
+            "--receivers" => parse(args.next(), "receivers").map(|v| {
+                scope.receivers = v as u16;
+                0
+            }),
+            "--window" => parse(args.next(), "window").map(|v| {
+                scope.window = v as usize;
+                0
+            }),
+            "--packets" => parse(args.next(), "packets").map(|v| {
+                scope.packets = v as u32;
+                0
+            }),
+            "--messages" => parse(args.next(), "messages").map(|v| {
+                scope.messages = v;
+                0
+            }),
+            "--dups" => parse(args.next(), "dups").map(|v| {
+                scope.dups = v as u8;
+                0
+            }),
+            "--max-states" => parse(args.next(), "max-states").map(|v| {
+                scope.max_states = v as usize;
+                0
+            }),
+            "--no-handshake" => {
+                scope.handshake = false;
+                Ok(0)
+            }
+            "--no-liveness" => {
+                scope.check_liveness = false;
+                Ok(0)
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rmcheck: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(code) = r {
+            return code;
+        }
+    }
+
+    let Some(families) = family_by_name(&family, scope.receivers) else {
+        eprintln!("rmcheck: unknown family `{family}`");
+        return ExitCode::from(2);
+    };
+
+    let mut failed = false;
+    for f in families {
+        let report = explore(&ExploreConfig {
+            family: f,
+            ..scope.clone()
+        });
+        if report.verified() {
+            println!(
+                "{:<12} verified: {} states, {} transitions, 0 violations",
+                report.family, report.states, report.transitions
+            );
+        } else {
+            failed = true;
+            if report.truncated {
+                println!(
+                    "{:<12} TRUNCATED after {} states, {} transitions \
+                     (raise --max-states or shrink the scope)",
+                    report.family, report.states, report.transitions
+                );
+            }
+            for v in &report.violations {
+                println!("{:<12} VIOLATION: {v}", report.family);
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,49 @@
+//! Workspace lint runner: prints every finding and exits nonzero if any
+//! rule fired (CI gates on it).
+//!
+//! ```text
+//! rmlint [--root <workspace-root>]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("rmlint [--root <workspace-root>]");
+                println!("Source-level lint for the reliable multicast workspace;");
+                println!("rules and scopes are documented in docs/CORRECTNESS.md.");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rmlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(rmcheck::lint::find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("rmlint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = rmcheck::lint::run_workspace(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("rmlint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("rmlint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,576 @@
+//! `rmlint`: a zero-dependency source-level lint pass.
+//!
+//! The rules are repo-specific invariants the Rust compiler and clippy
+//! cannot express:
+//!
+//! | rule | scope | what it forbids / requires |
+//! |------|-------|----------------------------|
+//! | `wall-clock` | deterministic crates (`rmwire`, `rmcast`, `netsim`, `rmtrace`) | `SystemTime`, `Instant::now`, `thread_rng`, `from_entropy`, `OsRng` — anything that would make a sim run irreproducible |
+//! | `panic-path` | wire-decode and packet-handling files | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` — network input must be rejectable, never a crash |
+//! | `index-unguarded` | wire-decode and packet-handling files | `expr[...]` indexing/slicing, which panics out of range; use `get()` / `split_at` or justify with an allow comment |
+//! | `stats-doc` | `crates/core/src/stats.rs` vs `docs/OBSERVABILITY.md` | every `Stats` counter must appear in the observability docs |
+//! | `trace-doc` | `crates/rmtrace/src/event.rs` vs `docs/OBSERVABILITY.md` | every `TraceEvent` variant must appear in the observability docs |
+//! | `config-validate` | `crates/core/src/config.rs` | every `ProtocolConfig` field must be referenced by `validate()` (or carry an allow comment stating why it is unconstrained) |
+//!
+//! Any finding can be suppressed with a justification comment on the same
+//! line or the line above: `// rmlint: allow(<rule>): <reason>`.
+//!
+//! Scanning is token-oriented, not AST-based: comments and string
+//! literals are blanked first (so a rule name inside a doc comment never
+//! fires), and everything from the first `#[cfg(test)]` to the end of the
+//! file is skipped — the workspace convention keeps test modules last, and
+//! the rules deliberately do not apply to test code.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (e.g. `wall-clock`).
+    pub rule: &'static str,
+    /// File the finding is in, relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Files each source-scanning rule applies to, relative to the workspace
+/// root. The doc-coverage rules (`stats-doc`, `trace-doc`,
+/// `config-validate`) have their scopes hardcoded in [`run_workspace`].
+pub mod scope {
+    /// Crates whose behavior must be a pure function of inputs + seed:
+    /// the `wall-clock` rule scans every non-test line of their sources.
+    pub const DETERMINISTIC_CRATE_DIRS: &[&str] = &[
+        "crates/rmwire/src",
+        "crates/core/src",
+        "crates/netsim/src",
+        "crates/rmtrace/src",
+    ];
+
+    /// Wire-decode and packet-handling paths: parse hostile bytes, so the
+    /// `panic-path` and `index-unguarded` rules apply.
+    pub const DECODE_PATH_FILES: &[&str] = &[
+        "crates/rmwire/src/header.rs",
+        "crates/rmwire/src/payload.rs",
+        "crates/rmwire/src/checksum.rs",
+        "crates/rmwire/src/seq.rs",
+        "crates/core/src/packet.rs",
+        "crates/udprun/src/hub.rs",
+    ];
+}
+
+/// Blank out comments, string literals and char literals, preserving the
+/// line structure (every replaced byte becomes a space, newlines stay).
+/// Lifetimes (`'a`) are left alone.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                out[i] = b'\n';
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment: blank to end of line.
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, nested per Rust.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            out[i] = b'\n';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string r"..." / r#"..."#.
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    'raw: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        if b[j] == b'\n' {
+                            out[j] = b'\n';
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    // `r` was just an identifier character.
+                    out[start] = b'r';
+                    i = start + 1;
+                }
+            }
+            b'"' => {
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        i += 1; // skip the escaped character
+                    }
+                    if i < b.len() {
+                        if b[i] == b'\n' {
+                            out[i] = b'\n';
+                        }
+                        i += 1;
+                    }
+                }
+                i += 1; // closing quote
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'\x'`-style and `'a'` are
+                // literals; `'a` followed by anything but a quote is a
+                // lifetime and passes through.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    i += 3;
+                } else {
+                    out[i] = b'\'';
+                    i += 1;
+                }
+            }
+            c => {
+                out[i] = c;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Is a finding of `rule` on 0-based line `idx` suppressed by an
+/// `rmlint: allow(<rule>)` comment on the same or the previous line of
+/// the *raw* source?
+fn allowed(raw_lines: &[&str], idx: usize, rule: &str) -> bool {
+    let marker = format!("rmlint: allow({rule})");
+    raw_lines.get(idx).is_some_and(|l| l.contains(&marker))
+        || idx > 0 && raw_lines.get(idx - 1).is_some_and(|l| l.contains(&marker))
+}
+
+/// 0-based line of the first `#[cfg(test)]` (test modules are last by
+/// workspace convention); lines from there on are not linted.
+fn test_module_start(raw_lines: &[&str]) -> usize {
+    raw_lines
+        .iter()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(raw_lines.len())
+}
+
+/// Per-line token scan shared by `wall-clock` and `panic-path`.
+fn scan_tokens(
+    rule: &'static str,
+    file: &str,
+    src: &str,
+    tokens: &[(&str, &str)],
+    findings: &mut Vec<Finding>,
+) {
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let stripped = strip_comments_and_strings(src);
+    let limit = test_module_start(&raw_lines);
+    for (idx, line) in stripped.lines().enumerate().take(limit) {
+        for (token, why) in tokens {
+            if line.contains(token) && !allowed(&raw_lines, idx, rule) {
+                findings.push(Finding {
+                    rule,
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message: format!("`{token}` {why}"),
+                });
+            }
+        }
+    }
+}
+
+/// `wall-clock`: no wall-clock time or OS randomness in deterministic
+/// crates — their behavior must be a pure function of inputs and seed,
+/// or golden traces and the model checker are meaningless.
+pub fn lint_wall_clock(file: &str, src: &str, findings: &mut Vec<Finding>) {
+    scan_tokens(
+        "wall-clock",
+        file,
+        src,
+        &[
+            (
+                "SystemTime",
+                "reads the wall clock in a deterministic crate",
+            ),
+            (
+                "Instant::now",
+                "reads the wall clock in a deterministic crate",
+            ),
+            ("thread_rng", "draws OS randomness in a deterministic crate"),
+            (
+                "from_entropy",
+                "draws OS randomness in a deterministic crate",
+            ),
+            ("OsRng", "draws OS randomness in a deterministic crate"),
+        ],
+        findings,
+    );
+}
+
+/// `panic-path`: no panic-capable call in wire-decode / packet-handling
+/// code — malformed network input must map to a typed error and a
+/// counter (`Stats::malformed_rx`), never a crash.
+pub fn lint_panic_path(file: &str, src: &str, findings: &mut Vec<Finding>) {
+    scan_tokens(
+        "panic-path",
+        file,
+        src,
+        &[
+            (".unwrap()", "can panic on network input"),
+            (".expect(", "can panic on network input"),
+            ("panic!", "panics in a decode path"),
+            ("unreachable!", "panics in a decode path"),
+            ("todo!", "panics in a decode path"),
+            ("unimplemented!", "panics in a decode path"),
+        ],
+        findings,
+    );
+}
+
+/// `index-unguarded`: `expr[...]` indexing or slicing in decode paths
+/// panics when out of range. An index expression is recognized as `[`
+/// immediately preceded by an identifier character, `)`, or `]` — which
+/// excludes attributes (`#[...]`), array literals and macro brackets
+/// (`vec![...]`).
+pub fn lint_index_unguarded(file: &str, src: &str, findings: &mut Vec<Finding>) {
+    let rule = "index-unguarded";
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let stripped = strip_comments_and_strings(src);
+    let limit = test_module_start(&raw_lines);
+    for (idx, line) in stripped.lines().enumerate().take(limit) {
+        let b = line.as_bytes();
+        let is_index = b.windows(2).any(|w| {
+            w[1] == b'[' && (w[0].is_ascii_alphanumeric() || matches!(w[0], b'_' | b')' | b']'))
+        });
+        if is_index && !allowed(&raw_lines, idx, rule) {
+            findings.push(Finding {
+                rule,
+                file: file.to_string(),
+                line: idx + 1,
+                message: "indexing/slicing panics out of range; use `get()`/`split_at` \
+                          or justify with an allow comment"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Names declared via `define_stats!` in `stats.rs`: lines of the form
+/// `name: sum,` / `name: max,`.
+fn stats_counter_names(stats_src: &str) -> Vec<String> {
+    let stripped = strip_comments_and_strings(stats_src);
+    let mut names = Vec::new();
+    let mut in_macro = false;
+    for line in stripped.lines() {
+        let t = line.trim();
+        if t.starts_with("define_stats!") {
+            in_macro = true;
+            continue;
+        }
+        if in_macro {
+            if t.starts_with('}') {
+                break;
+            }
+            if let Some((name, rest)) = t.split_once(':') {
+                let name = name.trim();
+                let kind = rest.trim().trim_end_matches(',');
+                if (kind == "sum" || kind == "max")
+                    && !name.is_empty()
+                    && name.chars().all(|c| c.is_ascii_lowercase() || c == '_')
+                {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Variant names of `pub enum TraceEvent` in `event.rs`.
+fn trace_event_names(event_src: &str) -> Vec<String> {
+    let stripped = strip_comments_and_strings(event_src);
+    let mut names = Vec::new();
+    let mut in_enum = false;
+    let mut depth = 0i32;
+    for line in stripped.lines() {
+        let t = line.trim();
+        if t.starts_with("pub enum TraceEvent") {
+            in_enum = true;
+        }
+        if in_enum {
+            if depth == 1 {
+                let head: String = t
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if head.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    names.push(head);
+                }
+            }
+            depth += t.matches('{').count() as i32 - t.matches('}').count() as i32;
+            if depth == 0 && t.contains('}') {
+                break;
+            }
+        }
+    }
+    names
+}
+
+/// `stats-doc` + `trace-doc`: every counter and trace event must appear
+/// by name in `docs/OBSERVABILITY.md` — an undocumented signal is one
+/// nobody watches.
+pub fn lint_doc_coverage(
+    stats_src: &str,
+    event_src: &str,
+    observability_md: &str,
+    findings: &mut Vec<Finding>,
+) {
+    for name in stats_counter_names(stats_src) {
+        if !observability_md.contains(&name) {
+            findings.push(Finding {
+                rule: "stats-doc",
+                file: "crates/core/src/stats.rs".to_string(),
+                line: 1,
+                message: format!("counter `{name}` is not documented in docs/OBSERVABILITY.md"),
+            });
+        }
+    }
+    for name in trace_event_names(event_src) {
+        if !observability_md.contains(&name) {
+            findings.push(Finding {
+                rule: "trace-doc",
+                file: "crates/rmtrace/src/event.rs".to_string(),
+                line: 1,
+                message: format!("trace event `{name}` is not documented in docs/OBSERVABILITY.md"),
+            });
+        }
+    }
+}
+
+/// `config-validate`: every `ProtocolConfig` field must be referenced in
+/// the body of `validate()` (as `.field`), or carry an allow comment on
+/// its declaration stating why no constraint applies. A tuning knob that
+/// validation never looks at is a knob whose nonsense values reach the
+/// engines.
+pub fn lint_config_validate(config_src: &str, findings: &mut Vec<Finding>) {
+    let raw_lines: Vec<&str> = config_src.lines().collect();
+    let stripped = strip_comments_and_strings(config_src);
+    let s_lines: Vec<&str> = stripped.lines().collect();
+
+    // Field declarations of `pub struct ProtocolConfig`.
+    let mut fields: Vec<(String, usize)> = Vec::new();
+    let mut in_struct = false;
+    for (idx, line) in s_lines.iter().enumerate() {
+        let t = line.trim();
+        if t.starts_with("pub struct ProtocolConfig") {
+            in_struct = true;
+            continue;
+        }
+        if in_struct {
+            if t.starts_with('}') {
+                break;
+            }
+            if let Some(rest) = t.strip_prefix("pub ") {
+                if let Some((name, _ty)) = rest.split_once(':') {
+                    let name = name.trim();
+                    if name.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+                        fields.push((name.to_string(), idx));
+                    }
+                }
+            }
+        }
+    }
+
+    // Body of `fn validate`, brace-balanced.
+    let mut body = String::new();
+    let mut in_fn = false;
+    let mut depth = 0i32;
+    for line in &s_lines {
+        if line.trim_start().starts_with("pub fn validate") {
+            in_fn = true;
+        }
+        if in_fn {
+            body.push_str(line);
+            body.push('\n');
+            depth += line.matches('{').count() as i32 - line.matches('}').count() as i32;
+            if depth == 0 && line.contains('}') {
+                break;
+            }
+        }
+    }
+
+    for (name, idx) in fields {
+        let referenced = body.contains(&format!(".{name}"));
+        if !referenced && !allowed(&raw_lines, idx, "config-validate") {
+            findings.push(Finding {
+                rule: "config-validate",
+                file: "crates/core/src/config.rs".to_string(),
+                line: idx + 1,
+                message: format!(
+                    "field `{name}` is never referenced by ProtocolConfig::validate; \
+                     constrain it or justify with an allow comment"
+                ),
+            });
+        }
+    }
+}
+
+/// Run the source-scanning rules against one in-memory file (fixture
+/// tests use this; [`run_workspace`] feeds it real files).
+pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    lint_wall_clock(file, src, &mut findings);
+    lint_panic_path(file, src, &mut findings);
+    lint_index_unguarded(file, src, &mut findings);
+    findings
+}
+
+fn rs_files_under(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            out.extend(rs_files_under(&p));
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Run every rule against the workspace rooted at `root`, returning all
+/// findings sorted by file and line. Missing files are themselves
+/// findings (a moved scope must move the lint config with it).
+pub fn run_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let read = |rel_path: &str, findings: &mut Vec<Finding>| -> Option<String> {
+        match std::fs::read_to_string(root.join(rel_path)) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                findings.push(Finding {
+                    rule: "lint-config",
+                    file: rel_path.to_string(),
+                    line: 0,
+                    message: format!("cannot read a linted file: {e}"),
+                });
+                None
+            }
+        }
+    };
+
+    for dir in scope::DETERMINISTIC_CRATE_DIRS {
+        let abs = root.join(dir);
+        let files = rs_files_under(&abs);
+        if files.is_empty() {
+            findings.push(Finding {
+                rule: "lint-config",
+                file: dir.to_string(),
+                line: 0,
+                message: "deterministic-crate scope matches no files".to_string(),
+            });
+        }
+        for f in files {
+            if let Ok(src) = std::fs::read_to_string(&f) {
+                lint_wall_clock(&rel(root, &f), &src, &mut findings);
+            }
+        }
+    }
+
+    for file in scope::DECODE_PATH_FILES {
+        if let Some(src) = read(file, &mut findings) {
+            lint_panic_path(file, &src, &mut findings);
+            lint_index_unguarded(file, &src, &mut findings);
+        }
+    }
+
+    let stats = read("crates/core/src/stats.rs", &mut findings);
+    let event = read("crates/rmtrace/src/event.rs", &mut findings);
+    let obs = read("docs/OBSERVABILITY.md", &mut findings);
+    if let (Some(stats), Some(event), Some(obs)) = (stats, event, obs) {
+        lint_doc_coverage(&stats, &event, &obs, &mut findings);
+    }
+
+    if let Some(cfg) = read("crates/core/src/config.rs", &mut findings) {
+        lint_config_validate(&cfg, &mut findings);
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// Locate the workspace root from the current directory (walk up to the
+/// directory containing a `Cargo.toml` with `[workspace]`).
+pub fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

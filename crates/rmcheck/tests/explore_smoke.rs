@@ -1,0 +1,105 @@
+//! CI-scope model-checking smoke: exhaustively verify the smoke scope
+//! (2 receivers, window 2, 1-packet message, handshake, one duplicate)
+//! for every protocol family. Roughly the `rmcheck explore` CI step as a
+//! test, so `cargo test` alone exercises the checker end to end.
+//!
+//! These run the full BFS — tens of seconds per family under
+//! `debug_assertions`, where every engine step also runs the invariant
+//! audit (which is the point). The deeper scopes (`ExploreConfig::soak`,
+//! the window-stall scope) are `#[ignore]`d: run them with
+//! `cargo test -p rmcheck --release -- --ignored`.
+
+use rmcast::ProtocolKind;
+use rmcheck::explore::{explore, ExploreConfig};
+
+fn verify(family: ProtocolKind) {
+    let report = explore(&ExploreConfig::smoke(family));
+    assert!(
+        report.verified(),
+        "{}: truncated={} violations={:#?}",
+        report.family,
+        report.truncated,
+        report.violations
+    );
+    assert!(
+        report.states > 10,
+        "{}: suspiciously small state space ({} states) — the scope \
+         collapsed and the run proves nothing",
+        report.family,
+        report.states
+    );
+}
+
+#[test]
+fn smoke_ack() {
+    verify(ProtocolKind::Ack);
+}
+
+#[test]
+fn smoke_nak_polling() {
+    verify(ProtocolKind::nak_polling(2));
+}
+
+#[test]
+fn smoke_ring() {
+    verify(ProtocolKind::Ring);
+}
+
+#[test]
+fn smoke_tree_flat() {
+    verify(ProtocolKind::Tree {
+        shape: rmcast::TreeShape::Flat { height: 2 },
+    });
+}
+
+#[test]
+fn smoke_tree_binary() {
+    verify(ProtocolKind::Tree {
+        shape: rmcast::TreeShape::Binary,
+    });
+}
+
+#[test]
+#[ignore = "minutes in release; run with --ignored"]
+fn soak_ack_window_machinery() {
+    let report = explore(&ExploreConfig::soak(ProtocolKind::Ack));
+    assert!(
+        report.verified(),
+        "{}: truncated={} violations={:#?}",
+        report.family,
+        report.truncated,
+        report.violations
+    );
+}
+
+#[test]
+#[ignore = "minutes in release; run with --ignored"]
+fn soak_ack_window_stall() {
+    // The `--window 1 --packets 2` CI scope: the stall/release cycle and
+    // go-back-N are in the enumerated space (window 1 fills on the first
+    // packet).
+    let mut scope = ExploreConfig::smoke(ProtocolKind::Ack);
+    scope.window = 1;
+    scope.packets = 2;
+    scope.dups = 0;
+    scope.max_states = 4_000_000;
+    let report = explore(&scope);
+    assert!(
+        report.verified(),
+        "{}: truncated={} violations={:#?}",
+        report.family,
+        report.truncated,
+        report.violations
+    );
+}
+
+#[test]
+fn violation_reports_carry_a_trail() {
+    // A scope too small to exhaust must report truncation, not success:
+    // an unexhausted search proves nothing and `verified()` must say so.
+    let mut scope = ExploreConfig::smoke(ProtocolKind::Ack);
+    scope.max_states = 3;
+    let report = explore(&scope);
+    assert!(report.truncated);
+    assert!(!report.verified());
+}

@@ -1,0 +1,186 @@
+//! Positive and negative fixtures for every `rmlint` rule: each rule
+//! must fire on a minimal violating snippet and stay quiet on the
+//! compliant rewrite (including `rmlint: allow(...)` suppression).
+
+use rmcheck::lint::{
+    lint_config_validate, lint_doc_coverage, lint_source, strip_comments_and_strings,
+};
+
+fn rules(findings: &[rmcheck::lint::Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn wall_clock_fires_and_is_suppressible() {
+    let bad = "fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+    let f = lint_source("x.rs", bad);
+    assert!(rules(&f).contains(&"wall-clock"), "{f:?}");
+
+    let allowed = "// rmlint: allow(wall-clock): fixture justification\n\
+                   fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert!(
+        !rules(&lint_source("x.rs", allowed)).contains(&"wall-clock"),
+        "allow comment on the previous line must suppress"
+    );
+
+    let clean = "fn t(now: rmwire::Time) -> rmwire::Time { now }\n";
+    assert!(!rules(&lint_source("x.rs", clean)).contains(&"wall-clock"));
+}
+
+#[test]
+fn wall_clock_catches_os_randomness() {
+    for bad in [
+        "let mut rng = thread_rng();\n",
+        "let rng = SmallRng::from_entropy();\n",
+        "let mut rng = OsRng;\n",
+        "let t = SystemTime::now();\n",
+    ] {
+        assert!(
+            rules(&lint_source("x.rs", bad)).contains(&"wall-clock"),
+            "expected wall-clock on {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn wall_clock_ignores_comments_strings_and_test_modules() {
+    let commented = "// Instant::now is forbidden here\nfn f() {}\n";
+    assert!(rules(&lint_source("x.rs", commented)).is_empty());
+
+    let in_string = "const MSG: &str = \"Instant::now\";\n";
+    assert!(rules(&lint_source("x.rs", in_string)).is_empty());
+
+    let in_tests = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = \
+                    std::time::Instant::now(); }\n}\n";
+    assert!(rules(&lint_source("x.rs", in_tests)).is_empty());
+}
+
+#[test]
+fn panic_path_fires_and_is_suppressible() {
+    for bad in [
+        "let v = map.get(&k).unwrap();\n",
+        "let v = map.get(&k).expect(\"present\");\n",
+        "panic!(\"bad packet\");\n",
+        "unreachable!();\n",
+        "todo!()\n",
+        "unimplemented!()\n",
+    ] {
+        assert!(
+            rules(&lint_source("x.rs", bad)).contains(&"panic-path"),
+            "expected panic-path on {bad:?}"
+        );
+    }
+
+    let allowed =
+        "let v = map.get(&k).unwrap(); // rmlint: allow(panic-path): key inserted above\n";
+    assert!(!rules(&lint_source("x.rs", allowed)).contains(&"panic-path"));
+
+    let clean = "let Some(v) = map.get(&k) else { return Err(WireError::Truncated) };\n";
+    assert!(!rules(&lint_source("x.rs", clean)).contains(&"panic-path"));
+}
+
+#[test]
+fn index_unguarded_fires_and_skips_non_index_brackets() {
+    let bad = "let b = buf[0];\n";
+    assert!(rules(&lint_source("x.rs", bad)).contains(&"index-unguarded"));
+
+    let slicing = "let head = buf[..4].to_vec();\n";
+    assert!(rules(&lint_source("x.rs", slicing)).contains(&"index-unguarded"));
+
+    let chained = "let b = words()[i];\n";
+    assert!(rules(&lint_source("x.rs", chained)).contains(&"index-unguarded"));
+
+    // Attributes, array types/literals, and vec! are not index expressions.
+    for clean in [
+        "#[derive(Debug)]\nstruct S;\n",
+        "let a: [u8; 4] = [0; 4];\n",
+        "let v = vec![1, 2, 3];\n",
+        "let b = buf.get(0);\n",
+    ] {
+        assert!(
+            !rules(&lint_source("x.rs", clean)).contains(&"index-unguarded"),
+            "false positive on {clean:?}"
+        );
+    }
+
+    let allowed = "// rmlint: allow(index-unguarded): i < LEN by loop bound\nlet b = buf[i];\n";
+    assert!(!rules(&lint_source("x.rs", allowed)).contains(&"index-unguarded"));
+}
+
+const FIXTURE_STATS: &str = "define_stats! {\n    data_sent: sum,\n    peak_buffer: max,\n}\n";
+const FIXTURE_EVENTS: &str =
+    "pub enum TraceEvent {\n    DataSent { seq: u32 },\n    Delivered { msg: u64 },\n}\n";
+
+#[test]
+fn doc_coverage_reports_each_missing_name() {
+    let docs = "`data_sent` counts packets. `DataSent` marks a send.\n";
+    let mut f = Vec::new();
+    lint_doc_coverage(FIXTURE_STATS, FIXTURE_EVENTS, docs, &mut f);
+    let msgs: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+    assert_eq!(rules(&f), vec!["stats-doc", "trace-doc"], "{f:?}");
+    assert!(msgs[0].contains("peak_buffer"), "{msgs:?}");
+    assert!(msgs[1].contains("Delivered"), "{msgs:?}");
+}
+
+#[test]
+fn doc_coverage_clean_when_all_names_present() {
+    let docs = "| data_sent | ... | peak_buffer | ... DataSent ... Delivered\n";
+    let mut f = Vec::new();
+    lint_doc_coverage(FIXTURE_STATS, FIXTURE_EVENTS, docs, &mut f);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn config_validate_fires_on_unvalidated_field() {
+    let src = "pub struct ProtocolConfig {\n\
+               \x20   pub window: usize,\n\
+               \x20   pub mystery_knob: u32,\n\
+               }\n\
+               impl ProtocolConfig {\n\
+               \x20   pub fn validate(&self) -> Result<(), Error> {\n\
+               \x20       if self.window == 0 { return Err(Error::Window); }\n\
+               \x20       Ok(())\n\
+               \x20   }\n\
+               }\n";
+    let mut f = Vec::new();
+    lint_config_validate(src, &mut f);
+    assert_eq!(rules(&f), vec!["config-validate"], "{f:?}");
+    assert!(f[0].message.contains("mystery_knob"), "{f:?}");
+}
+
+#[test]
+fn config_validate_accepts_allow_comment() {
+    let src = "pub struct ProtocolConfig {\n\
+               \x20   pub window: usize,\n\
+               \x20   // rmlint: allow(config-validate): free-form label, any value is legal\n\
+               \x20   pub mystery_knob: u32,\n\
+               }\n\
+               impl ProtocolConfig {\n\
+               \x20   pub fn validate(&self) -> Result<(), Error> {\n\
+               \x20       if self.window == 0 { return Err(Error::Window); }\n\
+               \x20       Ok(())\n\
+               \x20   }\n\
+               }\n";
+    let mut f = Vec::new();
+    lint_config_validate(src, &mut f);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn stripper_preserves_line_structure() {
+    let src = "let a = 1; /* multi\nline */ let b = \"x\\\"y\";\nlet c = r#\"raw \" str\"#;\n";
+    let out = strip_comments_and_strings(src);
+    assert_eq!(src.lines().count(), out.lines().count());
+    assert!(!out.contains("multi"));
+    assert!(!out.contains("raw"));
+    assert!(out.contains("let a = 1;"));
+    assert!(out.contains("let b ="));
+}
+
+#[test]
+fn stripper_distinguishes_lifetimes_from_chars() {
+    let src = "fn f<'a>(x: &'a [u8]) -> char { 'z' }\n";
+    let out = strip_comments_and_strings(src);
+    assert!(out.contains("'a"), "lifetimes must survive: {out:?}");
+    assert!(!out.contains('z'), "char literal must be blanked: {out:?}");
+}

@@ -1,0 +1,45 @@
+//! Regression gate: the real workspace must stay rmlint-clean. Any new
+//! wall-clock call in a deterministic crate, panic path in a decoder,
+//! undocumented counter, or unvalidated config field fails this test —
+//! the same signal CI's dedicated `rmlint` step gives, but local.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/rmcheck; the workspace root is two up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/rmcheck has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let findings = rmcheck::lint::run_workspace(&workspace_root());
+    assert!(
+        findings.is_empty(),
+        "rmlint found {} issue(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn lint_scopes_match_the_tree() {
+    // The scope lists are hardcoded paths; if a file moves, the lint must
+    // move with it. `run_workspace` reports missing files as
+    // `lint-config` findings, which the clean test above would catch —
+    // this test just pins the message shape so a rename is diagnosable.
+    let root = workspace_root();
+    for dir in rmcheck::lint::scope::DETERMINISTIC_CRATE_DIRS {
+        assert!(root.join(dir).is_dir(), "scope dir `{dir}` vanished");
+    }
+    for file in rmcheck::lint::scope::DECODE_PATH_FILES {
+        assert!(root.join(file).is_file(), "scope file `{file}` vanished");
+    }
+}

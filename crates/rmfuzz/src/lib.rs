@@ -19,6 +19,8 @@
 //! suites) and the `fuzz_decode` simrun experiment (the same stream,
 //! reported as a table for EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rmcast::packet;

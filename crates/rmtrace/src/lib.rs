@@ -15,6 +15,7 @@
 //! every hook to a single branch on two `Option`s, draws no randomness,
 //! allocates nothing, and leaves deterministic runs byte-identical.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -124,6 +125,22 @@ impl Tracer {
     pub fn flush(&mut self) {
         if let Some(s) = &mut self.sink {
             s.flush();
+        }
+    }
+}
+
+/// Cloning a [`Tracer`] produces a *detached* handle: the rank and any
+/// flight-recorder ring carry over, but the sink does not (sinks are
+/// exclusive streams — two endpoints writing interleaved records through
+/// one handle would corrupt per-endpoint ordering). The model checker
+/// relies on this to fork whole endpoints cheaply; forked endpoints that
+/// want live export must call [`Tracer::set_sink`] again.
+impl Clone for Tracer {
+    fn clone(&self) -> Self {
+        Tracer {
+            rank: self.rank,
+            sink: None,
+            flight: self.flight.clone(),
         }
     }
 }

@@ -31,7 +31,7 @@ const TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[i] = crc;
+        table[i] = crc; // rmlint: allow(index-unguarded): i < 256 by the loop bound
         i += 1;
     }
     table
@@ -42,6 +42,7 @@ const TABLE: [u32; 256] = {
 pub fn crc32c(data: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &b in data {
+        // rmlint: allow(index-unguarded): the & 0xff mask keeps the index below 256
         crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
     }
     !crc

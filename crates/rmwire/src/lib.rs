@@ -25,6 +25,7 @@
 //! [`rmcast`]: https://docs.rs/rmcast
 //! [`netsim`]: https://docs.rs/netsim
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -29,6 +29,7 @@
 //! println!("500 KB to 30 receivers: {}", avg.comm_time);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -97,13 +97,16 @@ impl Hub {
                         );
                         continue;
                     }
+                    // recv_from never returns more than the buffer holds,
+                    // but slice defensively rather than index.
+                    let Some(frame) = buf.get(..n) else { continue };
                     // Identify the originator from the protocol header so
                     // it does not hear its own multicast (a NIC does not
                     // receive its own frames). A full-length datagram with
                     // an unparseable header is still flooded — a switch
                     // does not validate payloads — but it is *counted*,
                     // never silently swallowed.
-                    let src = match Header::decode(&mut &buf[..n]) {
+                    let src = match Header::decode(&mut &*frame) {
                         Ok(h) => Some(h.src_rank),
                         Err(_) => {
                             malformed2.fetch_add(1, Ordering::Relaxed);
@@ -121,7 +124,7 @@ impl Hub {
                             }
                         }
                         // Best effort, like the wire.
-                        let _ = socket.send_to(&buf[..n], dest);
+                        let _ = socket.send_to(frame, dest);
                     }
                 }
             })?;

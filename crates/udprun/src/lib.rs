@@ -31,6 +31,7 @@
 //! assert_eq!(out.deliveries.len(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

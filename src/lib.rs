@@ -1,4 +1,5 @@
 //! Umbrella crate re-exporting the ethermulticast suite.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub use netsim;
 pub use rmcast;
