@@ -1,0 +1,200 @@
+//! `perf_record` — the perf-trajectory snapshot (ROADMAP item 2).
+//!
+//! Measures the headline wall-clock rates once, deterministically enough
+//! to compare across PRs, and writes them as one JSON object:
+//!
+//! ```text
+//! cargo run --release -p rm-bench --bin perf_record -- BENCH_6.json
+//! ```
+//!
+//! Four measurements, each best-of-3 wall time around a fixed workload:
+//!
+//! * **sender / receiver packets per second** — one in-process `Loopback`
+//!   transfer (NAK polling, 500 KB, 8 receivers, seed 1); the engines'
+//!   own `Stats` counters say exactly how many datagrams each side
+//!   handled, the wall clock says how long the whole exchange took.
+//! * **netsim events per second** — the 10k-exchange two-host ping-pong,
+//!   pure event-engine throughput with no protocol on top.
+//! * **500 KB delivery at N=30** — the calibrated simulator regenerating
+//!   the paper's headline point for all four families: simulated
+//!   communication time (the paper's number) next to the wall time spent
+//!   producing it.
+//! * **overload-layer overhead** — the same loopback transfer with
+//!   `OverloadConfig::adaptive` on a clean network; the adaptive
+//!   machinery should cost ~nothing when nothing is wrong.
+//!
+//! Criterion owns statistical rigor for micro-level comparisons
+//! (`cargo bench -p rm-bench`); this binary exists to leave one small,
+//! diffable artifact per PR at the repo root.
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use netsim::process::{Ctx, DatagramIn, Process};
+use netsim::{topology, Sim, SimConfig, UdpDest};
+use rmcast::loopback::Loopback;
+use rmcast::{OverloadConfig, ProtocolConfig, ProtocolKind};
+use simrun::scenario::{Protocol, Scenario};
+
+const LOOPBACK_MSG: usize = 500_000;
+const LOOPBACK_RECEIVERS: u16 = 8;
+const PINGPONG_EXCHANGES: u32 = 10_000;
+const PAPER_N: u16 = 30;
+const PAPER_MSG: usize = 500_000;
+
+/// Best-of-`n` wall seconds for `f` (minimum is the standard
+/// noise-rejecting summary for a fixed workload).
+fn best_of<F: FnMut()>(n: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn loopback_cfg(overload: bool) -> ProtocolConfig {
+    let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(16), 8_000, 20);
+    if overload {
+        cfg.overload = OverloadConfig::adaptive(cfg.window);
+    }
+    cfg
+}
+
+/// One loopback transfer; returns (wall_secs, sender datagrams handled or
+/// emitted, receiver datagrams handled or emitted, summed group-wide).
+fn loopback_run(overload: bool) -> (f64, u64, u64) {
+    let mut sender_pkts = 0;
+    let mut receiver_pkts = 0;
+    let wall = best_of(3, || {
+        let mut net = Loopback::new(loopback_cfg(overload), LOOPBACK_RECEIVERS, 1);
+        net.send_message(Bytes::from(vec![1u8; LOOPBACK_MSG]));
+        let delivered = net.run().len();
+        assert_eq!(delivered, LOOPBACK_RECEIVERS as usize);
+        let s = net.sender_stats();
+        sender_pkts = s.data_sent + s.retx_sent + s.acks_received + s.naks_received;
+        receiver_pkts = (0..LOOPBACK_RECEIVERS as usize)
+            .map(|i| {
+                let r = net.receiver_stats(i);
+                r.data_received + r.acks_sent + r.naks_sent
+            })
+            .sum();
+    });
+    (wall, sender_pkts, receiver_pkts)
+}
+
+/// The microbench ping-pong as a plain function: 2 hosts, one datagram in
+/// flight, `PINGPONG_EXCHANGES` round trips.
+fn pingpong_events_per_sec() -> f64 {
+    struct Ping {
+        left: u32,
+        peer: netsim::HostId,
+    }
+    impl Process for Ping {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(UdpDest::host(self.peer, 9), Bytes::from_static(b"x"));
+        }
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dg: DatagramIn) {
+            if self.left == 0 {
+                ctx.stop_sim();
+                return;
+            }
+            self.left -= 1;
+            ctx.send(UdpDest::host(dg.src_host, 9), Bytes::from_static(b"x"));
+        }
+    }
+    let wall = best_of(3, || {
+        let mut sim = Sim::new(SimConfig::default(), 1);
+        let hosts = topology::single_switch(&mut sim, 2);
+        for (i, &h) in hosts.iter().enumerate() {
+            sim.spawn(
+                h,
+                9,
+                Box::new(Ping {
+                    left: PINGPONG_EXCHANGES,
+                    peer: hosts[1 - i],
+                }),
+            );
+        }
+        sim.run();
+    });
+    // Each exchange is two datagram deliveries (one per direction).
+    f64::from(2 * PINGPONG_EXCHANGES) / wall
+}
+
+/// The paper's headline point for one family: (simulated comm seconds,
+/// simulated Mbit/s, wall seconds to regenerate it).
+fn paper_point(cfg: ProtocolConfig) -> (f64, f64, f64) {
+    let mut sc = Scenario::new(Protocol::Rm(cfg), PAPER_N, PAPER_MSG);
+    sc.seeds = vec![1];
+    let mut comm = 0.0;
+    let mut mbps = 0.0;
+    let wall = best_of(3, || {
+        let r = sc.run(1);
+        assert_eq!(r.deliveries, PAPER_N as usize);
+        comm = r.comm_time.as_secs_f64();
+        mbps = r.throughput_mbps;
+    });
+    (comm, mbps, wall)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
+
+    let (base_wall, sender_pkts, receiver_pkts) = loopback_run(false);
+    let (overload_wall, _, _) = loopback_run(true);
+    let events_per_sec = pingpong_events_per_sec();
+
+    let families: [(&str, ProtocolConfig); 4] = [
+        ("ack", ProtocolConfig::new(ProtocolKind::Ack, 8_000, 20)),
+        (
+            "nak",
+            ProtocolConfig::new(ProtocolKind::nak_polling(16), 8_000, 20),
+        ),
+        ("ring", ProtocolConfig::new(ProtocolKind::Ring, 8_000, 35)),
+        (
+            "tree",
+            ProtocolConfig::new(ProtocolKind::flat_tree(2), 8_000, 20),
+        ),
+    ];
+    let mut rows = String::new();
+    for (i, (name, cfg)) in families.iter().enumerate() {
+        let (comm, mbps, wall) = paper_point(*cfg);
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"family\": \"{name}\", \"sim_comm_s\": {comm:.6}, \
+             \"sim_mbps\": {mbps:.2}, \"wall_s\": {wall:.4}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n\
+         \x20 \"schema\": \"bench-trajectory-v1\",\n\
+         \x20 \"pr\": 6,\n\
+         \x20 \"workloads\": {{\n\
+         \x20   \"loopback\": \"nak-polling, {LOOPBACK_MSG} B, {LOOPBACK_RECEIVERS} receivers, seed 1, best of 3\",\n\
+         \x20   \"netsim\": \"2-host ping-pong, {PINGPONG_EXCHANGES} exchanges, best of 3\",\n\
+         \x20   \"paper_point\": \"{PAPER_MSG} B to N={PAPER_N}, calibrated simulator, seed 1, best of 3\"\n\
+         \x20 }},\n\
+         \x20 \"sender_pkts_per_sec\": {sender:.0},\n\
+         \x20 \"receiver_pkts_per_sec\": {receiver:.0},\n\
+         \x20 \"netsim_events_per_sec\": {events_per_sec:.0},\n\
+         \x20 \"loopback_500kb_wall_s\": {base_wall:.4},\n\
+         \x20 \"loopback_500kb_overload_wall_s\": {overload_wall:.4},\n\
+         \x20 \"overload_overhead_pct\": {overhead:.1},\n\
+         \x20 \"delivery_500kb_n30\": [\n{rows}\n\x20 ]\n\
+         }}\n",
+        sender = sender_pkts as f64 / base_wall,
+        receiver = receiver_pkts as f64 / base_wall,
+        overhead = 100.0 * (overload_wall - base_wall) / base_wall,
+    );
+
+    std::fs::write(&out, &json).expect("write bench artifact");
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

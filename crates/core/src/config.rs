@@ -1,5 +1,6 @@
 //! Protocol selection and tuning parameters.
 
+use crate::overload::OverloadConfig;
 use rmwire::Duration;
 use serde::{Deserialize, Serialize};
 
@@ -298,6 +299,12 @@ pub struct ProtocolConfig {
     /// verified opportunistically. All endpoints of a group must agree.
     // rmlint: allow(config-validate): both settings are valid
     pub integrity: bool,
+    /// Graceful degradation under overload: AIMD window adaptation,
+    /// feedback-storm pacing, duplicate-NAK collapse, load-scaled
+    /// suppression timers and slow-receiver quarantine.
+    /// [`OverloadConfig::OFF`] (the default) reproduces the static-window
+    /// engines byte-identically.
+    pub overload: OverloadConfig,
 }
 
 impl ProtocolConfig {
@@ -322,6 +329,7 @@ impl ProtocolConfig {
             adaptive_rto: false,
             membership: MembershipConfig::DISABLED,
             integrity: false,
+            overload: OverloadConfig::OFF,
         }
     }
 
@@ -396,6 +404,59 @@ impl ProtocolConfig {
         }
         if let Some(c) = self.liveness.child_evict_timeout {
             assert!(c > Duration::ZERO, "child_evict_timeout must be positive");
+        }
+        let o = &self.overload;
+        if o.aimd {
+            assert!(
+                o.aimd_floor >= 1,
+                "AIMD floor must hold at least one packet"
+            );
+            assert!(
+                o.aimd_floor <= self.window && self.window <= o.aimd_ceiling,
+                "AIMD bounds must bracket the initial window \
+                 (floor {} <= window {} <= ceiling {}): the adaptive cap \
+                 starts at the configured window and moves within them",
+                o.aimd_floor,
+                self.window,
+                o.aimd_ceiling
+            );
+            if matches!(self.kind, ProtocolKind::Ring) {
+                assert!(
+                    o.aimd_floor > n_receivers,
+                    "ring protocol needs aimd_floor > n_receivers ({} <= {}): \
+                     shrinking the window below the group size would deadlock \
+                     the rotating release rule, which frees packet X only on \
+                     the ACK for packet X + N",
+                    o.aimd_floor,
+                    n_receivers
+                );
+            }
+        }
+        if o.feedback_rate > 0 {
+            assert!(
+                o.feedback_burst >= 1,
+                "feedback pacing needs feedback_burst >= 1: \
+                 a zero-capacity bucket sheds every control packet"
+            );
+        }
+        if let Some(q) = o.quarantine_after {
+            assert!(q >= 1, "quarantine_after must allow at least one timeout");
+            if let Some(m) = self.liveness.max_retx {
+                assert!(
+                    q < m,
+                    "quarantine_after ({q}) must be below liveness.max_retx ({m}): \
+                     otherwise the liveness path evicts or fails the transfer \
+                     before quarantine can take the straggler off the window"
+                );
+            }
+            assert!(
+                o.catchup_interval > Duration::ZERO,
+                "catchup_interval must be positive"
+            );
+            assert!(
+                o.quarantine_budget >= 1,
+                "quarantine_budget must allow at least one catch-up round"
+            );
         }
         match self.kind {
             ProtocolKind::NakPolling { poll_interval, .. } => {
@@ -551,6 +612,55 @@ mod tests {
     fn tree_membership_needs_child_eviction() {
         let mut c = ProtocolConfig::new(ProtocolKind::flat_tree(4), 8000, 8);
         c.membership = MembershipConfig::enabled();
+        c.validate(30);
+    }
+
+    #[test]
+    fn overload_defaults_off_and_adaptive_validates() {
+        let c = ProtocolConfig::new(ProtocolKind::Ack, 8000, 8);
+        assert_eq!(c.overload, OverloadConfig::OFF);
+        let mut a = c;
+        a.overload = OverloadConfig::adaptive(8);
+        a.validate(30);
+        let mut r = ProtocolConfig::new(ProtocolKind::Ring, 8000, 40);
+        r.overload = OverloadConfig::adaptive(40);
+        r.overload.aimd_floor = 31;
+        r.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "must bracket the initial window")]
+    fn aimd_bounds_must_bracket_window() {
+        let mut c = ProtocolConfig::new(ProtocolKind::Ack, 8000, 8);
+        c.overload = OverloadConfig::adaptive(8);
+        c.overload.aimd_ceiling = 4;
+        c.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "aimd_floor > n_receivers")]
+    fn ring_aimd_floor_below_group_rejected() {
+        let mut c = ProtocolConfig::new(ProtocolKind::Ring, 8000, 40);
+        c.overload = OverloadConfig::adaptive(40);
+        c.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below liveness.max_retx")]
+    fn quarantine_after_liveness_limit_rejected() {
+        let mut c = ProtocolConfig::new(ProtocolKind::Ack, 8000, 8);
+        c.liveness = LivenessConfig::evicting(3);
+        c.overload = OverloadConfig::adaptive(8);
+        c.overload.quarantine_after = Some(3);
+        c.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "feedback_burst")]
+    fn paced_feedback_needs_burst() {
+        let mut c = ProtocolConfig::new(ProtocolKind::Ack, 8000, 8);
+        c.overload.feedback_rate = 1_000;
+        c.overload.feedback_burst = 0;
         c.validate(30);
     }
 }

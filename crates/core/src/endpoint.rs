@@ -85,6 +85,16 @@ pub enum AppEvent {
         /// The membership epoch created by the admission.
         epoch: u32,
     },
+    /// Sender→application backpressure (edge-triggered): `congested: true`
+    /// when AIMD has shrunk the window below its configured size and the
+    /// send path has stalled on it — publishers should slow down;
+    /// `congested: false` once the window recovers and sending resumes.
+    Backpressure {
+        /// Message in transfer when the edge fired.
+        msg_id: u64,
+        /// The new congestion state.
+        congested: bool,
+    },
     /// The endpoint's flight recorder captured a post-mortem snapshot at
     /// the moment a failure was recorded (`messages_failed` increment /
     /// liveness bound trip). Emitted only when a flight recorder was

@@ -62,6 +62,7 @@ pub mod error;
 pub mod invariants;
 pub mod loopback;
 pub mod membership;
+pub mod overload;
 pub mod packet;
 pub mod receiver;
 pub mod sender;
@@ -76,6 +77,7 @@ pub use config::{
 pub use endpoint::{AppEvent, Dest, Endpoint, Role, Transmit};
 pub use error::SessionError;
 pub use membership::{FailureDetector, LivenessVerdict, RttEstimator};
+pub use overload::{AimdWindow, DupNakFilter, LoadScaler, OverloadConfig, TokenBucket};
 pub use receiver::Receiver;
 pub use sender::Sender;
 pub use stats::Stats;

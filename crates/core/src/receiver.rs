@@ -18,6 +18,7 @@ use crate::assembler::{Assembly, Offer};
 use crate::config::{ProtocolConfig, ProtocolKind};
 use crate::endpoint::{AppEvent, Dest, Endpoint, Transmit};
 use crate::error::SessionError;
+use crate::overload::LoadScaler;
 use crate::packet::{self, Packet};
 use crate::stats::Stats;
 use crate::telemetry::ReceiverTelemetry;
@@ -131,6 +132,10 @@ pub struct Receiver {
     /// Global NAK rate limiting (sender-side-suppression variant).
     last_nak: Option<Time>,
     pending_nak: Option<PendingNak>,
+    /// Load-aware NAK-suppression scaling (`overload.load_scaling`), fed
+    /// by the retransmission traffic this receiver observes: heavy RETX
+    /// flow means the sender is overloaded, so our own NAK timers stretch.
+    load: Option<LoadScaler>,
     /// Receiver-driven retransmission timer: when the config enables it,
     /// this deadline fires a NAK for the oldest stalled transfer.
     stall_deadline: Option<Time>,
@@ -193,6 +198,7 @@ impl Receiver {
             .unwrap_or_default();
         let n_children = links.as_ref().map_or(0, |l| l.children.len());
         let epoch = if cfg.membership.enabled { 1 } else { 0 };
+        let load = cfg.overload.load_scaling.then(|| LoadScaler::new(32));
         Receiver {
             cfg,
             group,
@@ -207,6 +213,7 @@ impl Receiver {
             alloc_pending: HashMap::new(),
             last_nak: None,
             pending_nak: None,
+            load,
             stall_deadline: None,
             dead_children: vec![false; n_children],
             child_deadline: None,
@@ -383,6 +390,12 @@ impl Receiver {
         let is_alloc = matches!(body, DataBody::Alloc(_));
         let seq = header.seq.0;
         let last = header.flags.contains(PacketFlags::LAST);
+        // Retransmission traffic is the load signal scaling our NAK timers.
+        if header.flags.contains(PacketFlags::RETX) {
+            if let Some(l) = self.load.as_mut() {
+                l.note(now);
+            }
+        }
 
         // Materialize the assembly lazily for data transfers.
         let discipline = self.cfg.discipline;
@@ -585,7 +598,15 @@ impl Receiver {
                 // are re-acknowledged (lost-ACK recovery).
                 let dup_token = matches!(offer, Offer::Duplicate)
                     && (seq % n == idx || flags.contains(PacketFlags::LAST));
-                if newly_token || completed_now || dup_token {
+                // Under overload hardening, an in-order advance on a
+                // retransmitted packet is acknowledged even off-token: a
+                // retransmission means the sender is starved of state it
+                // cannot otherwise observe (quarantine catch-up would
+                // stall a full token rotation between ACKs otherwise).
+                let retx_advance = self.cfg.overload.any_enabled()
+                    && advanced
+                    && flags.contains(PacketFlags::RETX);
+                if newly_token || completed_now || dup_token || retx_advance {
                     self.send_ack(Dest::Sender, transfer, next);
                 }
             }
@@ -641,6 +662,12 @@ impl Receiver {
     // ------------------------------------------------------------------
 
     fn consider_nak(&mut self, now: Time, transfer: u32, expected: u32) {
+        // Load-aware scaling: the static suppression interval stretches
+        // with observed retransmission traffic (identity when disabled).
+        let suppress = match self.load.as_mut() {
+            Some(l) => l.scale(self.cfg.nak_suppress, now),
+            None => self.cfg.nak_suppress,
+        };
         let receiver_multicast = matches!(
             self.cfg.kind,
             ProtocolKind::NakPolling {
@@ -650,7 +677,7 @@ impl Receiver {
         );
         if receiver_multicast {
             if self.pending_nak.is_none() {
-                let delay_ns = self.rng.gen_range(0..=self.cfg.nak_suppress.as_nanos());
+                let delay_ns = self.rng.gen_range(0..=suppress.as_nanos());
                 self.pending_nak = Some(PendingNak {
                     transfer,
                     expected,
@@ -664,7 +691,7 @@ impl Receiver {
         // Sender-side suppression variant: rate-limit our own NAKs.
         let ok = self
             .last_nak
-            .is_none_or(|t| now.saturating_since(t).as_nanos() >= self.cfg.nak_suppress.as_nanos());
+            .is_none_or(|t| now.saturating_since(t).as_nanos() >= suppress.as_nanos());
         if ok {
             self.last_nak = Some(now);
             self.emit_nak(Dest::Sender, transfer, expected);

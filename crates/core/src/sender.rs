@@ -13,6 +13,7 @@ use crate::coverage::{PerSourceCoverage, RingTracker};
 use crate::endpoint::{AppEvent, Dest, Endpoint, Transmit};
 use crate::error::SessionError;
 use crate::membership::{FailureDetector, LivenessVerdict, RttEstimator};
+use crate::overload::{AimdWindow, DupNakFilter, LoadScaler, TokenBucket};
 use crate::packet::{self, Packet};
 use crate::stats::Stats;
 use crate::telemetry::SenderTelemetry;
@@ -138,6 +139,25 @@ enum Which {
     Staged,
 }
 
+/// Per-receiver slow-receiver quarantine state: the rank no longer gates
+/// the window; it is served catch-up retransmissions from `horizon` at a
+/// bounded rate until it catches up (rejoin at the message boundary) or
+/// its budget runs out (liveness path).
+#[derive(Clone)]
+struct QuarState {
+    /// The quarantined transfer.
+    transfer: u32,
+    /// Highest next-expected sequence the rank has acknowledged.
+    horizon: u32,
+    /// When the next catch-up batch may go out.
+    next_catchup: Time,
+    /// Catch-up rounds already spent (bounded by `quarantine_budget`).
+    rounds: u32,
+}
+
+/// Packets unicast per catch-up round to one quarantined receiver.
+const CATCHUP_BATCH: u32 = 4;
+
 /// The next message, staged while the current one is still transferring
 /// (handshake pipelining).
 #[derive(Clone)]
@@ -191,6 +211,20 @@ pub struct Sender {
     detached: Vec<bool>,
     /// Jacobson/Karels RTT estimator, fed only when `cfg.adaptive_rto`.
     rtt: RttEstimator,
+    /// AIMD window adaptation (present when `overload.aimd`).
+    aimd: Option<AimdWindow>,
+    /// Token-bucket pacing of ACK/NAK processing (`overload.feedback_rate`).
+    feedback_bucket: Option<TokenBucket>,
+    /// Duplicate-NAK collapse (`overload.nak_collapse`).
+    dup_naks: Option<DupNakFilter>,
+    /// Load-aware suppression scaling (`overload.load_scaling`).
+    load: Option<LoadScaler>,
+    /// Slow-receiver quarantine state, by receiver index.
+    quar: Vec<Option<QuarState>>,
+    /// Edge detector for [`AppEvent::Backpressure`].
+    backpressured: bool,
+    /// Edge detector for the `StormSuppressed` trace event.
+    storm_shedding: bool,
     /// Trace sink + flight recorder handle (inert by default).
     tracer: Tracer,
     /// Latency/occupancy distributions, always maintained.
@@ -239,6 +273,23 @@ impl Sender {
             pending_joins: Vec::new(),
             detached: vec![false; n],
             rtt: RttEstimator::default(),
+            aimd: cfg.overload.aimd.then(|| {
+                AimdWindow::new(
+                    cfg.window,
+                    cfg.overload.aimd_floor,
+                    cfg.overload.aimd_ceiling,
+                )
+            }),
+            feedback_bucket: (cfg.overload.feedback_rate > 0)
+                .then(|| TokenBucket::new(cfg.overload.feedback_rate, cfg.overload.feedback_burst)),
+            dup_naks: cfg
+                .overload
+                .nak_collapse
+                .then(|| DupNakFilter::new(cfg.retx_suppress)),
+            load: cfg.overload.load_scaling.then(|| LoadScaler::new(32)),
+            quar: vec![None; n],
+            backpressured: false,
+            storm_shedding: false,
             tracer: Tracer::off(Rank::SENDER.0),
             telem: SenderTelemetry::default(),
             now_cache: Time::ZERO,
@@ -323,7 +374,14 @@ impl Sender {
 
     fn make_transfer(&self, id: u32, payload: Payload, k: u32) -> Transfer {
         let release = self.make_release(k);
-        let win = SendWindow::new(k, self.cfg.window as u32);
+        // The AIMD cap survives across transfers: congestion memory is a
+        // property of the path, not of one message.
+        let cap = self
+            .aimd
+            .as_ref()
+            .map_or(self.cfg.window, AimdWindow::cap)
+            .max(1) as u32;
+        let win = SendWindow::new(k, cap);
         Transfer {
             id,
             payload,
@@ -498,6 +556,29 @@ impl Sender {
         if let Some((transfer, base)) = stall {
             self.tracer
                 .emit(now.as_nanos(), TraceEvent::WindowStall { transfer, base });
+            // Stalling on an AIMD-shrunk window is backpressure the
+            // application should hear about (edge-triggered).
+            if !self.backpressured
+                && self
+                    .aimd
+                    .as_ref()
+                    .is_some_and(|a| a.cap() < self.cfg.window)
+            {
+                self.backpressured = true;
+                self.stats.backpressure_signals += 1;
+                let msg_id = self.cur.as_ref().map(|&(id, _, _)| id).unwrap_or_default();
+                self.events.push_back(AppEvent::Backpressure {
+                    msg_id,
+                    congested: true,
+                });
+                self.tracer.emit(
+                    now.as_nanos(),
+                    TraceEvent::Backpressure {
+                        transfer,
+                        congested: 1,
+                    },
+                );
+            }
         }
         if let Some(t) = &self.transfer {
             self.stats
@@ -672,6 +753,23 @@ impl Sender {
         let Some(which) = self.which_by_id(transfer_id) else {
             return;
         };
+        if let Some(l) = self.load.as_mut() {
+            l.note(now);
+        }
+        // A quarantined peer's ACK only advances its catch-up horizon; it
+        // is no longer part of the release obligation.
+        if self.quar_note_horizon(rank, transfer_id, next_expected) {
+            self.maybe_finish_quarantined(now);
+            return;
+        }
+        // Feedback-storm pacing: shed excess control traffic before it
+        // reaches window bookkeeping. Completion-critical ACKs (those
+        // covering a whole transfer) are always admitted.
+        let completion = self.tref(which).is_some_and(|t| next_expected >= t.win.k());
+        if !completion && self.shed_feedback(now, transfer_id) {
+            self.stats.acks_shed += 1;
+            return;
+        }
         self.tracer.emit(
             now.as_nanos(),
             TraceEvent::AckReceived {
@@ -719,10 +817,21 @@ impl Sender {
                     },
                 );
                 self.telem.window_occupancy.record(occ as u64);
+                if which == Which::Cur {
+                    // Acknowledged progress is the AIMD growth signal.
+                    self.aimd_progress(now, tid, new_base - before);
+                }
             }
             if done {
                 match which {
-                    Which::Cur => self.finish_transfer(now),
+                    Which::Cur => {
+                        // Completion may still be gated on a quarantined
+                        // receiver's catch-up (buffers hold the payload it
+                        // is still owed).
+                        if !self.quarantine_blocks_completion() {
+                            self.finish_transfer(now);
+                        }
+                    }
                     Which::Staged => {
                         // The pipelined allocation completed: the data
                         // transfer starts when the current message ends.
@@ -753,6 +862,26 @@ impl Sender {
         let Some(which) = self.which_by_id(transfer_id) else {
             return;
         };
+        if let Some(l) = self.load.as_mut() {
+            l.note(now);
+        }
+        // A quarantined peer's NAK carries its catch-up horizon (it holds
+        // everything below `expected`); the catch-up path serves it.
+        if self.quar_note_horizon(rank, transfer_id, expected) {
+            return;
+        }
+        if self.shed_feedback(now, transfer_id) {
+            self.stats.naks_shed += 1;
+            return;
+        }
+        // Aggregated-duplicate collapse: a storm of NAKs for the same
+        // packet triggers one retransmission decision, not hundreds.
+        if let Some(f) = self.dup_naks.as_mut() {
+            if f.is_dup(transfer_id as u64, expected as u64, now) {
+                self.stats.naks_collapsed += 1;
+                return;
+            }
+        }
         self.tracer.emit(
             now.as_nanos(),
             TraceEvent::NakReceived {
@@ -761,6 +890,10 @@ impl Sender {
                 seq: expected,
             },
         );
+        if which == Which::Cur {
+            // A fresh (non-duplicate) NAK is a loss signal.
+            self.aimd_congestion(now, transfer_id);
+        }
         let dest = if self.cfg.unicast_retx_on_nak {
             Dest::Rank(rank)
         } else {
@@ -779,7 +912,7 @@ impl Sender {
     }
 
     fn retransmit_from_to(&mut self, which: Which, now: Time, from: u32, dest: Dest) {
-        let suppress = self.cfg.retx_suppress;
+        let suppress = self.effective_retx_suppress(now);
         let mut to_send = Vec::new();
         let mut suppressed = 0u64;
         {
@@ -810,7 +943,7 @@ impl Sender {
     }
 
     fn retransmit_one_to(&mut self, which: Which, now: Time, seq: u32, dest: Dest) {
-        let suppress = self.cfg.retx_suppress;
+        let suppress = self.effective_retx_suppress(now);
         let send = {
             let Some(t) = self.tmut(which) else {
                 return;
@@ -848,6 +981,11 @@ impl Sender {
             Phase::Data => {
                 self.stats.messages_completed += 1;
                 self.events.push_back(AppEvent::MessageSent { msg_id });
+                // Message boundary: quarantined receivers (all caught up,
+                // by the completion gate) rejoin the proof obligation, and
+                // any backpressure edge is cleared.
+                self.quarantine_boundary(now);
+                self.clear_backpressure(now, msg_id);
                 self.advance_after_current(now);
             }
         }
@@ -998,6 +1136,18 @@ impl Sender {
         if let Some(d) = self.detector.as_mut() {
             d.reset(idx);
         }
+        if let Some(q) = self.quar[idx].take() {
+            // A quarantined peer resolved through the liveness path.
+            self.stats.quarantine_evicted += 1;
+            self.tracer.emit(
+                self.now_cache.as_nanos(),
+                TraceEvent::QuarantineExit {
+                    peer: rank.0,
+                    transfer: q.transfer,
+                    caught_up: 0,
+                },
+            );
+        }
         self.stats.evictions += 1;
         let msg_id = self
             .cur
@@ -1086,6 +1236,9 @@ impl Sender {
             // failure — no ReceiverEvicted event, no epoch bump yet.
             self.evicted[idx] = true;
             self.detached[idx] = false;
+            // A restart wipes its receive state; any quarantine catch-up
+            // aimed at the old incarnation is moot.
+            self.quar[idx] = None;
             self.drop_from_releases(rank);
             if !self.pending_joins.contains(&rank) {
                 self.pending_joins.push(rank);
@@ -1225,7 +1378,9 @@ impl Sender {
                     },
                 );
             }
-            if self.transfer.as_ref().is_some_and(|t| t.win.all_released()) {
+            if self.transfer.as_ref().is_some_and(|t| t.win.all_released())
+                && !self.quarantine_blocks_completion()
+            {
                 self.finish_transfer(now);
             } else {
                 self.pump(now);
@@ -1249,6 +1404,8 @@ impl Sender {
                 let (msg_id, _, _) = self.cur.take().expect("transfer without a message");
                 self.events
                     .push_back(AppEvent::MessageFailed { msg_id, error });
+                self.quarantine_boundary(now);
+                self.clear_backpressure(now, msg_id);
                 self.advance_after_current(now);
             }
             Which::Staged => {
@@ -1260,6 +1417,327 @@ impl Sender {
                 self.maybe_stage_next(now);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Overload robustness (AIMD, storm shedding, quarantine)
+    // ------------------------------------------------------------------
+
+    /// Feedback-pacing admission: `true` means shed this control packet.
+    /// Emits the `StormSuppressed` edge on entry into the shedding state.
+    fn shed_feedback(&mut self, now: Time, transfer_id: u32) -> bool {
+        let Some(b) = self.feedback_bucket.as_mut() else {
+            return false;
+        };
+        if b.take(now) {
+            self.storm_shedding = false;
+            return false;
+        }
+        if !self.storm_shedding {
+            self.storm_shedding = true;
+            self.tracer.emit(
+                now.as_nanos(),
+                TraceEvent::StormSuppressed {
+                    transfer: transfer_id,
+                },
+            );
+        }
+        true
+    }
+
+    /// Multiplicative decrease on a congestion signal (retransmission
+    /// timeout or fresh NAK), re-applying the cap to the data window.
+    fn aimd_congestion(&mut self, now: Time, transfer_id: u32) {
+        let Some(a) = self.aimd.as_mut() else { return };
+        let changed = a.on_congestion();
+        let cap = a.cap() as u32;
+        if changed {
+            self.stats.window_shrinks += 1;
+            self.tracer.emit(
+                now.as_nanos(),
+                TraceEvent::WindowShrink {
+                    transfer: transfer_id,
+                    cap,
+                },
+            );
+        }
+        self.apply_aimd_cap();
+    }
+
+    /// Additive increase on acknowledged progress, re-applying the cap.
+    fn aimd_progress(&mut self, now: Time, transfer_id: u32, acked: u32) {
+        let Some(a) = self.aimd.as_mut() else { return };
+        let changed = a.on_progress(acked as usize);
+        let cap = a.cap();
+        if changed {
+            self.stats.window_grows += 1;
+            self.tracer.emit(
+                now.as_nanos(),
+                TraceEvent::WindowGrow {
+                    transfer: transfer_id,
+                    cap: cap as u32,
+                },
+            );
+        }
+        if self.backpressured && cap >= self.cfg.window {
+            // The window recovered its configured size: senders may resume.
+            let msg_id = self.cur.as_ref().map(|&(id, _, _)| id).unwrap_or_default();
+            self.clear_backpressure(now, msg_id);
+        }
+        self.apply_aimd_cap();
+    }
+
+    /// Push the current AIMD cap into the in-flight data window. The
+    /// window clamps to its occupancy, so a shrink takes full effect as
+    /// in-flight packets drain; calling this after releases re-tightens.
+    fn apply_aimd_cap(&mut self) {
+        let Some(cap) = self.aimd.as_ref().map(|a| a.cap().max(1) as u32) else {
+            return;
+        };
+        if let Some(t) = self.transfer.as_mut() {
+            t.win.set_cap(cap);
+        }
+    }
+
+    /// Clear the backpressure edge, if set (recovery or message boundary).
+    fn clear_backpressure(&mut self, now: Time, msg_id: u64) {
+        if !self.backpressured {
+            return;
+        }
+        self.backpressured = false;
+        self.stats.backpressure_signals += 1;
+        let tid = self.transfer.as_ref().map(|t| t.id).unwrap_or_default();
+        self.events.push_back(AppEvent::Backpressure {
+            msg_id,
+            congested: false,
+        });
+        self.tracer.emit(
+            now.as_nanos(),
+            TraceEvent::Backpressure {
+                transfer: tid,
+                congested: 0,
+            },
+        );
+    }
+
+    /// `retx_suppress` scaled by observed feedback load (identity when
+    /// load scaling is disabled).
+    fn effective_retx_suppress(&mut self, now: Time) -> Duration {
+        match self.load.as_mut() {
+            Some(l) => l.scale(self.cfg.retx_suppress, now),
+            None => self.cfg.retx_suppress,
+        }
+    }
+
+    /// Note a quarantined peer's acknowledgment horizon (both its ACK
+    /// `next_expected` and its NAK `expected` mean "I hold everything
+    /// below this"). Returns `true` when the packet came from a
+    /// quarantined peer — callers stop there, since the peer is no longer
+    /// part of any release obligation.
+    fn quar_note_horizon(&mut self, rank: Rank, transfer_id: u32, below: u32) -> bool {
+        let Some(q) = self.quar[rank.receiver_index()].as_mut() else {
+            return false;
+        };
+        if q.transfer == transfer_id {
+            q.horizon = q.horizon.max(below);
+        }
+        true
+    }
+
+    /// True while the current transfer is fully released by the live set
+    /// but a quarantined receiver still lacks packets: completion (and
+    /// with it, buffer reuse) waits for its catch-up or budget exhaustion.
+    fn quarantine_blocks_completion(&self) -> bool {
+        let Some(t) = self.transfer.as_ref() else {
+            return false;
+        };
+        let (tid, k) = (t.id, t.win.k());
+        self.quar
+            .iter()
+            .flatten()
+            .any(|q| q.transfer == tid && q.horizon < k)
+    }
+
+    /// Finish the current transfer if a quarantined peer's catch-up just
+    /// removed the last obstacle to completion.
+    fn maybe_finish_quarantined(&mut self, now: Time) {
+        if self.transfer.as_ref().is_some_and(|t| t.win.all_released())
+            && !self.quarantine_blocks_completion()
+        {
+            self.finish_transfer(now);
+        }
+    }
+
+    /// Move the laggards gating the current data transfer into quarantine
+    /// once its stall streak reaches `quarantine_after`: they stop gating
+    /// the window and are served bounded catch-up retransmissions off the
+    /// critical path instead. Returns `true` when anyone moved (the
+    /// release was re-settled; skip this round's group retransmission).
+    fn maybe_quarantine(&mut self, now: Time) -> bool {
+        let Some(after) = self.cfg.overload.quarantine_after else {
+            return false;
+        };
+        // Only a data transfer has payload worth catching up on; an alloc
+        // round trip resolves through the liveness path.
+        if !matches!(self.cur, Some((_, _, Phase::Data))) {
+            return false;
+        }
+        let Some(t) = self.transfer.as_ref() else {
+            return false;
+        };
+        if t.streak < after {
+            return false;
+        }
+        let laggards = t.release.laggard_ranks();
+        if laggards.is_empty() || laggards.len() >= t.release.n_active() {
+            // Nobody identifiable, or quarantining would empty the proof
+            // obligation: let the liveness path resolve the stall.
+            return false;
+        }
+        let tid = t.id;
+        let horizon = t.release.released().min(t.win.k());
+        let interval = self.cfg.overload.catchup_interval;
+        let mut any = false;
+        for rank in laggards {
+            let idx = rank.receiver_index();
+            if self.quar[idx].is_some() {
+                continue;
+            }
+            self.quar[idx] = Some(QuarState {
+                transfer: tid,
+                horizon,
+                next_catchup: now + interval,
+                rounds: 0,
+            });
+            any = true;
+            self.stats.quarantine_entered += 1;
+            self.tracer.emit(
+                now.as_nanos(),
+                TraceEvent::QuarantineEnter {
+                    peer: rank.0,
+                    transfer: tid,
+                },
+            );
+            // Off the critical path: neither in-flight transfer waits on
+            // it any longer (non-sticky — it is still a member).
+            self.drop_from_releases(rank);
+        }
+        if !any {
+            return false;
+        }
+        let base_rto = self.base_rto();
+        if let Some(t) = self.transfer.as_mut() {
+            t.streak = 0;
+            t.cur_rto = base_rto;
+        }
+        self.settle(now);
+        true
+    }
+
+    /// Serve one due catch-up round per quarantined receiver: a small
+    /// unicast batch of retransmissions from its horizon, spaced
+    /// `catchup_interval` apart, for at most `quarantine_budget` rounds
+    /// before the liveness path takes over.
+    fn quarantine_catchup(&mut self, now: Time) {
+        let interval = self.cfg.overload.catchup_interval;
+        let budget = self.cfg.overload.quarantine_budget;
+        for idx in 0..self.quar.len() {
+            // Re-fetch per iteration: a budget-exhaustion resolution may
+            // fail the message and change the in-flight transfer.
+            let Some((tid, next)) = self.transfer.as_ref().map(|t| (t.id, t.win.next())) else {
+                return;
+            };
+            let Some(q) = self.quar[idx].as_ref() else {
+                continue;
+            };
+            if q.transfer != tid || q.next_catchup > now {
+                continue;
+            }
+            if q.rounds >= budget {
+                self.quarantine_give_up(now, Rank::from_receiver_index(idx));
+                continue;
+            }
+            let from = q.horizon;
+            let to = from.saturating_add(CATCHUP_BATCH).min(next);
+            let rank = Rank::from_receiver_index(idx);
+            for seq in from..to {
+                self.emit_data_to(Which::Cur, seq, true, Dest::Rank(rank));
+                self.stats.catchup_retx_sent += 1;
+            }
+            let q = self.quar[idx].as_mut().expect("quarantine entry");
+            if to > from {
+                q.rounds += 1;
+            }
+            q.next_catchup = now + interval;
+        }
+    }
+
+    /// A quarantined receiver exhausted its catch-up budget: resolve it
+    /// through the liveness path — sticky eviction when configured,
+    /// otherwise the message fails with a typed error.
+    fn quarantine_give_up(&mut self, now: Time, rank: Rank) {
+        let idx = rank.receiver_index();
+        let Some(q) = self.quar[idx].take() else {
+            return;
+        };
+        self.stats.quarantine_evicted += 1;
+        self.tracer.emit(
+            now.as_nanos(),
+            TraceEvent::QuarantineExit {
+                peer: rank.0,
+                transfer: q.transfer,
+                caught_up: 0,
+            },
+        );
+        if self.cfg.liveness.evict_stragglers {
+            self.remove_member(rank);
+            if self.cfg.membership.enabled {
+                self.epoch += 1;
+                self.emit_epoch_change();
+                self.announce();
+            }
+            self.settle(now);
+        } else {
+            self.fail_message(
+                Which::Cur,
+                now,
+                SessionError::RetryLimitExceeded {
+                    transfer: q.transfer,
+                    timeouts: q.rounds,
+                },
+            );
+        }
+    }
+
+    /// Message boundary: every quarantined receiver has (by the
+    /// completion gate) caught up — clear the quarantine so the next
+    /// message's release obligation includes it again.
+    fn quarantine_boundary(&mut self, now: Time) {
+        for idx in 0..self.quar.len() {
+            let Some(q) = self.quar[idx].take() else {
+                continue;
+            };
+            self.stats.quarantine_rejoined += 1;
+            self.tracer.emit(
+                now.as_nanos(),
+                TraceEvent::QuarantineExit {
+                    peer: Rank::from_receiver_index(idx).0,
+                    transfer: q.transfer,
+                    caught_up: 1,
+                },
+            );
+        }
+    }
+
+    /// Earliest due catch-up round across quarantined receivers.
+    fn quarantine_deadline(&self) -> Option<Time> {
+        let tid = self.transfer.as_ref()?.id;
+        self.quar
+            .iter()
+            .flatten()
+            .filter(|q| q.transfer == tid)
+            .map(|q| q.next_catchup)
+            .min()
     }
 }
 
@@ -1340,6 +1818,13 @@ impl Sender {
                 );
             }
         }
+        for (idx, q) in self.quar.iter().enumerate() {
+            if q.is_some() {
+                a.require("S7", !self.evicted[idx], || {
+                    format!("receiver index {idx} both quarantined and sticky-evicted")
+                });
+            }
+        }
         a.finish()
     }
 
@@ -1417,6 +1902,24 @@ impl Sender {
         }
         for &d in &self.detached {
             h.write_u8(d as u8);
+        }
+        match &self.aimd {
+            None => h.write_u8(0),
+            Some(a) => {
+                h.write_u8(1);
+                a.digest_into(h);
+            }
+        }
+        for q in &self.quar {
+            match q {
+                None => h.write_u8(0),
+                Some(q) => {
+                    h.write_u8(1);
+                    h.write_u32(q.transfer);
+                    h.write_u32(q.horizon);
+                    h.write_u32(q.rounds);
+                }
+            }
         }
         h.write_u32(self.epoch);
         h.write_usize(self.pending_joins.len());
@@ -1514,6 +2017,8 @@ impl Endpoint for Sender {
         if self.hb_deadline.is_some_and(|d| d <= now) {
             self.heartbeat_tick(now);
         }
+        // Quarantined receivers: serve any due catch-up rounds.
+        self.quarantine_catchup(now);
         let liveness = self.cfg.liveness;
         for which in [Which::Cur, Which::Staged] {
             let Some(t) = self.tref(which) else { continue };
@@ -1536,6 +2041,16 @@ impl Endpoint for Sender {
                     rto_ns: rto.as_nanos(),
                 },
             );
+            if which == Which::Cur {
+                // A retransmission timeout is a congestion signal.
+                self.aimd_congestion(now, tid);
+                if self.maybe_quarantine(now) {
+                    // The laggards gating the window moved to quarantine
+                    // and the release re-settled; no group retransmission
+                    // this round.
+                    continue;
+                }
+            }
             if liveness.max_retx.is_some_and(|m| streak > m) {
                 // The retry budget is spent: resolve the stall instead of
                 // retransmitting into the void forever.
@@ -1580,6 +2095,7 @@ impl Endpoint for Sender {
                 .and_then(|t| t.win.earliest_deadline(t.cur_rto)),
             self.pace_deadline(),
             self.hb_deadline,
+            self.quarantine_deadline(),
         ]
         .into_iter()
         .flatten()
@@ -2236,5 +2752,193 @@ mod tests {
         );
         assert_eq!(s.epoch(), 2);
         assert_eq!(s.stats().evictions, 1);
+    }
+}
+
+#[cfg(test)]
+mod overload_tests {
+    use super::*;
+    use crate::config::LivenessConfig;
+    use crate::overload::OverloadConfig;
+    use crate::packet::{encode_ack, encode_nak};
+
+    fn ocfg(kind: ProtocolKind) -> ProtocolConfig {
+        let mut c = ProtocolConfig::new(kind, 100, 4);
+        c.handshake = false;
+        c.overload = OverloadConfig::adaptive(c.window);
+        c
+    }
+
+    fn drain(s: &mut Sender) -> Vec<Transmit> {
+        std::iter::from_fn(|| s.poll_transmit()).collect()
+    }
+
+    fn events(s: &mut Sender) -> Vec<AppEvent> {
+        std::iter::from_fn(|| s.poll_event()).collect()
+    }
+
+    fn ack(s: &mut Sender, now: Time, rank: Rank, transfer: u32, ne: u32) {
+        s.handle_datagram(now, &encode_ack(rank, transfer, SeqNo(ne)));
+    }
+
+    #[test]
+    fn timeout_shrinks_window_and_acks_regrow_it() {
+        let mut c = ocfg(ProtocolKind::Ack);
+        c.liveness = LivenessConfig::bounded(10);
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        // 7 packets, window 4: the window fills.
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 650]));
+        let _ = drain(&mut s);
+        let d = s.poll_timeout().expect("armed");
+        s.handle_timeout(d);
+        let _ = drain(&mut s);
+        assert_eq!(s.stats().window_shrinks, 1, "timeout halves the cap");
+        // Acknowledge what is outstanding, let the pump refill, and finish:
+        // the transfer completes and the acked progress earns growth credit.
+        ack(&mut s, d, Rank(1), 1, 4);
+        let _ = drain(&mut s);
+        ack(&mut s, d, Rank(1), 1, 7);
+        assert!(events(&mut s).contains(&AppEvent::MessageSent { msg_id: 0 }));
+        assert!(
+            s.stats().window_grows >= 1,
+            "acked progress regrows the cap"
+        );
+    }
+
+    #[test]
+    fn duplicate_naks_collapse_to_one_loss_signal() {
+        let mut s = Sender::new(ocfg(ProtocolKind::Ack), GroupSpec::new(2));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 350]));
+        let _ = drain(&mut s);
+        let now = Time::from_millis(1);
+        for _ in 0..3 {
+            s.handle_datagram(now, &encode_nak(Rank(2), 1, SeqNo(1)));
+        }
+        assert_eq!(s.stats().naks_received, 3);
+        assert_eq!(s.stats().naks_collapsed, 2, "storm collapsed");
+        assert_eq!(s.stats().window_shrinks, 1, "one loss signal, not three");
+    }
+
+    #[test]
+    fn feedback_storm_is_shed_but_completion_acks_pass() {
+        let mut c = ocfg(ProtocolKind::Ack);
+        c.overload.feedback_rate = 1; // no meaningful refill at test timescales
+        c.overload.feedback_burst = 2;
+        let mut s = Sender::new(c, GroupSpec::new(2));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 350]));
+        let _ = drain(&mut s);
+        let now = Time::from_millis(1);
+        // Burst of partial ACKs: two admitted (burst), the rest shed.
+        for _ in 0..5 {
+            ack(&mut s, now, Rank(1), 1, 1);
+        }
+        assert_eq!(s.stats().acks_shed, 3);
+        // Completion ACKs bypass the shedder: the transfer still finishes.
+        ack(&mut s, now, Rank(1), 1, 4);
+        ack(&mut s, now, Rank(2), 1, 4);
+        assert!(events(&mut s).contains(&AppEvent::MessageSent { msg_id: 0 }));
+    }
+
+    #[test]
+    fn slow_receiver_quarantines_catches_up_and_rejoins() {
+        let mut c = ocfg(ProtocolKind::Ack);
+        c.liveness = LivenessConfig::bounded(20);
+        c.overload.quarantine_after = Some(2);
+        let mut s = Sender::new(c, GroupSpec::new(2));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 350]));
+        let _ = drain(&mut s);
+        // Rank 1 is current; rank 2 never acknowledges fresh data.
+        ack(&mut s, Time::ZERO, Rank(1), 1, 4);
+        for _ in 0..2 {
+            let d = s.poll_timeout().expect("armed");
+            s.handle_timeout(d);
+            let _ = drain(&mut s);
+        }
+        assert_eq!(s.stats().quarantine_entered, 1);
+        assert_eq!(
+            s.stats().messages_completed,
+            0,
+            "completion gated on the quarantined receiver's catch-up"
+        );
+        // The next wake-up serves a unicast catch-up batch to rank 2.
+        let d = s.poll_timeout().expect("catch-up scheduled");
+        s.handle_timeout(d);
+        let catchup = drain(&mut s)
+            .into_iter()
+            .filter(|t| t.dest == Dest::Rank(Rank(2)))
+            .count();
+        assert_eq!(catchup, 4, "one batch from the horizon");
+        assert!(s.stats().catchup_retx_sent >= 4);
+        // Rank 2 catches up: the message completes and it rejoins.
+        ack(&mut s, d, Rank(2), 1, 4);
+        assert!(events(&mut s).contains(&AppEvent::MessageSent { msg_id: 0 }));
+        assert_eq!(s.stats().quarantine_rejoined, 1);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn quarantine_budget_exhaustion_resolves_through_eviction() {
+        let mut c = ocfg(ProtocolKind::Ack);
+        c.liveness = LivenessConfig::evicting(20);
+        c.overload.quarantine_after = Some(2);
+        c.overload.quarantine_budget = 1;
+        let mut s = Sender::new(c, GroupSpec::new(2));
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 350]));
+        let _ = drain(&mut s);
+        ack(&mut s, Time::ZERO, Rank(1), 1, 4);
+        for _ in 0..8 {
+            let Some(d) = s.poll_timeout() else { break };
+            s.handle_timeout(d);
+            let _ = drain(&mut s);
+            if s.stats().quarantine_evicted > 0 {
+                break;
+            }
+        }
+        assert_eq!(s.stats().quarantine_entered, 1);
+        assert_eq!(s.stats().quarantine_evicted, 1, "budget spent");
+        assert_eq!(s.stats().evictions, 1);
+        let ev = events(&mut s);
+        assert!(ev.contains(&AppEvent::ReceiverEvicted {
+            msg_id: 0,
+            rank: Rank(2)
+        }));
+        assert!(ev.contains(&AppEvent::MessageSent { msg_id: 0 }));
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn backpressure_edges_fire_on_shrunken_window_stall() {
+        let mut c = ocfg(ProtocolKind::Ack);
+        c.liveness = LivenessConfig::bounded(20);
+        let mut s = Sender::new(c, GroupSpec::new(1));
+        // 7 packets, window 4.
+        s.send_message(Time::ZERO, Bytes::from(vec![1u8; 650]));
+        let _ = drain(&mut s);
+        // Two timeouts shrink the cap 4 -> 2 -> 1.
+        for _ in 0..2 {
+            let d = s.poll_timeout().expect("armed");
+            s.handle_timeout(d);
+            let _ = drain(&mut s);
+        }
+        assert_eq!(s.stats().window_shrinks, 2);
+        // Partial progress leaves occupancy at the clamped cap: stall.
+        ack(&mut s, Time::from_millis(40), Rank(1), 1, 1);
+        let _ = drain(&mut s);
+        assert!(events(&mut s).contains(&AppEvent::Backpressure {
+            msg_id: 0,
+            congested: true
+        }));
+        assert_eq!(s.stats().backpressure_signals, 1);
+        // Completion regrows the window and clears the edge.
+        ack(&mut s, Time::from_millis(41), Rank(1), 1, 4);
+        let _ = drain(&mut s);
+        ack(&mut s, Time::from_millis(42), Rank(1), 1, 7);
+        let ev = events(&mut s);
+        assert!(ev.contains(&AppEvent::Backpressure {
+            msg_id: 0,
+            congested: false
+        }));
+        assert!(ev.contains(&AppEvent::MessageSent { msg_id: 0 }));
+        assert_eq!(s.stats().backpressure_signals, 2);
     }
 }

@@ -134,6 +134,34 @@ define_stats! {
     /// mismatch, or a missing trailer under an integrity-enforcing
     /// configuration). Also counted under `decode_errors`.
     integrity_fail: sum,
+    /// AIMD window cap reductions (multiplicative decrease on a congestion
+    /// signal).
+    window_shrinks: sum,
+    /// AIMD window cap increases (additive recovery on acknowledged
+    /// progress).
+    window_grows: sum,
+    /// ACK packets shed unprocessed by feedback-storm pacing (their
+    /// acknowledgment horizon was still noted for quarantined peers).
+    acks_shed: sum,
+    /// NAK packets shed unprocessed by feedback-storm pacing.
+    naks_shed: sum,
+    /// Duplicate NAKs collapsed by the aggregated-duplicate filter before
+    /// reaching retransmission bookkeeping.
+    naks_collapsed: sum,
+    /// Receivers moved into slow-receiver quarantine (taken off the
+    /// window's critical path).
+    quarantine_entered: sum,
+    /// Quarantined receivers that caught up and rejoined at a message
+    /// boundary.
+    quarantine_rejoined: sum,
+    /// Quarantined receivers that exhausted their catch-up budget and were
+    /// resolved through the liveness path (evicted or message failed).
+    quarantine_evicted: sum,
+    /// Backpressure edges signalled to the application (congested and
+    /// cleared transitions both count).
+    backpressure_signals: sum,
+    /// Catch-up retransmissions unicast to quarantined receivers.
+    catchup_retx_sent: sum,
 }
 
 impl Stats {
@@ -208,6 +236,16 @@ mod tests {
             stale_epoch_discarded: 1,
             malformed_rx: 1,
             integrity_fail: 1,
+            window_shrinks: 1,
+            window_grows: 1,
+            acks_shed: 1,
+            naks_shed: 1,
+            naks_collapsed: 1,
+            quarantine_entered: 1,
+            quarantine_rejoined: 1,
+            quarantine_evicted: 1,
+            backpressure_signals: 1,
+            catchup_retx_sent: 1,
         };
         assert!(
             ones.fields().iter().all(|&(_, x)| x == 1),

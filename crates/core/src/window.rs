@@ -163,6 +163,15 @@ impl SendWindow {
         self.cap
     }
 
+    /// Retarget the window capacity (AIMD adaptation). Shrinking below the
+    /// current occupancy never discards in-flight packets: the effective
+    /// capacity clamps to the occupancy and new sends stay blocked until
+    /// releases drain the window down to the requested cap.
+    pub fn set_cap(&mut self, cap: u32) {
+        assert!(cap >= 1, "window capacity must be >= 1");
+        self.cap = cap.max(self.occupancy());
+    }
+
     /// Structural self-check: the window-never-exceeded and
     /// base-within-transfer invariants, verified from first principles
     /// (`rmcheck` and the `debug_assertions` audit both call this).
@@ -269,6 +278,30 @@ mod tests {
         assert_eq!(w.buffered_bytes(500), 1000);
         w.release(1);
         assert_eq!(w.buffered_bytes(500), 500);
+    }
+
+    #[test]
+    fn set_cap_blocks_new_sends_without_dropping_flight() {
+        let mut w = SendWindow::new(10, 4);
+        for _ in 0..4 {
+            w.mark_sent(t(0));
+        }
+        // Shrink below occupancy: nothing is discarded, check() still
+        // holds, and sends stay blocked.
+        w.set_cap(2);
+        assert_eq!(w.capacity(), 4, "clamped to occupancy");
+        w.check().unwrap();
+        assert!(!w.can_send());
+        // Once releases drain the window, a re-applied cap takes effect.
+        w.release(3);
+        w.set_cap(2);
+        assert_eq!(w.capacity(), 2);
+        w.mark_sent(t(1));
+        assert!(!w.can_send(), "occupancy 2 fills the shrunken cap");
+        // Growing reopens immediately.
+        w.set_cap(5);
+        assert!(w.can_send());
+        w.check().unwrap();
     }
 
     #[test]

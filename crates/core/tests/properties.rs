@@ -301,6 +301,151 @@ mod membership_churn {
     }
 }
 
+mod overload_invariants {
+    use proptest::prelude::*;
+    use rmcast::overload::MAX_LOAD_LEVEL;
+    use rmcast::{AimdWindow, DupNakFilter, LoadScaler, TokenBucket};
+    use rmwire::{Duration, Time};
+    use std::collections::HashSet;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The AIMD cap never leaves `[floor, ceiling]` under arbitrary
+        /// interleavings of congestion and progress; congestion never grows
+        /// it, progress never shrinks it, growth is at most one packet per
+        /// acked packet, and the returned `changed` flag is truthful.
+        #[test]
+        fn aimd_cap_always_bracketed(
+            floor in 1usize..64,
+            spread_init in 0usize..64,
+            spread_ceil in 0usize..64,
+            ops in proptest::collection::vec((any::<bool>(), 0usize..512), 0..256),
+        ) {
+            let initial = floor + spread_init;
+            let ceiling = initial + spread_ceil;
+            let mut w = AimdWindow::new(initial, floor, ceiling);
+            for (congest, acked) in ops {
+                let before = w.cap();
+                let changed = if congest {
+                    w.on_congestion()
+                } else {
+                    w.on_progress(acked)
+                };
+                prop_assert!(
+                    (floor..=ceiling).contains(&w.cap()),
+                    "cap {} left [{floor}, {ceiling}]", w.cap()
+                );
+                if congest {
+                    prop_assert!(w.cap() <= before, "congestion grew the cap");
+                    prop_assert!(
+                        w.cap() >= before / 2,
+                        "decrease steeper than multiplicative halving"
+                    );
+                } else {
+                    prop_assert!(w.cap() >= before, "progress shrank the cap");
+                    prop_assert!(
+                        w.cap() - before <= acked,
+                        "additive increase outpaced acked packets"
+                    );
+                }
+                prop_assert_eq!(changed, w.cap() != before);
+            }
+        }
+
+        /// Recovering from the floor to any target cap costs at least one
+        /// full window of acknowledged packets per step: additive increase
+        /// is genuinely gradual, never a jump.
+        #[test]
+        fn aimd_recovery_is_gradual(
+            floor in 1usize..32,
+            spread in 1usize..64,
+            acked in 1usize..10_000,
+        ) {
+            let ceiling = floor + spread;
+            let mut w = AimdWindow::new(floor, floor, ceiling);
+            w.on_progress(acked);
+            // Growing from `floor` to `cap` consumes at least
+            // floor + (floor+1) + ... + (cap-1) credits.
+            let mut cost = 0usize;
+            for step in floor..w.cap() {
+                cost += step;
+            }
+            prop_assert!(cost <= acked, "cap {} reached too cheaply", w.cap());
+        }
+
+        /// Over any span the bucket never grants more than its burst plus
+        /// the refill the elapsed time paid for: a feedback storm costs
+        /// bounded processing regardless of its arrival pattern.
+        #[test]
+        fn token_bucket_grants_at_most_burst_plus_rate(
+            rate in 1u64..100_000,
+            burst in 0u32..256,
+            deltas in proptest::collection::vec(0u64..10_000_000u64, 1..128),
+        ) {
+            let mut b = TokenBucket::new(rate, burst);
+            let mut now = Time::ZERO;
+            let mut granted: u128 = 0;
+            for d in deltas {
+                now += Duration::from_nanos(d);
+                while b.take(now) {
+                    granted += 1;
+                }
+            }
+            let budget =
+                burst as u128 + (now.as_nanos() as u128 * rate as u128) / 1_000_000_000 + 1;
+            prop_assert!(granted <= budget, "granted {granted} > budget {budget}");
+        }
+
+        /// A NAK for a never-before-seen `(transfer, seq)` is never
+        /// collapsed: the filter sheds only genuine duplicates.
+        #[test]
+        fn dup_nak_filter_never_collapses_fresh_naks(
+            window_ms in 1u64..50,
+            naks in proptest::collection::vec((0u64..4, 0u64..32, 0u64..100), 1..200),
+        ) {
+            let mut f = DupNakFilter::new(Duration::from_millis(window_ms));
+            let mut seen = HashSet::new();
+            let mut now = Time::ZERO;
+            for (transfer, seq, advance_us) in naks {
+                now += Duration::from_micros(advance_us);
+                let dup = f.is_dup(transfer, seq, now);
+                if seen.insert((transfer, seq)) {
+                    prop_assert!(!dup, "fresh NAK ({transfer}, {seq}) collapsed");
+                }
+                if !dup {
+                    // A passed NAK re-asked at the same instant is a dup.
+                    prop_assert!(f.is_dup(transfer, seq, now));
+                }
+            }
+        }
+
+        /// The load level stays in `[1, MAX_LOAD_LEVEL]` and the scaled
+        /// suppression interval is exactly the base times the level, for
+        /// any feedback arrival pattern.
+        #[test]
+        fn load_scaler_level_is_clamped(
+            threshold in 1u32..64,
+            events in proptest::collection::vec(0u64..30_000u64, 0..300),
+            base_us in 1u64..10_000,
+        ) {
+            let mut s = LoadScaler::new(threshold);
+            let mut now = Time::ZERO;
+            for advance_us in events {
+                now += Duration::from_micros(advance_us);
+                s.note(now);
+                let level = s.level(now);
+                prop_assert!((1..=MAX_LOAD_LEVEL).contains(&level));
+                let base = Duration::from_micros(base_us);
+                prop_assert_eq!(
+                    s.scale(base, now).as_nanos(),
+                    base.as_nanos() * level as u64
+                );
+            }
+        }
+    }
+}
+
 mod tree_invariants {
     use proptest::prelude::*;
     use rmcast::tree::TreeTopology;

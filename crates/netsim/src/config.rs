@@ -258,6 +258,39 @@ pub struct HostFault {
     pub kind: HostFaultKind,
 }
 
+/// A scheduled feedback-storm window: every datagram arriving at `target`
+/// over `[from, until)` is delivered `amplify` extra times into its
+/// socket. Aimed at a protocol's sender host — which receives only
+/// control traffic — this reproduces an ACK/NAK implosion: one loss event
+/// fanned out into a flood of duplicate feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StormWindow {
+    /// The host whose inbound datagrams are amplified.
+    pub target: HostId,
+    /// First instant of the storm.
+    pub from: Time,
+    /// First instant delivery is normal again.
+    pub until: Time,
+    /// Extra copies delivered per datagram (>= 1).
+    pub amplify: u32,
+}
+
+/// A scheduled CPU-saturation window: every CPU charge on `host` over
+/// `[from, until)` is multiplied by `factor` (>= 1). Models a receiver
+/// starved by a co-resident workload — it stays correct but falls behind,
+/// the trigger condition for sender-side slow-receiver quarantine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuLoadWindow {
+    /// The saturated host.
+    pub host: HostId,
+    /// First instant of the load.
+    pub from: Time,
+    /// First instant the CPU runs at full speed again.
+    pub until: Time,
+    /// Multiplier applied to every CPU charge (>= 1).
+    pub factor: f64,
+}
+
 /// A frame synthesized by an attacker and injected straight into one
 /// host's receive path at a scheduled instant. The payload bytes are
 /// attacker-chosen, so any rank/type/sequence combination can be forged —
@@ -321,6 +354,15 @@ pub struct FaultPlan {
     pub replay: f64,
     /// Forged frames injected at scheduled instants.
     pub forge: Vec<ForgeFrame>,
+    /// Scheduled feedback storms (control-traffic amplification at one
+    /// host, typically the sender).
+    pub feedback_storm: Vec<StormWindow>,
+    /// Scheduled per-host CPU saturation windows.
+    pub cpu_load: Vec<CpuLoadWindow>,
+    /// `(host, from, until)`: while a window is open every datagram
+    /// arriving at `host` is dropped as if its receive socket buffer were
+    /// full (counted under [`crate::DropCause::SockBufFull`]).
+    pub sockbuf_exhaust: Vec<(HostId, Time, Time)>,
 }
 
 impl FaultPlan {
@@ -337,6 +379,9 @@ impl FaultPlan {
             && self.duplicate == 0.0
             && self.replay == 0.0
             && self.forge.is_empty()
+            && self.feedback_storm.is_empty()
+            && self.cpu_load.is_empty()
+            && self.sockbuf_exhaust.is_empty()
     }
 
     /// Add uniform loss on `host`'s access link.
@@ -447,6 +492,58 @@ impl FaultPlan {
         self
     }
 
+    /// Amplify every datagram arriving at `target` over `[from, until)`
+    /// by `amplify` extra socket deliveries (an ACK/NAK implosion when
+    /// aimed at a sender host).
+    pub fn with_feedback_storm(
+        mut self,
+        target: HostId,
+        from: Time,
+        until: Time,
+        amplify: u32,
+    ) -> Self {
+        assert!(from < until, "empty feedback-storm window");
+        assert!(amplify >= 1, "storm amplification must be >= 1");
+        self.feedback_storm.push(StormWindow {
+            target,
+            from,
+            until,
+            amplify,
+        });
+        self
+    }
+
+    /// Multiply every CPU charge on `host` by `factor` over `[from,
+    /// until)`.
+    pub fn with_cpu_load(mut self, host: HostId, from: Time, until: Time, factor: f64) -> Self {
+        assert!(from < until, "empty cpu-load window");
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "cpu-load factor must be >= 1: {factor}"
+        );
+        self.cpu_load.push(CpuLoadWindow {
+            host,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// Run `host` `factor`× slower for the whole simulation — the
+    /// canonical slow-receiver setup for quarantine experiments.
+    pub fn with_slow_host(self, host: HostId, factor: f64) -> Self {
+        self.with_cpu_load(host, Time::ZERO, Time::MAX, factor)
+    }
+
+    /// Drop every datagram arriving at `host` over `[from, until)` as a
+    /// socket-buffer-full loss.
+    pub fn with_sockbuf_exhaust(mut self, host: HostId, from: Time, until: Time) -> Self {
+        assert!(from < until, "empty sockbuf-exhaust window");
+        self.sockbuf_exhaust.push((host, from, until));
+        self
+    }
+
     /// Stall `host`'s CPU over `[from, until)`.
     pub fn with_pause(mut self, host: HostId, from: Time, until: Time) -> Self {
         assert!(from < until, "empty pause window");
@@ -503,6 +600,33 @@ impl FaultPlan {
         self.trunk_down
             .iter()
             .any(|&(from, until)| from <= now && now < until)
+    }
+
+    /// Extra socket deliveries owed to `host` at `now` (sum over open
+    /// storm windows).
+    pub(crate) fn storm_amplify(&self, host: HostId, now: Time) -> u64 {
+        self.feedback_storm
+            .iter()
+            .filter(|w| w.target == host && w.from <= now && now < w.until)
+            .map(|w| u64::from(w.amplify))
+            .sum()
+    }
+
+    /// Combined CPU-charge multiplier for `host` at `now` (product over
+    /// open load windows; `1.0` outside every window).
+    pub(crate) fn cpu_load_factor(&self, host: HostId, now: Time) -> f64 {
+        self.cpu_load
+            .iter()
+            .filter(|w| w.host == host && w.from <= now && now < w.until)
+            .map(|w| w.factor)
+            .product()
+    }
+
+    /// Is `host`'s receive socket buffer scheduled exhausted at `now`?
+    pub(crate) fn sockbuf_exhausted(&self, host: HostId, now: Time) -> bool {
+        self.sockbuf_exhaust
+            .iter()
+            .any(|&(h, from, until)| h == host && from <= now && now < until)
     }
 
     /// The instant `host`'s CPU next runs again, when paused at `now`.

@@ -226,6 +226,15 @@ impl Sim {
             known(f.dest);
             known(f.src);
         }
+        for w in &plan.feedback_storm {
+            known(w.target);
+        }
+        for w in &plan.cpu_load {
+            known(w.host);
+        }
+        for &(h, _, _) in &plan.sockbuf_exhaust {
+            known(h);
+        }
         let restarts: Vec<_> = plan.restarts().collect();
         let forged: Vec<_> = plan.forge.clone();
         self.fault_plan = plan;
@@ -809,6 +818,14 @@ impl Sim {
         for _ in 0..copies {
             self.deliver_to_socket(host, Arc::clone(&dg));
         }
+        // Feedback storm: deterministic window schedule, no RNG drawn.
+        if !self.fault_plan.feedback_storm.is_empty() {
+            let extra = self.fault_plan.storm_amplify(host, self.now);
+            for _ in 0..extra {
+                self.trace.storm_amplified += 1;
+                self.deliver_to_socket(host, Arc::clone(&dg));
+            }
+        }
     }
 
     /// Return a copy of `dg` with 1–4 byte positions bit-flipped —
@@ -840,13 +857,15 @@ impl Sim {
         let port = dg.dest.port();
         let len = dg.payload.len();
         let sockbuf = self.host_params[host.0].recv_sockbuf;
+        let exhausted = !self.fault_plan.sockbuf_exhaust.is_empty()
+            && self.fault_plan.sockbuf_exhausted(host, self.now);
         let h = &mut self.hosts[host.0];
         let Some(buffered) = h.sockets.get_mut(&port) else {
             // No socket bound: the kernel drops it (ICMP unreachable in
             // real life); invisible to the protocols.
             return;
         };
-        if *buffered + len > sockbuf {
+        if exhausted || *buffered + len > sockbuf {
             self.note_drop(DropCause::SockBufFull, Some(host));
             self.log_event(LogEvent::Drop {
                 cause: DropCause::SockBufFull,
@@ -1150,6 +1169,13 @@ impl Sim {
     }
 
     fn jitter_for(&mut self, host: HostId, d: Duration) -> Duration {
+        let mut d = d;
+        if !self.fault_plan.cpu_load.is_empty() {
+            let f = self.fault_plan.cpu_load_factor(host, self.now);
+            if f != 1.0 {
+                d = Duration::from_nanos((d.as_nanos() as f64 * f).round() as u64);
+            }
+        }
         let j = self.host_params[host.0].cpu_jitter;
         if j == 0.0 || d == Duration::ZERO {
             return d;

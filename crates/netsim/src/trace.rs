@@ -104,6 +104,8 @@ pub struct TraceCounters {
     pub byz_replays: u64,
     /// Forged datagrams injected from the fault plan's forge schedule.
     pub byz_forged: u64,
+    /// Extra socket deliveries injected by scheduled feedback storms.
+    pub storm_amplified: u64,
 }
 
 impl TraceCounters {

@@ -525,3 +525,83 @@ fn byzantine_runs_are_deterministic() {
     );
     assert_eq!(sim_a.trace(), sim_b.trace());
 }
+
+// ---------------------------------------------------------------------
+// Overload modes: feedback storms, CPU saturation, sockbuf exhaustion.
+// ---------------------------------------------------------------------
+
+#[test]
+fn feedback_storm_amplifies_deliveries() {
+    let plan = FaultPlan::default().with_feedback_storm(
+        HostId(1),
+        Time::ZERO,
+        Time::from_millis(5_000),
+        3,
+    );
+    let (log, sim) = blast_run(plan, SimConfig::default(), 10, 41);
+    assert_eq!(
+        log.borrow().len(),
+        40,
+        "each datagram delivered once plus three amplified copies"
+    );
+    assert_eq!(sim.trace().storm_amplified, 30);
+}
+
+#[test]
+fn feedback_storm_respects_its_window() {
+    // Window closed before the run starts: nothing is amplified.
+    let plan = FaultPlan::default().with_feedback_storm(
+        HostId(1),
+        Time::from_millis(4_000),
+        Time::from_millis(4_001),
+        5,
+    );
+    let (log, sim) = blast_run(plan, SimConfig::default(), 10, 42);
+    assert_eq!(log.borrow().len(), 10);
+    assert_eq!(sim.trace().storm_amplified, 0);
+}
+
+#[test]
+fn sockbuf_exhaustion_drops_every_arrival_in_window() {
+    let plan =
+        FaultPlan::default().with_sockbuf_exhaust(HostId(1), Time::ZERO, Time::from_millis(5_000));
+    let (log, sim) = blast_run(plan, SimConfig::default(), 10, 43);
+    assert_eq!(log.borrow().len(), 0, "window swallows everything");
+    assert_eq!(sim.trace().drops_sockbuf, 10);
+}
+
+#[test]
+fn cpu_load_slows_a_host_without_losing_data() {
+    let finish = |plan: FaultPlan| {
+        let (log, _) = blast_run(plan, SimConfig::default(), 10, 44);
+        let log = log.borrow();
+        assert_eq!(log.len(), 10, "saturation must not drop datagrams");
+        log.iter().map(|&(t, _, _)| t).max().unwrap()
+    };
+    let plain = finish(FaultPlan::default());
+    let loaded = finish(FaultPlan::default().with_slow_host(HostId(1), 50.0));
+    assert!(
+        loaded > plain,
+        "a 50x CPU factor must delay delivery ({plain:?} vs {loaded:?})"
+    );
+}
+
+#[test]
+fn overload_knobs_make_the_plan_non_empty() {
+    let t = Time::from_millis(1);
+    assert!(!FaultPlan::default()
+        .with_feedback_storm(HostId(0), Time::ZERO, t, 1)
+        .is_empty());
+    assert!(!FaultPlan::default()
+        .with_cpu_load(HostId(0), Time::ZERO, t, 2.0)
+        .is_empty());
+    assert!(!FaultPlan::default()
+        .with_sockbuf_exhaust(HostId(0), Time::ZERO, t)
+        .is_empty());
+}
+
+#[test]
+#[should_panic(expected = "cpu-load factor must be >= 1")]
+fn cpu_load_factor_validated() {
+    let _ = FaultPlan::default().with_cpu_load(HostId(0), Time::ZERO, Time::from_millis(1), 0.5);
+}

@@ -4,7 +4,7 @@
 //! rmcheck explore [--family ack|nak|ring|tree-flat|tree-binary|all]
 //!                 [--receivers N] [--window W] [--packets K]
 //!                 [--messages M] [--dups D] [--max-states S]
-//!                 [--no-handshake] [--no-liveness]
+//!                 [--no-handshake] [--no-liveness] [--aimd]
 //! ```
 //!
 //! Exhaustively enumerates every deliver/drop/duplicate/timer-fire
@@ -22,7 +22,7 @@ fn usage() {
     println!(
         "rmcheck explore [--family ack|nak|ring|tree-flat|tree-binary|all] \
          [--receivers N] [--window W] [--packets K] [--messages M] [--dups D] \
-         [--max-states S] [--no-handshake] [--no-liveness]"
+         [--max-states S] [--no-handshake] [--no-liveness] [--aimd]"
     );
 }
 
@@ -102,6 +102,10 @@ fn main() -> ExitCode {
             }
             "--no-liveness" => {
                 scope.check_liveness = false;
+                Ok(0)
+            }
+            "--aimd" => {
+                scope.aimd = true;
                 Ok(0)
             }
             "--help" | "-h" => {

@@ -70,6 +70,13 @@ pub struct ExploreConfig {
     /// Check the liveness property from every visited state (costly:
     /// one run-to-completion per state).
     pub check_liveness: bool,
+    /// Run the engines with AIMD window adaptation on: every timer fire
+    /// shrinks the adaptive cap multiplicatively, progress regrows it, and
+    /// the cap is part of the explored state (it shapes future sends).
+    /// Only the AIMD mechanism is enabled — feedback pacing, duplicate
+    /// collapse and quarantine are *clocked* and would break the
+    /// time-abstract digest this explorer relies on.
+    pub aimd: bool,
 }
 
 /// Payload bytes per packet in model configurations (tiny on purpose —
@@ -102,6 +109,7 @@ impl ExploreConfig {
             dups: 1,
             max_states: 2_000_000,
             check_liveness: true,
+            aimd: false,
         }
     }
 
@@ -119,6 +127,7 @@ impl ExploreConfig {
             dups: 1,
             max_states: 8_000_000,
             check_liveness: true,
+            aimd: false,
         }
     }
 
@@ -134,6 +143,18 @@ impl ExploreConfig {
         cfg.retx_suppress = Duration::ZERO;
         cfg.nak_suppress = Duration::ZERO;
         cfg.handshake = self.handshake;
+        if self.aimd {
+            // AIMD alone is a pure function of delivered *events*
+            // (timeouts shrink, acked progress regrows), so the
+            // time-abstract digest stays sound. The ring floor must clear
+            // the group size or the rotating release rule deadlocks.
+            cfg.overload.aimd = true;
+            cfg.overload.aimd_floor = match self.family {
+                ProtocolKind::Ring => self.receivers as usize + 1,
+                _ => 1,
+            };
+            cfg.overload.aimd_ceiling = window;
+        }
         cfg
     }
 

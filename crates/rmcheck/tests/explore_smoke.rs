@@ -60,6 +60,40 @@ fn smoke_tree_binary() {
 }
 
 #[test]
+fn smoke_ack_aimd() {
+    // The `--aimd` CI scope: the adaptive cap shrinks on every explored
+    // timer fire and regrows on progress, and is itself part of the
+    // state digest — the whole shrink/recover lattice is enumerated.
+    let mut scope = ExploreConfig::smoke(ProtocolKind::Ack);
+    scope.aimd = true;
+    let report = explore(&scope);
+    assert!(
+        report.verified(),
+        "{}: truncated={} violations={:#?}",
+        report.family,
+        report.truncated,
+        report.violations
+    );
+}
+
+#[test]
+fn smoke_ring_aimd() {
+    // Ring + AIMD: the floor is pinned at N+1 by the scope builder, so
+    // the exploration also witnesses that adaptation never violates the
+    // rotating release rule.
+    let mut scope = ExploreConfig::smoke(ProtocolKind::Ring);
+    scope.aimd = true;
+    let report = explore(&scope);
+    assert!(
+        report.verified(),
+        "{}: truncated={} violations={:#?}",
+        report.family,
+        report.truncated,
+        report.violations
+    );
+}
+
+#[test]
 #[ignore = "minutes in release; run with --ignored"]
 fn soak_ack_window_machinery() {
     let report = explore(&ExploreConfig::soak(ProtocolKind::Ack));

@@ -218,6 +218,64 @@ impl Mutator {
     }
 }
 
+/// Which storm shape a [`StormGen`] packet came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StormKind {
+    /// A NAK for one of a handful of hot `(transfer, seq)` keys — repeated
+    /// endlessly, the duplicate-NAK flood of an ACK/NAK implosion.
+    DupNak,
+    /// An ACK stamped with a stale membership epoch.
+    StaleEpochAck,
+    /// A NAK stamped with a stale membership epoch.
+    StaleEpochNak,
+}
+
+/// A deterministic feedback *storm*: endless floods of **well-formed**
+/// control packets — the adversarial complement of [`Mutator`]'s malformed
+/// stream. Where the mutator attacks the decoders, the storm attacks the
+/// overload path behind them: duplicate NAKs for a few hot keys must be
+/// collapsed rather than each triggering retransmission bookkeeping, and
+/// bursts of stale-epoch feedback must be shed or ignored, never trusted.
+/// Same-seed streams are identical byte for byte.
+pub struct StormGen {
+    rng: SmallRng,
+}
+
+impl StormGen {
+    /// A storm stream with this seed.
+    pub fn new(seed: u64) -> Self {
+        StormGen {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next storm packet. The key space is deliberately tiny (a few
+    /// transfers, a few sequence numbers, two ranks) so the stream is
+    /// overwhelmingly duplicates of earlier feedback — the worst case for
+    /// retransmission bookkeeping.
+    pub fn next_packet(&mut self) -> (StormKind, Vec<u8>) {
+        let rank = Rank(self.rng.gen_range(1..=2u16));
+        let transfer = self.rng.gen_range(0..3u32);
+        let seq = SeqNo(self.rng.gen_range(0..6u32));
+        let stale_epoch = self.rng.gen_range(0..2u32);
+        let roll = self.rng.gen_range(0..100u32);
+        match roll {
+            0..=59 => (
+                StormKind::DupNak,
+                packet::encode_nak(rank, transfer, seq).to_vec(),
+            ),
+            60..=79 => (
+                StormKind::StaleEpochAck,
+                packet::encode_ack_epoch(rank, transfer, seq, stale_epoch).to_vec(),
+            ),
+            _ => (
+                StormKind::StaleEpochNak,
+                packet::encode_nak_epoch(rank, transfer, seq, stale_epoch).to_vec(),
+            ),
+        }
+    }
+}
+
 /// Outcome tally of a fuzz run, per mutation kind.
 #[derive(Debug, Default, Clone)]
 pub struct FuzzTally {

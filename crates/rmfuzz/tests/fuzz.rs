@@ -4,8 +4,8 @@
 //! so a failure reproduces byte-for-byte with `cargo test -p rmfuzz`.
 
 use bytes::Bytes;
-use rmcast::{Endpoint, ProtocolConfig, ProtocolKind, Receiver, Sender, Stats};
-use rmfuzz::{fuzz_decode, MutationKind, Mutator};
+use rmcast::{Endpoint, OverloadConfig, ProtocolConfig, ProtocolKind, Receiver, Sender, Stats};
+use rmfuzz::{fuzz_decode, MutationKind, Mutator, StormGen, StormKind};
 use rmwire::{GroupSpec, Rank, Time};
 
 /// The decode-layer workhorse: over a million mutated packets through both
@@ -137,6 +137,110 @@ fn live_sender_survives_mutated_stream() {
             stats.peak_buffer_bytes
         );
     }
+}
+
+/// Blast `iters` well-formed storm packets at `ep`, 10 µs apart (a
+/// 100k pkt/s control-plane flood), draining transmits/events and firing
+/// due timers. Returns the final counters plus how many of the packets
+/// were duplicate-NAK-flood members.
+fn storm<E: Endpoint>(ep: &mut E, seed: u64, iters: u64) -> (Stats, u64) {
+    let mut g = StormGen::new(seed);
+    let mut dup_naks = 0u64;
+    for i in 0..iters {
+        let now = Time::from_micros(i * 10);
+        let (kind, bytes) = g.next_packet();
+        if kind == StormKind::DupNak {
+            dup_naks += 1;
+        }
+        ep.handle_datagram(now, &bytes);
+        if ep.poll_timeout().is_some_and(|t| t <= now) {
+            ep.handle_timeout(now);
+        }
+        while ep.poll_transmit().is_some() {}
+        while ep.poll_event().is_some() {}
+    }
+    (ep.stats().clone(), dup_naks)
+}
+
+/// The storm corpus against a live, overload-hardened sender: a 100k/s
+/// flood of duplicate NAKs and stale-epoch ACK/NAK bursts must never
+/// panic, must be visibly collapsed and shed rather than processed
+/// one-for-one, and must not translate into a retransmission per NAK.
+#[test]
+fn overloaded_sender_collapses_duplicate_nak_flood() {
+    let mut cfg = fuzz_cfg(false);
+    cfg.overload = OverloadConfig::adaptive(cfg.window);
+    let mut tx = Sender::new(cfg, GroupSpec::new(2));
+    tx.send_message(Time::ZERO, Bytes::from(vec![0xAB; 10_000]));
+    let (stats, dup_naks) = storm(&mut tx, 0x0057_0124, 200_000);
+
+    assert_eq!(stats.decode_errors, 0, "storm packets are well-formed");
+    assert!(
+        stats.naks_collapsed > 0,
+        "the duplicate-NAK filter never engaged"
+    );
+    assert!(
+        stats.acks_shed + stats.naks_shed > 0,
+        "a 100k/s control flood must overrun the 20k/s feedback bucket"
+    );
+    // The flood must not amplify: far fewer retransmissions than NAKs.
+    assert!(
+        stats.retx_sent * 20 < dup_naks,
+        "{} retransmissions for {dup_naks} flooded NAKs",
+        stats.retx_sent
+    );
+    assert!(stats.peak_buffer_bytes < STATE_BOUND);
+}
+
+/// The same storm against the paper-faithful engine (overload OFF): the
+/// static retransmission-suppression timer is the only defense, but the
+/// never-panic / bounded-state contract must hold all the same.
+#[test]
+fn paper_faithful_sender_survives_the_same_storm() {
+    let mut tx = Sender::new(fuzz_cfg(false), GroupSpec::new(2));
+    tx.send_message(Time::ZERO, Bytes::from(vec![0xAB; 10_000]));
+    let (stats, _) = storm(&mut tx, 0x0057_0124, 200_000);
+    assert_eq!(stats.decode_errors, 0);
+    assert_eq!(stats.naks_collapsed + stats.acks_shed + stats.naks_shed, 0);
+    assert!(stats.peak_buffer_bytes < STATE_BOUND);
+}
+
+/// Receivers hear the same storm (multicast NAKs, stray epoch feedback):
+/// never a panic, never a forged delivery, bounded state.
+#[test]
+fn receiver_survives_feedback_storm() {
+    for integrity in [false, true] {
+        let mut cfg = fuzz_cfg(integrity);
+        cfg.overload = OverloadConfig::adaptive(cfg.window);
+        let mut rx = Receiver::new(cfg, GroupSpec::new(2), Rank(1), 0x570);
+        let mut g = StormGen::new(0x570);
+        for i in 0..150_000u64 {
+            let now = Time::from_micros(i * 10);
+            let (_, bytes) = g.next_packet();
+            rx.handle_datagram(now, &bytes);
+            while rx.poll_transmit().is_some() {}
+            while let Some(ev) = rx.poll_event() {
+                assert!(
+                    !matches!(ev, rmcast::AppEvent::MessageDelivered { .. }),
+                    "a feedback storm forged a delivery at iteration {i}"
+                );
+            }
+        }
+        assert!(rx.stats().peak_buffer_bytes < STATE_BOUND);
+    }
+}
+
+/// The storm stream is deterministic: CI reproducibility for the suites
+/// above.
+#[test]
+fn storm_stream_is_deterministic() {
+    let mut a = StormGen::new(42);
+    let mut b = StormGen::new(42);
+    for i in 0..100_000u32 {
+        assert_eq!(a.next_packet(), b.next_packet(), "diverged at {i}");
+    }
+    let mut c = StormGen::new(43);
+    assert!((0..100).any(|_| a.next_packet() != c.next_packet()));
 }
 
 /// Mutated packets must not fool a receiver into delivering: a delivery

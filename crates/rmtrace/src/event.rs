@@ -118,6 +118,56 @@ pub enum TraceEvent {
         /// The new epoch.
         epoch: u32,
     },
+    /// AIMD multiplicatively shrank the sender's window cap on a
+    /// congestion signal (timeout or loss-indicating NAK).
+    WindowShrink {
+        /// Transfer id.
+        transfer: u32,
+        /// The new window cap in packets.
+        cap: u32,
+    },
+    /// AIMD additively grew the sender's window cap on acknowledged
+    /// progress.
+    WindowGrow {
+        /// Transfer id.
+        transfer: u32,
+        /// The new window cap in packets.
+        cap: u32,
+    },
+    /// Feedback-storm pacing began shedding control packets (emitted on
+    /// the edge into the shedding state, not per shed packet).
+    StormSuppressed {
+        /// Transfer id the shed packet targeted.
+        transfer: u32,
+    },
+    /// A lagging receiver was moved into slow-receiver quarantine: it no
+    /// longer blocks the window and is served catch-up retransmissions at
+    /// a bounded rate.
+    QuarantineEnter {
+        /// The quarantined peer's rank.
+        peer: u16,
+        /// Transfer id whose stall triggered the quarantine.
+        transfer: u32,
+    },
+    /// A quarantined receiver left quarantine: caught up and rejoined at a
+    /// message boundary (`caught_up == 1`) or was handed to the liveness
+    /// path after exhausting its catch-up budget (`caught_up == 0`).
+    QuarantineExit {
+        /// The peer's rank.
+        peer: u16,
+        /// Transfer id at the exit.
+        transfer: u32,
+        /// `1` on rejoin, `0` on budget exhaustion.
+        caught_up: u32,
+    },
+    /// The sender signalled backpressure to the application
+    /// (`congested` is `1` on the stall edge, `0` on recovery).
+    Backpressure {
+        /// Transfer id.
+        transfer: u32,
+        /// New congestion state (1 = congested, 0 = cleared).
+        congested: u32,
+    },
     /// The network dropped a datagram (bridged from the simulator's
     /// `DropCause`; rank is the host where the drop happened).
     Drop {
@@ -144,6 +194,12 @@ impl TraceEvent {
             TraceEvent::WindowRelease { .. } => "WindowRelease",
             TraceEvent::Evicted { .. } => "Evicted",
             TraceEvent::EpochChange { .. } => "EpochChange",
+            TraceEvent::WindowShrink { .. } => "WindowShrink",
+            TraceEvent::WindowGrow { .. } => "WindowGrow",
+            TraceEvent::StormSuppressed { .. } => "StormSuppressed",
+            TraceEvent::QuarantineEnter { .. } => "QuarantineEnter",
+            TraceEvent::QuarantineExit { .. } => "QuarantineExit",
+            TraceEvent::Backpressure { .. } => "Backpressure",
             TraceEvent::Drop { .. } => "Drop",
         }
     }
@@ -230,6 +286,32 @@ impl TraceRecord {
             TraceEvent::EpochChange { epoch } => {
                 let _ = write!(s, ",\"epoch\":{epoch}");
             }
+            TraceEvent::WindowShrink { transfer, cap }
+            | TraceEvent::WindowGrow { transfer, cap } => {
+                let _ = write!(s, ",\"transfer\":{transfer},\"cap\":{cap}");
+            }
+            TraceEvent::StormSuppressed { transfer } => {
+                let _ = write!(s, ",\"transfer\":{transfer}");
+            }
+            TraceEvent::QuarantineEnter { peer, transfer } => {
+                let _ = write!(s, ",\"peer\":{peer},\"transfer\":{transfer}");
+            }
+            TraceEvent::QuarantineExit {
+                peer,
+                transfer,
+                caught_up,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"peer\":{peer},\"transfer\":{transfer},\"caught_up\":{caught_up}"
+                );
+            }
+            TraceEvent::Backpressure {
+                transfer,
+                congested,
+            } => {
+                let _ = write!(s, ",\"transfer\":{transfer},\"congested\":{congested}");
+            }
             TraceEvent::Drop { cause } => {
                 let _ = write!(s, ",\"cause\":\"{cause}\"");
             }
@@ -266,6 +348,47 @@ mod tests {
         assert_eq!(
             d.to_json(),
             "{\"t\":0,\"rank\":5,\"ev\":\"Drop\",\"cause\":\"BurstLoss\"}"
+        );
+    }
+
+    #[test]
+    fn overload_event_json_shape_is_stable() {
+        let w = TraceRecord {
+            t_ns: 9,
+            rank: 0,
+            ev: TraceEvent::WindowShrink {
+                transfer: 1,
+                cap: 4,
+            },
+        };
+        assert_eq!(
+            w.to_json(),
+            "{\"t\":9,\"rank\":0,\"ev\":\"WindowShrink\",\"transfer\":1,\"cap\":4}"
+        );
+        let q = TraceRecord {
+            t_ns: 10,
+            rank: 0,
+            ev: TraceEvent::QuarantineExit {
+                peer: 3,
+                transfer: 1,
+                caught_up: 1,
+            },
+        };
+        assert_eq!(
+            q.to_json(),
+            "{\"t\":10,\"rank\":0,\"ev\":\"QuarantineExit\",\"peer\":3,\"transfer\":1,\"caught_up\":1}"
+        );
+        let b = TraceRecord {
+            t_ns: 11,
+            rank: 0,
+            ev: TraceEvent::Backpressure {
+                transfer: 1,
+                congested: 1,
+            },
+        };
+        assert_eq!(
+            b.to_json(),
+            "{\"t\":11,\"rank\":0,\"ev\":\"Backpressure\",\"transfer\":1,\"congested\":1}"
         );
     }
 }

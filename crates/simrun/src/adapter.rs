@@ -59,6 +59,10 @@ pub struct Recorder {
     pub joins: Vec<(Rank, u32)>,
     /// How many crash-restarted hosts respawned their endpoint.
     pub restarts: usize,
+    /// `(msg_id, congested, time)` sender backpressure edges (AIMD
+    /// shrank the window below its configured size and the send path
+    /// stalled on it / recovered).
+    pub backpressure: Vec<(u64, bool, Time)>,
     /// Flight-recorder dumps emitted on failure (when enabled).
     pub flight_dumps: Vec<rmcast::FlightDump>,
     /// Latest sender counters.
@@ -225,6 +229,9 @@ impl<E: Launch> NodeProcess<E> {
                     }
                     AppEvent::ReceiverJoined { rank, epoch } => {
                         rec.joins.push((rank, epoch));
+                    }
+                    AppEvent::Backpressure { msg_id, congested } => {
+                        rec.backpressure.push((msg_id, congested, now));
                     }
                     AppEvent::FlightRecorderDump { dump } => {
                         rec.flight_dumps.push(dump);

@@ -22,6 +22,7 @@ pub mod figures_ack;
 pub mod figures_nak;
 pub mod figures_ring;
 pub mod figures_tree;
+pub mod overload;
 pub mod tables;
 pub mod trace_deep_dive;
 
@@ -36,6 +37,7 @@ pub use figures_ack::*;
 pub use figures_nak::*;
 pub use figures_ring::*;
 pub use figures_tree::*;
+pub use overload::*;
 pub use tables::*;
 pub use trace_deep_dive::*;
 
@@ -153,6 +155,10 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "chaos_crash",
         "chaos_link_down",
         "chaos_campaign",
+        "overload_nak_storm",
+        "overload_slow_receiver",
+        "overload_sockbuf",
+        "overload_campaign",
         "byzantine_storm",
         "fuzz_decode",
         "churn_crash_rejoin",
@@ -201,6 +207,10 @@ pub fn run_experiment(id: &str, effort: Effort) -> Table {
         "chaos_crash" => chaos_crash(effort),
         "chaos_link_down" => chaos_link_down(effort),
         "chaos_campaign" => chaos_campaign(effort),
+        "overload_nak_storm" => overload_nak_storm(effort),
+        "overload_slow_receiver" => overload_slow_receiver(effort),
+        "overload_sockbuf" => overload_sockbuf(effort),
+        "overload_campaign" => overload_campaign(effort),
         "byzantine_storm" => byzantine_storm(effort),
         "fuzz_decode" => byzantine::fuzz_decode(effort),
         "churn_crash_rejoin" => churn_crash_rejoin(effort),

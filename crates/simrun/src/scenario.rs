@@ -19,6 +19,10 @@ use std::rc::Rc;
 const PORT: u16 = 5000;
 
 /// Which sender/receiver pair a scenario runs.
+// `ProtocolConfig` is a plain-data knob bag that experiments build by
+// value all over the tree; boxing it to please `large_enum_variant`
+// would cost `Copy` on every one of those sites.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Protocol {
     /// One of the four reliable multicast protocol families.
@@ -428,6 +432,7 @@ impl Scenario {
             evictions: rec.evictions.clone(),
             joins: rec.joins.clone(),
             restarts: rec.restarts,
+            backpressure: rec.backpressure.iter().map(|&(id, c, _)| (id, c)).collect(),
             delivered_msgs: rec.deliveries.clone(),
             delivered_crcs: rec.delivery_crcs.clone(),
             flight_dumps: rec.flight_dumps.clone(),
@@ -478,6 +483,8 @@ pub struct ChaosOutcome {
     pub joins: Vec<(Rank, u32)>,
     /// Crash-restarted hosts that respawned their endpoint.
     pub restarts: usize,
+    /// `(msg_id, congested)` sender backpressure edges, in order.
+    pub backpressure: Vec<(u64, bool)>,
     /// Every `(rank, msg_id, time, bytes)` delivery, for per-receiver
     /// exactly-once checks.
     pub delivered_msgs: Vec<(Rank, u64, Time, usize)>,
@@ -521,6 +528,7 @@ impl Recorder {
             evictions: self.evictions.clone(),
             joins: self.joins.clone(),
             restarts: self.restarts,
+            backpressure: self.backpressure.clone(),
             flight_dumps: self.flight_dumps.clone(),
             sender_stats: self.sender_stats.clone(),
             receiver_stats: self.receiver_stats.clone(),

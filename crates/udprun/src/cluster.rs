@@ -1,5 +1,6 @@
 //! Running a whole multicast group over real sockets.
 
+use crate::faults::{FaultedEndpoint, NodeFaults};
 use crate::hub::Hub;
 use crate::node::{drive, Addresses, NodeEvent};
 use bytes::Bytes;
@@ -50,6 +51,12 @@ pub struct ClusterConfig {
     /// Per-endpoint flight recorder capacity (0 = disabled): the last N
     /// events are dumped as a [`FlightDump`] when a liveness failure trips.
     pub flight_recorder: usize,
+    /// Overload faults at the sender's datagram boundary — typically a
+    /// feedback-storm amplification (ACK/NAK implosion).
+    pub sender_faults: NodeFaults,
+    /// Overload faults per receiver index — typically a saturated CPU
+    /// and/or a socket-buffer blackout on one slow receiver.
+    pub receiver_faults: Vec<(usize, NodeFaults)>,
 }
 
 impl ClusterConfig {
@@ -66,6 +73,8 @@ impl ClusterConfig {
             io_error_giveup: true,
             trace_sink: None,
             flight_recorder: 0,
+            sender_faults: NodeFaults::default(),
+            receiver_faults: Vec::new(),
         }
     }
 }
@@ -87,6 +96,10 @@ pub struct ClusterResult {
     pub evictions: Vec<(Rank, Rank, u64)>,
     /// `(admitted peer, epoch)` membership admissions at the sender.
     pub joins: Vec<(Rank, u32)>,
+    /// `(msg_id, congested)` sender backpressure edges, in arrival order:
+    /// AIMD shrank the window below its configured size and the send path
+    /// stalled on it (`true`) / recovered (`false`).
+    pub backpressure: Vec<(u64, bool)>,
     /// `(reporting rank, dump)` flight-recorder dumps captured at
     /// failures (only with [`ClusterConfig::flight_recorder`] enabled).
     pub flight_dumps: Vec<(Rank, FlightDump)>,
@@ -137,11 +150,20 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
         if cfg.dead_receivers.contains(&i) || cfg.restart_receivers.iter().any(|&(r, _)| r == i) {
             continue;
         }
-        let mut ep = Receiver::new(
-            cfg.protocol,
-            group,
-            Rank::from_receiver_index(i),
-            cfg.seed.wrapping_add(i as u64),
+        let faults = cfg
+            .receiver_faults
+            .iter()
+            .find(|&&(r, _)| r == i)
+            .map(|(_, f)| f.clone())
+            .unwrap_or_default();
+        let mut ep = FaultedEndpoint::new(
+            Receiver::new(
+                cfg.protocol,
+                group,
+                Rank::from_receiver_index(i),
+                cfg.seed.wrapping_add(i as u64),
+            ),
+            faults,
         );
         instrument(&mut ep);
         let sock = rsock.try_clone()?;
@@ -209,11 +231,12 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
 
     // Sender (messages queued before the thread starts looping).
     let n_msgs = msgs.len() as u64;
-    let mut sender = Sender::new(cfg.protocol, group);
-    instrument(&mut sender);
+    let mut sender_ep = Sender::new(cfg.protocol, group);
     for m in &msgs {
-        sender.send_message(Time::ZERO, m.clone());
+        sender_ep.send_message(Time::ZERO, m.clone());
     }
+    let mut sender = FaultedEndpoint::new(sender_ep, cfg.sender_faults.clone());
+    instrument(&mut sender);
     {
         let sock = sender_sock.try_clone()?;
         let addrs = addrs.clone();
@@ -235,6 +258,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
     let mut failures: Vec<(Rank, u64, SessionError)> = Vec::new();
     let mut evictions: Vec<(Rank, Rank, u64)> = Vec::new();
     let mut joins: Vec<(Rank, u32)> = Vec::new();
+    let mut backpressure: Vec<(u64, bool)> = Vec::new();
     let mut resolved = 0u64;
     let mut elapsed = None;
     let mut stats: HashMap<Rank, Stats> = HashMap::new();
@@ -285,6 +309,11 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
             Ok(NodeEvent::Joined { peer, epoch, .. }) => {
                 joins.push((peer, epoch));
             }
+            Ok(NodeEvent::Backpressure {
+                msg_id, congested, ..
+            }) => {
+                backpressure.push((msg_id, congested));
+            }
             Ok(NodeEvent::Finished { rank, stats: s }) => {
                 stats.insert(rank, s);
             }
@@ -316,6 +345,11 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
             Ok(NodeEvent::Joined { peer, epoch, .. }) => {
                 joins.push((peer, epoch));
             }
+            Ok(NodeEvent::Backpressure {
+                msg_id, congested, ..
+            }) => {
+                backpressure.push((msg_id, congested));
+            }
             Ok(NodeEvent::Finished { rank, stats: s }) => {
                 stats.insert(rank, s);
             }
@@ -338,6 +372,9 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
             } => failures.push((rank, msg_id, error)),
             NodeEvent::Evicted { rank, peer, msg_id } => evictions.push((rank, peer, msg_id)),
             NodeEvent::Joined { peer, epoch, .. } => joins.push((peer, epoch)),
+            NodeEvent::Backpressure {
+                msg_id, congested, ..
+            } => backpressure.push((msg_id, congested)),
             NodeEvent::Finished { rank, stats: s } => {
                 stats.insert(rank, s);
             }
@@ -368,6 +405,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
         failures,
         evictions,
         joins,
+        backpressure,
         flight_dumps,
     })
 }

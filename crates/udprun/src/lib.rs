@@ -36,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+pub mod faults;
 pub mod hub;
 pub mod multicast;
 pub mod node;

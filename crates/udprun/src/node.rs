@@ -70,6 +70,17 @@ pub enum NodeEvent {
         /// Message id the eviction happened during.
         msg_id: u64,
     },
+    /// The sender signalled a backpressure edge: AIMD shrank the window
+    /// below its configured size and the send path stalled on it
+    /// (`congested: true`), or recovered (`congested: false`).
+    Backpressure {
+        /// Reporting node's rank (the sender).
+        rank: Rank,
+        /// Message in transfer when the edge fired.
+        msg_id: u64,
+        /// The new congestion state.
+        congested: bool,
+    },
     /// The sender admitted a (re)joining receiver into the group.
     Joined {
         /// Reporting node's rank (the sender).
@@ -194,6 +205,11 @@ pub fn drive<E: Endpoint>(
                 AppEvent::ReceiverJoined { rank: peer, epoch } => {
                     NodeEvent::Joined { rank, peer, epoch }
                 }
+                AppEvent::Backpressure { msg_id, congested } => NodeEvent::Backpressure {
+                    rank,
+                    msg_id,
+                    congested,
+                },
                 AppEvent::FlightRecorderDump { dump } => NodeEvent::FlightDump { rank, dump },
             };
             if events.send(out).is_err() {
