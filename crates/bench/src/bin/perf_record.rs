@@ -4,10 +4,10 @@
 //! to compare across PRs, and writes them as one JSON object:
 //!
 //! ```text
-//! cargo run --release -p rm-bench --bin perf_record -- BENCH_6.json
+//! cargo run --release -p rm-bench --bin perf_record -- BENCH_7.json
 //! ```
 //!
-//! Four measurements, each best-of-3 wall time around a fixed workload:
+//! Four measurements, each median-of-5 wall time around a fixed workload:
 //!
 //! * **sender / receiver packets per second** — one in-process `Loopback`
 //!   transfer (NAK polling, 500 KB, 8 receivers, seed 1); the engines'
@@ -16,7 +16,7 @@
 //! * **netsim events per second** — the 10k-exchange two-host ping-pong,
 //!   pure event-engine throughput with no protocol on top.
 //! * **500 KB delivery at N=30** — the calibrated simulator regenerating
-//!   the paper's headline point for all four families: simulated
+//!   the paper's headline point for all five families: simulated
 //!   communication time (the paper's number) next to the wall time spent
 //!   producing it.
 //! * **overload-layer overhead** — the same loopback transfer with
@@ -42,16 +42,19 @@ const PINGPONG_EXCHANGES: u32 = 10_000;
 const PAPER_N: u16 = 30;
 const PAPER_MSG: usize = 500_000;
 
-/// Best-of-`n` wall seconds for `f` (minimum is the standard
-/// noise-rejecting summary for a fixed workload).
-fn best_of<F: FnMut()>(n: u32, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
+/// Median-of-`n` wall seconds for `f`. The median (not the minimum)
+/// keeps *differences* between measurements meaningful: best-of-N's
+/// minimum estimator has one-sided noise, which made the
+/// overload-vs-baseline subtraction go negative in BENCH_6.
+fn median_of<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    let mut samples = Vec::with_capacity(n);
     for _ in 0..n {
         let t = Instant::now();
         f();
-        best = best.min(t.elapsed().as_secs_f64());
+        samples.push(t.elapsed().as_secs_f64());
     }
-    best
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[n / 2]
 }
 
 fn loopback_cfg(overload: bool) -> ProtocolConfig {
@@ -62,26 +65,54 @@ fn loopback_cfg(overload: bool) -> ProtocolConfig {
     cfg
 }
 
-/// One loopback transfer; returns (wall_secs, sender datagrams handled or
-/// emitted, receiver datagrams handled or emitted, summed group-wide).
-fn loopback_run(overload: bool) -> (f64, u64, u64) {
-    let mut sender_pkts = 0;
-    let mut receiver_pkts = 0;
-    let wall = best_of(3, || {
+/// Transfers per timed loopback sample: one 500 KB exchange is ~2ms of
+/// wall time, well inside scheduler jitter; a batch makes each sample
+/// long enough that the overload-vs-baseline subtraction is signal.
+const LOOPBACK_BATCH: usize = 10;
+
+/// One loopback transfer; returns the wall seconds it took and stores
+/// the datagram counts (identical across repeats of a fixed workload).
+fn loopback_batch(overload: bool, sender_pkts: &mut u64, receiver_pkts: &mut u64) -> f64 {
+    let t = Instant::now();
+    for _ in 0..LOOPBACK_BATCH {
         let mut net = Loopback::new(loopback_cfg(overload), LOOPBACK_RECEIVERS, 1);
         net.send_message(Bytes::from(vec![1u8; LOOPBACK_MSG]));
         let delivered = net.run().len();
         assert_eq!(delivered, LOOPBACK_RECEIVERS as usize);
         let s = net.sender_stats();
-        sender_pkts = s.data_sent + s.retx_sent + s.acks_received + s.naks_received;
-        receiver_pkts = (0..LOOPBACK_RECEIVERS as usize)
+        *sender_pkts = s.data_sent + s.retx_sent + s.acks_received + s.naks_received;
+        *receiver_pkts = (0..LOOPBACK_RECEIVERS as usize)
             .map(|i| {
                 let r = net.receiver_stats(i);
                 r.data_received + r.acks_sent + r.naks_sent
             })
             .sum();
-    });
-    (wall, sender_pkts, receiver_pkts)
+    }
+    t.elapsed().as_secs_f64() / LOOPBACK_BATCH as f64
+}
+
+/// Paired baseline-vs-overload loopback measurement. The two variants
+/// are sampled back-to-back, alternating, so thermal/cache drift over
+/// the run hits both equally instead of biasing whichever ran second —
+/// that ordering bias is what drove BENCH_6's overhead negative. Returns
+/// (baseline wall/transfer, overload wall/transfer, sender datagrams,
+/// receiver datagrams).
+fn loopback_paired() -> (f64, f64, u64, u64) {
+    let mut sender_pkts = 0;
+    let mut receiver_pkts = 0;
+    // Untimed warm-up: the allocator/page-fault cold-start must not land
+    // in the first timed sample.
+    loopback_batch(false, &mut sender_pkts, &mut receiver_pkts);
+    loopback_batch(true, &mut sender_pkts, &mut receiver_pkts);
+    let mut base = Vec::with_capacity(5);
+    let mut over = Vec::with_capacity(5);
+    for _ in 0..5 {
+        base.push(loopback_batch(false, &mut sender_pkts, &mut receiver_pkts));
+        over.push(loopback_batch(true, &mut sender_pkts, &mut receiver_pkts));
+    }
+    base.sort_by(|a, b| a.total_cmp(b));
+    over.sort_by(|a, b| a.total_cmp(b));
+    (base[2], over[2], sender_pkts, receiver_pkts)
 }
 
 /// The microbench ping-pong as a plain function: 2 hosts, one datagram in
@@ -104,7 +135,7 @@ fn pingpong_events_per_sec() -> f64 {
             ctx.send(UdpDest::host(dg.src_host, 9), Bytes::from_static(b"x"));
         }
     }
-    let wall = best_of(3, || {
+    let wall = median_of(5, || {
         let mut sim = Sim::new(SimConfig::default(), 1);
         let hosts = topology::single_switch(&mut sim, 2);
         for (i, &h) in hosts.iter().enumerate() {
@@ -130,7 +161,7 @@ fn paper_point(cfg: ProtocolConfig) -> (f64, f64, f64) {
     sc.seeds = vec![1];
     let mut comm = 0.0;
     let mut mbps = 0.0;
-    let wall = best_of(3, || {
+    let wall = median_of(5, || {
         let r = sc.run(1);
         assert_eq!(r.deliveries, PAPER_N as usize);
         comm = r.comm_time.as_secs_f64();
@@ -142,13 +173,12 @@ fn paper_point(cfg: ProtocolConfig) -> (f64, f64, f64) {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
 
-    let (base_wall, sender_pkts, receiver_pkts) = loopback_run(false);
-    let (overload_wall, _, _) = loopback_run(true);
+    let (base_wall, overload_wall, sender_pkts, receiver_pkts) = loopback_paired();
     let events_per_sec = pingpong_events_per_sec();
 
-    let families: [(&str, ProtocolConfig); 4] = [
+    let families: [(&str, ProtocolConfig); 5] = [
         ("ack", ProtocolConfig::new(ProtocolKind::Ack, 8_000, 20)),
         (
             "nak",
@@ -159,6 +189,7 @@ fn main() {
             "tree",
             ProtocolConfig::new(ProtocolKind::flat_tree(2), 8_000, 20),
         ),
+        ("fec", ProtocolConfig::new(ProtocolKind::fec(16), 8_000, 20)),
     ];
     let mut rows = String::new();
     for (i, (name, cfg)) in families.iter().enumerate() {
@@ -175,11 +206,11 @@ fn main() {
     let json = format!(
         "{{\n\
          \x20 \"schema\": \"bench-trajectory-v1\",\n\
-         \x20 \"pr\": 6,\n\
+         \x20 \"pr\": 7,\n\
          \x20 \"workloads\": {{\n\
-         \x20   \"loopback\": \"nak-polling, {LOOPBACK_MSG} B, {LOOPBACK_RECEIVERS} receivers, seed 1, best of 3\",\n\
-         \x20   \"netsim\": \"2-host ping-pong, {PINGPONG_EXCHANGES} exchanges, best of 3\",\n\
-         \x20   \"paper_point\": \"{PAPER_MSG} B to N={PAPER_N}, calibrated simulator, seed 1, best of 3\"\n\
+         \x20   \"loopback\": \"nak-polling, {LOOPBACK_MSG} B, {LOOPBACK_RECEIVERS} receivers, seed 1, median of 5 x 10-transfer batches\",\n\
+         \x20   \"netsim\": \"2-host ping-pong, {PINGPONG_EXCHANGES} exchanges, median of 5\",\n\
+         \x20   \"paper_point\": \"{PAPER_MSG} B to N={PAPER_N}, calibrated simulator, seed 1, median of 5\"\n\
          \x20 }},\n\
          \x20 \"sender_pkts_per_sec\": {sender:.0},\n\
          \x20 \"receiver_pkts_per_sec\": {receiver:.0},\n\

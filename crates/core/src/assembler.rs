@@ -167,6 +167,48 @@ impl Assembly {
         self.have[idx] |= 1 << (seq % 64);
     }
 
+    /// `true` if packet `seq` has been accepted and its bytes are still
+    /// readable from the buffer (coded-repair decoding peeks at held
+    /// packets to XOR a missing one back out).
+    pub fn holds(&self, seq: u32) -> bool {
+        match self.discipline {
+            WindowDiscipline::GoBackN => seq < self.next,
+            WindowDiscipline::SelectiveRepeat => self.bit(seq),
+        }
+    }
+
+    /// The chunk geometry: how many payload bytes packet `seq` carries in
+    /// this transfer (`None` when `seq` is outside it, or when the
+    /// geometry is unknown because no allocation handshake sized the
+    /// buffer). The tail packet may be short or even empty.
+    pub fn chunk_len(&self, seq: u32) -> Option<usize> {
+        if !self.preallocated {
+            return None;
+        }
+        let k = self.k?;
+        if seq >= k {
+            return None;
+        }
+        let off = (seq as usize).checked_mul(self.packet_size)?;
+        Some(self.buf.len().saturating_sub(off).min(self.packet_size))
+    }
+
+    /// Read back the bytes of held packet `seq` (coded-repair decoding).
+    /// `None` unless the packet is held in a preallocated buffer.
+    pub fn chunk(&self, seq: u32) -> Option<&[u8]> {
+        if !self.preallocated || !self.holds(seq) {
+            return None;
+        }
+        let len = self.chunk_len(seq)?;
+        let off = seq as usize * self.packet_size;
+        Some(&self.buf[off..off + len])
+    }
+
+    /// The nominal per-packet payload size this assembly was built with.
+    pub fn packet_size(&self) -> usize {
+        self.packet_size
+    }
+
     /// Offer packet `seq` with payload `chunk`; `last` is the LAST flag.
     pub fn offer(&mut self, seq: u32, chunk: &[u8], last: bool) -> Offer {
         if last {
@@ -308,6 +350,27 @@ mod tests {
     #[should_panic(expected = "selective repeat requires")]
     fn dynamic_sr_rejected() {
         let _ = Assembly::dynamic(4, WindowDiscipline::SelectiveRepeat);
+    }
+
+    #[test]
+    fn held_chunk_read_back() {
+        let mut a = Assembly::preallocated(10, 4, WindowDiscipline::SelectiveRepeat, 8);
+        assert!(!a.holds(0));
+        assert_eq!(a.offer(1, b"bbbb", false), Offer::Buffered);
+        assert_eq!(a.offer(2, b"cc", true), Offer::Buffered);
+        assert!(a.holds(1) && a.holds(2) && !a.holds(0));
+        assert_eq!(a.chunk(1).unwrap(), b"bbbb");
+        assert_eq!(a.chunk(2).unwrap(), b"cc");
+        assert_eq!(a.chunk(0), None, "unheld packet is not readable");
+        assert_eq!(a.chunk_len(0), Some(4));
+        assert_eq!(a.chunk_len(2), Some(2), "tail packet is short");
+        assert_eq!(a.chunk_len(3), None, "beyond the transfer");
+        assert_eq!(a.packet_size(), 4);
+        // GBN: the contiguous prefix is held.
+        let mut g = Assembly::preallocated(8, 4, WindowDiscipline::GoBackN, 8);
+        assert_eq!(g.offer(0, b"aaaa", false), Offer::InOrder);
+        assert!(g.holds(0) && !g.holds(1));
+        assert_eq!(g.chunk(0).unwrap(), b"aaaa");
     }
 
     #[test]

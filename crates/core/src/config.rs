@@ -30,6 +30,26 @@ pub enum ProtocolKind {
         /// Shape of the logical structure.
         shape: TreeShape,
     },
+    /// FEC / network-coded repair on top of the NAK machinery: NAKs from
+    /// different receivers are batched in a sender-side coding buffer and
+    /// disjoint loss sets are XOR-combined into one multicast REPAIR
+    /// packet; optionally a proactive PARITY packet (the XOR of the last
+    /// `parity_every` data packets) rides along so single losses heal with
+    /// no feedback round trip at all. Requires selective repeat and the
+    /// allocation handshake (receivers must hold out-of-order packets to
+    /// have decode material).
+    Fec {
+        /// Packets between POLL flags, exactly as in
+        /// [`ProtocolKind::NakPolling`].
+        poll_interval: usize,
+        /// Emit one proactive parity packet after every `parity_every`
+        /// fresh data packets (`0` disables proactive parity; otherwise
+        /// `2..=64`).
+        parity_every: usize,
+        /// Most data packets ever XOR-combined into one repair block
+        /// (`1..=64`; the wire bitmap is 64 bits wide).
+        max_coded: usize,
+    },
 }
 
 impl ProtocolKind {
@@ -48,6 +68,16 @@ impl ProtocolKind {
         }
     }
 
+    /// The coded-repair family with proactive parity every 8 packets and
+    /// up to 16 packets per repair block.
+    pub fn fec(poll_interval: usize) -> ProtocolKind {
+        ProtocolKind::Fec {
+            poll_interval,
+            parity_every: 8,
+            max_coded: 16,
+        }
+    }
+
     /// Short lowercase name for reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -60,6 +90,7 @@ impl ProtocolKind {
             ProtocolKind::Tree {
                 shape: TreeShape::Binary,
             } => "tree-binary",
+            ProtocolKind::Fec { .. } => "fec",
         }
     }
 }
@@ -311,6 +342,14 @@ impl ProtocolConfig {
     /// A configuration with the defaults the paper uses implicitly:
     /// Go-Back-N, handshake on, copy modelled, LAN-scale timers.
     pub fn new(kind: ProtocolKind, packet_size: usize, window: usize) -> Self {
+        // The coded-repair family needs selective repeat: a Go-Back-N
+        // receiver drops out-of-order packets and would hold no decode
+        // material. The constructor picks the only valid discipline so
+        // `new` always yields a config that passes `validate`.
+        let discipline = match kind {
+            ProtocolKind::Fec { .. } => WindowDiscipline::SelectiveRepeat,
+            _ => WindowDiscipline::GoBackN,
+        };
         ProtocolConfig {
             kind,
             packet_size,
@@ -318,7 +357,7 @@ impl ProtocolConfig {
             rto: Duration::from_millis(120),
             retx_suppress: Duration::from_millis(8),
             nak_suppress: Duration::from_millis(4),
-            discipline: WindowDiscipline::GoBackN,
+            discipline,
             handshake: true,
             charge_copy: true,
             unicast_retx_on_nak: false,
@@ -491,6 +530,46 @@ impl ProtocolConfig {
                 shape: TreeShape::Binary,
             }
             | ProtocolKind::Ack => {}
+            ProtocolKind::Fec {
+                poll_interval,
+                parity_every,
+                max_coded,
+            } => {
+                assert!(poll_interval >= 1, "poll interval must be >= 1");
+                assert!(
+                    poll_interval <= self.window,
+                    "poll interval {} beyond the window {} would deadlock: \
+                     the window fills before any packet is polled",
+                    poll_interval,
+                    self.window
+                );
+                assert!(
+                    parity_every == 0 || (2..=64).contains(&parity_every),
+                    "parity_every must be 0 (disabled) or 2..=64 (got {}): \
+                     parity over one packet is just a duplicate, and the \
+                     wire bitmap is 64 bits wide",
+                    parity_every
+                );
+                assert!(
+                    (1..=64).contains(&max_coded),
+                    "max_coded must be 1..=64 (got {}): the repair bitmap \
+                     is 64 bits wide",
+                    max_coded
+                );
+                assert_eq!(
+                    self.discipline,
+                    WindowDiscipline::SelectiveRepeat,
+                    "fec requires selective repeat: Go-Back-N receivers \
+                     drop out-of-order packets, leaving nothing to decode \
+                     a repair block against"
+                );
+                assert!(
+                    self.handshake,
+                    "fec requires the allocation handshake: the receiver \
+                     must know packet_size and message length to XOR held \
+                     chunks back out of its preallocated assembly"
+                );
+            }
         }
     }
 }
@@ -512,6 +591,16 @@ mod tests {
         assert_eq!(k.name(), "nak");
         assert_eq!(ProtocolKind::flat_tree(4).name(), "tree-flat");
         assert_eq!(ProtocolKind::Ring.name(), "ring");
+        let f = ProtocolKind::fec(16);
+        assert_eq!(
+            f,
+            ProtocolKind::Fec {
+                poll_interval: 16,
+                parity_every: 8,
+                max_coded: 16
+            }
+        );
+        assert_eq!(f.name(), "fec");
     }
 
     #[test]
@@ -520,6 +609,55 @@ mod tests {
         ProtocolConfig::new(ProtocolKind::nak_polling(16), 8000, 20).validate(30);
         ProtocolConfig::new(ProtocolKind::Ring, 8000, 31).validate(30);
         ProtocolConfig::new(ProtocolKind::flat_tree(6), 8000, 20).validate(30);
+        let f = ProtocolConfig::new(ProtocolKind::fec(16), 8000, 20);
+        assert_eq!(f.discipline, WindowDiscipline::SelectiveRepeat);
+        f.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "fec requires selective repeat")]
+    fn fec_gbn_rejected() {
+        let mut c = ProtocolConfig::new(ProtocolKind::fec(16), 8000, 20);
+        c.discipline = WindowDiscipline::GoBackN;
+        c.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "fec requires the allocation handshake")]
+    fn fec_without_handshake_rejected() {
+        let mut c = ProtocolConfig::new(ProtocolKind::fec(16), 8000, 20);
+        c.handshake = false;
+        c.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "parity_every")]
+    fn fec_parity_of_one_rejected() {
+        let c = ProtocolConfig::new(
+            ProtocolKind::Fec {
+                poll_interval: 16,
+                parity_every: 1,
+                max_coded: 16,
+            },
+            8000,
+            20,
+        );
+        c.validate(30);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_coded")]
+    fn fec_oversized_block_rejected() {
+        let c = ProtocolConfig::new(
+            ProtocolKind::Fec {
+                poll_interval: 16,
+                parity_every: 8,
+                max_coded: 65,
+            },
+            8000,
+            20,
+        );
+        c.validate(30);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! | `S4` | sender | at least one acknowledgment source stays in the proof obligation |
 //! | `S5` | sender | tree topology: symmetric parent/child links, roots cover the group exactly once |
 //! | `S6` | sender | transfer bookkeeping: an active transfer always belongs to a current message, alloc transfers are single-packet with even ids, data transfers carry odd ids |
+//! | `S7` | sender | overload bookkeeping: a quarantined receiver is never sticky-evicted at the same time |
+//! | `S8` | sender | fec coding state: present iff the fec family is configured, bound only to (odd-id) data transfers, buffered losses always have a flush deadline armed |
 //! | `R1` | receiver | per-transfer progress: `own_next ≤ k`, a delivered transfer is complete, the tracked prefix mirrors the assembly |
 //! | `R2` | receiver | ack-aggregation monotonicity: nothing acknowledged up the tree beyond what this node and its live children can prove (`sent_up ≤ aggregate`) |
 //! | `R3` | receiver | reassembly discipline: Go-Back-N buffers nothing out of order; selective repeat keeps a contiguous prefix and stays inside the receive window |

@@ -59,6 +59,7 @@ pub mod config;
 pub mod coverage;
 pub mod endpoint;
 pub mod error;
+pub mod fec;
 pub mod invariants;
 pub mod loopback;
 pub mod membership;

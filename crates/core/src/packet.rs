@@ -3,7 +3,7 @@
 use bytes::{Buf, Bytes, BytesMut};
 use rmwire::{
     AckBody, AllocBody, Header, HeartbeatBody, JoinBody, LeaveBody, NakBody, PacketFlags,
-    PacketType, Rank, SeqNo, SyncBody, WelcomeBody, WireError, HEADER_LEN,
+    PacketType, Rank, RepairBody, SeqNo, SyncBody, WelcomeBody, WireError, HEADER_LEN,
 };
 
 /// A fully parsed incoming packet.
@@ -77,6 +77,26 @@ pub enum Packet {
         header: Header,
         /// Sync body.
         body: SyncBody,
+    },
+    /// Reactive coded repair: XOR of the packets named by `body`.
+    Repair {
+        /// Parsed header.
+        header: Header,
+        /// Coded-block header (seq set + generation).
+        body: RepairBody,
+        /// The XOR of the named chunks, each zero-padded to the
+        /// transfer's packet size.
+        payload: Bytes,
+    },
+    /// Proactive parity over the last *k* data packets (same layout as
+    /// [`Packet::Repair`], different emission policy).
+    Parity {
+        /// Parsed header.
+        header: Header,
+        /// Coded-block header (seq set + generation).
+        body: RepairBody,
+        /// The XOR of the named chunks, zero-padded to packet size.
+        payload: Bytes,
     },
 }
 
@@ -183,6 +203,29 @@ impl Packet {
                 let body = SyncBody::decode(&mut buf)?;
                 Packet::Sync { header, body }
             }
+            PacketType::Repair | PacketType::Parity => {
+                let body = RepairBody::decode(&mut buf)?;
+                // An XOR block with no coded bytes is unencodable: even a
+                // zero-length tail chunk pads to the packet size.
+                if buf.is_empty() {
+                    return Err(WireError::Truncated { need: 1, have: 0 });
+                }
+                let payload = Bytes::copy_from_slice(buf);
+                buf = &[];
+                if header.ptype == PacketType::Repair {
+                    Packet::Repair {
+                        header,
+                        body,
+                        payload,
+                    }
+                } else {
+                    Packet::Parity {
+                        header,
+                        body,
+                        payload,
+                    }
+                }
+            }
         };
         // Strict decode: a well-formed body leaves nothing behind. (Data
         // bodies consume the whole buffer above.)
@@ -203,7 +246,9 @@ impl Packet {
             | Packet::Welcome { header, .. }
             | Packet::Leave { header, .. }
             | Packet::Heartbeat { header, .. }
-            | Packet::Sync { header, .. } => header,
+            | Packet::Sync { header, .. }
+            | Packet::Repair { header, .. }
+            | Packet::Parity { header, .. } => header,
         }
     }
 }
@@ -398,6 +443,40 @@ pub fn encode_heartbeat(src_rank: Rank, epoch: u32) -> Bytes {
     buf.freeze()
 }
 
+/// Encode a reactive coded-repair packet: `payload` is the XOR of the
+/// chunks named by `body`, each zero-padded to the transfer's packet size.
+pub fn encode_repair(src_rank: Rank, transfer: u32, body: RepairBody, payload: &[u8]) -> Bytes {
+    encode_coded(PacketType::Repair, src_rank, transfer, body, payload)
+}
+
+/// Encode a proactive parity packet (same body layout as a repair).
+pub fn encode_parity(src_rank: Rank, transfer: u32, body: RepairBody, payload: &[u8]) -> Bytes {
+    encode_coded(PacketType::Parity, src_rank, transfer, body, payload)
+}
+
+fn encode_coded(
+    ptype: PacketType,
+    src_rank: Rank,
+    transfer: u32,
+    body: RepairBody,
+    payload: &[u8],
+) -> Bytes {
+    debug_assert!(body.bitmap & 1 == 1, "coded bitmap must be canonical");
+    debug_assert!(!payload.is_empty(), "coded payload cannot be empty");
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + RepairBody::LEN + payload.len());
+    Header {
+        ptype,
+        flags: PacketFlags::EMPTY,
+        src_rank,
+        transfer,
+        seq: SeqNo(body.base_seq),
+    }
+    .encode(&mut buf);
+    body.encode(&mut buf);
+    buf.extend_from_slice(payload);
+    buf.freeze()
+}
+
 /// Encode the admission handoff for one joiner.
 pub fn encode_sync(src_rank: Rank, body: SyncBody) -> Bytes {
     let mut buf = BytesMut::with_capacity(HEADER_LEN + SyncBody::LEN);
@@ -557,6 +636,38 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn repair_and_parity_round_trip() {
+        let body = RepairBody {
+            base_seq: 4,
+            generation: 2,
+            bitmap: 0b101,
+        };
+        let r = encode_repair(Rank(0), 3, body, b"\x12\x34");
+        match Packet::parse(&r).unwrap() {
+            Packet::Repair {
+                header,
+                body: b,
+                payload,
+            } => {
+                assert_eq!(header.transfer, 3);
+                assert_eq!(header.seq, SeqNo(4));
+                assert_eq!(b, body);
+                assert_eq!(&payload[..], b"\x12\x34");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let p = encode_parity(Rank(0), 3, body, b"\x56");
+        match Packet::parse(&p).unwrap() {
+            Packet::Parity { payload, .. } => assert_eq!(&payload[..], b"\x56"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Sealed round trip too: the CRC covers the coded payload.
+        assert!(Packet::parse_checked(&seal(&r), true).is_ok());
+        // Empty coded payload is rejected, not delivered.
+        assert!(Packet::parse(&r[..HEADER_LEN + RepairBody::LEN]).is_err());
     }
 
     #[test]

@@ -27,7 +27,9 @@ use crate::tree::{TreeLinks, TreeTopology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rmtrace::{TraceEvent, Tracer};
-use rmwire::{AllocBody, GroupSpec, Header, PacketFlags, Rank, SeqNo, Time};
+use rmwire::{
+    AllocBody, GroupSpec, Header, PacketFlags, PacketType, Rank, RepairBody, SeqNo, Time,
+};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// How many finished transfers of acknowledgment state to retain for
@@ -68,6 +70,9 @@ struct TransferState {
     /// When the first packet of this transfer was heard (assembly-latency
     /// telemetry).
     first_heard: Option<Time>,
+    /// Highest coded-block generation processed (fec replay gate: REPAIR
+    /// and PARITY share a strictly-increasing per-transfer counter).
+    repair_gen: Option<u32>,
 }
 
 impl TransferState {
@@ -80,6 +85,7 @@ impl TransferState {
             child_cov: vec![0; n_children],
             sent_up: None,
             first_heard: None,
+            repair_gen: None,
         }
     }
 
@@ -577,11 +583,14 @@ impl Receiver {
                 // Cumulative ACK for every packet heard.
                 self.send_ack(Dest::Sender, transfer, next);
             }
-            ProtocolKind::NakPolling { .. } => {
+            ProtocolKind::NakPolling { .. } | ProtocolKind::Fec { .. } => {
                 // Polled packets are acknowledged; so are retransmissions:
                 // a retransmission means the sender is stalled waiting for
                 // state it cannot otherwise observe (a gap filled under
-                // selective repeat, or a lost poll response).
+                // selective repeat, or a lost poll response). The fec
+                // family inherits this policy — decoded repairs carry RETX
+                // on their synthesized header, so a successful decode
+                // reports progress the same way a retransmission would.
                 if flags.contains(PacketFlags::POLL) || flags.contains(PacketFlags::RETX) {
                     self.send_ack(Dest::Sender, transfer, next);
                 }
@@ -719,6 +728,196 @@ impl Receiver {
             payload,
             copied: 0,
         });
+    }
+
+    // ------------------------------------------------------------------
+    // Coded repair (the fec family)
+    // ------------------------------------------------------------------
+
+    /// Process a REPAIR or PARITY coded block: the XOR of the packets the
+    /// body's bitmap names. Exactly one of them missing here means the
+    /// block decodes — XOR the held packets back out and feed the
+    /// reconstructed chunk through the ordinary data path, which keeps
+    /// delivery exactly-once even when the same packet later arrives
+    /// natively (the assembly reports it as a duplicate).
+    fn on_repair(&mut self, now: Time, header: Header, body: RepairBody, payload: &[u8]) {
+        self.stats.repairs_received += 1;
+        self.last_heard = now;
+        let transfer = header.transfer;
+        if transfer < self.min_transfer {
+            self.stats.data_discarded += 1;
+            self.tracer.emit(
+                now.as_nanos(),
+                TraceEvent::DataDiscarded {
+                    transfer,
+                    seq: body.base_seq,
+                },
+            );
+            return;
+        }
+        // Reactive repair is retransmission traffic: feed the load signal
+        // that stretches NAK suppression under overload. Proactive parity
+        // is steady-state traffic and stays out of it.
+        if header.ptype == PacketType::Repair {
+            if let Some(l) = self.load.as_mut() {
+                l.note(now);
+            }
+        }
+        // Replay gate: generations are strictly increasing per transfer.
+        // An equal-or-older generation is a replayed (or badly reordered)
+        // block; dropping it is never load-bearing because the sender
+        // re-codes losses that stay unresolved.
+        if let Some(st) = self.transfers.get(&transfer) {
+            if st.repair_gen.is_some_and(|g| body.generation <= g) {
+                self.stats.repairs_replayed += 1;
+                return;
+            }
+        }
+        // Decoding needs the exact chunk geometry, which only the
+        // allocation handshake provides (the fec family requires it). A
+        // block for a transfer we cannot size is unattributable — discard.
+        let have_state = self
+            .transfers
+            .get(&transfer)
+            .is_some_and(|st| st.assembly.is_some() || st.delivered);
+        if !have_state && !self.alloc_pending.contains_key(&transfer) {
+            self.stats.data_discarded += 1;
+            self.tracer.emit(
+                now.as_nanos(),
+                TraceEvent::DataDiscarded {
+                    transfer,
+                    seq: body.base_seq,
+                },
+            );
+            return;
+        }
+        // Materialize the assembly exactly as the data path would, then
+        // stamp the generation: the block counts as processed whatever the
+        // decode outcome.
+        let discipline = self.cfg.discipline;
+        let window = self.cfg.window as u32;
+        let alloc_body = self.alloc_pending.get(&transfer).copied();
+        let st = self.ensure_state(transfer, false);
+        if st.first_heard.is_none() {
+            st.first_heard = Some(now);
+        }
+        if st.assembly.is_none() && !st.delivered {
+            let b = alloc_body.expect("gated on alloc_pending above");
+            let asm = Assembly::preallocated(
+                b.msg_len as usize,
+                b.packet_size as usize,
+                discipline,
+                window,
+            );
+            // Keep the tracked-progress mirrors in lockstep (invariant
+            // R1), as the data path does after every offer.
+            st.own_next = asm.next_expected();
+            st.k = asm.k();
+            st.assembly = Some(asm);
+        }
+        st.repair_gen = Some(body.generation);
+
+        enum Outcome {
+            Useless,
+            Undecodable,
+            Decoded {
+                seq: u32,
+                chunk: Vec<u8>,
+                last: bool,
+            },
+        }
+        let outcome = {
+            let st = &self.transfers[&transfer];
+            match &st.assembly {
+                // Delivered: everything the block names is already held.
+                None => Outcome::Useless,
+                Some(asm) => {
+                    let packet_size = asm.packet_size();
+                    if payload.len() > packet_size {
+                        // The XOR of ≤ packet_size chunks cannot be longer
+                        // than packet_size: hostile or corrupt.
+                        Outcome::Undecodable
+                    } else {
+                        let mut missing = None;
+                        let mut n_missing = 0u32;
+                        for seq in body.seqs() {
+                            if !asm.holds(seq) {
+                                n_missing += 1;
+                                missing = Some(seq);
+                            }
+                        }
+                        match (n_missing, missing) {
+                            (0, _) => Outcome::Useless,
+                            (1, Some(seq)) => match asm.chunk_len(seq) {
+                                // The bitmap names a packet beyond the
+                                // transfer: hostile or corrupt.
+                                None => Outcome::Undecodable,
+                                Some(want) => {
+                                    let mut acc = vec![0u8; packet_size];
+                                    acc[..payload.len()].copy_from_slice(payload);
+                                    let mut readable = true;
+                                    for s in body.seqs().filter(|&s| s != seq) {
+                                        match asm.chunk(s) {
+                                            Some(held) => {
+                                                for (a, &b) in acc.iter_mut().zip(held) {
+                                                    *a ^= b;
+                                                }
+                                            }
+                                            // A "held" bit just outside the
+                                            // sized transfer (forged empty
+                                            // data can plant one) is not
+                                            // readable — fail the decode,
+                                            // never the process.
+                                            None => {
+                                                readable = false;
+                                                break;
+                                            }
+                                        }
+                                    }
+                                    if readable {
+                                        acc.truncate(want);
+                                        let last = asm.k().is_some_and(|k| seq + 1 == k);
+                                        Outcome::Decoded {
+                                            seq,
+                                            chunk: acc,
+                                            last,
+                                        }
+                                    } else {
+                                        Outcome::Undecodable
+                                    }
+                                }
+                            },
+                            _ => Outcome::Undecodable,
+                        }
+                    }
+                }
+            }
+        };
+        match outcome {
+            Outcome::Useless => self.stats.repairs_useless += 1,
+            Outcome::Undecodable => self.stats.repairs_undecodable += 1,
+            Outcome::Decoded { seq, chunk, last } => {
+                self.stats.repairs_decoded += 1;
+                self.tracer
+                    .emit(now.as_nanos(), TraceEvent::RepairDecoded { transfer, seq });
+                // Feed the reconstruction through the ordinary data path
+                // under a synthesized header. RETX makes the NakPolling-
+                // style acknowledgment policy report the progress; LAST
+                // restates what the geometry already pinned.
+                let mut flags = PacketFlags::RETX;
+                if last {
+                    flags |= PacketFlags::LAST;
+                }
+                let synth = Header {
+                    ptype: PacketType::Data,
+                    flags,
+                    src_rank: header.src_rank,
+                    transfer,
+                    seq: SeqNo(seq),
+                };
+                self.on_data(now, synth, DataBody::Chunk(&chunk));
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1130,6 +1329,13 @@ impl Receiver {
                     h.write_u32(s);
                 }
             }
+            match st.repair_gen {
+                None => h.write_u8(0),
+                Some(g) => {
+                    h.write_u8(1);
+                    h.write_u32(g);
+                }
+            }
             match &st.assembly {
                 None => h.write_u8(0),
                 Some(asm) => {
@@ -1219,6 +1425,16 @@ impl Endpoint for Receiver {
             }
             Packet::Welcome { body, .. } => self.on_welcome(now, body.epoch),
             Packet::Sync { body, .. } => self.on_sync(now, body),
+            Packet::Repair {
+                header,
+                body,
+                payload,
+            }
+            | Packet::Parity {
+                header,
+                body,
+                payload,
+            } => self.on_repair(now, header, body, &payload),
             // Sender-bound admission control that strayed to a receiver.
             Packet::Join { .. } | Packet::Leave { .. } => self.stats.data_discarded += 1,
         }

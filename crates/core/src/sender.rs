@@ -12,6 +12,7 @@ use crate::config::{ProtocolConfig, ProtocolKind, WindowDiscipline};
 use crate::coverage::{PerSourceCoverage, RingTracker};
 use crate::endpoint::{AppEvent, Dest, Endpoint, Transmit};
 use crate::error::SessionError;
+use crate::fec::{self, FecState};
 use crate::membership::{FailureDetector, LivenessVerdict, RttEstimator};
 use crate::overload::{AimdWindow, DupNakFilter, LoadScaler, TokenBucket};
 use crate::packet::{self, Packet};
@@ -21,7 +22,9 @@ use crate::tree::TreeTopology;
 use crate::window::SendWindow;
 use bytes::Bytes;
 use rmtrace::{TraceEvent, Tracer};
-use rmwire::{AllocBody, Duration, GroupSpec, PacketFlags, Rank, SeqNo, SyncBody, Time};
+use rmwire::{
+    AllocBody, Duration, GroupSpec, PacketFlags, Rank, RepairBody, SeqNo, SyncBody, Time,
+};
 use std::collections::VecDeque;
 
 /// Release-rule state, per transfer.
@@ -221,6 +224,9 @@ pub struct Sender {
     load: Option<LoadScaler>,
     /// Slow-receiver quarantine state, by receiver index.
     quar: Vec<Option<QuarState>>,
+    /// Coding buffer and parity accumulator (present only for the fec
+    /// family).
+    fec: Option<FecState>,
     /// Edge detector for [`AppEvent::Backpressure`].
     backpressured: bool,
     /// Edge detector for the `StormSuppressed` trace event.
@@ -288,6 +294,7 @@ impl Sender {
                 .then(|| DupNakFilter::new(cfg.retx_suppress)),
             load: cfg.overload.load_scaling.then(|| LoadScaler::new(32)),
             quar: vec![None; n],
+            fec: matches!(cfg.kind, ProtocolKind::Fec { .. }).then(FecState::new),
             backpressured: false,
             storm_shedding: false,
             tracer: Tracer::off(Rank::SENDER.0),
@@ -394,6 +401,14 @@ impl Sender {
     }
 
     fn begin_transfer(&mut self, now: Time, id: u32, payload: Payload, k: u32) {
+        if let Some(f) = self.fec.as_mut() {
+            // Only a data transfer is codable; stale losses and parity
+            // runs from the previous transfer can never flush.
+            match payload {
+                Payload::Data(_) => f.bind(id),
+                Payload::Alloc(_) => f.unbind(),
+            }
+        }
         self.transfer = Some(self.make_transfer(id, payload, k));
         if self.cfg.membership.enabled && self.hb_deadline.is_none() {
             // Going busy: start the heartbeat schedule with an immediate
@@ -479,11 +494,13 @@ impl Sender {
     fn make_release(&self, k: u32) -> Release {
         let n = self.group.n_receivers as usize;
         let mut release = match self.cfg.kind {
-            ProtocolKind::Ack | ProtocolKind::NakPolling { .. } => Release::PerSource {
-                cov: PerSourceCoverage::new(n),
-                src_of_rank: (0..n).map(Some).collect(),
-                rank_of_src: (0..n).map(Rank::from_receiver_index).collect(),
-            },
+            ProtocolKind::Ack | ProtocolKind::NakPolling { .. } | ProtocolKind::Fec { .. } => {
+                Release::PerSource {
+                    cov: PerSourceCoverage::new(n),
+                    src_of_rank: (0..n).map(Some).collect(),
+                    rank_of_src: (0..n).map(Rank::from_receiver_index).collect(),
+                }
+            }
             ProtocolKind::Ring => Release::Ring(RingTracker::new(k, n as u32)),
             ProtocolKind::Tree { .. } => {
                 let tree = self.tree.as_ref().expect("tree topology built in new()");
@@ -543,6 +560,7 @@ impl Sender {
                 self.pace_gate = base + Duration::from_nanos(ns);
             }
             self.emit_data(Which::Cur, seq, false);
+            self.fec_fresh(now, seq);
         }
         // The staged allocation round trip is one tiny packet: exempt from
         // pacing, never window-limited beyond its single slot.
@@ -623,7 +641,9 @@ impl Sender {
         if retx {
             flags |= PacketFlags::RETX;
         }
-        if let ProtocolKind::NakPolling { poll_interval, .. } = self.cfg.kind {
+        if let ProtocolKind::NakPolling { poll_interval, .. }
+        | ProtocolKind::Fec { poll_interval, .. } = self.cfg.kind
+        {
             let i = poll_interval as u32;
             if seq % i == i - 1 || seq + 1 == k {
                 flags |= PacketFlags::POLL;
@@ -894,6 +914,15 @@ impl Sender {
             // A fresh (non-duplicate) NAK is a loss signal.
             self.aimd_congestion(now, transfer_id);
         }
+        // The fec family aggregates NAKs into coded repairs instead of
+        // answering each one; anything the coding buffer cannot take
+        // (allocation round trip, receiver index beyond the loser bitmask,
+        // buffer full) falls through to a plain retransmission.
+        if matches!(self.cfg.kind, ProtocolKind::Fec { .. })
+            && self.fec_buffer_nak(now, rank, which, transfer_id, expected)
+        {
+            return;
+        }
         let dest = if self.cfg.unicast_retx_on_nak {
             Dest::Rank(rank)
         } else {
@@ -966,6 +995,167 @@ impl Sender {
         }
     }
 
+    /// Try to absorb a NAK into the fec coding buffer. Returns `true`
+    /// when buffered — the flush timer will answer it (and every other
+    /// loss gathered in the aggregation window) with coded repairs.
+    /// Returns `false` for anything the buffer cannot take: an
+    /// allocation round trip, a receiver index beyond the 64-bit loser
+    /// bitmask, a sequence with no live window slot, or a full buffer —
+    /// the caller then falls back to plain retransmission, which is
+    /// always correct.
+    fn fec_buffer_nak(
+        &mut self,
+        now: Time,
+        rank: Rank,
+        which: Which,
+        transfer_id: u32,
+        seq: u32,
+    ) -> bool {
+        if which != Which::Cur {
+            return false;
+        }
+        let codable = self.transfer.as_ref().is_some_and(|t| {
+            t.id == transfer_id
+                && matches!(t.payload, Payload::Data(_))
+                && t.win.slot(seq).is_some()
+        });
+        if !codable {
+            return false;
+        }
+        let deadline = now + self.cfg.retx_suppress;
+        let idx = rank.receiver_index();
+        let buffered = self
+            .fec
+            .as_mut()
+            .is_some_and(|f| f.buffer_nak(transfer_id, seq, idx, deadline));
+        if buffered {
+            self.stats.naks_coded += 1;
+        }
+        buffered
+    }
+
+    /// Flush the fec aggregation buffer when its deadline is due: prune
+    /// losses whose window slots have since been released, partition the
+    /// rest into decodable blocks ([`fec::greedy_blocks`]) and multicast
+    /// one coded REPAIR per block.
+    fn fec_flush(&mut self, now: Time) {
+        let ProtocolKind::Fec { max_coded, .. } = self.cfg.kind else {
+            return;
+        };
+        let due = self
+            .fec
+            .as_ref()
+            .and_then(|f| f.deadline())
+            .is_some_and(|d| d <= now);
+        if !due {
+            return;
+        }
+        let bound = match (self.fec.as_ref().and_then(|f| f.transfer()), &self.transfer) {
+            (Some(fid), Some(t)) if t.id == fid => match &t.payload {
+                Payload::Data(m) => Some((fid, m.clone())),
+                Payload::Alloc(_) => None,
+            },
+            _ => None,
+        };
+        let Some((tid, msg)) = bound else {
+            // The bound transfer ended while the timer ran; nothing owed.
+            if let Some(f) = self.fec.as_mut() {
+                f.unbind();
+            }
+            return;
+        };
+        if let (Some(f), Some(t)) = (self.fec.as_mut(), self.transfer.as_ref()) {
+            f.prune_pending(|s| t.win.slot(s).is_some());
+        }
+        let blocks = match self.fec.as_mut() {
+            Some(f) => f.flush(tid, max_coded),
+            None => return,
+        };
+        for (base, bitmap, generation) in blocks {
+            let body = RepairBody {
+                base_seq: base,
+                generation,
+                bitmap,
+            };
+            let xor = fec::xor_chunks(&msg, self.cfg.packet_size, body.seqs());
+            // Coded slots count as retransmitted: the shared suppression
+            // clock keeps a straggler NAK from triggering a plain retx of
+            // a packet the repair just healed.
+            if let Some(t) = self.transfer.as_mut() {
+                for s in body.seqs() {
+                    if let Some(slot) = t.win.slot_mut(s) {
+                        slot.last_tx = now;
+                        slot.retx += 1;
+                    }
+                }
+            }
+            self.stats.repairs_sent += 1;
+            self.tracer.emit(
+                now.as_nanos(),
+                TraceEvent::RepairSent {
+                    transfer: tid,
+                    base,
+                    coded: body.coded_count(),
+                    generation,
+                },
+            );
+            self.out.push_back(Transmit {
+                dest: Dest::Receivers,
+                payload: packet::encode_repair(Rank::SENDER, tid, body, &xor),
+                copied: 0,
+            });
+        }
+    }
+
+    /// Note a fresh data packet entering the wire; when it completes a
+    /// run of `parity_every` consecutive sequences, multicast the
+    /// proactive PARITY block over the run (heals any single loss in the
+    /// run with no feedback round trip).
+    fn fec_fresh(&mut self, now: Time, seq: u32) {
+        let ProtocolKind::Fec { parity_every, .. } = self.cfg.kind else {
+            return;
+        };
+        let Some((tid, msg)) = self.transfer.as_ref().and_then(|t| match &t.payload {
+            Payload::Data(m) => Some((t.id, m.clone())),
+            Payload::Alloc(_) => None,
+        }) else {
+            return;
+        };
+        let Some((base, generation)) = self
+            .fec
+            .as_mut()
+            .and_then(|f| f.note_fresh(tid, seq, parity_every as u32))
+        else {
+            return;
+        };
+        let span = parity_every as u32;
+        let bitmap = if span >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << span) - 1
+        };
+        let body = RepairBody {
+            base_seq: base,
+            generation,
+            bitmap,
+        };
+        let xor = fec::xor_chunks(&msg, self.cfg.packet_size, body.seqs());
+        self.stats.parity_sent += 1;
+        self.tracer.emit(
+            now.as_nanos(),
+            TraceEvent::ParitySent {
+                transfer: tid,
+                base,
+                coded: body.coded_count(),
+            },
+        );
+        self.out.push_back(Transmit {
+            dest: Dest::Receivers,
+            payload: packet::encode_parity(Rank::SENDER, tid, body, &xor),
+            copied: 0,
+        });
+    }
+
     fn finish_transfer(&mut self, now: Time) {
         let t = self.transfer.take().expect("finishing without a transfer");
         let (msg_id, data, phase) = self.cur.take().expect("transfer without a message");
@@ -995,6 +1185,11 @@ impl Sender {
     /// pipelined next message, or start one from the queue.
     fn advance_after_current(&mut self, now: Time) {
         debug_assert!(self.cur.is_none() && self.transfer.is_none());
+        // The finished (or abandoned) message's coding state is moot; the
+        // next data transfer re-binds in `begin_transfer`.
+        if let Some(f) = self.fec.as_mut() {
+            f.unbind();
+        }
         // Message boundary: admit pending joiners before the next message's
         // proof obligation is built (no-op while a staged allocation is
         // still in flight — its release was built on the old membership).
@@ -1825,6 +2020,29 @@ impl Sender {
                 });
             }
         }
+        a.require(
+            "S8",
+            self.fec.is_some() == matches!(self.cfg.kind, ProtocolKind::Fec { .. }),
+            || "coding state present iff the fec family is configured".into(),
+        );
+        if let Some(f) = &self.fec {
+            a.require("S8", f.pending_len() == 0 || f.deadline().is_some(), || {
+                format!(
+                    "{} buffered losses with no flush deadline armed",
+                    f.pending_len()
+                )
+            });
+            a.require(
+                "S8",
+                f.transfer().is_some() || (f.pending_len() == 0 && f.parity_run().is_none()),
+                || "unbound coding state holds losses or an open parity run".into(),
+            );
+            if let Some(fid) = f.transfer() {
+                a.require("S8", fid % 2 == 1, || {
+                    format!("coding state bound to transfer {fid}, which is not a data transfer")
+                });
+            }
+        }
         a.finish()
     }
 
@@ -1927,6 +2145,34 @@ impl Sender {
             h.write_u16(r.0);
         }
         h.write_u8(self.hb_deadline.is_some() as u8);
+        match &self.fec {
+            None => h.write_u8(0),
+            Some(f) => {
+                h.write_u8(1);
+                match f.transfer() {
+                    None => h.write_u8(0),
+                    Some(id) => {
+                        h.write_u8(1);
+                        h.write_u32(id);
+                    }
+                }
+                h.write_u32(f.generation());
+                h.write_u8(f.deadline().is_some() as u8);
+                h.write_usize(f.pending_len());
+                for (&s, &losers) in f.pending() {
+                    h.write_u32(s);
+                    h.write_u64(losers);
+                }
+                match f.parity_run() {
+                    None => h.write_u8(0),
+                    Some((base, count)) => {
+                        h.write_u8(1);
+                        h.write_u32(base);
+                        h.write_u32(count);
+                    }
+                }
+            }
+        }
         h.write_usize(self.out.len());
         h.write_usize(self.events.len());
     }
@@ -1997,7 +2243,9 @@ impl Endpoint for Sender {
             Packet::Data { .. }
             | Packet::Alloc { .. }
             | Packet::Welcome { .. }
-            | Packet::Sync { .. } => {
+            | Packet::Sync { .. }
+            | Packet::Repair { .. }
+            | Packet::Parity { .. } => {
                 // Data (or echoed sender-side control) flowing toward the
                 // sender is not expected; ignore.
                 self.stats.data_discarded += 1;
@@ -2019,6 +2267,8 @@ impl Endpoint for Sender {
         }
         // Quarantined receivers: serve any due catch-up rounds.
         self.quarantine_catchup(now);
+        // The fec aggregation window: flush coded repairs when due.
+        self.fec_flush(now);
         let liveness = self.cfg.liveness;
         for which in [Which::Cur, Which::Staged] {
             let Some(t) = self.tref(which) else { continue };
@@ -2096,6 +2346,7 @@ impl Endpoint for Sender {
             self.pace_deadline(),
             self.hb_deadline,
             self.quarantine_deadline(),
+            self.fec.as_ref().and_then(|f| f.deadline()),
         ]
         .into_iter()
         .flatten()

@@ -162,6 +162,28 @@ define_stats! {
     backpressure_signals: sum,
     /// Catch-up retransmissions unicast to quarantined receivers.
     catchup_retx_sent: sum,
+    /// Coded REPAIR packets multicast by the fec sender (each heals a
+    /// whole batch of disjoint per-receiver losses at once).
+    repairs_sent: sum,
+    /// Proactive PARITY packets multicast by the fec sender (unsolicited
+    /// XOR over the last `parity_every` data packets).
+    parity_sent: sum,
+    /// NAKed packets that were folded into a coded repair block instead of
+    /// being retransmitted individually (fec's saving over plain NAK).
+    naks_coded: sum,
+    /// REPAIR/PARITY packets received (before any decode decision).
+    repairs_received: sum,
+    /// Coded blocks that successfully reconstructed a missing packet.
+    repairs_decoded: sum,
+    /// Coded blocks naming no packet this receiver was missing.
+    repairs_useless: sum,
+    /// Coded blocks naming two or more missing packets (or otherwise
+    /// undecodable: oversized payload, unknown geometry, seqs beyond the
+    /// transfer).
+    repairs_undecodable: sum,
+    /// Coded blocks dropped by the replay gate (generation not strictly
+    /// increasing for the transfer).
+    repairs_replayed: sum,
 }
 
 impl Stats {
@@ -246,6 +268,14 @@ mod tests {
             quarantine_evicted: 1,
             backpressure_signals: 1,
             catchup_retx_sent: 1,
+            repairs_sent: 1,
+            parity_sent: 1,
+            naks_coded: 1,
+            repairs_received: 1,
+            repairs_decoded: 1,
+            repairs_useless: 1,
+            repairs_undecodable: 1,
+            repairs_replayed: 1,
         };
         assert!(
             ones.fields().iter().all(|&(_, x)| x == 1),

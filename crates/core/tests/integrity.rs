@@ -95,7 +95,7 @@ fn garbage_counted_as_malformed() {
     // malformed_rx (the strict-decode audits).
     let cfg = ProtocolConfig::new(ProtocolKind::Ack, 700, 6);
     let mut net = Loopback::new(cfg, 1, 7);
-    net.inject(Some(0), &[0x09u8; 40]); // bad packet type, no CKSUM bit
+    net.inject(Some(0), &[0x0bu8; 40]); // bad packet type, no CKSUM bit
     net.inject(Some(0), &[1u8, 2, 3]); // runt
     let mut trailing = packet::encode_join(Rank(1), 0).to_vec();
     trailing.push(0xee); // trailing garbage

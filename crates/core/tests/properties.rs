@@ -20,6 +20,18 @@ fn arb_kind() -> impl Strategy<Value = ProtocolKind> {
         Just(ProtocolKind::Tree {
             shape: TreeShape::Binary
         }),
+        (
+            1usize..=8,
+            prop_oneof![Just(0usize), 2usize..=16],
+            1usize..=64,
+        )
+            .prop_map(|(poll_interval, parity_every, max_coded)| {
+                ProtocolKind::Fec {
+                    poll_interval,
+                    parity_every,
+                    max_coded,
+                }
+            }),
     ]
 }
 
@@ -42,7 +54,9 @@ fn build_config(
     if matches!(kind, ProtocolKind::Ring) {
         cfg.window = cfg.window.max(n as usize + 1 + 1);
     }
-    if let ProtocolKind::NakPolling { poll_interval, .. } = kind {
+    if let ProtocolKind::NakPolling { poll_interval, .. }
+    | ProtocolKind::Fec { poll_interval, .. } = kind
+    {
         cfg.window = cfg.window.max(poll_interval);
     }
     if sr {
@@ -504,6 +518,93 @@ mod tree_invariants {
             // Depth is logarithmic.
             let depth = t.max_depth();
             prop_assert!(1usize << (depth - 1) <= n as usize);
+        }
+    }
+}
+
+mod fec_coding {
+    use super::*;
+    use rmcast::fec::{greedy_blocks, xor_chunks};
+    use std::collections::BTreeMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The greedy batcher never codes two packets lost by the same
+        /// receiver into one block (that receiver could decode neither),
+        /// covers every pending sequence exactly once, and emits only
+        /// canonical in-span bitmaps.
+        #[test]
+        fn greedy_blocks_keep_loss_sets_disjoint(
+            pending in proptest::collection::vec((0u32..200, 1u64..(1 << 8)), 0..40)
+                .prop_map(|v| v.into_iter().collect::<BTreeMap<u32, u64>>()),
+            max_coded in 1usize..=64,
+        ) {
+            let blocks = greedy_blocks(&pending, max_coded);
+            let mut covered: BTreeMap<u32, u32> = BTreeMap::new();
+            for &(base, bitmap) in &blocks {
+                prop_assert!(bitmap & 1 == 1, "bitmap must be canonical (bit 0 set)");
+                let seqs: Vec<u32> = (0..64u32)
+                    .filter(|i| bitmap & (1u64 << i) != 0)
+                    .map(|i| base + i)
+                    .collect();
+                prop_assert!(seqs.len() <= max_coded, "block exceeds max_coded");
+                // Loss sets pairwise disjoint: the union never overlaps the
+                // next member's losers.
+                let mut union = 0u64;
+                for &s in &seqs {
+                    let losers = pending[&s];
+                    prop_assert_eq!(
+                        losers & union, 0,
+                        "sequence {} shares a loser with an earlier block member", s
+                    );
+                    union |= losers;
+                    *covered.entry(s).or_insert(0) += 1;
+                }
+            }
+            // Exactly-once cover of the pending set.
+            prop_assert_eq!(covered.len(), pending.len());
+            prop_assert!(covered.values().all(|&c| c == 1));
+            prop_assert!(covered.keys().all(|s| pending.contains_key(s)));
+        }
+
+        /// XOR decode is bit-exact: for any message, packet size and coded
+        /// set, the block XORed with all-but-one chunk reproduces the
+        /// missing chunk byte-for-byte (zero-padded to the block length).
+        #[test]
+        fn xor_decode_is_bit_exact(
+            msg in proptest::collection::vec(any::<u8>(), 0..5000),
+            packet_size in 1usize..700,
+            picks in proptest::collection::vec(0u32..64, 1..16)
+                .prop_map(|v| v.into_iter().collect::<std::collections::BTreeSet<u32>>()),
+            miss_pick in 0usize..16,
+        ) {
+            let seqs: Vec<u32> = picks.into_iter().collect();
+            let missing = seqs[miss_pick % seqs.len()];
+            let block = xor_chunks(&msg, packet_size, seqs.iter().copied());
+            // Receiver side: XOR the block with every *held* chunk.
+            let mut acc = block.clone();
+            for &s in seqs.iter().filter(|&&s| s != missing) {
+                let start = (s as usize).saturating_mul(packet_size);
+                let chunk = if start < msg.len() {
+                    &msg[start..(start + packet_size).min(msg.len())]
+                } else {
+                    &[][..]
+                };
+                for (a, b) in acc.iter_mut().zip(chunk) {
+                    *a ^= b;
+                }
+            }
+            // The decoded prefix is exactly the missing chunk...
+            let start = (missing as usize).saturating_mul(packet_size);
+            let want = if start < msg.len() {
+                &msg[start..(start + packet_size).min(msg.len())]
+            } else {
+                &[][..]
+            };
+            prop_assert_eq!(&acc[..want.len()], want, "decoded bytes differ");
+            // ...and everything past it is the XOR's zero padding.
+            prop_assert!(acc[want.len()..].iter().all(|&b| b == 0));
         }
     }
 }

@@ -28,6 +28,7 @@ fn protocols_for(n: u16) -> Vec<ProtocolKind> {
         ProtocolKind::Tree {
             shape: TreeShape::Binary,
         },
+        ProtocolKind::fec(4),
     ];
     for h in [1usize, 2, n as usize] {
         if h <= n as usize {
@@ -343,6 +344,63 @@ fn peak_buffer_accounting_tracks_window() {
     net2.send_message(payload(20_000, 9));
     net2.run();
     assert_eq!(net2.receiver_stats(0).peak_buffer_bytes, 20_000);
+}
+
+#[test]
+fn fec_repairs_fewer_transmissions_than_nak_under_loss() {
+    // The tentpole claim at unit scale: with disjoint losses across the
+    // group, one coded repair heals what plain NAK answers with several
+    // retransmissions. Same seed, same loss process, same window.
+    fn recovery_tx(kind: ProtocolKind) -> (u64, u64, Vec<Bytes>) {
+        let cfg = config_for(kind, 8, 700, 8);
+        let mut net = Loopback::new(cfg, 8, 4242).with_loss(0.08);
+        let msg = payload(120_000, 5);
+        net.send_message(msg.clone());
+        let out = net.run();
+        let s = net.sender_stats();
+        (s.retx_sent, s.repairs_sent, out)
+    }
+    let (nak_retx, nak_repairs, nak_out) = recovery_tx(ProtocolKind::nak_polling(4));
+    let (fec_retx, fec_repairs, fec_out) = recovery_tx(ProtocolKind::fec(4));
+    assert_eq!(nak_out.len(), 8);
+    assert_eq!(fec_out.len(), 8);
+    assert_eq!(nak_repairs, 0, "the nak family never codes");
+    assert!(fec_repairs > 0, "losses at 8% must exercise coded repair");
+    assert!(
+        fec_retx + fec_repairs < nak_retx,
+        "fec recovery transmissions ({fec_retx} retx + {fec_repairs} repairs) \
+         must undercut nak ({nak_retx} retx)"
+    );
+}
+
+#[test]
+fn fec_proactive_parity_heals_without_feedback() {
+    // Proactive parity rides along every `parity_every` packets and lets a
+    // receiver heal a single loss before any NAK round trip happens.
+    let cfg = config_for(ProtocolKind::fec(4), 4, 700, 8);
+    let mut net = Loopback::new(cfg, 4, 7).with_loss(0.05);
+    let msg = payload(60_000, 6);
+    net.send_message(msg.clone());
+    let out = net.run();
+    assert_eq!(out.len(), 4);
+    assert!(out.iter().all(|d| d == &msg));
+    let s = net.sender_stats();
+    assert!(s.parity_sent > 0, "parity must flow on a lossy run");
+    let decoded: u64 = (0..4).map(|i| net.receiver_stats(i).repairs_decoded).sum();
+    assert!(decoded > 0, "at least one loss must heal by decoding");
+}
+
+#[test]
+fn fec_exactly_once_when_repair_races_native_delivery() {
+    // A decoded packet and its late native copy must not double-deliver:
+    // duplicates collapse in the assembler, deliveries stay exactly N.
+    let cfg = config_for(ProtocolKind::fec(4), 6, 700, 8);
+    let mut net = Loopback::new(cfg, 6, 31).with_loss(0.15).with_reorder(0.2);
+    let msg = payload(40_000, 7);
+    net.send_message(msg.clone());
+    let out = net.run();
+    assert_eq!(out.len(), 6, "exactly one delivery per receiver");
+    assert!(out.iter().all(|d| d == &msg), "byte-identical under races");
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! The correctness-tool front end.
 //!
 //! ```text
-//! rmcheck explore [--family ack|nak|ring|tree-flat|tree-binary|all]
+//! rmcheck explore [--family ack|nak|ring|tree-flat|tree-binary|fec|all]
 //!                 [--receivers N] [--window W] [--packets K]
 //!                 [--messages M] [--dups D] [--max-states S]
 //!                 [--no-handshake] [--no-liveness] [--aimd]
@@ -20,7 +20,7 @@ use std::process::ExitCode;
 
 fn usage() {
     println!(
-        "rmcheck explore [--family ack|nak|ring|tree-flat|tree-binary|all] \
+        "rmcheck explore [--family ack|nak|ring|tree-flat|tree-binary|fec|all] \
          [--receivers N] [--window W] [--packets K] [--messages M] [--dups D] \
          [--max-states S] [--no-handshake] [--no-liveness] [--aimd]"
     );
@@ -39,6 +39,7 @@ fn family_by_name(name: &str, receivers: u16) -> Option<Vec<ProtocolKind>> {
         "tree-binary" => vec![ProtocolKind::Tree {
             shape: TreeShape::Binary,
         }],
+        "fec" => vec![ExploreConfig::MODEL_FEC],
         "all" => ExploreConfig::all_families(receivers),
         _ => return None,
     })

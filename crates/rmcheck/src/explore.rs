@@ -88,6 +88,15 @@ const MODEL_PACKET_SIZE: usize = 4;
 const LIVENESS_STEP_BOUND: usize = 20_000;
 
 impl ExploreConfig {
+    /// The fec family at model scope: tightest legal knobs so coded
+    /// repair, proactive parity and the replay gate all engage inside a
+    /// two-packet message.
+    pub const MODEL_FEC: ProtocolKind = ProtocolKind::Fec {
+        poll_interval: 2,
+        parity_every: 2,
+        max_coded: 2,
+    };
+
     /// The CI smoke scope for `family`: 2 receivers, window 2 (3 for
     /// ring), a 1-packet message, handshake on, one duplicate. ~50–170k
     /// states per family; seconds in release, a couple of minutes for
@@ -142,7 +151,10 @@ impl ExploreConfig {
         let mut cfg = ProtocolConfig::new(self.family, MODEL_PACKET_SIZE, window);
         cfg.retx_suppress = Duration::ZERO;
         cfg.nak_suppress = Duration::ZERO;
-        cfg.handshake = self.handshake;
+        // The fec family requires the allocation handshake (receivers
+        // must preallocate to hold decode material); the flag only
+        // applies to the other families.
+        cfg.handshake = self.handshake || matches!(self.family, ProtocolKind::Fec { .. });
         if self.aimd {
             // AIMD alone is a pure function of delivered *events*
             // (timeouts shrink, acked progress regrows), so the
@@ -174,6 +186,7 @@ impl ExploreConfig {
             ProtocolKind::Tree {
                 shape: TreeShape::Binary,
             },
+            ExploreConfig::MODEL_FEC,
         ]
     }
 }

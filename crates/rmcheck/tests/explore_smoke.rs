@@ -60,6 +60,16 @@ fn smoke_tree_binary() {
 }
 
 #[test]
+fn smoke_fec() {
+    // The fec scope: REPAIR/PARITY delivery, drop and duplication are
+    // part of the enumerated datagram universe, the coding buffer and
+    // the receivers' generation gates are part of the state digest, and
+    // the exactly-once check covers a packet arriving both natively and
+    // via decode.
+    verify(ExploreConfig::MODEL_FEC);
+}
+
+#[test]
 fn smoke_ack_aimd() {
     // The `--aimd` CI scope: the adaptive cap shrinks on every explored
     // timer fire and regrows on progress, and is itself part of the

@@ -24,7 +24,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rmcast::packet;
-use rmwire::{AllocBody, PacketFlags, Rank, SeqNo, SyncBody};
+use rmwire::{AllocBody, PacketFlags, Rank, RepairBody, SeqNo, SyncBody};
 
 /// What one mutation did to its corpus input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,6 +118,32 @@ pub fn build_corpus() -> Vec<Vec<u8>> {
                 next_transfer: 40,
                 flags: SyncBody::DETACHED_ROOT,
             },
+        )
+        .to_vec(),
+        // Coded blocks (the fec family): a reactive repair over a sparse
+        // seq set and a proactive parity over a dense run, so truncation
+        // lands inside the 16-byte coded header and bit flips land on the
+        // bitmap, the generation and the XOR payload alike.
+        packet::encode_repair(
+            Rank(0),
+            7,
+            RepairBody {
+                base_seq: 3,
+                generation: 5,
+                bitmap: 0b1001_0001,
+            },
+            &data_short,
+        )
+        .to_vec(),
+        packet::encode_parity(
+            Rank(0),
+            7,
+            RepairBody {
+                base_seq: 40,
+                generation: 6,
+                bitmap: 0b1111,
+            },
+            &data_long[..64],
         )
         .to_vec(),
     ];
@@ -273,6 +299,157 @@ impl StormGen {
                 packet::encode_nak_epoch(rank, transfer, seq, stale_epoch).to_vec(),
             ),
         }
+    }
+}
+
+/// Which lie a [`CodedAbuseGen`] packet tells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodedAbuseKind {
+    /// A repair whose bitmap names only sequence 0 of the live transfer —
+    /// a packet the receiver already holds, so the block is useless. The
+    /// payload is garbage: accepting it into the assembly would be a
+    /// wrong-bytes escape.
+    HeldOnly,
+    /// A repair claiming all 64 bitmap positions with a garbage payload.
+    /// Any transfer shorter than 63 packets makes ≥ 2 of the named
+    /// sequences unavailable, so the only sound verdict is undecodable.
+    WideLie,
+    /// A replay: generation 0, which every live gate has already passed.
+    ReplayedGeneration,
+    /// Generation griefing: `u32::MAX` slams the replay gate shut, so the
+    /// sender's genuine repairs all arrive "replayed" and recovery must
+    /// survive on plain retransmission.
+    FutureGeneration,
+    /// Bitmap with bit 0 clear — no legitimate encoder emits one, so the
+    /// strict decoder must reject it before protocol state is touched.
+    NonCanonicalBitmap,
+    /// A coded header with zero payload bytes: unencodable, reject.
+    EmptyPayload,
+    /// `base_seq + span` overflows sequence space: reject at decode.
+    BaseOverflow,
+    /// XOR payload longer than any chunk can be: undecodable.
+    OversizedPayload,
+    /// A structurally perfect parity block for a transfer that was never
+    /// announced: unattributable, discard.
+    UnknownTransfer,
+}
+
+impl CodedAbuseKind {
+    /// All kinds, for coverage assertions.
+    pub const ALL: [CodedAbuseKind; 9] = [
+        CodedAbuseKind::HeldOnly,
+        CodedAbuseKind::WideLie,
+        CodedAbuseKind::ReplayedGeneration,
+        CodedAbuseKind::FutureGeneration,
+        CodedAbuseKind::NonCanonicalBitmap,
+        CodedAbuseKind::EmptyPayload,
+        CodedAbuseKind::BaseOverflow,
+        CodedAbuseKind::OversizedPayload,
+        CodedAbuseKind::UnknownTransfer,
+    ];
+}
+
+/// A deterministic stream of adversarial REPAIR/PARITY blocks aimed at one
+/// live transfer: lying bitmaps, replayed and griefed generations, and
+/// malformed coded headers. The complement of [`Mutator`] for the fec
+/// family — every packet is either rejected by the strict decoder or
+/// reaches the decode path carrying a lie the receiver must classify as
+/// useless/undecodable/replayed, never decode into the assembly.
+///
+/// Several kinds bypass `packet::encode_repair` (its debug assertions
+/// enforce exactly the invariants being attacked) and hand-roll the bytes.
+pub struct CodedAbuseGen {
+    rng: SmallRng,
+    next_gen: u32,
+}
+
+impl CodedAbuseGen {
+    /// An abuse stream with this seed.
+    pub fn new(seed: u64) -> Self {
+        CodedAbuseGen {
+            rng: SmallRng::seed_from_u64(seed),
+            // Far above any honest sender's generation counter, strictly
+            // increasing so each lie passes the replay gate and must be
+            // classified on its merits (rather than self-replaying).
+            next_gen: 1_000_000,
+        }
+    }
+
+    /// Hand-rolled coded packet: 12-byte header (big-endian), 16-byte
+    /// coded body, raw payload — no encoder-side invariants enforced.
+    fn raw_coded(
+        ptype: u8,
+        transfer: u32,
+        base: u32,
+        generation: u32,
+        bitmap: u64,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let mut p = Vec::with_capacity(28 + payload.len());
+        p.push(ptype);
+        p.push(0); // flags
+        p.extend_from_slice(&0u16.to_be_bytes()); // src_rank: the sender
+        p.extend_from_slice(&transfer.to_be_bytes());
+        p.extend_from_slice(&base.to_be_bytes()); // header seq mirrors base
+        p.extend_from_slice(&base.to_be_bytes());
+        p.extend_from_slice(&generation.to_be_bytes());
+        p.extend_from_slice(&bitmap.to_be_bytes());
+        p.extend_from_slice(payload);
+        p
+    }
+
+    fn garbage(&mut self, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|_| self.rng.gen_range(0..=255u32) as u8)
+            .collect()
+    }
+
+    /// The next abuse packet against `transfer` (chunks of `packet_size`
+    /// bytes). `HeldOnly` blocks name sequence 0: only inject them once
+    /// the receiver demonstrably holds it, or the garbage payload would
+    /// "decode" — which is precisely the escape the suite must rule out.
+    pub fn next_packet(&mut self, transfer: u32, packet_size: usize) -> (CodedAbuseKind, Vec<u8>) {
+        let kind = CodedAbuseKind::ALL[self.rng.gen_range(0..CodedAbuseKind::ALL.len())];
+        let gen_live = self.next_gen;
+        self.next_gen += 1;
+        let repair = 9u8;
+        let parity = 10u8;
+        let bytes = match kind {
+            CodedAbuseKind::HeldOnly => {
+                let g = self.garbage(packet_size);
+                Self::raw_coded(repair, transfer, 0, gen_live, 1, &g)
+            }
+            CodedAbuseKind::WideLie => {
+                let g = self.garbage(packet_size);
+                Self::raw_coded(repair, transfer, 0, gen_live, u64::MAX, &g)
+            }
+            CodedAbuseKind::ReplayedGeneration => {
+                let g = self.garbage(packet_size);
+                Self::raw_coded(repair, transfer, 0, 0, u64::MAX, &g)
+            }
+            CodedAbuseKind::FutureGeneration => {
+                let g = self.garbage(packet_size);
+                Self::raw_coded(parity, transfer, 0, u32::MAX, u64::MAX, &g)
+            }
+            CodedAbuseKind::NonCanonicalBitmap => {
+                let g = self.garbage(packet_size);
+                Self::raw_coded(repair, transfer, 0, gen_live, 0b10, &g)
+            }
+            CodedAbuseKind::EmptyPayload => Self::raw_coded(repair, transfer, 0, gen_live, 1, &[]),
+            CodedAbuseKind::BaseOverflow => {
+                let g = self.garbage(packet_size);
+                Self::raw_coded(repair, transfer, u32::MAX, gen_live, 0b11, &g)
+            }
+            CodedAbuseKind::OversizedPayload => {
+                let g = self.garbage(packet_size * 2 + 1);
+                Self::raw_coded(repair, transfer, 0, gen_live, 1, &g)
+            }
+            CodedAbuseKind::UnknownTransfer => {
+                let g = self.garbage(packet_size);
+                Self::raw_coded(parity, 0xDEAD_0001, 0, gen_live, 0b111, &g)
+            }
+        };
+        (kind, bytes)
     }
 }
 

@@ -168,6 +168,36 @@ pub enum TraceEvent {
         /// New congestion state (1 = congested, 0 = cleared).
         congested: u32,
     },
+    /// The fec sender multicast a reactive coded REPAIR block (the XOR of
+    /// `coded` packets, batching disjoint per-receiver losses).
+    RepairSent {
+        /// Transfer id.
+        transfer: u32,
+        /// First (lowest) sequence number in the coded block.
+        base: u32,
+        /// How many packets the block codes together.
+        coded: u32,
+        /// The block's generation counter (replay gate on receivers).
+        generation: u32,
+    },
+    /// The fec sender multicast a proactive PARITY block (unsolicited XOR
+    /// over the last `parity_every` data packets).
+    ParitySent {
+        /// Transfer id.
+        transfer: u32,
+        /// First (lowest) sequence number in the coded block.
+        base: u32,
+        /// How many packets the block codes together.
+        coded: u32,
+    },
+    /// A receiver reconstructed a missing data packet from a coded block
+    /// plus its held packets.
+    RepairDecoded {
+        /// Transfer id.
+        transfer: u32,
+        /// The sequence number decoded back into existence.
+        seq: u32,
+    },
     /// The network dropped a datagram (bridged from the simulator's
     /// `DropCause`; rank is the host where the drop happened).
     Drop {
@@ -200,6 +230,9 @@ impl TraceEvent {
             TraceEvent::QuarantineEnter { .. } => "QuarantineEnter",
             TraceEvent::QuarantineExit { .. } => "QuarantineExit",
             TraceEvent::Backpressure { .. } => "Backpressure",
+            TraceEvent::RepairSent { .. } => "RepairSent",
+            TraceEvent::ParitySent { .. } => "ParitySent",
+            TraceEvent::RepairDecoded { .. } => "RepairDecoded",
             TraceEvent::Drop { .. } => "Drop",
         }
     }
@@ -312,6 +345,30 @@ impl TraceRecord {
             } => {
                 let _ = write!(s, ",\"transfer\":{transfer},\"congested\":{congested}");
             }
+            TraceEvent::RepairSent {
+                transfer,
+                base,
+                coded,
+                generation,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"transfer\":{transfer},\"base\":{base},\"coded\":{coded},\"generation\":{generation}"
+                );
+            }
+            TraceEvent::ParitySent {
+                transfer,
+                base,
+                coded,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"transfer\":{transfer},\"base\":{base},\"coded\":{coded}"
+                );
+            }
+            TraceEvent::RepairDecoded { transfer, seq } => {
+                let _ = write!(s, ",\"transfer\":{transfer},\"seq\":{seq}");
+            }
             TraceEvent::Drop { cause } => {
                 let _ = write!(s, ",\"cause\":\"{cause}\"");
             }
@@ -348,6 +405,49 @@ mod tests {
         assert_eq!(
             d.to_json(),
             "{\"t\":0,\"rank\":5,\"ev\":\"Drop\",\"cause\":\"BurstLoss\"}"
+        );
+    }
+
+    #[test]
+    fn fec_event_json_shape_is_stable() {
+        let r = TraceRecord {
+            t_ns: 7,
+            rank: 0,
+            ev: TraceEvent::RepairSent {
+                transfer: 1,
+                base: 4,
+                coded: 3,
+                generation: 2,
+            },
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"t\":7,\"rank\":0,\"ev\":\"RepairSent\",\"transfer\":1,\"base\":4,\"coded\":3,\"generation\":2}"
+        );
+        let p = TraceRecord {
+            t_ns: 8,
+            rank: 0,
+            ev: TraceEvent::ParitySent {
+                transfer: 1,
+                base: 0,
+                coded: 8,
+            },
+        };
+        assert_eq!(
+            p.to_json(),
+            "{\"t\":8,\"rank\":0,\"ev\":\"ParitySent\",\"transfer\":1,\"base\":0,\"coded\":8}"
+        );
+        let d = TraceRecord {
+            t_ns: 9,
+            rank: 3,
+            ev: TraceEvent::RepairDecoded {
+                transfer: 1,
+                seq: 5,
+            },
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"t\":9,\"rank\":3,\"ev\":\"RepairDecoded\",\"transfer\":1,\"seq\":5}"
         );
     }
 

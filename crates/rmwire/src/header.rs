@@ -49,6 +49,14 @@ pub enum PacketType {
     /// Admission handoff: the sender tells a joiner the epoch and the first
     /// message/transfer it is responsible for.
     Sync = 8,
+    /// Reactive coded repair: the XOR of the packets named by a
+    /// [`crate::RepairBody`] seq-set bitmap, healing different losses at
+    /// different receivers with one multicast (the `fec` family).
+    Repair = 9,
+    /// Proactive parity: the XOR of the last *k* data packets, emitted
+    /// unsolicited so single losses heal with no feedback round trip.
+    /// Same body layout as `Repair`.
+    Parity = 10,
 }
 
 impl PacketType {
@@ -62,6 +70,8 @@ impl PacketType {
             6 => Ok(PacketType::Leave),
             7 => Ok(PacketType::Heartbeat),
             8 => Ok(PacketType::Sync),
+            9 => Ok(PacketType::Repair),
+            10 => Ok(PacketType::Parity),
             other => Err(WireError::BadPacketType(other)),
         }
     }
@@ -233,6 +243,8 @@ mod tests {
             PacketType::Leave,
             PacketType::Heartbeat,
             PacketType::Sync,
+            PacketType::Repair,
+            PacketType::Parity,
         ] {
             let h = Header {
                 ptype,
@@ -256,11 +268,11 @@ mod tests {
 
     #[test]
     fn bad_type_rejected() {
-        let bytes = [9u8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let bytes = [11u8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
         let mut b: &[u8] = &bytes;
         assert_eq!(
             Header::decode(&mut b).unwrap_err(),
-            WireError::BadPacketType(9)
+            WireError::BadPacketType(11)
         );
     }
 

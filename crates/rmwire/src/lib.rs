@@ -39,7 +39,8 @@ pub mod time;
 pub use checksum::crc32c;
 pub use header::{Header, PacketFlags, PacketType, HEADER_LEN};
 pub use payload::{
-    AckBody, AllocBody, HeartbeatBody, JoinBody, LeaveBody, NakBody, SyncBody, WelcomeBody,
+    AckBody, AllocBody, HeartbeatBody, JoinBody, LeaveBody, NakBody, RepairBody, SyncBody,
+    WelcomeBody,
 };
 pub use rank::{GroupSpec, Rank};
 pub use seq::SeqNo;

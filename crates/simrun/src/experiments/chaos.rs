@@ -7,7 +7,7 @@
 //! the network or a member actually misbehaves?" The scenarios reuse the
 //! calibrated testbed, so the numbers are comparable with fig08–fig21.
 
-use super::{ack_cfg, nak_cfg, ring_cfg, rm_scenario, tree_cfg, Effort};
+use super::{ack_cfg, fec_cfg, nak_cfg, ring_cfg, rm_scenario, tree_cfg, Effort};
 use crate::scenario::{ChaosOutcome, Scenario};
 use crate::table::Table;
 use netsim::{FaultPlan, HostId};
@@ -21,7 +21,7 @@ const N: u16 = 8;
 /// Message size: ~25 data packets per protocol, several RTTs of work.
 const MSG: usize = 200_000;
 
-/// The four protocol families with `liveness` applied. Window/packet
+/// The five protocol families with `liveness` applied. Window/packet
 /// settings are mid-range (not per-family tuned): chaos measures
 /// robustness, not peak throughput.
 fn families(liveness: LivenessConfig) -> Vec<(&'static str, ProtocolConfig)> {
@@ -30,6 +30,7 @@ fn families(liveness: LivenessConfig) -> Vec<(&'static str, ProtocolConfig)> {
         ("nak", nak_cfg(8_000, 16, 8)),
         ("ring", ring_cfg(8_000, N as usize + 2)),
         ("tree", tree_cfg(8_000, 8, 3)),
+        ("fec", fec_cfg(8_000, 16, 8)),
     ];
     for (_, cfg) in &mut v {
         cfg.liveness = liveness;

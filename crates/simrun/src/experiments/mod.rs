@@ -17,6 +17,7 @@ pub mod calibration_report;
 pub mod chaos;
 pub mod churn;
 pub mod crossover;
+pub mod fec;
 pub mod fig07;
 pub mod figures_ack;
 pub mod figures_nak;
@@ -32,6 +33,7 @@ pub use calibration_report::*;
 pub use chaos::*;
 pub use churn::*;
 pub use crossover::*;
+pub use fec::*;
 pub use fig07::*;
 pub use figures_ack::*;
 pub use figures_nak::*;
@@ -115,6 +117,13 @@ pub(crate) fn tree_cfg(packet_size: usize, window: usize, height: usize) -> Prot
     ProtocolConfig::new(ProtocolKind::flat_tree(height), packet_size, window)
 }
 
+/// Coded-repair (fec) configuration: NAK machinery plus XOR repair
+/// blocks and proactive parity (the constructor forces the allocation
+/// handshake the decode geometry needs).
+pub(crate) fn fec_cfg(packet_size: usize, window: usize, poll: usize) -> ProtocolConfig {
+    ProtocolConfig::new(ProtocolKind::fec(poll), packet_size, window)
+}
+
 /// Every experiment by id, in paper order.
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
@@ -161,6 +170,8 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "overload_campaign",
         "byzantine_storm",
         "fuzz_decode",
+        "fec_loss_sweep",
+        "fec_repair_economy",
         "churn_crash_rejoin",
         "partition_heal",
         "trace_deep_dive",
@@ -213,6 +224,8 @@ pub fn run_experiment(id: &str, effort: Effort) -> Table {
         "overload_campaign" => overload_campaign(effort),
         "byzantine_storm" => byzantine_storm(effort),
         "fuzz_decode" => byzantine::fuzz_decode(effort),
+        "fec_loss_sweep" => fec_loss_sweep(effort),
+        "fec_repair_economy" => fec_repair_economy(effort),
         "churn_crash_rejoin" => churn_crash_rejoin(effort),
         "partition_heal" => partition_heal(effort),
         "trace_deep_dive" => trace_deep_dive(effort),

@@ -9,7 +9,7 @@
 //! the liveness outcome, so shrink/recover and quarantine activity are
 //! visible in the table, not just in traces.
 
-use super::{ack_cfg, nak_cfg, ring_cfg, rm_scenario, tree_cfg, Effort};
+use super::{ack_cfg, fec_cfg, nak_cfg, ring_cfg, rm_scenario, tree_cfg, Effort};
 use crate::scenario::{ChaosOutcome, Scenario};
 use crate::table::Table;
 use netsim::{FaultPlan, HostId};
@@ -23,7 +23,7 @@ const N: u16 = 8;
 /// Message size: ~25 data packets, several windows of work.
 const MSG: usize = 200_000;
 
-/// The four families with the adaptive overload profile on. Ring keeps
+/// The five families with the adaptive overload profile on. Ring keeps
 /// its AIMD floor above the group size so the token rotation always has
 /// a full circuit of outstanding packets to ride on.
 fn families() -> Vec<(&'static str, ProtocolConfig)> {
@@ -32,6 +32,7 @@ fn families() -> Vec<(&'static str, ProtocolConfig)> {
         ("nak", nak_cfg(8_000, 16, 8)),
         ("ring", ring_cfg(8_000, N as usize + 2)),
         ("tree", tree_cfg(8_000, 8, 3)),
+        ("fec", fec_cfg(8_000, 16, 8)),
     ];
     for (name, cfg) in &mut v {
         cfg.liveness = LivenessConfig::evicting(30);

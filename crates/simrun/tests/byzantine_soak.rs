@@ -28,6 +28,7 @@ fn hardened_families() -> Vec<(&'static str, ProtocolConfig)> {
             "tree",
             ProtocolConfig::new(ProtocolKind::flat_tree(3), 8_000, 8),
         ),
+        ("fec", ProtocolConfig::new(ProtocolKind::fec(8), 8_000, 16)),
     ];
     for (_, cfg) in &mut v {
         cfg.integrity = true;

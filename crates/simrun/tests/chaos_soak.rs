@@ -27,6 +27,7 @@ fn families(liveness: LivenessConfig) -> Vec<(&'static str, ProtocolConfig)> {
             "tree",
             ProtocolConfig::new(ProtocolKind::flat_tree(3), 8_000, 8),
         ),
+        ("fec", ProtocolConfig::new(ProtocolKind::fec(8), 8_000, 16)),
     ];
     for (_, cfg) in &mut v {
         cfg.liveness = liveness;

@@ -33,6 +33,7 @@ fn families() -> Vec<(&'static str, ProtocolConfig)> {
             "tree",
             ProtocolConfig::new(ProtocolKind::flat_tree(3), 8_000, 8),
         ),
+        ("fec", ProtocolConfig::new(ProtocolKind::fec(8), 8_000, 16)),
     ];
     for (name, cfg) in &mut v {
         cfg.liveness = LivenessConfig::evicting(40);

@@ -315,7 +315,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
                 backpressure.push((msg_id, congested));
             }
             Ok(NodeEvent::Finished { rank, stats: s }) => {
-                stats.insert(rank, s);
+                stats.insert(rank, *s);
             }
             Ok(NodeEvent::FlightDump { rank, dump }) => {
                 flight_dumps.push((rank, dump));
@@ -351,7 +351,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
                 backpressure.push((msg_id, congested));
             }
             Ok(NodeEvent::Finished { rank, stats: s }) => {
-                stats.insert(rank, s);
+                stats.insert(rank, *s);
             }
             Ok(NodeEvent::FlightDump { rank, dump }) => {
                 flight_dumps.push((rank, dump));
@@ -376,7 +376,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
                 msg_id, congested, ..
             } => backpressure.push((msg_id, congested)),
             NodeEvent::Finished { rank, stats: s } => {
-                stats.insert(rank, s);
+                stats.insert(rank, *s);
             }
             NodeEvent::FlightDump { rank, dump } => flight_dumps.push((rank, dump)),
             NodeEvent::Sent { .. } => {}
@@ -387,7 +387,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
     }
     for ev in rx.try_iter() {
         if let NodeEvent::Finished { rank, stats: s } = ev {
-            stats.insert(rank, s);
+            stats.insert(rank, *s);
         }
     }
 

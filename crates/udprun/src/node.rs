@@ -90,12 +90,13 @@ pub enum NodeEvent {
         /// The membership epoch created by the admission.
         epoch: u32,
     },
-    /// The node thread exited (stats snapshot attached).
+    /// The node thread exited (stats snapshot attached). Boxed: the
+    /// counter block dwarfs every other variant.
     Finished {
         /// Node rank (0 = sender).
         rank: Rank,
         /// Final counters.
-        stats: rmcast::Stats,
+        stats: Box<rmcast::Stats>,
     },
     /// A failure tripped the node's flight recorder (when enabled): the
     /// last protocol events and counters leading up to it.
@@ -219,7 +220,7 @@ pub fn drive<E: Endpoint>(
     }
     let _ = events.send(NodeEvent::Finished {
         rank,
-        stats: ep.stats().clone(),
+        stats: Box::new(ep.stats().clone()),
     });
     Ok(())
 }

@@ -39,6 +39,7 @@ fn families() -> Vec<(&'static str, ProtocolConfig)> {
             "tree",
             ProtocolConfig::new(ProtocolKind::flat_tree(2), 4_000, 8),
         ),
+        ("fec", ProtocolConfig::new(ProtocolKind::fec(6), 4_000, 12)),
     ];
     for (name, cfg) in &mut v {
         // Real wall clocks: a short RTO keeps the blackout-induced

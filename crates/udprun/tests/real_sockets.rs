@@ -49,6 +49,75 @@ fn tree_protocol_over_real_udp() {
 }
 
 #[test]
+fn fec_protocol_over_real_udp() {
+    check(ProtocolKind::fec(6), 4, 12, 100_000);
+}
+
+#[test]
+fn fec_loss_sweep_over_real_udp() {
+    // The CI fec-soak's real-socket leg: all five families at ~1%, ~5%
+    // and ~20% hub loss (drop every 100th / 20th / 5th forwarded copy),
+    // exactly-once byte-identical delivery at every rank. At the two
+    // heavier rates the fec family must actually be coding: repair or
+    // parity blocks on the wire and at least one receiver-side decode.
+    let kinds: [(&str, ProtocolKind); 5] = [
+        ("ack", ProtocolKind::Ack),
+        ("nak", ProtocolKind::nak_polling(6)),
+        ("ring", ProtocolKind::Ring),
+        ("tree", ProtocolKind::flat_tree(2)),
+        ("fec", ProtocolKind::fec(6)),
+    ];
+    for &drop_every in &[100u32, 20, 5] {
+        for (name, kind) in kinds {
+            let window = if kind == ProtocolKind::Ring { 6 } else { 12 };
+            let mut cfg = ProtocolConfig::new(kind, 4_000, window);
+            cfg.rto = rmcast::Duration::from_millis(40);
+            // 20% forced loss takes many RTO rounds; keep retries ample.
+            cfg.liveness = rmcast::LivenessConfig::bounded(200);
+            let msg = payload(150_000);
+            let mut cc = ClusterConfig::new(cfg, 4);
+            cc.hub_drop_every = Some(drop_every);
+            cc.timeout = std::time::Duration::from_secs(30);
+            let out = run_cluster(cc, vec![msg.clone()])
+                .unwrap_or_else(|e| panic!("{name} @ 1/{drop_every} loss: {e}"));
+
+            assert!(
+                out.failures.is_empty(),
+                "{name} @ 1/{drop_every}: {:?}",
+                out.failures
+            );
+            let mut seen: Vec<Rank> = out.deliveries.iter().map(|(r, _, _)| *r).collect();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(
+                out.deliveries.len(),
+                4,
+                "{name} @ 1/{drop_every}: wrong delivery count"
+            );
+            assert_eq!(seen.len(), 4, "{name} @ 1/{drop_every}: duplicate delivery");
+            for (r, _, data) in &out.deliveries {
+                assert_eq!(
+                    data, &msg,
+                    "{name} @ 1/{drop_every}: corrupt bytes at {r:?}"
+                );
+            }
+            if name == "fec" && drop_every <= 20 {
+                let s = &out.sender_stats;
+                assert!(
+                    s.repairs_sent + s.parity_sent > 0,
+                    "fec @ 1/{drop_every}: no coded block ever hit the wire"
+                );
+                let decoded: u64 = out.receiver_stats.values().map(|r| r.repairs_decoded).sum();
+                assert!(
+                    decoded > 0,
+                    "fec @ 1/{drop_every}: no receiver reconstructed from a block"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn multiple_messages_over_real_udp() {
     let mut cfg = ProtocolConfig::new(ProtocolKind::nak_polling(6), 4_000, 12);
     cfg.rto = rmcast::Duration::from_millis(50);

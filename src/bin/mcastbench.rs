@@ -51,7 +51,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mcastbench [options]\n\
          \n\
-         --protocol ack|nak|ring|tree|tree-binary|raw-udp|tcp   (default nak)\n\
+         --protocol ack|nak|fec|ring|tree|tree-binary|raw-udp|tcp   (default nak)\n\
          --backend sim|udp                                      (default sim)\n\
          --receivers N          group size               (default 30)\n\
          --size BYTES           message size             (default 2000000)\n\
@@ -112,6 +112,10 @@ fn build_config(a: &Args) -> ProtocolConfig {
         "nak" => {
             let poll = a.poll.unwrap_or(((window * 85) / 100).max(1));
             ProtocolKind::nak_polling(poll.min(window))
+        }
+        "fec" => {
+            let poll = a.poll.unwrap_or(((window * 85) / 100).max(1));
+            ProtocolKind::fec(poll.min(window))
         }
         "ring" => ProtocolKind::Ring,
         "tree" => ProtocolKind::flat_tree(a.height.min(a.receivers as usize)),
@@ -180,6 +184,8 @@ fn main() {
     println!("throughput       : {:.1} Mbit/s", r.throughput_mbps);
     println!("data packets     : {}", r.sender_stats.data_sent);
     println!("retransmissions  : {}", r.sender_stats.retx_sent);
+    println!("coded repairs    : {}", r.sender_stats.repairs_sent);
+    println!("parity blocks    : {}", r.sender_stats.parity_sent);
     println!("acks at sender   : {}", r.sender_stats.acks_received);
     println!("naks at sender   : {}", r.sender_stats.naks_received);
     println!(
@@ -220,6 +226,8 @@ fn run_udp(a: &Args) {
     println!("wall time        : {:.2?}", out.elapsed);
     println!("throughput       : {mbps:.1} Mbit/s");
     println!("retransmissions  : {}", out.sender_stats.retx_sent);
+    println!("coded repairs    : {}", out.sender_stats.repairs_sent);
+    println!("parity blocks    : {}", out.sender_stats.parity_sent);
     println!(
         "deliveries       : {}/{}",
         out.deliveries.len(),
