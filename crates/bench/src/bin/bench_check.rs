@@ -1,0 +1,34 @@
+//! `bench_check` — validate `BENCH_*.json` trajectory artifacts.
+//!
+//! ```text
+//! cargo run -p rm-bench --bin bench_check -- BENCH_8.json [more.json ...]
+//! ```
+//!
+//! Exits nonzero (with one line per problem) if any artifact fails the
+//! `bench-trajectory-v2` schema check — the CI perf-smoke job runs this
+//! over the artifact `perf_record --smoke` just produced, so a schema
+//! drift in the producer cannot land silently.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: bench_check <BENCH_*.json> ...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        let verdict = std::fs::read_to_string(path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|text| rm_bench::validate_bench_artifact(&text));
+        match verdict {
+            Ok(()) => println!("{path}: ok"),
+            Err(e) => {
+                eprintln!("{path}: FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -4,7 +4,7 @@
 //! to compare across PRs, and writes them as one JSON object:
 //!
 //! ```text
-//! cargo run --release -p rm-bench --bin perf_record -- BENCH_7.json
+//! cargo run --release -p rm-bench --bin perf_record -- BENCH_8.json
 //! ```
 //!
 //! Four measurements, each median-of-5 wall time around a fixed workload:
@@ -23,6 +23,22 @@
 //!   `OverloadConfig::adaptive` on a clean network; the adaptive
 //!   machinery should cost ~nothing when nothing is wrong.
 //!
+//! Since `bench-trajectory-v2` the artifact also records:
+//!
+//! * **`env`** — rustc version, debug/release, host core count, OS: the
+//!   context without which cross-machine comparisons of the absolute
+//!   numbers are meaningless.
+//! * **`profile`** — an `rmprof` span breakdown of the paper point for
+//!   every family: per-stage p50/p99 and share-of-wall, answering *where
+//!   the time goes* inside the headline measurement. Shares can overlap
+//!   (`wire.crc` runs nested inside `wire.encode`/`wire.decode`) and do
+//!   not sum to 1: uninstrumented code and the event loop own the rest.
+//!
+//! `--smoke` shrinks every workload (~seconds, CI-sized) while keeping
+//! the artifact shape identical, so the schema check in CI exercises the
+//! real producer. Smoke numbers are not comparable to full runs; the
+//! artifact says which mode produced it.
+//!
 //! Criterion owns statistical rigor for micro-level comparisons
 //! (`cargo bench -p rm-bench`); this binary exists to leave one small,
 //! diffable artifact per PR at the repo root.
@@ -38,9 +54,44 @@ use simrun::scenario::{Protocol, Scenario};
 
 const LOOPBACK_MSG: usize = 500_000;
 const LOOPBACK_RECEIVERS: u16 = 8;
-const PINGPONG_EXCHANGES: u32 = 10_000;
-const PAPER_N: u16 = 30;
-const PAPER_MSG: usize = 500_000;
+
+/// Workload sizes: the full trajectory run vs the CI smoke run.
+struct Mode {
+    /// Samples per median (the full run's 5 keeps PR-to-PR differences
+    /// meaningful; smoke's 1 only proves the machinery works).
+    reps: usize,
+    /// Transfers per timed loopback sample: one 500 KB exchange is ~2ms
+    /// of wall time, well inside scheduler jitter; a batch makes each
+    /// sample long enough that the overload-vs-baseline subtraction is
+    /// signal.
+    loopback_batch: usize,
+    /// Ping-pong round trips per netsim sample.
+    pingpong: u32,
+    /// Receivers at the paper point (the paper's headline is N=30).
+    paper_n: u16,
+    /// Message bytes at the paper point.
+    paper_msg: usize,
+    /// Artifact tag.
+    name: &'static str,
+}
+
+const FULL: Mode = Mode {
+    reps: 5,
+    loopback_batch: 10,
+    pingpong: 10_000,
+    paper_n: 30,
+    paper_msg: 500_000,
+    name: "full",
+};
+
+const SMOKE: Mode = Mode {
+    reps: 1,
+    loopback_batch: 2,
+    pingpong: 1_000,
+    paper_n: 8,
+    paper_msg: 100_000,
+    name: "smoke",
+};
 
 /// Median-of-`n` wall seconds for `f`. The median (not the minimum)
 /// keeps *differences* between measurements meaningful: best-of-N's
@@ -65,16 +116,16 @@ fn loopback_cfg(overload: bool) -> ProtocolConfig {
     cfg
 }
 
-/// Transfers per timed loopback sample: one 500 KB exchange is ~2ms of
-/// wall time, well inside scheduler jitter; a batch makes each sample
-/// long enough that the overload-vs-baseline subtraction is signal.
-const LOOPBACK_BATCH: usize = 10;
-
-/// One loopback transfer; returns the wall seconds it took and stores
-/// the datagram counts (identical across repeats of a fixed workload).
-fn loopback_batch(overload: bool, sender_pkts: &mut u64, receiver_pkts: &mut u64) -> f64 {
+/// One loopback batch; returns wall seconds per transfer and stores the
+/// datagram counts (identical across repeats of a fixed workload).
+fn loopback_batch(
+    mode: &Mode,
+    overload: bool,
+    sender_pkts: &mut u64,
+    receiver_pkts: &mut u64,
+) -> f64 {
     let t = Instant::now();
-    for _ in 0..LOOPBACK_BATCH {
+    for _ in 0..mode.loopback_batch {
         let mut net = Loopback::new(loopback_cfg(overload), LOOPBACK_RECEIVERS, 1);
         net.send_message(Bytes::from(vec![1u8; LOOPBACK_MSG]));
         let delivered = net.run().len();
@@ -88,7 +139,7 @@ fn loopback_batch(overload: bool, sender_pkts: &mut u64, receiver_pkts: &mut u64
             })
             .sum();
     }
-    t.elapsed().as_secs_f64() / LOOPBACK_BATCH as f64
+    t.elapsed().as_secs_f64() / mode.loopback_batch as f64
 }
 
 /// Paired baseline-vs-overload loopback measurement. The two variants
@@ -97,27 +148,42 @@ fn loopback_batch(overload: bool, sender_pkts: &mut u64, receiver_pkts: &mut u64
 /// that ordering bias is what drove BENCH_6's overhead negative. Returns
 /// (baseline wall/transfer, overload wall/transfer, sender datagrams,
 /// receiver datagrams).
-fn loopback_paired() -> (f64, f64, u64, u64) {
+fn loopback_paired(mode: &Mode) -> (f64, f64, u64, u64) {
     let mut sender_pkts = 0;
     let mut receiver_pkts = 0;
     // Untimed warm-up: the allocator/page-fault cold-start must not land
     // in the first timed sample.
-    loopback_batch(false, &mut sender_pkts, &mut receiver_pkts);
-    loopback_batch(true, &mut sender_pkts, &mut receiver_pkts);
-    let mut base = Vec::with_capacity(5);
-    let mut over = Vec::with_capacity(5);
-    for _ in 0..5 {
-        base.push(loopback_batch(false, &mut sender_pkts, &mut receiver_pkts));
-        over.push(loopback_batch(true, &mut sender_pkts, &mut receiver_pkts));
+    loopback_batch(mode, false, &mut sender_pkts, &mut receiver_pkts);
+    loopback_batch(mode, true, &mut sender_pkts, &mut receiver_pkts);
+    let mut base = Vec::with_capacity(mode.reps);
+    let mut over = Vec::with_capacity(mode.reps);
+    for _ in 0..mode.reps {
+        base.push(loopback_batch(
+            mode,
+            false,
+            &mut sender_pkts,
+            &mut receiver_pkts,
+        ));
+        over.push(loopback_batch(
+            mode,
+            true,
+            &mut sender_pkts,
+            &mut receiver_pkts,
+        ));
     }
     base.sort_by(|a, b| a.total_cmp(b));
     over.sort_by(|a, b| a.total_cmp(b));
-    (base[2], over[2], sender_pkts, receiver_pkts)
+    (
+        base[mode.reps / 2],
+        over[mode.reps / 2],
+        sender_pkts,
+        receiver_pkts,
+    )
 }
 
 /// The microbench ping-pong as a plain function: 2 hosts, one datagram in
-/// flight, `PINGPONG_EXCHANGES` round trips.
-fn pingpong_events_per_sec() -> f64 {
+/// flight, `mode.pingpong` round trips.
+fn pingpong_events_per_sec(mode: &Mode) -> f64 {
     struct Ping {
         left: u32,
         peer: netsim::HostId,
@@ -135,7 +201,8 @@ fn pingpong_events_per_sec() -> f64 {
             ctx.send(UdpDest::host(dg.src_host, 9), Bytes::from_static(b"x"));
         }
     }
-    let wall = median_of(5, || {
+    let exchanges = mode.pingpong;
+    let wall = median_of(mode.reps, || {
         let mut sim = Sim::new(SimConfig::default(), 1);
         let hosts = topology::single_switch(&mut sim, 2);
         for (i, &h) in hosts.iter().enumerate() {
@@ -143,7 +210,7 @@ fn pingpong_events_per_sec() -> f64 {
                 h,
                 9,
                 Box::new(Ping {
-                    left: PINGPONG_EXCHANGES,
+                    left: exchanges,
                     peer: hosts[1 - i],
                 }),
             );
@@ -151,32 +218,102 @@ fn pingpong_events_per_sec() -> f64 {
         sim.run();
     });
     // Each exchange is two datagram deliveries (one per direction).
-    f64::from(2 * PINGPONG_EXCHANGES) / wall
+    f64::from(2 * exchanges) / wall
 }
 
 /// The paper's headline point for one family: (simulated comm seconds,
 /// simulated Mbit/s, wall seconds to regenerate it).
-fn paper_point(cfg: ProtocolConfig) -> (f64, f64, f64) {
-    let mut sc = Scenario::new(Protocol::Rm(cfg), PAPER_N, PAPER_MSG);
+fn paper_point(mode: &Mode, cfg: ProtocolConfig) -> (f64, f64, f64) {
+    let mut sc = Scenario::new(Protocol::Rm(cfg), mode.paper_n, mode.paper_msg);
     sc.seeds = vec![1];
     let mut comm = 0.0;
     let mut mbps = 0.0;
-    let wall = median_of(5, || {
+    let wall = median_of(mode.reps, || {
         let r = sc.run(1);
-        assert_eq!(r.deliveries, PAPER_N as usize);
+        assert_eq!(r.deliveries, mode.paper_n as usize);
         comm = r.comm_time.as_secs_f64();
         mbps = r.throughput_mbps;
     });
     (comm, mbps, wall)
 }
 
-fn main() {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+/// One profiled paper-point run for one family: the JSON rows of the
+/// `profile` section — per-stage count/p50/p99/share-of-wall. Every
+/// stage appears (udprun stages legitimately read zero under the
+/// simulator) so the schema is identical across rows.
+fn profile_rows(mode: &Mode, cfg: ProtocolConfig) -> (f64, String) {
+    let mut sc = Scenario::new(Protocol::Rm(cfg), mode.paper_n, mode.paper_msg);
+    sc.seeds = vec![1];
+    let t = Instant::now();
+    let (result, snap) = sc.run_profiled(1);
+    let wall = t.elapsed().as_secs_f64();
+    assert_eq!(result.deliveries, mode.paper_n as usize);
+    let wall_ns = wall * 1e9;
+    let mut rows = String::new();
+    for (i, (stage, h)) in snap.stages.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "      {{\"stage\": \"{stage}\", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"sum_ns\": {}, \"share_of_wall\": {:.4}}}",
+            h.count(),
+            h.p50(),
+            h.p99(),
+            h.sum(),
+            h.sum() as f64 / wall_ns
+        ));
+    }
+    (wall, rows)
+}
 
-    let (base_wall, overload_wall, sender_pkts, receiver_pkts) = loopback_paired();
-    let events_per_sec = pingpong_events_per_sec();
+/// The run's environment: without this block the artifact's absolute
+/// numbers can't be compared across machines or build modes.
+fn env_json() -> String {
+    let rustc = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let build = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    format!(
+        "{{\"rustc\": \"{rustc}\", \"build\": \"{build}\", \"cores\": {cores}, \
+         \"os\": \"{}-{}\"}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
+fn main() {
+    let mut out = "BENCH_8.json".to_string();
+    let mut mode = &FULL;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            mode = &SMOKE;
+        } else {
+            out = arg;
+        }
+    }
+    // The PR number is the digits of the artifact name (BENCH_8.json → 8),
+    // so the trajectory stays self-describing without another flag.
+    let pr: u32 = out
+        .chars()
+        .filter(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0);
+
+    let (base_wall, overload_wall, sender_pkts, receiver_pkts) = loopback_paired(mode);
+    let events_per_sec = pingpong_events_per_sec(mode);
 
     let families: [(&str, ProtocolConfig); 5] = [
         ("ack", ProtocolConfig::new(ProtocolKind::Ack, 8_000, 20)),
@@ -193,7 +330,7 @@ fn main() {
     ];
     let mut rows = String::new();
     for (i, (name, cfg)) in families.iter().enumerate() {
-        let (comm, mbps, wall) = paper_point(*cfg);
+        let (comm, mbps, wall) = paper_point(mode, *cfg);
         if i > 0 {
             rows.push_str(",\n");
         }
@@ -202,15 +339,28 @@ fn main() {
              \"sim_mbps\": {mbps:.2}, \"wall_s\": {wall:.4}}}"
         ));
     }
+    let mut profile = String::new();
+    for (i, (name, cfg)) in families.iter().enumerate() {
+        let (wall, stage_rows) = profile_rows(mode, *cfg);
+        if i > 0 {
+            profile.push_str(",\n");
+        }
+        profile.push_str(&format!(
+            "    {{\"family\": \"{name}\", \"wall_s\": {wall:.4}, \"stages\": [\n{stage_rows}\n    ]}}"
+        ));
+    }
 
     let json = format!(
         "{{\n\
-         \x20 \"schema\": \"bench-trajectory-v1\",\n\
-         \x20 \"pr\": 7,\n\
+         \x20 \"schema\": \"bench-trajectory-v2\",\n\
+         \x20 \"pr\": {pr},\n\
+         \x20 \"mode\": \"{mode_name}\",\n\
+         \x20 \"env\": {env},\n\
          \x20 \"workloads\": {{\n\
-         \x20   \"loopback\": \"nak-polling, {LOOPBACK_MSG} B, {LOOPBACK_RECEIVERS} receivers, seed 1, median of 5 x 10-transfer batches\",\n\
-         \x20   \"netsim\": \"2-host ping-pong, {PINGPONG_EXCHANGES} exchanges, median of 5\",\n\
-         \x20   \"paper_point\": \"{PAPER_MSG} B to N={PAPER_N}, calibrated simulator, seed 1, median of 5\"\n\
+         \x20   \"loopback\": \"nak-polling, {LOOPBACK_MSG} B, {LOOPBACK_RECEIVERS} receivers, seed 1, median of {reps} x {batch}-transfer batches\",\n\
+         \x20   \"netsim\": \"2-host ping-pong, {pingpong} exchanges, median of {reps}\",\n\
+         \x20   \"paper_point\": \"{paper_msg} B to N={paper_n}, calibrated simulator, seed 1, median of {reps}\",\n\
+         \x20   \"profile\": \"one rmprof-instrumented paper-point run per family, seed 1; shares may overlap (crc nests in encode/decode)\"\n\
          \x20 }},\n\
          \x20 \"sender_pkts_per_sec\": {sender:.0},\n\
          \x20 \"receiver_pkts_per_sec\": {receiver:.0},\n\
@@ -218,8 +368,16 @@ fn main() {
          \x20 \"loopback_500kb_wall_s\": {base_wall:.4},\n\
          \x20 \"loopback_500kb_overload_wall_s\": {overload_wall:.4},\n\
          \x20 \"overload_overhead_pct\": {overhead:.1},\n\
-         \x20 \"delivery_500kb_n30\": [\n{rows}\n\x20 ]\n\
+         \x20 \"delivery_500kb_n30\": [\n{rows}\n\x20 ],\n\
+         \x20 \"profile\": [\n{profile}\n\x20 ]\n\
          }}\n",
+        mode_name = mode.name,
+        env = env_json(),
+        reps = mode.reps,
+        batch = mode.loopback_batch,
+        pingpong = mode.pingpong,
+        paper_msg = mode.paper_msg,
+        paper_n = mode.paper_n,
         sender = sender_pkts as f64 / base_wall,
         receiver = receiver_pkts as f64 / base_wall,
         overhead = 100.0 * (overload_wall - base_wall) / base_wall,

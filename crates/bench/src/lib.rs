@@ -25,6 +25,166 @@ pub fn run_once(sc: &Scenario) -> RunResult {
     sc.run(1)
 }
 
+/// The five protocol families every trajectory artifact must cover.
+pub const FAMILIES: [&str; 5] = ["ack", "nak", "ring", "tree", "fec"];
+
+/// Validate a `bench-trajectory-v2` artifact (`BENCH_*.json`). Checks
+/// the full shape the CI perf-smoke job relies on: schema tag, `env`
+/// block, the headline rates, the five-family paper point, and the
+/// `profile` section with one row per `rmprof` stage per family.
+pub fn validate_bench_artifact(text: &str) -> Result<(), String> {
+    use rmprof::expo::Json;
+
+    let v = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let field = |k: &str| v.get(k).ok_or_else(|| format!("missing top-level {k:?}"));
+    let str_field = |k: &str| {
+        field(k)?
+            .as_str()
+            .ok_or_else(|| format!("{k:?} must be a string"))
+    };
+    let num_field = |k: &str| {
+        field(k)?
+            .as_f64()
+            .ok_or_else(|| format!("{k:?} must be a number"))
+    };
+
+    match str_field("schema")? {
+        "bench-trajectory-v2" => {}
+        other => {
+            return Err(format!(
+                "schema {other:?}, expected \"bench-trajectory-v2\""
+            ))
+        }
+    }
+    field("pr")?
+        .as_u64()
+        .ok_or("\"pr\" must be a non-negative integer")?;
+    match str_field("mode")? {
+        "full" | "smoke" => {}
+        other => return Err(format!("mode {other:?}, expected \"full\" or \"smoke\"")),
+    }
+
+    let env = field("env")?;
+    env.get("rustc")
+        .and_then(Json::as_str)
+        .ok_or("env.rustc must be a string")?;
+    match env.get("build").and_then(Json::as_str) {
+        Some("debug" | "release") => {}
+        other => return Err(format!("env.build {other:?}, expected debug/release")),
+    }
+    if env
+        .get("cores")
+        .and_then(Json::as_u64)
+        .is_none_or(|c| c == 0)
+    {
+        return Err("env.cores must be a positive integer".into());
+    }
+    env.get("os")
+        .and_then(Json::as_str)
+        .ok_or("env.os must be a string")?;
+
+    for k in [
+        "sender_pkts_per_sec",
+        "receiver_pkts_per_sec",
+        "netsim_events_per_sec",
+        "loopback_500kb_wall_s",
+        "loopback_500kb_overload_wall_s",
+    ] {
+        if num_field(k)? <= 0.0 {
+            return Err(format!("{k:?} must be positive"));
+        }
+    }
+    num_field("overload_overhead_pct")?; // may legitimately be negative noise
+
+    let check_families = |key: &str, rows: &[rmprof::expo::Json]| -> Result<(), String> {
+        let mut seen: Vec<&str> = rows
+            .iter()
+            .map(|r| {
+                r.get("family")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{key}: row missing \"family\""))
+            })
+            .collect::<Result<_, _>>()?;
+        seen.sort_unstable();
+        let mut want = FAMILIES;
+        want.sort_unstable();
+        if seen != want {
+            return Err(format!("{key}: families {seen:?}, expected {want:?}"));
+        }
+        Ok(())
+    };
+
+    let delivery = field("delivery_500kb_n30")?
+        .as_arr()
+        .ok_or("\"delivery_500kb_n30\" must be an array")?;
+    check_families("delivery_500kb_n30", delivery)?;
+    for row in delivery {
+        for k in ["sim_comm_s", "sim_mbps", "wall_s"] {
+            if row.get(k).and_then(Json::as_f64).is_none_or(|x| x <= 0.0) {
+                return Err(format!("delivery_500kb_n30: {k:?} must be positive"));
+            }
+        }
+    }
+
+    let profile = field("profile")?
+        .as_arr()
+        .ok_or("\"profile\" must be an array")?;
+    check_families("profile", profile)?;
+    let want_stages: Vec<&str> = rmprof::Stage::ALL.iter().map(|s| s.name()).collect();
+    for row in profile {
+        let family = row.get("family").and_then(Json::as_str).unwrap_or("?");
+        if row
+            .get("wall_s")
+            .and_then(Json::as_f64)
+            .is_none_or(|x| x <= 0.0)
+        {
+            return Err(format!("profile[{family}]: \"wall_s\" must be positive"));
+        }
+        let stages = row
+            .get("stages")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("profile[{family}]: missing \"stages\" array"))?;
+        let got: Vec<&str> = stages
+            .iter()
+            .map(|s| s.get("stage").and_then(Json::as_str).unwrap_or("?"))
+            .collect();
+        if got != want_stages {
+            return Err(format!(
+                "profile[{family}]: stages {got:?}, expected {want_stages:?}"
+            ));
+        }
+        for s in stages {
+            let stage = s.get("stage").and_then(Json::as_str).unwrap_or("?");
+            for k in ["count", "p50_ns", "p99_ns", "sum_ns"] {
+                s.get(k).and_then(Json::as_u64).ok_or_else(|| {
+                    format!("profile[{family}].{stage}: {k:?} must be a non-negative integer")
+                })?;
+            }
+            let share = s
+                .get("share_of_wall")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("profile[{family}].{stage}: missing share_of_wall"))?;
+            if !(0.0..=1.5).contains(&share) {
+                return Err(format!(
+                    "profile[{family}].{stage}: share_of_wall {share} out of range"
+                ));
+            }
+        }
+        // The paper point must actually exercise the engines: the core
+        // stages cannot all be empty.
+        let live = stages.iter().any(|s| {
+            matches!(s.get("stage").and_then(Json::as_str), Some(name) if name.starts_with("wire."))
+                && s.get("count").and_then(Json::as_u64).unwrap_or(0) > 0
+        });
+        if !live {
+            return Err(format!(
+                "profile[{family}]: no wire.* samples — profiling was not enabled"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Print a headline line for bench logs, including per-receiver delivery
 /// latency percentiles (time from run start to each receiver's delivery).
 pub fn headline(tag: &str, r: &RunResult) {

@@ -1,0 +1,131 @@
+//! The `bench-trajectory-v2` schema check itself.
+//!
+//! A hand-built minimal artifact must pass; targeted mutations of it
+//! must fail with pointed messages; and any v2 artifact checked into the
+//! repo root must validate (v1 artifacts from earlier PRs are out of
+//! scope — the schema tag says which is which).
+
+use rm_bench::validate_bench_artifact;
+
+fn stage_rows() -> String {
+    rmprof::Stage::ALL
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"stage\": \"{}\", \"count\": 10, \"p50_ns\": 100, \"p99_ns\": 400, \
+                 \"sum_ns\": 1200, \"share_of_wall\": 0.01}}",
+                s.name()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn minimal_artifact() -> String {
+    let families = ["ack", "nak", "ring", "tree", "fec"];
+    let delivery = families
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"family\": \"{f}\", \"sim_comm_s\": 0.5, \"sim_mbps\": 8.0, \"wall_s\": 1.0}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let profile = families
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"family\": \"{f}\", \"wall_s\": 1.0, \"stages\": [{}]}}",
+                stage_rows()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"schema\": \"bench-trajectory-v2\", \"pr\": 8, \"mode\": \"smoke\",
+          \"env\": {{\"rustc\": \"rustc 1.0\", \"build\": \"release\", \"cores\": 1, \"os\": \"linux-x86_64\"}},
+          \"workloads\": {{}},
+          \"sender_pkts_per_sec\": 1000.0, \"receiver_pkts_per_sec\": 8000.0,
+          \"netsim_events_per_sec\": 500000.0,
+          \"loopback_500kb_wall_s\": 0.002, \"loopback_500kb_overload_wall_s\": 0.002,
+          \"overload_overhead_pct\": -0.4,
+          \"delivery_500kb_n30\": [{delivery}],
+          \"profile\": [{profile}]}}"
+    )
+}
+
+#[test]
+fn minimal_v2_artifact_validates() {
+    validate_bench_artifact(&minimal_artifact()).expect("minimal artifact is valid");
+}
+
+#[test]
+fn mutations_are_rejected_with_pointed_errors() {
+    let good = minimal_artifact();
+    for (mutation, replacement, expect) in [
+        ("bench-trajectory-v2", "bench-trajectory-v1", "schema"),
+        ("\"mode\": \"smoke\"", "\"mode\": \"turbo\"", "mode"),
+        ("\"build\": \"release\"", "\"build\": \"fast\"", "env.build"),
+        ("\"cores\": 1", "\"cores\": 0", "env.cores"),
+        (
+            "\"family\": \"fec\", \"sim_comm_s\"",
+            "\"family\": \"ack\", \"sim_comm_s\"",
+            "families",
+        ),
+        (
+            "\"share_of_wall\": 0.01",
+            "\"share_of_wall\": 7.0",
+            "share_of_wall",
+        ),
+        (
+            "\"stage\": \"wire.encode\"",
+            "\"stage\": \"wire.typo\"",
+            "stages",
+        ),
+    ] {
+        let bad = good.replacen(mutation, replacement, 1);
+        assert_ne!(bad, good, "mutation {mutation:?} did not apply");
+        let err = validate_bench_artifact(&bad).expect_err(mutation);
+        assert!(
+            err.contains(expect),
+            "mutating {mutation:?}: error {err:?} does not mention {expect:?}"
+        );
+    }
+    // All wire.* counts zeroed: profiling was off, the artifact is a lie.
+    let dead = good.replace("\"count\": 10", "\"count\": 0");
+    let err = validate_bench_artifact(&dead).expect_err("dead profile");
+    assert!(err.contains("no wire.* samples"), "got {err:?}");
+}
+
+#[test]
+fn garbage_is_rejected() {
+    assert!(validate_bench_artifact("").is_err());
+    assert!(validate_bench_artifact("{\"schema\": \"bench-trajectory-v2\"").is_err());
+    assert!(validate_bench_artifact("{}").is_err());
+}
+
+#[test]
+fn checked_in_v2_artifacts_validate() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&root).expect("repo root") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable artifact");
+        if !text.contains("bench-trajectory-v2") {
+            continue; // v1 artifacts from earlier PRs keep their schema
+        }
+        validate_bench_artifact(&text).unwrap_or_else(|e| panic!("{name} fails schema check: {e}"));
+        checked += 1;
+    }
+    // BENCH_8.json (and later) are v2; if none were found this test ran
+    // before the first v2 artifact was generated, which is fine locally
+    // but the perf-smoke CI job always validates a fresh one.
+    eprintln!("validated {checked} v2 artifacts");
+}

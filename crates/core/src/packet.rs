@@ -113,6 +113,7 @@ impl Packet {
     /// ([`WireError::ChecksumMissing`]), so a corrupting flip that clears
     /// the flag bit itself cannot smuggle bytes past verification.
     pub fn parse_checked(datagram: &[u8], require_integrity: bool) -> Result<Packet, WireError> {
+        let _span = rmprof::span!(rmprof::Stage::WireDecode);
         // The flag byte sits at a fixed offset; peek it before the full
         // header decode so the checksum covers exactly the sealed bytes.
         let sealed = datagram.len() >= HEADER_LEN
@@ -133,7 +134,9 @@ impl Packet {
                 // means the arithmetic above drifted — fail closed.
                 Err(_) => return Err(WireError::ChecksumMissing),
             };
+            let crc_span = rmprof::span!(rmprof::Stage::WireCrc);
             let actual = rmwire::crc32c(body);
+            drop(crc_span);
             if expected != actual {
                 return Err(WireError::ChecksumMismatch { expected, actual });
             }
@@ -269,13 +272,16 @@ fn decode_epoch_tail<B: Buf>(buf: &mut B) -> Result<Option<u32>, WireError> {
 /// big-endian CRC-32C of every preceding byte. The inverse lives in
 /// [`Packet::parse_checked`].
 pub fn seal(packet: &[u8]) -> Bytes {
+    let _span = rmprof::span!(rmprof::Stage::WireEncode);
     debug_assert!(packet.len() >= HEADER_LEN, "cannot seal a runt");
     let mut buf = BytesMut::with_capacity(packet.len() + 4);
     buf.extend_from_slice(packet);
     if let Some(flags) = buf.get_mut(1) {
         *flags |= PacketFlags::CKSUM.bits();
     }
+    let crc_span = rmprof::span!(rmprof::Stage::WireCrc);
     let crc = rmwire::crc32c(&buf);
+    drop(crc_span);
     bytes::BufMut::put_u32(&mut buf, crc);
     buf.freeze()
 }
@@ -288,6 +294,7 @@ pub fn encode_data(
     flags: PacketFlags,
     chunk: &[u8],
 ) -> Bytes {
+    let _span = rmprof::span!(rmprof::Stage::WireEncode);
     let mut buf = BytesMut::with_capacity(HEADER_LEN + chunk.len());
     Header {
         ptype: PacketType::Data,
@@ -303,6 +310,7 @@ pub fn encode_data(
 
 /// Encode a buffer-allocation request packet.
 pub fn encode_alloc(src_rank: Rank, transfer: u32, flags: PacketFlags, body: AllocBody) -> Bytes {
+    let _span = rmprof::span!(rmprof::Stage::WireEncode);
     let mut buf = BytesMut::with_capacity(HEADER_LEN + AllocBody::LEN);
     Header {
         ptype: PacketType::Data,
@@ -318,6 +326,7 @@ pub fn encode_alloc(src_rank: Rank, transfer: u32, flags: PacketFlags, body: All
 
 /// Encode a cumulative ACK.
 pub fn encode_ack(src_rank: Rank, transfer: u32, next_expected: SeqNo) -> Bytes {
+    let _span = rmprof::span!(rmprof::Stage::WireEncode);
     let mut buf = BytesMut::with_capacity(HEADER_LEN + AckBody::LEN);
     Header {
         ptype: PacketType::Ack,
@@ -333,6 +342,7 @@ pub fn encode_ack(src_rank: Rank, transfer: u32, next_expected: SeqNo) -> Bytes 
 
 /// Encode a NAK for the first missing sequence number.
 pub fn encode_nak(src_rank: Rank, transfer: u32, expected: SeqNo) -> Bytes {
+    let _span = rmprof::span!(rmprof::Stage::WireEncode);
     let mut buf = BytesMut::with_capacity(HEADER_LEN + NakBody::LEN);
     Header {
         ptype: PacketType::Nak,
@@ -350,6 +360,7 @@ pub fn encode_nak(src_rank: Rank, transfer: u32, expected: SeqNo) -> Bytes {
 /// when membership is enabled; the trailer makes stale-epoch ACKs
 /// detectable).
 pub fn encode_ack_epoch(src_rank: Rank, transfer: u32, next_expected: SeqNo, epoch: u32) -> Bytes {
+    let _span = rmprof::span!(rmprof::Stage::WireEncode);
     let mut buf = BytesMut::with_capacity(HEADER_LEN + AckBody::LEN + 4);
     Header {
         ptype: PacketType::Ack,
@@ -367,6 +378,7 @@ pub fn encode_ack_epoch(src_rank: Rank, transfer: u32, next_expected: SeqNo, epo
 /// Encode an epoch-stamped NAK (membership-enabled counterpart of
 /// [`encode_nak`]).
 pub fn encode_nak_epoch(src_rank: Rank, transfer: u32, expected: SeqNo, epoch: u32) -> Bytes {
+    let _span = rmprof::span!(rmprof::Stage::WireEncode);
     let mut buf = BytesMut::with_capacity(HEADER_LEN + NakBody::LEN + 4);
     Header {
         ptype: PacketType::Nak,
@@ -461,6 +473,7 @@ fn encode_coded(
     body: RepairBody,
     payload: &[u8],
 ) -> Bytes {
+    let _span = rmprof::span!(rmprof::Stage::WireEncode);
     debug_assert!(body.bitmap & 1 == 1, "coded bitmap must be canonical");
     debug_assert!(!payload.is_empty(), "coded payload cannot be empty");
     let mut buf = BytesMut::with_capacity(HEADER_LEN + RepairBody::LEN + payload.len());

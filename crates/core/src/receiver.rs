@@ -375,6 +375,7 @@ impl Receiver {
     // ------------------------------------------------------------------
 
     fn on_data(&mut self, now: Time, header: Header, body: DataBody<'_>) {
+        let _span = rmprof::span!(rmprof::Stage::RecvAssembly);
         self.stats.data_received += 1;
         // Any sender traffic proves the sender is alive (give-up timer).
         self.last_heard = now;
@@ -741,6 +742,7 @@ impl Receiver {
     /// delivery exactly-once even when the same packet later arrives
     /// natively (the assembly reports it as a duplicate).
     fn on_repair(&mut self, now: Time, header: Header, body: RepairBody, payload: &[u8]) {
+        let _span = rmprof::span!(rmprof::Stage::FecDecode);
         self.stats.repairs_received += 1;
         self.last_heard = now;
         let transfer = header.transfer;

@@ -763,6 +763,7 @@ impl Sender {
         next_expected: u32,
         epoch: Option<u32>,
     ) {
+        let _span = rmprof::span!(rmprof::Stage::SenderWindow);
         self.stats.acks_received += 1;
         if rank.is_sender() || !self.group.contains(rank) {
             return;
@@ -872,6 +873,7 @@ impl Sender {
         expected: u32,
         epoch: Option<u32>,
     ) {
+        let _span = rmprof::span!(rmprof::Stage::SenderWindow);
         self.stats.naks_received += 1;
         if rank.is_sender() || !self.group.contains(rank) {
             return;
@@ -1064,6 +1066,9 @@ impl Sender {
             }
             return;
         };
+        // Span opens once the flush is real work (past the cheap gates),
+        // so idle timer polls do not flood the fec.encode histogram.
+        let _span = rmprof::span!(rmprof::Stage::FecEncode);
         if let (Some(f), Some(t)) = (self.fec.as_mut(), self.transfer.as_ref()) {
             f.prune_pending(|s| t.win.slot(s).is_some());
         }
@@ -1128,6 +1133,8 @@ impl Sender {
         else {
             return;
         };
+        // Past the gates: a parity run is complete and the XOR is owed.
+        let _prof = rmprof::span!(rmprof::Stage::FecEncode);
         let span = parity_every as u32;
         let bitmap = if span >= 64 {
             u64::MAX

@@ -408,6 +408,7 @@ impl Sim {
             let Reverse(entry) = self.queue.pop().expect("peeked entry");
             debug_assert!(entry.at >= self.now, "time went backwards");
             self.now = entry.at;
+            let _span = rmprof::span!(rmprof::Stage::NetsimDispatch);
             self.dispatch(entry.ev);
         }
     }

@@ -8,6 +8,7 @@
 //! | `wall-clock` | deterministic crates (`rmwire`, `rmcast`, `netsim`, `rmtrace`) | `SystemTime`, `Instant::now`, `thread_rng`, `from_entropy`, `OsRng` — anything that would make a sim run irreproducible |
 //! | `panic-path` | wire-decode and packet-handling files | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` — network input must be rejectable, never a crash |
 //! | `index-unguarded` | wire-decode and packet-handling files | `expr[...]` indexing/slicing, which panics out of range; use `get()` / `split_at` or justify with an allow comment |
+//! | `raw-instant` | timed engine crates (`udprun`, `simrun`) | ad-hoc `Instant::now` timing; hot-path measurements go through `rmprof::span!` so they land in the shared registry — genuine wall-clock needs (epochs, deadlines) carry an allow comment |
 //! | `stats-doc` | `crates/core/src/stats.rs` vs `docs/OBSERVABILITY.md` | every `Stats` counter must appear in the observability docs |
 //! | `trace-doc` | `crates/rmtrace/src/event.rs` vs `docs/OBSERVABILITY.md` | every `TraceEvent` variant must appear in the observability docs |
 //! | `config-validate` | `crates/core/src/config.rs` | every `ProtocolConfig` field must be referenced by `validate()` (or carry an allow comment stating why it is unconstrained) |
@@ -59,6 +60,12 @@ pub mod scope {
         "crates/netsim/src",
         "crates/rmtrace/src",
     ];
+
+    /// Engine crates that run on real time (so `wall-clock` cannot apply)
+    /// but where ad-hoc `Instant::now` timing belongs in `rmprof` spans:
+    /// the `raw-instant` rule scans these. `rmprof`/`rmtrace` own the
+    /// clocks and `rm-bench`'s whole job is timing, so they are exempt.
+    pub const TIMED_ENGINE_DIRS: &[&str] = &["crates/udprun/src", "crates/simrun/src"];
 
     /// Wire-decode and packet-handling paths: parse hostile bytes, so the
     /// `panic-path` and `index-unguarded` rules apply.
@@ -252,6 +259,25 @@ pub fn lint_wall_clock(file: &str, src: &str, findings: &mut Vec<Finding>) {
             ),
             ("OsRng", "draws OS randomness in a deterministic crate"),
         ],
+        findings,
+    );
+}
+
+/// `raw-instant`: no ad-hoc `Instant::now` timing in engine crates that
+/// already have `rmprof` coverage — a measurement that bypasses the span
+/// registry is invisible to the stats endpoint, the profile artifact and
+/// `rmreport --profile`. Genuine wall-clock uses (a cluster epoch, a
+/// settle deadline) are fine with an allow comment saying so.
+pub fn lint_raw_instant(file: &str, src: &str, findings: &mut Vec<Finding>) {
+    scan_tokens(
+        "raw-instant",
+        file,
+        src,
+        &[(
+            "Instant::now",
+            "times outside the rmprof registry; use `rmprof::span!` (or justify \
+             a genuine wall-clock need with an allow comment)",
+        )],
         findings,
     );
 }
@@ -469,6 +495,7 @@ pub fn lint_config_validate(config_src: &str, findings: &mut Vec<Finding>) {
 pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
     lint_wall_clock(file, src, &mut findings);
+    lint_raw_instant(file, src, &mut findings);
     lint_panic_path(file, src, &mut findings);
     lint_index_unguarded(file, src, &mut findings);
     findings
@@ -532,6 +559,24 @@ pub fn run_workspace(root: &Path) -> Vec<Finding> {
         for f in files {
             if let Ok(src) = std::fs::read_to_string(&f) {
                 lint_wall_clock(&rel(root, &f), &src, &mut findings);
+            }
+        }
+    }
+
+    for dir in scope::TIMED_ENGINE_DIRS {
+        let abs = root.join(dir);
+        let files = rs_files_under(&abs);
+        if files.is_empty() {
+            findings.push(Finding {
+                rule: "lint-config",
+                file: dir.to_string(),
+                line: 0,
+                message: "timed-engine scope matches no files".to_string(),
+            });
+        }
+        for f in files {
+            if let Ok(src) = std::fs::read_to_string(&f) {
+                lint_raw_instant(&rel(root, &f), &src, &mut findings);
             }
         }
     }

@@ -56,6 +56,29 @@ fn wall_clock_ignores_comments_strings_and_test_modules() {
 }
 
 #[test]
+fn raw_instant_fires_and_is_suppressible() {
+    let bad = "let t = std::time::Instant::now();\nwork();\nlet wall = t.elapsed();\n";
+    let f = lint_source("x.rs", bad);
+    assert!(rules(&f).contains(&"raw-instant"), "{f:?}");
+
+    let allowed = "// rmlint: allow(raw-instant): cluster epoch, not a measurement\n\
+                   let epoch = Instant::now();\n";
+    assert!(
+        !rules(&lint_source("x.rs", allowed)).contains(&"raw-instant"),
+        "allow comment must suppress"
+    );
+
+    // The sanctioned pattern: a span, not a stopwatch.
+    let clean = "let _span = rmprof::span!(rmprof::Stage::UdpTx);\nwork();\n";
+    assert!(!rules(&lint_source("x.rs", clean)).contains(&"raw-instant"));
+
+    // Comments, strings, and test modules stay quiet.
+    let in_tests = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = \
+                    std::time::Instant::now(); }\n}\n";
+    assert!(rules(&lint_source("x.rs", in_tests)).is_empty());
+}
+
+#[test]
 fn panic_path_fires_and_is_suppressible() {
     for bad in [
         "let v = map.get(&k).unwrap();\n",

@@ -1,0 +1,533 @@
+//! Exposition: rendering a [`Snapshot`] for machines and humans.
+//!
+//! Two text formats, both deterministic (stages in [`Stage::ALL`] order,
+//! counters/gauges sorted by name — covered by a golden-snapshot test):
+//!
+//! * [`prometheus`] — the classic pull-scrape text page: each stage as a
+//!   `summary` (p50/p99 quantiles plus `_sum`/`_count`), counters and
+//!   gauges as flat samples with names sanitized to metric-name rules.
+//! * [`json`] — the same data as one JSON object (`rmprof-v1`), the
+//!   format the udprun stats endpoint serves at `/stats.json` and
+//!   `rmreport --profile` reads back.
+//!
+//! A matching reader lives here too: [`Json`] is a minimal recursive
+//! JSON parser (objects, arrays, strings, numbers, booleans, null —
+//! enough for every artifact this workspace emits, since the vendored
+//! serde is an inert shim), and [`parse_snapshot`] lifts a `rmprof-v1`
+//! document into typed [`ProfileDoc`] rows.
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// Render the Prometheus-style text page. Quantiles are the histogram's
+/// bucket-resolved p50/p99 in nanoseconds.
+pub fn prometheus(s: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# HELP rmprof_stage_ns hot-path stage latency (nanoseconds, log2-bucket quantiles)"
+    );
+    let _ = writeln!(out, "# TYPE rmprof_stage_ns summary");
+    for (name, h) in &s.stages {
+        let _ = writeln!(
+            out,
+            "rmprof_stage_ns{{stage=\"{name}\",quantile=\"0.5\"}} {}",
+            h.p50()
+        );
+        let _ = writeln!(
+            out,
+            "rmprof_stage_ns{{stage=\"{name}\",quantile=\"0.99\"}} {}",
+            h.p99()
+        );
+        let _ = writeln!(out, "rmprof_stage_ns_sum{{stage=\"{name}\"}} {}", h.sum());
+        let _ = writeln!(
+            out,
+            "rmprof_stage_ns_count{{stage=\"{name}\"}} {}",
+            h.count()
+        );
+    }
+    for (name, v) in &s.counters {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {v}");
+    }
+    for (name, v) in &s.gauges {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {v}");
+    }
+    out
+}
+
+/// `udprun.datagrams_tx` → `udprun_datagrams_tx`: Prometheus metric names
+/// allow `[a-zA-Z0-9_:]`; everything else becomes `_`.
+fn metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Render the `rmprof-v1` JSON document.
+pub fn json(s: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"schema\": \"rmprof-v1\",\n  \"stages\": [");
+    for (i, (name, h)) in s.stages.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"stage\": \"{name}\", \"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \
+             \"max_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+            if i == 0 { "" } else { "," },
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.p50(),
+            h.p99()
+        );
+    }
+    out.push_str("\n  ],\n  \"counters\": [");
+    for (i, (name, v)) in s.counters.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"name\": \"{name}\", \"value\": {v}}}",
+            if i == 0 { "" } else { "," }
+        );
+    }
+    out.push_str("\n  ],\n  \"gauges\": [");
+    for (i, (name, v)) in s.gauges.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"name\": \"{name}\", \"value\": {v}}}",
+            if i == 0 { "" } else { "," }
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Reading side
+// ---------------------------------------------------------------------
+
+/// One parsed stage row of a `rmprof-v1` document (bucket detail is not
+/// serialized, so the reader gets summary figures, not a mergeable
+/// histogram).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRow {
+    /// Stage wire name (`"wire.decode"` ...).
+    pub stage: String,
+    /// Sample count.
+    pub count: u64,
+    /// Total nanoseconds across samples.
+    pub sum_ns: u64,
+    /// Exact minimum sample.
+    pub min_ns: u64,
+    /// Exact maximum sample.
+    pub max_ns: u64,
+    /// Bucket-resolved median.
+    pub p50_ns: u64,
+    /// Bucket-resolved 99th percentile.
+    pub p99_ns: u64,
+}
+
+/// A parsed `rmprof-v1` document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileDoc {
+    /// Per-stage summary rows, document order.
+    pub stages: Vec<StageRow>,
+    /// Counters by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges by name.
+    pub gauges: Vec<(String, i64)>,
+}
+
+impl ProfileDoc {
+    /// The row for a stage wire name, if present.
+    pub fn stage(&self, name: &str) -> Option<&StageRow> {
+        self.stages.iter().find(|r| r.stage == name)
+    }
+
+    /// A counter's value by name.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// A gauge's value by name.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// Parse a `rmprof-v1` JSON document (as produced by [`json`] or served
+/// by the udprun stats endpoint).
+pub fn parse_snapshot(text: &str) -> Result<ProfileDoc, String> {
+    let v = Json::parse(text)?;
+    if v.get("schema").and_then(Json::as_str) != Some("rmprof-v1") {
+        return Err("not a rmprof-v1 document (missing/wrong \"schema\")".to_string());
+    }
+    let mut doc = ProfileDoc::default();
+    for row in v.get("stages").and_then(Json::as_arr).unwrap_or(&[]) {
+        let field = |k: &str| -> Result<u64, String> {
+            row.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stage row missing numeric {k:?}"))
+        };
+        doc.stages.push(StageRow {
+            stage: row
+                .get("stage")
+                .and_then(Json::as_str)
+                .ok_or("stage row missing \"stage\"")?
+                .to_string(),
+            count: field("count")?,
+            sum_ns: field("sum_ns")?,
+            min_ns: field("min_ns")?,
+            max_ns: field("max_ns")?,
+            p50_ns: field("p50_ns")?,
+            p99_ns: field("p99_ns")?,
+        });
+    }
+    for row in v.get("counters").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("counter row missing \"name\"")?;
+        let value = row
+            .get("value")
+            .and_then(Json::as_u64)
+            .ok_or("counter row missing numeric \"value\"")?;
+        doc.counters.push((name.to_string(), value));
+    }
+    for row in v.get("gauges").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("gauge row missing \"name\"")?;
+        let value = row
+            .get("value")
+            .and_then(Json::as_i64)
+            .ok_or("gauge row missing numeric \"value\"")?;
+        doc.gauges.push((name.to_string(), value));
+    }
+    Ok(doc)
+}
+
+/// A parsed JSON value — the minimal recursive reader shared by the
+/// profile tooling and the bench-artifact schema validator. Numbers are
+/// kept as `f64` (every artifact this workspace writes stays inside the
+/// 2⁵³ exact-integer range).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// Object: ordered key/value pairs (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+    /// Array.
+    Arr(Vec<Json>),
+    /// String.
+    Str(String),
+    /// Number.
+    Num(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Null.
+    Null,
+}
+
+impl Json {
+    /// Parse one complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer view (rejects fractions and negatives).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Integer view (rejects fractions).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    s.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    });
+                    self.i += 1;
+                }
+                Some(_) => {
+                    let start = self.i;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.i += 1;
+                    }
+                    s.push_str(
+                        std::str::from_utf8(&self.b[start..self.i])
+                            .map_err(|_| "invalid utf8 in string")?,
+                    );
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+        {
+            self.i += 1;
+        }
+        let txt = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| "invalid number")?;
+        txt.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {txt:?}: {e}"))
+    }
+
+    fn keyword(&mut self, kw: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(kw.as_bytes()) {
+            self.i += kw.len();
+            Ok(v)
+        } else {
+            Err(format!("expected {kw} at byte {}", self.i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::Stage;
+    use rmtrace::Histogram;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut snap = Snapshot::default();
+        for s in Stage::ALL {
+            let mut h = Histogram::new();
+            if s == Stage::WireDecode {
+                h.record(100);
+                h.record(200);
+            }
+            snap.stages.push((s.name().to_string(), h));
+        }
+        snap.counters.push(("udprun.datagrams_rx".into(), 41));
+        snap.gauges.push(("udprun.nodes".into(), 3));
+        snap
+    }
+
+    #[test]
+    fn json_round_trips_through_parse_snapshot() {
+        let snap = sample_snapshot();
+        let doc = parse_snapshot(&json(&snap)).expect("parse own emission");
+        assert_eq!(doc.stages.len(), Stage::COUNT);
+        let wd = doc
+            .stages
+            .iter()
+            .find(|r| r.stage == "wire.decode")
+            .unwrap();
+        assert_eq!(wd.count, 2);
+        assert_eq!(wd.sum_ns, 300);
+        assert_eq!(wd.min_ns, 100);
+        assert_eq!(wd.max_ns, 200);
+        assert_eq!(doc.counters, vec![("udprun.datagrams_rx".to_string(), 41)]);
+        assert_eq!(doc.gauges, vec![("udprun.nodes".to_string(), 3)]);
+    }
+
+    #[test]
+    fn prometheus_names_and_series_are_well_formed() {
+        let text = prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE rmprof_stage_ns summary"));
+        assert!(text.contains("rmprof_stage_ns{stage=\"wire.decode\",quantile=\"0.5\"}"));
+        assert!(text.contains("rmprof_stage_ns_count{stage=\"wire.decode\"} 2"));
+        assert!(text.contains("# TYPE udprun_datagrams_rx counter"));
+        assert!(text.contains("udprun_datagrams_rx 41"));
+        assert!(text.contains("# TYPE udprun_nodes gauge"));
+        // Dots never leak into metric names.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_handles_the_bench_artifact_shape() {
+        let v = Json::parse(
+            "{\"pr\": 8, \"x\": -0.4, \"arr\": [1, 2.5, true, null], \"s\": \"a\\\"b\"}",
+        )
+        .unwrap();
+        assert_eq!(v.get("pr").and_then(Json::as_u64), Some(8));
+        assert_eq!(v.get("x").and_then(Json::as_f64), Some(-0.4));
+        assert_eq!(
+            v.get("arr").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(4)
+        );
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("a\"b"));
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("").is_err());
+    }
+}

@@ -1,0 +1,437 @@
+//! The process-wide metrics registry.
+//!
+//! Three tiers, ordered by temperature:
+//!
+//! 1. **Thread-local accumulation** — span samples land in plain (non-
+//!    atomic) per-thread tables; no sharing, no contention, a handful of
+//!    arithmetic ops per sample.
+//! 2. **The shared atomic registry** — local tables flush into per-stage
+//!    atomic histograms every [`crate::FLUSH_EVERY`] samples and on
+//!    thread exit. All updates are relaxed atomics: lock-free, merge-by-
+//!    addition, safe to read concurrently (a reader may see a torn
+//!    *set* of buckets — each bucket is individually consistent — which
+//!    is the usual live-metrics contract).
+//! 3. **Snapshots** — [`snapshot`] freezes the registry into plain data
+//!    ([`Snapshot`]) for exposition, reports and tests.
+//!
+//! [`Counter`]s and [`Gauge`]s are registered by name (a mutex guards the
+//! name table — registration is cold) and updated lock-free through a
+//! shared `Arc`'d atomic. They are always live, independent of the span
+//! gate: one relaxed `fetch_add` is cheap enough to leave on.
+
+use crate::stage::Stage;
+use rmtrace::hist::{bucket_of, BUCKETS};
+use rmtrace::Histogram;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------
+// Shared atomic tier
+// ---------------------------------------------------------------------
+
+/// Lock-free histogram mirror: one atomic per bucket plus exact
+/// sum/min/max, in the exact bucket layout of [`rmtrace::Histogram`].
+struct AtomicHist {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHist {
+    fn new() -> Self {
+        AtomicHist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Fold a thread-local table in (called at flush, not per sample).
+    fn absorb(&self, local: &LocalHist) {
+        for (a, &n) in self.buckets.iter().zip(local.counts.iter()) {
+            if n != 0 {
+                a.fetch_add(u64::from(n), Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(local.sum, Ordering::Relaxed);
+        self.min.fetch_min(local.min, Ordering::Relaxed);
+        self.max.fetch_max(local.max, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Histogram {
+        let counts: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        Histogram::from_parts(
+            counts,
+            u128::from(self.sum.load(Ordering::Relaxed)),
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+
+    fn reset(&self) {
+        for a in &self.buckets {
+            a.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+struct Registry {
+    stages: [AtomicHist; Stage::COUNT],
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+}
+
+fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(|| Registry {
+        stages: std::array::from_fn(|_| AtomicHist::new()),
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Thread-local tier
+// ---------------------------------------------------------------------
+
+/// Per-thread, non-atomic histogram accumulator. `u32` bucket counts are
+/// ample: tables flush every [`crate::FLUSH_EVERY`] samples.
+#[derive(Clone, Copy)]
+struct LocalHist {
+    counts: [u32; BUCKETS],
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LocalHist {
+    const EMPTY: LocalHist = LocalHist {
+        counts: [0; BUCKETS],
+        sum: 0,
+        min: u64::MAX,
+        max: 0,
+    };
+
+    #[inline]
+    fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.min == u64::MAX && self.max == 0
+    }
+}
+
+struct Local {
+    stages: [LocalHist; Stage::COUNT],
+    pending: u32,
+}
+
+impl Local {
+    fn flush_into_global(&mut self) {
+        if self.pending == 0 {
+            return;
+        }
+        let reg = global();
+        for (i, local) in self.stages.iter_mut().enumerate() {
+            if !local.is_empty() {
+                reg.stages[i].absorb(local);
+                *local = LocalHist::EMPTY;
+            }
+        }
+        self.pending = 0;
+    }
+}
+
+/// Thread exit flushes whatever the last batch left behind, so short-
+/// lived worker threads (udprun nodes) never strand samples.
+impl Drop for Local {
+    fn drop(&mut self) {
+        self.flush_into_global();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = const {
+        RefCell::new(Local {
+            stages: [LocalHist::EMPTY; Stage::COUNT],
+            pending: 0,
+        })
+    };
+}
+
+/// Record one span sample (called from [`crate::Span::drop`]).
+#[inline]
+pub(crate) fn record_ns(stage: Stage, ns: u64) {
+    // A recursive borrow is impossible (nothing below re-enters), and a
+    // post-teardown access during thread exit silently drops the sample.
+    let _ = LOCAL.try_with(|cell| {
+        let mut local = cell.borrow_mut();
+        local.stages[stage.index()].record(ns);
+        local.pending += 1;
+        if local.pending >= crate::FLUSH_EVERY {
+            local.flush_into_global();
+        }
+    });
+}
+
+/// Flush the calling thread's pending span samples into the shared
+/// registry. Long-lived threads flush automatically every
+/// [`crate::FLUSH_EVERY`] samples and on exit; call this before taking a
+/// snapshot on the same thread, or before a checkpoint read elsewhere.
+pub fn flush() {
+    let _ = LOCAL.try_with(|cell| cell.borrow_mut().flush_into_global());
+}
+
+// ---------------------------------------------------------------------
+// Counters and gauges
+// ---------------------------------------------------------------------
+
+/// A monotonic counter handle. Cloning shares the underlying atomic;
+/// updates are relaxed `fetch_add`s — always live, never gated.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time gauge handle (signed; may go down).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Get-or-register the counter `name`. Keep a handle around on hot
+/// paths — registration takes the name-table mutex, updates do not.
+pub fn counter(name: &str) -> Counter {
+    let mut map = global().counters.lock().expect("counter registry poisoned");
+    Counter(Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+    ))
+}
+
+/// Get-or-register the gauge `name`; same locking contract as
+/// [`counter`].
+pub fn gauge(name: &str) -> Gauge {
+    let mut map = global().gauges.lock().expect("gauge registry poisoned");
+    Gauge(Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicI64::new(0))),
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------
+
+/// A frozen, plain-data view of the registry: every stage histogram (in
+/// [`Stage::ALL`] order, empty ones included so exposition emits a stable
+/// series set), plus all registered counters and gauges sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(stage name, histogram of nanosecond samples)`.
+    pub stages: Vec<(String, Histogram)>,
+    /// `(name, value)` monotonic counters.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges.
+    pub gauges: Vec<(String, i64)>,
+}
+
+impl Snapshot {
+    /// Histogram for a stage by wire name.
+    pub fn stage(&self, name: &str) -> Option<&Histogram> {
+        self.stages.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Total nanoseconds across all stage histograms — the numerator of a
+    /// whole-profile share-of-wall.
+    pub fn total_stage_ns(&self) -> u128 {
+        self.stages.iter().map(|(_, h)| h.sum()).sum()
+    }
+
+    /// Fold `other` in: histograms merge bucketwise, counters and gauges
+    /// add (missing names are inserted). Merging snapshots from separate
+    /// processes or runs yields the same result as one combined run.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, h) in &other.stages {
+            match self.stages.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.stages.push((name.clone(), h.clone())),
+            }
+        }
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+            self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.gauges.push((name.clone(), *v)),
+            }
+            self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+    }
+}
+
+/// Freeze the registry into a [`Snapshot`]. Flushes the calling thread's
+/// pending samples first; other threads' unflushed tails (at most
+/// [`crate::FLUSH_EVERY`] − 1 samples each) appear at their next flush.
+pub fn snapshot() -> Snapshot {
+    flush();
+    let reg = global();
+    let stages = Stage::ALL
+        .iter()
+        .map(|s| (s.name().to_string(), reg.stages[s.index()].snapshot()))
+        .collect();
+    let counters = reg
+        .counters
+        .lock()
+        .expect("counter registry poisoned")
+        .iter()
+        .map(|(n, a)| (n.clone(), a.load(Ordering::Relaxed)))
+        .collect();
+    let gauges = reg
+        .gauges
+        .lock()
+        .expect("gauge registry poisoned")
+        .iter()
+        .map(|(n, a)| (n.clone(), a.load(Ordering::Relaxed)))
+        .collect();
+    Snapshot {
+        stages,
+        counters,
+        gauges,
+    }
+}
+
+/// Zero every stage histogram and every registered counter/gauge value
+/// (names stay registered), plus the calling thread's local tables.
+/// Sections of a benchmark call this between measurements; worker
+/// threads still running keep only their unflushed local tails.
+pub fn reset() {
+    let _ = LOCAL.try_with(|cell| {
+        let mut local = cell.borrow_mut();
+        local.stages = [LocalHist::EMPTY; Stage::COUNT];
+        local.pending = 0;
+    });
+    let reg = global();
+    for h in &reg.stages {
+        h.reset();
+    }
+    for a in reg
+        .counters
+        .lock()
+        .expect("counter registry poisoned")
+        .values()
+    {
+        a.store(0, Ordering::Relaxed);
+    }
+    for a in reg.gauges.lock().expect("gauge registry poisoned").values() {
+        a.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let c = counter("test.reg.counter");
+        let g = gauge("test.reg.gauge");
+        c.add(5);
+        c.inc();
+        g.set(-3);
+        g.add(1);
+        assert_eq!(c.get(), 6);
+        assert_eq!(g.get(), -2);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.reg.counter"), Some(6));
+        assert_eq!(snap.gauge("test.reg.gauge"), Some(-2));
+        // Same name returns the same underlying cell.
+        counter("test.reg.counter").add(4);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn merge_is_addition() {
+        let mut a = Snapshot::default();
+        let mut h1 = Histogram::new();
+        h1.record(10);
+        a.stages.push(("s".into(), h1.clone()));
+        a.counters.push(("c".into(), 2));
+        let mut b = Snapshot::default();
+        let mut h2 = Histogram::new();
+        h2.record(1000);
+        b.stages.push(("s".into(), h2.clone()));
+        b.counters.push(("c".into(), 3));
+        b.gauges.push(("g".into(), -1));
+        a.merge(&b);
+        h1.merge(&h2);
+        assert_eq!(a.stage("s"), Some(&h1));
+        assert_eq!(a.counter("c"), Some(5));
+        assert_eq!(a.gauge("g"), Some(-1));
+        assert_eq!(a.total_stage_ns(), 1010);
+    }
+}

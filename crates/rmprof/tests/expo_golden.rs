@@ -1,0 +1,76 @@
+//! Golden-snapshot test for the exposition text formats.
+//!
+//! The Prometheus page and the `rmprof-v1` JSON document are consumed
+//! outside this crate (scrapers polling the udprun stats endpoint,
+//! `rmreport --profile`, the CI bench-schema check), so their exact byte
+//! layout is a contract. The snapshot is built by hand — not from the
+//! process-global registry — so the test is immune to other tests'
+//! recordings.
+
+use rmprof::{expo, Snapshot};
+use rmtrace::Histogram;
+
+fn golden_snapshot() -> Snapshot {
+    let mut h = Histogram::new();
+    for v in [100u64, 200, 300] {
+        h.record(v);
+    }
+    let mut snap = Snapshot::default();
+    snap.stages.push(("wire.encode".to_string(), h));
+    snap.stages
+        .push(("fec.decode".to_string(), Histogram::new()));
+    snap.counters.push(("udprun.datagrams_tx".to_string(), 17));
+    snap.gauges.push(("cluster.inflight".to_string(), -2));
+    snap
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let expected = "\
+# HELP rmprof_stage_ns hot-path stage latency (nanoseconds, log2-bucket quantiles)
+# TYPE rmprof_stage_ns summary
+rmprof_stage_ns{stage=\"wire.encode\",quantile=\"0.5\"} 255
+rmprof_stage_ns{stage=\"wire.encode\",quantile=\"0.99\"} 300
+rmprof_stage_ns_sum{stage=\"wire.encode\"} 600
+rmprof_stage_ns_count{stage=\"wire.encode\"} 3
+rmprof_stage_ns{stage=\"fec.decode\",quantile=\"0.5\"} 0
+rmprof_stage_ns{stage=\"fec.decode\",quantile=\"0.99\"} 0
+rmprof_stage_ns_sum{stage=\"fec.decode\"} 0
+rmprof_stage_ns_count{stage=\"fec.decode\"} 0
+# TYPE udprun_datagrams_tx counter
+udprun_datagrams_tx 17
+# TYPE cluster_inflight gauge
+cluster_inflight -2
+";
+    assert_eq!(expo::prometheus(&golden_snapshot()), expected);
+}
+
+#[test]
+fn json_exposition_matches_golden() {
+    let expected = r#"{
+  "schema": "rmprof-v1",
+  "stages": [
+    {"stage": "wire.encode", "count": 3, "sum_ns": 600, "min_ns": 100, "max_ns": 300, "p50_ns": 255, "p99_ns": 300},
+    {"stage": "fec.decode", "count": 0, "sum_ns": 0, "min_ns": 0, "max_ns": 0, "p50_ns": 0, "p99_ns": 0}
+  ],
+  "counters": [
+    {"name": "udprun.datagrams_tx", "value": 17}
+  ],
+  "gauges": [
+    {"name": "cluster.inflight", "value": -2}
+  ]
+}
+"#;
+    assert_eq!(expo::json(&golden_snapshot()), expected);
+}
+
+#[test]
+fn golden_json_parses_back_losslessly_at_summary_level() {
+    let doc = expo::parse_snapshot(&expo::json(&golden_snapshot())).unwrap();
+    assert_eq!(doc.stages.len(), 2);
+    assert_eq!(doc.stages[0].stage, "wire.encode");
+    assert_eq!(doc.stages[0].p50_ns, 255);
+    assert_eq!(doc.stages[0].p99_ns, 300);
+    assert_eq!(doc.counters[0], ("udprun.datagrams_tx".to_string(), 17));
+    assert_eq!(doc.gauges[0], ("cluster.inflight".to_string(), -2));
+}

@@ -7,7 +7,12 @@
 //! upper bound (≤ 2× relative error), with exact min/max/count/sum kept
 //! alongside.
 
-const BUCKETS: usize = 64;
+/// Number of power-of-two buckets (fixed; also the histogram's memory
+/// footprint in `u64`s). Exposed so external accumulators — notably the
+/// `rmprof` lock-free registry, which keeps one atomic counter per bucket
+/// — can mirror the exact bucket layout and rebuild a [`Histogram`] via
+/// [`Histogram::from_parts`].
+pub const BUCKETS: usize = 64;
 
 /// Log₂-bucketed histogram of `u64` samples (typically nanoseconds, but
 /// any unit works — window-occupancy gauges use packet counts).
@@ -32,8 +37,10 @@ impl Default for Histogram {
     }
 }
 
-fn bucket_of(v: u64) -> usize {
-    // 0 → bucket 0; v in [2^(i-1), 2^i) → bucket i; clamp huge values.
+/// Bucket index a value lands in: 0 → bucket 0; `v` in `[2^(i-1), 2^i)` →
+/// bucket `i`; huge values clamp to the last bucket. Public for external
+/// accumulators that share the layout (see [`BUCKETS`]).
+pub fn bucket_of(v: u64) -> usize {
     ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
 }
 
@@ -49,6 +56,27 @@ impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuild a histogram from externally accumulated parts: per-bucket
+    /// counts in this type's exact layout (see [`bucket_of`]), the exact
+    /// sample sum, and exact min/max. The total count is derived from the
+    /// buckets; `min` of `u64::MAX` with zero samples means "empty" and
+    /// normalizes to the default. This is how the `rmprof` atomic
+    /// registry converts its lock-free counters into a mergeable,
+    /// quantile-capable histogram.
+    pub fn from_parts(counts: [u64; BUCKETS], sum: u128, min: u64, max: u64) -> Self {
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return Histogram::default();
+        }
+        Histogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        }
     }
 
     /// Record one sample.
@@ -78,6 +106,13 @@ impl Histogram {
         } else {
             self.min
         }
+    }
+
+    /// Exact sum of all samples (0 when empty). For latency histograms
+    /// this is the total time spent in the measured section — the
+    /// numerator of a share-of-wall computation.
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     /// Mean of all samples (0 when empty).
@@ -219,6 +254,27 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn from_parts_round_trips_recorded_histograms() {
+        let mut h = Histogram::new();
+        for v in [3u64, 900, 70_000, 70_001, u64::MAX] {
+            h.record(v);
+        }
+        let mut counts = [0u64; BUCKETS];
+        let mut sum = 0u128;
+        for v in [3u64, 900, 70_000, 70_001, u64::MAX] {
+            counts[bucket_of(v)] += 1;
+            sum += v as u128;
+        }
+        let rebuilt = Histogram::from_parts(counts, sum, 3, u64::MAX);
+        assert_eq!(rebuilt, h);
+        // Empty parts normalize to the canonical empty histogram.
+        assert_eq!(
+            Histogram::from_parts([0; BUCKETS], 0, u64::MAX, 0),
+            Histogram::new()
+        );
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn main() {
     }
 
     for id in &ids {
+        // rmlint: allow(raw-instant): coarse per-experiment progress timer printed to the user
         let start = std::time::Instant::now();
         let table = run_experiment(id, effort);
         let text = table.render_text();

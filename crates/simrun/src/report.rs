@@ -269,6 +269,76 @@ pub fn render_lifecycle(transfer: u32, seq: u32, events: &[&ParsedRecord]) -> St
     s
 }
 
+/// Render a hot-path profile (`rmprof-v1` document, as served by the
+/// udprun stats endpoint or saved from a profiled run) as two aligned
+/// tables: the full per-stage latency breakdown, then the top hotspots
+/// ranked by total time.
+///
+/// "share" is each stage's fraction of the *total instrumented time*
+/// (the sum over stage sums), not of wall time — the document does not
+/// know the wall clock, and spans may nest (`wire.crc` runs inside
+/// `wire.encode`/`wire.decode`), so shares are a ranking aid, not an
+/// exact decomposition.
+pub fn render_profile(doc: &rmprof::expo::ProfileDoc) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Hot-path stage latency ==");
+    let live: Vec<_> = doc.stages.iter().filter(|r| r.count > 0).collect();
+    if live.is_empty() {
+        let _ = writeln!(
+            s,
+            "  (no samples — was profiling enabled? set ClusterConfig::profile \
+             or use Scenario::run_profiled)"
+        );
+        return s;
+    }
+    let total_ns: u64 = live.iter().map(|r| r.sum_ns).sum();
+    let _ = writeln!(
+        s,
+        "  {:<16} {:>9} {:>9} {:>9} {:>9} {:>10} {:>7}",
+        "stage", "count", "p50", "p99", "max", "total", "share"
+    );
+    for r in &live {
+        let _ = writeln!(
+            s,
+            "  {:<16} {:>9} {:>9} {:>9} {:>9} {:>10} {:>6.1}%",
+            r.stage,
+            r.count,
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+            fmt_ns(r.max_ns),
+            fmt_ns(r.sum_ns),
+            100.0 * r.sum_ns as f64 / total_ns as f64,
+        );
+    }
+
+    let _ = writeln!(s, "\n== Top hotspots ==");
+    let mut ranked = live.clone();
+    ranked.sort_by(|a, b| b.sum_ns.cmp(&a.sum_ns).then(a.stage.cmp(&b.stage)));
+    for (i, r) in ranked.iter().take(3).enumerate() {
+        let _ = writeln!(
+            s,
+            "  {}. {:<16} {} total ({:.1}% of instrumented time, {} samples, p99 {})",
+            i + 1,
+            r.stage,
+            fmt_ns(r.sum_ns),
+            100.0 * r.sum_ns as f64 / total_ns as f64,
+            r.count,
+            fmt_ns(r.p99_ns),
+        );
+    }
+
+    if !doc.counters.is_empty() || !doc.gauges.is_empty() {
+        let _ = writeln!(s, "\n== Counters ==");
+        for (name, v) in &doc.counters {
+            let _ = writeln!(s, "  {name:<24} {v}");
+        }
+        for (name, v) in &doc.gauges {
+            let _ = writeln!(s, "  {name:<24} {v} (gauge)");
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,5 +466,40 @@ mod tests {
         assert_eq!(r.records, 0);
         assert!(r.render().contains("(none)"));
         assert_eq!(pick_packet(&[]), None);
+    }
+
+    #[test]
+    fn profile_render_breaks_down_stages_and_ranks_hotspots() {
+        let doc = rmprof::expo::parse_snapshot(
+            r#"{"schema": "rmprof-v1",
+                "stages": [
+                  {"stage": "wire.encode", "count": 100, "sum_ns": 5000, "min_ns": 10,
+                   "max_ns": 200, "p50_ns": 31, "p99_ns": 127},
+                  {"stage": "wire.crc", "count": 0, "sum_ns": 0, "min_ns": 0,
+                   "max_ns": 0, "p50_ns": 0, "p99_ns": 0},
+                  {"stage": "netsim.dispatch", "count": 400, "sum_ns": 15000, "min_ns": 5,
+                   "max_ns": 900, "p50_ns": 31, "p99_ns": 511}
+                ],
+                "counters": [{"name": "udprun.datagrams_rx", "value": 12}],
+                "gauges": []}"#,
+        )
+        .unwrap();
+        let text = render_profile(&doc);
+        assert!(text.contains("== Hot-path stage latency =="));
+        assert!(text.contains("wire.encode"));
+        // Empty stages stay out of the table.
+        assert!(!text.contains("wire.crc"));
+        // Hotspot #1 is the biggest total: dispatch at 15000/20000 = 75%.
+        let hotspots = text.split("== Top hotspots ==").nth(1).unwrap();
+        assert!(hotspots.trim_start().starts_with("1. netsim.dispatch"));
+        assert!(hotspots.contains("75.0%"));
+        assert!(text.contains("udprun.datagrams_rx"));
+    }
+
+    #[test]
+    fn profile_render_says_when_profiling_was_off() {
+        let text = render_profile(&rmprof::expo::ProfileDoc::default());
+        assert!(text.contains("no samples"));
+        assert!(text.contains("ClusterConfig::profile"));
     }
 }

@@ -320,6 +320,26 @@ impl Scenario {
         self.run_inner(seed, None)
     }
 
+    /// Execute once with `seed` with `rmprof` span timing enabled,
+    /// returning the run result alongside a registry snapshot of the
+    /// run's hot-path stage histograms (wire encode/decode, CRC, window
+    /// ops, assembly, FEC coding, event dispatch).
+    ///
+    /// The registry is process-global, so it is reset first and the
+    /// snapshot reflects *this* run only — don't interleave with other
+    /// profiled work in the same process. Profiling measures the engines
+    /// without feeding anything back: the `RunResult` is bit-identical
+    /// to [`Scenario::run`]'s for the same seed.
+    pub fn run_profiled(&self, seed: u64) -> (RunResult, rmprof::Snapshot) {
+        rmprof::reset();
+        let prev = rmprof::enabled();
+        rmprof::set_enabled(true);
+        let result = self.run_inner(seed, None);
+        rmprof::set_enabled(prev);
+        rmprof::flush();
+        (result, rmprof::snapshot())
+    }
+
     /// Execute once with `seed` while streaming every protocol and
     /// network event into a shared in-memory trace. The record stream is
     /// in simulation-event order, so identical scenarios and seeds yield

@@ -57,6 +57,19 @@ pub struct ClusterConfig {
     /// Overload faults per receiver index — typically a saturated CPU
     /// and/or a socket-buffer blackout on one slow receiver.
     pub receiver_faults: Vec<(usize, NodeFaults)>,
+    /// Enable `rmprof` span timing for the duration of this run (the
+    /// previous enable state is restored afterwards). Counters and
+    /// gauges are always live; this gates only the clock-reading spans.
+    pub profile: bool,
+    /// Bind a live stats endpoint (`GET /metrics`, `GET /stats.json`)
+    /// for the duration of the run — e.g. `"127.0.0.1:0"` for an
+    /// ephemeral port. The resolved address is published through
+    /// [`ClusterConfig::stats_bound`].
+    pub stats_addr: Option<String>,
+    /// Where [`run_cluster`] publishes the endpoint's bound address once
+    /// it is listening. The caller keeps a clone of the `Arc` and can
+    /// poll the endpoint mid-run from another thread.
+    pub stats_bound: Option<Arc<std::sync::OnceLock<std::net::SocketAddr>>>,
 }
 
 impl ClusterConfig {
@@ -75,6 +88,9 @@ impl ClusterConfig {
             flight_recorder: 0,
             sender_faults: NodeFaults::default(),
             receiver_faults: Vec::new(),
+            profile: false,
+            stats_addr: None,
+            stats_bound: None,
         }
     }
 }
@@ -105,11 +121,43 @@ pub struct ClusterResult {
     pub flight_dumps: Vec<(Rank, FlightDump)>,
 }
 
+/// Restores the previous span-timing enable state when the run ends,
+/// including the early-return timeout path.
+struct ProfileGuard {
+    prev: bool,
+}
+
+impl Drop for ProfileGuard {
+    fn drop(&mut self) {
+        rmprof::set_enabled(self.prev);
+    }
+}
+
 /// Run one sender and `n` receivers over real UDP sockets until every
 /// message completes (or the timeout expires).
 pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterResult> {
     let group = GroupSpec::new(cfg.n_receivers);
     let n = cfg.n_receivers as usize;
+
+    let _profile_guard = cfg.profile.then(|| {
+        let prev = rmprof::enabled();
+        rmprof::set_enabled(true);
+        ProfileGuard { prev }
+    });
+    // The endpoint serves the process-global registry; binding it here
+    // just scopes its lifetime to the run. Dropped (and joined) on every
+    // exit path, including the timeout error return.
+    let _stats_server = match &cfg.stats_addr {
+        Some(addr) => {
+            let server = crate::stats::StatsServer::bind(addr)?;
+            rmprof::gauge("udprun.nodes").set(n as i64 + 1);
+            if let Some(slot) = &cfg.stats_bound {
+                let _ = slot.set(server.addr());
+            }
+            Some(server)
+        }
+        None => None,
+    };
 
     // Sockets first, so the address book is complete before any thread
     // starts.
@@ -133,6 +181,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
     let mut handles = Vec::new();
     // One wall-clock origin for every node thread: protocol times (and
     // trace timestamps) across the whole cluster share this epoch.
+    // rmlint: allow(raw-instant): cluster-wide trace-timestamp epoch, not a measurement
     let epoch = Instant::now();
     let instrument = |ep: &mut dyn Endpoint| {
         if let Some(s) = &cfg.trace_sink {
@@ -253,7 +302,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
 
     // Coordinate: wait until the sender resolves every message — by
     // completing it or by abandoning it (liveness bound).
-    let start = Instant::now();
+    let start = Instant::now(); // rmlint: allow(raw-instant): liveness deadline, not a measurement
     let mut deliveries = Vec::new();
     let mut failures: Vec<(Rank, u64, SessionError)> = Vec::new();
     let mut evictions: Vec<(Rank, Rank, u64)> = Vec::new();
@@ -326,7 +375,7 @@ pub fn run_cluster(cfg: ClusterConfig, msgs: Vec<Bytes>) -> io::Result<ClusterRe
     }
 
     // Give receivers a moment to flush their last deliveries, then stop.
-    let settle = Instant::now();
+    let settle = Instant::now(); // rmlint: allow(raw-instant): settle deadline, not a measurement
     while settle.elapsed() < StdDuration::from_millis(200) {
         match rx.recv_timeout(StdDuration::from_millis(50)) {
             Ok(NodeEvent::Delivered { rank, msg_id, data }) => {

@@ -72,6 +72,7 @@ impl Hub {
                 if let Some(sink) = trace {
                     tracer.set_sink(sink);
                 }
+                // rmlint: allow(raw-instant): per-thread trace-timestamp epoch, not a measurement
                 let epoch = Instant::now();
                 let mut buf = vec![0u8; MAX_DGRAM];
                 let mut counter = 0u32;

@@ -40,3 +40,4 @@ pub mod faults;
 pub mod hub;
 pub mod multicast;
 pub mod node;
+pub mod stats;

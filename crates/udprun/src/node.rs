@@ -145,18 +145,32 @@ pub fn drive<E: Endpoint>(
     let mut buf = vec![0u8; MAX_DGRAM];
     socket.set_read_timeout(Some(StdDuration::from_millis(1)))?;
     let mut consec_errors: u32 = 0;
+    // Counter handles are resolved once (registration takes a mutex);
+    // per-datagram increments are single relaxed atomic adds.
+    let ctr_rx = rmprof::counter("udprun.datagrams_rx");
+    let ctr_tx = rmprof::counter("udprun.datagrams_tx");
+    let ctr_io_err = rmprof::counter("udprun.io_errors");
 
     while !stop.load(Ordering::Relaxed) {
         // 1. Receive with a short timeout so timers stay responsive.
+        let rx_span = rmprof::span!(rmprof::Stage::UdpRx);
         match socket.recv_from(&mut buf) {
             Ok((n, _)) => {
+                drop(rx_span);
+                ctr_rx.inc();
                 consec_errors = 0;
                 ep.handle_datagram(now(epoch), &buf[..n]);
             }
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // A timed-out read measured the 1ms poll timeout, not
+                // receive work: discard the sample.
+                rx_span.cancel();
             }
             Err(e) => {
+                rx_span.cancel();
+                ctr_io_err.inc();
                 // On Linux a UDP socket can surface ECONNREFUSED from a
                 // dead peer; count it, don't die on it.
                 consec_errors += 1;
@@ -175,9 +189,16 @@ pub fn drive<E: Endpoint>(
         // machinery recovers, or its liveness bound eventually fires.
         while let Some(tx) = ep.poll_transmit() {
             let dest = addrs.resolve(tx.dest);
-            match socket.send_to(&tx.payload, dest) {
-                Ok(_) => consec_errors = 0,
+            let tx_span = rmprof::span!(rmprof::Stage::UdpTx);
+            let sent = socket.send_to(&tx.payload, dest);
+            drop(tx_span);
+            match sent {
+                Ok(_) => {
+                    ctr_tx.inc();
+                    consec_errors = 0;
+                }
                 Err(e) => {
+                    ctr_io_err.inc();
                     consec_errors += 1;
                     if io_error_giveup && consec_errors > MAX_CONSEC_IO_ERRORS {
                         return Err(e);
@@ -218,6 +239,9 @@ pub fn drive<E: Endpoint>(
             }
         }
     }
+    // Push any span samples still batched in this thread's local tables
+    // to the shared registry before the thread exits.
+    rmprof::flush();
     let _ = events.send(NodeEvent::Finished {
         rank,
         stats: Box::new(ep.stats().clone()),

@@ -1,0 +1,186 @@
+//! A pollable live-stats endpoint over plain TCP.
+//!
+//! [`StatsServer`] serves the process-wide `rmprof` registry as HTTP:
+//!
+//! * `GET /metrics`    — Prometheus-style text exposition
+//! * `GET /stats.json` — the `rmprof-v1` JSON document
+//!
+//! The registry is process-global, so the server needs no cluster state:
+//! whatever the node threads have flushed (every `rmprof::FLUSH_EVERY`
+//! samples and at thread exit) is visible to the next scrape, which is
+//! what makes mid-transfer polling meaningful. The server owns one
+//! accept-loop thread and stops on [`StatsServer::shutdown`] or drop.
+//!
+//! This is deliberately a minimal HTTP/1.0-style responder — request
+//! line in, one response out, connection closed — not a web framework.
+//! `curl http://<addr>/metrics` and a Prometheus scraper both speak it.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when idle. Scrapes are human/poller
+/// cadence; 5ms keeps the thread cheap and shutdown prompt.
+const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// Per-request socket timeout: a stalled client cannot wedge the loop.
+const REQUEST_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// The live stats endpoint: binds a TCP listener and serves registry
+/// snapshots until shut down (or dropped).
+#[derive(Debug)]
+pub struct StatsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StatsServer {
+    /// Bind `addr` (use `"127.0.0.1:0"` for an ephemeral port — the
+    /// actual address is [`StatsServer::addr`]) and start serving.
+    pub fn bind(addr: &str) -> io::Result<StatsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("rmprof-stats".into())
+            .spawn(move || {
+                while !loop_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Serve errors (client hung up mid-request,
+                            // write failed) only affect that client.
+                            let _ = serve_one(stream);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(IDLE_POLL);
+                        }
+                        Err(_) => std::thread::sleep(IDLE_POLL),
+                    }
+                }
+            })?;
+        Ok(StatsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StatsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Read one request, answer it, close.
+fn serve_one(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
+    stream.set_write_timeout(Some(REQUEST_TIMEOUT))?;
+
+    // Read until the header terminator (or a sane cap): we only need the
+    // request line, but draining headers keeps clients happy.
+    let mut raw = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !raw.windows(4).any(|w| w == b"\r\n\r\n") && raw.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = std::str::from_utf8(&raw)
+        .unwrap_or("")
+        .lines()
+        .next()
+        .unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+
+    let (status, ctype, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        let snap = rmprof::snapshot();
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                rmprof::expo::prometheus(&snap),
+            ),
+            "/stats.json" => ("200 OK", "application/json", rmprof::expo::json(&snap)),
+            _ => (
+                "404 Not Found",
+                "text/plain",
+                "try /metrics or /stats.json\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_json_and_404() {
+        rmprof::counter("stats.test_requests").add(3);
+        let srv = StatsServer::bind("127.0.0.1:0").expect("bind");
+        let addr = srv.addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("# TYPE rmprof_stage_ns summary"));
+        assert!(metrics.contains("stats_test_requests 3"));
+
+        let json = get(addr, "/stats.json");
+        assert!(json.contains("application/json"));
+        let body = json.split("\r\n\r\n").nth(1).expect("body");
+        let doc = rmprof::expo::parse_snapshot(body).expect("valid rmprof-v1");
+        assert!(doc
+            .counters
+            .iter()
+            .any(|(n, v)| n == "stats.test_requests" && *v >= 3));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,127 @@
+//! The live stats endpoint, polled mid-transfer.
+//!
+//! A profiled NAK-family cluster run serves its `rmprof` registry over
+//! HTTP while 30 messages of 500KB move through real UDP sockets. The
+//! test scrapes `/stats.json` and `/metrics` *while the transfer is in
+//! flight* and asserts live content: datagram counters climbing between
+//! scrapes and span histograms filling in. A final scrape after the run
+//! checks the totals are plausible for the workload.
+
+use bytes::Bytes;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::time::Duration as StdDuration;
+use udprun::cluster::{run_cluster, ClusterConfig};
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect stats endpoint");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send request");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out
+}
+
+fn body(response: &str) -> &str {
+    response
+        .split("\r\n\r\n")
+        .nth(1)
+        .expect("response has a body")
+}
+
+#[test]
+fn endpoint_serves_live_counters_and_histograms_mid_transfer() {
+    let protocol = rmcast::ProtocolConfig::new(rmcast::ProtocolKind::nak_polling(6), 4_000, 12);
+    let mut cfg = ClusterConfig::new(protocol, 3);
+    cfg.timeout = StdDuration::from_secs(120);
+    cfg.profile = true;
+    cfg.stats_addr = Some("127.0.0.1:0".to_string());
+    let bound = Arc::new(OnceLock::new());
+    cfg.stats_bound = Some(Arc::clone(&bound));
+
+    // Enough work that the run is comfortably still going when we poll:
+    // the paper's N=30 point — thirty 500KB messages.
+    let msgs: Vec<Bytes> = (0..30)
+        .map(|i| Bytes::from(vec![(i % 251) as u8; 500_000]))
+        .collect();
+
+    let runner = std::thread::spawn(move || run_cluster(cfg, msgs));
+
+    // The endpoint publishes its address once listening.
+    let addr = loop {
+        if let Some(a) = bound.get() {
+            break *a;
+        }
+        assert!(!runner.is_finished(), "cluster ended before binding stats");
+        std::thread::sleep(StdDuration::from_millis(2));
+    };
+
+    // First mid-transfer scrape: wait until traffic is visibly flowing.
+    let first = loop {
+        let doc = rmprof::expo::parse_snapshot(body(&http_get(addr, "/stats.json")))
+            .expect("endpoint serves valid rmprof-v1 JSON");
+        let rx = doc.counter_value("udprun.datagrams_rx").unwrap_or(0);
+        if rx > 100 {
+            break doc;
+        }
+        assert!(
+            !runner.is_finished(),
+            "cluster finished before first scrape saw traffic"
+        );
+        std::thread::sleep(StdDuration::from_millis(5));
+    };
+
+    // Live histogram content mid-transfer: the socket spans and the
+    // engine spans are all filling in.
+    for stage in [
+        "udprun.rx",
+        "udprun.tx",
+        "wire.encode",
+        "wire.decode",
+        "recv.assembly",
+    ] {
+        let row = first
+            .stages
+            .iter()
+            .find(|r| r.stage == stage)
+            .unwrap_or_else(|| panic!("stage {stage} missing from exposition"));
+        assert!(row.count > 0, "stage {stage} has no samples mid-transfer");
+        assert!(row.sum_ns > 0, "stage {stage} has zero total time");
+        assert!(
+            row.min_ns <= row.p50_ns && row.p50_ns <= row.p99_ns && row.p99_ns <= row.max_ns,
+            "stage {stage} quantiles out of order"
+        );
+    }
+    assert_eq!(first.gauge_value("udprun.nodes"), Some(4));
+
+    // Counters are *live*: a later scrape shows strictly more traffic
+    // (the run is still moving 15MB through 3 receivers).
+    let second = loop {
+        let doc = rmprof::expo::parse_snapshot(body(&http_get(addr, "/stats.json")))
+            .expect("endpoint serves valid rmprof-v1 JSON");
+        let before = first.counter_value("udprun.datagrams_rx").unwrap();
+        if doc.counter_value("udprun.datagrams_rx").unwrap_or(0) > before {
+            break doc;
+        }
+        if runner.is_finished() {
+            break doc;
+        }
+        std::thread::sleep(StdDuration::from_millis(5));
+    };
+    assert!(
+        second.counter_value("udprun.datagrams_rx").unwrap()
+            > first.counter_value("udprun.datagrams_rx").unwrap(),
+        "rx counter did not advance between scrapes"
+    );
+
+    // The Prometheus page serves the same registry.
+    let metrics = http_get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+    assert!(metrics.contains("# TYPE rmprof_stage_ns summary"));
+    assert!(metrics.contains("rmprof_stage_ns_count{stage=\"udprun.rx\"}"));
+    assert!(metrics.contains("udprun_datagrams_rx "));
+
+    let result = runner.join().expect("runner thread").expect("cluster run");
+    assert_eq!(result.deliveries.len(), 3 * 30, "every message delivered");
+}
