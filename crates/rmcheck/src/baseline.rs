@@ -1,0 +1,184 @@
+//! The `rmlint.baseline` ratchet for the `hot-alloc` rule.
+//!
+//! `hot-alloc` flags allocation/copy tokens inside span-instrumented hot
+//! functions. The codebase predates the rule, so existing findings are
+//! *grandfathered*: a committed `rmlint.baseline` at the workspace root
+//! records, per file, how many hot-path allocations are currently known.
+//! The ratchet only turns one way:
+//!
+//! - a file's live count **at or below** its baseline entry → clean (the
+//!   known findings are suppressed; a *decrease* is silently accepted and
+//!   `rmlint --update-baseline` rewrites the file to lock it in),
+//! - a file's live count **above** its baseline entry (or a file with no
+//!   entry) → every `hot-alloc` finding in that file surfaces, plus one
+//!   `hot-alloc-ratchet` summary finding, and the run fails.
+//!
+//! Format: one entry per line, `hot-alloc <file> <count>`, `#` comments
+//! and blank lines ignored. An unparseable baseline is a `lint-config`
+//! finding (exit code 2), never a silent pass.
+
+use std::collections::BTreeMap;
+
+use crate::lint::Finding;
+
+/// Rule name the baseline applies to.
+pub const RULE: &str = "hot-alloc";
+
+/// Summary rule emitted when a file exceeds its grandfathered count.
+pub const RATCHET_RULE: &str = "hot-alloc-ratchet";
+
+/// Parse baseline text into `file → grandfathered count`.
+///
+/// Returns `Err` with a line-anchored message on any malformed entry.
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut counts = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (rule, file, count) = (parts.next(), parts.next(), parts.next());
+        let bad = |why: &str| format!("line {}: {why}: {raw:?}", idx + 1);
+        match (rule, file, count, parts.next()) {
+            (Some(RULE), Some(file), Some(count), None) => {
+                let n: usize = count
+                    .parse()
+                    .map_err(|_| bad("count is not a non-negative integer"))?;
+                if counts.insert(file.to_string(), n).is_some() {
+                    return Err(bad("duplicate file entry"));
+                }
+            }
+            (Some(RULE), _, _, _) => return Err(bad("expected `hot-alloc <file> <count>`")),
+            _ => return Err(bad("unknown rule (only `hot-alloc` is baselined)")),
+        }
+    }
+    Ok(counts)
+}
+
+/// Render a baseline file for `counts` (deterministic order, trailing
+/// newline, header comment explaining the ratchet).
+pub fn render(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# rmlint hot-alloc ratchet baseline.\n\
+         # Grandfathered allocation/copy counts inside span-instrumented hot\n\
+         # functions. CI fails if any file's count increases; decreases are\n\
+         # locked in with `rmlint --update-baseline`. See docs/CORRECTNESS.md.\n",
+    );
+    for (file, n) in counts {
+        out.push_str(&format!("{RULE} {file} {n}\n"));
+    }
+    out
+}
+
+/// Per-file `hot-alloc` finding counts (input to `--update-baseline`).
+pub fn counts_of(findings: &[Finding]) -> BTreeMap<String, usize> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for f in findings.iter().filter(|f| f.rule == RULE) {
+        *counts.entry(f.file.clone()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Apply the ratchet: suppress grandfathered `hot-alloc` findings, keep
+/// everything else, and add a [`RATCHET_RULE`] summary finding for every
+/// file whose live count exceeds its baseline entry.
+pub fn apply(findings: Vec<Finding>, baseline: &BTreeMap<String, usize>) -> Vec<Finding> {
+    let live = counts_of(&findings);
+    let mut out: Vec<Finding> = Vec::new();
+    for f in findings {
+        if f.rule != RULE {
+            out.push(f);
+            continue;
+        }
+        let allowed = baseline.get(&f.file).copied().unwrap_or(0);
+        if live.get(&f.file).copied().unwrap_or(0) > allowed {
+            out.push(f);
+        }
+    }
+    for (file, &n) in &live {
+        let allowed = baseline.get(file).copied().unwrap_or(0);
+        if n > allowed {
+            out.push(Finding {
+                rule: RATCHET_RULE,
+                file: file.clone(),
+                line: 0,
+                message: format!(
+                    "{n} hot-path allocation(s) exceed the grandfathered baseline of \
+                     {allowed}; remove the new allocation, or justify it with an \
+                     `rmlint: allow(hot-alloc)` comment, or (last resort) raise \
+                     rmlint.baseline in the same commit"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: usize) -> Finding {
+        Finding {
+            rule: RULE,
+            file: file.to_string(),
+            line,
+            message: "alloc".to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let text = "# comment\n\nhot-alloc crates/core/src/packet.rs 3\nhot-alloc a.rs 0\n";
+        let counts = parse(text).unwrap();
+        assert_eq!(counts.get("crates/core/src/packet.rs"), Some(&3));
+        assert_eq!(parse(&render(&counts)).unwrap(), counts);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("hot-alloc only-two-fields\n").is_err());
+        assert!(parse("hot-alloc f.rs not-a-number\n").is_err());
+        assert!(parse("other-rule f.rs 1\n").is_err());
+        assert!(parse("hot-alloc f.rs 1\nhot-alloc f.rs 2\n").is_err());
+        assert!(parse("hot-alloc f.rs 1 extra\n").is_err());
+    }
+
+    #[test]
+    fn ratchet_grandfathers_at_or_below_baseline() {
+        let baseline = parse("hot-alloc a.rs 2\n").unwrap();
+        // Exactly at baseline: suppressed.
+        let out = apply(vec![finding("a.rs", 1), finding("a.rs", 9)], &baseline);
+        assert!(out.is_empty(), "{out:?}");
+        // Below baseline (a decrease): also clean.
+        let out = apply(vec![finding("a.rs", 1)], &baseline);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn ratchet_fails_on_any_increase() {
+        let baseline = parse("hot-alloc a.rs 1\n").unwrap();
+        let out = apply(
+            vec![finding("a.rs", 1), finding("a.rs", 9), finding("b.rs", 3)],
+            &baseline,
+        );
+        // a.rs exceeded (2 > 1): both findings surface + ratchet summary.
+        // b.rs has no entry (1 > 0): same.
+        assert_eq!(out.iter().filter(|f| f.rule == RULE).count(), 3);
+        assert_eq!(out.iter().filter(|f| f.rule == RATCHET_RULE).count(), 2);
+    }
+
+    #[test]
+    fn non_hot_alloc_findings_pass_through() {
+        let baseline = parse("hot-alloc a.rs 5\n").unwrap();
+        let other = Finding {
+            rule: "wall-clock",
+            file: "a.rs".to_string(),
+            line: 3,
+            message: "x".to_string(),
+        };
+        let out = apply(vec![other.clone(), finding("a.rs", 1)], &baseline);
+        assert_eq!(out, vec![other]);
+    }
+}

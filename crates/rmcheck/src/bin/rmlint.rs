@@ -2,24 +2,126 @@
 //! rule fired (CI gates on it).
 //!
 //! ```text
-//! rmlint [--root <workspace-root>]
+//! rmlint [--root <dir>] [--json | --github] [--update-baseline]
 //! ```
+//!
+//! Exit codes are stable for CI:
+//! - `0` — clean (no findings after the `rmlint.baseline` ratchet),
+//! - `1` — findings,
+//! - `2` — configuration error (bad arguments, unreadable scope files,
+//!   unparseable baseline).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use rmcheck::baseline;
+use rmcheck::lint::Finding;
+
+const USAGE: &str = "\
+rmlint [--root <dir>] [--json | --github] [--update-baseline]
+Source-level lint for the reliable multicast workspace;
+rules and scopes are documented in docs/CORRECTNESS.md.
+
+  --root <dir>        workspace root (default: walk up from cwd)
+  --json              emit findings as a JSON array
+  --github            emit findings as GitHub Actions annotations
+  --update-baseline   rewrite rmlint.baseline to the current hot-alloc
+                      counts (locks in decreases), then report
+  -h, --help          show this help
+
+exit codes: 0 clean, 1 findings, 2 config error
+";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn emit(findings: &[Finding], format: Format) {
+    match format {
+        Format::Text => {
+            for f in findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("rmlint: clean");
+            } else {
+                eprintln!("rmlint: {} finding(s)", findings.len());
+            }
+        }
+        Format::Json => {
+            let rows: Vec<String> = findings
+                .iter()
+                .map(|f| {
+                    format!(
+                        "  {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                        json_escape(f.rule),
+                        json_escape(&f.file),
+                        f.line,
+                        json_escape(&f.message)
+                    )
+                })
+                .collect();
+            if rows.is_empty() {
+                println!("[]");
+            } else {
+                println!("[\n{}\n]", rows.join(",\n"));
+            }
+        }
+        Format::Github => {
+            for f in findings {
+                // Annotation lines are 1-based; file-level findings use 1.
+                println!(
+                    "::error file={},line={},title=rmlint {}::{}",
+                    f.file,
+                    f.line.max(1),
+                    f.rule,
+                    f.message
+                );
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut update_baseline = false;
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--root" => root = args.next().map(PathBuf::from),
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("rmlint: --root requires a directory (try --help)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => format = Format::Json,
+            "--github" => format = Format::Github,
+            "--update-baseline" => update_baseline = true,
             "--help" | "-h" => {
-                println!("rmlint [--root <workspace-root>]");
-                println!("Source-level lint for the reliable multicast workspace;");
-                println!("rules and scopes are documented in docs/CORRECTNESS.md.");
+                print!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -35,15 +137,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let findings = rmcheck::lint::run_workspace(&root);
-    for f in &findings {
-        println!("{f}");
+
+    if update_baseline {
+        let raw = rmcheck::lint::run_workspace_raw(&root);
+        let counts = baseline::counts_of(&raw);
+        let path = root.join("rmlint.baseline");
+        if let Err(e) = std::fs::write(&path, baseline::render(&counts)) {
+            eprintln!("rmlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "rmlint: wrote {} ({} file(s), {} grandfathered finding(s))",
+            path.display(),
+            counts.len(),
+            counts.values().sum::<usize>()
+        );
     }
-    if findings.is_empty() {
-        println!("rmlint: clean");
+
+    let findings = rmcheck::lint::run_workspace(&root);
+    emit(&findings, format);
+    if findings.iter().any(|f| f.rule == "lint-config") {
+        ExitCode::from(2)
+    } else if findings.is_empty() {
         ExitCode::SUCCESS
     } else {
-        eprintln!("rmlint: {} finding(s)", findings.len());
         ExitCode::FAILURE
     }
 }

@@ -9,6 +9,9 @@
 //! | `panic-path` | wire-decode and packet-handling files | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` — network input must be rejectable, never a crash |
 //! | `index-unguarded` | wire-decode and packet-handling files | `expr[...]` indexing/slicing, which panics out of range; use `get()` / `split_at` or justify with an allow comment |
 //! | `raw-instant` | timed engine crates (`udprun`, `simrun`) | ad-hoc `Instant::now` timing; hot-path measurements go through `rmprof::span!` so they land in the shared registry — genuine wall-clock needs (epochs, deadlines) carry an allow comment |
+//! | `hot-alloc` | hot-path crates (`core`, `rmwire`, `netsim`, `udprun`) | allocation/copy tokens (`Vec::new`, `vec!`, `.clone()`, `format!`, `.collect`, map inserts, ...) inside functions that open an `rmprof::span!` — enforced through the `rmlint.baseline` ratchet (see [`crate::baseline`]) |
+//! | `packet-exhaustive` | packet dispatch files + `rmfuzz` | every `PacketType` variant matched in the wire dispatch, every `Packet` variant handled by both engine dispatches, every `PacketType` exercised by the fuzzer corpus, and no `_ =>` wildcard arm in a packet match |
+//! | `counter-drift` | `Stats` counters + `TraceEvent` variants vs the whole tree | every counter must be updated in non-test source and asserted in at least one test; every trace event must be emitted outside `rmtrace` and asserted in at least one test |
 //! | `stats-doc` | `crates/core/src/stats.rs` vs `docs/OBSERVABILITY.md` | every `Stats` counter must appear in the observability docs |
 //! | `trace-doc` | `crates/rmtrace/src/event.rs` vs `docs/OBSERVABILITY.md` | every `TraceEvent` variant must appear in the observability docs |
 //! | `config-validate` | `crates/core/src/config.rs` | every `ProtocolConfig` field must be referenced by `validate()` (or carry an allow comment stating why it is unconstrained) |
@@ -16,14 +19,19 @@
 //! Any finding can be suppressed with a justification comment on the same
 //! line or the line above: `// rmlint: allow(<rule>): <reason>`.
 //!
-//! Scanning is token-oriented, not AST-based: comments and string
-//! literals are blanked first (so a rule name inside a doc comment never
-//! fires), and everything from the first `#[cfg(test)]` to the end of the
-//! file is skipped — the workspace convention keeps test modules last, and
-//! the rules deliberately do not apply to test code.
+//! Scanning runs on the token stream from [`crate::lex`]: comments and
+//! string literals are distinct token kinds (a rule name inside a doc
+//! comment never fires), rule patterns are token *sequences* rather than
+//! substrings, and `#[cfg(test)]` / `#[test]` items are excluded
+//! **brace-aware** — code after a test module is still scanned, unlike the
+//! v1 behavior of skipping from the first `#[cfg(test)]` to end of file.
 
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use crate::baseline;
+use crate::lex::{self, TokKind, Token};
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,11 +85,33 @@ pub mod scope {
         "crates/core/src/packet.rs",
         "crates/udprun/src/hub.rs",
     ];
+
+    /// Crates holding the hot paths the paper measures (wire
+    /// encode/decode/CRC, sender window, receiver assembly, FEC XOR,
+    /// netsim dispatch, udprun tx/rx): the `hot-alloc` rule scans every
+    /// span-instrumented function in their sources.
+    pub const HOT_PATH_DIRS: &[&str] = &[
+        "crates/core/src",
+        "crates/rmwire/src",
+        "crates/netsim/src",
+        "crates/udprun/src",
+    ];
+
+    /// Files whose packet dispatches `packet-exhaustive` audits: the wire
+    /// dispatch, both engine dispatches, and the fuzzer corpus.
+    pub const PACKET_DISPATCH_FILES: &[&str] = &[
+        "crates/rmwire/src/header.rs",
+        "crates/core/src/packet.rs",
+        "crates/core/src/receiver.rs",
+        "crates/core/src/sender.rs",
+        "crates/rmfuzz/src/lib.rs",
+    ];
 }
 
 /// Blank out comments, string literals and char literals, preserving the
 /// line structure (every replaced byte becomes a space, newlines stay).
-/// Lifetimes (`'a`) are left alone.
+/// Lifetimes (`'a`) are left alone. Retained for callers that want a
+/// line-oriented view; the rules themselves now run on [`crate::lex`].
 pub fn strip_comments_and_strings(src: &str) -> String {
     let b = src.as_bytes();
     let mut out = vec![b' '; b.len()];
@@ -201,34 +231,28 @@ fn allowed(raw_lines: &[&str], idx: usize, rule: &str) -> bool {
         || idx > 0 && raw_lines.get(idx - 1).is_some_and(|l| l.contains(&marker))
 }
 
-/// 0-based line of the first `#[cfg(test)]` (test modules are last by
-/// workspace convention); lines from there on are not linted.
-fn test_module_start(raw_lines: &[&str]) -> usize {
-    raw_lines
-        .iter()
-        .position(|l| l.contains("#[cfg(test)]"))
-        .unwrap_or(raw_lines.len())
-}
-
-/// Per-line token scan shared by `wall-clock` and `panic-path`.
-fn scan_tokens(
+/// Token-sequence scan shared by `wall-clock`, `raw-instant` and
+/// `panic-path`: flag every non-test occurrence of any pattern.
+fn scan_seqs(
     rule: &'static str,
     file: &str,
     src: &str,
-    tokens: &[(&str, &str)],
+    pats: &[(&[&str], &str)],
     findings: &mut Vec<Finding>,
 ) {
     let raw_lines: Vec<&str> = src.lines().collect();
-    let stripped = strip_comments_and_strings(src);
-    let limit = test_module_start(&raw_lines);
-    for (idx, line) in stripped.lines().enumerate().take(limit) {
-        for (token, why) in tokens {
-            if line.contains(token) && !allowed(&raw_lines, idx, rule) {
+    let tokens = lex::lex(src);
+    for i in 0..tokens.len() {
+        if tokens[i].in_test {
+            continue;
+        }
+        for (pat, why) in pats {
+            if lex::seq_at(&tokens, i, pat) && !allowed(&raw_lines, tokens[i].line - 1, rule) {
                 findings.push(Finding {
                     rule,
                     file: file.to_string(),
-                    line: idx + 1,
-                    message: format!("`{token}` {why}"),
+                    line: tokens[i].line,
+                    message: format!("`{}` {why}", pat.concat()),
                 });
             }
         }
@@ -239,25 +263,28 @@ fn scan_tokens(
 /// crates — their behavior must be a pure function of inputs and seed,
 /// or golden traces and the model checker are meaningless.
 pub fn lint_wall_clock(file: &str, src: &str, findings: &mut Vec<Finding>) {
-    scan_tokens(
+    scan_seqs(
         "wall-clock",
         file,
         src,
         &[
             (
-                "SystemTime",
+                &["SystemTime"],
                 "reads the wall clock in a deterministic crate",
             ),
             (
-                "Instant::now",
+                &["Instant", "::", "now"],
                 "reads the wall clock in a deterministic crate",
             ),
-            ("thread_rng", "draws OS randomness in a deterministic crate"),
             (
-                "from_entropy",
+                &["thread_rng"],
                 "draws OS randomness in a deterministic crate",
             ),
-            ("OsRng", "draws OS randomness in a deterministic crate"),
+            (
+                &["from_entropy"],
+                "draws OS randomness in a deterministic crate",
+            ),
+            (&["OsRng"], "draws OS randomness in a deterministic crate"),
         ],
         findings,
     );
@@ -269,12 +296,12 @@ pub fn lint_wall_clock(file: &str, src: &str, findings: &mut Vec<Finding>) {
 /// `rmreport --profile`. Genuine wall-clock uses (a cluster epoch, a
 /// settle deadline) are fine with an allow comment saying so.
 pub fn lint_raw_instant(file: &str, src: &str, findings: &mut Vec<Finding>) {
-    scan_tokens(
+    scan_seqs(
         "raw-instant",
         file,
         src,
         &[(
-            "Instant::now",
+            &["Instant", "::", "now"],
             "times outside the rmprof registry; use `rmprof::span!` (or justify \
              a genuine wall-clock need with an allow comment)",
         )],
@@ -286,42 +313,46 @@ pub fn lint_raw_instant(file: &str, src: &str, findings: &mut Vec<Finding>) {
 /// code — malformed network input must map to a typed error and a
 /// counter (`Stats::malformed_rx`), never a crash.
 pub fn lint_panic_path(file: &str, src: &str, findings: &mut Vec<Finding>) {
-    scan_tokens(
+    scan_seqs(
         "panic-path",
         file,
         src,
         &[
-            (".unwrap()", "can panic on network input"),
-            (".expect(", "can panic on network input"),
-            ("panic!", "panics in a decode path"),
-            ("unreachable!", "panics in a decode path"),
-            ("todo!", "panics in a decode path"),
-            ("unimplemented!", "panics in a decode path"),
+            (&[".", "unwrap", "(", ")"], "can panic on network input"),
+            (&[".", "expect", "("], "can panic on network input"),
+            (&["panic", "!"], "panics in a decode path"),
+            (&["unreachable", "!"], "panics in a decode path"),
+            (&["todo", "!"], "panics in a decode path"),
+            (&["unimplemented", "!"], "panics in a decode path"),
         ],
         findings,
     );
 }
 
 /// `index-unguarded`: `expr[...]` indexing or slicing in decode paths
-/// panics when out of range. An index expression is recognized as `[`
-/// immediately preceded by an identifier character, `)`, or `]` — which
-/// excludes attributes (`#[...]`), array literals and macro brackets
-/// (`vec![...]`).
+/// panics when out of range. An index expression is a `[` token directly
+/// adjacent to a preceding identifier, literal, `)`, or `]` — which
+/// excludes attributes (`#[...]`), array types/literals (`: [u8; 4]`)
+/// and macro brackets (`vec![...]`).
 pub fn lint_index_unguarded(file: &str, src: &str, findings: &mut Vec<Finding>) {
     let rule = "index-unguarded";
     let raw_lines: Vec<&str> = src.lines().collect();
-    let stripped = strip_comments_and_strings(src);
-    let limit = test_module_start(&raw_lines);
-    for (idx, line) in stripped.lines().enumerate().take(limit) {
-        let b = line.as_bytes();
-        let is_index = b.windows(2).any(|w| {
-            w[1] == b'[' && (w[0].is_ascii_alphanumeric() || matches!(w[0], b'_' | b')' | b']'))
-        });
-        if is_index && !allowed(&raw_lines, idx, rule) {
+    let tokens = lex::lex(src);
+    for i in 1..tokens.len() {
+        let t = &tokens[i];
+        if t.in_test || t.text != "[" {
+            continue;
+        }
+        let prev = &tokens[i - 1];
+        let adjacent = prev.end == t.start;
+        let indexable = matches!(prev.kind, TokKind::Ident | TokKind::Num)
+            || prev.text == ")"
+            || prev.text == "]";
+        if adjacent && indexable && !allowed(&raw_lines, t.line - 1, rule) {
             findings.push(Finding {
                 rule,
                 file: file.to_string(),
-                line: idx + 1,
+                line: t.line,
                 message: "indexing/slicing panics out of range; use `get()`/`split_at` \
                           or justify with an allow comment"
                     .to_string(),
@@ -330,65 +361,376 @@ pub fn lint_index_unguarded(file: &str, src: &str, findings: &mut Vec<Finding>) 
     }
 }
 
-/// Names declared via `define_stats!` in `stats.rs`: lines of the form
-/// `name: sum,` / `name: max,`.
-fn stats_counter_names(stats_src: &str) -> Vec<String> {
-    let stripped = strip_comments_and_strings(stats_src);
-    let mut names = Vec::new();
-    let mut in_macro = false;
-    for line in stripped.lines() {
-        let t = line.trim();
-        if t.starts_with("define_stats!") {
-            in_macro = true;
+/// Allocation/copy token sequences the `hot-alloc` rule flags inside
+/// span-instrumented functions.
+pub const HOT_ALLOC_PATTERNS: &[&[&str]] = &[
+    &["Vec", "::", "new"],
+    &["Vec", "::", "with_capacity"],
+    &["vec", "!"],
+    &[".", "to_vec", "("],
+    &[".", "clone", "("],
+    &["Box", "::", "new"],
+    &["format", "!"],
+    &[".", "collect"],
+    &["BTreeMap", "::", "new"],
+    &["HashMap", "::", "new"],
+    &[".", "insert", "("],
+    &["Bytes", "::", "copy_from_slice"],
+    &["BytesMut", "::", "with_capacity"],
+];
+
+/// `hot-alloc`: inside any function whose body opens an `rmprof::span!`
+/// (the marker that this is one of the hot stages the paper measures),
+/// flag allocation and copy tokens. Raw findings — [`run_workspace`]
+/// passes them through the [`crate::baseline`] ratchet so pre-existing
+/// allocations are grandfathered but new ones fail.
+pub fn lint_hot_alloc(file: &str, src: &str, findings: &mut Vec<Finding>) {
+    let rule = "hot-alloc";
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let tokens = lex::lex(src);
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for f in lex::fn_bodies(&tokens) {
+        if tokens[f.body_open].in_test {
             continue;
         }
-        if in_macro {
-            if t.starts_with('}') {
-                break;
+        let body = f.body_open..=f.body_close;
+        let has_span = body
+            .clone()
+            .any(|i| lex::seq_at(&tokens, i, &["span", "!"]) && !tokens[i].in_test);
+        if !has_span {
+            continue;
+        }
+        for i in body {
+            if tokens[i].in_test || flagged.contains(&i) {
+                continue;
             }
-            if let Some((name, rest)) = t.split_once(':') {
-                let name = name.trim();
-                let kind = rest.trim().trim_end_matches(',');
-                if (kind == "sum" || kind == "max")
-                    && !name.is_empty()
-                    && name.chars().all(|c| c.is_ascii_lowercase() || c == '_')
-                {
-                    names.push(name.to_string());
+            for pat in HOT_ALLOC_PATTERNS {
+                if lex::seq_at(&tokens, i, pat) && !allowed(&raw_lines, tokens[i].line - 1, rule) {
+                    flagged.insert(i);
+                    findings.push(Finding {
+                        rule,
+                        file: file.to_string(),
+                        line: tokens[i].line,
+                        message: format!(
+                            "allocation/copy `{}` inside span-instrumented hot fn `{}`",
+                            pat.concat(),
+                            f.name
+                        ),
+                    });
+                    break;
                 }
             }
         }
     }
-    names
 }
 
-/// Variant names of `pub enum TraceEvent` in `event.rs`.
-fn trace_event_names(event_src: &str) -> Vec<String> {
-    let stripped = strip_comments_and_strings(event_src);
-    let mut names = Vec::new();
-    let mut in_enum = false;
-    let mut depth = 0i32;
-    for line in stripped.lines() {
-        let t = line.trim();
-        if t.starts_with("pub enum TraceEvent") {
-            in_enum = true;
+/// Part of `packet-exhaustive`: flag `_ =>` wildcard arms in any `match`
+/// that mentions `Packet::` / `PacketType::` — a wildcard there means a
+/// future packet type gets silently swallowed instead of handled.
+pub fn lint_wildcard_arm(file: &str, src: &str, findings: &mut Vec<Finding>) {
+    let rule = "packet-exhaustive";
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let tokens = lex::lex(src);
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident || t.text != "match" || t.in_test {
+            i += 1;
+            continue;
         }
-        if in_enum {
-            if depth == 1 {
-                let head: String = t
-                    .chars()
-                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                    .collect();
-                if head.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
-                    names.push(head);
+        // Body opens at the first `{` back at the match keyword's depth.
+        let mut k = i + 1;
+        while k < tokens.len() && !(tokens[k].text == "{" && tokens[k].depth == t.depth) {
+            k += 1;
+        }
+        let Some(close) = (k < tokens.len())
+            .then(|| lex::brace_end(&tokens, k))
+            .flatten()
+        else {
+            break;
+        };
+        let is_packet_match = (k..close).any(|j| {
+            matches!(tokens[j].text.as_str(), "Packet" | "PacketType")
+                && tokens.get(j + 1).is_some_and(|n| n.text == "::")
+        });
+        if is_packet_match {
+            let arm_depth = tokens[k].depth + 1;
+            for j in k + 1..close {
+                if tokens[j].text == "_"
+                    && tokens[j].depth == arm_depth
+                    && tokens.get(j + 1).is_some_and(|n| n.text == "=>")
+                    && !allowed(&raw_lines, tokens[j].line - 1, rule)
+                {
+                    findings.push(Finding {
+                        rule,
+                        file: file.to_string(),
+                        line: tokens[j].line,
+                        message: "`_ =>` wildcard arm in a packet match would silently \
+                                  swallow a future packet type; list every variant"
+                            .to_string(),
+                    });
                 }
             }
-            depth += t.matches('{').count() as i32 - t.matches('}').count() as i32;
-            if depth == 0 && t.contains('}') {
-                break;
+        }
+        i = k + 1;
+    }
+}
+
+/// Does any non-test token position start `pat`?
+fn mentions(tokens: &[Token], pat: &[&str]) -> bool {
+    (0..tokens.len()).any(|i| !tokens[i].in_test && lex::seq_at(tokens, i, pat))
+}
+
+/// `packet-exhaustive` coverage half: every `PacketType` variant must be
+/// matched in the wire dispatch (`packet.rs`) and exercised by the fuzzer
+/// corpus, and every `Packet` variant must be handled by both engine
+/// dispatches (`receiver.rs`, `sender.rs`). Missing enums are
+/// `lint-config` findings — a renamed enum must move the lint with it.
+pub fn lint_packet_exhaustive(
+    header_src: &str,
+    packet_src: &str,
+    receiver_src: &str,
+    sender_src: &str,
+    fuzz_src: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let rule = "packet-exhaustive";
+    let header_toks = lex::lex(header_src);
+    let packet_toks = lex::lex(packet_src);
+    let receiver_toks = lex::lex(receiver_src);
+    let sender_toks = lex::lex(sender_src);
+    let fuzz_toks = lex::lex(fuzz_src);
+
+    let ptype = lex::enum_variants(&header_toks, "PacketType");
+    if ptype.is_empty() {
+        findings.push(Finding {
+            rule: "lint-config",
+            file: "crates/rmwire/src/header.rs".to_string(),
+            line: 0,
+            message: "enum PacketType not found; packet-exhaustive scope is stale".to_string(),
+        });
+    }
+    let pvars = lex::enum_variants(&packet_toks, "Packet");
+    if pvars.is_empty() {
+        findings.push(Finding {
+            rule: "lint-config",
+            file: "crates/core/src/packet.rs".to_string(),
+            line: 0,
+            message: "enum Packet not found; packet-exhaustive scope is stale".to_string(),
+        });
+    }
+
+    for v in &ptype {
+        if !mentions(&packet_toks, &["PacketType", "::", v]) {
+            findings.push(Finding {
+                rule,
+                file: "crates/core/src/packet.rs".to_string(),
+                line: 1,
+                message: format!("`PacketType::{v}` is never matched in the wire dispatch"),
+            });
+        }
+        let encoder = format!("encode_{}", v.to_ascii_lowercase());
+        let covered = mentions(&fuzz_toks, &["PacketType", "::", v])
+            || mentions(&fuzz_toks, &[encoder.as_str()]);
+        if !covered {
+            findings.push(Finding {
+                rule,
+                file: "crates/rmfuzz/src/lib.rs".to_string(),
+                line: 1,
+                message: format!(
+                    "`PacketType::{v}` is not exercised by the fuzzer (no \
+                     `PacketType::{v}` or `{encoder}` in the corpus/mutator)"
+                ),
+            });
+        }
+    }
+    for (file, toks) in [
+        ("crates/core/src/receiver.rs", &receiver_toks),
+        ("crates/core/src/sender.rs", &sender_toks),
+    ] {
+        for v in &pvars {
+            if !mentions(toks, &["Packet", "::", v]) {
+                findings.push(Finding {
+                    rule,
+                    file: file.to_string(),
+                    line: 1,
+                    message: format!("`Packet::{v}` is not handled in the engine dispatch"),
+                });
             }
         }
     }
-    names
+}
+
+/// Counter names and 1-based declaration lines from the `define_stats!`
+/// invocation: entries of the form `name: sum,` / `name: max,`.
+fn stats_counters(tokens: &[Token]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !lex::seq_at(tokens, i, &["define_stats", "!"]) {
+            continue;
+        }
+        let mut k = i + 2;
+        while k < tokens.len() && tokens[k].text != "{" {
+            k += 1;
+        }
+        if k >= tokens.len() {
+            break;
+        }
+        let close = lex::brace_end(tokens, k).unwrap_or(tokens.len() - 1);
+        for j in k + 1..close.saturating_sub(2) {
+            let name = &tokens[j];
+            if name.kind == TokKind::Ident
+                && tokens[j + 1].text == ":"
+                && matches!(tokens[j + 2].text.as_str(), "sum" | "max")
+                && tokens
+                    .get(j + 3)
+                    .is_some_and(|t| t.text == "," || t.text == "}")
+            {
+                out.push((name.text.clone(), name.line));
+            }
+        }
+        break;
+    }
+    out
+}
+
+/// `counter-drift`: every `Stats` counter must be updated somewhere in
+/// non-test source *and* asserted in at least one test; every
+/// `TraceEvent` variant must be emitted in non-test source outside
+/// `rmtrace` itself *and* asserted in at least one test. A counter
+/// nobody bumps is dead weight; a counter no test reads can silently rot.
+///
+/// `sources` is every workspace `.rs` file as `(relative path, text)`;
+/// files under a `tests/` directory count as test code in full.
+pub fn lint_counter_drift(
+    stats_src: &str,
+    event_src: &str,
+    sources: &[(String, String)],
+    findings: &mut Vec<Finding>,
+) {
+    let rule = "counter-drift";
+    let counters = stats_counters(&lex::lex(stats_src));
+    let events = lex::enum_variants_with_lines(&lex::lex(event_src), "TraceEvent");
+    if counters.is_empty() {
+        findings.push(Finding {
+            rule: "lint-config",
+            file: "crates/core/src/stats.rs".to_string(),
+            line: 0,
+            message: "no define_stats! counters found; counter-drift scope is stale".to_string(),
+        });
+    }
+    if events.is_empty() {
+        findings.push(Finding {
+            rule: "lint-config",
+            file: "crates/rmtrace/src/event.rs".to_string(),
+            line: 0,
+            message: "enum TraceEvent not found; counter-drift scope is stale".to_string(),
+        });
+    }
+
+    // One pass over every source file, harvesting the facts the checks
+    // consume: which idents are assigned in non-test code, which
+    // TraceEvent variants are constructed outside rmtrace, and which
+    // idents / string contents appear in test code.
+    let mut updated: HashSet<String> = HashSet::new();
+    let mut emitted: HashSet<String> = HashSet::new();
+    let mut test_idents: HashSet<String> = HashSet::new();
+    let mut test_strs: Vec<String> = Vec::new();
+    for (file, src) in sources {
+        let test_file = file.starts_with("tests/") || file.contains("/tests/");
+        let tokens = lex::lex(src);
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            let in_test = test_file || t.in_test;
+            match t.kind {
+                TokKind::Ident if in_test => {
+                    test_idents.insert(t.text.clone());
+                }
+                TokKind::Ident => {
+                    if tokens
+                        .get(i + 1)
+                        .is_some_and(|n| n.text == "+=" || n.text == "=")
+                    {
+                        updated.insert(t.text.clone());
+                    }
+                    if t.text == "TraceEvent"
+                        && !file.starts_with("crates/rmtrace/")
+                        && tokens.get(i + 1).is_some_and(|n| n.text == "::")
+                    {
+                        if let Some(v) = tokens.get(i + 2) {
+                            if v.kind == TokKind::Ident {
+                                emitted.insert(v.text.clone());
+                            }
+                        }
+                    }
+                }
+                TokKind::Str if in_test => test_strs.push(t.text.clone()),
+                _ => {}
+            }
+        }
+    }
+    let asserted =
+        |name: &str| test_idents.contains(name) || test_strs.iter().any(|s| s.contains(name));
+
+    let stats_lines: Vec<&str> = stats_src.lines().collect();
+    for (name, line) in &counters {
+        if allowed(&stats_lines, line - 1, rule) {
+            continue;
+        }
+        if !updated.contains(name) {
+            findings.push(Finding {
+                rule,
+                file: "crates/core/src/stats.rs".to_string(),
+                line: *line,
+                message: format!("counter `{name}` is never updated in non-test source"),
+            });
+        }
+        if !asserted(name) {
+            findings.push(Finding {
+                rule,
+                file: "crates/core/src/stats.rs".to_string(),
+                line: *line,
+                message: format!("counter `{name}` is never asserted in any test"),
+            });
+        }
+    }
+    let event_lines: Vec<&str> = event_src.lines().collect();
+    for (name, line) in &events {
+        if allowed(&event_lines, line - 1, rule) {
+            continue;
+        }
+        if !emitted.contains(name) {
+            findings.push(Finding {
+                rule,
+                file: "crates/rmtrace/src/event.rs".to_string(),
+                line: *line,
+                message: format!(
+                    "trace event `{name}` is never emitted in non-test source outside rmtrace"
+                ),
+            });
+        }
+        if !asserted(name) {
+            findings.push(Finding {
+                rule,
+                file: "crates/rmtrace/src/event.rs".to_string(),
+                line: *line,
+                message: format!("trace event `{name}` is never asserted in any test"),
+            });
+        }
+    }
+}
+
+/// Names declared via `define_stats!` (doc-coverage view).
+fn stats_counter_names(stats_src: &str) -> Vec<String> {
+    stats_counters(&lex::lex(stats_src))
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect()
+}
+
+/// Variant names of `pub enum TraceEvent` (doc-coverage view).
+fn trace_event_names(event_src: &str) -> Vec<String> {
+    lex::enum_variants(&lex::lex(event_src), "TraceEvent")
 }
 
 /// `stats-doc` + `trace-doc`: every counter and trace event must appear
@@ -498,6 +840,8 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
     lint_raw_instant(file, src, &mut findings);
     lint_panic_path(file, src, &mut findings);
     lint_index_unguarded(file, src, &mut findings);
+    lint_hot_alloc(file, src, &mut findings);
+    lint_wildcard_arm(file, src, &mut findings);
     findings
 }
 
@@ -525,10 +869,42 @@ fn rel(root: &Path, p: &Path) -> String {
         .replace('\\', "/")
 }
 
-/// Run every rule against the workspace rooted at `root`, returning all
-/// findings sorted by file and line. Missing files are themselves
-/// findings (a moved scope must move the lint config with it).
-pub fn run_workspace(root: &Path) -> Vec<Finding> {
+/// Every workspace `.rs` file the `counter-drift` rule scans: all crate
+/// sources and integration tests plus the root umbrella crate — except
+/// `rmcheck` itself, whose lint fixtures would otherwise count as "a test
+/// asserting the counter".
+fn counter_drift_sources(root: &Path) -> Vec<(String, String)> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if !p.is_dir() || p.file_name().is_some_and(|n| n == "rmcheck") {
+                continue;
+            }
+            for sub in ["src", "tests"] {
+                files.extend(rs_files_under(&p.join(sub)));
+            }
+        }
+    }
+    for sub in ["src", "tests"] {
+        files.extend(rs_files_under(&root.join(sub)));
+    }
+    files.sort();
+    files
+        .into_iter()
+        .filter_map(|p| {
+            std::fs::read_to_string(&p)
+                .ok()
+                .map(|src| (rel(root, &p), src))
+        })
+        .collect()
+}
+
+/// Run every rule against the workspace rooted at `root`, returning raw
+/// findings — `hot-alloc` findings are **not** ratcheted against
+/// `rmlint.baseline` (that's [`run_workspace`]'s job). `--update-baseline`
+/// uses this view to compute the true current counts.
+pub fn run_workspace_raw(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
     let read = |rel_path: &str, findings: &mut Vec<Finding>| -> Option<String> {
         match std::fs::read_to_string(root.join(rel_path)) {
@@ -588,17 +964,72 @@ pub fn run_workspace(root: &Path) -> Vec<Finding> {
         }
     }
 
+    for dir in scope::HOT_PATH_DIRS {
+        for f in rs_files_under(&root.join(dir)) {
+            if let Ok(src) = std::fs::read_to_string(&f) {
+                lint_hot_alloc(&rel(root, &f), &src, &mut findings);
+            }
+        }
+    }
+
+    {
+        let srcs: Vec<Option<String>> = scope::PACKET_DISPATCH_FILES
+            .iter()
+            .map(|f| read(f, &mut findings))
+            .collect();
+        if let [Some(header), Some(packet), Some(receiver), Some(sender), Some(fuzz)] = &srcs[..] {
+            lint_packet_exhaustive(header, packet, receiver, sender, fuzz, &mut findings);
+            for (file, src) in scope::PACKET_DISPATCH_FILES.iter().zip(&srcs) {
+                if let Some(src) = src {
+                    lint_wildcard_arm(file, src, &mut findings);
+                }
+            }
+        }
+    }
+
     let stats = read("crates/core/src/stats.rs", &mut findings);
     let event = read("crates/rmtrace/src/event.rs", &mut findings);
     let obs = read("docs/OBSERVABILITY.md", &mut findings);
-    if let (Some(stats), Some(event), Some(obs)) = (stats, event, obs) {
-        lint_doc_coverage(&stats, &event, &obs, &mut findings);
+    if let (Some(stats), Some(event), Some(obs)) = (&stats, &event, &obs) {
+        lint_doc_coverage(stats, event, obs, &mut findings);
+    }
+    if let (Some(stats), Some(event)) = (&stats, &event) {
+        let sources = counter_drift_sources(root);
+        lint_counter_drift(stats, event, &sources, &mut findings);
     }
 
     if let Some(cfg) = read("crates/core/src/config.rs", &mut findings) {
         lint_config_validate(&cfg, &mut findings);
     }
 
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// Run every rule against the workspace rooted at `root` and apply the
+/// `rmlint.baseline` ratchet, returning all surviving findings sorted by
+/// file and line. Missing files are themselves findings (a moved scope
+/// must move the lint config with it); an unparseable baseline is a
+/// `lint-config` finding, and a *missing* baseline means nothing is
+/// grandfathered.
+pub fn run_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = run_workspace_raw(root);
+    let grandfathered = match std::fs::read_to_string(root.join("rmlint.baseline")) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(counts) => counts,
+            Err(e) => {
+                findings.push(Finding {
+                    rule: "lint-config",
+                    file: "rmlint.baseline".to_string(),
+                    line: 0,
+                    message: format!("unparseable baseline: {e}"),
+                });
+                Default::default()
+            }
+        },
+        Err(_) => Default::default(),
+    };
+    let mut findings = baseline::apply(findings, &grandfathered);
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings
 }

@@ -3,7 +3,8 @@
 //! compliant rewrite (including `rmlint: allow(...)` suppression).
 
 use rmcheck::lint::{
-    lint_config_validate, lint_doc_coverage, lint_source, strip_comments_and_strings,
+    lint_config_validate, lint_counter_drift, lint_doc_coverage, lint_packet_exhaustive,
+    lint_source, strip_comments_and_strings,
 };
 
 fn rules(findings: &[rmcheck::lint::Finding]) -> Vec<&'static str> {
@@ -186,6 +187,302 @@ fn config_validate_accepts_allow_comment() {
                }\n";
     let mut f = Vec::new();
     lint_config_validate(src, &mut f);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+/// The v1 linter skipped from the first `#[cfg(test)]` to end-of-file,
+/// so any non-test code *after* a test module was invisible to every
+/// rule. The lexer's brace-aware test marking closes that hole.
+#[test]
+fn code_after_a_test_module_is_still_linted() {
+    let src = "fn f() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   #[test]\n\
+               \x20   fn t() { let _ = std::time::Instant::now(); }\n\
+               }\n\
+               pub fn g() -> std::time::Instant { std::time::Instant::now() }\n";
+    let f = lint_source("x.rs", src);
+    assert!(rules(&f).contains(&"wall-clock"), "{f:?}");
+    assert!(
+        f.iter().all(|x| x.line == 7),
+        "must flag the post-test-module line, not the test body: {f:?}"
+    );
+}
+
+#[test]
+fn hot_alloc_fires_only_inside_span_instrumented_fns() {
+    let bad = "fn encode(buf: &[u8]) -> Vec<u8> {\n\
+               \x20   let _span = rmprof::span!(rmprof::Stage::WireEncode);\n\
+               \x20   buf.to_vec()\n\
+               }\n";
+    let f = lint_source("x.rs", bad);
+    assert!(rules(&f).contains(&"hot-alloc"), "{f:?}");
+    assert!(
+        f.iter().any(|x| x.rule == "hot-alloc" && x.line == 3),
+        "{f:?}"
+    );
+
+    // Same allocation, no span: the function is not on a measured hot
+    // path, so the rule stays quiet.
+    let unspanned = "fn encode(buf: &[u8]) -> Vec<u8> { buf.to_vec() }\n";
+    assert!(!rules(&lint_source("x.rs", unspanned)).contains(&"hot-alloc"));
+
+    // Allocations in a sibling fn of a span-instrumented one are fine.
+    let sibling = "fn hot() { let _span = rmprof::span!(rmprof::Stage::UdpTx); }\n\
+                   fn cold() -> Vec<u8> { vec![0; 16] }\n";
+    assert!(!rules(&lint_source("x.rs", sibling)).contains(&"hot-alloc"));
+
+    let allowed = "fn encode(buf: &[u8]) -> Vec<u8> {\n\
+                   \x20   let _span = rmprof::span!(rmprof::Stage::WireEncode);\n\
+                   \x20   // rmlint: allow(hot-alloc): single staging copy per transfer\n\
+                   \x20   buf.to_vec()\n\
+                   }\n";
+    assert!(!rules(&lint_source("x.rs", allowed)).contains(&"hot-alloc"));
+}
+
+#[test]
+fn hot_alloc_catches_the_common_allocators() {
+    for alloc in [
+        "Vec::new()",
+        "vec![0; 16]",
+        "Box::new(x)",
+        "format!(\"{x}\")",
+        "xs.iter().collect::<Vec<_>>()",
+        "HashMap::new()",
+    ] {
+        let src = format!(
+            "fn hot(x: u8, xs: &[u8]) {{\n\
+             \x20   let _span = rmprof::span!(rmprof::Stage::UdpTx);\n\
+             \x20   let _ = {alloc};\n\
+             }}\n"
+        );
+        assert!(
+            rules(&lint_source("x.rs", &src)).contains(&"hot-alloc"),
+            "expected hot-alloc on {alloc:?}"
+        );
+    }
+}
+
+/// Wildcard arms in packet matches report under the `packet-exhaustive`
+/// rule — same contract as the cross-crate variant-coverage half.
+#[test]
+fn wildcard_arm_fires_in_packet_matches_only() {
+    let bad = "fn dispatch(p: Packet) {\n\
+               \x20   match p {\n\
+               \x20       Packet::Data(d) => on_data(d),\n\
+               \x20       _ => {}\n\
+               \x20   }\n\
+               }\n";
+    let f = lint_source("x.rs", bad);
+    assert!(
+        f.iter().any(|x| x.rule == "packet-exhaustive"
+            && x.line == 4
+            && x.message.contains("wildcard arm")),
+        "{f:?}"
+    );
+
+    // Exhaustive packet match: quiet.
+    let exhaustive = "fn dispatch(p: Packet) {\n\
+                      \x20   match p {\n\
+                      \x20       Packet::Data(d) => on_data(d),\n\
+                      \x20       Packet::Ack(a) => on_ack(a),\n\
+                      \x20   }\n\
+                      }\n";
+    assert!(!rules(&lint_source("x.rs", exhaustive)).contains(&"packet-exhaustive"));
+
+    // Wildcards over non-packet enums are legitimate.
+    let other = "fn f(s: State) {\n\
+                 \x20   match s {\n\
+                 \x20       State::Idle => go(),\n\
+                 \x20       _ => {}\n\
+                 \x20   }\n\
+                 }\n";
+    assert!(!rules(&lint_source("x.rs", other)).contains(&"packet-exhaustive"));
+
+    // Binding patterns like `other => ...` are not wildcards; they at
+    // least force the author to name what they are swallowing.
+    let bound = "fn dispatch(p: Packet) {\n\
+                 \x20   match p {\n\
+                 \x20       Packet::Data(d) => on_data(d),\n\
+                 \x20       other => log(other),\n\
+                 \x20   }\n\
+                 }\n";
+    assert!(!rules(&lint_source("x.rs", bound)).contains(&"packet-exhaustive"));
+
+    let allowed = "fn dispatch(p: Packet) {\n\
+                   \x20   match p {\n\
+                   \x20       Packet::Data(d) => on_data(d),\n\
+                   \x20       // rmlint: allow(packet-exhaustive): decoder rejects the rest\n\
+                   \x20       _ => {}\n\
+                   \x20   }\n\
+                   }\n";
+    assert!(!rules(&lint_source("x.rs", allowed)).contains(&"packet-exhaustive"));
+}
+
+const PX_HEADER: &str = "pub enum PacketType {\n    Data,\n    Nak,\n}\n";
+const PX_PACKET: &str = "pub enum Packet {\n    Data,\n    Nak,\n}\n\
+                         fn parse(t: PacketType) -> Packet {\n\
+                         \x20   match t {\n\
+                         \x20       PacketType::Data => Packet::Data,\n\
+                         \x20       PacketType::Nak => Packet::Nak,\n\
+                         \x20   }\n\
+                         }\n";
+const PX_DISPATCH: &str = "fn dispatch(p: Packet) {\n\
+                           \x20   match p {\n\
+                           \x20       Packet::Data => {}\n\
+                           \x20       Packet::Nak => {}\n\
+                           \x20   }\n\
+                           }\n";
+const PX_FUZZ: &str = "fn corpus() { encode_data(); encode_nak(); }\n";
+
+#[test]
+fn packet_exhaustive_clean_when_every_variant_is_covered() {
+    let mut f = Vec::new();
+    lint_packet_exhaustive(
+        PX_HEADER,
+        PX_PACKET,
+        PX_DISPATCH,
+        PX_DISPATCH,
+        PX_FUZZ,
+        &mut f,
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn packet_exhaustive_reports_each_uncovered_variant() {
+    // Grow the wire enum without teaching the dispatches or the fuzzer:
+    // every gap is reported individually.
+    let header = "pub enum PacketType {\n    Data,\n    Nak,\n    Heartbeat,\n}\n";
+    let mut f = Vec::new();
+    lint_packet_exhaustive(header, PX_PACKET, PX_DISPATCH, PX_DISPATCH, PX_FUZZ, &mut f);
+    let msgs: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+    assert_eq!(
+        rules(&f),
+        vec!["packet-exhaustive", "packet-exhaustive"],
+        "{f:?}"
+    );
+    assert!(
+        msgs[0].contains("PacketType::Heartbeat") && msgs[0].contains("dispatch"),
+        "{msgs:?}"
+    );
+    assert!(msgs[1].contains("fuzzer"), "{msgs:?}");
+
+    // A Packet variant one engine forgot: named with the file at fault.
+    let packet = "pub enum Packet {\n    Data,\n    Nak,\n    Repair,\n}\n\
+                  fn parse(t: PacketType) -> Packet {\n\
+                  \x20   match t {\n\
+                  \x20       PacketType::Data => Packet::Data,\n\
+                  \x20       PacketType::Nak => Packet::Nak,\n\
+                  \x20   }\n\
+                  }\n";
+    let receiver = "fn dispatch(p: Packet) {\n\
+                    \x20   match p {\n\
+                    \x20       Packet::Data => {}\n\
+                    \x20       Packet::Nak => {}\n\
+                    \x20       Packet::Repair => {}\n\
+                    \x20   }\n\
+                    }\n";
+    let mut f = Vec::new();
+    lint_packet_exhaustive(PX_HEADER, packet, receiver, PX_DISPATCH, PX_FUZZ, &mut f);
+    assert_eq!(rules(&f), vec!["packet-exhaustive"], "{f:?}");
+    assert_eq!(f[0].file, "crates/core/src/sender.rs");
+    assert!(f[0].message.contains("Packet::Repair"), "{f:?}");
+}
+
+#[test]
+fn packet_exhaustive_missing_enum_is_a_config_error() {
+    let mut f = Vec::new();
+    lint_packet_exhaustive("", PX_PACKET, PX_DISPATCH, PX_DISPATCH, PX_FUZZ, &mut f);
+    assert!(rules(&f).contains(&"lint-config"), "{f:?}");
+}
+
+const CD_STATS: &str = "define_stats! {\n    data_sent: sum,\n    naks_sent: sum,\n}\n";
+const CD_EVENTS: &str = "pub enum TraceEvent {\n    DataSent { seq: u32 },\n}\n";
+
+fn cd_sources(src: &str, test: &str) -> Vec<(String, String)> {
+    vec![
+        ("crates/core/src/sender.rs".to_string(), src.to_string()),
+        ("crates/simrun/tests/t.rs".to_string(), test.to_string()),
+    ]
+}
+
+#[test]
+fn counter_drift_clean_when_updated_and_asserted() {
+    let src = "fn f(s: &mut Stats) {\n\
+               \x20   s.data_sent += 1;\n\
+               \x20   s.naks_sent += 1;\n\
+               \x20   emit(TraceEvent::DataSent { seq: 0 });\n\
+               }\n";
+    let test = "#[test]\nfn t() {\n\
+                \x20   assert!(s.data_sent > 0 && s.naks_sent > 0);\n\
+                \x20   assert!(matches!(e, TraceEvent::DataSent { .. }));\n\
+                }\n";
+    let mut f = Vec::new();
+    lint_counter_drift(CD_STATS, CD_EVENTS, &cd_sources(src, test), &mut f);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn counter_drift_reports_unincremented_and_unasserted_names() {
+    // `naks_sent` is declared but never bumped; the test never looks at
+    // it; `DataSent` is emitted but no test pins it.
+    let src = "fn f(s: &mut Stats) {\n\
+               \x20   s.data_sent += 1;\n\
+               \x20   emit(TraceEvent::DataSent { seq: 0 });\n\
+               }\n";
+    let test = "#[test]\nfn t() { assert!(s.data_sent > 0); }\n";
+    let mut f = Vec::new();
+    lint_counter_drift(CD_STATS, CD_EVENTS, &cd_sources(src, test), &mut f);
+    let msgs: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+    assert_eq!(rules(&f), vec!["counter-drift"; 3], "{f:?}");
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`naks_sent` is never updated")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`naks_sent` is never asserted")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`DataSent` is never asserted")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn counter_drift_accepts_string_assertions_and_allow_comments() {
+    // Tests that match on the event's *name string* (e.g. golden-trace
+    // comparisons) count as assertions.
+    let src = "fn f(s: &mut Stats) {\n\
+               \x20   s.data_sent += 1;\n\
+               \x20   s.naks_sent += 1;\n\
+               \x20   emit(TraceEvent::DataSent { seq: 0 });\n\
+               }\n";
+    let test = "#[test]\nfn t() {\n\
+                \x20   assert!(golden.contains(\"DataSent seq=0\"));\n\
+                \x20   assert!(s.data_sent > 0 && s.naks_sent > 0);\n\
+                }\n";
+    let mut f = Vec::new();
+    lint_counter_drift(CD_STATS, CD_EVENTS, &cd_sources(src, test), &mut f);
+    assert!(f.is_empty(), "{f:?}");
+
+    // An allow comment on the declaration waives both checks for it.
+    let stats = "define_stats! {\n\
+                 \x20   data_sent: sum,\n\
+                 \x20   // rmlint: allow(counter-drift): reserved for the next wire rev\n\
+                 \x20   naks_sent: sum,\n\
+                 }\n";
+    let test = "#[test]\nfn t() {\n\
+                \x20   assert!(s.data_sent > 0);\n\
+                \x20   assert!(matches!(e, TraceEvent::DataSent { .. }));\n\
+                }\n";
+    let mut f = Vec::new();
+    lint_counter_drift(stats, CD_EVENTS, &cd_sources(src, test), &mut f);
     assert!(f.is_empty(), "{f:?}");
 }
 

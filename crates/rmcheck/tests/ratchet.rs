@@ -1,0 +1,164 @@
+//! The `hot-alloc` baseline ratchet, end to end against an on-disk
+//! workspace: a mutation that adds a hot-path allocation must fail the
+//! run; counts at or below the committed baseline pass; a decrease is
+//! accepted and `--update-baseline` locks it in.
+
+mod fake_ws;
+
+use std::path::Path;
+use std::process::Command;
+
+use rmcheck::lint::run_workspace;
+
+/// The span-instrumented hot function with one injected `.to_vec()` copy
+/// — the mutation a sloppy refactor would make.
+const MUTATED_HOT: &str = "pub fn encode(buf: &mut Vec<u8>, src: &[u8]) {\n\
+     \x20   let _span = rmprof::span!(rmprof::Stage::WireEncode);\n\
+     \x20   let staged = src.to_vec();\n\
+     \x20   buf.push(staged.len() as u8);\n\
+     }\n";
+
+fn rules(findings: &[rmcheck::lint::Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn update_baseline(root: &Path) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rmlint"))
+        .arg("--root")
+        .arg(root)
+        .arg("--update-baseline")
+        .output()
+        .expect("spawn rmlint");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn injected_hot_path_allocation_fails_the_run() {
+    let root = fake_ws::create("ratchet-inject");
+    // The pristine tree is clean with no baseline at all...
+    assert_eq!(
+        run_workspace(&root),
+        vec![],
+        "fixture tree must start clean"
+    );
+
+    // ...until a hot-path allocation lands without a baseline bump.
+    fake_ws::write(&root, "crates/core/src/hot.rs", MUTATED_HOT);
+    let findings = run_workspace(&root);
+    assert!(rules(&findings).contains(&"hot-alloc"), "{findings:?}");
+    assert!(
+        rules(&findings).contains(&"hot-alloc-ratchet"),
+        "{findings:?}"
+    );
+    let hit = findings.iter().find(|f| f.rule == "hot-alloc").unwrap();
+    assert_eq!(hit.file, "crates/core/src/hot.rs");
+    assert_eq!(hit.line, 3);
+    assert!(hit.message.contains(".to_vec("), "{}", hit.message);
+
+    // The same allocation outside any span-instrumented function is not
+    // a hot-alloc finding: the rule keys on rmprof coverage, not on the
+    // token alone.
+    fake_ws::write(
+        &root,
+        "crates/core/src/hot.rs",
+        "pub fn encode(buf: &mut Vec<u8>, src: &[u8]) {\n\
+         \x20   let staged = src.to_vec();\n\
+         \x20   buf.push(staged.len() as u8);\n\
+         }\n",
+    );
+    assert_eq!(run_workspace(&root), vec![]);
+}
+
+#[test]
+fn allow_comment_suppresses_a_justified_hot_alloc() {
+    let root = fake_ws::create("ratchet-allow");
+    fake_ws::write(
+        &root,
+        "crates/core/src/hot.rs",
+        "pub fn encode(buf: &mut Vec<u8>, src: &[u8]) {\n\
+         \x20   let _span = rmprof::span!(rmprof::Stage::WireEncode);\n\
+         \x20   // rmlint: allow(hot-alloc): one-time staging, amortized per transfer\n\
+         \x20   let staged = src.to_vec();\n\
+         \x20   buf.push(staged.len() as u8);\n\
+         }\n",
+    );
+    assert_eq!(run_workspace(&root), vec![]);
+}
+
+#[test]
+fn baseline_grandfathers_exactly_the_committed_count() {
+    let root = fake_ws::create("ratchet-grandfather");
+    fake_ws::write(&root, "crates/core/src/hot.rs", MUTATED_HOT);
+    fake_ws::write(
+        &root,
+        "rmlint.baseline",
+        "hot-alloc crates/core/src/hot.rs 1\n",
+    );
+    assert_eq!(run_workspace(&root), vec![], "count == baseline must pass");
+
+    // One more allocation in the same function: the count (2) now
+    // exceeds the baseline (1) and every finding in the file surfaces.
+    fake_ws::write(
+        &root,
+        "crates/core/src/hot.rs",
+        "pub fn encode(buf: &mut Vec<u8>, src: &[u8]) {\n\
+         \x20   let _span = rmprof::span!(rmprof::Stage::WireEncode);\n\
+         \x20   let staged = src.to_vec();\n\
+         \x20   let spare = staged.clone();\n\
+         \x20   buf.push(spare.len() as u8);\n\
+         }\n",
+    );
+    let findings = run_workspace(&root);
+    assert_eq!(
+        rules(&findings),
+        vec!["hot-alloc-ratchet", "hot-alloc", "hot-alloc"],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn baseline_decrease_is_accepted_and_update_locks_it_in() {
+    let root = fake_ws::create("ratchet-shrink");
+    fake_ws::write(&root, "crates/core/src/hot.rs", MUTATED_HOT);
+    // A stale, generous baseline (as if an allocation was just removed):
+    // the run is already clean, no baseline edit required to land the
+    // improvement.
+    fake_ws::write(
+        &root,
+        "rmlint.baseline",
+        "hot-alloc crates/core/src/hot.rs 5\n",
+    );
+    assert_eq!(run_workspace(&root), vec![]);
+
+    // `--update-baseline` rewrites the file to the true current counts,
+    // ratcheting the ceiling down.
+    update_baseline(&root);
+    let rewritten = std::fs::read_to_string(root.join("rmlint.baseline")).unwrap();
+    let counts = rmcheck::baseline::parse(&rewritten).expect("rewritten baseline parses");
+    assert_eq!(
+        counts.get("crates/core/src/hot.rs"),
+        Some(&1),
+        "{rewritten}"
+    );
+    assert_eq!(
+        run_workspace(&root),
+        vec![],
+        "still clean after the rewrite"
+    );
+}
+
+#[test]
+fn unparseable_baseline_is_a_config_error() {
+    let root = fake_ws::create("ratchet-bad-baseline");
+    fake_ws::write(&root, "rmlint.baseline", "hot-alloc nonsense\n");
+    let findings = run_workspace(&root);
+    assert!(rules(&findings).contains(&"lint-config"), "{findings:?}");
+
+    // And the binary maps it to the config-error exit code.
+    let out = Command::new(env!("CARGO_BIN_EXE_rmlint"))
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("spawn rmlint");
+    assert_eq!(out.status.code(), Some(2));
+}
